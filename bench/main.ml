@@ -1,0 +1,421 @@
+(* Experiment harness: regenerates every table and figure of the paper's
+   evaluation section, plus ablation benches and Bechamel micro-benchmarks.
+
+   Usage:
+     dune exec bench/main.exe                      # every paper artifact
+     dune exec bench/main.exe -- fig2 table3       # selected artifacts
+     dune exec bench/main.exe -- --sizes 4,6,8     # scaling sweep sizes
+     dune exec bench/main.exe -- bechamel          # micro-benchmarks
+
+   Absolute times differ from the paper (different machine, from-scratch
+   solver instead of CPLEX); EXPERIMENTS.md tracks the qualitative shape. *)
+
+let sizes = ref [ 4; 6; 8 ]
+let per_solve_limit = ref 120.
+
+let hr title =
+  Printf.printf "\n%s\n%s\n%!" title (String.make (String.length title) '=')
+
+(* ------------------------------------------------------------------ *)
+(* Table I                                                             *)
+
+let table1 () =
+  hr "Table I: EPS components and attributes";
+  Printf.printf "%-12s %-8s | %-6s %-8s | %-12s %s\n" "Generators" "g (kW)"
+    "Loads" "l (kW)" "Components" "cost";
+  let gens = Eps.Eps_library.generator_names
+  and ratings = Eps.Eps_library.generator_ratings
+  and loads = Eps.Eps_library.load_names
+  and demands = Eps.Eps_library.load_demands in
+  let comp_rows =
+    [ ("Generator", "g/10"); ("Bus", "2000"); ("Rectifier", "2000");
+      ("Contactor", "1000") ]
+  in
+  for i = 0 to 4 do
+    let gen = Printf.sprintf "%-12s %-8g" gens.(i) ratings.(i) in
+    let load =
+      if i < 4 then Printf.sprintf "%-6s %-8g" loads.(i) demands.(i)
+      else Printf.sprintf "%-6s %-8s" "" ""
+    in
+    let comp =
+      if i < 4 then
+        let name, cost = List.nth comp_rows i in
+        Printf.sprintf "%-12s %s" name cost
+      else ""
+    in
+    Printf.printf "%s | %s | %s\n" gen load comp
+  done;
+  Printf.printf "failure probability (GEN, ACB, TRU): %g\n"
+    Eps.Eps_library.component_fail_prob
+
+(* ------------------------------------------------------------------ *)
+(* Example 1                                                           *)
+
+let example1 () =
+  hr "Example 1: approximate algebra vs exact computation (Fig. 1b)";
+  let g =
+    Netgraph.Digraph.of_edges 7
+      [ (0, 2); (2, 4); (4, 6); (1, 3); (3, 5); (5, 6) ]
+  in
+  let part =
+    Netgraph.Partition.make ~names:[| "G"; "B"; "D"; "L" |]
+      [| 0; 0; 1; 1; 2; 2; 3 |]
+  in
+  let p = 2e-4 in
+  let net =
+    Reliability.Fail_model.make g ~sources:[ 0; 1 ]
+      ~node_fail:(Array.make 7 p)
+  in
+  let exact = Reliability.Exact.sink_failure net ~sink:6 in
+  let link =
+    Reliability.Approx.functional_link g part ~sources:[ 0; 1 ] ~sink:6
+  in
+  let approx =
+    Reliability.Approx.failure_estimate part ~type_fail:(fun _ -> p) link
+  in
+  Printf.printf "r~_L = p + 6p^2             = %.8e\n" approx;
+  Printf.printf "r_L  (exact, p + 9p^2 + ..) = %.8e\n" exact;
+  Printf.printf "paper closed forms:  r~ = %.8e   r = %.8e\n"
+    (p +. (6. *. p *. p))
+    (p +. ((1. -. p)
+           *. ((p +. ((1. -. p) *. (p +. ((1. -. p) *. p)))) ** 2.)));
+  Printf.printf "Theorem 2 bound m·f/M_f = %.3f;  actual r~/r = %.4f\n"
+    (Reliability.Approx.theorem2_bound part link)
+    (approx /. exact)
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 2: ILP-MR iterations                                           *)
+
+let fig2 () =
+  hr "Fig. 2: ILP-MR iterations on the base EPS template (r* = 2e-10)";
+  let inst = Eps.Eps_template.base () in
+  let template = inst.Eps.Eps_template.template in
+  match
+    Archex.Ilp_mr.run ~solve_time_limit:!per_solve_limit template
+      ~r_star:2e-10
+  with
+  | Archex.Synthesis.Synthesized (arch, trace, timing) ->
+      List.iter
+        (fun it ->
+          Printf.printf
+            "  (%c) iteration %d: cost %-7g r = %.3e%s\n"
+            (Char.chr (Char.code 'a' + it.Archex.Ilp_mr.index - 1))
+            it.Archex.Ilp_mr.index it.Archex.Ilp_mr.cost
+            it.Archex.Ilp_mr.reliability
+            (match it.Archex.Ilp_mr.k_estimate with
+            | Some k -> Printf.sprintf "  [ESTPATH k = %d]" k
+            | None -> ""))
+        trace;
+      Printf.printf
+        "  paper: (a) r = 6e-4  (b) r = 2.8e-10  (c) r = 0.79e-10\n";
+      Printf.printf "  final cost %g, r = %.3e; solver %.1fs analysis %.1fs\n"
+        arch.Archex.Synthesis.cost arch.Archex.Synthesis.reliability
+        timing.Archex.Synthesis.solver_time
+        timing.Archex.Synthesis.analysis_time;
+      print_string (Eps.Eps_diagram.render inst arch.Archex.Synthesis.config);
+      let net =
+        Archex.Rel_analysis.fail_model_of_config template
+          arch.Archex.Synthesis.config
+      in
+      let width =
+        List.fold_left
+          (fun acc sink ->
+            min acc (Reliability.Cut_sets.min_cut_width net ~sink))
+          max_int
+          (Archlib.Template.sinks template)
+      in
+      Printf.printf
+        "  redundancy order (simultaneous failures to lose a load): %d\n"
+        width
+  | Archex.Synthesis.Unfeasible _ -> print_endline "  UNFEASIBLE"
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 3: ILP-AR at three requirements                                *)
+
+let fig3 () =
+  hr "Fig. 3: ILP-AR architectures for decreasing r* (base EPS template)";
+  let paper =
+    [ (2e-3, "r~ = 6.0e-4,  r = 6e-4");
+      (2e-6, "r~ = 2.4e-7,  r = 3.5e-7");
+      (2e-10, "r~ = 7.2e-11, r = 2.8e-10") ]
+  in
+  List.iter
+    (fun (r_star, expected) ->
+      let inst = Eps.Eps_template.base () in
+      let template = inst.Eps.Eps_template.template in
+      match
+        Archex.Ilp_ar.run ~time_limit:!per_solve_limit template ~r_star
+      with
+      | Archex.Synthesis.Synthesized (arch, info, timing) ->
+          Printf.printf
+            "  r* = %-8g cost %-7g r~ = %.2e  exact r = %.2e   (paper: %s)\n"
+            r_star arch.Archex.Synthesis.cost
+            info.Archex.Ilp_ar.approx_estimate
+            arch.Archex.Synthesis.reliability expected;
+          Printf.printf
+            "             %d constraints, setup %.1fs, solver %.1fs\n"
+            info.Archex.Ilp_ar.constraint_count
+            timing.Archex.Synthesis.setup_time
+            timing.Archex.Synthesis.solver_time
+      | Archex.Synthesis.Unfeasible _ ->
+          Printf.printf "  r* = %-8g UNFEASIBLE\n" r_star)
+    paper
+
+(* ------------------------------------------------------------------ *)
+(* Table II: ILP-MR scaling, LEARNCONS vs lazy                         *)
+
+let table2_strategy strategy label =
+  Printf.printf "%s\n" label;
+  Printf.printf "  %-18s %-12s %-18s %-15s\n" "|V| (#Generators)"
+    "#Iterations" "Analysis time (s)" "Solver time (s)";
+  List.iter
+    (fun g ->
+      let inst = Eps.Eps_template.make ~generators:g in
+      let template = inst.Eps.Eps_template.template in
+      let t0 = Sys.time () in
+      match
+        Archex.Ilp_mr.run ~strategy ~solve_time_limit:!per_solve_limit
+          template ~r_star:1e-11
+      with
+      | Archex.Synthesis.Synthesized (_, trace, timing) ->
+          Printf.printf "  %-18s %-12d %-18.2f %-15.2f   [total %.1fs]\n%!"
+            (Printf.sprintf "%d (%d)" (5 * g) g)
+            (List.length trace)
+            timing.Archex.Synthesis.analysis_time
+            timing.Archex.Synthesis.solver_time
+            (Sys.time () -. t0)
+      | Archex.Synthesis.Unfeasible (trace, _) ->
+          Printf.printf "  %-18s UNFEASIBLE after %d iterations\n"
+            (Printf.sprintf "%d (%d)" (5 * g) g)
+            (List.length trace))
+    !sizes
+
+let table2 () =
+  hr "Table II: ILP-MR scaling (r* = 1e-11, n = 5)";
+  table2_strategy Archex.Learn_cons.Estimated
+    "LEARNCONS (Algorithm 2, ESTPATH-driven):";
+  table2_strategy Archex.Learn_cons.Lazy_one_path
+    "Lazy strategy (one path per iteration):"
+
+(* ------------------------------------------------------------------ *)
+(* Table III: ILP-AR scaling                                           *)
+
+let table3 () =
+  hr "Table III: ILP-AR scaling (r* = 1e-11, n = 5)";
+  Printf.printf "  %-18s %-14s %-15s %-15s\n" "|V| (#Generators)"
+    "#Constraints" "Setup time (s)" "Solver time (s)";
+  List.iter
+    (fun g ->
+      let inst = Eps.Eps_template.make ~generators:g in
+      let template = inst.Eps.Eps_template.template in
+      match
+        Archex.Ilp_ar.run ~time_limit:!per_solve_limit template
+          ~r_star:1e-11
+      with
+      | Archex.Synthesis.Synthesized (_, info, timing) ->
+          Printf.printf "  %-18s %-14d %-15.2f %-15.2f\n%!"
+            (Printf.sprintf "%d (%d)" (5 * g) g)
+            info.Archex.Ilp_ar.constraint_count
+            timing.Archex.Synthesis.setup_time
+            timing.Archex.Synthesis.solver_time
+      | Archex.Synthesis.Unfeasible (info, timing) ->
+          Printf.printf "  %-18s %-14d %-15.2f (unfeasible)\n"
+            (Printf.sprintf "%d (%d)" (5 * g) g)
+            info.Archex.Ilp_ar.constraint_count
+            timing.Archex.Synthesis.setup_time
+      | exception Failure msg ->
+          Printf.printf "  %-18s %s\n"
+            (Printf.sprintf "%d (%d)" (5 * g) g)
+            msg)
+    !sizes
+
+(* ------------------------------------------------------------------ *)
+(* Ablations                                                           *)
+
+let ablation_backend () =
+  hr "Ablation: PB (CDCL) vs LP branch-and-bound backends";
+  let inst = Eps.Eps_template.base () in
+  let template = inst.Eps.Eps_template.template in
+  List.iter
+    (fun backend ->
+      let enc = Archex.Gen_ilp.encode template in
+      let t0 = Sys.time () in
+      match Archex.Gen_ilp.solve ~backend ~time_limit:60. enc with
+      | Some (_, cost, stats) ->
+          Printf.printf
+            "  %-6s base EPS ILP: cost %g in %.3fs (%d nodes, %d conflicts, \
+             %d pivots)\n"
+            (Milp.Solver.backend_name backend)
+            cost stats.Milp.Solver.elapsed stats.Milp.Solver.nodes
+            stats.Milp.Solver.conflicts stats.Milp.Solver.pivots
+      | None -> Printf.printf "  %-6s infeasible?\n"
+                  (Milp.Solver.backend_name backend)
+      | exception Failure msg ->
+          Printf.printf "  %-6s %s (%.1fs)\n"
+            (Milp.Solver.backend_name backend)
+            msg (Sys.time () -. t0))
+    [ Milp.Solver.Pseudo_boolean; Milp.Solver.Lp_branch_bound ]
+
+let ablation_exact () =
+  hr "Ablation: exact reliability engines as redundancy grows";
+  Printf.printf "  %-8s %-12s %-12s %-12s %-12s\n" "chains" "r" "bdd (s)"
+    "incl-excl (s)" "factoring (s)";
+  List.iter
+    (fun k ->
+      let n = (3 * k) + 1 in
+      let g = Netgraph.Digraph.create n in
+      for i = 0 to k - 1 do
+        Netgraph.Digraph.add_edge g (3 * i) ((3 * i) + 1);
+        Netgraph.Digraph.add_edge g ((3 * i) + 1) ((3 * i) + 2);
+        Netgraph.Digraph.add_edge g ((3 * i) + 2) (n - 1)
+      done;
+      let net =
+        Reliability.Fail_model.make g
+          ~sources:(List.init k (fun i -> 3 * i))
+          ~node_fail:(Array.make n 2e-4)
+      in
+      let time engine =
+        let t0 = Sys.time () in
+        let r = Reliability.Exact.sink_failure ~engine net ~sink:(n - 1) in
+        (r, Sys.time () -. t0)
+      in
+      let r, t_bdd = time Reliability.Exact.Bdd_compilation in
+      let _, t_ie = time Reliability.Exact.Inclusion_exclusion in
+      let _, t_fac = time Reliability.Exact.Factoring in
+      Printf.printf "  %-8d %-12.3e %-12.4f %-12.4f %-12.4f\n%!" k r t_bdd
+        t_ie t_fac)
+    [ 2; 3; 4; 5; 6 ]
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks: one Test.make per table/figure kernel.   *)
+
+let bechamel () =
+  hr "Bechamel micro-benchmarks (kernels behind each table/figure)";
+  let open Bechamel in
+  let base_config () =
+    let inst = Eps.Eps_template.base () in
+    let template = inst.Eps.Eps_template.template in
+    let enc = Archex.Gen_ilp.encode template in
+    match Archex.Gen_ilp.solve enc with
+    | Some (config, _, _) -> (template, config)
+    | None -> failwith "base EPS infeasible"
+  in
+  let template, config = base_config () in
+  let test_fig2_analysis =
+    (* Fig. 2 / Table II analysis column: one exact RELANALYSIS call *)
+    Test.make ~name:"fig2/table2: exact reliability analysis"
+      (Staged.stage (fun () ->
+           ignore (Archex.Rel_analysis.analyze template config)))
+  in
+  let test_fig3_approx =
+    (* Fig. 3: the approximate algebra on a configuration *)
+    let part = Archlib.Template.partition template in
+    let expanded = Archlib.Template.expand_redundant_pairs template config in
+    let sinks = Archlib.Template.sinks template in
+    let sources = Archlib.Template.sources template in
+    Test.make ~name:"fig3: approximate reliability algebra"
+      (Staged.stage (fun () ->
+           List.iter
+             (fun sink ->
+               let link =
+                 Reliability.Approx.functional_link expanded part ~sources
+                   ~sink
+               in
+               ignore
+                 (Reliability.Approx.failure_estimate part
+                    ~type_fail:(fun _ -> 2e-4)
+                    link))
+             sinks))
+  in
+  let test_table2_solve =
+    (* Table II solver column: the interconnection-only ILP *)
+    Test.make ~name:"table2: base EPS ILP solve (PB backend)"
+      (Staged.stage (fun () ->
+           let inst = Eps.Eps_template.base () in
+           let enc = Archex.Gen_ilp.encode inst.Eps.Eps_template.template in
+           ignore (Archex.Gen_ilp.solve enc)))
+  in
+  let test_table3_setup =
+    (* Table III setup column: GENILP-AR compilation *)
+    Test.make ~name:"table3: ILP-AR model generation (base template)"
+      (Staged.stage (fun () ->
+           let inst = Eps.Eps_template.base () in
+           ignore
+             (Archex.Ilp_ar.compile inst.Eps.Eps_template.template
+                ~r_star:1e-11)))
+  in
+  let test_example1 =
+    Test.make ~name:"example1: BDD exact engine on Fig. 1b"
+      (Staged.stage (fun () ->
+           let g =
+             Netgraph.Digraph.of_edges 7
+               [ (0, 2); (2, 4); (4, 6); (1, 3); (3, 5); (5, 6) ]
+           in
+           let net =
+             Reliability.Fail_model.make g ~sources:[ 0; 1 ]
+               ~node_fail:(Array.make 7 2e-4)
+           in
+           ignore (Reliability.Exact.sink_failure net ~sink:6)))
+  in
+  let benchmark test =
+    let quota = Time.second 0.5 in
+    Benchmark.all (Benchmark.cfg ~quota ())
+      [ Toolkit.Instance.monotonic_clock ]
+      test
+  in
+  let analyze raw =
+    Analyze.all
+      (Analyze.ols ~bootstrap:0 ~r_square:true
+         ~predictors:[| Measure.run |])
+      Toolkit.Instance.monotonic_clock raw
+  in
+  List.iter
+    (fun test ->
+      let results = analyze (benchmark test) in
+      Hashtbl.iter
+        (fun name ols ->
+          match Bechamel.Analyze.OLS.estimates ols with
+          | Some [ time ] ->
+              Printf.printf "  %-55s %12.1f ns/run\n" name time
+          | Some _ | None ->
+              Printf.printf "  %-55s (no estimate)\n" name)
+        results)
+    [ test_example1; test_fig2_analysis; test_fig3_approx;
+      test_table2_solve; test_table3_setup ]
+
+(* ------------------------------------------------------------------ *)
+
+let artifacts =
+  [ ("table1", table1); ("example1", example1); ("fig2", fig2);
+    ("fig3", fig3); ("table2", table2); ("table3", table3);
+    ("ablation-backend", ablation_backend); ("ablation-exact", ablation_exact);
+    ("bechamel", bechamel) ]
+
+let default_artifacts =
+  [ "table1"; "example1"; "fig2"; "fig3"; "table2"; "table3";
+    "ablation-backend"; "ablation-exact"; "bechamel" ]
+
+let () =
+  Logs.set_reporter (Logs.format_reporter ());
+  Logs.set_level (Some Logs.Warning);
+  let args = List.tl (Array.to_list Sys.argv) in
+  let rec parse selected = function
+    | [] -> List.rev selected
+    | "--sizes" :: spec :: rest ->
+        sizes :=
+          List.map int_of_string (String.split_on_char ',' spec);
+        parse selected rest
+    | "--limit" :: spec :: rest ->
+        per_solve_limit := float_of_string spec;
+        parse selected rest
+    | name :: rest ->
+        if List.mem_assoc name artifacts then parse (name :: selected) rest
+        else begin
+          Printf.eprintf "unknown artifact %S; known: %s\n" name
+            (String.concat ", " (List.map fst artifacts));
+          exit 2
+        end
+  in
+  let selected = parse [] args in
+  let selected = if selected = [] then default_artifacts else selected in
+  List.iter (fun name -> (List.assoc name artifacts) ()) selected

@@ -1,0 +1,166 @@
+(* ARCHEX command-line interface: synthesize aircraft EPS architectures
+   with ILP-MR or ILP-AR, inspect templates and export models. *)
+
+open Cmdliner
+
+let instance_of generators =
+  match generators with
+  | None -> Eps.Eps_template.base ()
+  | Some g -> Eps.Eps_template.make ~generators:g
+
+let backend_conv =
+  let parse = function
+    | "pb" -> Ok Milp.Solver.Pseudo_boolean
+    | "lp-bb" -> Ok Milp.Solver.Lp_branch_bound
+    | "brute" -> Ok Milp.Solver.Brute_force
+    | s -> Error (`Msg (Printf.sprintf "unknown backend %S" s))
+  in
+  Arg.conv (parse, fun ppf b ->
+      Format.pp_print_string ppf (Milp.Solver.backend_name b))
+
+let generators_arg =
+  let doc =
+    "Use the scaling-family template with $(docv) generators (|V| = 5·g). \
+     Without this option the paper's base template (Table I components) is \
+     used."
+  in
+  Arg.(value & opt (some int) None & info [ "g"; "generators" ] ~doc
+         ~docv:"G")
+
+let r_star_arg =
+  let doc = "Required worst-sink failure probability r*." in
+  Arg.(value & opt float 2e-10 & info [ "r"; "r-star" ] ~doc ~docv:"R")
+
+let backend_arg =
+  let doc = "ILP backend: $(b,pb), $(b,lp-bb) or $(b,brute)." in
+  Arg.(value & opt backend_conv Milp.Solver.Pseudo_boolean
+       & info [ "backend" ] ~doc ~docv:"B")
+
+let lazy_arg =
+  let doc = "Use the lazy one-path-per-iteration learning strategy \
+             (Table II baseline) instead of ESTPATH-driven learning."
+  in
+  Arg.(value & flag & info [ "lazy" ] ~doc)
+
+let diagram_arg =
+  let doc = "Print the single-line diagram of the result." in
+  Arg.(value & flag & info [ "diagram" ] ~doc)
+
+let report inst arch diagram =
+  let template = inst.Eps.Eps_template.template in
+  Format.printf "%a@." (Archex.Synthesis.pp_architecture template) arch;
+  if diagram then Eps.Eps_diagram.print inst arch.Archex.Synthesis.config
+
+let mr_cmd =
+  let run generators r_star backend lazy_ diagram =
+    let inst = instance_of generators in
+    let strategy =
+      if lazy_ then Archex.Learn_cons.Lazy_one_path
+      else Archex.Learn_cons.Estimated
+    in
+    match
+      Archex.Ilp_mr.run ~strategy ~backend inst.Eps.Eps_template.template
+        ~r_star
+    with
+    | Archex.Synthesis.Synthesized (arch, trace, timing) ->
+        List.iter
+          (fun it ->
+            Format.printf "iteration %d: cost %g, r = %.3e%s@."
+              it.Archex.Ilp_mr.index it.Archex.Ilp_mr.cost
+              it.Archex.Ilp_mr.reliability
+              (match it.Archex.Ilp_mr.k_estimate with
+              | Some k -> Printf.sprintf " (k = %d)" k
+              | None -> ""))
+          trace;
+        report inst arch diagram;
+        Format.printf "solver %.2fs, analysis %.2fs@."
+          timing.Archex.Synthesis.solver_time
+          timing.Archex.Synthesis.analysis_time;
+        0
+    | Archex.Synthesis.Unfeasible (trace, _) ->
+        Format.printf "UNFEASIBLE after %d iterations@." (List.length trace);
+        1
+  in
+  let doc = "Synthesize with ILP Modulo Reliability (Algorithm 1)." in
+  Cmd.v (Cmd.info "mr" ~doc)
+    Term.(
+      const run $ generators_arg $ r_star_arg $ backend_arg $ lazy_arg
+      $ diagram_arg)
+
+let ar_cmd =
+  let run generators r_star backend diagram =
+    let inst = instance_of generators in
+    match
+      Archex.Ilp_ar.run ~backend inst.Eps.Eps_template.template ~r_star
+    with
+    | Archex.Synthesis.Synthesized (arch, info, timing) ->
+        Format.printf
+          "approximate r~ = %.3e (Theorem 2 bound %.3f); %d constraints@."
+          info.Archex.Ilp_ar.approx_estimate
+          info.Archex.Ilp_ar.theorem2_bound
+          info.Archex.Ilp_ar.constraint_count;
+        report inst arch diagram;
+        Format.printf "setup %.2fs, solver %.2fs@."
+          timing.Archex.Synthesis.setup_time
+          timing.Archex.Synthesis.solver_time;
+        0
+    | Archex.Synthesis.Unfeasible (info, _) ->
+        Format.printf "UNFEASIBLE (%d constraints)@."
+          info.Archex.Ilp_ar.constraint_count;
+        1
+  in
+  let doc = "Synthesize with ILP + Approximate Reliability (Algorithm 3)." in
+  Cmd.v (Cmd.info "ar" ~doc)
+    Term.(const run $ generators_arg $ r_star_arg $ backend_arg $ diagram_arg)
+
+let analyze_cmd =
+  let run generators =
+    let inst = instance_of generators in
+    let template = inst.Eps.Eps_template.template in
+    let enc = Archex.Gen_ilp.encode template in
+    match Archex.Gen_ilp.solve enc with
+    | None ->
+        Format.printf "template is infeasible@.";
+        1
+    | Some (config, cost, _) ->
+        let report = Archex.Rel_analysis.analyze template config in
+        Format.printf
+          "minimal architecture: cost %g, worst failure %.3e@." cost
+          report.Archex.Rel_analysis.worst;
+        Eps.Eps_diagram.print inst config;
+        0
+  in
+  let doc =
+    "Solve connectivity and power-flow only and report exact reliability \
+     of the minimal architecture."
+  in
+  Cmd.v (Cmd.info "analyze" ~doc) Term.(const run $ generators_arg)
+
+let export_cmd =
+  let run generators r_star path =
+    let inst = instance_of generators in
+    let enc, info =
+      Archex.Ilp_ar.compile inst.Eps.Eps_template.template ~r_star
+    in
+    Milp.Lp_format.write_file path (Archex.Gen_ilp.model enc);
+    Format.printf "wrote %s (%d constraints, %d variables)@." path
+      info.Archex.Ilp_ar.constraint_count info.Archex.Ilp_ar.variable_count;
+    0
+  in
+  let path_arg =
+    Arg.(value & opt string "archex.lp" & info [ "o"; "output" ]
+           ~docv:"FILE" ~doc:"Output file.")
+  in
+  let doc = "Compile the ILP-AR model and export it in CPLEX LP format." in
+  Cmd.v (Cmd.info "export" ~doc)
+    Term.(const run $ generators_arg $ r_star_arg $ path_arg)
+
+let () =
+  Logs.set_reporter (Logs.format_reporter ());
+  Logs.set_level (Some Logs.Warning);
+  let doc =
+    "optimized selection of reliable and cost-effective CPS architectures \
+     (Bajaj et al., DATE 2015)"
+  in
+  let info = Cmd.info "archex" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval' (Cmd.group info [ mr_cmd; ar_cmd; analyze_cmd; export_cmd ]))

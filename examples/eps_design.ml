@@ -1,0 +1,56 @@
+(* Aircraft EPS design — the paper's Sec. V walkthrough.
+
+   Reproduces Fig. 2 (ILP-MR iterations towards r* = 2e-10) and Fig. 3
+   (ILP-AR architectures at three reliability requirements) on the base
+   template with the Table I attributes, printing single-line diagrams. *)
+
+let print_mr_run r_star =
+  let inst = Eps.Eps_template.base () in
+  let template = inst.Eps.Eps_template.template in
+  Format.printf "==== ILP-MR on the base EPS template, r* = %g ====@."
+    r_star;
+  match Archex.Ilp_mr.run template ~r_star with
+  | Archex.Synthesis.Synthesized (arch, trace, timing) ->
+      List.iter
+        (fun it ->
+          Format.printf
+            "-- iteration %d: cost %g, exact r = %.3e%s@."
+            it.Archex.Ilp_mr.index it.Archex.Ilp_mr.cost
+            it.Archex.Ilp_mr.reliability
+            (match it.Archex.Ilp_mr.k_estimate with
+            | Some k -> Printf.sprintf ", ESTPATH k = %d" k
+            | None -> ""))
+        trace;
+      Format.printf "@.final architecture (cost %g, r = %.3e ≤ %g):@."
+        arch.Archex.Synthesis.cost arch.Archex.Synthesis.reliability r_star;
+      Eps.Eps_diagram.print inst arch.Archex.Synthesis.config;
+      Format.printf "timing: solver %.2fs, exact analysis %.2fs@.@."
+        timing.Archex.Synthesis.solver_time
+        timing.Archex.Synthesis.analysis_time
+  | Archex.Synthesis.Unfeasible _ ->
+      Format.printf "UNFEASIBLE@.@."
+
+let print_ar_run r_star =
+  let inst = Eps.Eps_template.base () in
+  let template = inst.Eps.Eps_template.template in
+  Format.printf "==== ILP-AR on the base EPS template, r* = %g ====@."
+    r_star;
+  match Archex.Ilp_ar.run template ~r_star with
+  | Archex.Synthesis.Synthesized (arch, info, timing) ->
+      Format.printf
+        "cost %g; approximate r~ = %.2e, exact r = %.2e (Thm 2 bound on \
+         r~/r: %.3f)@."
+        arch.Archex.Synthesis.cost info.Archex.Ilp_ar.approx_estimate
+        arch.Archex.Synthesis.reliability info.Archex.Ilp_ar.theorem2_bound;
+      Eps.Eps_diagram.print inst arch.Archex.Synthesis.config;
+      Format.printf "model: %d constraints; setup %.2fs, solver %.2fs@.@."
+        info.Archex.Ilp_ar.constraint_count
+        timing.Archex.Synthesis.setup_time timing.Archex.Synthesis.solver_time
+  | Archex.Synthesis.Unfeasible _ ->
+      Format.printf "UNFEASIBLE@.@."
+
+let () =
+  (* Fig. 2 *)
+  print_mr_run 2e-10;
+  (* Fig. 3 *)
+  List.iter print_ar_run [ 2e-3; 2e-6; 2e-10 ]

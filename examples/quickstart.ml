@@ -1,0 +1,76 @@
+(* Quickstart: synthesize a minimum-cost reliable architecture from a small
+   template.
+
+   A sensor network: two sensor units (sources), three processing units
+   (middles) and one actuator (sink).  Any sensor can feed any processor,
+   any processor can drive the actuator; every link costs 2, processors
+   cost 20, sensors 5.  Sensors and processors fail with probability 0.1.
+
+   We ask ILP-MR for the cheapest architecture whose actuator failure
+   probability is at most 0.05 and watch it iterate. *)
+
+module Template = Archlib.Template
+module Requirement = Archlib.Requirement
+module Library = Archlib.Library
+
+let library =
+  Library.make ~switch_cost:2.
+    [ { Library.type_name = "SENSOR"; cost = 5.; fail_prob = 0.1 };
+      { type_name = "CPU"; cost = 20.; fail_prob = 0.1 };
+      { type_name = "ACT"; cost = 0.; fail_prob = 0. } ]
+
+let template () =
+  let comp ty name = Library.instantiate library ~type_id:ty ~name in
+  let t =
+    Template.create
+      [| comp 0 "S1"; comp 0 "S2";
+         comp 1 "P1"; comp 1 "P2"; comp 1 "P3";
+         comp 2 "ACT" |]
+  in
+  List.iter
+    (fun (u, v) -> Template.add_candidate_edge ~switch_cost:2. t u v)
+    [ (0, 2); (0, 3); (0, 4); (1, 2); (1, 3); (1, 4);
+      (2, 5); (3, 5); (4, 5) ];
+  Template.set_sources t [ 0; 1 ];
+  Template.set_sinks t [ 5 ];
+  Template.set_type_chain t [ 0; 1; 2 ];
+  (* the actuator is essential and must be driven by some processor;
+     a processor driving it must be fed by a sensor (Eq. 3) *)
+  Template.add_requirement t (Requirement.require_powered 5);
+  Template.add_requirement t
+    (Requirement.at_least_incoming ~to_:5 ~from_:[ 2; 3; 4 ] 1);
+  List.iter
+    (fun p ->
+      Template.add_requirement t
+        (Requirement.Conditional_connect ([ (p, 5) ], [ (0, p); (1, p) ])))
+    [ 2; 3; 4 ];
+  t
+
+let () =
+  let t = template () in
+  (match Template.validate t with
+  | Ok () -> ()
+  | Error e -> failwith ("invalid template: " ^ e));
+  let r_star = 0.05 in
+  Format.printf "Synthesizing with ILP-MR, requirement r* = %g@." r_star;
+  match Archex.Ilp_mr.run t ~r_star with
+  | Archex.Synthesis.Synthesized (arch, trace, timing) ->
+      List.iter
+        (fun it ->
+          Format.printf
+            "  iteration %d: cost %g, failure probability %.4g%s@."
+            it.Archex.Ilp_mr.index it.Archex.Ilp_mr.cost
+            it.Archex.Ilp_mr.reliability
+            (match it.Archex.Ilp_mr.k_estimate with
+            | Some k -> Printf.sprintf " (ESTPATH k = %d)" k
+            | None -> ""))
+        trace;
+      Format.printf "@.%a@."
+        (Archex.Synthesis.pp_architecture t)
+        arch;
+      Format.printf "timing: setup %.3fs, solver %.3fs, analysis %.3fs@."
+        timing.Archex.Synthesis.setup_time
+        timing.Archex.Synthesis.solver_time
+        timing.Archex.Synthesis.analysis_time
+  | Archex.Synthesis.Unfeasible _ ->
+      Format.printf "UNFEASIBLE: the template cannot reach %g@." r_star

@@ -1,0 +1,19 @@
+type t = {
+  name : string;
+  type_id : int;
+  cost : float;
+  fail_prob : float;
+  capacity : float;
+}
+
+let make ?(cost = 0.) ?(fail_prob = 0.) ?(capacity = 0.) ~name ~type_id () =
+  if type_id < 0 then invalid_arg "Component.make: negative type";
+  if cost < 0. then invalid_arg "Component.make: negative cost";
+  if capacity < 0. then invalid_arg "Component.make: negative capacity";
+  if not (Float.is_finite fail_prob) || fail_prob < 0. || fail_prob > 1. then
+    invalid_arg "Component.make: failure probability outside [0, 1]";
+  { name; type_id; cost; fail_prob; capacity }
+
+let pp ppf c =
+  Format.fprintf ppf "%s(type=%d, c=%g, p=%g, w=%g)" c.name c.type_id c.cost
+    c.fail_prob c.capacity

@@ -1,0 +1,24 @@
+(** Components and their attributes (Sec. II).
+
+    A component carries its functional role ({e type}, Definition II.2), a
+    cost [c], a self-failure probability [p] and a terminal variable [w]
+    (capacity: power provided or demanded, bandwidth, …) used in balance
+    constraints (Eq. 4). *)
+
+type t = {
+  name : string;
+  type_id : int;     (** index into the template's partition [Π] *)
+  cost : float;      (** [c_i] of Eq. 1 *)
+  fail_prob : float; (** [P(P_i)]; 0 = perfect *)
+  capacity : float;  (** [w_i]; by convention ≥ 0 supplies, interpretation
+                         is up to the requirements that reference it *)
+}
+
+val make :
+  ?cost:float -> ?fail_prob:float -> ?capacity:float ->
+  name:string -> type_id:int -> unit -> t
+(** Defaults: cost 0, fail_prob 0, capacity 0.
+    @raise Invalid_argument on a negative type, cost or capacity, or a
+    probability outside [0, 1]. *)
+
+val pp : Format.formatter -> t -> unit

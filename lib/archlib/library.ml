@@ -1,0 +1,47 @@
+type proto = {
+  type_name : string;
+  cost : float;
+  fail_prob : float;
+}
+
+type t = {
+  protos : proto array;
+  switch_cost : float;
+}
+
+let make ?(switch_cost = 0.) protos =
+  if protos = [] then invalid_arg "Library.make: no prototypes";
+  if switch_cost < 0. then invalid_arg "Library.make: negative switch cost";
+  let check p =
+    if p.cost < 0. then invalid_arg "Library.make: negative cost";
+    if p.fail_prob < 0. || p.fail_prob > 1. then
+      invalid_arg "Library.make: probability outside [0, 1]"
+  in
+  List.iter check protos;
+  { protos = Array.of_list protos; switch_cost }
+
+let type_count t = Array.length t.protos
+
+let proto t j =
+  if j < 0 || j >= type_count t then invalid_arg "Library.proto";
+  t.protos.(j)
+
+let type_name t j = (proto t j).type_name
+
+let type_id_of_name t name =
+  let found = ref (-1) in
+  Array.iteri
+    (fun j p -> if !found < 0 && p.type_name = name then found := j)
+    t.protos;
+  if !found < 0 then raise Not_found else !found
+
+let switch_cost t = t.switch_cost
+let type_names t = Array.map (fun p -> p.type_name) t.protos
+
+let instantiate ?cost ?capacity t ~type_id ~name =
+  let p = proto t type_id in
+  Component.make
+    ~cost:(Option.value cost ~default:p.cost)
+    ~fail_prob:p.fail_prob
+    ?capacity
+    ~name ~type_id ()

@@ -1,0 +1,35 @@
+(** The component library [L]: prototypes per type plus composition-rule
+    metadata (Sec. II).
+
+    A library fixes, per component type, the display name, unit cost, failure
+    probability, and default switch cost for interconnections; templates
+    instantiate concrete components from it. *)
+
+type proto = {
+  type_name : string;
+  cost : float;       (** default [c] for instances *)
+  fail_prob : float;  (** default [p] for instances *)
+}
+
+type t
+
+val make : ?switch_cost:float -> proto list -> t
+(** Prototype at position [j] defines type [j].  [switch_cost] is the
+    default contactor/switch cost [c~] (default 0).
+    @raise Invalid_argument on an empty prototype list or invalid
+    attributes. *)
+
+val type_count : t -> int
+val proto : t -> int -> proto
+val type_name : t -> int -> string
+val type_id_of_name : t -> string -> int
+(** @raise Not_found when no prototype has that name. *)
+
+val switch_cost : t -> float
+val type_names : t -> string array
+
+val instantiate :
+  ?cost:float -> ?capacity:float -> t -> type_id:int -> name:string ->
+  Component.t
+(** A concrete component of the given type; [cost] overrides the prototype's
+    (the EPS generators price by rating, [g/10]). *)

@@ -1,0 +1,81 @@
+type cmp = Le | Ge | Eq
+
+type t =
+  | Edge_card of (int * int) list * cmp * int
+  | Linear_edges of ((int * int) * float) list * cmp * float
+  | Conditional_connect of (int * int) list * (int * int) list
+  | Usage_balance of (int * float) list * (int * float) list
+  | Require_used of int
+  | Usage_order of int list
+
+let outgoing from_ to_ = List.map (fun t -> (from_, t)) to_
+let incoming to_ from_ = List.map (fun f -> (f, to_)) from_
+
+let at_least_connections ~from_ ~to_ k = Edge_card (outgoing from_ to_, Ge, k)
+let at_most_connections ~from_ ~to_ k = Edge_card (outgoing from_ to_, Le, k)
+let exactly_connections ~from_ ~to_ k = Edge_card (outgoing from_ to_, Eq, k)
+let at_least_incoming ~to_ ~from_ k = Edge_card (incoming to_ from_, Ge, k)
+let at_most_incoming ~to_ ~from_ k = Edge_card (incoming to_ from_, Le, k)
+let exactly_incoming ~to_ ~from_ k = Edge_card (incoming to_ from_, Eq, k)
+
+let if_connected_then ~from_ ~via ~to_ =
+  Conditional_connect (incoming via from_, outgoing via to_)
+
+let node_balance ~node ~supply ~demand =
+  let terms =
+    List.map (fun (b, w) -> ((b, node), w)) supply
+    @ List.map (fun (l, w) -> ((node, l), -.w)) demand
+  in
+  Linear_edges (terms, Ge, 0.)
+
+let supply_covers_demand ~providers ~consumers =
+  Usage_balance (providers, consumers)
+
+let require_powered v = Require_used v
+let use_in_order vs = Usage_order vs
+let forbid_edge u v = Edge_card ([ (u, v) ], Le, 0)
+let force_edge u v = Edge_card ([ (u, v) ], Ge, 1)
+
+let pp_cmp ppf = function
+  | Le -> Format.pp_print_string ppf "<="
+  | Ge -> Format.pp_print_string ppf ">="
+  | Eq -> Format.pp_print_string ppf "="
+
+let pp_edge ppf (u, v) = Format.fprintf ppf "e(%d,%d)" u v
+
+let pp ppf = function
+  | Edge_card (edges, cmp, k) ->
+      Format.fprintf ppf "@[sum{%a} %a %d@]"
+        (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ",")
+           pp_edge)
+        edges pp_cmp cmp k
+  | Linear_edges (terms, cmp, rhs) ->
+      let pp_term ppf ((u, v), w) = Format.fprintf ppf "%g*e(%d,%d)" w u v in
+      Format.fprintf ppf "@[sum{%a} %a %g@]"
+        (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ",")
+           pp_term)
+        terms pp_cmp cmp rhs
+  | Conditional_connect (ante, cons) ->
+      Format.fprintf ppf "@[or{%a} -> or{%a}@]"
+        (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ",")
+           pp_edge)
+        ante
+        (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ",")
+           pp_edge)
+        cons
+  | Usage_balance (providers, consumers) ->
+      let pp_term ppf (v, w) = Format.fprintf ppf "%g*used(%d)" w v in
+      Format.fprintf ppf "@[sum{%a} >= sum{%a}@]"
+        (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ",")
+           pp_term)
+        providers
+        (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ",")
+           pp_term)
+        consumers
+  | Require_used v -> Format.fprintf ppf "used(%d) = 1" v
+  | Usage_order vs ->
+      Format.fprintf ppf "@[used(%a) decreasing@]"
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.fprintf ppf ") >= used(")
+           Format.pp_print_int)
+        vs

@@ -1,0 +1,178 @@
+module Digraph = Netgraph.Digraph
+module Partition = Netgraph.Partition
+
+type t = {
+  components : Component.t array;
+  candidate : Digraph.t;
+  switch_costs : (int * int, float) Hashtbl.t; (* unordered key: min,max *)
+  mutable sources : int list;
+  mutable sinks : int list;
+  mutable type_names : string array option;
+  mutable chain : int list option;
+  mutable reqs_rev : Requirement.t list;
+}
+
+let create components =
+  if Array.length components = 0 then invalid_arg "Template.create: no nodes";
+  { components;
+    candidate = Digraph.create (Array.length components);
+    switch_costs = Hashtbl.create 64;
+    sources = [];
+    sinks = [];
+    type_names = None;
+    chain = None;
+    reqs_rev = [] }
+
+let node_count t = Array.length t.components
+
+let component t v =
+  if v < 0 || v >= node_count t then invalid_arg "Template.component";
+  t.components.(v)
+
+let components t = Array.copy t.components
+
+let pair_key i j = (min i j, max i j)
+
+let add_candidate_edge ?(switch_cost = 0.) t u v =
+  Digraph.add_edge t.candidate u v;
+  if not (Hashtbl.mem t.switch_costs (pair_key u v)) then
+    Hashtbl.add t.switch_costs (pair_key u v) switch_cost
+
+let add_candidate_pair ?switch_cost t u v =
+  add_candidate_edge ?switch_cost t u v;
+  add_candidate_edge ?switch_cost t v u
+
+let candidate_graph t = Digraph.copy t.candidate
+let candidate_edges t = Digraph.edges t.candidate
+let is_candidate t u v = Digraph.mem_edge t.candidate u v
+
+let switch_cost t i j =
+  match Hashtbl.find_opt t.switch_costs (pair_key i j) with
+  | Some c -> c
+  | None -> 0.
+
+let check_nodes t = List.iter (fun v -> ignore (component t v))
+
+let set_sources t vs = check_nodes t vs; t.sources <- List.sort_uniq compare vs
+let set_sinks t vs = check_nodes t vs; t.sinks <- List.sort_uniq compare vs
+let sources t = t.sources
+let sinks t = t.sinks
+
+let partition t =
+  let type_of_node = Array.map (fun c -> c.Component.type_id) t.components in
+  let names =
+    match t.type_names with
+    | Some names -> names
+    | None ->
+        (* first component of each type names it *)
+        let count =
+          Array.fold_left (fun acc ty -> max acc (ty + 1)) 0 type_of_node
+        in
+        let names = Array.make count "" in
+        Array.iteri
+          (fun v ty ->
+            if names.(ty) = "" then
+              names.(ty) <- t.components.(v).Component.name)
+          type_of_node;
+        names
+  in
+  Partition.make ~names type_of_node
+
+let set_type_names t names = t.type_names <- Some names
+
+let set_type_chain t chain =
+  let part = partition t in
+  List.iter
+    (fun ty ->
+      if ty < 0 || ty >= Partition.type_count part then
+        invalid_arg "Template.set_type_chain: unknown type")
+    chain;
+  t.chain <- Some chain
+
+let type_chain t = t.chain
+
+let add_requirement t r = t.reqs_rev <- r :: t.reqs_rev
+let requirements t = List.rev t.reqs_rev
+
+let config_of_edges t edges =
+  let g = Digraph.create (node_count t) in
+  let add (u, v) =
+    if not (is_candidate t u v) then
+      invalid_arg
+        (Printf.sprintf "Template.config_of_edges: (%d,%d) not a candidate"
+           u v);
+    Digraph.add_edge g u v
+  in
+  List.iter add edges;
+  g
+
+let used_in_config _t config = Digraph.used_nodes config
+
+let configuration_cost t config =
+  let node_cost =
+    List.fold_left
+      (fun acc v -> acc +. t.components.(v).Component.cost)
+      0. (Digraph.used_nodes config)
+  in
+  let pairs =
+    List.sort_uniq compare
+      (List.map (fun (u, v) -> pair_key u v) (Digraph.edges config))
+  in
+  let switch =
+    List.fold_left (fun acc (i, j) -> acc +. switch_cost t i j) 0. pairs
+  in
+  node_cost +. switch
+
+let expand_redundant_pairs t config =
+  let part = partition t in
+  let g = Digraph.copy config in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    let share (u, v) =
+      if Partition.same_type part u v then begin
+        let add a b =
+          if a <> b && not (Digraph.mem_edge g a b) then begin
+            Digraph.add_edge g a b;
+            changed := true
+          end
+        in
+        List.iter (fun p -> if p <> v then add p v) (Digraph.pred g u);
+        List.iter (fun p -> if p <> u then add p u) (Digraph.pred g v);
+        List.iter (fun s -> if s <> v then add v s) (Digraph.succ g u);
+        List.iter (fun s -> if s <> u then add u s) (Digraph.succ g v)
+      end
+    in
+    List.iter share (Digraph.edges g)
+  done;
+  g
+
+let validate t =
+  let ( let* ) r f = Result.bind r f in
+  let check cond msg = if cond then Ok () else Error msg in
+  let* () = check (t.sources <> []) "no sources declared" in
+  let* () = check (t.sinks <> []) "no sinks declared" in
+  let* () =
+    check
+      (List.for_all (fun s -> not (List.mem s t.sinks)) t.sources)
+      "sources and sinks overlap"
+  in
+  match t.chain with
+  | None -> Ok ()
+  | Some chain -> (
+      let part = partition t in
+      let source_types =
+        List.sort_uniq compare
+          (List.map (Partition.type_of part) t.sources)
+      and sink_types =
+        List.sort_uniq compare (List.map (Partition.type_of part) t.sinks)
+      in
+      match (chain, List.rev chain) with
+      | first :: _, last :: _ ->
+          let* () =
+            check (source_types = [ first ])
+              "type chain must start at the sources' type"
+          in
+          check (sink_types = [ last ])
+            "type chain must end at the sinks' type"
+      | [], _ | _, [] -> Error "empty type chain")

@@ -1,0 +1,186 @@
+module Digraph = Netgraph.Digraph
+module Template = Archlib.Template
+module Requirement = Archlib.Requirement
+module Model = Milp.Model
+module Lin_expr = Milp.Lin_expr
+module Bool_encode = Milp.Bool_encode
+
+type t = {
+  template : Template.t;
+  model : Model.t;
+  edges : (int * int, Model.var) Hashtbl.t;
+  deltas : Model.var option array;
+}
+
+let template t = t.template
+let model t = t.model
+
+let edge_var t u v = Hashtbl.find t.edges (u, v)
+let edge_var_opt t u v = Hashtbl.find_opt t.edges (u, v)
+
+let delta_var t v =
+  if v < 0 || v >= Array.length t.deltas then
+    invalid_arg "Gen_ilp.delta_var";
+  t.deltas.(v)
+
+let require_edge t (u, v) =
+  match edge_var_opt t u v with
+  | Some x -> x
+  | None ->
+      invalid_arg
+        (Printf.sprintf
+           "Gen_ilp: requirement references non-candidate edge (%d,%d)" u v)
+
+let require_delta t v =
+  match delta_var t v with
+  | Some x -> x
+  | None ->
+      invalid_arg
+        (Printf.sprintf
+           "Gen_ilp: requirement references isolated node %d (no candidate \
+            edges)"
+           v)
+
+let cmp_of_req = function
+  | Requirement.Le -> Model.Le
+  | Requirement.Ge -> Model.Ge
+  | Requirement.Eq -> Model.Eq
+
+let lower_requirement t index req =
+  let name = Printf.sprintf "req%d" index in
+  match req with
+  | Requirement.Edge_card (edges, cmp, k) ->
+      let expr =
+        Lin_expr.sum
+          (List.map (fun e -> Lin_expr.var (require_edge t e)) edges)
+      in
+      Model.add_constraint ~name t.model expr (cmp_of_req cmp)
+        (float_of_int k)
+  | Requirement.Linear_edges (terms, cmp, rhs) ->
+      let expr =
+        Lin_expr.of_terms
+          (List.map (fun (e, w) -> (require_edge t e, w)) terms)
+      in
+      Model.add_constraint ~name t.model expr (cmp_of_req cmp) rhs
+  | Requirement.Conditional_connect (ante, cons) ->
+      (* Eq. 3: each antecedent edge implies the disjunction of the
+         consequent edges. *)
+      let cons_vars = List.map (require_edge t) cons in
+      let imply e =
+        Bool_encode.implies_or ~name t.model (require_edge t e) cons_vars
+      in
+      List.iter imply ante
+  | Requirement.Usage_balance (providers, consumers) ->
+      let term sign (v, w) = (require_delta t v, sign *. w) in
+      let expr =
+        Lin_expr.of_terms
+          (List.map (term 1.) providers @ List.map (term (-1.)) consumers)
+      in
+      Model.add_constraint ~name t.model expr Model.Ge 0.
+  | Requirement.Require_used v ->
+      Model.fix t.model (require_delta t v) 1.
+  | Requirement.Usage_order vs ->
+      let rec chain = function
+        | a :: (b :: _ as rest) ->
+            Model.add_constraint ~name t.model
+              (Lin_expr.sub
+                 (Lin_expr.var (require_delta t a))
+                 (Lin_expr.var (require_delta t b)))
+              Model.Ge 0.;
+            chain rest
+        | [ _ ] | [] -> ()
+      in
+      chain vs
+
+let encode template =
+  let model = Model.create () in
+  let edges = Hashtbl.create 64 in
+  let cand = Template.candidate_edges template in
+  List.iter
+    (fun (u, v) ->
+      let x = Model.bool_var ~name:(Printf.sprintf "e_%d_%d" u v) model in
+      Hashtbl.add edges (u, v) x)
+    cand;
+  let n = Template.node_count template in
+  let t =
+    { template; model; edges; deltas = Array.make n None }
+  in
+  (* Usage indicators δ_v = ∨ over incident candidate edges. *)
+  let cand_graph = Template.candidate_graph template in
+  for v = 0 to n - 1 do
+    let incident =
+      List.map (fun u -> Hashtbl.find edges (u, v)) (Digraph.pred cand_graph v)
+      @ List.map (fun w -> Hashtbl.find edges (v, w))
+          (Digraph.succ cand_graph v)
+    in
+    if incident <> [] then
+      t.deltas.(v) <-
+        Some
+          (Bool_encode.or_var ~name:(Printf.sprintf "delta_%d" v) model
+             incident)
+  done;
+  (* Pair indicators for switch costs: y_{ij} = e_ij ∨ e_ji (single edge
+     pairs reuse the edge variable). *)
+  let pairs = Hashtbl.create 64 in
+  List.iter
+    (fun (u, v) ->
+      let key = (min u v, max u v) in
+      if not (Hashtbl.mem pairs key) then Hashtbl.add pairs key ())
+    cand;
+  let objective = ref Lin_expr.zero in
+  for v = 0 to n - 1 do
+    match t.deltas.(v) with
+    | None -> ()
+    | Some d ->
+        let c = (Template.component template v).Archlib.Component.cost in
+        if c <> 0. then objective := Lin_expr.add_term !objective d c
+  done;
+  let add_pair (i, j) () =
+    let cost = Template.switch_cost template i j in
+    if cost <> 0. then begin
+      let y =
+        match (Hashtbl.find_opt edges (i, j), Hashtbl.find_opt edges (j, i))
+        with
+        | Some a, Some b ->
+            Bool_encode.or_var ~name:(Printf.sprintf "sw_%d_%d" i j) model
+              [ a; b ]
+        | Some a, None | None, Some a -> a
+        | None, None -> assert false
+      in
+      objective := Lin_expr.add_term !objective y cost
+    end
+  in
+  Hashtbl.iter add_pair pairs;
+  Model.set_objective model !objective;
+  List.iteri (fun i req -> lower_requirement t i req)
+    (Template.requirements template);
+  t
+
+let config_of_solution t solution =
+  let g = Digraph.create (Template.node_count t.template) in
+  Hashtbl.iter
+    (fun (u, v) x ->
+      if Milp.Solver.solution_value solution x then Digraph.add_edge g u v)
+    t.edges;
+  g
+
+let solve ?backend ?time_limit t =
+  match Milp.Solver.solve ?backend ?time_limit t.model with
+  | Milp.Solver.Optimal { objective; solution }, stats ->
+      Some (config_of_solution t solution, objective, stats)
+  | Milp.Solver.Infeasible, _ -> None
+  | Milp.Solver.Unbounded, _ ->
+      failwith "Gen_ilp.solve: unbounded model (costs must be non-negative)"
+  | Milp.Solver.Limit_reached { incumbent = Some (objective, solution) },
+    stats ->
+      (* time-limited solve: the incumbent is feasible, possibly not proven
+         optimal — acceptable inside the synthesis loops (the paper's own
+         solver ran with a MIP tolerance); the caller sees it in the cost *)
+      Logs.warn (fun m ->
+          m "Gen_ilp.solve: time limit reached; using incumbent (cost %g)"
+            objective);
+      Some (config_of_solution t solution, objective, stats)
+  | Milp.Solver.Limit_reached { incumbent = None }, _ ->
+      failwith
+        "Gen_ilp.solve: solver resource limit reached without a feasible \
+         solution"

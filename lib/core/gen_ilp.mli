@@ -1,0 +1,42 @@
+(** [GENILP]: compile a template and its interconnection requirements into a
+    0-1 ILP over the edge decision variables (Sec. II).
+
+    The encoding owns the mapping between candidate edges and model
+    variables; ILP-MR's learned constraints and ILP-AR's reliability rows
+    are added on top of it. *)
+
+type t
+
+val encode : Archlib.Template.t -> t
+(** Build the base ILP:
+    - one Boolean [e_uv] per candidate edge;
+    - one usage indicator [δ_v = ∨ (e_uv ∨ e_vu)] per node that has
+      candidate edges (Eq. 1's node term);
+    - one pair indicator per unordered candidate pair carrying a switch
+      cost;
+    - the objective of Eq. 1;
+    - one row (or row group) per template requirement (Eqs. 2–4).
+    @raise Invalid_argument if a requirement references a non-candidate
+    edge. *)
+
+val template : t -> Archlib.Template.t
+val model : t -> Milp.Model.t
+(** The underlying model — mutable: algorithm layers extend it. *)
+
+val edge_var : t -> int -> int -> Milp.Model.var
+(** @raise Not_found if the edge is not a candidate. *)
+
+val edge_var_opt : t -> int -> int -> Milp.Model.var option
+val delta_var : t -> int -> Milp.Model.var option
+(** Usage indicator of a node ([None] for nodes with no candidate edges,
+    which can never be instantiated). *)
+
+val config_of_solution : t -> float array -> Netgraph.Digraph.t
+(** Read a configuration out of a 0-1 solution. *)
+
+val solve :
+  ?backend:Milp.Solver.backend -> ?time_limit:float -> t ->
+  (Netgraph.Digraph.t * float * Milp.Solver.run_stats) option
+(** [SOLVEILP]: minimize and extract the configuration and its objective;
+    [None] when infeasible.
+    @raise Failure on solver resource-limit outcomes. *)

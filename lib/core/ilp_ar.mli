@@ -1,0 +1,42 @@
+(** ILP with Approximate Reliability (Algorithm 3).
+
+    Compiles the reliability requirement into the ILP itself using the
+    approximate algebra of Sec. IV: per sink and component type, counting
+    indicators [x_ijk] select the degree of redundancy [h_ij = k]
+    (Eqs. 10–11, via walk indicators per Lemma 1) and the linearized Eq. 9
+
+    {[  Σ_{j,k}  k · p_j^k · x_ijk  ≤  r*_i  ]}
+
+    bounds the estimated failure probability.  One monolithic solve, no
+    exact-analysis loop; the encoding is polynomial in the template size. *)
+
+type info = {
+  approx_estimate : float;
+      (** [r~]: worst-sink estimate of Eq. 7 evaluated on the synthesized
+          configuration (−1 when unfeasible) *)
+  theorem2_bound : float;
+      (** worst-sink (smallest) guaranteed [r~/r] ratio on the result *)
+  constraint_count : int;  (** rows in the compiled model *)
+  variable_count : int;
+}
+
+val run :
+  ?backend:Milp.Solver.backend ->
+  ?engine:Reliability.Exact.engine ->
+  ?time_limit:float ->
+  Archlib.Template.t -> r_star:float -> info Synthesis.result
+(** Synthesize with the approximate-reliability encoding.  The template must
+    declare a type chain ({!Archlib.Template.set_type_chain}); per Theorem 3
+    the result is optimal up to the Theorem 2 error bound, and the exact
+    reliability reported in the architecture lets callers check the actual
+    requirement a posteriori.  [time_limit] (default 300 s) caps the
+    monolithic solve; a time-limited call falls back to the solver's best
+    incumbent.
+    @raise Invalid_argument if the template declares no type chain or a
+    type's members have differing failure probabilities. *)
+
+val compile : Archlib.Template.t -> r_star:float -> Gen_ilp.t * info
+(** [GENILP-AR] alone (setup phase): the compiled encoding and its size —
+    what Table III's setup column measures.  The info's [approx_estimate]
+    and [theorem2_bound] are meaningful only after a solve, and are [-1]
+    here. *)

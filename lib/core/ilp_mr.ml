@@ -1,0 +1,74 @@
+type iteration = {
+  index : int;
+  config : Netgraph.Digraph.t;
+  cost : float;
+  reliability : float;
+  per_sink : (int * float) list;
+  k_estimate : int option;
+  new_constraints : int;
+  solver_time : float;
+  analysis_time : float;
+}
+
+type trace = iteration list
+
+let run ?strategy ?backend ?engine ?(max_iterations = 50)
+    ?(solve_time_limit = 180.) template ~r_star =
+  let t0 = Sys.time () in
+  let enc = Gen_ilp.encode template in
+  let setup_time = Sys.time () -. t0 in
+  let learn_state = Learn_cons.init enc in
+  let solver_total = ref 0. in
+  let analysis_total = ref 0. in
+  let trace = ref [] in
+  let timing () =
+    { Synthesis.setup_time;
+      solver_time = !solver_total;
+      analysis_time = !analysis_total }
+  in
+  let rec iterate index =
+    if index > max_iterations then Synthesis.Unfeasible (List.rev !trace,
+                                                         timing ())
+    else
+      match Gen_ilp.solve ?backend ~time_limit:solve_time_limit enc with
+      | None -> Synthesis.Unfeasible (List.rev !trace, timing ())
+      | Some (config, cost, stats) ->
+          solver_total := !solver_total +. stats.Milp.Solver.elapsed;
+          let report = Rel_analysis.analyze ?engine template config in
+          analysis_total :=
+            !analysis_total +. report.Rel_analysis.elapsed;
+          let reliability = report.Rel_analysis.worst in
+          let record ~k_estimate ~new_constraints =
+            trace :=
+              { index;
+                config;
+                cost;
+                reliability;
+                per_sink = report.Rel_analysis.per_sink;
+                k_estimate;
+                new_constraints;
+                solver_time = stats.Milp.Solver.elapsed;
+                analysis_time = report.Rel_analysis.elapsed }
+              :: !trace
+          in
+          if Rel_analysis.meets report ~r_star then begin
+            record ~k_estimate:None ~new_constraints:0;
+            Synthesis.Synthesized
+              ( Synthesis.architecture template config report,
+                List.rev !trace,
+                timing () )
+          end
+          else begin
+            match
+              Learn_cons.learn ?strategy learn_state ~config ~reliability
+                ~r_star
+            with
+            | Learn_cons.Saturated ->
+                record ~k_estimate:None ~new_constraints:0;
+                Synthesis.Unfeasible (List.rev !trace, timing ())
+            | Learn_cons.Learned { k; new_constraints } ->
+                record ~k_estimate:(Some k) ~new_constraints;
+                iterate (index + 1)
+          end
+  in
+  iterate 1

@@ -1,0 +1,37 @@
+(** ILP Modulo Reliability (Algorithm 1).
+
+    Solve the interconnection-only ILP, check the candidate architecture
+    with exact reliability analysis, and — when the requirement is missed —
+    learn redundant-path constraints ({!Learn_cons}) and iterate.  Exact
+    analysis runs only on concrete configurations, a small number of times:
+    the lazy counterpart of compiling reliability into the ILP. *)
+
+type iteration = {
+  index : int;                      (** 1-based *)
+  config : Netgraph.Digraph.t;
+  cost : float;
+  reliability : float;              (** exact worst-sink failure *)
+  per_sink : (int * float) list;
+  k_estimate : int option;          (** ESTPATH's k, when learning ran *)
+  new_constraints : int;            (** constraint groups added *)
+  solver_time : float;
+  analysis_time : float;
+}
+
+type trace = iteration list
+(** Chronological. *)
+
+val run :
+  ?strategy:Learn_cons.strategy ->
+  ?backend:Milp.Solver.backend ->
+  ?engine:Reliability.Exact.engine ->
+  ?max_iterations:int ->
+  ?solve_time_limit:float ->
+  Archlib.Template.t -> r_star:float -> trace Synthesis.result
+(** Synthesize a minimum-cost architecture with worst-sink failure
+    probability at most [r*].  [strategy] defaults to
+    {!Learn_cons.Estimated}; [max_iterations] (default 50) guards
+    non-termination and reports [Unfeasible] when exhausted.
+    [solve_time_limit] (default 180 s) caps each [SOLVEILP] call; a
+    time-limited call falls back to the solver's best incumbent (feasible,
+    possibly not proven optimal — the ε tolerance of Theorem 1). *)

@@ -1,0 +1,338 @@
+module Digraph = Netgraph.Digraph
+module Bool_matrix = Netgraph.Bool_matrix
+module Partition = Netgraph.Partition
+module Paths = Netgraph.Paths
+module Template = Archlib.Template
+module Model = Milp.Model
+module Bool_encode = Milp.Bool_encode
+
+type state = {
+  enc : Gen_ilp.t;
+  candidate : Digraph.t;
+  partition : Partition.t;
+  reach : (int * int * int, Model.var option) Hashtbl.t;
+      (* (sink, depth, node) → walk-indicator var *)
+  src_reach : (int * int, Model.var option) Hashtbl.t;
+      (* (depth, node) → source-connection var *)
+  enforced : (int * int, int) Hashtbl.t;
+      (* (sink, type) → strongest target enforced so far *)
+  mutable true_var : Model.var option;
+}
+
+let init enc =
+  let template = Gen_ilp.template enc in
+  { enc;
+    candidate = Template.candidate_graph template;
+    partition = Template.partition template;
+    reach = Hashtbl.create 256;
+    src_reach = Hashtbl.create 256;
+    enforced = Hashtbl.create 32;
+    true_var = None }
+
+type strategy =
+  | Estimated
+  | Lazy_one_path
+
+type outcome =
+  | Learned of { k : int; new_constraints : int }
+  | Saturated
+
+let model st = Gen_ilp.model st.enc
+
+(* A Boolean fixed to 1 (shared), for trivially-true indicators. *)
+let true_var st =
+  match st.true_var with
+  | Some x -> x
+  | None ->
+      let x = Model.bool_var ~name:"const_true" (model st) in
+      Model.fix (model st) x 1.;
+      st.true_var <- Some x;
+      x
+
+(* Walk indicator to [sink]:
+     reach(w, 1)   = e_{w,sink}
+     reach(w, d)   = e_{w,sink} ∨ ∨_{m ∈ succ(w), m ≠ sink}
+                                     (e_{w,m} ∧ reach(m, d-1)) *)
+let rec reach_var st ~sink ~depth w =
+  if depth <= 0 || w = sink then None
+  else begin
+    let key = (sink, depth, w) in
+    match Hashtbl.find_opt st.reach key with
+    | Some v -> v
+    | None ->
+        (* insert a placeholder to cut recursion on cyclic candidates: a
+           walk that revisits w within the same unrolling is dominated *)
+        Hashtbl.add st.reach key None;
+        let direct =
+          Option.to_list (Gen_ilp.edge_var_opt st.enc w sink)
+        in
+        let via m =
+          if m = sink then None
+          else
+            match reach_var st ~sink ~depth:(depth - 1) m with
+            | None -> None
+            | Some r ->
+                let e = Gen_ilp.edge_var st.enc w m in
+                Some
+                  (Bool_encode.and_var
+                     ~name:(Printf.sprintf "step_%d_%d_d%d" w m depth)
+                     (model st) [ e; r ])
+        in
+        let hops = List.filter_map via (Digraph.succ st.candidate w) in
+        let v =
+          match direct @ hops with
+          | [] -> None
+          | [ x ] -> Some x
+          | xs ->
+              Some
+                (Bool_encode.or_var
+                   ~name:(Printf.sprintf "reach_%d_to_%d_d%d" w sink depth)
+                   (model st) xs)
+        in
+        Hashtbl.replace st.reach key v;
+        v
+  end
+
+let is_source st w = List.mem w (Template.sources (Gen_ilp.template st.enc))
+
+(* Source connection: src(w, d) = w is a source, or some predecessor
+   connected at depth d-1 feeds w. *)
+let rec source_connection_var st ~depth w =
+  if is_source st w then Some (true_var st)
+  else if depth <= 0 then None
+  else begin
+    let key = (depth, w) in
+    match Hashtbl.find_opt st.src_reach key with
+    | Some v -> v
+    | None ->
+        Hashtbl.add st.src_reach key None;
+        let via p =
+          let e = Gen_ilp.edge_var st.enc p w in
+          if is_source st p then Some e
+          else
+            match source_connection_var st ~depth:(depth - 1) p with
+            | None -> None
+            | Some r ->
+                Some
+                  (Bool_encode.and_var
+                     ~name:(Printf.sprintf "src_step_%d_%d_d%d" p w depth)
+                     (model st) [ e; r ])
+        in
+        let feeds = List.filter_map via (Digraph.pred st.candidate w) in
+        let v =
+          match feeds with
+          | [] -> None
+          | [ x ] -> Some x
+          | xs ->
+              Some
+                (Bool_encode.or_var
+                   ~name:(Printf.sprintf "src_%d_d%d" w depth)
+                   (model st) xs)
+        in
+        Hashtbl.replace st.src_reach key v;
+        v
+  end
+
+(* Chain position (1-based) of each type, or None when no chain is set. *)
+let chain_position st ty =
+  match Template.type_chain (Gen_ilp.template st.enc) with
+  | None -> None
+  | Some chain ->
+      let rec find i = function
+        | [] -> None
+        | t :: rest -> if t = ty then Some i else find (i + 1) rest
+      in
+      find 1 chain
+
+let chain_length st =
+  match Template.type_chain (Gen_ilp.template st.enc) with
+  | None -> Partition.type_count st.partition
+  | Some chain -> List.length chain
+
+(* Depth of the Eq. 6 walk indicator for a type.  On a layered reduced-path
+   template the walk from a type at chain position i to a sink crosses
+   exactly n - i edges, so the indicator only needs that depth (the paper
+   uses n - i + 1; the tighter unrolling encodes the same walks on layered
+   candidates and keeps the deepest layer's indicators equal to plain edge
+   variables).  Without a declared chain, fall back to the node count. *)
+let depth_for st ty =
+  match chain_position st ty with
+  | Some i -> max 1 (chain_length st - i)
+  | None -> Digraph.node_count st.candidate
+
+(* Number of components of type [ty] with a walk (of the type's depth) to
+   the sink in the current configuration: Σ_{w ∈ Π_i} η*[w, v]. *)
+let current_count st config ~sink ty =
+  let eta =
+    Bool_matrix.walk_indicator (Bool_matrix.of_graph config) (depth_for st ty)
+  in
+  List.length
+    (List.filter
+       (fun w -> w <> sink && Bool_matrix.get eta w sink)
+       (Partition.members st.partition ty))
+
+(* ADDPATH: enforce ≥ target components of [ty] with a path to [sink].
+   Returns true when a (strictly stronger than before) row was added. *)
+let add_path st ~sink ty ~target =
+  let members =
+    List.filter (fun w -> w <> sink) (Partition.members st.partition ty)
+  in
+  let capacity = List.length members in
+  let target = min target capacity in
+  let key = (sink, ty) in
+  let previous =
+    Option.value (Hashtbl.find_opt st.enforced key) ~default:0
+  in
+  if target <= previous then false
+  else begin
+    let depth = depth_for st ty in
+    let indicators =
+      List.filter_map (fun w -> reach_var st ~sink ~depth w) members
+    in
+    (* when the template cannot host the full target, enforce the maximum
+       available number of connected components instead *)
+    let target = min target (List.length indicators) in
+    if target <= previous then false
+    else begin
+      Bool_encode.at_least_k
+        ~name:(Printf.sprintf "addpath_s%d_t%d_k%d" sink ty target)
+        (model st) indicators target;
+      (* valid usage cut: a component connected to the sink is instantiated,
+         so at least [target] components of the type must be used — stated
+         directly over the cost-bearing δ variables, which lets the solver's
+         objective bound prune without unrolling the walk indicators *)
+      let deltas =
+        List.filter_map (fun w -> Gen_ilp.delta_var st.enc w) members
+      in
+      if List.length deltas >= target then
+        Bool_encode.at_least_k
+          ~name:(Printf.sprintf "usecut_s%d_t%d_k%d" sink ty target)
+          (model st) deltas target;
+      (* valid first-edge cut: the [target] connected components each start
+         their walk to the sink with an outgoing edge of their own, and
+         distinct components own distinct edges *)
+      let out_edges =
+        List.concat_map
+          (fun w ->
+            List.filter_map
+              (fun m -> Gen_ilp.edge_var_opt st.enc w m)
+              (Digraph.succ st.candidate w))
+          members
+      in
+      if List.length out_edges >= target then
+        Bool_encode.at_least_k
+          ~name:(Printf.sprintf "edgecut_s%d_t%d_k%d" sink ty target)
+          (model st) out_edges target;
+      Hashtbl.replace st.enforced key target;
+      true
+    end
+  end
+
+(* Types eligible for ADDPATH at a sink: every failing type except the
+   sink's own, ordered closest-to-the-sink first (T_{n-1}, …, T_1) when a
+   chain is declared.  Perfect types are skipped: extra redundancy there
+   cannot change any failure probability, only the cost. *)
+let eligible_types st ~sink =
+  let template = Gen_ilp.template st.enc in
+  let sink_ty = Partition.type_of st.partition sink in
+  let type_fails ty =
+    List.exists
+      (fun w ->
+        (Template.component template w).Archlib.Component.fail_prob > 0.)
+      (Partition.members st.partition ty)
+  in
+  let eligible ty = ty <> sink_ty && type_fails ty in
+  match Template.type_chain template with
+  | Some chain -> List.rev (List.filter eligible chain)
+  | None ->
+      List.filter eligible
+        (List.init (Partition.type_count st.partition) Fun.id)
+
+(* FINDMINREDTYPE: unsaturated types ordered by fewest connected
+   components first (eligibility already excludes perfect types). *)
+let min_red_types st config ~sink =
+  let candidates =
+    List.filter_map
+      (fun ty ->
+        let members =
+          List.filter (fun w -> w <> sink)
+            (Partition.members st.partition ty)
+        in
+        let count = current_count st config ~sink ty in
+        let enforced =
+          Option.value (Hashtbl.find_opt st.enforced (sink, ty)) ~default:0
+        in
+        if count < List.length members && enforced < List.length members
+        then Some (ty, count)
+        else None)
+      (eligible_types st ~sink)
+  in
+  List.map fst
+    (List.stable_sort (fun (_, a) (_, b) -> compare a b) candidates)
+
+(* ESTPATH: k = ⌊ log(r*/r) / log ρ ⌋ with ρ the failure probability of the
+   most reliable source→sink path of the worst sink in the current
+   configuration (candidate graph as fallback when the sink is cut off). *)
+let est_path st ~config ~reliability ~r_star =
+  let template = Gen_ilp.template st.enc in
+  let net = Rel_analysis.fail_model_of_config template config in
+  let sources = Template.sources template in
+  let best_path_failure sink =
+    let graph_paths g =
+      Paths.simple_paths ~max_count:5000 g ~sources ~sink
+    in
+    let paths =
+      match graph_paths (Reliability.Fail_model.graph net) with
+      | [] -> graph_paths st.candidate
+      | ps -> ps
+    in
+    List.fold_left
+      (fun acc p ->
+        Float.min acc (Reliability.Fail_model.path_failure_probability net p))
+      1. paths
+  in
+  let rho =
+    List.fold_left
+      (fun acc sink -> Float.max acc (best_path_failure sink))
+      0.
+      (Template.sinks template)
+  in
+  if r_star >= reliability then 0
+  else if rho <= 0. || rho >= 1. then 0
+  else begin
+    let k = Float.to_int (log (r_star /. reliability) /. log rho) in
+    max 0 k
+  end
+
+let learn ?(strategy = Estimated) st ~config ~reliability ~r_star =
+  let template = Gen_ilp.template st.enc in
+  let sinks = Template.sinks template in
+  let k =
+    match strategy with
+    | Lazy_one_path -> 0
+    | Estimated -> est_path st ~config ~reliability ~r_star
+  in
+  let added = ref 0 in
+  let per_sink sink =
+    if k >= 1 then begin
+      let per_type ty =
+        let current = current_count st config ~sink ty in
+        if add_path st ~sink ty ~target:(current + k) then incr added
+      in
+      List.iter per_type (eligible_types st ~sink)
+    end
+    else begin
+      (* one more path towards the least redundant type that still accepts
+         a strengthening *)
+      let try_type done_ ty =
+        done_
+        ||
+        let current = current_count st config ~sink ty in
+        add_path st ~sink ty ~target:(current + 1)
+      in
+      if List.fold_left try_type false (min_red_types st config ~sink) then
+        incr added
+    end
+  in
+  List.iter per_sink sinks;
+  if !added = 0 then Saturated else Learned { k; new_constraints = !added }

@@ -1,0 +1,51 @@
+(** [LEARNCONS] (Algorithm 2): turn a failed reliability analysis into new
+    interconnection constraints.
+
+    [ESTPATH] estimates how many additional redundant paths [k] are needed
+    ([k = ⌊log(r*/r)/log ρ⌋], ρ the failure probability of a single path —
+    a conservative estimate since real paths are not independent).
+    [ADDPATH] then enforces, per sink and component type, at least [k] more
+    components of the type with a path to the sink, through linearized
+    walk-indicator constraints (Eq. 6 / Lemma 1).  [FINDMINREDTYPE] picks
+    the least-redundant type when [k = 0].
+
+    The state memoizes the walk-indicator variables so repeated iterations
+    share the encoding, and remembers enforced targets so a run can detect
+    saturation ([UNFEASIBLE]: no further path can be added). *)
+
+type state
+
+val init : Gen_ilp.t -> state
+(** Attach to an encoding.  Constraints learned later are added to the
+    encoding's model. *)
+
+type strategy =
+  | Estimated  (** full Algorithm 2, driven by [ESTPATH] *)
+  | Lazy_one_path
+      (** the Table II baseline: one extra path per sink per iteration,
+          towards a minimally redundant type *)
+
+type outcome =
+  | Learned of { k : int; new_constraints : int }
+  | Saturated  (** nothing left to enforce: ILP-MR must report UNFEASIBLE *)
+
+val learn :
+  ?strategy:strategy -> state -> config:Netgraph.Digraph.t ->
+  reliability:float -> r_star:float -> outcome
+
+val est_path :
+  state -> config:Netgraph.Digraph.t -> reliability:float ->
+  r_star:float -> int
+(** Exposed for inspection/testing: the [k] of [ESTPATH]. *)
+
+val reach_var :
+  state -> sink:int -> depth:int -> int -> Milp.Model.var option
+(** The walk-indicator variable η[w → sink, ≤ depth] over the decision
+    variables, building the encoding on first use.  [None] means no such
+    walk exists in the candidate graph (constant false).  Also used by the
+    ILP-AR encoder. *)
+
+val source_connection_var :
+  state -> depth:int -> int -> Milp.Model.var option
+(** Indicator "some source reaches [w] by a walk of length ≤ depth" (a
+    source itself is [Some] of a variable fixed to 1). *)

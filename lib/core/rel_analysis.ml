@@ -1,0 +1,29 @@
+module Template = Archlib.Template
+
+type report = {
+  per_sink : (int * float) list;
+  worst : float;
+  elapsed : float;
+}
+
+let fail_model_of_config template config =
+  let expanded = Template.expand_redundant_pairs template config in
+  let node_fail =
+    Array.init (Template.node_count template) (fun v ->
+        (Template.component template v).Archlib.Component.fail_prob)
+  in
+  Reliability.Fail_model.make expanded
+    ~sources:(Template.sources template)
+    ~node_fail
+
+let analyze ?engine template config =
+  let t0 = Sys.time () in
+  let net = fail_model_of_config template config in
+  let per_sink =
+    Reliability.Exact.all_sink_failures ?engine net
+      ~sinks:(Template.sinks template)
+  in
+  let worst = List.fold_left (fun acc (_, r) -> Float.max acc r) 0. per_sink in
+  { per_sink; worst; elapsed = Sys.time () -. t0 }
+
+let meets report ~r_star = report.worst <= r_star +. 1e-15

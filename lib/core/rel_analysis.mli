@@ -1,0 +1,25 @@
+(** [RELANALYSIS]: exact reliability of a configuration (Sec. III).
+
+    Builds the failure model of a configuration (after expanding redundant
+    same-type pairs) and computes each sink's exact failure probability with
+    one of the {!Reliability.Exact} engines. *)
+
+type report = {
+  per_sink : (int * float) list; (** sink node, exact failure probability *)
+  worst : float;                 (** the paper's single figure [r] *)
+  elapsed : float;               (** seconds spent in analysis *)
+}
+
+val fail_model_of_config :
+  Archlib.Template.t -> Netgraph.Digraph.t -> Reliability.Fail_model.t
+(** Failure model over the configuration's expanded graph: node failure
+    probabilities from the components, perfect interconnections, sources
+    from the template. *)
+
+val analyze :
+  ?engine:Reliability.Exact.engine ->
+  Archlib.Template.t -> Netgraph.Digraph.t -> report
+(** Exact [r] for every template sink.  An unreachable sink has [r = 1]. *)
+
+val meets : report -> r_star:float -> bool
+(** [worst ≤ r*] (within 1e-15 absolute slack). *)

@@ -1,0 +1,45 @@
+module Digraph = Netgraph.Digraph
+module Template = Archlib.Template
+
+type architecture = {
+  config : Digraph.t;
+  cost : float;
+  reliability : float;
+  per_sink : (int * float) list;
+}
+
+type timing = {
+  setup_time : float;
+  solver_time : float;
+  analysis_time : float;
+}
+
+type 'trace result =
+  | Synthesized of architecture * 'trace * timing
+  | Unfeasible of 'trace * timing
+
+let architecture template config (report : Rel_analysis.report) =
+  { config;
+    cost = Template.configuration_cost template config;
+    reliability = report.Rel_analysis.worst;
+    per_sink = report.Rel_analysis.per_sink }
+
+let pp_architecture template ppf arch =
+  let name v = (Template.component template v).Archlib.Component.name in
+  Format.fprintf ppf "@[<v>cost: %g@,worst failure probability: %.3e@,"
+    arch.cost arch.reliability;
+  Format.fprintf ppf "components: %a@,"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+       (fun ppf v -> Format.pp_print_string ppf (name v)))
+    (Digraph.used_nodes arch.config);
+  Format.fprintf ppf "edges: %a@,"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+       (fun ppf (u, v) -> Format.fprintf ppf "%s->%s" (name u) (name v)))
+    (Digraph.edges arch.config);
+  Format.fprintf ppf "per-sink failure: %a@]"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+       (fun ppf (s, r) -> Format.fprintf ppf "%s=%.3e" (name s) r))
+    arch.per_sink

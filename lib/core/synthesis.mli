@@ -1,0 +1,26 @@
+(** Shared result types and reports for the synthesis algorithms. *)
+
+type architecture = {
+  config : Netgraph.Digraph.t;   (** selected edges over the template *)
+  cost : float;                  (** Eq. 1 value *)
+  reliability : float;           (** exact worst-sink failure probability *)
+  per_sink : (int * float) list;
+}
+
+type timing = {
+  setup_time : float;     (** problem generation *)
+  solver_time : float;    (** total time inside SOLVEILP *)
+  analysis_time : float;  (** total time inside RELANALYSIS *)
+}
+
+type 'trace result =
+  | Synthesized of architecture * 'trace * timing
+  | Unfeasible of 'trace * timing
+
+val architecture :
+  Archlib.Template.t -> Netgraph.Digraph.t -> Rel_analysis.report ->
+  architecture
+
+val pp_architecture :
+  Archlib.Template.t -> Format.formatter -> architecture -> unit
+(** Human-readable report: cost, reliability, used components, edges. *)

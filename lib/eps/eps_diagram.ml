@@ -1,0 +1,38 @@
+module Digraph = Netgraph.Digraph
+module Template = Archlib.Template
+
+let name instance v =
+  (Template.component instance.Eps_template.template v).Archlib.Component.name
+
+let render instance config =
+  let buf = Buffer.create 512 in
+  let used = Array.make (Digraph.node_count config) false in
+  List.iter (fun v -> used.(v) <- true) (Digraph.used_nodes config);
+  let layer title nodes =
+    let line v =
+      if used.(v) then begin
+        let feeds =
+          List.map (fun w -> name instance w) (Digraph.succ config v)
+        in
+        Buffer.add_string buf
+          (Printf.sprintf "  %-5s" (name instance v));
+        if feeds <> [] then
+          Buffer.add_string buf
+            (" =||= " ^ String.concat "  =||= " feeds);
+        Buffer.add_char buf '\n'
+      end
+    in
+    let any_used = Array.exists (fun v -> used.(v)) nodes in
+    if any_used then begin
+      Buffer.add_string buf (title ^ "\n");
+      Array.iter line nodes
+    end
+  in
+  layer "GEN" instance.Eps_template.generators;
+  layer "AC BUS" instance.Eps_template.ac_buses;
+  layer "TRU" instance.Eps_template.rectifiers;
+  layer "DC BUS" instance.Eps_template.dc_buses;
+  layer "LOAD" instance.Eps_template.loads;
+  Buffer.contents buf
+
+let print instance config = print_string (render instance config)

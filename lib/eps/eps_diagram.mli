@@ -1,0 +1,10 @@
+(** ASCII single-line diagram of a synthesized EPS architecture
+    (the textual cousin of Fig. 1c: contactors drawn as [=||=]). *)
+
+val render : Eps_template.instance -> Netgraph.Digraph.t -> string
+(** Layer-by-layer rendering of a configuration: each used component
+    followed by its contactor connections into the next layer.  Unused
+    components are omitted. *)
+
+val print : Eps_template.instance -> Netgraph.Digraph.t -> unit
+(** [render] to stdout. *)

@@ -1,0 +1,39 @@
+let gen = 0
+let ac_bus = 1
+let rectifier = 2
+let dc_bus = 3
+let load = 4
+
+let component_fail_prob = 2e-4
+let contactor_cost = 1000.
+let bus_cost = 2000.
+
+let library =
+  Archlib.Library.make ~switch_cost:contactor_cost
+    [ { Archlib.Library.type_name = "GEN"; cost = 0.;
+        fail_prob = component_fail_prob };
+      { type_name = "ACB"; cost = bus_cost; fail_prob = component_fail_prob };
+      { type_name = "TRU"; cost = bus_cost; fail_prob = component_fail_prob };
+      { type_name = "DCB"; cost = bus_cost; fail_prob = 0. };
+      { type_name = "LOAD"; cost = 0.; fail_prob = 0. } ]
+
+let generator_ratings = [| 70.; 50.; 80.; 30.; 100. |]
+let generator_names = [| "LG1"; "LG2"; "RG1"; "RG2"; "APU" |]
+let load_demands = [| 30.; 10.; 10.; 20. |]
+let load_names = [| "LL1"; "LL2"; "RL1"; "RL2" |]
+
+let generator ~name ~rating =
+  Archlib.Library.instantiate library ~type_id:gen ~name
+    ~cost:(rating /. 10.) ~capacity:rating
+
+let make_ac_bus ~name =
+  Archlib.Library.instantiate library ~type_id:ac_bus ~name ~capacity:200.
+
+let make_rectifier ~name =
+  Archlib.Library.instantiate library ~type_id:rectifier ~name ~capacity:200.
+
+let make_dc_bus ~name =
+  Archlib.Library.instantiate library ~type_id:dc_bus ~name ~capacity:200.
+
+let make_load ~name ~demand =
+  Archlib.Library.instantiate library ~type_id:load ~name ~capacity:demand

@@ -1,0 +1,44 @@
+(** The aircraft EPS platform library — Table I of the paper.
+
+    Component types: generators (including the APU), AC buses, rectifier
+    units (TRU), DC buses, loads.  Generators cost [g/10] for a rating of
+    [g] kW; buses and rectifiers cost 2000; contactors (switches) 1000.
+    Generators, AC buses and rectifiers fail with probability [2·10⁻⁴];
+    DC buses and loads are treated as perfect — the assignment consistent
+    with every reliability figure quoted in the paper (e.g. Fig. 3:
+    [r~ = 6·10⁻⁴ = 3p], [2.4·10⁻⁷ = 3·2p²], [7.2·10⁻¹¹ = 3·3p³]). *)
+
+(** Type ids, in chain order. *)
+val gen : int
+val ac_bus : int
+val rectifier : int
+val dc_bus : int
+val load : int
+
+val library : Archlib.Library.t
+
+val component_fail_prob : float
+(** [2e-4]. *)
+
+val contactor_cost : float
+(** 1000. *)
+
+val bus_cost : float
+(** 2000 (AC and DC buses, and rectifiers). *)
+
+val generator_ratings : float array
+(** Table I: LG1 70, LG2 50, RG1 80, RG2 30, APU 100 (kW). *)
+
+val generator_names : string array
+val load_demands : float array
+(** Table I: LL1 30, LL2 10, RL1 10, RL2 20 (kW). *)
+
+val load_names : string array
+
+val generator : name:string -> rating:float -> Archlib.Component.t
+(** A generator priced [rating/10] with capacity [rating]. *)
+
+val make_ac_bus : name:string -> Archlib.Component.t
+val make_rectifier : name:string -> Archlib.Component.t
+val make_dc_bus : name:string -> Archlib.Component.t
+val make_load : name:string -> demand:float -> Archlib.Component.t

@@ -1,0 +1,67 @@
+module Template = Archlib.Template
+module Requirement = Archlib.Requirement
+module Component = Archlib.Component
+
+let capacity template v = (Template.component template v).Component.capacity
+
+(* "if [node] powers any consumer, it must be powered by some supplier" —
+   the Eq. 3 pattern with an outgoing antecedent. *)
+let powered_if_powering template ~node ~consumers ~suppliers =
+  let ante = List.map (fun c -> (node, c)) (Array.to_list consumers) in
+  let cons = List.map (fun s -> (s, node)) (Array.to_list suppliers) in
+  Template.add_requirement template (Requirement.Conditional_connect (ante, cons))
+
+let install template ~generators ~ac_buses ~rectifiers ~dc_buses ~loads =
+  let add = Template.add_requirement template in
+  (* Essential loads: instantiated, fed by at least one DC bus. *)
+  Array.iter
+    (fun l ->
+      add (Requirement.require_powered l);
+      add
+        (Requirement.at_least_incoming ~to_:l ~from_:(Array.to_list dc_buses)
+           1))
+    loads;
+  (* Rectifiers: at most one AC feed; fed when feeding. *)
+  Array.iter
+    (fun r ->
+      add
+        (Requirement.at_most_incoming ~to_:r ~from_:(Array.to_list ac_buses)
+           1);
+      powered_if_powering template ~node:r ~consumers:dc_buses
+        ~suppliers:ac_buses)
+    rectifiers;
+  (* AC buses: fed by a generator when feeding rectifiers. *)
+  Array.iter
+    (fun b ->
+      powered_if_powering template ~node:b ~consumers:rectifiers
+        ~suppliers:generators)
+    ac_buses;
+  (* DC buses: fed by a rectifier when feeding loads, and power-balanced
+     (Eq. 4). *)
+  Array.iter
+    (fun d ->
+      powered_if_powering template ~node:d ~consumers:loads
+        ~suppliers:rectifiers;
+      add
+        (Requirement.node_balance ~node:d
+           ~supply:
+             (List.map (fun r -> (r, capacity template r))
+                (Array.to_list rectifiers))
+           ~demand:
+             (List.map (fun l -> (l, capacity template l))
+                (Array.to_list loads))))
+    dc_buses;
+  (* Interchangeable buses and rectifiers: canonical instantiation order
+     (symmetry breaking; preserves the optimum). *)
+  List.iter
+    (fun layer -> add (Requirement.use_in_order (Array.to_list layer)))
+    [ ac_buses; rectifiers; dc_buses ];
+  (* Fleet-level power flow: connected generation covers connected demand. *)
+  add
+    (Requirement.supply_covers_demand
+       ~providers:
+         (List.map (fun g -> (g, capacity template g))
+            (Array.to_list generators))
+       ~consumers:
+         (List.map (fun l -> (l, capacity template l))
+            (Array.to_list loads)))

@@ -1,0 +1,25 @@
+(** EPS interconnection and power-flow requirements (Sec. V):
+
+    - every load is essential: it must be instantiated and fed by at least
+      one DC bus (Eq. 2 family);
+    - a rectifier is fed by {e at most one} AC bus ("directly connected to
+      only one AC bus"), and must be fed whenever it feeds a DC bus
+      (Eq. 3);
+    - an AC bus feeding rectifiers must be fed by some generator (Eq. 3);
+    - a DC bus feeding loads must be fed by some rectifier (Eq. 3);
+    - per-DC-bus power balance: attached load demand within the feeding
+      rectifiers' capacity (Eq. 4);
+    - fleet-level balance: connected generator ratings cover connected load
+      demands (power-flow requirement over usage indicators).
+
+    [install] is called by {!Eps_template.base} and {!Eps_template.make};
+    it is exposed for custom-built layered instances. *)
+
+val install :
+  Archlib.Template.t ->
+  generators:int array ->
+  ac_buses:int array ->
+  rectifiers:int array ->
+  dc_buses:int array ->
+  loads:int array ->
+  unit

@@ -1,0 +1,130 @@
+module Template = Archlib.Template
+module Component = Archlib.Component
+
+type instance = {
+  template : Template.t;
+  generators : int array;
+  ac_buses : int array;
+  rectifiers : int array;
+  dc_buses : int array;
+  loads : int array;
+}
+
+(* Assemble the layered template from per-layer component lists: full
+   bipartite candidate sets between consecutive layers, every candidate
+   edge guarded by a contactor. *)
+let assemble ~gens ~acs ~trus ~dcs ~lds =
+  let components = Array.of_list (gens @ acs @ trus @ dcs @ lds) in
+  let template = Template.create components in
+  let offsets =
+    let acc = ref 0 in
+    List.map
+      (fun layer ->
+        let ids = Array.init (List.length layer) (fun i -> !acc + i) in
+        acc := !acc + List.length layer;
+        ids)
+      [ gens; acs; trus; dcs; lds ]
+  in
+  match offsets with
+  | [ generators; ac_buses; rectifiers; dc_buses; loads ] ->
+      let connect_layers from_layer to_layer =
+        Array.iter
+          (fun u ->
+            Array.iter
+              (fun v ->
+                Template.add_candidate_edge
+                  ~switch_cost:Eps_library.contactor_cost template u v)
+              to_layer)
+          from_layer
+      in
+      connect_layers generators ac_buses;
+      connect_layers ac_buses rectifiers;
+      connect_layers rectifiers dc_buses;
+      connect_layers dc_buses loads;
+      Template.set_sources template (Array.to_list generators);
+      Template.set_sinks template (Array.to_list loads);
+      Template.set_type_names template
+        (Archlib.Library.type_names Eps_library.library);
+      Template.set_type_chain template
+        [ Eps_library.gen; Eps_library.ac_bus; Eps_library.rectifier;
+          Eps_library.dc_bus; Eps_library.load ];
+      let instance =
+        { template; generators; ac_buses; rectifiers; dc_buses; loads }
+      in
+      Eps_requirements.install template ~generators ~ac_buses ~rectifiers
+        ~dc_buses ~loads;
+      instance
+  | _ -> assert false
+
+let base () =
+  let gens =
+    List.init (Array.length Eps_library.generator_names) (fun i ->
+        Eps_library.generator
+          ~name:Eps_library.generator_names.(i)
+          ~rating:Eps_library.generator_ratings.(i))
+  in
+  let acs =
+    List.init 4 (fun i ->
+        Eps_library.make_ac_bus ~name:(Printf.sprintf "AB%d" (i + 1)))
+  in
+  let trus =
+    List.init 4 (fun i ->
+        Eps_library.make_rectifier ~name:(Printf.sprintf "TRU%d" (i + 1)))
+  in
+  let dcs =
+    List.init 4 (fun i ->
+        Eps_library.make_dc_bus ~name:(Printf.sprintf "DB%d" (i + 1)))
+  in
+  let lds =
+    List.init (Array.length Eps_library.load_names) (fun i ->
+        Eps_library.make_load
+          ~name:Eps_library.load_names.(i)
+          ~demand:Eps_library.load_demands.(i))
+  in
+  assemble ~gens ~acs ~trus ~dcs ~lds
+
+let make ~generators:g =
+  if g < 1 then invalid_arg "Eps_template.make: need at least one generator";
+  let cycle arr i = arr.(i mod Array.length arr) in
+  let gens =
+    List.init g (fun i ->
+        Eps_library.generator
+          ~name:(Printf.sprintf "G%d" (i + 1))
+          ~rating:(cycle Eps_library.generator_ratings i))
+  in
+  (* Scale demands so any single generator family subset can cover them:
+     total demand is capped at the smallest generator rating. *)
+  let total_supply =
+    List.fold_left (fun acc c -> acc +. c.Component.capacity) 0. gens
+  in
+  let raw_demands = Array.init g (fun i -> cycle Eps_library.load_demands i) in
+  let raw_total = Array.fold_left ( +. ) 0. raw_demands in
+  let scale = Float.min 1. (0.8 *. total_supply /. raw_total) in
+  let lds =
+    List.init g (fun i ->
+        Eps_library.make_load
+          ~name:(Printf.sprintf "L%d" (i + 1))
+          ~demand:(raw_demands.(i) *. scale))
+  in
+  let acs =
+    List.init g (fun i ->
+        Eps_library.make_ac_bus ~name:(Printf.sprintf "AB%d" (i + 1)))
+  in
+  let trus =
+    List.init g (fun i ->
+        Eps_library.make_rectifier ~name:(Printf.sprintf "TRU%d" (i + 1)))
+  in
+  let dcs =
+    List.init g (fun i ->
+        Eps_library.make_dc_bus ~name:(Printf.sprintf "DB%d" (i + 1)))
+  in
+  assemble ~gens ~acs ~trus ~dcs ~lds
+
+let layer_of instance v =
+  let in_layer arr = Array.exists (fun x -> x = v) arr in
+  if in_layer instance.generators then "GEN"
+  else if in_layer instance.ac_buses then "ACB"
+  else if in_layer instance.rectifiers then "TRU"
+  else if in_layer instance.dc_buses then "DCB"
+  else if in_layer instance.loads then "LOAD"
+  else invalid_arg "Eps_template.layer_of: unknown node"

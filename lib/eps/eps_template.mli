@@ -1,0 +1,35 @@
+(** Aircraft EPS architecture templates (Sec. V).
+
+    Layered reduced-path templates over the Table I library: generators
+    (with the APU) feed AC buses, AC buses feed rectifier units, rectifiers
+    feed DC buses, DC buses feed the essential loads.  Every inter-layer
+    connection is a candidate edge guarded by a contactor; the layered type
+    chain GEN → ACB → TRU → DCB → LOAD is declared for ILP-AR and
+    LEARNCONS. *)
+
+type instance = {
+  template : Archlib.Template.t;
+  generators : int array;  (** node ids per layer *)
+  ac_buses : int array;
+  rectifiers : int array;
+  dc_buses : int array;
+  loads : int array;
+}
+
+val base : unit -> instance
+(** The paper's design example: the five Table I generators (LG1, LG2, RG1,
+    RG2, APU), four AC buses, four rectifiers, four DC buses and the four
+    Table I loads — 21 nodes, enough slots for the redundancy degrees the
+    reliability requirements of Figs. 2–3 demand.  Requirements are already
+    installed ({!Eps_requirements.install}). *)
+
+val make : generators:int -> instance
+(** The scaling family of Tables II–III: [g] components of every type,
+    [|V| = 5·g] ([g = 4, 6, 8, 10] → 20, 30, 40, 50 nodes).  Generator
+    ratings and load demands cycle through the Table I values (demands are
+    rescaled so total supply always covers total demand).  Requirements
+    installed.
+    @raise Invalid_argument if [generators < 1]. *)
+
+val layer_of : instance -> int -> string
+(** Layer name of a node ("GEN", "ACB", "TRU", "DCB", "LOAD"). *)

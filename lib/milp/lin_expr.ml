@@ -1,0 +1,90 @@
+module Imap = Map.Make (Int)
+
+type t = { terms : float Imap.t; constant : float }
+
+let zero = { terms = Imap.empty; constant = 0. }
+let const c = { terms = Imap.empty; constant = c }
+
+let check_var x =
+  if x < 0 then invalid_arg "Lin_expr: negative variable index"
+
+let var ?(coef = 1.) x =
+  check_var x;
+  if coef = 0. then zero else { terms = Imap.singleton x coef; constant = 0. }
+
+let add_coef a b =
+  let s = a +. b in
+  if s = 0. then None else Some s
+
+let add_term e x a =
+  check_var x;
+  if a = 0. then e
+  else
+    let merge = function None -> Some a | Some b -> add_coef a b in
+    { e with terms = Imap.update x merge e.terms }
+
+let add e1 e2 =
+  let merge _ a b =
+    match (a, b) with
+    | Some a, Some b -> add_coef a b
+    | (Some _ as v), None | None, (Some _ as v) -> v
+    | None, None -> None
+  in
+  { terms = Imap.merge merge e1.terms e2.terms;
+    constant = e1.constant +. e2.constant }
+
+let scale k e =
+  if k = 0. then zero
+  else { terms = Imap.map (fun a -> k *. a) e.terms;
+         constant = k *. e.constant }
+
+let neg e = scale (-1.) e
+let sub e1 e2 = add e1 (neg e2)
+let sum es = List.fold_left add zero es
+
+let of_terms ?(constant = 0.) pairs =
+  List.fold_left (fun e (x, a) -> add_term e x a)
+    (const constant) pairs
+
+let complement x = add_term (const 1.) x (-1.)
+
+let coef e x = match Imap.find_opt x e.terms with Some a -> a | None -> 0.
+let constant e = e.constant
+let terms e = Imap.bindings e.terms
+let term_count e = Imap.cardinal e.terms
+let is_constant e = Imap.is_empty e.terms
+
+let eval e value =
+  Imap.fold (fun x a acc -> acc +. (a *. value x)) e.terms e.constant
+
+let vars e = List.map fst (terms e)
+
+let map_vars f e =
+  let add_mapped x a acc =
+    let y = f x in
+    check_var y;
+    if Imap.mem y acc then invalid_arg "Lin_expr.map_vars: not injective";
+    Imap.add y a acc
+  in
+  { e with terms = Imap.fold add_mapped e.terms Imap.empty }
+
+let equal e1 e2 =
+  e1.constant = e2.constant && Imap.equal Float.equal e1.terms e2.terms
+
+let pp ?var_name ppf e =
+  let name x =
+    match var_name with Some f -> f x | None -> Printf.sprintf "x%d" x
+  in
+  let pp_term first (x, a) =
+    if a >= 0. && not first then Format.fprintf ppf " + "
+    else if a < 0. then Format.fprintf ppf (if first then "-" else " - ");
+    let a = Float.abs a in
+    if a = 1. then Format.fprintf ppf "%s" (name x)
+    else Format.fprintf ppf "%g %s" a (name x);
+    false
+  in
+  let first = List.fold_left pp_term true (terms e) in
+  if e.constant <> 0. || first then
+    if first then Format.fprintf ppf "%g" e.constant
+    else if e.constant > 0. then Format.fprintf ppf " + %g" e.constant
+    else Format.fprintf ppf " - %g" (Float.abs e.constant)

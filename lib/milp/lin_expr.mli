@@ -1,0 +1,49 @@
+(** Sparse linear expressions [Σ aᵢ·xᵢ + c] over integer-indexed variables.
+
+    The building block of every model row and objective.  Expressions are
+    immutable; zero-coefficient terms are never stored. *)
+
+type t
+
+val zero : t
+val const : float -> t
+val var : ?coef:float -> int -> t
+(** [var ~coef x] is [coef·x] (default coefficient 1). *)
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val scale : float -> t -> t
+val add_term : t -> int -> float -> t
+(** [add_term e x a] is [e + a·x]. *)
+
+val neg : t -> t
+val sum : t list -> t
+
+val of_terms : ?constant:float -> (int * float) list -> t
+(** Duplicate variables are accumulated. *)
+
+val complement : int -> t
+(** [complement x] is [1 - x] — the negation of a Boolean variable. *)
+
+val coef : t -> int -> float
+(** Coefficient of a variable (0 when absent). *)
+
+val constant : t -> float
+val terms : t -> (int * float) list
+(** Terms in increasing variable order, all coefficients non-zero. *)
+
+val term_count : t -> int
+val is_constant : t -> bool
+
+val eval : t -> (int -> float) -> float
+(** Value under an assignment. *)
+
+val vars : t -> int list
+(** Variables with non-zero coefficient, increasing. *)
+
+val map_vars : (int -> int) -> t -> t
+(** Renames variables (used when splicing expressions between models).
+    The mapping must be injective on the expression's variables. *)
+
+val equal : t -> t -> bool
+val pp : ?var_name:(int -> string) -> Format.formatter -> t -> unit

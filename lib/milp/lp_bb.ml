@@ -1,0 +1,127 @@
+type stats = { nodes : int; pivots : int }
+
+type outcome =
+  | Optimal of { objective : float; solution : float array }
+  | Infeasible
+  | Unbounded
+  | Limit_reached of { incumbent : (float * float array) option }
+
+let int_tol = 1e-6
+
+let is_integral_kind = function
+  | Model.Boolean | Model.Integer _ -> true
+  | Model.Continuous _ -> false
+
+(* Most fractional integral variable of an LP solution, if any. *)
+let fractional_var m solution =
+  let n = Model.var_count m in
+  let best = ref None in
+  for x = 0 to n - 1 do
+    if is_integral_kind (Model.kind_of m x) then begin
+      let v = solution.(x) in
+      let frac = Float.abs (v -. Float.round v) in
+      if frac > int_tol then
+        match !best with
+        | Some (_, f) when f >= frac -> ()
+        | _ -> best := Some (x, frac)
+    end
+  done;
+  Option.map fst !best
+
+(* A node is the base model plus a list of bound narrowings. *)
+type node = { bounds : (Model.var * float * float) list; depth : int }
+
+let solve ?(max_nodes = 1_000_000) ?time_limit m =
+  let t0 = Sys.time () in
+  let best : (float * float array) option ref = ref None in
+  let nodes = ref 0 in
+  let pivots = ref 0 in
+  let unbounded = ref false in
+  let limit_hit = ref false in
+  let stack = ref [ { bounds = []; depth = 0 } ] in
+  let obj_tol obj = 1e-9 *. Float.max 1. (Float.abs obj) in
+  let worse_than_best obj =
+    match !best with
+    | None -> false
+    | Some (b, _) -> obj >= b -. obj_tol b
+  in
+  let apply_node node =
+    let sub = Model.copy m in
+    List.iter (fun (x, lo, hi) -> Model.narrow_bounds sub x lo hi) node.bounds;
+    sub
+  in
+  let process node =
+    incr nodes;
+    match apply_node node with
+    | exception Invalid_argument _ -> () (* empty bound interval: prune *)
+    | sub -> (
+        match Simplex.solve_relaxation sub with
+        | Simplex.Infeasible -> ()
+        | Simplex.Pivot_limit -> limit_hit := true
+        | Simplex.Unbounded ->
+            (* Unbounded relaxation at the root means the MILP is unbounded
+               or infeasible; we report unbounded conservatively. *)
+            if node.depth = 0 then unbounded := true else ()
+        | Simplex.Optimal { objective; solution; pivots = p } ->
+            pivots := !pivots + p;
+            if not (worse_than_best objective) then begin
+              match fractional_var m solution with
+              | None ->
+                  let improves =
+                    match !best with
+                    | None -> true
+                    | Some (b, _) -> objective < b -. obj_tol b
+                  in
+                  if improves then begin
+                    let rounded =
+                      Array.mapi
+                        (fun x v ->
+                          if is_integral_kind (Model.kind_of m x) then
+                            Float.round v
+                          else v)
+                        solution
+                    in
+                    best := Some (objective, rounded)
+                  end
+              | Some x ->
+                  let v = solution.(x) in
+                  let lo = Float.of_int (int_of_float (Float.floor v)) in
+                  let down =
+                    { bounds = (x, neg_infinity, lo) :: node.bounds;
+                      depth = node.depth + 1 }
+                  and up =
+                    { bounds = (x, lo +. 1., infinity) :: node.bounds;
+                      depth = node.depth + 1 }
+                  in
+                  (* explore the branch nearer the relaxation value first *)
+                  if v -. lo <= 0.5 then stack := down :: up :: !stack
+                  else stack := up :: down :: !stack
+            end)
+  in
+  let rec loop () =
+    match !stack with
+    | [] -> ()
+    | node :: rest ->
+        stack := rest;
+        if !nodes >= max_nodes then limit_hit := true
+        else begin
+          (match time_limit with
+          | Some tl when Sys.time () -. t0 > tl -> limit_hit := true
+          | _ -> ());
+          if not (!limit_hit || !unbounded) then begin
+            process node;
+            loop ()
+          end
+        end
+  in
+  loop ();
+  let stats = { nodes = !nodes; pivots = !pivots } in
+  let outcome =
+    if !unbounded then Unbounded
+    else if !limit_hit then Limit_reached { incumbent = !best }
+    else
+      match !best with
+      | Some (objective, solution) -> Optimal { objective; solution }
+      | None -> Infeasible
+  in
+  (outcome, stats)

@@ -1,0 +1,19 @@
+(** Branch-and-bound over the LP relaxation — the textbook MILP scheme,
+    provided as the alternative exact backend (ablation vs {!Pb_solver}).
+
+    Depth-first with best-first tie handling: at each node the {!Simplex}
+    relaxation is solved; integral solutions update the incumbent; fractional
+    ones branch on the most fractional integer variable. *)
+
+type stats = { nodes : int; pivots : int }
+
+type outcome =
+  | Optimal of { objective : float; solution : float array }
+  | Infeasible
+  | Unbounded
+  | Limit_reached of { incumbent : (float * float array) option }
+
+val solve :
+  ?max_nodes:int -> ?time_limit:float -> Model.t -> outcome * stats
+(** Minimize.  Integer/Boolean variables are branched; continuous variables
+    are left to the LP.  [time_limit] in wall-clock seconds. *)

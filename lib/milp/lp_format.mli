@@ -1,0 +1,9 @@
+(** CPLEX LP-format writer.
+
+    Serializes a model to the plain-text LP format understood by CPLEX,
+    Gurobi, glpsol, SCIP, … — useful for debugging an encoding or
+    cross-checking this library's solvers against an external one. *)
+
+val to_string : Model.t -> string
+
+val write_file : string -> Model.t -> unit

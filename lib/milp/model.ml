@@ -1,0 +1,181 @@
+type var = int
+
+type kind =
+  | Boolean
+  | Integer of int * int
+  | Continuous of float * float
+
+type cmp = Le | Ge | Eq
+
+type row = {
+  cname : string option;
+  expr : Lin_expr.t;
+  cmp : cmp;
+  rhs : float;
+}
+
+type var_info = {
+  vname : string option;
+  kind : kind;
+  mutable lb : float;
+  mutable ub : float;
+}
+
+type t = {
+  mutable vars : var_info array;  (* grow-by-doubling *)
+  mutable nvars : int;
+  mutable rows_rev : row list;
+  mutable nrows : int;
+  mutable obj : Lin_expr.t;
+}
+
+let create () =
+  { vars = [||]; nvars = 0; rows_rev = []; nrows = 0; obj = Lin_expr.zero }
+
+let grow m =
+  let cap = Array.length m.vars in
+  if m.nvars = cap then begin
+    let dummy = { vname = None; kind = Boolean; lb = 0.; ub = 1. } in
+    let vars = Array.make (max 8 (2 * cap)) dummy in
+    Array.blit m.vars 0 vars 0 cap;
+    m.vars <- vars
+  end
+
+let bounds_of_kind = function
+  | Boolean -> (0., 1.)
+  | Integer (lo, hi) ->
+      if lo > hi then invalid_arg "Model.add_var: empty integer range";
+      (float_of_int lo, float_of_int hi)
+  | Continuous (lo, hi) ->
+      if lo > hi then invalid_arg "Model.add_var: empty continuous range";
+      (lo, hi)
+
+let add_var ?name m kind =
+  grow m;
+  let lb, ub = bounds_of_kind kind in
+  m.vars.(m.nvars) <- { vname = name; kind; lb; ub };
+  m.nvars <- m.nvars + 1;
+  m.nvars - 1
+
+let bool_var ?name m = add_var ?name m Boolean
+
+let bool_vars ?prefix m n =
+  let make i =
+    let name = Option.map (fun p -> Printf.sprintf "%s%d" p i) prefix in
+    bool_var ?name m
+  in
+  Array.init n make
+
+let var_count m = m.nvars
+
+let check_var m x =
+  if x < 0 || x >= m.nvars then invalid_arg "Model: variable out of range"
+
+let info m x = check_var m x; m.vars.(x)
+let kind_of m x = (info m x).kind
+
+let name_of m x =
+  match (info m x).vname with
+  | Some n -> n
+  | None -> Printf.sprintf "x%d" x
+
+let lower_bound m x = (info m x).lb
+let upper_bound m x = (info m x).ub
+
+let is_integral_kind = function
+  | Boolean | Integer _ -> true
+  | Continuous _ -> false
+
+let fix m x value =
+  let vi = info m x in
+  if value < vi.lb -. 1e-9 || value > vi.ub +. 1e-9 then
+    invalid_arg "Model.fix: value outside bounds";
+  if is_integral_kind vi.kind && Float.abs (value -. Float.round value) > 1e-9
+  then invalid_arg "Model.fix: non-integral value for integral variable";
+  vi.lb <- value;
+  vi.ub <- value
+
+let narrow_bounds m x lo hi =
+  let vi = info m x in
+  let lo = Float.max vi.lb lo and hi = Float.min vi.ub hi in
+  if lo > hi +. 1e-9 then invalid_arg "Model.narrow_bounds: empty interval";
+  vi.lb <- lo;
+  vi.ub <- Float.max hi lo
+
+let is_pure_boolean m =
+  let rec go i =
+    i >= m.nvars || (m.vars.(i).kind = Boolean && go (i + 1))
+  in
+  go 0
+
+let add_constraint ?name m expr cmp rhs =
+  let expr, rhs =
+    (* fold the expression's constant into the rhs for a canonical row *)
+    let c = Lin_expr.constant expr in
+    if c = 0. then (expr, rhs)
+    else (Lin_expr.add expr (Lin_expr.const (-.c)), rhs -. c)
+  in
+  m.rows_rev <- { cname = name; expr; cmp; rhs } :: m.rows_rev;
+  m.nrows <- m.nrows + 1
+
+let add_boolean_clause ?name m ~pos ~neg =
+  List.iter (check_var m) pos;
+  List.iter (check_var m) neg;
+  let expr =
+    Lin_expr.sum
+      (List.map (fun x -> Lin_expr.var x) pos
+      @ List.map Lin_expr.complement neg)
+  in
+  add_constraint ?name m expr Ge 1.
+
+let constraint_count m = m.nrows
+let constraints m = List.rev m.rows_rev
+let iter_constraints m f = List.iter f (constraints m)
+
+let set_objective m expr = m.obj <- expr
+let objective m = m.obj
+
+let objective_value m value = Lin_expr.eval m.obj value
+
+let row_violation row value =
+  let lhs = Lin_expr.eval row.expr value in
+  match row.cmp with
+  | Le -> lhs -. row.rhs
+  | Ge -> row.rhs -. lhs
+  | Eq -> Float.abs (lhs -. row.rhs)
+
+let row_scale row =
+  List.fold_left (fun acc (_, a) -> Float.max acc (Float.abs a))
+    (Float.max 1. (Float.abs row.rhs))
+    (Lin_expr.terms row.expr)
+
+let violated_constraints ?(tol = 1e-6) m value =
+  let bad row = row_violation row value > tol *. row_scale row in
+  List.filter bad (constraints m)
+
+let is_feasible ?(tol = 1e-6) m value =
+  let bounds_ok x =
+    let vi = m.vars.(x) in
+    let v = value x in
+    v >= vi.lb -. tol && v <= vi.ub +. tol
+    && ((not (is_integral_kind vi.kind))
+        || Float.abs (v -. Float.round v) <= tol)
+  in
+  let rec all_bounds i = i >= m.nvars || (bounds_ok i && all_bounds (i + 1)) in
+  all_bounds 0 && violated_constraints ~tol m value = []
+
+let copy m =
+  { vars = Array.map (fun vi -> { vi with vname = vi.vname }) m.vars;
+    nvars = m.nvars;
+    rows_rev = m.rows_rev;
+    nrows = m.nrows;
+    obj = m.obj }
+
+let pp_stats ppf m =
+  let bools =
+    let count acc i = if m.vars.(i).kind = Boolean then acc + 1 else acc in
+    List.fold_left count 0 (List.init m.nvars Fun.id)
+  in
+  Format.fprintf ppf "%d vars (%d bool), %d constraints, %d objective terms"
+    m.nvars bools m.nrows
+    (Lin_expr.term_count m.obj)

@@ -1,0 +1,87 @@
+(** Mixed 0-1 / integer / linear model builder — the YALMIP-role layer.
+
+    A model is a mutable container of variables, linear constraints and a
+    minimization objective.  Solvers ({!Pb_solver}, {!Lp_bb}, {!Brute})
+    consume models; {!Bool_encode} adds logical sugar on top. *)
+
+type t
+type var = int
+
+type kind =
+  | Boolean
+  | Integer of int * int        (** inclusive bounds *)
+  | Continuous of float * float (** inclusive bounds, may be infinite *)
+
+type cmp = Le | Ge | Eq
+
+type row = {
+  cname : string option;
+  expr : Lin_expr.t;
+  cmp : cmp;
+  rhs : float;
+}
+(** A constraint [expr cmp rhs] (the expression's constant is folded into the
+    comparison, i.e. the row means [expr - rhs cmp 0]). *)
+
+val create : unit -> t
+
+(** {1 Variables} *)
+
+val add_var : ?name:string -> t -> kind -> var
+val bool_var : ?name:string -> t -> var
+val bool_vars : ?prefix:string -> t -> int -> var array
+val var_count : t -> int
+val kind_of : t -> var -> kind
+val name_of : t -> var -> string
+(** Given name, or ["x<i>"]. *)
+
+val lower_bound : t -> var -> float
+val upper_bound : t -> var -> float
+
+val fix : t -> var -> float -> unit
+(** Narrow a variable's bounds to a single value.
+    @raise Invalid_argument if the value is outside the current bounds or not
+    integral for a Boolean/Integer variable. *)
+
+val narrow_bounds : t -> var -> float -> float -> unit
+(** Intersect a variable's bounds with [lo, hi] (used by branch-and-bound).
+    @raise Invalid_argument if the intersection is empty. *)
+
+val is_pure_boolean : t -> bool
+(** All variables Boolean (possibly fixed). *)
+
+(** {1 Constraints and objective} *)
+
+val add_constraint : ?name:string -> t -> Lin_expr.t -> cmp -> float -> unit
+
+val add_boolean_clause : ?name:string -> t -> pos:var list -> neg:var list -> unit
+(** Clause [∨ pos ∨ ¬neg] as the linear row
+    [Σ pos + Σ (1 - neg) ≥ 1]. *)
+
+val constraint_count : t -> int
+val iter_constraints : t -> (row -> unit) -> unit
+val constraints : t -> row list
+(** In insertion order. *)
+
+val set_objective : t -> Lin_expr.t -> unit
+(** Objective to {e minimize} (default [0]). *)
+
+val objective : t -> Lin_expr.t
+
+(** {1 Evaluation} *)
+
+val objective_value : t -> (int -> float) -> float
+
+val violated_constraints : ?tol:float -> t -> (int -> float) -> row list
+(** Rows violated by an assignment beyond a relative tolerance
+    (default [1e-6]). *)
+
+val is_feasible : ?tol:float -> t -> (int -> float) -> bool
+(** Constraint and bound satisfaction (integrality included). *)
+
+val copy : t -> t
+(** Independent copy (new constraints/fixings don't propagate back): used by
+    ILP-MR to extend the base ILP at every iteration. *)
+
+val pp_stats : Format.formatter -> t -> unit
+(** One-line summary: #vars (#bool), #constraints, #objective terms. *)

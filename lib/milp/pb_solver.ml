@@ -1,0 +1,753 @@
+(* Conflict-driven pseudo-Boolean optimizer.
+
+   Rows are normalized to  Σ a·lit ≥ b  with a > 0 over literals (a variable
+   or its complement).  Propagation is slack-based: [poss] is the maximum
+   achievable LHS under the current partial assignment; a literal whose
+   coefficient exceeds [poss - b] is forced.
+
+   Search is CDCL: every propagation records its reason row; conflicts are
+   analyzed to a 1-UIP clause through the sound clausal abstraction of a PB
+   row (the row implies "the forced literal, or one of the literals it had
+   already falsified"), learned as a coefficient-1 row, and used to
+   backjump.  Branch-and-bound comes from objective-bound rows added at
+   each incumbent; the optimum is proved when a conflict reaches level 0. *)
+
+type stats = {
+  decisions : int;
+  propagations : int;
+  conflicts : int;
+}
+
+type outcome =
+  | Optimal of { objective : float; solution : float array }
+  | Infeasible
+  | Limit_reached of { incumbent : (float * float array) option }
+
+type con = {
+  lits : (int * float * bool) array; (* (var, coef, polarity), coef desc *)
+  bound : float;
+  tol : float;
+  mutable poss : float;
+  mutable sure : float;
+}
+
+exception Trivially_infeasible
+
+(* Normalize [expr cmp rhs] into zero, one or two ≥-rows with positive
+   coefficients.  Tautologies are dropped; impossible rows raise. *)
+let normalize_row expr cmp rhs =
+  let build terms rhs =
+    let fold (lits, bound) (x, a) =
+      if a > 0. then ((x, a, true) :: lits, bound)
+      else ((x, -.a, false) :: lits, bound +. -.a)
+    in
+    let lits, bound = List.fold_left fold ([], rhs) terms in
+    let total = List.fold_left (fun acc (_, a, _) -> acc +. a) 0. lits in
+    let tol = 1e-9 *. Float.max 1. (Float.max total (Float.abs bound)) in
+    if bound <= tol then None
+    else if total < bound -. tol then raise Trivially_infeasible
+    else begin
+      let lits =
+        List.sort (fun (_, a, _) (_, b, _) -> Float.compare b a) lits
+        |> Array.of_list
+      in
+      Some { lits; bound; tol; poss = total; sure = 0. }
+    end
+  in
+  let terms = Lin_expr.terms expr in
+  let negated = List.map (fun (x, a) -> (x, -.a)) terms in
+  match cmp with
+  | Model.Ge -> Option.to_list (build terms rhs)
+  | Model.Le -> Option.to_list (build negated (-.rhs))
+  | Model.Eq ->
+      Option.to_list (build terms rhs)
+      @ Option.to_list (build negated (-.rhs))
+
+(* Reason codes stored per assigned variable. *)
+let reason_decision = -1
+let reason_bound = -2 (* propagated/conflicted by the objective bound *)
+
+type state = {
+  mutable cons : con array;          (* grows with learned rows *)
+  mutable ncons : int;
+  mutable is_learned : bool array;   (* parallel to cons *)
+  mutable n_learned : int;
+  occurs : (int * float * bool) list array;
+  value : int array;                 (* -1 / 0 / 1 *)
+  level : int array;
+  reason : int array;                (* con index, or a reason code *)
+  trail_pos : int array;
+  trail : int array;
+  mutable trail_size : int;
+  mutable trail_lim : int list;      (* marks per decision level, newest first *)
+  obj : float array;
+  obj_const : float;
+  base_lb : float;
+  mutable lb_extra : float;
+  by_cost : int array;               (* vars with obj ≠ 0, |obj| desc *)
+  obj_integral : bool;               (* all objective coefficients integral *)
+  pending : (int * int * int) Queue.t; (* (var, value, reason) *)
+  heap : Var_heap.t;
+  mutable var_inc : float;
+  phase : int array;                 (* saved phase per var *)
+  mutable best : (float * float array) option;
+  mutable n_decisions : int;
+  mutable n_propagations : int;
+  mutable n_conflicts : int;
+  seen : bool array;                 (* scratch for conflict analysis *)
+  mutable rng : int;                 (* deterministic LCG for phase jitter *)
+}
+
+let decision_level st = List.length st.trail_lim
+let cheap_value st x = if st.obj.(x) >= 0. then 0 else 1
+let expensivep st x = (st.value.(x) = 1) = (st.obj.(x) > 0.) && st.obj.(x) <> 0.
+let cost_lb st = st.base_lb +. st.lb_extra +. st.obj_const
+
+let obj_tol st =
+  match st.best with
+  | None -> 0.
+  | Some (c, _) -> 1e-9 *. Float.max 1. (Float.abs c)
+
+let bound_exceeded st =
+  match st.best with
+  | None -> false
+  | Some (best, _) -> cost_lb st >= best -. obj_tol st
+
+let add_con ?(learned = false) st con =
+  if st.ncons = Array.length st.cons then begin
+    let cap = max 16 (2 * st.ncons) in
+    let cons = Array.make cap con in
+    Array.blit st.cons 0 cons 0 st.ncons;
+    st.cons <- cons;
+    let flags = Array.make cap false in
+    Array.blit st.is_learned 0 flags 0 st.ncons;
+    st.is_learned <- flags
+  end;
+  let ci = st.ncons in
+  st.cons.(ci) <- con;
+  st.is_learned.(ci) <- learned;
+  if learned then st.n_learned <- st.n_learned + 1;
+  st.ncons <- st.ncons + 1;
+  (* occurrence lists and current poss/sure must reflect the assignment *)
+  let poss = ref 0. and sure = ref 0. in
+  Array.iter
+    (fun (x, a, pol) ->
+      st.occurs.(x) <- (ci, a, pol) :: st.occurs.(x);
+      let v = st.value.(x) in
+      if v < 0 then poss := !poss +. a
+      else if (v = 1) = pol then begin
+        poss := !poss +. a;
+        sure := !sure +. a
+      end)
+    con.lits;
+  con.poss <- !poss;
+  con.sure <- !sure;
+  ci
+
+(* Queue the implications of a row whose slack shrank. *)
+let enqueue_implications st ci =
+  let con = st.cons.(ci) in
+  if con.sure < con.bound -. con.tol then begin
+    let slack = con.poss -. con.bound in
+    let n = Array.length con.lits in
+    let rec scan i =
+      if i < n then begin
+        let v, a, pol = con.lits.(i) in
+        if a > slack +. con.tol then begin
+          if st.value.(v) < 0 then
+            Queue.add (v, (if pol then 1 else 0), ci) st.pending;
+          scan (i + 1)
+        end
+      end
+    in
+    scan 0
+  end
+
+exception Conflict of int (* con index, or reason_bound *)
+
+(* Assign and update rows; raises [Conflict] (the trail keeps the
+   assignment so that analysis sees a consistent state). *)
+let assign st x v reason =
+  if st.value.(x) >= 0 then begin
+    if st.value.(x) <> v then
+      (* the enqueued implication contradicts the current value: its reason
+         row is conflicting under the assignment *)
+      raise (Conflict reason)
+  end
+  else begin
+    st.value.(x) <- v;
+    st.level.(x) <- decision_level st;
+    st.reason.(x) <- reason;
+    st.trail_pos.(x) <- st.trail_size;
+    st.phase.(x) <- v;
+    st.trail.(st.trail_size) <- x;
+    st.trail_size <- st.trail_size + 1;
+    if expensivep st x then st.lb_extra <- st.lb_extra +. Float.abs st.obj.(x);
+    let conflict = ref (-3) in
+    let update (ci, a, pol) =
+      let con = st.cons.(ci) in
+      if pol = (v = 1) then con.sure <- con.sure +. a
+      else begin
+        con.poss <- con.poss -. a;
+        if con.poss < con.bound -. con.tol then begin
+          if !conflict = -3 then conflict := ci
+        end
+        else enqueue_implications st ci
+      end
+    in
+    List.iter update st.occurs.(x);
+    if !conflict >= 0 then raise (Conflict !conflict);
+    if bound_exceeded st then raise (Conflict reason_bound)
+  end
+
+let unassign st x =
+  let v = st.value.(x) in
+  st.value.(x) <- -1;
+  Var_heap.push st.heap x;
+  if (v = 1) = (st.obj.(x) > 0.) && st.obj.(x) <> 0. then
+    st.lb_extra <- st.lb_extra -. Float.abs st.obj.(x);
+  let update (ci, a, pol) =
+    let con = st.cons.(ci) in
+    if pol = (v = 1) then con.sure <- con.sure -. a
+    else con.poss <- con.poss +. a
+  in
+  List.iter update st.occurs.(x)
+
+let backtrack_to_level st lvl =
+  let rec drop_marks lim =
+    match lim with
+    | mark :: rest when List.length lim > lvl ->
+        while st.trail_size > mark do
+          st.trail_size <- st.trail_size - 1;
+          unassign st st.trail.(st.trail_size)
+        done;
+        drop_marks rest
+    | lim -> st.trail_lim <- lim
+  in
+  drop_marks st.trail_lim;
+  Queue.clear st.pending
+
+(* Objective propagation: with an incumbent, a variable whose expensive
+   value alone would exceed it must take its cheap value. *)
+let propagate_objective st =
+  match st.best with
+  | None -> ()
+  | Some (best, _) ->
+      let slack = best -. obj_tol st -. cost_lb st in
+      let n = Array.length st.by_cost in
+      let rec scan i =
+        if i < n then begin
+          let x = st.by_cost.(i) in
+          if Float.abs st.obj.(x) > slack then begin
+            if st.value.(x) < 0 then
+              Queue.add (x, cheap_value st x, reason_bound) st.pending;
+            scan (i + 1)
+          end
+        end
+      in
+      scan 0
+
+(* Drain the queue; raises [Conflict].  The objective scan only reruns when
+   the cost lower bound moved (an expensive assignment happened). *)
+let propagate st =
+  propagate_objective st;
+  while not (Queue.is_empty st.pending) do
+    let x, v, reason = Queue.pop st.pending in
+    if st.value.(x) < 0 then begin
+      st.n_propagations <- st.n_propagations + 1;
+      let lb_before = st.lb_extra in
+      assign st x v reason;
+      if st.lb_extra <> lb_before then propagate_objective st
+    end
+    else if st.value.(x) <> v then raise (Conflict reason)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Conflict analysis                                                   *)
+
+(* A literal is (var, polarity): true when value.(var) matches polarity. *)
+
+(* Greedy-minimal subset of the expensive assignments whose flip could
+   repair the objective bound: vars assigned their expensive value (before
+   [before_pos] when given) taken by descending cost until the remaining
+   lower bound fits under the incumbent.  Smaller clauses learn more. *)
+let expensive_subset st ?before_pos ~extra () =
+  match st.best with
+  | None -> []
+  | Some (best, _) ->
+      let target = best -. obj_tol st -. st.base_lb -. st.obj_const -. extra in
+      let eligible y =
+        st.value.(y) >= 0 && expensivep st y
+        && match before_pos with
+           | Some p -> st.trail_pos.(y) < p
+           | None -> true
+      in
+      (* keep the assignments as long as their costs alone reach the
+         incumbent: if none of them flips, no improvement is possible *)
+      let rec collect acc sum = function
+        | [] -> acc
+        | y :: rest ->
+            if sum >= target then acc
+            else if eligible y then
+              collect ((y, cheap_value st y = 1) :: acc)
+                (sum +. Float.abs st.obj.(y))
+                rest
+            else collect acc sum rest
+      in
+      collect [] 0. (Array.to_list st.by_cost)
+
+(* Clausal view of a conflict: literals, all false right now, at least one
+   of which must become true.  For a PB row: its falsified literals.  For
+   the objective bound: cheap literals of a minimal expensive subset. *)
+let conflict_clause st reason =
+  if reason = reason_bound then begin
+    (* the assignment that tripped the bound is the newest trail entry and
+       must appear in the clause so that analysis has a literal at the
+       current decision level *)
+    let base = expensive_subset st ~extra:0. () in
+    if st.trail_size = 0 then base
+    else begin
+      let x = st.trail.(st.trail_size - 1) in
+      if expensivep st x && not (List.exists (fun (y, _) -> y = x) base)
+      then (x, cheap_value st x = 1) :: base
+      else base
+    end
+  end
+  else
+    Array.to_list st.cons.(reason).lits
+    |> List.filter_map (fun (x, _, pol) ->
+           if st.value.(x) >= 0 && (st.value.(x) = 1) <> pol then
+             Some (x, pol)
+           else None)
+
+(* Clausal reason of a propagated literal (var was forced): the literal
+   itself plus the falsified literals assigned before it. *)
+let reason_clause st x =
+  let my_pos = st.trail_pos.(x) in
+  let earlier y = st.value.(y) >= 0 && st.trail_pos.(y) < my_pos in
+  let r = st.reason.(x) in
+  if r = reason_bound then
+    (x, st.value.(x) = 1)
+    :: expensive_subset st ~before_pos:my_pos
+         ~extra:(Float.abs st.obj.(x)) ()
+  else
+    (x, st.value.(x) = 1)
+    :: (Array.to_list st.cons.(r).lits
+       |> List.filter_map (fun (y, _, pol) ->
+              if y <> x && earlier y && (st.value.(y) = 1) <> pol then
+                Some (y, pol)
+              else None))
+
+let bump st x =
+  Var_heap.bump st.heap x st.var_inc;
+  if Var_heap.activity st.heap x > 1e100 then begin
+    Var_heap.rescale st.heap 1e-100;
+    st.var_inc <- st.var_inc *. 1e-100
+  end
+
+(* 1-UIP analysis.  Returns (learned clause literals, backjump level);
+   the first literal is the asserting one.  Returns None when the conflict
+   is independent of any decision (level 0): the model is exhausted. *)
+let analyze st conflict_reason =
+  let current = decision_level st in
+  if current = 0 then None
+  else begin
+    let learnt = ref [] in
+    let counter = ref 0 in
+    let btlevel = ref 0 in
+    let absorb (x, pol) =
+      if (not st.seen.(x)) && st.level.(x) > 0 then begin
+        st.seen.(x) <- true;
+        bump st x;
+        if st.level.(x) >= current then incr counter
+        else begin
+          learnt := (x, pol) :: !learnt;
+          if st.level.(x) > !btlevel then btlevel := st.level.(x)
+        end
+      end
+    in
+    List.iter absorb (conflict_clause st conflict_reason);
+    if !counter = 0 then
+      (* conflict independent of the current level: only level-0 facts are
+         involved, nothing to learn *)
+      None
+    else begin
+    let idx = ref (st.trail_size - 1) in
+    let asserting = ref None in
+    (try
+       while true do
+         (* find the most recent marked trail entry *)
+         while not st.seen.(st.trail.(!idx)) do decr idx done;
+         let x = st.trail.(!idx) in
+         st.seen.(x) <- false;
+         decr counter;
+         if !counter = 0 then begin
+           asserting := Some (x, st.value.(x) = 0);
+           raise Exit
+         end;
+         List.iter absorb
+           (List.filter (fun (y, _) -> y <> x) (reason_clause st x));
+         decr idx
+       done
+     with Exit -> ());
+    List.iter (fun (x, _) -> st.seen.(x) <- false) !learnt;
+    match !asserting with
+    | None -> None
+    | Some lit ->
+        st.var_inc <- st.var_inc *. 1.05;
+        (* a conflict clause with no lower-level literals asserts at 0 *)
+        Some (lit :: !learnt, !btlevel)
+    end
+  end
+
+let learn_clause st lits =
+  let con =
+    { lits = Array.of_list (List.map (fun (x, pol) -> (x, 1., pol)) lits);
+      bound = 1.;
+      tol = 1e-9;
+      poss = 0.;
+      sure = 0. }
+  in
+  add_con ~learned:true st con
+
+(* Learned-clause database reduction (call at decision level 0 only):
+   drop the older half of the learned clauses, keeping short ones, and
+   rebuild occurrence lists and slack counters.  Level-0 reasons are reset
+   to decisions — sound, since analysis never expands level-0 literals. *)
+let reduce_db st =
+  for i = 0 to st.trail_size - 1 do
+    st.reason.(st.trail.(i)) <- reason_decision
+  done;
+  let total_learned = st.n_learned in
+  let learned_seen = ref 0 in
+  let ncons' = ref 0 in
+  let kept_learned = ref 0 in
+  for ci = 0 to st.ncons - 1 do
+    let keep =
+      if not st.is_learned.(ci) then true
+      else begin
+        incr learned_seen;
+        let recent = !learned_seen > total_learned / 2 in
+        let short = Array.length st.cons.(ci).lits <= 2 in
+        if recent || short then begin
+          incr kept_learned;
+          true
+        end
+        else false
+      end
+    in
+    if keep then begin
+      st.cons.(!ncons') <- st.cons.(ci);
+      st.is_learned.(!ncons') <- st.is_learned.(ci);
+      incr ncons'
+    end
+  done;
+  st.ncons <- !ncons';
+  st.n_learned <- !kept_learned;
+  Array.fill st.occurs 0 (Array.length st.occurs) [];
+  for ci = 0 to st.ncons - 1 do
+    let con = st.cons.(ci) in
+    let poss = ref 0. and sure = ref 0. in
+    Array.iter
+      (fun (x, a, pol) ->
+        st.occurs.(x) <- (ci, a, pol) :: st.occurs.(x);
+        let v = st.value.(x) in
+        if v < 0 then poss := !poss +. a
+        else if (v = 1) = pol then begin
+          poss := !poss +. a;
+          sure := !sure +. a
+        end)
+      con.lits;
+    con.poss <- !poss;
+    con.sure <- !sure
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Search                                                              *)
+
+(* Returns false when the complete assignment does not improve on the
+   incumbent — numerically possible despite the bound row, and a signal to
+   stop rather than loop. *)
+let record_incumbent st =
+  let cost = cost_lb st in
+  let improves =
+    match st.best with None -> true | Some (c, _) -> cost < c -. obj_tol st
+  in
+  if improves then
+    st.best <-
+      Some (cost, Array.map (fun v -> float_of_int (max 0 v)) st.value);
+  improves
+
+let improvement_gap st best =
+  if st.obj_integral then 1. -. 1e-6
+  else 1e-7 *. Float.max 1. (Float.abs best)
+
+(* When every objective coefficient is integral the next incumbent must be
+   at least 1 better: encode the bound row accordingly. *)
+let bound_row st =
+  match st.best with
+  | None -> None
+  | Some (best, _) ->
+      (* Σ obj·x ≤ best - const - gap *)
+      let terms =
+        Array.to_list st.by_cost |> List.map (fun x -> (x, st.obj.(x)))
+      in
+      let gap = improvement_gap st best in
+      let rhs = best -. st.obj_const -. gap in
+      match normalize_row (Lin_expr.of_terms terms) Model.Le rhs with
+      | [ con ] -> Some con
+      | [] -> None (* nothing can beat the incumbent: exhausted *)
+      | _ :: _ :: _ -> assert false
+      | exception Trivially_infeasible ->
+          None (* bound unreachable even with every literal true *)
+
+exception Exhausted
+exception Limits
+
+(* Luby sequence 1,1,2,1,1,2,4,… (1-based). *)
+let rec luby i =
+  let k = ref 1 in
+  while (1 lsl !k) - 1 < i do incr k done;
+  if (1 lsl !k) - 1 = i then 1 lsl (!k - 1)
+  else luby (i - (1 lsl (!k - 1)) + 1)
+
+let search st ~max_decisions ~time_limit ~lower_bound =
+  let t0 = Sys.time () in
+  let ticks = ref 0 in
+  let check_limits () =
+    if st.n_decisions > max_decisions || st.n_conflicts > max_decisions
+    then raise Limits;
+    incr ticks;
+    if !ticks land 255 = 0 then
+      match time_limit with
+      | Some tl when Sys.time () -. t0 > tl -> raise Limits
+      | _ -> ()
+  in
+  let restart_count = ref 0 in
+  let conflicts_until_restart = ref (100 * luby 1) in
+  let by_cost_cursor = ref 0 in
+  let handle_conflict reason =
+    st.n_conflicts <- st.n_conflicts + 1;
+    check_limits ();
+    decr conflicts_until_restart;
+    match analyze st reason with
+    | None -> raise Exhausted
+    | Some (lits, btlevel) ->
+        backtrack_to_level st btlevel;
+        by_cost_cursor := 0;
+        let ci = learn_clause st lits in
+        (* assert the UIP literal *)
+        let x, pol = List.hd lits in
+        Queue.add (x, (if pol then 1 else 0), ci) st.pending
+  in
+  let rec propagate_fully () =
+    match propagate st with
+    | () -> ()
+    | exception Conflict reason ->
+        handle_conflict reason;
+        propagate_fully ()
+  in
+  let next_random () =
+    (* Lehmer-style LCG, deterministic across runs *)
+    st.rng <- (st.rng * 48271) land 0x3FFFFFFF;
+    st.rng
+  in
+  let restart () =
+    backtrack_to_level st 0;
+    by_cost_cursor := 0;
+    incr restart_count;
+    conflicts_until_restart := 100 * luby (!restart_count + 1);
+    (* diversification: jitter a few saved phases so successive descents do
+       not replay the same trapped trajectory *)
+    let nvars = Array.length st.phase in
+    let flips = 1 + (nvars / 20) in
+    for _ = 1 to flips do
+      let x = next_random () mod nvars in
+      st.phase.(x) <- 1 - st.phase.(x)
+    done;
+    if st.n_learned > 2000 then begin
+      reduce_db st;
+      (* kept rows may propagate under the level-0 assignment *)
+      for ci = 0 to st.ncons - 1 do
+        enqueue_implications st ci
+      done;
+      propagate_fully ()
+    end
+  in
+  (* Cost-bearing variables are decided first (largest coefficient first):
+     with cheap-first phases this enumerates architectures by cost shape,
+     and the incumbent bound prunes directly on those decisions.  Ties and
+     the zero-cost remainder go to the activity heap. *)
+  let rec pick_heap () =
+    match Var_heap.pop_max st.heap with
+    | None -> None
+    | Some x -> if st.value.(x) < 0 then Some x else pick_heap ()
+  in
+  let cost_first =
+    match Sys.getenv_opt "ARCHEX_PB_COST_FIRST" with
+    | Some "0" -> false
+    | Some _ | None -> true
+  in
+  let rec pick_decision () =
+    if cost_first && !by_cost_cursor < Array.length st.by_cost then begin
+      let x = st.by_cost.(!by_cost_cursor) in
+      if st.value.(x) < 0 then Some x
+      else begin
+        incr by_cost_cursor;
+        pick_decision ()
+      end
+    end
+    else pick_heap ()
+  in
+  try
+    propagate_fully ();
+    while true do
+      check_limits ();
+      if !conflicts_until_restart <= 0 && decision_level st > 0 then
+        restart ();
+      match pick_decision () with
+      | None ->
+          if not (record_incumbent st) then raise Exhausted;
+          (* a known objective lower bound proves optimality as soon as the
+             incumbent cannot be beaten by the improvement gap *)
+          (match st.best with
+          | Some (best, _)
+            when best -. improvement_gap st best
+                 < lower_bound -. (1e-9 *. Float.max 1. (Float.abs best)) ->
+              raise Exhausted
+          | Some _ | None -> ());
+          (match bound_row st with
+          | Some con ->
+              backtrack_to_level st 0;
+              by_cost_cursor := 0;
+              let _ = add_con st con in
+              (* the new bound may already be conflicting at level 0 *)
+              if con.poss < con.bound -. con.tol then raise Exhausted;
+              Queue.clear st.pending;
+              enqueue_implications st (st.ncons - 1);
+              propagate_fully ()
+          | None -> raise Exhausted)
+      | Some x ->
+          st.n_decisions <- st.n_decisions + 1;
+          st.trail_lim <- st.trail_size :: st.trail_lim;
+          (match assign st x st.phase.(x) reason_decision with
+          | () -> ()
+          | exception Conflict reason -> handle_conflict reason);
+          propagate_fully ()
+    done;
+    false
+  with
+  | Exhausted -> false
+  | Limits -> true
+
+(* ------------------------------------------------------------------ *)
+(* Entry point                                                         *)
+
+let build_state m =
+  if not (Model.is_pure_boolean m) then
+    invalid_arg "Pb_solver: model has non-Boolean variables";
+  let nvars = Model.var_count m in
+  let rows = ref [] in
+  Model.iter_constraints m (fun r ->
+      List.iter (fun c -> rows := c :: !rows)
+        (normalize_row r.expr r.cmp r.rhs));
+  let rows = List.rev !rows in
+  let obj = Array.make nvars 0. in
+  List.iter (fun (x, a) -> obj.(x) <- a)
+    (Lin_expr.terms (Model.objective m));
+  let base_lb =
+    Array.fold_left (fun acc c -> acc +. Float.min 0. c) 0. obj
+  in
+  let by_cost =
+    List.init nvars Fun.id
+    |> List.filter (fun x -> obj.(x) <> 0.)
+    |> List.sort (fun a b ->
+           Float.compare (Float.abs obj.(b)) (Float.abs obj.(a)))
+    |> Array.of_list
+  in
+  let obj_integral =
+    Array.for_all (fun c -> Float.abs (c -. Float.round c) < 1e-9) obj
+    && Float.abs (Lin_expr.constant (Model.objective m)) < 1e18
+  in
+  let heap = Var_heap.create nvars in
+  let occurs = Array.make nvars [] in
+  let dummy = { lits = [||]; bound = 0.; tol = 0.; poss = 0.; sure = 0. } in
+  let st =
+    { cons = Array.make 16 dummy;
+      ncons = 0;
+      is_learned = Array.make 16 false;
+      n_learned = 0;
+      occurs;
+      value = Array.make nvars (-1);
+      level = Array.make nvars 0;
+      reason = Array.make nvars reason_decision;
+      trail_pos = Array.make nvars 0;
+      trail = Array.make (max nvars 1) 0;
+      trail_size = 0;
+      trail_lim = [];
+      obj;
+      obj_const = Lin_expr.constant (Model.objective m);
+      base_lb;
+      lb_extra = 0.;
+      by_cost;
+      obj_integral;
+      pending = Queue.create ();
+      heap;
+      var_inc = 1.;
+      phase = Array.init nvars (fun x -> if obj.(x) >= 0. then 0 else 1);
+      best = None;
+      n_decisions = 0;
+      n_propagations = 0;
+      n_conflicts = 0;
+      seen = Array.make nvars false;
+      rng = 0x2545F49 }
+  in
+  (* register the rows through add_con so occurrences and slack counters
+     are consistent *)
+  List.iter (fun con -> ignore (add_con st con)) rows;
+  (* seed decision activities: objective weight dominates, participation
+     breaks ties *)
+  let max_obj =
+    Array.fold_left (fun acc c -> Float.max acc (Float.abs c)) 1. obj
+  in
+  for x = 0 to nvars - 1 do
+    let occ =
+      List.fold_left (fun acc _ -> acc +. 1.) 0. occurs.(x)
+    in
+    Var_heap.bump heap x
+      ((4. *. Float.abs obj.(x) /. max_obj) +. (0.001 *. occ))
+  done;
+  st
+
+let solve ?(max_decisions = max_int) ?time_limit
+    ?(lower_bound = neg_infinity) m =
+  match build_state m with
+  | exception Trivially_infeasible ->
+      (Infeasible, { decisions = 0; propagations = 0; conflicts = 0 })
+  | st ->
+      let nvars = Array.length st.value in
+      let hit_limit =
+        match
+          (* root-level fixings from the model bounds *)
+          for x = 0 to nvars - 1 do
+            let lb = Model.lower_bound m x and ub = Model.upper_bound m x in
+            if lb > 0.5 then assign st x 1 reason_decision
+            else if ub < 0.5 then assign st x 0 reason_decision
+          done
+        with
+        | () -> search st ~max_decisions ~time_limit ~lower_bound
+        | exception Conflict _ -> false
+      in
+      let stats =
+        { decisions = st.n_decisions;
+          propagations = st.n_propagations;
+          conflicts = st.n_conflicts }
+      in
+      let outcome =
+        if hit_limit then Limit_reached { incumbent = st.best }
+        else
+          match st.best with
+          | Some (objective, solution) -> Optimal { objective; solution }
+          | None -> Infeasible
+      in
+      (outcome, stats)

@@ -1,0 +1,36 @@
+(** Exact pseudo-Boolean optimizer — the default backend standing in for
+    CPLEX on the paper's pure 0-1 models.
+
+    Branch-and-bound DFS with slack-based unit propagation over normalized
+    rows [Σ aᵢ·litᵢ ≥ b] (all [aᵢ > 0], literals are variables or their
+    complements), objective lower-bound pruning, and cost-aware value
+    ordering (cheap assignment first, so good incumbents appear early).
+
+    Coefficients are floats; every row carries a relative tolerance so that
+    the tiny failure-probability coefficients of the ILP-AR encoding
+    (Eq. 9, down to [p^k ≈ 1e-37]) propagate exactly like the unit-scale
+    interconnection rows. *)
+
+type stats = {
+  decisions : int;
+  propagations : int;
+  conflicts : int;
+}
+
+type outcome =
+  | Optimal of { objective : float; solution : float array }
+  | Infeasible
+  | Limit_reached of { incumbent : (float * float array) option }
+      (** Search aborted by [max_decisions] / [time_limit]; carries the best
+          feasible solution found so far, if any. *)
+
+val solve :
+  ?max_decisions:int -> ?time_limit:float -> ?lower_bound:float ->
+  Model.t -> outcome * stats
+(** Minimize the model objective over all feasible 0-1 assignments.
+    [time_limit] is in wall-clock seconds ([max_decisions] also caps the
+    conflict count).  [lower_bound], when provided (e.g. from
+    {!Obj_bound.lower_bound}), must be a valid bound on every feasible
+    objective value; it lets the search declare optimality as soon as the
+    incumbent is within the improvement gap of it.
+    @raise Invalid_argument if the model has non-Boolean variables. *)

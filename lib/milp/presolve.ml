@@ -1,0 +1,132 @@
+type result = {
+  model : Model.t;
+  fixed : (Model.var * float) list;
+  dropped_rows : int;
+  infeasible : bool;
+}
+
+let tol_for terms rhs =
+  let scale =
+    List.fold_left (fun acc (_, a) -> Float.max acc (Float.abs a))
+      (Float.max 1. (Float.abs rhs))
+      terms
+  in
+  1e-9 *. scale
+
+(* Min and max activity of a row under current bounds. *)
+let activity lb ub terms =
+  let fold (mn, mx) (x, a) =
+    if a >= 0. then (mn +. (a *. lb.(x)), mx +. (a *. ub.(x)))
+    else (mn +. (a *. ub.(x)), mx +. (a *. lb.(x)))
+  in
+  List.fold_left fold (0., 0.) terms
+
+exception Proven_infeasible
+
+(* Tighten variable bounds using one ≤-sense row Σ a·x ≤ rhs.
+   For each term, x's contribution is bounded by rhs - (min activity of the
+   others); integral variables round the resulting bound. *)
+let tighten_le lb ub integral terms rhs tol changed =
+  let mn, _ = activity lb ub terms in
+  let tighten (x, a) =
+    (* min activity excluding x's own contribution *)
+    let own_min = if a >= 0. then a *. lb.(x) else a *. ub.(x) in
+    let rest = mn -. own_min in
+    let room = rhs -. rest in
+    if a > 0. then begin
+      let hi = room /. a in
+      let hi = if integral.(x) then Float.floor (hi +. tol) else hi in
+      if hi < ub.(x) -. tol then begin
+        ub.(x) <- hi;
+        changed := true;
+        if ub.(x) < lb.(x) -. tol then raise Proven_infeasible
+      end
+    end
+    else if a < 0. then begin
+      let lo = room /. a in
+      let lo = if integral.(x) then Float.ceil (lo -. tol) else lo in
+      if lo > lb.(x) +. tol then begin
+        lb.(x) <- lo;
+        changed := true;
+        if ub.(x) < lb.(x) -. tol then raise Proven_infeasible
+      end
+    end
+  in
+  List.iter tighten terms
+
+let run m =
+  let n = Model.var_count m in
+  let lb = Array.init n (Model.lower_bound m) in
+  let ub = Array.init n (Model.upper_bound m) in
+  let integral =
+    Array.init n (fun x ->
+        match Model.kind_of m x with
+        | Model.Boolean | Model.Integer _ -> true
+        | Model.Continuous _ -> false)
+  in
+  (* Each row as a list of ≤-sense (terms, rhs) forms. *)
+  let le_forms row =
+    let terms = Lin_expr.terms row.Model.expr in
+    let negated = List.map (fun (x, a) -> (x, -.a)) terms in
+    match row.Model.cmp with
+    | Model.Le -> [ (terms, row.rhs) ]
+    | Model.Ge -> [ (negated, -.row.rhs) ]
+    | Model.Eq -> [ (terms, row.rhs); (negated, -.row.rhs) ]
+  in
+  let rows = List.concat_map le_forms (Model.constraints m) in
+  let infeasible = ref false in
+  (try
+     let changed = ref true in
+     while !changed do
+       changed := false;
+       let propagate (terms, rhs) =
+         let tol = tol_for terms rhs in
+         let mn, mx = activity lb ub terms in
+         if mn > rhs +. tol then raise Proven_infeasible
+         else if mx > rhs +. tol then
+           tighten_le lb ub integral terms rhs tol changed
+       in
+       List.iter propagate rows
+     done
+   with Proven_infeasible -> infeasible := true);
+  if !infeasible then
+    { model = m; fixed = []; dropped_rows = 0; infeasible = true }
+  else begin
+    (* Build the reduced model: same variables, tightened bounds, and only
+       the rows that are not already implied by the bounds. *)
+    let reduced = Model.create () in
+    for x = 0 to n - 1 do
+      let name = Model.name_of m x in
+      let v = Model.add_var ~name reduced (Model.kind_of m x) in
+      assert (v = x);
+      Model.narrow_bounds reduced x lb.(x) ub.(x)
+    done;
+    Model.set_objective reduced (Model.objective m);
+    let dropped = ref 0 in
+    let keep_row row =
+      let implied =
+        let check (terms, rhs) =
+          let tol = tol_for terms rhs in
+          let _, mx = activity lb ub terms in
+          mx <= rhs +. tol
+        in
+        List.for_all check (le_forms row)
+      in
+      if implied then incr dropped
+      else
+        Model.add_constraint ?name:row.Model.cname reduced row.Model.expr
+          row.Model.cmp row.Model.rhs
+    in
+    Model.iter_constraints m keep_row;
+    let fixed =
+      List.filter_map
+        (fun x ->
+          let was_free =
+            Model.lower_bound m x < Model.upper_bound m x -. 1e-9
+          in
+          if was_free && ub.(x) -. lb.(x) < 1e-9 then Some (x, lb.(x))
+          else None)
+        (List.init n Fun.id)
+    in
+    { model = reduced; fixed; dropped_rows = !dropped; infeasible = false }
+  end

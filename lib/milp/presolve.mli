@@ -1,0 +1,17 @@
+(** Bound-propagation presolve for 0-1/integer models.
+
+    Iterates activity-based reasoning to a fixpoint:
+    - a row whose worst-case activity already satisfies it is dropped;
+    - a row whose best-case activity cannot satisfy it proves infeasibility;
+    - a variable whose participation in some row is forced gets fixed.
+
+    Returns a reduced copy; the input model is untouched. *)
+
+type result = {
+  model : Model.t;         (** reduced model (same variable indexing) *)
+  fixed : (Model.var * float) list;  (** variables newly fixed *)
+  dropped_rows : int;
+  infeasible : bool;       (** proven infeasible: [model] is meaningless *)
+}
+
+val run : Model.t -> result

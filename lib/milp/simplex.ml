@@ -1,0 +1,323 @@
+(* Two-phase primal simplex on a dense tableau.
+
+   Internal standard form: minimize c·y s.t. A·y = b, y ≥ 0, b ≥ 0.
+   The model is converted by (i) shifting every variable by its finite lower
+   bound, (ii) turning finite upper bounds into rows, (iii) adding slack /
+   surplus / artificial columns.  Phase 1 minimizes the artificial sum. *)
+
+type result =
+  | Optimal of { objective : float; solution : float array; pivots : int }
+  | Infeasible
+  | Unbounded
+  | Pivot_limit
+
+let eps = 1e-9
+
+type tableau = {
+  m : int;                    (* rows *)
+  n : int;                    (* columns *)
+  a : float array array;      (* m × n *)
+  b : float array;            (* m, kept ≥ 0 *)
+  basis : int array;          (* basic column of each row *)
+  allowed : bool array;       (* columns eligible to enter *)
+  mutable pivots : int;
+}
+
+let pivot t ~row ~col =
+  let arow = t.a.(row) in
+  let p = arow.(col) in
+  for j = 0 to t.n - 1 do
+    arow.(j) <- arow.(j) /. p
+  done;
+  t.b.(row) <- t.b.(row) /. p;
+  for i = 0 to t.m - 1 do
+    if i <> row then begin
+      let f = t.a.(i).(col) in
+      if f <> 0. then begin
+        let irow = t.a.(i) in
+        for j = 0 to t.n - 1 do
+          irow.(j) <- irow.(j) -. (f *. arow.(j))
+        done;
+        t.b.(i) <- t.b.(i) -. (f *. t.b.(row))
+      end
+    end
+  done;
+  t.basis.(row) <- col;
+  t.pivots <- t.pivots + 1
+
+(* Reduced cost of column j for cost vector c under current basis:
+   d_j = c_j - Σ_i c_basis(i) · a_ij.  We keep an explicit cost row instead,
+   updated by the same pivot operations, for O(1) access. *)
+
+type cost_row = { d : float array; mutable z : float }
+
+let make_cost_row t c =
+  (* d = c - c_B · A (computed from scratch), z = c_B · b *)
+  let d = Array.copy c in
+  let z = ref 0. in
+  for i = 0 to t.m - 1 do
+    let cb = c.(t.basis.(i)) in
+    if cb <> 0. then begin
+      z := !z +. (cb *. t.b.(i));
+      let arow = t.a.(i) in
+      for j = 0 to t.n - 1 do
+        d.(j) <- d.(j) -. (cb *. arow.(j))
+      done
+    end
+  done;
+  { d; z = !z }
+
+let update_cost_row t cr ~row ~col =
+  (* after [pivot t ~row ~col] the pivot row is normalized; eliminate d_col *)
+  let f = cr.d.(col) in
+  if f <> 0. then begin
+    let arow = t.a.(row) in
+    for j = 0 to t.n - 1 do
+      cr.d.(j) <- cr.d.(j) -. (f *. arow.(j))
+    done;
+    cr.z <- cr.z +. (f *. t.b.(row))
+  end
+
+type phase_outcome = Phase_optimal | Phase_unbounded | Phase_pivot_limit
+
+(* Minimize the cost row.  Dantzig pricing; Bland's rule once the pivot count
+   passes [bland_after] (anti-cycling). *)
+let run_phase t cr ~max_pivots ~bland_after =
+  let choose_entering () =
+    if t.pivots >= bland_after then begin
+      (* Bland: smallest eligible index *)
+      let rec go j =
+        if j >= t.n then None
+        else if t.allowed.(j) && cr.d.(j) < -.eps then Some j
+        else go (j + 1)
+      in
+      go 0
+    end
+    else begin
+      let best = ref (-1) and best_d = ref (-.eps) in
+      for j = 0 to t.n - 1 do
+        if t.allowed.(j) && cr.d.(j) < !best_d then begin
+          best := j;
+          best_d := cr.d.(j)
+        end
+      done;
+      if !best < 0 then None else Some !best
+    end
+  in
+  let choose_leaving col =
+    let best = ref (-1) and best_ratio = ref infinity in
+    for i = 0 to t.m - 1 do
+      let aij = t.a.(i).(col) in
+      if aij > eps then begin
+        let ratio = t.b.(i) /. aij in
+        if ratio < !best_ratio -. eps
+           || (ratio < !best_ratio +. eps
+               && (!best < 0 || t.basis.(i) < t.basis.(!best)))
+        then begin
+          best := i;
+          best_ratio := ratio
+        end
+      end
+    done;
+    if !best < 0 then None else Some !best
+  in
+  let rec loop () =
+    if t.pivots >= max_pivots then Phase_pivot_limit
+    else
+      match choose_entering () with
+      | None -> Phase_optimal
+      | Some col -> (
+          match choose_leaving col with
+          | None -> Phase_unbounded
+          | Some row ->
+              pivot t ~row ~col;
+              update_cost_row t cr ~row ~col;
+              loop ())
+  in
+  loop ()
+
+(* ------------------------------------------------------------------ *)
+(* Model conversion                                                    *)
+
+type conversion = {
+  tab : tableau;
+  shift : float array;        (* x_model = shift + y_struct *)
+  nstruct : int;
+  nart : int;
+  art_start : int;            (* artificial columns are [art_start, n) *)
+}
+
+let convert m =
+  let nstruct = Model.var_count m in
+  let shift = Array.make nstruct 0. in
+  for x = 0 to nstruct - 1 do
+    let lb = Model.lower_bound m x in
+    if not (Float.is_finite lb) then
+      invalid_arg "Simplex: variable with infinite lower bound";
+    shift.(x) <- lb
+  done;
+  (* Collect rows: model rows plus one ≤ row per finite upper bound. *)
+  let rows = ref [] in
+  Model.iter_constraints m (fun r -> rows := (r.expr, r.cmp, r.rhs) :: !rows);
+  for x = 0 to nstruct - 1 do
+    let ub = Model.upper_bound m x in
+    if Float.is_finite ub then
+      rows := (Lin_expr.var x, Model.Le, ub) :: !rows
+  done;
+  let rows = List.rev !rows in
+  let nrows = List.length rows in
+  (* Shift rhs by the lower-bound offsets and normalize signs so b ≥ 0. *)
+  let shifted =
+    let apply (expr, cmp, rhs) =
+      let offset =
+        List.fold_left
+          (fun acc (x, a) -> acc +. (a *. shift.(x)))
+          0. (Lin_expr.terms expr)
+      in
+      (expr, cmp, rhs -. offset)
+    in
+    List.map apply rows
+  in
+  (* Column layout: structural | slack/surplus (one per inequality) |
+     artificials (as needed). *)
+  let n_ineq =
+    List.length
+      (List.filter (fun (_, cmp, _) -> cmp <> Model.Eq) shifted)
+  in
+  (* Worst case every row needs an artificial. *)
+  let max_cols = nstruct + n_ineq + nrows in
+  let a = Array.init nrows (fun _ -> Array.make max_cols 0.) in
+  let b = Array.make nrows 0. in
+  let basis = Array.make nrows (-1) in
+  let next_slack = ref nstruct in
+  let next_art = ref (nstruct + n_ineq) in
+  let fill i (expr, cmp, rhs) =
+    let arow = a.(i) in
+    let sign = if rhs < 0. then -1. else 1. in
+    List.iter (fun (x, c) -> arow.(x) <- sign *. c) (Lin_expr.terms expr);
+    b.(i) <- sign *. rhs;
+    let cmp =
+      if sign > 0. then cmp
+      else match cmp with Model.Le -> Model.Ge | Model.Ge -> Model.Le
+           | Model.Eq -> Model.Eq
+    in
+    (match cmp with
+    | Model.Le ->
+        let s = !next_slack in
+        incr next_slack;
+        arow.(s) <- 1.;
+        basis.(i) <- s
+    | Model.Ge ->
+        let s = !next_slack in
+        incr next_slack;
+        arow.(s) <- -1.
+    | Model.Eq -> ());
+    if basis.(i) < 0 then begin
+      let art = !next_art in
+      incr next_art;
+      arow.(art) <- 1.;
+      basis.(i) <- art
+    end
+  in
+  List.iteri fill shifted;
+  let n = !next_art in
+  let art_start = nstruct + n_ineq in
+  (* Row scaling for conditioning: divide each row by its max |coef| over
+     structural columns (slack/artificial coefficients stay ±1-ish). *)
+  for i = 0 to nrows - 1 do
+    let arow = a.(i) in
+    let scale = ref 0. in
+    for j = 0 to nstruct - 1 do
+      scale := Float.max !scale (Float.abs arow.(j))
+    done;
+    if !scale > eps && (!scale > 1e4 || !scale < 1e-4) then begin
+      for j = 0 to n - 1 do
+        arow.(j) <- arow.(j) /. !scale
+      done;
+      b.(i) <- b.(i) /. !scale
+    end
+  done;
+  let tab =
+    { m = nrows;
+      n;
+      a = Array.map (fun row -> Array.sub row 0 n) a;
+      b;
+      basis;
+      allowed = Array.make n true;
+      pivots = 0 }
+  in
+  { tab; shift; nstruct; nart = n - art_start; art_start }
+
+let extract_solution conv =
+  let t = conv.tab in
+  let y = Array.make t.n 0. in
+  for i = 0 to t.m - 1 do
+    if t.basis.(i) >= 0 then y.(t.basis.(i)) <- t.b.(i)
+  done;
+  Array.init conv.nstruct (fun x -> conv.shift.(x) +. y.(x))
+
+(* Drive basic artificials out of the basis (or deactivate their rows) so
+   phase 2 cannot make them positive again. *)
+let eliminate_artificials conv cr =
+  let t = conv.tab in
+  for j = conv.art_start to t.n - 1 do
+    t.allowed.(j) <- false
+  done;
+  for i = 0 to t.m - 1 do
+    if t.basis.(i) >= conv.art_start then begin
+      (* basic artificial: value must be ~0 after a feasible phase 1 *)
+      let col = ref (-1) in
+      for j = 0 to conv.art_start - 1 do
+        if !col < 0 && t.allowed.(j) && Float.abs t.a.(i).(j) > 1e-7 then
+          col := j
+      done;
+      if !col >= 0 then begin
+        pivot t ~row:i ~col:!col;
+        update_cost_row t cr ~row:i ~col:!col
+      end
+      (* else: redundant row; the artificial stays basic at 0 and its column
+         is not allowed to re-enter, so the row is inert. *)
+    end
+  done
+
+let solve_relaxation ?max_pivots m =
+  let conv = convert m in
+  let t = conv.tab in
+  let max_pivots =
+    match max_pivots with
+    | Some p -> p
+    | None -> 20_000 + (50 * (t.m + t.n))
+  in
+  let bland_after = max_pivots - (max_pivots / 4) in
+  (* Phase 1 *)
+  let phase1_cost = Array.make t.n 0. in
+  for j = conv.art_start to t.n - 1 do
+    phase1_cost.(j) <- 1.
+  done;
+  let cr1 = make_cost_row t phase1_cost in
+  (match run_phase t cr1 ~max_pivots ~bland_after with
+  | Phase_optimal -> ()
+  | Phase_unbounded -> assert false (* phase-1 objective is bounded below *)
+  | Phase_pivot_limit -> raise Exit);
+  if cr1.z > 1e-6 then Infeasible
+  else begin
+    eliminate_artificials conv cr1;
+    (* Phase 2 *)
+    let phase2_cost = Array.make t.n 0. in
+    List.iter
+      (fun (x, c) -> phase2_cost.(x) <- c)
+      (Lin_expr.terms (Model.objective m));
+    let cr2 = make_cost_row t phase2_cost in
+    match run_phase t cr2 ~max_pivots ~bland_after with
+    | Phase_optimal ->
+        let solution = extract_solution conv in
+        let objective =
+          Lin_expr.eval (Model.objective m) (fun x -> solution.(x))
+        in
+        Optimal { objective; solution; pivots = t.pivots }
+    | Phase_unbounded -> Unbounded
+    | Phase_pivot_limit -> Pivot_limit
+  end
+
+let solve_relaxation ?max_pivots m =
+  try solve_relaxation ?max_pivots m with Exit -> Pivot_limit

@@ -1,0 +1,22 @@
+(** Two-phase primal simplex on a dense tableau — the LP engine under
+    {!Lp_bb}.
+
+    Solves the continuous relaxation of a {!Model.t}: integrality is dropped,
+    bounds are kept.  Variables must have a finite lower bound (all model
+    kinds produced by this library do); finite upper bounds become rows.
+    Dantzig pricing with an automatic switch to Bland's rule guards against
+    cycling.  Intended for the moderate, dense problems of the paper's
+    scale — not a sparse industrial code. *)
+
+type result =
+  | Optimal of { objective : float; solution : float array; pivots : int }
+      (** [solution] is indexed by model variable. *)
+  | Infeasible
+  | Unbounded
+  | Pivot_limit
+      (** [max_pivots] exhausted before termination. *)
+
+val solve_relaxation : ?max_pivots:int -> Model.t -> result
+(** Minimize the model objective over the LP relaxation.
+    [max_pivots] defaults to [20_000 + 50·(rows + vars)].
+    @raise Invalid_argument if some variable has an infinite lower bound. *)

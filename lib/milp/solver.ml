@@ -1,0 +1,164 @@
+type backend =
+  | Pseudo_boolean
+  | Lp_branch_bound
+  | Brute_force
+
+type outcome =
+  | Optimal of { objective : float; solution : float array }
+  | Infeasible
+  | Unbounded
+  | Limit_reached of { incumbent : (float * float array) option }
+
+type run_stats = {
+  backend : backend;
+  nodes : int;
+  propagations : int;
+  conflicts : int;
+  pivots : int;
+  presolve_fixed : int;
+  presolve_dropped : int;
+  elapsed : float;
+}
+
+let backend_name = function
+  | Pseudo_boolean -> "pb"
+  | Lp_branch_bound -> "lp-bb"
+  | Brute_force -> "brute"
+
+let solution_value solution x = solution.(x) >= 0.5
+
+let now () = Sys.time ()
+
+let solve ?backend ?(presolve = true) ?max_nodes ?time_limit m =
+  let t0 = now () in
+  let backend =
+    match backend with
+    | Some b -> b
+    | None -> if Model.is_pure_boolean m then Pseudo_boolean
+              else Lp_branch_bound
+  in
+  let pre =
+    if presolve then Presolve.run m
+    else { Presolve.model = m; fixed = []; dropped_rows = 0;
+           infeasible = false }
+  in
+  let empty_stats =
+    { backend;
+      nodes = 0;
+      propagations = 0;
+      conflicts = 0;
+      pivots = 0;
+      presolve_fixed = List.length pre.Presolve.fixed;
+      presolve_dropped = pre.Presolve.dropped_rows;
+      elapsed = 0. }
+  in
+  let outcome, stats =
+    if pre.Presolve.infeasible then (Infeasible, empty_stats)
+    else begin
+      let m' =
+        if presolve then pre.Presolve.model else Model.copy m
+      in
+      (* implied objective lower bound: lets branch-and-bound close
+         optimality proofs that propagation alone cannot (see Obj_bound) *)
+      let lower_bound =
+        match Obj_bound.strengthen m' with
+        | Some b -> b
+        | None -> neg_infinity
+      in
+      match backend with
+      | Pseudo_boolean ->
+          (* Optimistic probe: when the combinatorial bound exists, first try
+             pure feasibility at cost ≤ bound — success is a proven optimum
+             and sidesteps the incumbent-improvement search entirely. *)
+          let probe_spent = ref 0. in
+          let probe =
+            if Float.is_finite lower_bound then begin
+              let probe_model = Model.copy m' in
+              let scale = 1e-6 *. Float.max 1. (Float.abs lower_bound) in
+              Model.add_constraint ~name:"lb_probe" probe_model
+                (Model.objective probe_model)
+                Le (lower_bound +. scale);
+              Model.set_objective probe_model Lin_expr.zero;
+              let probe_limit = Option.map (fun t -> t /. 2.) time_limit in
+              probe_spent := Sys.time ();
+              match
+                Pb_solver.solve ?max_decisions:max_nodes
+                  ?time_limit:probe_limit probe_model
+              with
+              | Pb_solver.Optimal { solution; _ }, s ->
+                  let objective =
+                    Model.objective_value m' (fun x -> solution.(x))
+                  in
+                  Some (Optimal { objective; solution }, s)
+              | (Pb_solver.Infeasible | Pb_solver.Limit_reached _), _ ->
+                  None
+            end
+            else None
+          in
+          let o, s =
+            match probe with
+            | Some (outcome, s) -> (outcome, s)
+            | None ->
+                (* main search keeps whatever budget the probe left *)
+                let remaining =
+                  Option.map
+                    (fun t ->
+                      if !probe_spent > 0. then
+                        Float.max (t /. 4.)
+                          (t -. (Sys.time () -. !probe_spent))
+                      else t)
+                    time_limit
+                in
+                let o, s =
+                  Pb_solver.solve ?max_decisions:max_nodes
+                    ?time_limit:remaining ~lower_bound m'
+                in
+                let outcome =
+                  match o with
+                  | Pb_solver.Optimal { objective; solution } ->
+                      Optimal { objective; solution }
+                  | Pb_solver.Infeasible -> Infeasible
+                  | Pb_solver.Limit_reached { incumbent } ->
+                      Limit_reached { incumbent }
+                in
+                (outcome, s)
+          in
+          (o,
+           { empty_stats with
+             nodes = s.Pb_solver.decisions;
+             propagations = s.Pb_solver.propagations;
+             conflicts = s.Pb_solver.conflicts })
+      | Lp_branch_bound ->
+          let o, s = Lp_bb.solve ?max_nodes ?time_limit m' in
+          let outcome =
+            match o with
+            | Lp_bb.Optimal { objective; solution } ->
+                Optimal { objective; solution }
+            | Lp_bb.Infeasible -> Infeasible
+            | Lp_bb.Unbounded -> Unbounded
+            | Lp_bb.Limit_reached { incumbent } -> Limit_reached { incumbent }
+          in
+          (outcome,
+           { empty_stats with nodes = s.Lp_bb.nodes;
+             pivots = s.Lp_bb.pivots })
+      | Brute_force ->
+          let outcome =
+            match Brute.solve m' with
+            | Brute.Optimal { objective; solution } ->
+                Optimal { objective; solution }
+            | Brute.Infeasible -> Infeasible
+          in
+          (outcome, empty_stats)
+    end
+  in
+  (outcome, { stats with elapsed = now () -. t0 })
+
+let pp_outcome ppf = function
+  | Optimal { objective; _ } ->
+      Format.fprintf ppf "optimal (objective %g)" objective
+  | Infeasible -> Format.fprintf ppf "infeasible"
+  | Unbounded -> Format.fprintf ppf "unbounded"
+  | Limit_reached { incumbent = Some (c, _) } ->
+      Format.fprintf ppf "limit reached (incumbent %g)" c
+  | Limit_reached { incumbent = None } ->
+      Format.fprintf ppf "limit reached (no incumbent)"

@@ -1,0 +1,49 @@
+(** Unified solver front-end (the [SOLVEILP] of Algorithms 1 and 3).
+
+    Dispatches a model to one of the exact backends and reports a common
+    outcome plus solve statistics. *)
+
+type backend =
+  | Pseudo_boolean   (** {!Pb_solver} — default for pure 0-1 models *)
+  | Lp_branch_bound  (** {!Lp_bb} over {!Simplex} *)
+  | Brute_force      (** {!Brute} — tiny models / testing *)
+
+type outcome =
+  | Optimal of { objective : float; solution : float array }
+  | Infeasible
+  | Unbounded
+  | Limit_reached of { incumbent : (float * float array) option }
+
+type run_stats = {
+  backend : backend;
+  nodes : int;          (** decisions (PB) or B&B nodes (LP) *)
+  propagations : int;   (** PB only *)
+  conflicts : int;      (** PB only *)
+  pivots : int;         (** LP only *)
+  presolve_fixed : int;
+  presolve_dropped : int;
+  elapsed : float;      (** seconds *)
+}
+
+val solve :
+  ?backend:backend ->
+  ?presolve:bool ->
+  ?max_nodes:int ->
+  ?time_limit:float ->
+  Model.t -> outcome * run_stats
+(** Minimize the model.  [backend] defaults to [Pseudo_boolean] when the
+    model is pure Boolean, [Lp_branch_bound] otherwise.  [presolve]
+    (default true) runs {!Presolve} first.  [time_limit] is wall-clock
+    seconds (the caller's model is never mutated).
+
+    The front-end computes the {!Obj_bound} combinatorial lower bound,
+    injects it as an implied row, and — for the PB backend — first probes
+    pure feasibility at cost ≤ bound (half the time budget): a probe hit is
+    returned as a proven optimum (up to a 1e-6 relative tolerance on
+    non-integral objectives, the ε of the paper's Theorem 1). *)
+
+val solution_value : float array -> Model.var -> bool
+(** Convenience: read a 0-1 solution entry as a Boolean (≥ 0.5). *)
+
+val backend_name : backend -> string
+val pp_outcome : Format.formatter -> outcome -> unit

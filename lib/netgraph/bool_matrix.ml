@@ -1,0 +1,113 @@
+type t = { n : int; bits : bool array }
+(* Row-major [n × n]; bool array keeps the code simple and is fast enough for
+   the template sizes in play (n ≤ a few hundred). *)
+
+let create n =
+  if n < 0 then invalid_arg "Bool_matrix.create";
+  { n; bits = Array.make (n * n) false }
+
+let dim m = m.n
+
+let check m i j =
+  if i < 0 || i >= m.n || j < 0 || j >= m.n then
+    invalid_arg "Bool_matrix: index out of range"
+
+let get m i j = check m i j; m.bits.((i * m.n) + j)
+let set m i j v = check m i j; m.bits.((i * m.n) + j) <- v
+
+let identity n =
+  let m = create n in
+  for i = 0 to n - 1 do set m i i true done;
+  m
+
+let copy m = { n = m.n; bits = Array.copy m.bits }
+let equal a b = a.n = b.n && a.bits = b.bits
+
+let of_graph g =
+  let m = create (Digraph.node_count g) in
+  List.iter (fun (u, v) -> set m u v true) (Digraph.edges g);
+  m
+
+let to_graph m =
+  let g = Digraph.create m.n in
+  for i = 0 to m.n - 1 do
+    for j = 0 to m.n - 1 do
+      if i <> j && get m i j then Digraph.add_edge g i j
+    done
+  done;
+  g
+
+let same_dim a b op =
+  if a.n <> b.n then invalid_arg ("Bool_matrix." ^ op ^ ": dimensions differ")
+
+let logical_or a b =
+  same_dim a b "logical_or";
+  { n = a.n; bits = Array.map2 ( || ) a.bits b.bits }
+
+let logical_and a b =
+  same_dim a b "logical_and";
+  { n = a.n; bits = Array.map2 ( && ) a.bits b.bits }
+
+let logical_product a b =
+  same_dim a b "logical_product";
+  let n = a.n in
+  let c = create n in
+  for i = 0 to n - 1 do
+    for k = 0 to n - 1 do
+      if a.bits.((i * n) + k) then
+        for j = 0 to n - 1 do
+          if b.bits.((k * n) + j) then c.bits.((i * n) + j) <- true
+        done
+    done
+  done;
+  c
+
+let logical_power e k =
+  if k < 0 then invalid_arg "Bool_matrix.logical_power: negative exponent";
+  let rec go acc base k =
+    if k = 0 then acc
+    else
+      let acc = if k land 1 = 1 then logical_product acc base else acc in
+      go acc (logical_product base base) (k lsr 1)
+  in
+  go (identity e.n) e k
+
+let walk_indicator e n =
+  if n < 0 then invalid_arg "Bool_matrix.walk_indicator: negative length";
+  let acc = ref (create e.n) in
+  let pow = ref (identity e.n) in
+  for _ = 1 to n do
+    pow := logical_product !pow e;
+    acc := logical_or !acc !pow
+  done;
+  !acc
+
+let transitive_closure e =
+  (* η_n for n = dim is enough; iterate (I ∨ e)^2^k until fixpoint, then
+     drop the diagonal contribution added by I. *)
+  let n = e.n in
+  let with_id = logical_or e (identity n) in
+  let rec fix m =
+    let m2 = logical_product m m in
+    if equal m m2 then m else fix m2
+  in
+  let closure = fix with_id in
+  (* closure = I ∨ η_n ; recover η_n = e ⊙ closure ∨ e *)
+  logical_or (logical_product e closure) e
+
+let row m i =
+  if i < 0 || i >= m.n then invalid_arg "Bool_matrix.row";
+  Array.sub m.bits (i * m.n) m.n
+
+let count_true m =
+  Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 m.bits
+
+let pp ppf m =
+  Format.fprintf ppf "@[<v>";
+  for i = 0 to m.n - 1 do
+    for j = 0 to m.n - 1 do
+      Format.pp_print_char ppf (if get m i j then '1' else '.')
+    done;
+    if i < m.n - 1 then Format.pp_print_cut ppf ()
+  done;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,49 @@
+(** Boolean (logical) matrices and the walk-indicator algebra of Lemma 1.
+
+    For an adjacency matrix [e], the logical product
+    [(a ⊙ b)_ij = ∨_k (a_ik ∧ b_kj)], the logical power [e^k], and the
+    walk-indicator matrix [η_n = ∨_{k=1..n} e^k] — whose [(i, j)] entry is 1
+    iff a directed walk of length at most [n] leads from [i] to [j] — are the
+    machinery used by [ADDPATH] (Eq. 6) and the ILP-AR encoding (Eq. 11). *)
+
+type t
+
+val create : int -> t
+(** [create n] is the [n × n] all-zero matrix. *)
+
+val identity : int -> t
+val dim : t -> int
+val get : t -> int -> int -> bool
+val set : t -> int -> int -> bool -> unit
+val copy : t -> t
+val equal : t -> t -> bool
+
+val of_graph : Digraph.t -> t
+(** Adjacency matrix of a graph. *)
+
+val to_graph : t -> Digraph.t
+(** Graph whose edges are the true off-diagonal entries. *)
+
+val logical_or : t -> t -> t
+val logical_and : t -> t -> t
+
+val logical_product : t -> t -> t
+(** [logical_product a b] is [a ⊙ b].
+    @raise Invalid_argument if dimensions differ. *)
+
+val logical_power : t -> int -> t
+(** [logical_power e k] is [e^k = e ⊙ … ⊙ e] ([k ≥ 1]); [k = 0] is the
+    identity.  @raise Invalid_argument if [k < 0]. *)
+
+val walk_indicator : t -> int -> t
+(** [walk_indicator e n] is [η_n = ∨_{k=1..n} e^k] (Lemma 1): entry [(i, j)]
+    is true iff a directed walk of length in [1..n] goes from [i] to [j].
+    [n = 0] yields the zero matrix. *)
+
+val transitive_closure : t -> t
+(** [walk_indicator e (dim e)] — reachability by walks of any length,
+    computed by iterated squaring. *)
+
+val row : t -> int -> bool array
+val count_true : t -> int
+val pp : Format.formatter -> t -> unit

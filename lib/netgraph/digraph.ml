@@ -1,0 +1,147 @@
+module Iset = Set.Make (Int)
+
+type t = {
+  n : int;
+  succ : Iset.t array;
+  pred : Iset.t array;
+  mutable edge_count : int;
+}
+
+let create n =
+  if n < 0 then invalid_arg "Digraph.create: negative size";
+  { n; succ = Array.make n Iset.empty; pred = Array.make n Iset.empty;
+    edge_count = 0 }
+
+let node_count g = g.n
+let edge_count g = g.edge_count
+
+let check_node g v =
+  if v < 0 || v >= g.n then
+    invalid_arg (Printf.sprintf "Digraph: node %d out of range [0,%d)" v g.n)
+
+let mem_edge g u v =
+  check_node g u;
+  check_node g v;
+  Iset.mem v g.succ.(u)
+
+let add_edge g u v =
+  check_node g u;
+  check_node g v;
+  if u = v then invalid_arg "Digraph.add_edge: self-loop";
+  if not (Iset.mem v g.succ.(u)) then begin
+    g.succ.(u) <- Iset.add v g.succ.(u);
+    g.pred.(v) <- Iset.add u g.pred.(v);
+    g.edge_count <- g.edge_count + 1
+  end
+
+let remove_edge g u v =
+  check_node g u;
+  check_node g v;
+  if Iset.mem v g.succ.(u) then begin
+    g.succ.(u) <- Iset.remove v g.succ.(u);
+    g.pred.(v) <- Iset.remove u g.pred.(v);
+    g.edge_count <- g.edge_count - 1
+  end
+
+let of_edges n edges =
+  let g = create n in
+  List.iter (fun (u, v) -> add_edge g u v) edges;
+  g
+
+let copy g =
+  { n = g.n; succ = Array.copy g.succ; pred = Array.copy g.pred;
+    edge_count = g.edge_count }
+
+let succ g v = check_node g v; Iset.elements g.succ.(v)
+let pred g v = check_node g v; Iset.elements g.pred.(v)
+let out_degree g v = check_node g v; Iset.cardinal g.succ.(v)
+let in_degree g v = check_node g v; Iset.cardinal g.pred.(v)
+let degree g v = in_degree g v + out_degree g v
+
+let edges g =
+  let acc = ref [] in
+  for u = g.n - 1 downto 0 do
+    Iset.fold (fun v acc -> (u, v) :: acc) g.succ.(u) []
+    |> List.iter (fun e -> acc := e :: !acc)
+  done;
+  List.rev !acc
+
+let nodes g = List.init g.n Fun.id
+
+let used_nodes g =
+  List.filter (fun v -> degree g v > 0) (nodes g)
+
+let is_empty g = g.edge_count = 0
+
+(* Generic BFS marking from a root set following [next]. *)
+let mark_from n next roots =
+  let seen = Array.make n false in
+  let queue = Queue.create () in
+  let push v = if not seen.(v) then begin seen.(v) <- true; Queue.add v queue end in
+  List.iter push roots;
+  while not (Queue.is_empty queue) do
+    let v = Queue.pop queue in
+    Iset.iter push (next v)
+  done;
+  seen
+
+let reachable_from g roots =
+  List.iter (check_node g) roots;
+  mark_from g.n (fun v -> g.succ.(v)) roots
+
+let co_reachable_to g targets =
+  List.iter (check_node g) targets;
+  mark_from g.n (fun v -> g.pred.(v)) targets
+
+let exists_path g u v =
+  check_node g u;
+  check_node g v;
+  (reachable_from g [ u ]).(v)
+
+let topological_order g =
+  let indeg = Array.init g.n (fun v -> Iset.cardinal g.pred.(v)) in
+  let queue = Queue.create () in
+  Array.iteri (fun v d -> if d = 0 then Queue.add v queue) indeg;
+  let order = ref [] in
+  let count = ref 0 in
+  while not (Queue.is_empty queue) do
+    let v = Queue.pop queue in
+    incr count;
+    order := v :: !order;
+    let relax u =
+      indeg.(u) <- indeg.(u) - 1;
+      if indeg.(u) = 0 then Queue.add u queue
+    in
+    Iset.iter relax g.succ.(v)
+  done;
+  if !count = g.n then Some (List.rev !order) else None
+
+let has_cycle g = topological_order g = None
+
+let transpose g =
+  { n = g.n; succ = Array.copy g.pred; pred = Array.copy g.succ;
+    edge_count = g.edge_count }
+
+let induced g keep =
+  if Array.length keep <> g.n then invalid_arg "Digraph.induced: mask size";
+  let h = create g.n in
+  List.iter (fun (u, v) -> if keep.(u) && keep.(v) then add_edge h u v)
+    (edges g);
+  h
+
+let union a b =
+  if a.n <> b.n then invalid_arg "Digraph.union: node counts differ";
+  let g = copy a in
+  List.iter (fun (u, v) -> add_edge g u v) (edges b);
+  g
+
+let equal a b =
+  a.n = b.n && a.edge_count = b.edge_count
+  && Array.for_all2 Iset.equal a.succ b.succ
+
+let pp ppf g =
+  let pp_edge ppf (u, v) = Format.fprintf ppf "%d->%d" u v in
+  Format.fprintf ppf "@[digraph(n=%d;@ %a)@]" g.n
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ",@ ")
+       pp_edge)
+    (edges g)

@@ -1,0 +1,59 @@
+let escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      if c = '"' || c = '\\' then Buffer.add_char buf '\\';
+      Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let attrs_to_string = function
+  | [] -> ""
+  | attrs ->
+      let pair (k, v) = Printf.sprintf "%s=\"%s\"" k (escape v) in
+      " [" ^ String.concat ", " (List.map pair attrs) ^ "]"
+
+let to_dot ?(name = "g") ?node_label ?node_attrs ?edge_attrs
+    ?(rankdir = "LR") g =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "digraph %s {\n" name);
+  Buffer.add_string buf (Printf.sprintf "  rankdir=%s;\n" rankdir);
+  let node_line v =
+    let label =
+      match node_label with
+      | Some f -> [ ("label", f v) ]
+      | None -> []
+    in
+    let extra = match node_attrs with Some f -> f v | None -> [] in
+    match label @ extra with
+    | [] -> None
+    | attrs -> Some (Printf.sprintf "  n%d%s;\n" v (attrs_to_string attrs))
+  in
+  let declared = Hashtbl.create 16 in
+  let declare v =
+    if not (Hashtbl.mem declared v) then begin
+      Hashtbl.add declared v ();
+      match node_line v with
+      | Some line -> Buffer.add_string buf line
+      | None -> ()
+    end
+  in
+  (* Declare every node that has content, then all edge endpoints. *)
+  if node_label <> None || node_attrs <> None then
+    List.iter declare (Digraph.nodes g);
+  let edge (u, v) =
+    declare u;
+    declare v;
+    let attrs = match edge_attrs with Some f -> f (u, v) | None -> [] in
+    Buffer.add_string buf
+      (Printf.sprintf "  n%d -> n%d%s;\n" u v (attrs_to_string attrs))
+  in
+  List.iter edge (Digraph.edges g);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let write_file path text =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc text)

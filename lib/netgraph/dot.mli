@@ -1,0 +1,15 @@
+(** Graphviz (DOT) export for visual inspection of templates and
+    synthesized configurations. *)
+
+val to_dot :
+  ?name:string ->
+  ?node_label:(int -> string) ->
+  ?node_attrs:(int -> (string * string) list) ->
+  ?edge_attrs:(int * int -> (string * string) list) ->
+  ?rankdir:string ->
+  Digraph.t -> string
+(** Render a digraph as DOT text.  Isolated nodes are included only when
+    [node_label] or [node_attrs] give them content. *)
+
+val write_file : string -> string -> unit
+(** [write_file path dot_text] writes the text to [path]. *)

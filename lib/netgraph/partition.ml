@@ -1,0 +1,85 @@
+type t = {
+  type_of_node : int array;
+  classes : int list array; (* members per type, increasing *)
+  names : string array;
+}
+
+let make ?names type_of_node =
+  let n = Array.length type_of_node in
+  Array.iter
+    (fun ty -> if ty < 0 then invalid_arg "Partition.make: negative type")
+    type_of_node;
+  let type_count =
+    Array.fold_left (fun acc ty -> max acc (ty + 1)) 0 type_of_node
+  in
+  let buckets = Array.make type_count [] in
+  for v = n - 1 downto 0 do
+    buckets.(type_of_node.(v)) <- v :: buckets.(type_of_node.(v))
+  done;
+  Array.iteri
+    (fun j members ->
+      if members = [] then
+        invalid_arg
+          (Printf.sprintf "Partition.make: type %d has no members" j))
+    buckets;
+  let names =
+    match names with
+    | None -> Array.init type_count (Printf.sprintf "T%d")
+    | Some names ->
+        if Array.length names < type_count then
+          invalid_arg "Partition.make: not enough names";
+        Array.sub names 0 type_count
+  in
+  { type_of_node = Array.copy type_of_node; classes = buckets; names }
+
+let node_count p = Array.length p.type_of_node
+let type_count p = Array.length p.classes
+
+let check_node p v =
+  if v < 0 || v >= node_count p then invalid_arg "Partition: node out of range"
+
+let check_type p j =
+  if j < 0 || j >= type_count p then invalid_arg "Partition: type out of range"
+
+let type_of p v = check_node p v; p.type_of_node.(v)
+let name p j = check_type p j; p.names.(j)
+let members p j = check_type p j; p.classes.(j)
+let size p j = List.length (members p j)
+
+let max_class_size p =
+  Array.fold_left (fun acc c -> max acc (List.length c)) 0 p.classes
+
+let same_type p a b = type_of p a = type_of p b
+
+let reduce_path p path =
+  let rec go = function
+    | a :: b :: rest when same_type p a b -> go (a :: rest)
+    | a :: rest -> a :: go rest
+    | [] -> []
+  in
+  go path
+
+let types_on_path p path =
+  let seen = Array.make (type_count p) false in
+  let add acc v =
+    let ty = type_of p v in
+    if seen.(ty) then acc
+    else begin
+      seen.(ty) <- true;
+      ty :: acc
+    end
+  in
+  List.rev (List.fold_left add [] path)
+
+let pp ppf p =
+  let pp_class ppf j =
+    Format.fprintf ppf "%s={%a}" p.names.(j)
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.pp_print_char ppf ' ')
+         Format.pp_print_int)
+      p.classes.(j)
+  in
+  Format.fprintf ppf "@[<hv>%a@]"
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ";@ ")
+       pp_class)
+    (List.init (type_count p) Fun.id)

@@ -1,0 +1,44 @@
+(** Node partitions and component types (Definition II.2).
+
+    A partition [Π = {Π_1, …, Π_n}] of the node set assigns every node a
+    type; two nodes are interchangeable redundancy-wise iff they share a
+    type.  Types are dense integers [0 .. type_count - 1] and may carry a
+    display name. *)
+
+type t
+
+val make : ?names:string array -> int array -> t
+(** [make type_of_node] builds a partition from a per-node type array.
+    Types must be dense: every value in [0 .. max] must occur.
+    [names.(j)], when given, labels type [j].
+    @raise Invalid_argument on negative or non-dense types, or if [names]
+    has fewer entries than there are types. *)
+
+val node_count : t -> int
+val type_count : t -> int
+(** [n = |Π|]. *)
+
+val type_of : t -> int -> int
+val name : t -> int -> string
+(** Name of a type (defaults to ["T<j>"]). *)
+
+val members : t -> int -> int list
+(** [members p j] is [Π_j] in increasing node order. *)
+
+val size : t -> int -> int
+(** [|Π_j|]. *)
+
+val max_class_size : t -> int
+(** [k_max = max_j |Π_j|] (used by the ILP-AR encoding, Eq. 9). *)
+
+val same_type : t -> int -> int -> bool
+(** [a ~ b]. *)
+
+val reduce_path : t -> int list -> int list
+(** [reduce_path p μ] is the reduced path [μ̂]: every maximal run of
+    consecutive same-type nodes collapses to its first node (Sec. IV-A). *)
+
+val types_on_path : t -> int list -> int list
+(** Distinct types visited by a path, in first-visit order. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,102 @@
+type path = int list
+
+exception Too_many_paths
+
+(* Enumerate simple paths by DFS from each source towards the sink,
+   restricted to nodes that can still reach the sink (co-reachability
+   pruning).  Paths are produced source-first. *)
+let simple_paths ?max_length ?max_count g ~sources ~sink =
+  let can_reach = Digraph.co_reachable_to g [ sink ] in
+  let limit = match max_length with Some l -> l | None -> max_int in
+  let cap = match max_count with Some c -> c | None -> max_int in
+  if limit <= 0 then []
+  else begin
+    let n = Digraph.node_count g in
+    let on_path = Array.make n false in
+    let found = ref [] in
+    let count = ref 0 in
+    let emit rev_path =
+      incr count;
+      if !count > cap then raise Too_many_paths;
+      found := List.rev rev_path :: !found
+    in
+    let rec dfs v rev_path len =
+      if v = sink then emit rev_path
+      else if len < limit then begin
+        let visit w =
+          if (not on_path.(w)) && can_reach.(w) then begin
+            on_path.(w) <- true;
+            dfs w (w :: rev_path) (len + 1);
+            on_path.(w) <- false
+          end
+        in
+        List.iter visit (Digraph.succ g v)
+      end
+    in
+    let sources = List.sort_uniq compare sources in
+    let from_source s =
+      if can_reach.(s) then begin
+        on_path.(s) <- true;
+        dfs s [ s ] 1;
+        on_path.(s) <- false
+      end
+    in
+    List.iter from_source sources;
+    List.rev !found
+  end
+
+let count_paths ?max_length g ~sources ~sink =
+  List.length (simple_paths ?max_length g ~sources ~sink)
+
+let shortest_path_length g ~sources ~sink =
+  let n = Digraph.node_count g in
+  let dist = Array.make n (-1) in
+  let queue = Queue.create () in
+  let push d v =
+    if dist.(v) < 0 then begin
+      dist.(v) <- d;
+      Queue.add v queue
+    end
+  in
+  List.iter (push 1) (List.sort_uniq compare sources);
+  let rec loop () =
+    if Queue.is_empty queue then None
+    else
+      let v = Queue.pop queue in
+      if v = sink then Some dist.(v)
+      else begin
+        List.iter (push (dist.(v) + 1)) (Digraph.succ g v);
+        loop ()
+      end
+  in
+  loop ()
+
+let node_set path = List.sort_uniq compare path
+
+let minimal_path_sets ?max_length ?max_count g ~sources ~sink =
+  let paths = simple_paths ?max_length ?max_count g ~sources ~sink in
+  let with_sets = List.map (fun p -> (p, node_set p)) paths in
+  let subset a b =
+    (* both sorted *)
+    let rec go a b =
+      match (a, b) with
+      | [], _ -> true
+      | _, [] -> false
+      | x :: a', y :: b' ->
+          if x = y then go a' b' else if x > y then go a b' else false
+    in
+    go a b
+  in
+  let strictly_subsumed (p, s) =
+    List.exists (fun (q, s') -> q != p && subset s' s && s' <> s) with_sets
+  in
+  (* Among paths with identical node sets keep only the first. *)
+  let rec dedup seen = function
+    | [] -> []
+    | (p, s) :: rest ->
+        if List.mem s seen then dedup seen rest
+        else (p, s) :: dedup (s :: seen) rest
+  in
+  dedup [] with_sets
+  |> List.filter (fun ps -> not (strictly_subsumed ps))
+  |> List.map fst

@@ -1,0 +1,39 @@
+(** Simple-path enumeration.
+
+    A functional link [F_i] (Sec. II) is the set of simple paths from any
+    source to a sink; exact reliability analysis and the approximate algebra
+    both start from this enumeration. *)
+
+type path = int list
+(** A path as its node sequence, source first. *)
+
+val simple_paths :
+  ?max_length:int -> ?max_count:int -> Digraph.t -> sources:int list ->
+  sink:int -> path list
+(** All simple (node-distinct) directed paths from any node of [sources] to
+    [sink].  A source that *is* the sink yields the singleton path [[sink]].
+    [max_length] bounds the number of nodes on a path; [max_count] aborts
+    enumeration (raising [Too_many_paths]) once exceeded — both default to
+    unbounded.  Enumeration prunes nodes that cannot reach the sink, so it
+    touches only the relevant subgraph. *)
+
+exception Too_many_paths
+
+val count_paths :
+  ?max_length:int -> Digraph.t -> sources:int list -> sink:int -> int
+(** Number of simple paths (enumeration-based; intended for templates where
+    the count is moderate). *)
+
+val shortest_path_length :
+  Digraph.t -> sources:int list -> sink:int -> int option
+(** Number of nodes on a shortest source→sink path ([None] if unreachable). *)
+
+val minimal_path_sets :
+  ?max_length:int -> ?max_count:int -> Digraph.t -> sources:int list ->
+  sink:int -> path list
+(** Simple paths whose node sets are minimal w.r.t. inclusion — the minimal
+    path sets of the K-terminal reliability problem.  Subsumed paths (whose
+    node set is a superset of another path's) are dropped. *)
+
+val node_set : path -> int list
+(** Sorted distinct nodes of a path. *)

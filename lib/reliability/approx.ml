@@ -1,0 +1,76 @@
+module Digraph = Netgraph.Digraph
+module Partition = Netgraph.Partition
+module Paths = Netgraph.Paths
+
+type link = {
+  paths : Paths.path list;
+  reduced : Paths.path list;
+  sink : int;
+}
+
+let functional_link ?max_length ?max_count g partition ~sources ~sink =
+  let paths = Paths.simple_paths ?max_length ?max_count g ~sources ~sink in
+  let reduced = List.map (Partition.reduce_path partition) paths in
+  ignore partition;
+  { paths; reduced; sink }
+
+let jointly_implements partition link j =
+  link.paths <> []
+  && List.for_all
+       (fun path -> List.exists (fun v -> Partition.type_of partition v = j)
+                      path)
+       link.paths
+
+let implementing_types partition link =
+  List.filter
+    (jointly_implements partition link)
+    (List.init (Partition.type_count partition) Fun.id)
+
+let degree_of_redundancy partition link j =
+  let members =
+    List.concat_map
+      (fun path ->
+        List.filter (fun v -> Partition.type_of partition v = j) path)
+      link.reduced
+  in
+  List.length (List.sort_uniq compare members)
+
+let failure_estimate partition ~type_fail link =
+  if link.paths = [] then 1.
+  else begin
+    let contribution j =
+      let h = degree_of_redundancy partition link j in
+      let p = type_fail j in
+      float_of_int h *. (p ** float_of_int h)
+    in
+    List.fold_left
+      (fun acc j -> acc +. contribution j)
+      0.
+      (implementing_types partition link)
+  end
+
+let theorem2_bound partition link =
+  let f = List.length link.paths in
+  if f = 0 then 0.
+  else begin
+    let m = List.length (implementing_types partition link) in
+    let big_m =
+      List.fold_left
+        (fun acc path -> acc *. float_of_int (List.length path))
+        1. link.paths
+    in
+    float_of_int m *. float_of_int f /. big_m
+  end
+
+let uniform_type_fail partition ~node_fail j =
+  match Partition.members partition j with
+  | [] -> invalid_arg "Approx.uniform_type_fail: empty type"
+  | first :: rest ->
+      let p = node_fail first in
+      let agree v = Float.abs (node_fail v -. p) <= 1e-12 in
+      if not (List.for_all agree rest) then
+        invalid_arg
+          (Printf.sprintf
+             "Approx.uniform_type_fail: type %s members disagree"
+             (Partition.name partition j));
+      p

@@ -1,0 +1,49 @@
+(** The approximate reliability algebra of Sec. IV-A.
+
+    Components contribute to a functional link's failure probability
+    according to their {e degree of redundancy}: with [h_ij] components of
+    type [j] used across the reduced paths of link [F_i],
+
+    {[  r~_i  =  Σ_{j ∈ I_i}  h_ij · p_j^h_ij          (Eq. 7)  ]}
+
+    where [I_i] is the set of types that {e jointly implement} [F_i]
+    (appear on every path).  Theorem 2 bounds the optimism:
+    [r~/r ≥ m·f / M_f]. *)
+
+type link = {
+  paths : Netgraph.Paths.path list;   (** the functional link's paths *)
+  reduced : Netgraph.Paths.path list; (** reduced paths [μ̂] *)
+  sink : int;
+}
+
+val functional_link :
+  ?max_length:int -> ?max_count:int ->
+  Netgraph.Digraph.t -> Netgraph.Partition.t -> sources:int list ->
+  sink:int -> link
+(** Enumerate the link's paths and their reductions. *)
+
+val jointly_implements : Netgraph.Partition.t -> link -> int -> bool
+(** [Π_j ⊢ F_i]: every path of the link crosses type [j].  A link with no
+    paths is implemented by no type. *)
+
+val implementing_types : Netgraph.Partition.t -> link -> int list
+(** [I_i], increasing. *)
+
+val degree_of_redundancy : Netgraph.Partition.t -> link -> int -> int
+(** [h_ij]: distinct components of type [j] appearing on at least one
+    reduced path. *)
+
+val failure_estimate :
+  Netgraph.Partition.t -> type_fail:(int -> float) -> link -> float
+(** [r~] of Eq. 7.  [type_fail j] is the failure probability shared by the
+    components of type [j].  A link with no paths estimates 1. *)
+
+val theorem2_bound : Netgraph.Partition.t -> link -> float
+(** The Theorem 2 ratio [m·f / M_f] with [m = |I|], [f] the path count and
+    [M_f = Π_j |μ_j|]: the guaranteed lower bound on [r~ / r]. *)
+
+val uniform_type_fail :
+  Netgraph.Partition.t -> node_fail:(int -> float) -> int -> float
+(** Derive [p_j] from per-node probabilities, checking they agree within the
+    type (max deviation 1e-12).
+    @raise Invalid_argument when members of a type disagree. *)

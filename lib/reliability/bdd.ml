@@ -1,0 +1,130 @@
+type t =
+  | False
+  | True
+  | Node of { id : int; var : int; lo : t; hi : t }
+
+type man = {
+  n : int;
+  unique : (int * int * int, t) Hashtbl.t; (* (var, lo_id, hi_id) → node *)
+  ite_cache : (int * int * int, t) Hashtbl.t;
+  mutable next_id : int;
+}
+
+let manager ~nvars =
+  if nvars < 0 then invalid_arg "Bdd.manager";
+  { n = nvars;
+    unique = Hashtbl.create 1024;
+    ite_cache = Hashtbl.create 1024;
+    next_id = 2 }
+
+let nvars m = m.n
+let bot = False
+let top = True
+
+let id = function False -> 0 | True -> 1 | Node { id; _ } -> id
+
+let node_var = function
+  | False | True -> max_int
+  | Node { var; _ } -> var
+
+let low = function
+  | Node { lo; _ } -> lo
+  | (False | True) as t -> t
+
+let high = function
+  | Node { hi; _ } -> hi
+  | (False | True) as t -> t
+
+let mk m var lo hi =
+  if lo == hi then lo
+  else begin
+    let key = (var, id lo, id hi) in
+    match Hashtbl.find_opt m.unique key with
+    | Some node -> node
+    | None ->
+        let node = Node { id = m.next_id; var; lo; hi } in
+        m.next_id <- m.next_id + 1;
+        Hashtbl.add m.unique key node;
+        node
+  end
+
+let var m i =
+  if i < 0 || i >= m.n then invalid_arg "Bdd.var: out of range";
+  mk m i False True
+
+let rec ite m f g h =
+  match f with
+  | True -> g
+  | False -> h
+  | Node _ ->
+      if g == h then g
+      else if g == True && h == False then f
+      else begin
+        let key = (id f, id g, id h) in
+        match Hashtbl.find_opt m.ite_cache key with
+        | Some r -> r
+        | None ->
+            let v =
+              min (node_var f) (min (node_var g) (node_var h))
+            in
+            let cof t = if node_var t = v then (low t, high t) else (t, t) in
+            let f0, f1 = cof f and g0, g1 = cof g and h0, h1 = cof h in
+            let lo = ite m f0 g0 h0 and hi = ite m f1 g1 h1 in
+            let r = mk m v lo hi in
+            Hashtbl.add m.ite_cache key r;
+            r
+      end
+
+let neg m f = ite m f False True
+let conj m f g = ite m f g False
+let disj m f g = ite m f True g
+
+let conj_list m = List.fold_left (conj m) True
+let disj_list m = List.fold_left (disj m) False
+
+let equal a b = a == b
+let is_bot f = f == False
+let is_top f = f == True
+
+let node_id = id
+
+let root_decomposition = function
+  | False | True -> invalid_arg "Bdd.root_decomposition: constant"
+  | Node { var; lo; hi; _ } -> (var, lo, hi)
+
+let size root =
+  let seen = Hashtbl.create 64 in
+  let rec count = function
+    | False | True -> 0
+    | Node { id; lo; hi; _ } ->
+        if Hashtbl.mem seen id then 0
+        else begin
+          Hashtbl.add seen id ();
+          1 + count lo + count hi
+        end
+  in
+  count root
+
+let node_count m = m.next_id - 2
+
+let probability _man p root =
+  let memo = Hashtbl.create 64 in
+  let rec go = function
+    | False -> 0.
+    | True -> 1.
+    | Node { id; var; lo; hi } -> (
+        match Hashtbl.find_opt memo id with
+        | Some v -> v
+        | None ->
+            let pv = p var in
+            let v = (pv *. go hi) +. ((1. -. pv) *. go lo) in
+            Hashtbl.add memo id v;
+            v)
+  in
+  go root
+
+let rec eval f assign =
+  match f with
+  | False -> false
+  | True -> true
+  | Node { var; lo; hi; _ } -> eval (if assign var then hi else lo) assign

@@ -1,0 +1,63 @@
+(** Reduced ordered binary decision diagrams with hash-consing.
+
+    The workhorse of the exact reliability engine: the network structure
+    function ("sink is connected") is compiled to a BDD over independent
+    Bernoulli variables and its satisfaction probability is evaluated in one
+    linear pass over the diagram.  Variable order is the variable index. *)
+
+type man
+(** A manager owns the unique-node table and operation caches.  Diagrams
+    from different managers must not be mixed. *)
+
+type t
+
+val manager : nvars:int -> man
+(** Variables are [0 .. nvars-1]; smaller index = closer to the root. *)
+
+val nvars : man -> int
+
+val bot : t
+(** Constant false. *)
+
+val top : t
+(** Constant true. *)
+
+val var : man -> int -> t
+(** The single-variable function [xᵢ]. *)
+
+val neg : man -> t -> t
+val conj : man -> t -> t -> t
+val disj : man -> t -> t -> t
+val ite : man -> t -> t -> t -> t
+(** [ite m f g h] is [if f then g else h]. *)
+
+val conj_list : man -> t list -> t
+val disj_list : man -> t list -> t
+
+val equal : t -> t -> bool
+(** Constant time: hash-consing makes equality physical. *)
+
+val is_bot : t -> bool
+val is_top : t -> bool
+
+val root_decomposition : t -> int * t * t
+(** [(x, lo, hi)] of a decision node: [f = if x then hi else lo].
+    @raise Invalid_argument on a constant. *)
+
+val node_id : t -> int
+(** Unique id of a node within its manager (0 and 1 are the constants) —
+    usable as a hash key thanks to hash-consing. *)
+
+val size : t -> int
+(** Number of decision nodes reachable from this root. *)
+
+val node_count : man -> int
+(** Total decision nodes ever created in the manager. *)
+
+val probability : man -> (int -> float) -> t -> float
+(** [probability m p f] is [P(f = 1)] when variable [i] is an independent
+    Bernoulli with [P(xᵢ = 1) = p i].  Memoized per call, linear in
+    [size f]. *)
+
+val eval : t -> (int -> bool) -> bool
+(** Evaluate under a concrete assignment. *)

@@ -1,0 +1,87 @@
+module Iset = Set.Make (Int)
+
+(* The failure function F = ¬working is monotone increasing in the failure
+   variables, so its prime implicants are exactly the minimal cut sets.
+   Standard recursive prime extraction over the (reduced, ordered) BDD with
+   memoization and subsumption filtering. *)
+
+let failure_bdd net ~sink =
+  let man = Bdd.manager ~nvars:(Fail_model.var_count net) in
+  let working = Fail_model.working_bdd net man ~sink in
+  (man, Bdd.neg man working)
+
+(* node identity for memoization *)
+let rec primes memo ~max_width f =
+  if Bdd.is_top f then [ Iset.empty ]
+  else if Bdd.is_bot f then []
+  else begin
+    let key = Bdd.node_id f in
+    match Hashtbl.find_opt memo key with
+    | Some p -> p
+    | None ->
+        (* decompose on the root variable: F = x·F1 + ¬x·F0; monotone F has
+           F0 ≤ F1, so primes(F) = primes(F0) ∪ {x∪q : q ∈ primes(F1)
+           not subsuming a prime of F0} *)
+        let x, f0, f1 = Bdd.root_decomposition f in
+        let p0 = primes memo ~max_width f0 in
+        let p1 = primes memo ~max_width f1 in
+        let keeps q =
+          Iset.cardinal q < max_width
+          && not (List.exists (fun p -> Iset.subset p q) p0)
+        in
+        let extended =
+          List.filter_map
+            (fun q -> if keeps q then Some (Iset.add x q) else None)
+            p1
+        in
+        let result = p0 @ extended in
+        Hashtbl.add memo key result;
+        result
+  end
+
+let minimal_cut_sets ?(max_width = max_int) net ~sink =
+  let _man, failure = failure_bdd net ~sink in
+  let memo = Hashtbl.create 256 in
+  let cuts = primes memo ~max_width failure in
+  let cuts = List.map Iset.elements cuts in
+  List.sort
+    (fun a b ->
+      let c = compare (List.length a) (List.length b) in
+      if c <> 0 then c else compare a b)
+    cuts
+
+let rare_event_approximation net ~sink =
+  let cuts = minimal_cut_sets net ~sink in
+  List.fold_left
+    (fun acc cut ->
+      acc
+      +. List.fold_left
+           (fun p v -> p *. Fail_model.var_fail net v)
+           1. cut)
+    0. cuts
+
+let min_cut_width net ~sink =
+  match minimal_cut_sets net ~sink with
+  | [] -> max_int (* no cut: the sink can never be disconnected *)
+  | first :: _ -> List.length first
+
+let birnbaum_importance net ~sink v =
+  let graph = Fail_model.graph net in
+  let n = Netgraph.Digraph.node_count graph in
+  if v < 0 || v >= n then invalid_arg "Cut_sets.birnbaum_importance";
+  let with_prob p =
+    let node_fail = Array.init n (Fail_model.node_fail net) in
+    node_fail.(v) <- p;
+    let edge_fail =
+      List.filter_map
+        (fun (a, b) ->
+          let q = Fail_model.edge_fail net a b in
+          if q > 0. then Some ((a, b), q) else None)
+        (Netgraph.Digraph.edges graph)
+    in
+    Fail_model.make ~edge_fail graph
+      ~sources:(Fail_model.sources net)
+      ~node_fail
+  in
+  Exact.sink_failure (with_prob 1.) ~sink
+  -. Exact.sink_failure (with_prob 0.) ~sink

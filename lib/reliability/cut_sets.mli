@@ -1,0 +1,32 @@
+(** Minimal cut sets and cut-based approximations.
+
+    The dual view of the path-set analysis: a {e cut set} is a set of
+    components whose joint failure disconnects the sink from every source.
+    Minimal cut sets drive the classic rare-event approximation
+    [r ≈ Σ_C Π_{v∈C} p_v], the standard output of fault-tree tooling — the
+    methodology the paper contrasts with its structure-based approach
+    (Sec. I), provided here for interoperability and cross-checking. *)
+
+val minimal_cut_sets :
+  ?max_width:int -> Fail_model.t -> sink:int -> int list list
+(** All minimal cut sets (over the model's variables: node ids, plus edge
+    variables for failing edges), each sorted, the list ordered by width
+    then lexicographically.  [max_width] prunes the enumeration (default:
+    unbounded).  Computed from the structure-function BDD, so exact.
+    A sink with no source connection yields [[[]]]-like degenerate data:
+    the empty cut (it is always disconnected). *)
+
+val rare_event_approximation : Fail_model.t -> sink:int -> float
+(** [Σ_C Π p] over the minimal cut sets — an upper-bound-flavoured
+    first-order estimate, asymptotically exact as probabilities shrink. *)
+
+val min_cut_width : Fail_model.t -> sink:int -> int
+(** Width of the smallest cut — the architecture's redundancy order (how
+    many simultaneous failures it takes to lose the sink).  0 when the sink
+    is already disconnected. *)
+
+val birnbaum_importance : Fail_model.t -> sink:int -> int -> float
+(** Birnbaum importance of a component: [∂r/∂p_v], i.e. the probability
+    that [v] is critical — computed exactly as
+    [r(p_v := 1) - r(p_v := 0)].  Ranks which component's reliability
+    improvement buys the most system reliability. *)

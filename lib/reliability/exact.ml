@@ -1,0 +1,151 @@
+module Digraph = Netgraph.Digraph
+module Paths = Netgraph.Paths
+
+type engine =
+  | Bdd_compilation
+  | Inclusion_exclusion
+  | Factoring
+
+let bdd_failure net ~sink =
+  let man = Bdd.manager ~nvars:(Fail_model.var_count net) in
+  let working = Fail_model.working_bdd net man ~sink in
+  1. -. Bdd.probability man (Fail_model.var_fail net) working
+
+(* Inclusion–exclusion over minimal path sets: P(some path up) is the
+   alternating sum over non-empty subsets S of paths of
+   (-1)^(#S + 1) · prod over the union of S's variables of (1 - p). *)
+let inclusion_exclusion_failure net ~sink =
+  let g = Fail_model.graph net in
+  let paths =
+    Paths.minimal_path_sets g ~sources:(Fail_model.sources net) ~sink
+  in
+  let k = List.length paths in
+  if k = 0 then 1.
+  else if k > 24 then
+    invalid_arg
+      (Printf.sprintf
+         "Exact.Inclusion_exclusion: %d minimal path sets exceed limit 24" k)
+  else begin
+    (* Variables of a path: its nodes plus its failing edges. *)
+    let path_vars path =
+      let rec edges = function
+        | u :: (v :: _ as rest) -> (u, v) :: edges rest
+        | [ _ ] | [] -> []
+      in
+      let node_vars = List.map (Fail_model.node_var net) path in
+      let edge_vars =
+        List.filter_map
+          (fun (u, v) -> Fail_model.edge_var net u v)
+          (edges path)
+      in
+      List.sort_uniq compare (node_vars @ edge_vars)
+    in
+    let sets = Array.of_list (List.map path_vars paths) in
+    let union_up_probability mask =
+      let module Iset = Set.Make (Int) in
+      let union = ref Iset.empty in
+      Array.iteri
+        (fun i s ->
+          if mask land (1 lsl i) <> 0 then
+            union := List.fold_left (fun acc x -> Iset.add x acc) !union s)
+        sets;
+      Iset.fold
+        (fun x acc -> acc *. (1. -. Fail_model.var_fail net x))
+        !union 1.
+    in
+    let connected = ref 0. in
+    for mask = 1 to (1 lsl k) - 1 do
+      let bits =
+        let rec popcount m acc =
+          if m = 0 then acc else popcount (m lsr 1) (acc + (m land 1))
+        in
+        popcount mask 0
+      in
+      let sign = if bits land 1 = 1 then 1. else -1. in
+      connected := !connected +. (sign *. union_up_probability mask)
+    done;
+    1. -. !connected
+  end
+
+(* Pivotal decomposition on a node-failure-only view.
+   r(net) = p_v · r(net | v failed) + (1 - p_v) · r(net | v perfect). *)
+let factoring_failure net ~sink =
+  let net, _ = Fail_model.to_node_only net in
+  let sources = Fail_model.sources net in
+  let rec go g fail =
+    (* Relevance: nodes on some source→sink walk in the residual graph. *)
+    let reach = Digraph.reachable_from g sources in
+    if not reach.(sink) then 1.
+    else begin
+      let co = Digraph.co_reachable_to g [ sink ] in
+      let relevant v = reach.(v) && co.(v) in
+      (* A perfect path ⇒ failure probability 0: test on the subgraph of
+         perfect relevant nodes. *)
+      let perfect = Array.init (Array.length fail)
+          (fun v -> relevant v && fail.(v) = 0.)
+      in
+      let perfect_sub = Digraph.induced g perfect in
+      let perfect_sources = List.filter (fun s -> perfect.(s)) sources in
+      if perfect.(sink) && perfect_sources <> []
+         && (List.exists (fun s -> Digraph.exists_path perfect_sub s sink)
+               perfect_sources
+             || List.mem sink perfect_sources)
+      then 0.
+      else begin
+        (* Pivot on the relevant failing node with the largest probability. *)
+        let pivot = ref (-1) in
+        Array.iteri
+          (fun v p ->
+            if relevant v && p > 0.
+               && (!pivot < 0 || p > fail.(!pivot)) then pivot := v)
+          fail;
+        if !pivot < 0 then
+          (* no failing relevant node, but no perfect path either: the sink
+             itself must be disconnected — handled above, so unreachable *)
+          0.
+        else begin
+          let v = !pivot in
+          let p = fail.(v) in
+          (* v failed: drop the node entirely (unless it is the sink or the
+             only source, where failure is fatal for this sink). *)
+          let failed_branch =
+            if v = sink then 1.
+            else begin
+              let keep = Array.make (Array.length fail) true in
+              keep.(v) <- false;
+              let g' = Digraph.induced g keep in
+              let remaining_sources = List.filter (fun s -> s <> v) sources in
+              if remaining_sources = [] then 1.
+              else begin
+                let fail' = Array.copy fail in
+                fail'.(v) <- 0.;
+                go g' fail'
+              end
+            end
+          in
+          let perfect_branch =
+            let fail' = Array.copy fail in
+            fail'.(v) <- 0.;
+            go g fail'
+          in
+          (p *. failed_branch) +. ((1. -. p) *. perfect_branch)
+        end
+      end
+    end
+  in
+  let g = Fail_model.graph net in
+  let fail = Array.init (Digraph.node_count g) (Fail_model.node_fail net) in
+  go g fail
+
+let sink_failure ?(engine = Bdd_compilation) net ~sink =
+  match engine with
+  | Bdd_compilation -> bdd_failure net ~sink
+  | Inclusion_exclusion -> inclusion_exclusion_failure net ~sink
+  | Factoring -> factoring_failure net ~sink
+
+let all_sink_failures ?engine net ~sinks =
+  List.map (fun s -> (s, sink_failure ?engine net ~sink:s)) sinks
+
+let worst_failure ?engine net ~sinks =
+  List.fold_left (fun acc (_, r) -> Float.max acc r) 0.
+    (all_sink_failures ?engine net ~sinks)

@@ -1,0 +1,32 @@
+(** Exact K-terminal failure probabilities ([RELANALYSIS]).
+
+    Three independent engines; all compute
+    [r_i = P(no all-working source→sink path)] exactly (Eq. 5 / the
+    K-terminal reliability problem [1]).  The problem is NP-hard, which is
+    precisely why ILP-MR calls it lazily and ILP-AR avoids it — but on
+    architecture-sized graphs all three run in milliseconds and cross-check
+    each other in the test suite. *)
+
+type engine =
+  | Bdd_compilation
+      (** Compile the structure function to a BDD (default: polynomial on
+          the layered architectures in this repository). *)
+  | Inclusion_exclusion
+      (** Σ over non-empty subsets of minimal path sets; exponential in the
+          path count (guarded). *)
+  | Factoring
+      (** Pivotal decomposition  r = p·r(v failed) + (1-p)·r(v perfect). *)
+
+val sink_failure : ?engine:engine -> Fail_model.t -> sink:int -> float
+(** Failure probability [r] of one sink.  A sink unreachable even with all
+    components perfect has [r = 1].
+    @raise Invalid_argument for [Inclusion_exclusion] when the network has
+    more than 24 minimal path sets. *)
+
+val worst_failure : ?engine:engine -> Fail_model.t -> sinks:int list -> float
+(** [max] of {!sink_failure} over the given sinks — the paper's single
+    requirement figure [r] (Sec. III "worst case failure probability over a
+    set of nodes of interest").  [sinks = []] yields [0]. *)
+
+val all_sink_failures :
+  ?engine:engine -> Fail_model.t -> sinks:int list -> (int * float) list

@@ -1,0 +1,176 @@
+module Digraph = Netgraph.Digraph
+
+type t = {
+  graph : Digraph.t;
+  sources : int list;
+  node_fail : float array;
+  edge_vars : (int * int, int * float) Hashtbl.t;
+      (* failing edge → (variable, probability) *)
+  nvars : int;
+}
+
+let check_prob p =
+  if not (Float.is_finite p) || p < 0. || p > 1. then
+    invalid_arg "Fail_model: probability outside [0, 1]"
+
+let make ?(edge_fail = []) graph ~sources ~node_fail =
+  let n = Digraph.node_count graph in
+  if Array.length node_fail <> n then
+    invalid_arg "Fail_model.make: node_fail size mismatch";
+  Array.iter check_prob node_fail;
+  if sources = [] then invalid_arg "Fail_model.make: no sources";
+  List.iter
+    (fun s ->
+      if s < 0 || s >= n then invalid_arg "Fail_model.make: bad source")
+    sources;
+  let edge_vars = Hashtbl.create 16 in
+  let next = ref n in
+  let add_edge ((u, v), p) =
+    check_prob p;
+    if not (Digraph.mem_edge graph u v) then
+      invalid_arg "Fail_model.make: edge_fail entry not in graph";
+    if p > 0. && not (Hashtbl.mem edge_vars (u, v)) then begin
+      Hashtbl.add edge_vars (u, v) (!next, p);
+      incr next
+    end
+  in
+  List.iter add_edge edge_fail;
+  { graph;
+    sources = List.sort_uniq compare sources;
+    node_fail = Array.copy node_fail;
+    edge_vars;
+    nvars = !next }
+
+let graph t = t.graph
+let sources t = t.sources
+
+let node_fail t v =
+  if v < 0 || v >= Array.length t.node_fail then
+    invalid_arg "Fail_model.node_fail";
+  t.node_fail.(v)
+
+let edge_fail t u v =
+  match Hashtbl.find_opt t.edge_vars (u, v) with
+  | Some (_, p) -> p
+  | None -> 0.
+
+let var_count t = t.nvars
+let node_var _ v = v
+
+let edge_var t u v =
+  Option.map fst (Hashtbl.find_opt t.edge_vars (u, v))
+
+let var_fail t x =
+  let n = Array.length t.node_fail in
+  if x < n then t.node_fail.(x)
+  else begin
+    let found = ref 0. in
+    Hashtbl.iter (fun _ (v, p) -> if v = x then found := p) t.edge_vars;
+    !found
+  end
+
+let to_node_only t =
+  if Hashtbl.length t.edge_vars = 0 then
+    (t, Array.init (Array.length t.node_fail) Fun.id)
+  else begin
+    let n = Digraph.node_count t.graph in
+    let extra = Hashtbl.length t.edge_vars in
+    let g = Digraph.create (n + extra) in
+    let node_fail = Array.make (n + extra) 0. in
+    Array.blit t.node_fail 0 node_fail 0 n;
+    let next = ref n in
+    let route (u, v) =
+      match Hashtbl.find_opt t.edge_vars (u, v) with
+      | None -> Digraph.add_edge g u v
+      | Some (_, p) ->
+          let mid = !next in
+          incr next;
+          node_fail.(mid) <- p;
+          Digraph.add_edge g u mid;
+          Digraph.add_edge g mid v
+    in
+    List.iter route (Digraph.edges t.graph);
+    (make g ~sources:t.sources ~node_fail, Array.init n Fun.id)
+  end
+
+(* Structure function over failure variables: F_v true means component v has
+   failed.  working(i) = ¬F_i ∧ (source i ∨ ∨_{j→i} ¬F_ji ∧ working(j)).
+   On a DAG one pass in topological order suffices; otherwise iterate the
+   monotone operator to its least fixpoint. *)
+let working_bdd t man ~sink =
+  if Bdd.nvars man < t.nvars then
+    invalid_arg "Fail_model.working_bdd: manager too small";
+  let g = t.graph in
+  let n = Digraph.node_count g in
+  if sink < 0 || sink >= n then invalid_arg "Fail_model.working_bdd: sink";
+  let is_source = Array.make n false in
+  List.iter (fun s -> is_source.(s) <- true) t.sources;
+  let up_node v =
+    if t.node_fail.(v) = 0. then Bdd.top else Bdd.neg man (Bdd.var man v)
+  in
+  let up_edge u v =
+    match Hashtbl.find_opt t.edge_vars (u, v) with
+    | None -> Bdd.top
+    | Some (x, _) -> Bdd.neg man (Bdd.var man x)
+  in
+  let step w v =
+    let feed =
+      if is_source.(v) then Bdd.top
+      else
+        Bdd.disj_list man
+          (List.map (fun j -> Bdd.conj man (up_edge j v) w.(j))
+             (Digraph.pred g v))
+    in
+    Bdd.conj man (up_node v) feed
+  in
+  match Digraph.topological_order g with
+  | Some order ->
+      let w = Array.make n Bdd.bot in
+      List.iter (fun v -> w.(v) <- step w v) order;
+      w.(sink)
+  | None ->
+      let w = ref (Array.make n Bdd.bot) in
+      let stable = ref false in
+      while not !stable do
+        let w' = Array.init n (fun v -> step !w v) in
+        stable := Array.for_all2 Bdd.equal !w w';
+        w := w'
+      done;
+      !w.(sink)
+
+let path_failure_probability t path =
+  let rec go acc = function
+    | [] -> acc
+    | [ v ] -> acc *. (1. -. t.node_fail.(v))
+    | u :: (v :: _ as rest) ->
+        let acc = acc *. (1. -. t.node_fail.(u)) *. (1. -. edge_fail t u v) in
+        go acc rest
+  in
+  1. -. go 1. path
+
+let sample_sink_works t rng ~sink =
+  let n = Digraph.node_count t.graph in
+  let node_up = Array.init n (fun v -> Random.State.float rng 1. >= t.node_fail.(v)) in
+  let edge_up u v =
+    match Hashtbl.find_opt t.edge_vars (u, v) with
+    | None -> true
+    | Some (_, p) -> Random.State.float rng 1. >= p
+  in
+  (* BFS over up components and up edges *)
+  let seen = Array.make n false in
+  let queue = Queue.create () in
+  let push v =
+    if node_up.(v) && not seen.(v) then begin
+      seen.(v) <- true;
+      Queue.add v queue
+    end
+  in
+  List.iter push t.sources;
+  let found = ref false in
+  while not (Queue.is_empty queue || !found) do
+    let v = Queue.pop queue in
+    if v = sink then found := true
+    else
+      List.iter (fun w -> if edge_up v w then push w) (Digraph.succ t.graph v)
+  done;
+  !found

@@ -1,0 +1,61 @@
+(** Failure model of an architecture (Sec. II, Eq. 5).
+
+    Components (nodes) fail independently and permanently; a failed
+    component's adjacent links are unusable.  Interconnections (edges) may
+    also fail independently.  Because the control unit can activate any
+    switch, a sink performs its function iff {e some} directed source→sink
+    path has every node (and failing edge) working — Eq. 5 is exactly the
+    complement of this property. *)
+
+type t
+
+val make :
+  ?edge_fail:((int * int) * float) list ->
+  Netgraph.Digraph.t -> sources:int list -> node_fail:float array -> t
+(** [make g ~sources ~node_fail] builds a model.  [node_fail.(v)] is the
+    self-failure probability [P_v] (0 = perfect component).  [edge_fail]
+    lists interconnections with non-zero failure probability; unlisted edges
+    are perfect.
+    @raise Invalid_argument on size mismatch, probabilities outside [0,1],
+    an empty source list, or an [edge_fail] entry not present in the
+    graph. *)
+
+val graph : t -> Netgraph.Digraph.t
+val sources : t -> int list
+val node_fail : t -> int -> float
+val edge_fail : t -> int -> int -> float
+(** 0 for perfect or absent edges. *)
+
+val var_count : t -> int
+(** Number of Bernoulli variables: one per node plus one per failing edge. *)
+
+val node_var : t -> int -> int
+(** BDD/sampling variable of a node (the identity). *)
+
+val edge_var : t -> int -> int -> int option
+(** Variable of a failing edge, [None] if the edge is perfect. *)
+
+val var_fail : t -> int -> float
+(** Failure probability of a variable (node or edge). *)
+
+val to_node_only : t -> t * int array
+(** Model with every failing edge replaced by an intermediate node carrying
+    the edge's failure probability (series insertion) — an equivalent
+    node-failure-only network, plus the mapping from old node ids to new
+    (old nodes keep their ids; the array is the identity prefix).  Used by
+    engines that only reason about node failures. *)
+
+val working_bdd : t -> Bdd.man -> sink:int -> Bdd.t
+(** Structure function "sink is connected to some source", over the model's
+    variables ([var i] true = component [i] has {e failed}).  The manager
+    must have at least {!var_count} variables.  Handles cyclic graphs by
+    least-fixpoint iteration. *)
+
+val path_failure_probability : t -> Netgraph.Paths.path -> float
+(** [ρ(μ) = 1 - Π (1 - p)] over the path's nodes and its traversed failing
+    edges — the single-path failure probability used by [ESTPATH]. *)
+
+val sample_sink_works :
+  t -> Random.State.t -> sink:int -> bool
+(** Draw one joint failure sample and test connectivity (Monte-Carlo
+    primitive). *)

@@ -1,0 +1,21 @@
+type estimate = {
+  mean : float;
+  std_error : float;
+  trials : int;
+  failures : int;
+}
+
+let estimate_sink_failure ?(seed = 0x5eed) ~trials net ~sink =
+  if trials <= 0 then invalid_arg "Monte_carlo: trials must be positive";
+  let rng = Random.State.make [| seed |] in
+  let failures = ref 0 in
+  for _ = 1 to trials do
+    if not (Fail_model.sample_sink_works net rng ~sink) then incr failures
+  done;
+  let n = float_of_int trials in
+  let mean = float_of_int !failures /. n in
+  let std_error = sqrt (Float.max 0. (mean *. (1. -. mean) /. n)) in
+  { mean; std_error; trials; failures = !failures }
+
+let within e r k =
+  Float.abs (r -. e.mean) <= (k *. e.std_error) +. 1e-12

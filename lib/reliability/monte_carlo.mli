@@ -1,0 +1,24 @@
+(** Monte-Carlo estimation of sink failure probabilities.
+
+    Independent Bernoulli sampling of the joint failure state plus a
+    connectivity check per trial.  Useful as an engine-agnostic
+    cross-check of the exact engines (at moderate failure probabilities)
+    and for failure-injection style testing; useless at the [1e-10] scale
+    of certified avionics requirements — which is the paper's very argument
+    for analytic methods. *)
+
+type estimate = {
+  mean : float;          (** estimated failure probability *)
+  std_error : float;     (** binomial standard error *)
+  trials : int;
+  failures : int;
+}
+
+val estimate_sink_failure :
+  ?seed:int -> trials:int -> Fail_model.t -> sink:int -> estimate
+(** @raise Invalid_argument if [trials ≤ 0]. *)
+
+val within : estimate -> float -> float -> bool
+(** [within e r k] — is [r] inside [k] standard errors of the estimate
+    (always true for a degenerate all-failures/no-failures estimate whose
+    standard error is 0 when [r] matches exactly)? *)

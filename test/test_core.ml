@@ -1,0 +1,385 @@
+(* Tests for the ARCHEX core: GENILP encoding, RELANALYSIS, LEARNCONS
+   (ESTPATH / walk indicators / ADDPATH), ILP-MR and ILP-AR on small
+   templates where the optimum is known or checkable. *)
+
+module Digraph = Netgraph.Digraph
+module Component = Archlib.Component
+module Library = Archlib.Library
+module Requirement = Archlib.Requirement
+module Template = Archlib.Template
+module Model = Milp.Model
+module Solver = Milp.Solver
+
+let checkb = Alcotest.(check bool)
+let checkf eps = Alcotest.(check (float eps))
+let check_int = Alcotest.(check int)
+
+(* A small 3-layer template: 2 sources (p=0.1, cost 5), 3 middles (p=0.1,
+   cost 20), 1 sink (perfect, cost 0); full bipartite candidates with
+   switch cost 2. *)
+let small_lib =
+  Library.make ~switch_cost:2.
+    [ { Library.type_name = "SRC"; cost = 5.; fail_prob = 0.1 };
+      { type_name = "MID"; cost = 20.; fail_prob = 0.1 };
+      { type_name = "SNK"; cost = 0.; fail_prob = 0. } ]
+
+let small_template ?(with_requirements = true) () =
+  let comp ty name = Library.instantiate small_lib ~type_id:ty ~name in
+  let t =
+    Template.create
+      [| comp 0 "S1"; comp 0 "S2"; comp 1 "M1"; comp 1 "M2"; comp 1 "M3";
+         comp 2 "T" |]
+  in
+  List.iter
+    (fun (u, v) -> Template.add_candidate_edge ~switch_cost:2. t u v)
+    [ (0, 2); (0, 3); (0, 4); (1, 2); (1, 3); (1, 4); (2, 5); (3, 5);
+      (4, 5) ];
+  Template.set_sources t [ 0; 1 ];
+  Template.set_sinks t [ 5 ];
+  Template.set_type_chain t [ 0; 1; 2 ];
+  if with_requirements then begin
+    Template.add_requirement t (Requirement.require_powered 5);
+    Template.add_requirement t
+      (Requirement.at_least_incoming ~to_:5 ~from_:[ 2; 3; 4 ] 1);
+    (* middles feeding the sink must be fed by a source *)
+    List.iter
+      (fun m ->
+        Template.add_requirement t
+          (Requirement.Conditional_connect
+             ([ (m, 5) ], [ (0, m); (1, m) ])))
+      [ 2; 3; 4 ]
+  end;
+  t
+
+(* ------------------------------------------------------------------ *)
+(* Gen_ilp                                                             *)
+
+let test_encoding_size () =
+  let t = small_template () in
+  let enc = Archex.Gen_ilp.encode t in
+  (* 9 edge vars + 6 deltas + … *)
+  checkb "has edge vars" true
+    (Archex.Gen_ilp.edge_var_opt enc 0 2 <> None);
+  checkb "non-candidate has none" true
+    (Archex.Gen_ilp.edge_var_opt enc 2 0 = None);
+  checkb "delta for connected node" true
+    (Archex.Gen_ilp.delta_var enc 0 <> None);
+  checkb "model has rows" true
+    (Model.constraint_count (Archex.Gen_ilp.model enc) > 0)
+
+let test_minimal_solve_matches_eq1 () =
+  let t = small_template () in
+  let enc = Archex.Gen_ilp.encode t in
+  match Archex.Gen_ilp.solve enc with
+  | None -> Alcotest.fail "feasible template reported infeasible"
+  | Some (config, cost, _) ->
+      (* minimal: one source (5) + one middle (20) + sink + 2 switches (4) *)
+      checkf 1e-9 "objective = 29" 29. cost;
+      checkf 1e-9 "objective equals Eq. 1 on the configuration" cost
+        (Template.configuration_cost t config);
+      check_int "two edges" 2 (Digraph.edge_count config)
+
+let test_objective_matches_config_cost_always () =
+  (* For any solver outcome the model objective must equal Eq. 1. *)
+  let t = small_template () in
+  let enc = Archex.Gen_ilp.encode t in
+  let model = Archex.Gen_ilp.model enc in
+  (* force a bigger architecture: both sources, two middles *)
+  Model.fix model (Archex.Gen_ilp.edge_var enc 0 2) 1.;
+  Model.fix model (Archex.Gen_ilp.edge_var enc 1 3) 1.;
+  Model.fix model (Archex.Gen_ilp.edge_var enc 3 5) 1.;
+  match Archex.Gen_ilp.solve enc with
+  | None -> Alcotest.fail "infeasible"
+  | Some (config, cost, _) ->
+      checkf 1e-9 "Eq. 1 consistency" cost
+        (Template.configuration_cost t config)
+
+let test_isolated_node_requirement_rejected () =
+  let comp ty name = Library.instantiate small_lib ~type_id:ty ~name in
+  let t = Template.create [| comp 0 "S"; comp 2 "T"; comp 1 "M" |] in
+  Template.add_candidate_edge t 0 1;
+  Template.set_sources t [ 0 ];
+  Template.set_sinks t [ 1 ];
+  (* node 2 has no candidate edges: requiring it powered must be rejected *)
+  Template.add_requirement t (Requirement.require_powered 2);
+  match Archex.Gen_ilp.encode t with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected Invalid_argument"
+
+(* ------------------------------------------------------------------ *)
+(* Rel_analysis                                                        *)
+
+let test_rel_analysis_single_chain () =
+  let t = small_template () in
+  let config = Template.config_of_edges t [ (0, 2); (2, 5) ] in
+  let report = Archex.Rel_analysis.analyze t config in
+  (* source and middle fail at 0.1 each: r = 1 - 0.9² = 0.19 *)
+  checkf 1e-12 "chain failure" 0.19 report.Archex.Rel_analysis.worst;
+  checkb "meets loose" true (Archex.Rel_analysis.meets report ~r_star:0.2);
+  checkb "misses tight" false
+    (Archex.Rel_analysis.meets report ~r_star:0.1)
+
+let test_rel_analysis_unused_sink () =
+  let t = small_template () in
+  let config = Template.config_of_edges t [ (0, 2) ] in
+  let report = Archex.Rel_analysis.analyze t config in
+  checkf 1e-12 "unpowered sink fails surely" 1.
+    report.Archex.Rel_analysis.worst
+
+(* ------------------------------------------------------------------ *)
+(* Learn_cons                                                          *)
+
+let test_est_path_formula () =
+  let t = small_template () in
+  let enc = Archex.Gen_ilp.encode t in
+  let st = Archex.Learn_cons.init enc in
+  let config = Template.config_of_edges t [ (0, 2); (2, 5) ] in
+  (* ρ = 0.19 (best path failure); r = 0.19.
+     r* slightly above 0.19·0.19² → k = ⌊2.006⌋ = 2 *)
+  let r = 0.19 in
+  let k =
+    Archex.Learn_cons.est_path st ~config ~reliability:r
+      ~r_star:(r *. 0.19 *. 0.19 *. 0.99)
+  in
+  check_int "k = 2" 2 k;
+  check_int "k = 0 when met" 0
+    (Archex.Learn_cons.est_path st ~config ~reliability:r ~r_star:0.5)
+
+let test_reach_var_semantics () =
+  (* reach vars must equal walk existence in any solved configuration *)
+  let t = small_template () in
+  let enc = Archex.Gen_ilp.encode t in
+  let st = Archex.Learn_cons.init enc in
+  let model = Archex.Gen_ilp.model enc in
+  let reach_s1 =
+    match Archex.Learn_cons.reach_var st ~sink:5 ~depth:2 0 with
+    | Some v -> v
+    | None -> Alcotest.fail "S1 can reach T in the candidate graph"
+  in
+  (* force a config: S1→M1→T and nothing else from S1 side *)
+  Model.fix model (Archex.Gen_ilp.edge_var enc 0 2) 1.;
+  Model.fix model (Archex.Gen_ilp.edge_var enc 2 5) 1.;
+  (match Archex.Gen_ilp.solve enc with
+  | Some (config, _, _) ->
+      checkb "config has the walk" true (Digraph.exists_path config 0 5)
+  | None -> Alcotest.fail "infeasible");
+  (* now require reach_s1 = 0 while the edges force it = 1: infeasible *)
+  Model.fix model reach_s1 0.;
+  match Archex.Gen_ilp.solve enc with
+  | None -> ()
+  | Some _ -> Alcotest.fail "reach indicator failed to track the walk"
+
+let test_source_connection_var_semantics () =
+  let t = small_template () in
+  let enc = Archex.Gen_ilp.encode t in
+  let st = Archex.Learn_cons.init enc in
+  (* a source is trivially connected: the indicator is fixed to 1 *)
+  (match Archex.Learn_cons.source_connection_var st ~depth:1 0 with
+  | Some v ->
+      Alcotest.(check (float 1e-9)) "source fixed true" 1.
+        (Milp.Model.lower_bound (Archex.Gen_ilp.model enc) v)
+  | None -> Alcotest.fail "sources are always connected");
+  (* a middle node at depth 0 has no indicator *)
+  checkb "depth 0 non-source" true
+    (Archex.Learn_cons.source_connection_var st ~depth:0 2 = None);
+  (* at depth 1 a middle can be fed directly by a source *)
+  match Archex.Learn_cons.source_connection_var st ~depth:1 2 with
+  | Some v ->
+      (* forcing the indicator true while cutting both feeds is infeasible *)
+      let model = Archex.Gen_ilp.model enc in
+      Milp.Model.fix model v 1.;
+      Milp.Model.fix model (Archex.Gen_ilp.edge_var enc 0 2) 0.;
+      Milp.Model.fix model (Archex.Gen_ilp.edge_var enc 1 2) 0.;
+      (match Archex.Gen_ilp.solve enc with
+      | None -> ()
+      | Some _ -> Alcotest.fail "src indicator must track feeds")
+  | None -> Alcotest.fail "middle node reachable at depth 1"
+
+let test_learn_adds_constraints_and_saturates () =
+  let t = small_template () in
+  let enc = Archex.Gen_ilp.encode t in
+  let st = Archex.Learn_cons.init enc in
+  let config = Template.config_of_edges t [ (0, 2); (2, 5) ] in
+  let before = Model.constraint_count (Archex.Gen_ilp.model enc) in
+  (match
+     Archex.Learn_cons.learn st ~config ~reliability:0.19 ~r_star:1e-6
+   with
+  | Archex.Learn_cons.Learned { k; new_constraints } ->
+      checkb "k >= 1" true (k >= 1);
+      checkb "constraints added" true (new_constraints > 0);
+      checkb "model grew" true
+        (Model.constraint_count (Archex.Gen_ilp.model enc) > before)
+  | Archex.Learn_cons.Saturated -> Alcotest.fail "should learn first");
+  (* learning repeatedly with an impossible target must eventually
+     saturate rather than loop *)
+  let rec drive n =
+    if n > 20 then Alcotest.fail "did not saturate"
+    else
+      match
+        Archex.Learn_cons.learn st ~config ~reliability:0.19 ~r_star:1e-30
+      with
+      | Archex.Learn_cons.Learned _ -> drive (n + 1)
+      | Archex.Learn_cons.Saturated -> ()
+  in
+  drive 0
+
+(* ------------------------------------------------------------------ *)
+(* ILP-MR end to end                                                   *)
+
+let test_ilp_mr_improves_to_requirement () =
+  let t = small_template () in
+  (* single chain r = 0.19; two disjoint chains r ≈ 0.0361 + …;
+     ask for 0.08: one extra path needed *)
+  match Archex.Ilp_mr.run t ~r_star:0.08 with
+  | Archex.Synthesis.Synthesized (arch, trace, _) ->
+      checkb "meets requirement" true
+        (arch.Archex.Synthesis.reliability <= 0.08);
+      checkb "took more than one iteration" true (List.length trace >= 2);
+      checkb "cost grew along iterations" true
+        (match trace with
+        | first :: _ ->
+            arch.Archex.Synthesis.cost >= first.Archex.Ilp_mr.cost
+        | [] -> false)
+  | Archex.Synthesis.Unfeasible _ -> Alcotest.fail "requirement is reachable"
+
+let test_ilp_mr_first_iteration_is_minimal () =
+  let t = small_template () in
+  match Archex.Ilp_mr.run t ~r_star:1.0 with
+  | Archex.Synthesis.Synthesized (arch, trace, _) ->
+      check_int "single iteration" 1 (List.length trace);
+      checkf 1e-9 "minimal cost" 29. arch.Archex.Synthesis.cost
+  | Archex.Synthesis.Unfeasible _ -> Alcotest.fail "trivially feasible"
+
+let test_ilp_mr_unfeasible_when_template_too_small () =
+  let t = small_template () in
+  (* even the best architecture (2 sources × 3 middles fully wired) has
+     r ≈ p_T + … ≥ ~1e-3: a 1e-12 requirement must be UNFEASIBLE *)
+  match Archex.Ilp_mr.run t ~r_star:1e-12 with
+  | Archex.Synthesis.Unfeasible (trace, _) ->
+      checkb "tried something" true (trace <> [])
+  | Archex.Synthesis.Synthesized (arch, _, _) ->
+      Alcotest.failf "impossible requirement satisfied?! r=%g"
+        arch.Archex.Synthesis.reliability
+
+let test_ilp_mr_lazy_strategy_more_iterations () =
+  let t = small_template () in
+  let t' = small_template () in
+  let run strategy template =
+    match Archex.Ilp_mr.run ~strategy template ~r_star:0.01 with
+    | Archex.Synthesis.Synthesized (_, trace, _) -> List.length trace
+    | Archex.Synthesis.Unfeasible (trace, _) -> List.length trace
+  in
+  let estimated = run Archex.Learn_cons.Estimated t in
+  let lazy_ = run Archex.Learn_cons.Lazy_one_path t' in
+  checkb "lazy needs at least as many iterations" true (lazy_ >= estimated)
+
+(* ------------------------------------------------------------------ *)
+(* ILP-AR end to end                                                   *)
+
+let test_ilp_ar_minimal_when_loose () =
+  let t = small_template () in
+  match Archex.Ilp_ar.run t ~r_star:0.5 with
+  | Archex.Synthesis.Synthesized (arch, info, _) ->
+      checkf 1e-9 "loose requirement keeps minimal cost" 29.
+        arch.Archex.Synthesis.cost;
+      checkb "estimate below requirement" true
+        (info.Archex.Ilp_ar.approx_estimate <= 0.5)
+  | Archex.Synthesis.Unfeasible _ -> Alcotest.fail "loose must be feasible"
+
+let test_ilp_ar_adds_redundancy_when_tight () =
+  let t = small_template () in
+  (* p = 0.1; single path estimate = 2·0.1 = 0.2; with h=2 per type:
+     2·2·0.01 = 0.04.  Requirement 0.05 forces h=2. *)
+  match Archex.Ilp_ar.run t ~r_star:0.05 with
+  | Archex.Synthesis.Synthesized (arch, info, _) ->
+      checkb "estimate meets requirement" true
+        (info.Archex.Ilp_ar.approx_estimate <= 0.05 +. 1e-12);
+      checkb "costlier than minimal" true
+        (arch.Archex.Synthesis.cost > 29.);
+      checkb "estimate within Theorem 2 of exact" true
+        (info.Archex.Ilp_ar.approx_estimate
+         /. arch.Archex.Synthesis.reliability
+         >= info.Archex.Ilp_ar.theorem2_bound -. 1e-9)
+  | Archex.Synthesis.Unfeasible _ -> Alcotest.fail "0.05 is reachable"
+
+let test_ilp_ar_unfeasible_when_impossible () =
+  let t = small_template () in
+  match Archex.Ilp_ar.run t ~r_star:1e-12 with
+  | Archex.Synthesis.Unfeasible (info, _) ->
+      checkb "reports model size" true
+        (info.Archex.Ilp_ar.constraint_count > 0)
+  | Archex.Synthesis.Synthesized _ ->
+      Alcotest.fail "template cannot reach 1e-12"
+
+let test_ilp_ar_requires_chain () =
+  let t = small_template () in
+  let t_nochain =
+    (* rebuild without a chain declaration *)
+    let comp ty name = Library.instantiate small_lib ~type_id:ty ~name in
+    let u = Template.create [| comp 0 "S"; comp 1 "M"; comp 2 "T" |] in
+    Template.add_candidate_edge u 0 1;
+    Template.add_candidate_edge u 1 2;
+    Template.set_sources u [ 0 ];
+    Template.set_sinks u [ 2 ];
+    u
+  in
+  ignore t;
+  match Archex.Ilp_ar.compile t_nochain ~r_star:0.1 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "missing chain must be rejected"
+
+let test_mr_and_ar_agree_on_small () =
+  (* both algorithms must return architectures meeting the requirement;
+     ILP-MR (exact oracle) never costs more than ILP-AR when the
+     approximation is conservative here *)
+  let r_star = 0.05 in
+  let mr = Archex.Ilp_mr.run (small_template ()) ~r_star in
+  let ar = Archex.Ilp_ar.run (small_template ()) ~r_star in
+  match (mr, ar) with
+  | Archex.Synthesis.Synthesized (a_mr, _, _),
+    Archex.Synthesis.Synthesized (a_ar, _, _) ->
+      checkb "MR meets" true (a_mr.Archex.Synthesis.reliability <= r_star);
+      checkb "AR architecture is a valid configuration" true
+        (Digraph.edge_count a_ar.Archex.Synthesis.config > 0)
+  | _ -> Alcotest.fail "both must synthesize"
+
+let () =
+  let quick name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "core"
+    [ ( "gen_ilp",
+        [ quick "encoding shape" test_encoding_size;
+          quick "minimal solve matches Eq. 1" test_minimal_solve_matches_eq1;
+          quick "objective equals configuration cost"
+            test_objective_matches_config_cost_always;
+          quick "isolated node in requirement rejected"
+            test_isolated_node_requirement_rejected ] );
+      ( "rel_analysis",
+        [ quick "single chain" test_rel_analysis_single_chain;
+          quick "unpowered sink" test_rel_analysis_unused_sink ] );
+      ( "learn_cons",
+        [ quick "ESTPATH formula" test_est_path_formula;
+          quick "walk indicators track configurations"
+            test_reach_var_semantics;
+          quick "source-connection indicators"
+            test_source_connection_var_semantics;
+          quick "learning then saturation"
+            test_learn_adds_constraints_and_saturates ] );
+      ( "ilp_mr",
+        [ quick "improves until requirement met"
+            test_ilp_mr_improves_to_requirement;
+          quick "single iteration when already reliable"
+            test_ilp_mr_first_iteration_is_minimal;
+          quick "unfeasible requirement detected"
+            test_ilp_mr_unfeasible_when_template_too_small;
+          quick "lazy strategy needs more iterations"
+            test_ilp_mr_lazy_strategy_more_iterations ] );
+      ( "ilp_ar",
+        [ quick "loose requirement stays minimal"
+            test_ilp_ar_minimal_when_loose;
+          quick "tight requirement adds redundancy"
+            test_ilp_ar_adds_redundancy_when_tight;
+          quick "impossible requirement unfeasible"
+            test_ilp_ar_unfeasible_when_impossible;
+          quick "missing type chain rejected" test_ilp_ar_requires_chain;
+          quick "MR and AR agree on a small template"
+            test_mr_and_ar_agree_on_small ] ) ]

@@ -1,0 +1,618 @@
+(* Unit and property tests for the MILP substrate: expressions, model,
+   logical encodings, simplex, and cross-validation of the three exact 0-1
+   backends against each other. *)
+
+module Lin_expr = Milp.Lin_expr
+module Model = Milp.Model
+module Bool_encode = Milp.Bool_encode
+module Simplex = Milp.Simplex
+module Solver = Milp.Solver
+
+let checkb = Alcotest.(check bool)
+let checkf = Alcotest.(check (float 1e-9))
+let check_int = Alcotest.(check int)
+
+(* ------------------------------------------------------------------ *)
+(* Lin_expr                                                            *)
+
+let test_expr_algebra () =
+  let e = Lin_expr.(add (var 0) (var ~coef:2. 1)) in
+  checkf "coef 0" 1. (Lin_expr.coef e 0);
+  checkf "coef 1" 2. (Lin_expr.coef e 1);
+  checkf "coef absent" 0. (Lin_expr.coef e 7);
+  let e = Lin_expr.add_term e 0 (-1.) in
+  checkb "zero coefficient dropped" true (Lin_expr.vars e = [ 1 ]);
+  let s = Lin_expr.scale 3. e in
+  checkf "scaled" 6. (Lin_expr.coef s 1);
+  checkb "scale by zero is zero" true
+    (Lin_expr.is_constant (Lin_expr.scale 0. s));
+  let d = Lin_expr.sub s s in
+  checkb "x - x = 0" true (Lin_expr.is_constant d);
+  checkf "constant of diff" 0. (Lin_expr.constant d)
+
+let test_expr_eval () =
+  let e = Lin_expr.of_terms ~constant:5. [ (0, 2.); (3, -1.) ] in
+  checkf "eval" (5. +. 4. -. 3.)
+    (Lin_expr.eval e (fun x -> if x = 0 then 2. else 3.));
+  checkf "complement eval" 0.25
+    (Lin_expr.eval (Lin_expr.complement 2) (fun _ -> 0.75))
+
+let test_expr_of_terms_accumulates () =
+  let e = Lin_expr.of_terms [ (1, 2.); (1, 3.) ] in
+  checkf "accumulated" 5. (Lin_expr.coef e 1)
+
+let test_expr_map_vars () =
+  let e = Lin_expr.of_terms [ (0, 1.); (1, 2.) ] in
+  let m = Lin_expr.map_vars (fun x -> x + 10) e in
+  checkf "mapped" 2. (Lin_expr.coef m 11);
+  match Lin_expr.map_vars (fun _ -> 5) e with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "non-injective mapping must be rejected"
+
+let prop_expr_add_commutes =
+  let arb =
+    QCheck.make
+      QCheck.Gen.(
+        list_size (int_range 0 8)
+          (pair (int_range 0 5) (float_range (-4.) 4.)))
+      ~print:QCheck.Print.(list (pair int float))
+  in
+  QCheck.Test.make ~name:"expression addition commutes (eval)" ~count:200
+    (QCheck.pair arb arb) (fun (t1, t2) ->
+      let e1 = Lin_expr.of_terms t1 and e2 = Lin_expr.of_terms t2 in
+      let v x = float_of_int ((x * 7) mod 3) in
+      Float.abs
+        (Lin_expr.eval (Lin_expr.add e1 e2) v
+        -. Lin_expr.eval (Lin_expr.add e2 e1) v)
+      < 1e-9)
+
+(* ------------------------------------------------------------------ *)
+(* Model                                                               *)
+
+let test_model_vars_bounds () =
+  let m = Model.create () in
+  let x = Model.bool_var ~name:"x" m in
+  let y = Model.add_var m (Model.Integer (-2, 5)) in
+  let z = Model.add_var m (Model.Continuous (0., 10.)) in
+  check_int "count" 3 (Model.var_count m);
+  Alcotest.(check string) "name" "x" (Model.name_of m x);
+  checkf "int lb" (-2.) (Model.lower_bound m y);
+  checkf "cont ub" 10. (Model.upper_bound m z);
+  checkb "not pure boolean" false (Model.is_pure_boolean m);
+  Model.fix m x 1.;
+  checkf "fixed lb" 1. (Model.lower_bound m x);
+  (match Model.fix m x 0. with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "fix outside narrowed bounds must fail");
+  match Model.fix m y 2.5 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "non-integral fix must fail"
+
+let test_model_constraints_and_feasibility () =
+  let m = Model.create () in
+  let x = Model.bool_var m and y = Model.bool_var m in
+  Model.add_constraint m Lin_expr.(add (var x) (var y)) Model.Ge 1.;
+  Model.set_objective m (Lin_expr.var x);
+  check_int "one row" 1 (Model.constraint_count m);
+  checkb "feasible" true (Model.is_feasible m (fun _ -> 1.));
+  checkb "infeasible" false (Model.is_feasible m (fun _ -> 0.));
+  checkb "violations found" true
+    (List.length (Model.violated_constraints m (fun _ -> 0.)) = 1);
+  checkf "objective" 1. (Model.objective_value m (fun _ -> 1.))
+
+let test_model_copy_isolation () =
+  let m = Model.create () in
+  let x = Model.bool_var m in
+  let m' = Model.copy m in
+  Model.fix m' x 1.;
+  Model.add_constraint m' (Lin_expr.var x) Model.Le 0.;
+  checkf "original bounds untouched" 0. (Model.lower_bound m x);
+  check_int "original rows untouched" 0 (Model.constraint_count m)
+
+let test_boolean_clause () =
+  let m = Model.create () in
+  let x = Model.bool_var m and y = Model.bool_var m in
+  Model.add_boolean_clause m ~pos:[ x ] ~neg:[ y ];
+  (* clause x ∨ ¬y: falsified only by x=0, y=1 *)
+  checkb "00" true (Model.is_feasible m (fun _ -> 0.));
+  checkb "x=0 y=1" false
+    (Model.is_feasible m (fun v -> if v = y then 1. else 0.));
+  checkb "11" true (Model.is_feasible m (fun _ -> 1.))
+
+(* ------------------------------------------------------------------ *)
+(* Bool_encode semantics: for every assignment of the inputs, the encoded
+   output variable is forced to the logical value.                     *)
+
+let assignments k =
+  List.init (1 lsl k) (fun mask ->
+      Array.init k (fun i -> mask land (1 lsl i) <> 0))
+
+let force_and_solve m inputs values output =
+  (* fix inputs, minimize output, then maximize: both must equal logic *)
+  let sub = Model.copy m in
+  Array.iteri
+    (fun i x -> Model.fix sub x (if values.(i) then 1. else 0.))
+    inputs;
+  let solve_with obj =
+    Model.set_objective sub obj;
+    match Milp.Brute.solve sub with
+    | Milp.Brute.Optimal { solution; _ } -> solution.(output)
+    | Milp.Brute.Infeasible -> Alcotest.fail "encoding infeasible"
+  in
+  let low = solve_with (Lin_expr.var output) in
+  let high = solve_with (Lin_expr.neg (Lin_expr.var output)) in
+  (low, high)
+
+let test_or_encoding () =
+  List.iter
+    (fun k ->
+      let m = Model.create () in
+      let inputs = Model.bool_vars m k in
+      let y = Bool_encode.or_var m (Array.to_list inputs) in
+      List.iter
+        (fun values ->
+          let expected = Array.exists Fun.id values in
+          let low, high = force_and_solve m inputs values y in
+          checkf "or min" (if expected then 1. else 0.) low;
+          checkf "or max" (if expected then 1. else 0.) high)
+        (assignments k))
+    [ 0; 1; 2; 3 ]
+
+let test_and_encoding () =
+  List.iter
+    (fun k ->
+      let m = Model.create () in
+      let inputs = Model.bool_vars m k in
+      let y = Bool_encode.and_var m (Array.to_list inputs) in
+      List.iter
+        (fun values ->
+          let expected = Array.for_all Fun.id values in
+          let low, high = force_and_solve m inputs values y in
+          checkf "and min" (if expected then 1. else 0.) low;
+          checkf "and max" (if expected then 1. else 0.) high)
+        (assignments k))
+    [ 0; 1; 2; 3 ]
+
+let test_count_channel () =
+  let k = 4 in
+  let m = Model.create () in
+  let inputs = Model.bool_vars m k in
+  let ind = Bool_encode.count_channel m (Array.to_list inputs) in
+  check_int "k+1 indicators" (k + 1) (Array.length ind);
+  List.iter
+    (fun values ->
+      let count =
+        Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 values
+      in
+      Array.iteri
+        (fun j x ->
+          let expected = if j = count then 1. else 0. in
+          let low, high = force_and_solve m inputs values x in
+          checkf (Printf.sprintf "ind %d min" j) expected low;
+          checkf (Printf.sprintf "ind %d max" j) expected high)
+        ind)
+    (assignments k)
+
+let test_implication_encodings () =
+  let m = Model.create () in
+  let a = Model.bool_var m and b = Model.bool_var m in
+  Bool_encode.implies m a b;
+  let value a' b' v = if v = a then a' else b' in
+  checkb "1→0 violated" false (Model.is_feasible m (value 1. 0.));
+  checkb "1→1 ok" true (Model.is_feasible m (value 1. 1.));
+  checkb "0→0 ok" true (Model.is_feasible m (value 0. 0.))
+
+let test_cardinality () =
+  let m = Model.create () in
+  let xs = Array.to_list (Model.bool_vars m 4) in
+  Bool_encode.at_most_k m xs 2;
+  Bool_encode.at_least_k m xs 1;
+  let assign n v = if v < n then 1. else 0. in
+  checkb "0 chosen violates at-least" false (Model.is_feasible m (assign 0));
+  checkb "2 chosen ok" true (Model.is_feasible m (assign 2));
+  checkb "3 chosen violates at-most" false (Model.is_feasible m (assign 3))
+
+let test_indicators () =
+  let m = Model.create () in
+  let x = Model.add_var m (Model.Continuous (0., 10.)) in
+  let y = Bool_encode.ge_indicator m (Lin_expr.var x) 5. ~big_m:10. in
+  (* y = 1 → x ≥ 5 *)
+  let value xv yv v = if v = x then xv else if v = y then yv else 0. in
+  checkb "y=1, x=6 ok" true (Model.is_feasible m (value 6. 1.));
+  checkb "y=1, x=2 violated" false (Model.is_feasible m (value 2. 1.));
+  checkb "y=0, x=2 ok" true (Model.is_feasible m (value 2. 0.));
+  let z = Bool_encode.le_indicator m (Lin_expr.var x) 5. ~big_m:10. in
+  let value2 xv zv v = if v = x then xv else if v = z then zv else 0. in
+  checkb "z=1, x=2 ok" true (Model.is_feasible m (value2 2. 1.));
+  checkb "z=1, x=8 violated" false (Model.is_feasible m (value2 8. 1.))
+
+(* ------------------------------------------------------------------ *)
+(* Simplex                                                             *)
+
+let test_simplex_textbook () =
+  (* max 3x + 2y st x + y ≤ 4, x + 3y ≤ 6 → (4, 0), value 12 *)
+  let m = Model.create () in
+  let x = Model.add_var m (Model.Continuous (0., infinity)) in
+  let y = Model.add_var m (Model.Continuous (0., infinity)) in
+  Model.add_constraint m Lin_expr.(add (var x) (var y)) Model.Le 4.;
+  Model.add_constraint m Lin_expr.(add (var x) (var ~coef:3. y)) Model.Le 6.;
+  Model.set_objective m
+    Lin_expr.(add (var ~coef:(-3.) x) (var ~coef:(-2.) y));
+  match Simplex.solve_relaxation m with
+  | Simplex.Optimal { objective; solution; _ } ->
+      checkf "objective" (-12.) objective;
+      checkf "x" 4. solution.(x);
+      checkf "y" 0. solution.(y)
+  | _ -> Alcotest.fail "expected optimal"
+
+let test_simplex_equality_and_ge () =
+  (* min x + y st x + y = 3, x ≥ 1 → value 3 *)
+  let m = Model.create () in
+  let x = Model.add_var m (Model.Continuous (0., 10.)) in
+  let y = Model.add_var m (Model.Continuous (0., 10.)) in
+  Model.add_constraint m Lin_expr.(add (var x) (var y)) Model.Eq 3.;
+  Model.add_constraint m (Lin_expr.var x) Model.Ge 1.;
+  Model.set_objective m Lin_expr.(add (var x) (var y));
+  match Simplex.solve_relaxation m with
+  | Simplex.Optimal { objective; solution; _ } ->
+      checkf "objective" 3. objective;
+      checkb "x within bounds" true (solution.(x) >= 1. -. 1e-9)
+  | _ -> Alcotest.fail "expected optimal"
+
+let test_simplex_infeasible () =
+  let m = Model.create () in
+  let x = Model.add_var m (Model.Continuous (0., 1.)) in
+  Model.add_constraint m (Lin_expr.var x) Model.Ge 2.;
+  match Simplex.solve_relaxation m with
+  | Simplex.Infeasible -> ()
+  | _ -> Alcotest.fail "expected infeasible"
+
+let test_simplex_unbounded () =
+  let m = Model.create () in
+  let x = Model.add_var m (Model.Continuous (0., infinity)) in
+  Model.set_objective m (Lin_expr.var ~coef:(-1.) x);
+  match Simplex.solve_relaxation m with
+  | Simplex.Unbounded -> ()
+  | _ -> Alcotest.fail "expected unbounded"
+
+let test_simplex_shifted_bounds () =
+  (* min x st x ∈ [2, 7] → 2; max → 7 *)
+  let m = Model.create () in
+  let x = Model.add_var m (Model.Continuous (2., 7.)) in
+  Model.set_objective m (Lin_expr.var x);
+  (match Simplex.solve_relaxation m with
+  | Simplex.Optimal { objective; _ } -> checkf "min" 2. objective
+  | _ -> Alcotest.fail "expected optimal");
+  Model.set_objective m (Lin_expr.var ~coef:(-1.) x);
+  match Simplex.solve_relaxation m with
+  | Simplex.Optimal { objective; solution; _ } ->
+      checkf "max obj" (-7.) objective;
+      checkf "x at ub" 7. solution.(x)
+  | _ -> Alcotest.fail "expected optimal"
+
+(* ------------------------------------------------------------------ *)
+(* Backend cross-validation                                            *)
+
+(* Random pure-boolean models with mixed-sign coefficients. *)
+let arb_bool_model =
+  let gen =
+    QCheck.Gen.(
+      let* nvars = int_range 1 8 in
+      let* nrows = int_range 0 6 in
+      let* rows =
+        list_repeat nrows
+          (let* terms =
+             list_size (int_range 1 4)
+               (pair (int_range 0 (nvars - 1)) (int_range (-4) 4))
+           in
+           let* cmp = oneofl [ Model.Le; Model.Ge; Model.Eq ] in
+           let* rhs = int_range (-3) 5 in
+           return (terms, cmp, rhs))
+      in
+      let* obj =
+        list_size (int_range 0 nvars)
+          (pair (int_range 0 (nvars - 1)) (int_range (-5) 9))
+      in
+      return (nvars, rows, obj))
+  in
+  let print (nvars, rows, obj) =
+    Printf.sprintf "nvars=%d rows=%d obj=%s" nvars (List.length rows)
+      (String.concat ","
+         (List.map (fun (x, c) -> Printf.sprintf "%d:%d" x c) obj))
+  in
+  QCheck.make gen ~print
+
+let build_model (nvars, rows, obj) =
+  let m = Model.create () in
+  let _ = Model.bool_vars m nvars in
+  List.iter
+    (fun (terms, cmp, rhs) ->
+      let expr =
+        Lin_expr.of_terms
+          (List.map (fun (x, c) -> (x, float_of_int c)) terms)
+      in
+      (* equality rows over random terms are almost always infeasible;
+         keep them but loosen to ±1 window via two rows when Eq *)
+      match cmp with
+      | Model.Eq ->
+          Model.add_constraint m expr Model.Le (float_of_int (rhs + 1));
+          Model.add_constraint m expr Model.Ge (float_of_int (rhs - 1))
+      | cmp -> Model.add_constraint m expr cmp (float_of_int rhs))
+    rows;
+  Model.set_objective m
+    (Lin_expr.of_terms (List.map (fun (x, c) -> (x, float_of_int c)) obj));
+  m
+
+let outcomes_agree o1 o2 =
+  match (o1, o2) with
+  | Solver.Optimal { objective = a; _ }, Solver.Optimal { objective = b; _ }
+    ->
+      Float.abs (a -. b) < 1e-6
+  | Solver.Infeasible, Solver.Infeasible -> true
+  | _ -> false
+
+let prop_backends_agree backend =
+  QCheck.Test.make
+    ~name:(Printf.sprintf "%s = brute force" (Solver.backend_name backend))
+    ~count:150 arb_bool_model (fun spec ->
+      let reference, _ =
+        Solver.solve ~backend:Solver.Brute_force ~presolve:false
+          (build_model spec)
+      in
+      let tested, _ = Solver.solve ~backend (build_model spec) in
+      outcomes_agree reference tested)
+
+let prop_optimal_solution_is_feasible =
+  QCheck.Test.make ~name:"pb optimum is feasible and matches objective"
+    ~count:150 arb_bool_model (fun spec ->
+      let m = build_model spec in
+      match Solver.solve ~backend:Solver.Pseudo_boolean m with
+      | Solver.Optimal { objective; solution }, _ ->
+          Model.is_feasible m (fun x -> solution.(x))
+          && Float.abs (Model.objective_value m (fun x -> solution.(x))
+                        -. objective)
+             < 1e-6
+      | (Solver.Infeasible | Solver.Unbounded | Solver.Limit_reached _), _ ->
+          true)
+
+let test_presolve_preserves_optimum () =
+  QCheck.Test.check_exn
+    (QCheck.Test.make ~count:100 ~name:"presolve keeps the optimum"
+       arb_bool_model (fun spec ->
+         let with_pre, _ =
+           Solver.solve ~backend:Solver.Pseudo_boolean ~presolve:true
+             (build_model spec)
+         in
+         let without, _ =
+           Solver.solve ~backend:Solver.Pseudo_boolean ~presolve:false
+             (build_model spec)
+         in
+         outcomes_agree with_pre without))
+
+let test_pb_respects_fixed_vars () =
+  let m = Model.create () in
+  let x = Model.bool_var m and y = Model.bool_var m in
+  Model.add_constraint m Lin_expr.(add (var x) (var y)) Model.Ge 1.;
+  Model.set_objective m Lin_expr.(add (var ~coef:1. x) (var ~coef:2. y));
+  Model.fix m x 0.;
+  match Solver.solve m with
+  | Solver.Optimal { objective; solution }, _ ->
+      checkf "forced y" 2. objective;
+      checkf "x stays 0" 0. solution.(x)
+  | _ -> Alcotest.fail "expected optimal"
+
+let test_empty_model () =
+  let m = Model.create () in
+  match Solver.solve m with
+  | Solver.Optimal { objective; _ }, _ -> checkf "zero objective" 0. objective
+  | _ -> Alcotest.fail "empty model is trivially optimal"
+
+let test_all_vars_fixed () =
+  let m = Model.create () in
+  let x = Model.bool_var m and y = Model.bool_var m in
+  Model.fix m x 1.;
+  Model.fix m y 0.;
+  Model.add_constraint m Lin_expr.(add (var x) (var y)) Model.Ge 1.;
+  Model.set_objective m Lin_expr.(add (var ~coef:3. x) (var ~coef:5. y));
+  match Solver.solve m with
+  | Solver.Optimal { objective; solution }, _ ->
+      checkf "objective" 3. objective;
+      checkf "x" 1. solution.(x);
+      checkf "y" 0. solution.(y)
+  | _ -> Alcotest.fail "fully fixed feasible model"
+
+let test_negative_objective_coefficients () =
+  (* maximization in disguise: min -x - 2y st x + y ≤ 1 → pick y *)
+  let m = Model.create () in
+  let x = Model.bool_var m and y = Model.bool_var m in
+  Model.add_constraint m Lin_expr.(add (var x) (var y)) Model.Le 1.;
+  Model.set_objective m
+    Lin_expr.(add (var ~coef:(-1.) x) (var ~coef:(-2.) y));
+  match Solver.solve m with
+  | Solver.Optimal { objective; solution }, _ ->
+      checkf "objective" (-2.) objective;
+      checkf "y chosen" 1. solution.(y)
+  | _ -> Alcotest.fail "expected optimal"
+
+let test_equality_row_propagation () =
+  let m = Model.create () in
+  let xs = Model.bool_vars m 3 in
+  Bool_encode.exactly_k m (Array.to_list xs) 3;
+  Model.set_objective m
+    (Lin_expr.of_terms (Array.to_list (Array.map (fun x -> (x, 1.)) xs)));
+  match Solver.solve m with
+  | Solver.Optimal { objective; _ }, stats ->
+      checkf "all forced" 3. objective;
+      checkb "no search needed" true (stats.Solver.nodes <= 3)
+  | _ -> Alcotest.fail "expected optimal"
+
+let test_time_limit_returns () =
+  (* a deliberately large model: the solver must respect the limit *)
+  let m = Model.create () in
+  let xs = Model.bool_vars m 80 in
+  (* pairwise conflicting knapsack-ish rows make it non-trivial *)
+  Array.iteri
+    (fun i _ ->
+      if i > 0 then
+        Model.add_constraint m
+          Lin_expr.(add (var xs.(i)) (var xs.(i - 1)))
+          Model.Le 1.)
+    xs;
+  Model.add_constraint m
+    (Lin_expr.of_terms
+       (Array.to_list (Array.mapi (fun i x -> (x, 1. +. float_of_int (i mod 7))) xs)))
+    Model.Ge 40.;
+  Model.set_objective m
+    (Lin_expr.of_terms
+       (Array.to_list (Array.mapi (fun i x -> (x, float_of_int (1 + (i mod 13)))) xs)));
+  match Solver.solve ~max_nodes:50 m with
+  | Solver.Limit_reached _, _ | Solver.Optimal _, _ | Solver.Infeasible, _ ->
+      ()
+  | Solver.Unbounded, _ -> Alcotest.fail "boolean model cannot be unbounded"
+
+(* ------------------------------------------------------------------ *)
+(* Objective lower bound                                               *)
+
+let prop_obj_bound_is_valid =
+  QCheck.Test.make ~name:"Obj_bound.lower_bound <= brute optimum" ~count:150
+    arb_bool_model (fun spec ->
+      let m = build_model spec in
+      let bound = Milp.Obj_bound.lower_bound m in
+      match Milp.Brute.solve m with
+      | Milp.Brute.Optimal { objective; _ } -> bound <= objective +. 1e-6
+      | Milp.Brute.Infeasible -> true)
+
+let test_obj_bound_packs_disjoint_rows () =
+  (* two disjoint at-least-2 rows over costed variables: bound = the two
+     cheapest of each group *)
+  let m = Model.create () in
+  let a = Model.bool_vars m 3 and b = Model.bool_vars m 3 in
+  Bool_encode.at_least_k m (Array.to_list a) 2;
+  Bool_encode.at_least_k m (Array.to_list b) 2;
+  Model.set_objective m
+    (Lin_expr.of_terms
+       [ (a.(0), 5.); (a.(1), 3.); (a.(2), 8.);
+         (b.(0), 10.); (b.(1), 20.); (b.(2), 7.) ]);
+  (* 3+5 from the first group, 7+10 from the second *)
+  checkf "packed bound" 25. (Milp.Obj_bound.lower_bound m);
+  match Milp.Obj_bound.strengthen m with
+  | Some bound ->
+      checkf "strengthen returns the bound" 25. bound;
+      (* the added row must not cut the optimum *)
+      (match Milp.Brute.solve m with
+      | Milp.Brute.Optimal { objective; _ } ->
+          checkf "optimum preserved" 25. objective
+      | Milp.Brute.Infeasible -> Alcotest.fail "feasible model")
+  | None -> Alcotest.fail "bound should strengthen"
+
+let test_obj_bound_overlapping_not_double_counted () =
+  let m = Model.create () in
+  let xs = Model.bool_vars m 3 in
+  (* two rows over the same support: only one may be counted *)
+  Bool_encode.at_least_k m (Array.to_list xs) 1;
+  Bool_encode.at_least_k m (Array.to_list xs) 2;
+  Model.set_objective m
+    (Lin_expr.of_terms [ (xs.(0), 4.); (xs.(1), 6.); (xs.(2), 9.) ]);
+  checkf "counts the stronger row once" 10. (Milp.Obj_bound.lower_bound m)
+
+(* ------------------------------------------------------------------ *)
+(* Var_heap                                                            *)
+
+let test_var_heap_orders_by_activity () =
+  let h = Milp.Var_heap.create 5 in
+  Milp.Var_heap.bump h 2 10.;
+  Milp.Var_heap.bump h 4 20.;
+  Milp.Var_heap.bump h 0 15.;
+  Alcotest.(check (option int)) "max" (Some 4) (Milp.Var_heap.pop_max h);
+  Alcotest.(check (option int)) "next" (Some 0) (Milp.Var_heap.pop_max h);
+  checkb "popped not member" false (Milp.Var_heap.mem h 4);
+  Milp.Var_heap.push h 4;
+  checkb "pushed back" true (Milp.Var_heap.mem h 4);
+  Alcotest.(check (option int)) "re-popped max" (Some 4)
+    (Milp.Var_heap.pop_max h)
+
+let test_var_heap_drains () =
+  let h = Milp.Var_heap.create 3 in
+  let seen = ref [] in
+  let rec drain () =
+    match Milp.Var_heap.pop_max h with
+    | Some v -> seen := v :: !seen; drain ()
+    | None -> ()
+  in
+  drain ();
+  Alcotest.(check int) "all three" 3 (List.length !seen);
+  Alcotest.(check (option int)) "empty" None (Milp.Var_heap.pop_max h)
+
+(* ------------------------------------------------------------------ *)
+(* LP format                                                           *)
+
+let test_lp_format_mentions_everything () =
+  let m = Model.create () in
+  let x = Model.bool_var ~name:"pick me" m in
+  let y = Model.add_var ~name:"level" m (Model.Integer (0, 3)) in
+  Model.add_constraint ~name:"cap" m Lin_expr.(add (var x) (var y)) Model.Le
+    2.;
+  Model.set_objective m (Lin_expr.var x);
+  let text = Milp.Lp_format.to_string m in
+  checkb "has Minimize" true (String.length text > 0);
+  checkb "mentions Binary" true
+    (String.split_on_char '\n' text |> List.exists (fun l -> l = "Binary"));
+  checkb "mentions General" true
+    (String.split_on_char '\n' text |> List.exists (fun l -> l = "General"));
+  checkb "sanitized name" true
+    (String.split_on_char '\n' text
+    |> List.exists (fun l ->
+           try ignore (String.index l 'c'); String.length l > 0
+           with Not_found -> false))
+
+let () =
+  let quick name f = Alcotest.test_case name `Quick f in
+  let prop t = QCheck_alcotest.to_alcotest t in
+  Alcotest.run "milp"
+    [ ( "lin_expr",
+        [ quick "algebra" test_expr_algebra;
+          quick "eval" test_expr_eval;
+          quick "of_terms accumulates" test_expr_of_terms_accumulates;
+          quick "map_vars" test_expr_map_vars;
+          prop prop_expr_add_commutes ] );
+      ( "model",
+        [ quick "variables and bounds" test_model_vars_bounds;
+          quick "constraints and feasibility"
+            test_model_constraints_and_feasibility;
+          quick "copy isolation" test_model_copy_isolation;
+          quick "boolean clause" test_boolean_clause ] );
+      ( "bool_encode",
+        [ quick "or" test_or_encoding;
+          quick "and" test_and_encoding;
+          quick "count channel (Eqs. 10-11)" test_count_channel;
+          quick "implication" test_implication_encodings;
+          quick "cardinality" test_cardinality;
+          quick "big-M indicators" test_indicators ] );
+      ( "simplex",
+        [ quick "textbook LP" test_simplex_textbook;
+          quick "equality and >= rows" test_simplex_equality_and_ge;
+          quick "infeasible" test_simplex_infeasible;
+          quick "unbounded" test_simplex_unbounded;
+          quick "shifted bounds" test_simplex_shifted_bounds ] );
+      ( "backends",
+        [ prop (prop_backends_agree Solver.Pseudo_boolean);
+          prop (prop_backends_agree Solver.Lp_branch_bound);
+          prop prop_optimal_solution_is_feasible;
+          quick "presolve preserves optimum" test_presolve_preserves_optimum;
+          quick "fixed variables respected" test_pb_respects_fixed_vars;
+          quick "empty model" test_empty_model;
+          quick "all variables fixed" test_all_vars_fixed;
+          quick "negative objective coefficients"
+            test_negative_objective_coefficients;
+          quick "equality rows propagate" test_equality_row_propagation;
+          quick "node limit returns" test_time_limit_returns ] );
+      ( "obj_bound",
+        [ prop prop_obj_bound_is_valid;
+          quick "packs disjoint rows" test_obj_bound_packs_disjoint_rows;
+          quick "no double counting on overlap"
+            test_obj_bound_overlapping_not_double_counted ] );
+      ( "var_heap",
+        [ quick "orders by activity" test_var_heap_orders_by_activity;
+          quick "drains completely" test_var_heap_drains ] );
+      ( "lp_format",
+        [ quick "sections present" test_lp_format_mentions_everything ] ) ]

@@ -1,0 +1,415 @@
+(* Unit and property tests for the netgraph substrate. *)
+
+module Digraph = Netgraph.Digraph
+module Bool_matrix = Netgraph.Bool_matrix
+module Partition = Netgraph.Partition
+module Paths = Netgraph.Paths
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* ------------------------------------------------------------------ *)
+(* Digraph units                                                       *)
+
+let test_empty () =
+  let g = Digraph.create 3 in
+  check_int "nodes" 3 (Digraph.node_count g);
+  check_int "edges" 0 (Digraph.edge_count g);
+  check "is_empty" true (Digraph.is_empty g);
+  check_int "used" 0 (List.length (Digraph.used_nodes g))
+
+let test_add_remove () =
+  let g = Digraph.create 4 in
+  Digraph.add_edge g 0 1;
+  Digraph.add_edge g 0 1;
+  check_int "idempotent add" 1 (Digraph.edge_count g);
+  check "mem" true (Digraph.mem_edge g 0 1);
+  check "not mem reverse" false (Digraph.mem_edge g 1 0);
+  Digraph.remove_edge g 0 1;
+  check_int "removed" 0 (Digraph.edge_count g);
+  Digraph.remove_edge g 0 1 (* removing twice is fine *)
+
+let test_rejects_self_loop () =
+  let g = Digraph.create 2 in
+  Alcotest.check_raises "self loop" (Invalid_argument
+    "Digraph.add_edge: self-loop")
+    (fun () -> Digraph.add_edge g 1 1)
+
+let test_rejects_out_of_range () =
+  let g = Digraph.create 2 in
+  let expect_invalid f =
+    match f () with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.fail "expected Invalid_argument"
+  in
+  expect_invalid (fun () -> Digraph.add_edge g 0 5);
+  expect_invalid (fun () -> Digraph.succ g (-1));
+  expect_invalid (fun () -> Digraph.mem_edge g 2 0)
+
+let test_succ_pred () =
+  let g = Digraph.of_edges 5 [ (0, 2); (0, 1); (3, 2); (2, 4) ] in
+  Alcotest.(check (list int)) "succ 0" [ 1; 2 ] (Digraph.succ g 0);
+  Alcotest.(check (list int)) "pred 2" [ 0; 3 ] (Digraph.pred g 2);
+  check_int "out0" 2 (Digraph.out_degree g 0);
+  check_int "in2" 2 (Digraph.in_degree g 2);
+  check_int "deg2" 3 (Digraph.degree g 2);
+  Alcotest.(check (list int)) "used" [ 0; 1; 2; 3; 4 ] (Digraph.used_nodes g)
+
+let test_reachability () =
+  let g = Digraph.of_edges 6 [ (0, 1); (1, 2); (3, 4) ] in
+  let r = Digraph.reachable_from g [ 0 ] in
+  check "0 reaches 2" true r.(2);
+  check "0 not 3" false r.(3);
+  check "0 not 4" false r.(4);
+  let co = Digraph.co_reachable_to g [ 2 ] in
+  check "0 co-reaches 2" true co.(0);
+  check "3 does not" false co.(3);
+  check "path 0->2" true (Digraph.exists_path g 0 2);
+  check "no path 2->0" false (Digraph.exists_path g 2 0);
+  check "trivial path" true (Digraph.exists_path g 5 5)
+
+let test_topological () =
+  let dag = Digraph.of_edges 4 [ (0, 1); (1, 2); (0, 3); (3, 2) ] in
+  (match Digraph.topological_order dag with
+  | None -> Alcotest.fail "dag must have an order"
+  | Some order ->
+      check_int "order length" 4 (List.length order);
+      let pos = Array.make 4 0 in
+      List.iteri (fun i v -> pos.(v) <- i) order;
+      List.iter
+        (fun (u, v) -> check "order respects edges" true (pos.(u) < pos.(v)))
+        (Digraph.edges dag));
+  check "dag has no cycle" false (Digraph.has_cycle dag);
+  let cyc = Digraph.of_edges 3 [ (0, 1); (1, 2); (2, 0) ] in
+  check "cycle detected" true (Digraph.has_cycle cyc)
+
+let test_transpose_union_induced () =
+  let g = Digraph.of_edges 3 [ (0, 1); (1, 2) ] in
+  let t = Digraph.transpose g in
+  check "transposed edge" true (Digraph.mem_edge t 1 0);
+  check "transposed edge 2" true (Digraph.mem_edge t 2 1);
+  check_int "edge count preserved" 2 (Digraph.edge_count t);
+  let h = Digraph.of_edges 3 [ (0, 2) ] in
+  let u = Digraph.union g h in
+  check_int "union" 3 (Digraph.edge_count u);
+  let keep = [| true; false; true |] in
+  let i = Digraph.induced u keep in
+  check_int "induced keeps only 0->2" 1 (Digraph.edge_count i);
+  check "0->2 kept" true (Digraph.mem_edge i 0 2)
+
+let test_equal_copy () =
+  let g = Digraph.of_edges 3 [ (0, 1) ] in
+  let h = Digraph.copy g in
+  check "copies equal" true (Digraph.equal g h);
+  Digraph.add_edge h 1 2;
+  check "diverged" false (Digraph.equal g h);
+  check "original untouched" false (Digraph.mem_edge g 1 2)
+
+(* ------------------------------------------------------------------ *)
+(* Bool_matrix                                                         *)
+
+let test_matrix_basic () =
+  let m = Bool_matrix.create 3 in
+  check "zero" false (Bool_matrix.get m 1 2);
+  Bool_matrix.set m 1 2 true;
+  check "set" true (Bool_matrix.get m 1 2);
+  check_int "count" 1 (Bool_matrix.count_true m);
+  let id = Bool_matrix.identity 3 in
+  check "diag" true (Bool_matrix.get id 2 2);
+  check "off diag" false (Bool_matrix.get id 0 2)
+
+let test_logical_product () =
+  (* 0->1->2: e² has exactly (0,2) *)
+  let g = Digraph.of_edges 3 [ (0, 1); (1, 2) ] in
+  let e = Bool_matrix.of_graph g in
+  let e2 = Bool_matrix.logical_product e e in
+  check "e2 (0,2)" true (Bool_matrix.get e2 0 2);
+  check_int "e2 only one entry" 1 (Bool_matrix.count_true e2);
+  let e3 = Bool_matrix.logical_power e 3 in
+  check_int "e3 empty" 0 (Bool_matrix.count_true e3)
+
+let test_walk_indicator_lemma1 () =
+  (* Lemma 1: η_n(i,j) = 1 iff a walk of length ≤ n exists. *)
+  let g = Digraph.of_edges 4 [ (0, 1); (1, 2); (2, 3) ] in
+  let e = Bool_matrix.of_graph g in
+  let eta1 = Bool_matrix.walk_indicator e 1 in
+  check "η1 direct" true (Bool_matrix.get eta1 0 1);
+  check "η1 no two-hop" false (Bool_matrix.get eta1 0 2);
+  let eta2 = Bool_matrix.walk_indicator e 2 in
+  check "η2 two-hop" true (Bool_matrix.get eta2 0 2);
+  check "η2 no three-hop" false (Bool_matrix.get eta2 0 3);
+  let eta3 = Bool_matrix.walk_indicator e 3 in
+  check "η3 three-hop" true (Bool_matrix.get eta3 0 3)
+
+let random_graph_gen =
+  QCheck.Gen.(
+    sized_size (int_range 2 8) (fun n ->
+        let* density = float_range 0.1 0.6 in
+        let* edges =
+          list_size (int_range 0 (n * n))
+            (pair (int_range 0 (n - 1)) (int_range 0 (n - 1)))
+        in
+        let g = Digraph.create n in
+        List.iter
+          (fun (u, v) ->
+            if u <> v && Random.float 1.0 < density +. 0.2 then
+              Digraph.add_edge g u v)
+          edges;
+        return g))
+
+let arb_graph = QCheck.make ~print:(Fmt.to_to_string Digraph.pp)
+    random_graph_gen
+
+let prop_closure_matches_reachability =
+  QCheck.Test.make ~name:"transitive closure = pairwise reachability"
+    ~count:100 arb_graph (fun g ->
+      let n = Digraph.node_count g in
+      let closure = Bool_matrix.transitive_closure (Bool_matrix.of_graph g) in
+      let ok = ref true in
+      for i = 0 to n - 1 do
+        let reach = Digraph.reachable_from g [ i ] in
+        for j = 0 to n - 1 do
+          let walk_exists =
+            if i = j then
+              (* closure records walks of length ≥ 1 only *)
+              List.exists (fun s -> Digraph.exists_path g s i)
+                (Digraph.succ g i)
+            else reach.(j)
+          in
+          if Bool_matrix.get closure i j <> walk_exists then ok := false
+        done
+      done;
+      !ok)
+
+let prop_walk_indicator_monotone =
+  QCheck.Test.make ~name:"walk indicator grows with n" ~count:50 arb_graph
+    (fun g ->
+      let e = Bool_matrix.of_graph g in
+      let n = Digraph.node_count g in
+      let ok = ref true in
+      let prev = ref (Bool_matrix.create n) in
+      for d = 1 to n do
+        let eta = Bool_matrix.walk_indicator e d in
+        if not (Bool_matrix.equal (Bool_matrix.logical_or !prev eta) eta)
+        then ok := false;
+        prev := eta
+      done;
+      !ok)
+
+(* ------------------------------------------------------------------ *)
+(* Paths                                                               *)
+
+let test_simple_paths_basic () =
+  let g = Digraph.of_edges 5 [ (0, 2); (1, 2); (2, 3); (2, 4); (3, 4) ] in
+  let ps = Paths.simple_paths g ~sources:[ 0; 1 ] ~sink:4 in
+  (* 0-2-4, 0-2-3-4, 1-2-4, 1-2-3-4 *)
+  check_int "count" 4 (List.length ps);
+  List.iter
+    (fun p ->
+      check "starts at source" true (List.mem (List.hd p) [ 0; 1 ]);
+      check "ends at sink" true (List.rev p |> List.hd = 4))
+    ps
+
+let test_simple_paths_max_length () =
+  let g = Digraph.of_edges 4 [ (0, 1); (1, 2); (2, 3); (0, 3) ] in
+  let short = Paths.simple_paths ~max_length:2 g ~sources:[ 0 ] ~sink:3 in
+  check_int "only direct" 1 (List.length short);
+  let all = Paths.simple_paths g ~sources:[ 0 ] ~sink:3 in
+  check_int "all" 2 (List.length all)
+
+let test_simple_paths_source_is_sink () =
+  let g = Digraph.of_edges 3 [ (0, 1) ] in
+  let ps = Paths.simple_paths g ~sources:[ 2 ] ~sink:2 in
+  Alcotest.(check (list (list int))) "trivial path" [ [ 2 ] ] ps
+
+let test_simple_paths_cap () =
+  let g = Digraph.of_edges 4 [ (0, 1); (0, 2); (1, 3); (2, 3) ] in
+  Alcotest.check_raises "too many" Paths.Too_many_paths (fun () ->
+      ignore (Paths.simple_paths ~max_count:1 g ~sources:[ 0 ] ~sink:3))
+
+let test_shortest_path () =
+  let g = Digraph.of_edges 5 [ (0, 1); (1, 2); (2, 3); (0, 3) ] in
+  Alcotest.(check (option int)) "direct" (Some 2)
+    (Paths.shortest_path_length g ~sources:[ 0 ] ~sink:3);
+  Alcotest.(check (option int)) "unreachable" None
+    (Paths.shortest_path_length g ~sources:[ 0 ] ~sink:4)
+
+let test_minimal_path_sets () =
+  (* 0→1→3 and 0→1→2→3: the longer one is subsumed. *)
+  let g = Digraph.of_edges 4 [ (0, 1); (1, 3); (1, 2); (2, 3) ] in
+  let ps = Paths.minimal_path_sets g ~sources:[ 0 ] ~sink:3 in
+  check_int "subsumed dropped" 1 (List.length ps);
+  Alcotest.(check (list int)) "the short one" [ 0; 1; 3 ] (List.hd ps)
+
+let prop_paths_are_simple_and_connected =
+  QCheck.Test.make ~name:"enumerated paths are simple, valid, exhaustive"
+    ~count:100 arb_graph (fun g ->
+      let n = Digraph.node_count g in
+      let sink = n - 1 in
+      let sources = [ 0 ] in
+      let ps =
+        match Paths.simple_paths ~max_count:2000 g ~sources ~sink with
+        | ps -> ps
+        | exception Paths.Too_many_paths -> []
+      in
+      let simple p = List.length p = List.length (List.sort_uniq compare p) in
+      let valid p =
+        let rec edges_ok = function
+          | u :: (v :: _ as rest) ->
+              Digraph.mem_edge g u v && edges_ok rest
+          | [ _ ] | [] -> true
+        in
+        edges_ok p
+      in
+      List.for_all (fun p -> simple p && valid p) ps
+      && (ps <> []) = Digraph.exists_path g 0 sink)
+
+let prop_transpose_involution =
+  QCheck.Test.make ~name:"transpose is an involution" ~count:100 arb_graph
+    (fun g ->
+      Digraph.equal g (Digraph.transpose (Digraph.transpose g)))
+
+let prop_union_commutative =
+  QCheck.Test.make ~name:"union is commutative" ~count:100
+    (QCheck.pair arb_graph arb_graph) (fun (a, b) ->
+      let a' = Digraph.copy a and b' = Digraph.copy b in
+      (* resize to common node count by rebuilding on max *)
+      let n = max (Digraph.node_count a) (Digraph.node_count b) in
+      let lift g =
+        let h = Digraph.create n in
+        List.iter (fun (u, v) -> Digraph.add_edge h u v) (Digraph.edges g);
+        h
+      in
+      ignore a'; ignore b';
+      Digraph.equal
+        (Digraph.union (lift a) (lift b))
+        (Digraph.union (lift b) (lift a)))
+
+let prop_reachability_transitive =
+  QCheck.Test.make ~name:"reachability is transitive" ~count:100 arb_graph
+    (fun g ->
+      let n = Digraph.node_count g in
+      let ok = ref true in
+      for a = 0 to n - 1 do
+        for b = 0 to n - 1 do
+          for c = 0 to n - 1 do
+            if
+              Digraph.exists_path g a b && Digraph.exists_path g b c
+              && not (Digraph.exists_path g a c)
+            then ok := false
+          done
+        done
+      done;
+      !ok)
+
+(* ------------------------------------------------------------------ *)
+(* Dot                                                                 *)
+
+let test_dot_output () =
+  let g = Digraph.of_edges 3 [ (0, 1); (1, 2) ] in
+  let dot = Netgraph.Dot.to_dot ~name:"test" ~node_label:string_of_int g in
+  check "digraph header" true
+    (String.length dot > 10 && String.sub dot 0 12 = "digraph test");
+  check "edge present" true
+    (String.split_on_char '\n' dot
+    |> List.exists (fun l -> l = "  n0 -> n1;"));
+  check "label quoted" true
+    (String.split_on_char '\n' dot
+    |> List.exists (fun l -> l = "  n0 [label=\"0\"];"))
+
+let test_dot_escapes_quotes () =
+  let g = Digraph.of_edges 2 [ (0, 1) ] in
+  let dot = Netgraph.Dot.to_dot ~node_label:(fun _ -> "a\"b") g in
+  check "escaped" true
+    (String.split_on_char '\n' dot
+    |> List.exists (fun l -> l = "  n0 [label=\"a\\\"b\"];"))
+
+(* ------------------------------------------------------------------ *)
+(* Partition                                                           *)
+
+let test_partition_basic () =
+  let p = Partition.make ~names:[| "A"; "B" |] [| 0; 0; 1 |] in
+  check_int "types" 2 (Partition.type_count p);
+  check_int "nodes" 3 (Partition.node_count p);
+  Alcotest.(check (list int)) "members A" [ 0; 1 ] (Partition.members p 0);
+  check "same type" true (Partition.same_type p 0 1);
+  check "diff type" false (Partition.same_type p 0 2);
+  check_int "kmax" 2 (Partition.max_class_size p);
+  Alcotest.(check string) "name" "B" (Partition.name p 1)
+
+let test_partition_rejects_sparse () =
+  match Partition.make [| 0; 2 |] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "sparse types must be rejected"
+
+let test_reduce_path () =
+  let p = Partition.make [| 0; 0; 1; 1; 2 |] in
+  Alcotest.(check (list int)) "collapse runs" [ 0; 2; 4 ]
+    (Partition.reduce_path p [ 0; 1; 2; 3; 4 ]);
+  Alcotest.(check (list int)) "no adjacent same type" [ 0; 2; 4 ]
+    (Partition.reduce_path p [ 0; 2; 4 ]);
+  Alcotest.(check (list int)) "empty" [] (Partition.reduce_path p [])
+
+let test_types_on_path () =
+  let p = Partition.make [| 0; 1; 1; 2 |] in
+  Alcotest.(check (list int)) "types in order" [ 0; 1; 2 ]
+    (Partition.types_on_path p [ 0; 1; 2; 3 ])
+
+let prop_reduce_path_no_adjacent_same_type =
+  let arb_path =
+    QCheck.make
+      QCheck.Gen.(list_size (int_range 0 12) (int_range 0 9))
+      ~print:QCheck.Print.(list int)
+  in
+  QCheck.Test.make ~name:"reduced paths have no same-type adjacency"
+    ~count:200 arb_path (fun nodes ->
+      let p = Partition.make (Array.init 10 (fun i -> i mod 3)) in
+      let reduced = Partition.reduce_path p nodes in
+      let rec ok = function
+        | a :: (b :: _ as rest) ->
+            (not (Partition.same_type p a b)) && ok rest
+        | [ _ ] | [] -> true
+      in
+      ok reduced)
+
+let () =
+  let quick name f = Alcotest.test_case name `Quick f in
+  let prop t = QCheck_alcotest.to_alcotest t in
+  Alcotest.run "netgraph"
+    [ ( "digraph",
+        [ quick "empty graph" test_empty;
+          quick "add/remove edges" test_add_remove;
+          quick "rejects self loops" test_rejects_self_loop;
+          quick "rejects out-of-range nodes" test_rejects_out_of_range;
+          quick "successors and predecessors" test_succ_pred;
+          quick "reachability" test_reachability;
+          quick "topological order and cycles" test_topological;
+          quick "transpose, union, induced" test_transpose_union_induced;
+          quick "equal and copy" test_equal_copy ] );
+      ( "bool_matrix",
+        [ quick "basics" test_matrix_basic;
+          quick "logical product" test_logical_product;
+          quick "walk indicator (Lemma 1)" test_walk_indicator_lemma1;
+          prop prop_closure_matches_reachability;
+          prop prop_walk_indicator_monotone ] );
+      ( "paths",
+        [ quick "enumeration" test_simple_paths_basic;
+          quick "max length" test_simple_paths_max_length;
+          quick "source = sink" test_simple_paths_source_is_sink;
+          quick "count cap" test_simple_paths_cap;
+          quick "shortest path" test_shortest_path;
+          quick "minimal path sets" test_minimal_path_sets;
+          prop prop_paths_are_simple_and_connected ] );
+      ( "graph_properties",
+        [ prop prop_transpose_involution;
+          prop prop_union_commutative;
+          prop prop_reachability_transitive ] );
+      ( "dot",
+        [ quick "renders edges and labels" test_dot_output;
+          quick "escapes quotes" test_dot_escapes_quotes ] );
+      ( "partition",
+        [ quick "basics" test_partition_basic;
+          quick "rejects sparse types" test_partition_rejects_sparse;
+          quick "reduce path" test_reduce_path;
+          quick "types on path" test_types_on_path;
+          prop prop_reduce_path_no_adjacent_same_type ] ) ]

@@ -1,0 +1,590 @@
+(* Tests for the reliability engine: BDD laws, the three exact engines
+   against each other and against closed forms, the approximate algebra
+   (paper Example 1 and Theorem 2), and Monte-Carlo agreement. *)
+
+module Digraph = Netgraph.Digraph
+module Partition = Netgraph.Partition
+module Bdd = Reliability.Bdd
+module Fail_model = Reliability.Fail_model
+module Exact = Reliability.Exact
+module Approx = Reliability.Approx
+module Monte_carlo = Reliability.Monte_carlo
+
+let checkb = Alcotest.(check bool)
+let checkf eps = Alcotest.(check (float eps))
+
+(* ------------------------------------------------------------------ *)
+(* BDD                                                                 *)
+
+let test_bdd_constants () =
+  let man = Bdd.manager ~nvars:2 in
+  checkb "neg bot = top" true (Bdd.equal (Bdd.neg man Bdd.bot) Bdd.top);
+  checkb "x and not x = bot" true
+    (Bdd.equal (Bdd.conj man (Bdd.var man 0) (Bdd.neg man (Bdd.var man 0)))
+       Bdd.bot);
+  checkb "x or not x = top" true
+    (Bdd.equal (Bdd.disj man (Bdd.var man 0) (Bdd.neg man (Bdd.var man 0)))
+       Bdd.top)
+
+let test_bdd_hash_consing () =
+  let man = Bdd.manager ~nvars:3 in
+  let f1 = Bdd.conj man (Bdd.var man 0) (Bdd.var man 1) in
+  let f2 = Bdd.conj man (Bdd.var man 1) (Bdd.var man 0) in
+  checkb "canonical forms are physically equal" true (Bdd.equal f1 f2)
+
+let random_formula man depth rng =
+  let rec go depth =
+    if depth = 0 then
+      if Random.State.bool rng then Bdd.var man (Random.State.int rng 6)
+      else Bdd.neg man (Bdd.var man (Random.State.int rng 6))
+    else
+      let a = go (depth - 1) and b = go (depth - 1) in
+      match Random.State.int rng 3 with
+      | 0 -> Bdd.conj man a b
+      | 1 -> Bdd.disj man a b
+      | _ -> Bdd.neg man a
+  in
+  go depth
+
+let test_bdd_eval_vs_semantics () =
+  let man = Bdd.manager ~nvars:6 in
+  let rng = Random.State.make [| 42 |] in
+  for _ = 1 to 50 do
+    let f = random_formula man 4 rng in
+    let g = random_formula man 4 rng in
+    let fg = Bdd.conj man f g in
+    let fo = Bdd.disj man f g in
+    for mask = 0 to 63 do
+      let assign v = mask land (1 lsl v) <> 0 in
+      checkb "conj" (Bdd.eval f assign && Bdd.eval g assign)
+        (Bdd.eval fg assign);
+      checkb "disj" (Bdd.eval f assign || Bdd.eval g assign)
+        (Bdd.eval fo assign)
+    done
+  done
+
+let test_bdd_probability_is_weighted_count () =
+  (* P(f) under p must equal the sum over satisfying assignments. *)
+  let man = Bdd.manager ~nvars:6 in
+  let rng = Random.State.make [| 7 |] in
+  let p v = 0.1 +. (0.12 *. float_of_int v) in
+  for _ = 1 to 30 do
+    let f = random_formula man 4 rng in
+    let brute = ref 0. in
+    for mask = 0 to 63 do
+      let assign v = mask land (1 lsl v) <> 0 in
+      if Bdd.eval f assign then begin
+        let weight = ref 1. in
+        for v = 0 to 5 do
+          weight := !weight *. (if assign v then p v else 1. -. p v)
+        done;
+        brute := !brute +. !weight
+      end
+    done;
+    checkf 1e-12 "probability" !brute (Bdd.probability man p f)
+  done
+
+let test_bdd_ite () =
+  let man = Bdd.manager ~nvars:3 in
+  let f = Bdd.ite man (Bdd.var man 0) (Bdd.var man 1) (Bdd.var man 2) in
+  List.iter
+    (fun mask ->
+      let assign v = mask land (1 lsl v) <> 0 in
+      let expected = if assign 0 then assign 1 else assign 2 in
+      checkb "ite" expected (Bdd.eval f assign))
+    (List.init 8 Fun.id)
+
+(* ------------------------------------------------------------------ *)
+(* Closed forms                                                        *)
+
+let series_chain p n =
+  (* failure probability of a single chain of n failing components *)
+  1. -. ((1. -. p) ** float_of_int n)
+
+let test_series_chain () =
+  (* 0 → 1 → 2, all fail with p *)
+  let p = 0.01 in
+  let g = Digraph.of_edges 3 [ (0, 1); (1, 2) ] in
+  let net = Fail_model.make g ~sources:[ 0 ] ~node_fail:(Array.make 3 p) in
+  List.iter
+    (fun engine ->
+      checkf 1e-12 "series" (series_chain p 3)
+        (Exact.sink_failure ~engine net ~sink:2))
+    [ Exact.Bdd_compilation; Exact.Inclusion_exclusion; Exact.Factoring ]
+
+let test_parallel_sources () =
+  (* two perfect sources, failing middle nodes in parallel, perfect sink:
+     r = p² *)
+  let p = 0.3 in
+  let g = Digraph.of_edges 4 [ (0, 1); (0, 2); (1, 3); (2, 3) ] in
+  let node_fail = [| 0.; p; p; 0. |] in
+  let net = Fail_model.make g ~sources:[ 0 ] ~node_fail in
+  List.iter
+    (fun engine ->
+      checkf 1e-12 "parallel" (p *. p)
+        (Exact.sink_failure ~engine net ~sink:3))
+    [ Exact.Bdd_compilation; Exact.Inclusion_exclusion; Exact.Factoring ]
+
+let test_unreachable_sink () =
+  let g = Digraph.of_edges 3 [ (0, 1) ] in
+  let net =
+    Fail_model.make g ~sources:[ 0 ] ~node_fail:(Array.make 3 0.)
+  in
+  List.iter
+    (fun engine ->
+      checkf 1e-12 "unreachable" 1. (Exact.sink_failure ~engine net ~sink:2))
+    [ Exact.Bdd_compilation; Exact.Inclusion_exclusion; Exact.Factoring ]
+
+let test_sink_is_source () =
+  let g = Digraph.of_edges 2 [ (0, 1) ] in
+  let net =
+    Fail_model.make g ~sources:[ 0 ] ~node_fail:[| 0.25; 0.5 |]
+  in
+  checkf 1e-12 "source sink fails only by itself" 0.25
+    (Exact.sink_failure net ~sink:0)
+
+let test_paper_example_1 () =
+  (* Fig. 1b: two disjoint chains G→B→D→L sharing the sink.
+     r_L = p_L + (1-p_L)·{p_D + (1-p_D)[p_B + (1-p_B) p_G]}² *)
+  let g =
+    Digraph.of_edges 7 [ (0, 2); (2, 4); (4, 6); (1, 3); (3, 5); (5, 6) ]
+  in
+  let p = 2e-4 in
+  let net = Fail_model.make g ~sources:[ 0; 1 ] ~node_fail:(Array.make 7 p) in
+  let inner = p +. ((1. -. p) *. (p +. ((1. -. p) *. p))) in
+  let expected = p +. ((1. -. p) *. (inner ** 2.)) in
+  List.iter
+    (fun engine ->
+      checkf 1e-16 "example 1 exact" expected
+        (Exact.sink_failure ~engine net ~sink:6))
+    [ Exact.Bdd_compilation; Exact.Inclusion_exclusion; Exact.Factoring ]
+
+let test_edge_failures () =
+  (* single path with a failing link: r = 1 - (1-p_node)²(1-q) *)
+  let g = Digraph.of_edges 2 [ (0, 1) ] in
+  let q = 0.05 and p = 0.1 in
+  let net =
+    Fail_model.make ~edge_fail:[ ((0, 1), q) ] g ~sources:[ 0 ]
+      ~node_fail:(Array.make 2 p)
+  in
+  let expected = 1. -. ((1. -. p) ** 2. *. (1. -. q)) in
+  checkf 1e-12 "edge failure (bdd)" expected
+    (Exact.sink_failure ~engine:Exact.Bdd_compilation net ~sink:1);
+  checkf 1e-12 "edge failure (ie)" expected
+    (Exact.sink_failure ~engine:Exact.Inclusion_exclusion net ~sink:1);
+  checkf 1e-12 "edge failure (factoring via nodeify)" expected
+    (Exact.sink_failure ~engine:Exact.Factoring net ~sink:1)
+
+let test_cyclic_graph () =
+  (* a 2-cycle between middle nodes must not trap the fixpoint;
+     0 → 1 ⇄ 2 → 3 with only middle nodes failing:
+     sink connected iff node 1 up (2 only reachable through 1) *)
+  let g = Digraph.of_edges 4 [ (0, 1); (1, 2); (2, 1); (2, 3) ] in
+  let p = 0.2 in
+  let node_fail = [| 0.; p; p; 0. |] in
+  let net = Fail_model.make g ~sources:[ 0 ] ~node_fail in
+  (* path 0-1-2-3 requires both 1 and 2 up *)
+  let expected = 1. -. ((1. -. p) *. (1. -. p)) in
+  checkf 1e-12 "cycle (bdd)" expected
+    (Exact.sink_failure ~engine:Exact.Bdd_compilation net ~sink:3);
+  checkf 1e-12 "cycle (factoring)" expected
+    (Exact.sink_failure ~engine:Exact.Factoring net ~sink:3)
+
+(* ------------------------------------------------------------------ *)
+(* Engines agree on random DAGs                                        *)
+
+let arb_dag_net =
+  let gen =
+    QCheck.Gen.(
+      let* n = int_range 3 8 in
+      let* probs = array_size (return n) (float_range 0.0 0.5) in
+      let* edge_flags = array_size (return (n * n)) (float_range 0. 1.) in
+      let g = Digraph.create n in
+      let idx = ref 0 in
+      for u = 0 to n - 1 do
+        for v = 0 to n - 1 do
+          (* forward edges only: random DAG *)
+          if u < v && edge_flags.(!idx) < 0.45 then Digraph.add_edge g u v;
+          incr idx
+        done
+      done;
+      return (g, probs))
+  in
+  QCheck.make gen ~print:(fun (g, _) -> Fmt.to_to_string Digraph.pp g)
+
+let prop_engines_agree =
+  QCheck.Test.make ~name:"bdd = inclusion-exclusion = factoring" ~count:80
+    arb_dag_net (fun (g, probs) ->
+      let n = Digraph.node_count g in
+      let net = Fail_model.make g ~sources:[ 0 ] ~node_fail:probs in
+      let sink = n - 1 in
+      let r_bdd = Exact.sink_failure ~engine:Exact.Bdd_compilation net ~sink in
+      let r_fac = Exact.sink_failure ~engine:Exact.Factoring net ~sink in
+      let r_ie =
+        try
+          Some (Exact.sink_failure ~engine:Exact.Inclusion_exclusion net ~sink)
+        with Invalid_argument _ -> None
+      in
+      Float.abs (r_bdd -. r_fac) < 1e-9
+      && match r_ie with
+         | None -> true
+         | Some r -> Float.abs (r_bdd -. r) < 1e-9)
+
+let prop_monotone_in_failure_probs =
+  QCheck.Test.make ~name:"failure probability is monotone in node probs"
+    ~count:60 arb_dag_net (fun (g, probs) ->
+      let n = Digraph.node_count g in
+      let net = Fail_model.make g ~sources:[ 0 ] ~node_fail:probs in
+      let bumped = Array.map (fun p -> Float.min 1. (p +. 0.1)) probs in
+      let net' = Fail_model.make g ~sources:[ 0 ] ~node_fail:bumped in
+      let sink = n - 1 in
+      Exact.sink_failure net ~sink <= Exact.sink_failure net' ~sink +. 1e-12)
+
+let prop_monte_carlo_within_ci =
+  QCheck.Test.make ~name:"monte carlo within 5 sigma of exact" ~count:20
+    arb_dag_net (fun (g, probs) ->
+      let n = Digraph.node_count g in
+      let net = Fail_model.make g ~sources:[ 0 ] ~node_fail:probs in
+      let sink = n - 1 in
+      let exact = Exact.sink_failure net ~sink in
+      let est =
+        Monte_carlo.estimate_sink_failure ~seed:11 ~trials:20_000 net ~sink
+      in
+      Monte_carlo.within est exact 5.)
+
+(* ------------------------------------------------------------------ *)
+(* Approximate algebra                                                 *)
+
+let example1_setup () =
+  let g =
+    Digraph.of_edges 7 [ (0, 2); (2, 4); (4, 6); (1, 3); (3, 5); (5, 6) ]
+  in
+  let part =
+    Partition.make ~names:[| "G"; "B"; "D"; "L" |] [| 0; 0; 1; 1; 2; 2; 3 |]
+  in
+  (g, part)
+
+let test_example1_approx () =
+  let g, part = example1_setup () in
+  let p = 2e-4 in
+  let link = Approx.functional_link g part ~sources:[ 0; 1 ] ~sink:6 in
+  Alcotest.(check int) "two paths" 2 (List.length link.Approx.paths);
+  let estimate =
+    Approx.failure_estimate part ~type_fail:(fun _ -> p) link
+  in
+  checkf 1e-18 "r~ = p + 6p²" (p +. (6. *. p *. p)) estimate
+
+let test_example1_degrees () =
+  let g, part = example1_setup () in
+  let link = Approx.functional_link g part ~sources:[ 0; 1 ] ~sink:6 in
+  List.iter
+    (fun (ty, expected) ->
+      Alcotest.(check int)
+        (Printf.sprintf "h for type %d" ty)
+        expected
+        (Approx.degree_of_redundancy part link ty))
+    [ (0, 2); (1, 2); (2, 2); (3, 1) ];
+  checkb "all types jointly implement" true
+    (List.for_all (Approx.jointly_implements part link) [ 0; 1; 2; 3 ]);
+  Alcotest.(check (list int)) "I_i" [ 0; 1; 2; 3 ]
+    (Approx.implementing_types part link)
+
+let test_example1_theorem2_bound () =
+  let g, part = example1_setup () in
+  let link = Approx.functional_link g part ~sources:[ 0; 1 ] ~sink:6 in
+  (* m = 4 types, f = 2 paths, M_f = 4·4 = 16 → bound 0.5 *)
+  checkf 1e-12 "bound" 0.5 (Approx.theorem2_bound part link)
+
+let test_reduced_path_degrees () =
+  (* adjacent same-type nodes collapse: chain S → a → a' → T where a ~ a' *)
+  let g = Digraph.of_edges 4 [ (0, 1); (1, 2); (2, 3) ] in
+  let part = Partition.make [| 0; 1; 1; 2 |] in
+  let link = Approx.functional_link g part ~sources:[ 0 ] ~sink:3 in
+  Alcotest.(check int) "reduced h counts one" 1
+    (Approx.degree_of_redundancy part link 1)
+
+let test_jointly_implements_partial () =
+  (* two paths, only one goes through type 1: type 1 does not jointly
+     implement *)
+  let g = Digraph.of_edges 4 [ (0, 1); (1, 3); (0, 2); (2, 3) ] in
+  let part = Partition.make [| 0; 1; 2; 3 |] in
+  let link = Approx.functional_link g part ~sources:[ 0 ] ~sink:3 in
+  checkb "type 1 partial" false (Approx.jointly_implements part link 1);
+  checkb "type 0 full" true (Approx.jointly_implements part link 0);
+  (* non-implementing types are excluded from the estimate *)
+  let estimate =
+    Approx.failure_estimate part ~type_fail:(fun _ -> 0.1) link
+  in
+  (* only source (h=1) and sink (h=1) jointly implement: r~ = 2·0.1 *)
+  checkf 1e-12 "estimate skips partial types" 0.2 estimate
+
+let test_empty_link () =
+  let g = Digraph.create 3 in
+  let part = Partition.make [| 0; 1; 2 |] in
+  let link = Approx.functional_link g part ~sources:[ 0 ] ~sink:2 in
+  checkf 1e-12 "no path estimates 1" 1.
+    (Approx.failure_estimate part ~type_fail:(fun _ -> 0.1) link);
+  checkf 1e-12 "bound degenerates to 0" 0. (Approx.theorem2_bound part link)
+
+let test_uniform_type_fail () =
+  let part = Partition.make [| 0; 0; 1 |] in
+  let probs = [| 0.1; 0.1; 0.3 |] in
+  checkf 1e-12 "uniform ok" 0.1
+    (Approx.uniform_type_fail part ~node_fail:(fun v -> probs.(v)) 0);
+  let probs' = [| 0.1; 0.2; 0.3 |] in
+  match Approx.uniform_type_fail part ~node_fail:(fun v -> probs'.(v)) 0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "disagreeing members must be rejected"
+
+(* ------------------------------------------------------------------ *)
+(* Fail_model mechanics                                                *)
+
+let test_fail_model_validation () =
+  let g = Digraph.of_edges 2 [ (0, 1) ] in
+  let expect_invalid f =
+    match f () with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.fail "expected Invalid_argument"
+  in
+  expect_invalid (fun () ->
+      Fail_model.make g ~sources:[] ~node_fail:[| 0.1; 0.1 |]);
+  expect_invalid (fun () ->
+      Fail_model.make g ~sources:[ 0 ] ~node_fail:[| 0.1 |]);
+  expect_invalid (fun () ->
+      Fail_model.make g ~sources:[ 0 ] ~node_fail:[| 1.5; 0. |]);
+  expect_invalid (fun () ->
+      Fail_model.make g
+        ~edge_fail:[ ((1, 0), 0.1) ]
+        ~sources:[ 0 ] ~node_fail:[| 0.; 0. |])
+
+let test_path_failure_probability () =
+  let g = Digraph.of_edges 3 [ (0, 1); (1, 2) ] in
+  let net =
+    Fail_model.make g
+      ~edge_fail:[ ((0, 1), 0.1) ]
+      ~sources:[ 0 ] ~node_fail:[| 0.2; 0.3; 0. |]
+  in
+  (* ρ = 1 - (1-0.2)(1-0.1)(1-0.3)(1-0) *)
+  checkf 1e-12 "path failure" (1. -. (0.8 *. 0.9 *. 0.7))
+    (Fail_model.path_failure_probability net [ 0; 1; 2 ])
+
+let test_to_node_only_preserves_reliability () =
+  let g = Digraph.of_edges 3 [ (0, 1); (1, 2); (0, 2) ] in
+  let net =
+    Fail_model.make g
+      ~edge_fail:[ ((0, 2), 0.2); ((1, 2), 0.05) ]
+      ~sources:[ 0 ] ~node_fail:[| 0.1; 0.15; 0. |]
+  in
+  let node_only, _ = Fail_model.to_node_only net in
+  checkf 1e-12 "same failure probability"
+    (Exact.sink_failure net ~sink:2)
+    (Exact.sink_failure node_only ~sink:2);
+  checkb "no failing edges left" true
+    (Netgraph.Digraph.edge_count (Fail_model.graph node_only)
+     > Netgraph.Digraph.edge_count g)
+
+let test_monte_carlo_deterministic_with_seed () =
+  let g = Digraph.of_edges 3 [ (0, 1); (1, 2) ] in
+  let net =
+    Fail_model.make g ~sources:[ 0 ] ~node_fail:[| 0.1; 0.2; 0.1 |]
+  in
+  let e1 = Monte_carlo.estimate_sink_failure ~seed:7 ~trials:5000 net ~sink:2
+  and e2 =
+    Monte_carlo.estimate_sink_failure ~seed:7 ~trials:5000 net ~sink:2
+  in
+  Alcotest.(check int) "same failures" e1.Monte_carlo.failures
+    e2.Monte_carlo.failures
+
+let test_bdd_size_reasonable () =
+  (* the working BDD of a 2-parallel-chain net stays small *)
+  let g =
+    Digraph.of_edges 7 [ (0, 2); (2, 4); (4, 6); (1, 3); (3, 5); (5, 6) ]
+  in
+  let net =
+    Fail_model.make g ~sources:[ 0; 1 ] ~node_fail:(Array.make 7 0.1)
+  in
+  let man = Bdd.manager ~nvars:(Fail_model.var_count net) in
+  let w = Fail_model.working_bdd net man ~sink:6 in
+  checkb "nontrivial" true (not (Bdd.is_bot w) && not (Bdd.is_top w));
+  checkb "small" true (Bdd.size w <= 20)
+
+(* ------------------------------------------------------------------ *)
+(* Cut sets and importance                                             *)
+
+let two_chain_net p =
+  let g =
+    Digraph.of_edges 7 [ (0, 2); (2, 4); (4, 6); (1, 3); (3, 5); (5, 6) ]
+  in
+  Fail_model.make g ~sources:[ 0; 1 ] ~node_fail:(Array.make 7 p)
+
+let test_minimal_cut_sets_two_chains () =
+  let net = two_chain_net 0.1 in
+  let cuts = Reliability.Cut_sets.minimal_cut_sets net ~sink:6 in
+  (* the sink alone, plus one component from each chain: 1 + 3·3 = 10 *)
+  Alcotest.(check int) "count" 10 (List.length cuts);
+  Alcotest.(check (list int)) "sink is the smallest cut" [ 6 ]
+    (List.hd cuts);
+  List.iter
+    (fun cut ->
+      checkb "cut disconnects" true
+        (List.length cut = 1 || List.length cut = 2))
+    cuts;
+  Alcotest.(check int) "redundancy order" 1
+    (Reliability.Cut_sets.min_cut_width net ~sink:6)
+
+let test_rare_event_close_to_exact () =
+  let p = 1e-3 in
+  let net = two_chain_net p in
+  let exact = Exact.sink_failure net ~sink:6 in
+  let approx = Reliability.Cut_sets.rare_event_approximation net ~sink:6 in
+  (* p + 9p²  vs  p + 9p² + O(p³): relative error O(p) *)
+  checkb "close" true (Float.abs (approx -. exact) /. exact < 0.01);
+  checkb "upper-bound flavour" true (approx >= exact -. 1e-15)
+
+let test_cut_sets_disconnected_sink () =
+  let g = Digraph.of_edges 2 [] in
+  let net = Fail_model.make g ~sources:[ 0 ] ~node_fail:[| 0.; 0. |] in
+  let cuts = Reliability.Cut_sets.minimal_cut_sets net ~sink:1 in
+  Alcotest.(check (list (list int))) "empty cut" [ [] ] cuts;
+  Alcotest.(check int) "width 0" 0
+    (Reliability.Cut_sets.min_cut_width net ~sink:1)
+
+let test_max_width_prunes () =
+  let net = two_chain_net 0.1 in
+  let cuts =
+    Reliability.Cut_sets.minimal_cut_sets ~max_width:1 net ~sink:6
+  in
+  Alcotest.(check (list (list int))) "only the singleton" [ [ 6 ] ] cuts
+
+let test_birnbaum_importance_ranks_series_over_parallel () =
+  let net = two_chain_net 0.1 in
+  let sink_importance =
+    Reliability.Cut_sets.birnbaum_importance net ~sink:6 6
+  in
+  let chain_importance =
+    Reliability.Cut_sets.birnbaum_importance net ~sink:6 2
+  in
+  checkb "series component more critical" true
+    (sink_importance > chain_importance);
+  (* the sink is critical unless everything else failed: importance ≈ 1 *)
+  checkb "sink nearly always critical" true (sink_importance > 0.7);
+  (* Birnbaum = ∂r/∂p: finite differences agree *)
+  let r_at p =
+    let net = two_chain_net 0.1 in
+    let g = Fail_model.graph net in
+    let node_fail = Array.init 7 (Fail_model.node_fail net) in
+    node_fail.(2) <- p;
+    Exact.sink_failure
+      (Fail_model.make g ~sources:[ 0; 1 ] ~node_fail)
+      ~sink:6
+  in
+  checkf 1e-9 "matches finite difference" (r_at 1. -. r_at 0.)
+    chain_importance
+
+(* Theorem 2 on random layered networks: r~ / r ≥ m·f / M_f. *)
+let arb_layered =
+  let gen =
+    QCheck.Gen.(
+      let* widths = list_size (int_range 2 4) (int_range 1 3) in
+      let widths = 1 :: widths @ [ 1 ] in
+      let* p = float_range 0.01 0.2 in
+      return (widths, p))
+  in
+  QCheck.make gen ~print:(fun (ws, p) ->
+      Printf.sprintf "widths=%s p=%g"
+        (String.concat "," (List.map string_of_int ws))
+        p)
+
+let build_layered widths =
+  let offsets =
+    List.fold_left (fun acc w -> (List.hd acc + w) :: acc) [ 0 ] widths
+    |> List.rev
+  in
+  let n = List.nth offsets (List.length widths) in
+  let g = Digraph.create n in
+  let types = Array.make n 0 in
+  List.iteri
+    (fun layer w ->
+      let base = List.nth offsets layer in
+      for i = 0 to w - 1 do
+        types.(base + i) <- layer
+      done;
+      if layer > 0 then begin
+        let prev_base = List.nth offsets (layer - 1) in
+        let prev_w = List.nth widths (layer - 1) in
+        for i = 0 to prev_w - 1 do
+          for j = 0 to w - 1 do
+            Digraph.add_edge g (prev_base + i) (base + j)
+          done
+        done
+      end)
+    widths;
+  (g, Partition.make types, n)
+
+let prop_theorem2 =
+  QCheck.Test.make ~name:"Theorem 2: r~/r >= m·f/M_f" ~count:60 arb_layered
+    (fun (widths, p) ->
+      let g, part, n = build_layered widths in
+      let sink = n - 1 in
+      let link = Approx.functional_link g part ~sources:[ 0 ] ~sink in
+      let net =
+        Fail_model.make g ~sources:[ 0 ] ~node_fail:(Array.make n p)
+      in
+      let exact = Exact.sink_failure net ~sink in
+      let estimate =
+        Approx.failure_estimate part ~type_fail:(fun _ -> p) link
+      in
+      let bound = Approx.theorem2_bound part link in
+      exact <= 0. || estimate /. exact >= bound -. 1e-9)
+
+let () =
+  let quick name f = Alcotest.test_case name `Quick f in
+  let prop t = QCheck_alcotest.to_alcotest t in
+  Alcotest.run "reliability"
+    [ ( "bdd",
+        [ quick "constants and complements" test_bdd_constants;
+          quick "hash consing canonicity" test_bdd_hash_consing;
+          quick "eval matches semantics" test_bdd_eval_vs_semantics;
+          quick "probability = weighted model count"
+            test_bdd_probability_is_weighted_count;
+          quick "ite" test_bdd_ite ] );
+      ( "exact",
+        [ quick "series chain" test_series_chain;
+          quick "parallel branches" test_parallel_sources;
+          quick "unreachable sink" test_unreachable_sink;
+          quick "sink is a source" test_sink_is_source;
+          quick "paper example 1" test_paper_example_1;
+          quick "edge failures" test_edge_failures;
+          quick "cyclic graphs" test_cyclic_graph;
+          prop prop_engines_agree;
+          prop prop_monotone_in_failure_probs;
+          prop prop_monte_carlo_within_ci ] );
+      ( "fail_model",
+        [ quick "validation" test_fail_model_validation;
+          quick "single-path failure probability (ESTPATH's rho)"
+            test_path_failure_probability;
+          quick "edge nodeification preserves reliability"
+            test_to_node_only_preserves_reliability;
+          quick "monte carlo deterministic under seed"
+            test_monte_carlo_deterministic_with_seed;
+          quick "working BDD stays small" test_bdd_size_reasonable ] );
+      ( "cut_sets",
+        [ quick "minimal cut sets of two chains"
+            test_minimal_cut_sets_two_chains;
+          quick "rare-event approximation near exact"
+            test_rare_event_close_to_exact;
+          quick "disconnected sink has the empty cut"
+            test_cut_sets_disconnected_sink;
+          quick "max width prunes" test_max_width_prunes;
+          quick "Birnbaum importance"
+            test_birnbaum_importance_ranks_series_over_parallel ] );
+      ( "approx",
+        [ quick "example 1 estimate" test_example1_approx;
+          quick "example 1 degrees of redundancy" test_example1_degrees;
+          quick "example 1 theorem 2 bound" test_example1_theorem2_bound;
+          quick "reduced paths collapse same-type runs"
+            test_reduced_path_degrees;
+          quick "partial joint implementation" test_jointly_implements_partial;
+          quick "empty link" test_empty_link;
+          quick "uniform type probabilities" test_uniform_type_fail;
+          prop prop_theorem2 ] ) ]
