@@ -172,7 +172,7 @@ let table2_strategy strategy label =
     (fun g ->
       let inst = Eps.Eps_template.make ~generators:g in
       let template = inst.Eps.Eps_template.template in
-      let t0 = Sys.time () in
+      let t0 = Archex_obs.Clock.now () in
       match
         Archex.Ilp_mr.run ~strategy ~solve_time_limit:!per_solve_limit
           template ~r_star:1e-11
@@ -183,7 +183,7 @@ let table2_strategy strategy label =
             (List.length trace)
             timing.Archex.Synthesis.analysis_time
             timing.Archex.Synthesis.solver_time
-            (Sys.time () -. t0)
+            (Archex_obs.Clock.now () -. t0)
       | Archex.Synthesis.Unfeasible (trace, _) ->
           Printf.printf "  %-18s UNFEASIBLE after %d iterations\n"
             (Printf.sprintf "%d (%d)" (5 * g) g)
@@ -239,7 +239,7 @@ let ablation_backend () =
   List.iter
     (fun backend ->
       let enc = Archex.Gen_ilp.encode template in
-      let t0 = Sys.time () in
+      let t0 = Archex_obs.Clock.now () in
       match Archex.Gen_ilp.solve ~backend ~time_limit:60. enc with
       | Some (_, cost, stats) ->
           Printf.printf
@@ -253,7 +253,7 @@ let ablation_backend () =
       | exception Failure msg ->
           Printf.printf "  %-6s %s (%.1fs)\n"
             (Milp.Solver.backend_name backend)
-            msg (Sys.time () -. t0))
+            msg (Archex_obs.Clock.now () -. t0))
     [ Milp.Solver.Pseudo_boolean; Milp.Solver.Lp_branch_bound ]
 
 let ablation_exact () =
@@ -275,9 +275,9 @@ let ablation_exact () =
           ~node_fail:(Array.make n 2e-4)
       in
       let time engine =
-        let t0 = Sys.time () in
+        let t0 = Archex_obs.Clock.now () in
         let r = Reliability.Exact.sink_failure ~engine net ~sink:(n - 1) in
-        (r, Sys.time () -. t0)
+        (r, Archex_obs.Clock.now () -. t0)
       in
       let r, t_bdd = time Reliability.Exact.Bdd_compilation in
       let _, t_ie = time Reliability.Exact.Inclusion_exclusion in
@@ -285,6 +285,71 @@ let ablation_exact () =
       Printf.printf "  %-8d %-12.3e %-12.4f %-12.4f %-12.4f\n%!" k r t_bdd
         t_ie t_fac)
     [ 2; 3; 4; 5; 6 ]
+
+(* ------------------------------------------------------------------ *)
+(* Instrumented synthesis sweep → BENCH_synthesis.json                 *)
+
+let synthesis () =
+  hr "Instrumented ILP-MR sweep (writes BENCH_synthesis.json)";
+  let open Archex_obs in
+  let metric m name = Option.value (Metrics.value m name) ~default:0. in
+  let row g =
+    let inst = Eps.Eps_template.make ~generators:g in
+    let template = inst.Eps.Eps_template.template in
+    let metrics = Metrics.create () in
+    let obs = Ctx.make ~metrics () in
+    let result =
+      Archex.Ilp_mr.run ~obs ~solve_time_limit:!per_solve_limit template
+        ~r_star:1e-11
+    in
+    let trace, timing, outcome =
+      match result with
+      | Archex.Synthesis.Synthesized (arch, trace, timing) ->
+          ( trace, timing,
+            [ ("feasible", Json.Bool true);
+              ("cost", Json.Num arch.Archex.Synthesis.cost);
+              ("reliability", Json.Num arch.Archex.Synthesis.reliability) ] )
+      | Archex.Synthesis.Unfeasible (trace, timing) ->
+          (trace, timing, [ ("feasible", Json.Bool false) ])
+    in
+    (* the per-iteration run_stats sum to the same totals as the pb.*
+       counters; report both so the JSON cross-checks itself *)
+    let sum f =
+      List.fold_left (fun acc it -> acc + f it.Archex.Ilp_mr.stats) 0 trace
+    in
+    Printf.printf
+      "  %-18s %-12d solver %-8.2f analysis %-8.2f decisions %.0f\n%!"
+      (Printf.sprintf "%d (%d)" (5 * g) g)
+      (List.length trace)
+      timing.Archex.Synthesis.solver_time
+      timing.Archex.Synthesis.analysis_time
+      (metric metrics "pb.decisions");
+    Json.Obj
+      (("generators", Json.Num (float_of_int g))
+       :: ("nodes", Json.Num (float_of_int (5 * g)))
+       :: outcome
+      @ [ ("iterations", Json.Num (float_of_int (List.length trace)));
+          ("setup_time", Json.Num timing.Archex.Synthesis.setup_time);
+          ("solver_time", Json.Num timing.Archex.Synthesis.solver_time);
+          ("analysis_time", Json.Num timing.Archex.Synthesis.analysis_time);
+          ("solver_nodes",
+           Json.Num (float_of_int (sum (fun s -> s.Milp.Solver.nodes))));
+          ("solver_conflicts",
+           Json.Num (float_of_int (sum (fun s -> s.Milp.Solver.conflicts))));
+          ("metrics", Metrics.to_json metrics) ])
+  in
+  let rows = List.map row !sizes in
+  let json =
+    Json.Obj
+      [ ("experiment", Json.Str "ilp_mr_scaling");
+        ("r_star", Json.Num 1e-11);
+        ("sizes", Json.Arr rows) ]
+  in
+  let oc = open_out "BENCH_synthesis.json" in
+  output_string oc (Json.to_string json);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "  wrote BENCH_synthesis.json\n"
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test.make per table/figure kernel.   *)
@@ -389,7 +454,7 @@ let artifacts =
   [ ("table1", table1); ("example1", example1); ("fig2", fig2);
     ("fig3", fig3); ("table2", table2); ("table3", table3);
     ("ablation-backend", ablation_backend); ("ablation-exact", ablation_exact);
-    ("bechamel", bechamel) ]
+    ("synthesis", synthesis); ("bechamel", bechamel) ]
 
 let default_artifacts =
   [ "table1"; "example1"; "fig2"; "fig3"; "table2"; "table3";

@@ -46,21 +46,98 @@ let diagram_arg =
   let doc = "Print the single-line diagram of the result." in
   Arg.(value & flag & info [ "diagram" ] ~doc)
 
+(* Observability: --trace/--metrics/--progress are shared by every
+   synthesis command and funnel into one Archex_obs.Ctx. *)
+
+let obs_args =
+  let trace_arg =
+    let doc =
+      "Write an NDJSON span trace of the run to $(docv) (one JSON object \
+       per span boundary or event; inspect with $(b,trace-check))."
+    in
+    Arg.(value & opt (some string) None & info [ "trace" ] ~doc ~docv:"FILE")
+  in
+  let metrics_arg =
+    let doc =
+      "Write a JSON snapshot of the solver metrics (counters, gauges, \
+       histograms) to $(docv) at exit."
+    in
+    Arg.(value & opt (some string) None
+         & info [ "metrics" ] ~doc ~docv:"FILE")
+  in
+  let progress_arg =
+    let doc =
+      "Print solver progress (heartbeats, incumbents, iterations) to \
+       standard error while the run is in flight."
+    in
+    Arg.(value & flag & info [ "progress" ] ~doc)
+  in
+  Term.(
+    const (fun trace metrics progress -> (trace, metrics, progress))
+    $ trace_arg $ metrics_arg $ progress_arg)
+
+let stats_arg =
+  let doc = "Print per-iteration solver statistics." in
+  Arg.(value & flag & info [ "stats" ] ~doc)
+
+(* Run [f obs on_event] with sinks wired to the requested files; the trace
+   channel is closed and the metrics snapshot written even when [f]
+   raises or exits nonzero. *)
+let with_obs (trace_file, metrics_file, progress) f =
+  let open_sink path =
+    try open_out path
+    with Sys_error msg ->
+      Format.eprintf "archex: cannot open %s@." msg;
+      exit 1
+  in
+  let trace_oc, tracer =
+    match trace_file with
+    | None -> (None, Archex_obs.Trace.null)
+    | Some path ->
+        let oc = open_sink path in
+        ( Some oc,
+          Archex_obs.Trace.make (fun j ->
+              output_string oc (Archex_obs.Json.to_string j);
+              output_char oc '\n') )
+  in
+  let metrics =
+    if metrics_file = None then Archex_obs.Metrics.null
+    else Archex_obs.Metrics.create ()
+  in
+  let obs = Archex_obs.Ctx.make ~trace:tracer ~metrics () in
+  let on_event =
+    if progress then
+      Some (fun ev -> Format.eprintf "%a@." Archex_obs.Event.pp ev)
+    else None
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Option.iter close_out trace_oc;
+      Option.iter
+        (fun path ->
+          try Archex_obs.Metrics.write_file metrics path
+          with Sys_error msg ->
+            Format.eprintf "archex: cannot write %s@." msg;
+            exit 1)
+        metrics_file)
+    (fun () -> f obs on_event)
+
 let report inst arch diagram =
   let template = inst.Eps.Eps_template.template in
   Format.printf "%a@." (Archex.Synthesis.pp_architecture template) arch;
   if diagram then Eps.Eps_diagram.print inst arch.Archex.Synthesis.config
 
-let mr_cmd =
-  let run generators r_star backend lazy_ diagram =
+let mr_term =
+  let run generators r_star backend lazy_ diagram obs3 stats =
     let inst = instance_of generators in
     let strategy =
       if lazy_ then Archex.Learn_cons.Lazy_one_path
       else Archex.Learn_cons.Estimated
     in
+    with_obs obs3 @@ fun obs on_event ->
     match
-      Archex.Ilp_mr.run ~strategy ~backend inst.Eps.Eps_template.template
-        ~r_star
+      Archex.Ilp_mr.run ~obs ?on_event ~strategy ~backend
+        inst.Eps.Eps_template.template ~r_star
     with
     | Archex.Synthesis.Synthesized (arch, trace, timing) ->
         List.iter
@@ -70,7 +147,10 @@ let mr_cmd =
               it.Archex.Ilp_mr.reliability
               (match it.Archex.Ilp_mr.k_estimate with
               | Some k -> Printf.sprintf " (k = %d)" k
-              | None -> ""))
+              | None -> "");
+            if stats then
+              Format.printf "  %a@." Milp.Solver.pp_run_stats
+                it.Archex.Ilp_mr.stats)
           trace;
         report inst arch diagram;
         Format.printf "solver %.2fs, analysis %.2fs@."
@@ -81,17 +161,21 @@ let mr_cmd =
         Format.printf "UNFEASIBLE after %d iterations@." (List.length trace);
         1
   in
+  Term.(
+    const run $ generators_arg $ r_star_arg $ backend_arg $ lazy_arg
+    $ diagram_arg $ obs_args $ stats_arg)
+
+let mr_cmd =
   let doc = "Synthesize with ILP Modulo Reliability (Algorithm 1)." in
-  Cmd.v (Cmd.info "mr" ~doc)
-    Term.(
-      const run $ generators_arg $ r_star_arg $ backend_arg $ lazy_arg
-      $ diagram_arg)
+  Cmd.v (Cmd.info "mr" ~doc) mr_term
 
 let ar_cmd =
-  let run generators r_star backend diagram =
+  let run generators r_star backend diagram obs3 =
     let inst = instance_of generators in
+    with_obs obs3 @@ fun obs on_event ->
     match
-      Archex.Ilp_ar.run ~backend inst.Eps.Eps_template.template ~r_star
+      Archex.Ilp_ar.run ~obs ?on_event ~backend
+        inst.Eps.Eps_template.template ~r_star
     with
     | Archex.Synthesis.Synthesized (arch, info, timing) ->
         Format.printf
@@ -111,19 +195,22 @@ let ar_cmd =
   in
   let doc = "Synthesize with ILP + Approximate Reliability (Algorithm 3)." in
   Cmd.v (Cmd.info "ar" ~doc)
-    Term.(const run $ generators_arg $ r_star_arg $ backend_arg $ diagram_arg)
+    Term.(
+      const run $ generators_arg $ r_star_arg $ backend_arg $ diagram_arg
+      $ obs_args)
 
 let analyze_cmd =
-  let run generators =
+  let run generators obs3 =
     let inst = instance_of generators in
     let template = inst.Eps.Eps_template.template in
-    let enc = Archex.Gen_ilp.encode template in
-    match Archex.Gen_ilp.solve enc with
+    with_obs obs3 @@ fun obs on_event ->
+    let enc = Archex.Gen_ilp.encode ~obs template in
+    match Archex.Gen_ilp.solve ~obs ?on_event enc with
     | None ->
         Format.printf "template is infeasible@.";
         1
     | Some (config, cost, _) ->
-        let report = Archex.Rel_analysis.analyze template config in
+        let report = Archex.Rel_analysis.analyze ~obs template config in
         Format.printf
           "minimal architecture: cost %g, worst failure %.3e@." cost
           report.Archex.Rel_analysis.worst;
@@ -134,7 +221,7 @@ let analyze_cmd =
     "Solve connectivity and power-flow only and report exact reliability \
      of the minimal architecture."
   in
-  Cmd.v (Cmd.info "analyze" ~doc) Term.(const run $ generators_arg)
+  Cmd.v (Cmd.info "analyze" ~doc) Term.(const run $ generators_arg $ obs_args)
 
 let export_cmd =
   let run generators r_star path =
@@ -155,6 +242,37 @@ let export_cmd =
   Cmd.v (Cmd.info "export" ~doc)
     Term.(const run $ generators_arg $ r_star_arg $ path_arg)
 
+let trace_check_cmd =
+  let run path tree =
+    let contents =
+      let ic = open_in_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    in
+    match Archex_obs.Json.parse_lines contents with
+    | Error msg ->
+        Format.eprintf "%s: invalid NDJSON: %s@." path msg;
+        1
+    | Ok events ->
+        Format.printf "%s: %d events, valid NDJSON@." path
+          (List.length events);
+        if tree then
+          Format.printf "%a@." Archex_obs.Trace.pp_tree
+            (Archex_obs.Trace.tree_of_events events);
+        0
+  in
+  let path_arg =
+    Arg.(required & pos 0 (some file) None
+         & info [] ~docv:"FILE" ~doc:"NDJSON trace written by $(b,--trace).")
+  in
+  let tree_arg =
+    let doc = "Reconstruct and print the span tree." in
+    Arg.(value & flag & info [ "tree" ] ~doc)
+  in
+  let doc = "Validate an NDJSON trace file and optionally print its tree." in
+  Cmd.v (Cmd.info "trace-check" ~doc) Term.(const run $ path_arg $ tree_arg)
+
 let () =
   Logs.set_reporter (Logs.format_reporter ());
   Logs.set_level (Some Logs.Warning);
@@ -163,4 +281,8 @@ let () =
      (Bajaj et al., DATE 2015)"
   in
   let info = Cmd.info "archex" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval' (Cmd.group info [ mr_cmd; ar_cmd; analyze_cmd; export_cmd ]))
+  (* bare [archex --trace t.ndjson] runs the default ILP-MR synthesis *)
+  exit
+    (Cmd.eval'
+       (Cmd.group ~default:mr_term info
+          [ mr_cmd; ar_cmd; analyze_cmd; export_cmd; trace_check_cmd ]))

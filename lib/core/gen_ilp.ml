@@ -92,7 +92,8 @@ let lower_requirement t index req =
       in
       chain vs
 
-let encode template =
+let encode ?(obs = Archex_obs.Ctx.null) template =
+  Archex_obs.Trace.with_span (Archex_obs.Ctx.trace obs) "encode" @@ fun () ->
   let model = Model.create () in
   let edges = Hashtbl.create 64 in
   let cand = Template.candidate_edges template in
@@ -164,8 +165,8 @@ let config_of_solution t solution =
     t.edges;
   g
 
-let solve ?backend ?time_limit t =
-  match Milp.Solver.solve ?backend ?time_limit t.model with
+let solve ?obs ?on_event ?backend ?time_limit t =
+  match Milp.Solver.solve ?obs ?on_event ?backend ?time_limit t.model with
   | Milp.Solver.Optimal { objective; solution }, stats ->
       Some (config_of_solution t solution, objective, stats)
   | Milp.Solver.Infeasible, _ -> None

@@ -7,7 +7,7 @@
 
 type t
 
-val encode : Archlib.Template.t -> t
+val encode : ?obs:Archex_obs.Ctx.t -> Archlib.Template.t -> t
 (** Build the base ILP:
     - one Boolean [e_uv] per candidate edge;
     - one usage indicator [δ_v = ∨ (e_uv ∨ e_vu)] per node that has
@@ -16,6 +16,7 @@ val encode : Archlib.Template.t -> t
       cost;
     - the objective of Eq. 1;
     - one row (or row group) per template requirement (Eqs. 2–4).
+    [obs] (default disabled) wraps the compilation in an ["encode"] span.
     @raise Invalid_argument if a requirement references a non-candidate
     edge. *)
 
@@ -35,8 +36,11 @@ val config_of_solution : t -> float array -> Netgraph.Digraph.t
 (** Read a configuration out of a 0-1 solution. *)
 
 val solve :
+  ?obs:Archex_obs.Ctx.t ->
+  ?on_event:(Archex_obs.Event.t -> unit) ->
   ?backend:Milp.Solver.backend -> ?time_limit:float -> t ->
   (Netgraph.Digraph.t * float * Milp.Solver.run_stats) option
 (** [SOLVEILP]: minimize and extract the configuration and its objective;
-    [None] when infeasible.
+    [None] when infeasible.  [obs] / [on_event] are forwarded to
+    {!Milp.Solver.solve}.
     @raise Failure on solver resource-limit outcomes. *)

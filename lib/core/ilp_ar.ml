@@ -33,9 +33,11 @@ let type_fail template partition ty =
       (Template.component template v).Archlib.Component.fail_prob)
     ty
 
-let compile template ~r_star =
-  let enc = Gen_ilp.encode template in
-  let st = Learn_cons.init enc in
+let compile ?(obs = Archex_obs.Ctx.null) template ~r_star =
+  Archex_obs.Trace.with_span (Archex_obs.Ctx.trace obs) "compile"
+  @@ fun () ->
+  let enc = Gen_ilp.encode ~obs template in
+  let st = Learn_cons.init ~obs enc in
   let model = Gen_ilp.model enc in
   let partition = Template.partition template in
   let chain = chain_of template in
@@ -218,17 +220,29 @@ let approx_on_config template config =
     (0., infinity)
     (Template.sinks template)
 
-let run ?backend ?engine ?(time_limit = 300.) template ~r_star =
-  let t0 = Sys.time () in
-  let enc, info = compile template ~r_star in
-  let setup_time = Sys.time () -. t0 in
-  match Gen_ilp.solve ?backend ~time_limit enc with
+let run ?(obs = Archex_obs.Ctx.null) ?on_event ?backend ?engine
+    ?(time_limit = 300.) template ~r_star =
+  Archex_obs.Trace.with_span (Archex_obs.Ctx.trace obs) "ilp_ar"
+  @@ fun () ->
+  let t0 = Archex_obs.Clock.now () in
+  let enc, info = compile ~obs template ~r_star in
+  let setup_time = Archex_obs.Clock.now () -. t0 in
+  if Archex_obs.Metrics.enabled (Archex_obs.Ctx.metrics obs) then begin
+    let metrics = Archex_obs.Ctx.metrics obs in
+    Archex_obs.Metrics.set
+      (Archex_obs.Metrics.gauge metrics "ar.variables")
+      (float_of_int info.variable_count);
+    Archex_obs.Metrics.set
+      (Archex_obs.Metrics.gauge metrics "ar.constraints")
+      (float_of_int info.constraint_count)
+  end;
+  match Gen_ilp.solve ~obs ?on_event ?backend ~time_limit enc with
   | None ->
       Synthesis.Unfeasible
         ( info,
           { Synthesis.setup_time; solver_time = 0.; analysis_time = 0. } )
   | Some (config, _cost, stats) ->
-      let report = Rel_analysis.analyze ?engine template config in
+      let report = Rel_analysis.analyze ~obs ?engine template config in
       let estimate, bound = approx_on_config template config in
       let info =
         { info with approx_estimate = estimate; theorem2_bound = bound }

@@ -21,6 +21,8 @@ type info = {
 }
 
 val run :
+  ?obs:Archex_obs.Ctx.t ->
+  ?on_event:(Archex_obs.Event.t -> unit) ->
   ?backend:Milp.Solver.backend ->
   ?engine:Reliability.Exact.engine ->
   ?time_limit:float ->
@@ -32,10 +34,17 @@ val run :
     requirement a posteriori.  [time_limit] (default 300 s) caps the
     monolithic solve; a time-limited call falls back to the solver's best
     incumbent.
+
+    [obs] (default disabled) wraps the run in an ["ilp_ar"] span enclosing
+    the ["compile"], ["solve"] and ["reliability"] spans, and tracks the
+    compiled model size in the [ar.variables] / [ar.constraints] gauges.
+    [on_event] forwards the solver backend's progress callback.
     @raise Invalid_argument if the template declares no type chain or a
     type's members have differing failure probabilities. *)
 
-val compile : Archlib.Template.t -> r_star:float -> Gen_ilp.t * info
+val compile :
+  ?obs:Archex_obs.Ctx.t -> Archlib.Template.t -> r_star:float ->
+  Gen_ilp.t * info
 (** [GENILP-AR] alone (setup phase): the compiled encoding and its size —
     what Table III's setup column measures.  The info's [approx_estimate]
     and [theorem2_bound] are meaningful only after a solve, and are [-1]

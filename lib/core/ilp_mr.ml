@@ -8,16 +8,26 @@ type iteration = {
   new_constraints : int;
   solver_time : float;
   analysis_time : float;
+  stats : Milp.Solver.run_stats;
 }
 
 type trace = iteration list
 
-let run ?strategy ?backend ?engine ?(max_iterations = 50)
-    ?(solve_time_limit = 180.) template ~r_star =
-  let t0 = Sys.time () in
-  let enc = Gen_ilp.encode template in
-  let setup_time = Sys.time () -. t0 in
-  let learn_state = Learn_cons.init enc in
+let run ?(obs = Archex_obs.Ctx.null) ?on_event ?strategy ?backend ?engine
+    ?(max_iterations = 50) ?(solve_time_limit = 180.) template ~r_star =
+  let tracer = Archex_obs.Ctx.trace obs in
+  let metrics = Archex_obs.Ctx.metrics obs in
+  let root_attrs =
+    if Archex_obs.Trace.enabled tracer then
+      [ ("r_star", Archex_obs.Json.Num r_star) ]
+    else []
+  in
+  Archex_obs.Trace.with_span ~attrs:root_attrs tracer "ilp_mr" @@ fun () ->
+  let t_run = Archex_obs.Clock.now () in
+  let t0 = Archex_obs.Clock.now () in
+  let enc = Gen_ilp.encode ~obs template in
+  let setup_time = Archex_obs.Clock.now () -. t0 in
+  let learn_state = Learn_cons.init ~obs enc in
   let solver_total = ref 0. in
   let analysis_total = ref 0. in
   let trace = ref [] in
@@ -26,49 +36,84 @@ let run ?strategy ?backend ?engine ?(max_iterations = 50)
       solver_time = !solver_total;
       analysis_time = !analysis_total }
   in
-  let rec iterate index =
-    if index > max_iterations then Synthesis.Unfeasible (List.rev !trace,
-                                                         timing ())
-    else
-      match Gen_ilp.solve ?backend ~time_limit:solve_time_limit enc with
-      | None -> Synthesis.Unfeasible (List.rev !trace, timing ())
-      | Some (config, cost, stats) ->
-          solver_total := !solver_total +. stats.Milp.Solver.elapsed;
-          let report = Rel_analysis.analyze ?engine template config in
-          analysis_total :=
-            !analysis_total +. report.Rel_analysis.elapsed;
-          let reliability = report.Rel_analysis.worst in
-          let record ~k_estimate ~new_constraints =
-            trace :=
-              { index;
-                config;
-                cost;
-                reliability;
-                per_sink = report.Rel_analysis.per_sink;
-                k_estimate;
-                new_constraints;
-                solver_time = stats.Milp.Solver.elapsed;
-                analysis_time = report.Rel_analysis.elapsed }
-              :: !trace
+  let emit_iteration it =
+    match on_event with
+    | None -> ()
+    | Some f ->
+        f
+          { Archex_obs.Event.source = "ilp-mr";
+            kind = Archex_obs.Event.Iteration;
+            elapsed = Archex_obs.Clock.now () -. t_run;
+            data =
+              [ ("iteration", float_of_int it.index);
+                ("cost", it.cost);
+                ("reliability", it.reliability);
+                ("new_constraints", float_of_int it.new_constraints) ] }
+  in
+  (* One iteration of the Algorithm 1 loop, wrapped in its own span; the
+     tail call happens outside the span so iteration n+1 is a sibling of
+     iteration n, not its child. *)
+  let step index =
+    let attrs =
+      if Archex_obs.Trace.enabled tracer then
+        [ ("index", Archex_obs.Json.Num (float_of_int index)) ]
+      else []
+    in
+    Archex_obs.Trace.with_span ~attrs tracer "iteration" @@ fun () ->
+    Archex_obs.Metrics.incr
+      (Archex_obs.Metrics.counter metrics "mr.iterations");
+    match
+      Gen_ilp.solve ~obs ?on_event ?backend ~time_limit:solve_time_limit enc
+    with
+    | None -> `Done (Synthesis.Unfeasible (List.rev !trace, timing ()))
+    | Some (config, cost, stats) ->
+        solver_total := !solver_total +. stats.Milp.Solver.elapsed;
+        let report = Rel_analysis.analyze ~obs ?engine template config in
+        analysis_total := !analysis_total +. report.Rel_analysis.elapsed;
+        let reliability = report.Rel_analysis.worst in
+        let record ~k_estimate ~new_constraints =
+          let it =
+            { index;
+              config;
+              cost;
+              reliability;
+              per_sink = report.Rel_analysis.per_sink;
+              k_estimate;
+              new_constraints;
+              solver_time = stats.Milp.Solver.elapsed;
+              analysis_time = report.Rel_analysis.elapsed;
+              stats }
           in
-          if Rel_analysis.meets report ~r_star then begin
-            record ~k_estimate:None ~new_constraints:0;
-            Synthesis.Synthesized
-              ( Synthesis.architecture template config report,
-                List.rev !trace,
-                timing () )
-          end
-          else begin
-            match
-              Learn_cons.learn ?strategy learn_state ~config ~reliability
-                ~r_star
-            with
-            | Learn_cons.Saturated ->
-                record ~k_estimate:None ~new_constraints:0;
-                Synthesis.Unfeasible (List.rev !trace, timing ())
-            | Learn_cons.Learned { k; new_constraints } ->
-                record ~k_estimate:(Some k) ~new_constraints;
-                iterate (index + 1)
-          end
+          trace := it :: !trace;
+          emit_iteration it
+        in
+        if Rel_analysis.meets report ~r_star then begin
+          record ~k_estimate:None ~new_constraints:0;
+          `Done
+            (Synthesis.Synthesized
+               ( Synthesis.architecture template config report,
+                 List.rev !trace,
+                 timing () ))
+        end
+        else begin
+          match
+            Learn_cons.learn ?strategy learn_state ~config ~reliability
+              ~r_star
+          with
+          | Learn_cons.Saturated ->
+              record ~k_estimate:None ~new_constraints:0;
+              `Done (Synthesis.Unfeasible (List.rev !trace, timing ()))
+          | Learn_cons.Learned { k; new_constraints } ->
+              record ~k_estimate:(Some k) ~new_constraints;
+              `Continue
+        end
+  in
+  let rec iterate index =
+    if index > max_iterations then
+      Synthesis.Unfeasible (List.rev !trace, timing ())
+    else
+      match step index with
+      | `Done result -> result
+      | `Continue -> iterate (index + 1)
   in
   iterate 1

@@ -16,12 +16,15 @@ type iteration = {
   new_constraints : int;            (** constraint groups added *)
   solver_time : float;
   analysis_time : float;
+  stats : Milp.Solver.run_stats;     (** the SOLVEILP run of this iteration *)
 }
 
 type trace = iteration list
 (** Chronological. *)
 
 val run :
+  ?obs:Archex_obs.Ctx.t ->
+  ?on_event:(Archex_obs.Event.t -> unit) ->
   ?strategy:Learn_cons.strategy ->
   ?backend:Milp.Solver.backend ->
   ?engine:Reliability.Exact.engine ->
@@ -34,4 +37,11 @@ val run :
     non-termination and reports [Unfeasible] when exhausted.
     [solve_time_limit] (default 180 s) caps each [SOLVEILP] call; a
     time-limited call falls back to the solver's best incumbent (feasible,
-    possibly not proven optimal — the ε tolerance of Theorem 1). *)
+    possibly not proven optimal — the ε tolerance of Theorem 1).
+
+    [obs] (default disabled) wraps the run in an ["ilp_mr"] span with one
+    ["iteration"] child per loop pass (each enclosing its ["solve"],
+    ["reliability"] and ["learn"] spans) and counts [mr.iterations] plus
+    the metrics of every layer below.  [on_event] receives an [Iteration]
+    progress event (source ["ilp-mr"]) after each analyzed candidate, in
+    addition to the solver backend's own heartbeats. *)

@@ -8,6 +8,7 @@ module Bool_encode = Milp.Bool_encode
 
 type state = {
   enc : Gen_ilp.t;
+  obs : Archex_obs.Ctx.t;
   candidate : Digraph.t;
   partition : Partition.t;
   reach : (int * int * int, Model.var option) Hashtbl.t;
@@ -19,9 +20,10 @@ type state = {
   mutable true_var : Model.var option;
 }
 
-let init enc =
+let init ?(obs = Archex_obs.Ctx.null) enc =
   let template = Gen_ilp.template enc in
   { enc;
+    obs;
     candidate = Template.candidate_graph template;
     partition = Template.partition template;
     reach = Hashtbl.create 256;
@@ -305,6 +307,8 @@ let est_path st ~config ~reliability ~r_star =
   end
 
 let learn ?(strategy = Estimated) st ~config ~reliability ~r_star =
+  Archex_obs.Trace.with_span (Archex_obs.Ctx.trace st.obs) "learn"
+  @@ fun () ->
   let template = Gen_ilp.template st.enc in
   let sinks = Template.sinks template in
   let k =
@@ -335,4 +339,13 @@ let learn ?(strategy = Estimated) st ~config ~reliability ~r_star =
     end
   in
   List.iter per_sink sinks;
+  let metrics = Archex_obs.Ctx.metrics st.obs in
+  if Archex_obs.Metrics.enabled metrics then begin
+    Archex_obs.Metrics.add
+      (Archex_obs.Metrics.counter metrics "mr.constraints_learned")
+      (float_of_int !added);
+    Archex_obs.Metrics.set
+      (Archex_obs.Metrics.gauge metrics "mr.estpath_k")
+      (float_of_int k)
+  end;
   if !added = 0 then Saturated else Learned { k; new_constraints = !added }

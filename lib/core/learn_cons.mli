@@ -15,9 +15,11 @@
 
 type state
 
-val init : Gen_ilp.t -> state
+val init : ?obs:Archex_obs.Ctx.t -> Gen_ilp.t -> state
 (** Attach to an encoding.  Constraints learned later are added to the
-    encoding's model. *)
+    encoding's model.  [obs] (default disabled) wraps each {!learn} call in
+    a ["learn"] span, accumulates [mr.constraints_learned] and tracks the
+    latest [ESTPATH] estimate in the [mr.estpath_k] gauge. *)
 
 type strategy =
   | Estimated  (** full Algorithm 2, driven by [ESTPATH] *)

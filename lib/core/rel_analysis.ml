@@ -16,14 +16,30 @@ let fail_model_of_config template config =
     ~sources:(Template.sources template)
     ~node_fail
 
-let analyze ?engine template config =
-  let t0 = Sys.time () in
-  let net = fail_model_of_config template config in
-  let per_sink =
-    Reliability.Exact.all_sink_failures ?engine net
-      ~sinks:(Template.sinks template)
+let analyze ?(obs = Archex_obs.Ctx.null) ?engine template config =
+  let t0 = Archex_obs.Clock.now () in
+  let report =
+    Archex_obs.Trace.with_span (Archex_obs.Ctx.trace obs) "reliability"
+      (fun () ->
+        let net = fail_model_of_config template config in
+        let per_sink =
+          Reliability.Exact.all_sink_failures ~obs ?engine net
+            ~sinks:(Template.sinks template)
+        in
+        let worst =
+          List.fold_left (fun acc (_, r) -> Float.max acc r) 0. per_sink
+        in
+        { per_sink; worst; elapsed = 0. })
   in
-  let worst = List.fold_left (fun acc (_, r) -> Float.max acc r) 0. per_sink in
-  { per_sink; worst; elapsed = Sys.time () -. t0 }
+  let metrics = Archex_obs.Ctx.metrics obs in
+  let elapsed = Archex_obs.Clock.now () -. t0 in
+  if Archex_obs.Metrics.enabled metrics then begin
+    Archex_obs.Metrics.incr
+      (Archex_obs.Metrics.counter metrics "rel.analyses");
+    Archex_obs.Metrics.observe
+      (Archex_obs.Metrics.histogram metrics "rel.seconds")
+      elapsed
+  end;
+  { report with elapsed }
 
 let meets report ~r_star = report.worst <= r_star +. 1e-15

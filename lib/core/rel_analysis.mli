@@ -17,9 +17,14 @@ val fail_model_of_config :
     from the template. *)
 
 val analyze :
+  ?obs:Archex_obs.Ctx.t ->
   ?engine:Reliability.Exact.engine ->
   Archlib.Template.t -> Netgraph.Digraph.t -> report
-(** Exact [r] for every template sink.  An unreachable sink has [r = 1]. *)
+(** Exact [r] for every template sink.  An unreachable sink has [r = 1].
+    [elapsed] is wall-clock ({!Archex_obs.Clock}).  [obs] (default
+    disabled) wraps the analysis in a ["reliability"] span enclosing one
+    ["reliability.sink"] span per sink, bumps [rel.analyses] and feeds a
+    [rel.seconds] histogram. *)
 
 val meets : report -> r_star:float -> bool
 (** [worst ≤ r*] (within 1e-15 absolute slack). *)

@@ -31,11 +31,32 @@ let fractional_var m solution =
 (* A node is the base model plus a list of bound narrowings. *)
 type node = { bounds : (Model.var * float * float) list; depth : int }
 
-let solve ?(max_nodes = 1_000_000) ?time_limit m =
-  let t0 = Sys.time () in
+let solve ?(metrics = Archex_obs.Metrics.null) ?on_event
+    ?(max_nodes = 1_000_000) ?time_limit m =
+  let t0 = Archex_obs.Clock.now () in
   let best : (float * float array) option ref = ref None in
   let nodes = ref 0 in
   let pivots = ref 0 in
+  let emit kind data =
+    match on_event with
+    | None -> ()
+    | Some f ->
+        f
+          { Archex_obs.Event.source = "lp-bb";
+            kind;
+            elapsed = Archex_obs.Clock.now () -. t0;
+            data = data () }
+  in
+  let heartbeat () =
+    emit Archex_obs.Event.Heartbeat (fun () ->
+        let base =
+          [ ("nodes", float_of_int !nodes);
+            ("pivots", float_of_int !pivots) ]
+        in
+        match !best with
+        | Some (c, _) -> ("incumbent", c) :: base
+        | None -> base)
+  in
   let unbounded = ref false in
   let limit_hit = ref false in
   let stack = ref [ { bounds = []; depth = 0 } ] in
@@ -55,7 +76,7 @@ let solve ?(max_nodes = 1_000_000) ?time_limit m =
     match apply_node node with
     | exception Invalid_argument _ -> () (* empty bound interval: prune *)
     | sub -> (
-        match Simplex.solve_relaxation sub with
+        match Simplex.solve_relaxation ~metrics sub with
         | Simplex.Infeasible -> ()
         | Simplex.Pivot_limit -> limit_hit := true
         | Simplex.Unbounded ->
@@ -81,7 +102,10 @@ let solve ?(max_nodes = 1_000_000) ?time_limit m =
                           else v)
                         solution
                     in
-                    best := Some (objective, rounded)
+                    best := Some (objective, rounded);
+                    emit Archex_obs.Event.Incumbent (fun () ->
+                        [ ("incumbent", objective);
+                          ("nodes", float_of_int !nodes) ])
                   end
               | Some x ->
                   let v = solution.(x) in
@@ -105,8 +129,11 @@ let solve ?(max_nodes = 1_000_000) ?time_limit m =
         stack := rest;
         if !nodes >= max_nodes then limit_hit := true
         else begin
+          if on_event <> None && !nodes land 255 = 0 && !nodes > 0 then
+            heartbeat ();
           (match time_limit with
-          | Some tl when Sys.time () -. t0 > tl -> limit_hit := true
+          | Some tl when Archex_obs.Clock.now () -. t0 > tl ->
+              limit_hit := true
           | _ -> ());
           if not (!limit_hit || !unbounded) then begin
             process node;
@@ -115,6 +142,9 @@ let solve ?(max_nodes = 1_000_000) ?time_limit m =
         end
   in
   loop ();
+  Archex_obs.Metrics.add
+    (Archex_obs.Metrics.counter metrics "bb.nodes")
+    (float_of_int !nodes);
   let stats = { nodes = !nodes; pivots = !pivots } in
   let outcome =
     if !unbounded then Unbounded

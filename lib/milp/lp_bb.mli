@@ -14,6 +14,14 @@ type outcome =
   | Limit_reached of { incumbent : (float * float array) option }
 
 val solve :
+  ?metrics:Archex_obs.Metrics.t ->
+  ?on_event:(Archex_obs.Event.t -> unit) ->
   ?max_nodes:int -> ?time_limit:float -> Model.t -> outcome * stats
 (** Minimize.  Integer/Boolean variables are branched; continuous variables
-    are left to the LP.  [time_limit] in wall-clock seconds. *)
+    are left to the LP.  [time_limit] in wall-clock seconds
+    ({!Archex_obs.Clock}).
+
+    [metrics] (default disabled) accumulates [bb.nodes] here and
+    [lp.pivots] through {!Simplex}.  [on_event] receives a [Heartbeat]
+    every 256 nodes and an [Incumbent] event at every improving integral
+    solution, with source ["lp-bb"]. *)

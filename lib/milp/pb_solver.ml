@@ -16,6 +16,8 @@ type stats = {
   decisions : int;
   propagations : int;
   conflicts : int;
+  restarts : int;
+  learned : int;
 }
 
 type outcome =
@@ -94,6 +96,7 @@ type state = {
   mutable n_decisions : int;
   mutable n_propagations : int;
   mutable n_conflicts : int;
+  mutable n_restarts : int;
   seen : bool array;                 (* scratch for conflict analysis *)
   mutable rng : int;                 (* deterministic LCG for phase jitter *)
 }
@@ -511,16 +514,41 @@ let rec luby i =
   if (1 lsl !k) - 1 = i then 1 lsl (!k - 1)
   else luby (i - (1 lsl (!k - 1)) + 1)
 
-let search st ~max_decisions ~time_limit ~lower_bound =
-  let t0 = Sys.time () in
+let search st ~on_event ~max_decisions ~time_limit ~lower_bound =
+  let t0 = Archex_obs.Clock.now () in
+  (* progress events: build nothing unless a callback is installed *)
+  let emit kind data =
+    match on_event with
+    | None -> ()
+    | Some f ->
+        f
+          { Archex_obs.Event.source = "pb";
+            kind;
+            elapsed = Archex_obs.Clock.now () -. t0;
+            data = data () }
+  in
+  let heartbeat () =
+    emit Archex_obs.Event.Heartbeat (fun () ->
+        let base =
+          [ ("decisions", float_of_int st.n_decisions);
+            ("conflicts", float_of_int st.n_conflicts);
+            ("propagations", float_of_int st.n_propagations);
+            ("learned", float_of_int st.n_learned);
+            ("level", float_of_int (decision_level st)) ]
+        in
+        match st.best with
+        | Some (c, _) -> ("incumbent", c) :: base
+        | None -> base)
+  in
   let ticks = ref 0 in
   let check_limits () =
     if st.n_decisions > max_decisions || st.n_conflicts > max_decisions
     then raise Limits;
     incr ticks;
+    if on_event <> None && !ticks land 8191 = 0 then heartbeat ();
     if !ticks land 255 = 0 then
       match time_limit with
-      | Some tl when Sys.time () -. t0 > tl -> raise Limits
+      | Some tl when Archex_obs.Clock.now () -. t0 > tl -> raise Limits
       | _ -> ()
   in
   let restart_count = ref 0 in
@@ -556,6 +584,7 @@ let search st ~max_decisions ~time_limit ~lower_bound =
     backtrack_to_level st 0;
     by_cost_cursor := 0;
     incr restart_count;
+    st.n_restarts <- st.n_restarts + 1;
     conflicts_until_restart := 100 * luby (!restart_count + 1);
     (* diversification: jitter a few saved phases so successive descents do
        not replay the same trapped trajectory *)
@@ -608,6 +637,11 @@ let search st ~max_decisions ~time_limit ~lower_bound =
       match pick_decision () with
       | None ->
           if not (record_incumbent st) then raise Exhausted;
+          emit Archex_obs.Event.Incumbent (fun () ->
+              [ ( "incumbent",
+                  match st.best with Some (c, _) -> c | None -> nan );
+                ("decisions", float_of_int st.n_decisions);
+                ("conflicts", float_of_int st.n_conflicts) ]);
           (* a known objective lower bound proves optimality as soon as the
              incumbent cannot be beaten by the improvement gap *)
           (match st.best with
@@ -699,6 +733,7 @@ let build_state m =
       n_decisions = 0;
       n_propagations = 0;
       n_conflicts = 0;
+      n_restarts = 0;
       seen = Array.make nvars false;
       rng = 0x2545F49 }
   in
@@ -719,11 +754,28 @@ let build_state m =
   done;
   st
 
-let solve ?(max_decisions = max_int) ?time_limit
-    ?(lower_bound = neg_infinity) m =
+let record_metrics metrics (stats : stats) =
+  let module M = Archex_obs.Metrics in
+  if M.enabled metrics then begin
+    M.add (M.counter metrics "pb.decisions") (float_of_int stats.decisions);
+    M.add
+      (M.counter metrics "pb.propagations")
+      (float_of_int stats.propagations);
+    M.add (M.counter metrics "pb.conflicts") (float_of_int stats.conflicts);
+    M.add (M.counter metrics "pb.restarts") (float_of_int stats.restarts);
+    M.add (M.counter metrics "pb.learned") (float_of_int stats.learned)
+  end
+
+let solve ?(metrics = Archex_obs.Metrics.null) ?on_event
+    ?(max_decisions = max_int) ?time_limit ?(lower_bound = neg_infinity) m =
   match build_state m with
   | exception Trivially_infeasible ->
-      (Infeasible, { decisions = 0; propagations = 0; conflicts = 0 })
+      ( Infeasible,
+        { decisions = 0;
+          propagations = 0;
+          conflicts = 0;
+          restarts = 0;
+          learned = 0 } )
   | st ->
       let nvars = Array.length st.value in
       let hit_limit =
@@ -735,14 +787,17 @@ let solve ?(max_decisions = max_int) ?time_limit
             else if ub < 0.5 then assign st x 0 reason_decision
           done
         with
-        | () -> search st ~max_decisions ~time_limit ~lower_bound
+        | () -> search st ~on_event ~max_decisions ~time_limit ~lower_bound
         | exception Conflict _ -> false
       in
       let stats =
         { decisions = st.n_decisions;
           propagations = st.n_propagations;
-          conflicts = st.n_conflicts }
+          conflicts = st.n_conflicts;
+          restarts = st.n_restarts;
+          learned = st.n_learned }
       in
+      record_metrics metrics stats;
       let outcome =
         if hit_limit then Limit_reached { incumbent = st.best }
         else

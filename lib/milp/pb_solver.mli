@@ -15,6 +15,8 @@ type stats = {
   decisions : int;
   propagations : int;
   conflicts : int;
+  restarts : int;
+  learned : int;    (** learned rows retained at exit *)
 }
 
 type outcome =
@@ -25,12 +27,20 @@ type outcome =
           feasible solution found so far, if any. *)
 
 val solve :
+  ?metrics:Archex_obs.Metrics.t ->
+  ?on_event:(Archex_obs.Event.t -> unit) ->
   ?max_decisions:int -> ?time_limit:float -> ?lower_bound:float ->
   Model.t -> outcome * stats
 (** Minimize the model objective over all feasible 0-1 assignments.
-    [time_limit] is in wall-clock seconds ([max_decisions] also caps the
-    conflict count).  [lower_bound], when provided (e.g. from
-    {!Obj_bound.lower_bound}), must be a valid bound on every feasible
-    objective value; it lets the search declare optimality as soon as the
-    incumbent is within the improvement gap of it.
+    [time_limit] is in wall-clock seconds ({!Archex_obs.Clock};
+    [max_decisions] also caps the conflict count).  [lower_bound], when
+    provided (e.g. from {!Obj_bound.lower_bound}), must be a valid bound on
+    every feasible objective value; it lets the search declare optimality
+    as soon as the incumbent is within the improvement gap of it.
+
+    [metrics] (default disabled) accumulates [pb.decisions],
+    [pb.propagations], [pb.conflicts], [pb.restarts] and [pb.learned].
+    [on_event] (default none; nothing is allocated without it) receives a
+    [Heartbeat] every few thousand search steps and an [Incumbent] event at
+    every improving solution, with source ["pb"].
     @raise Invalid_argument if the model has non-Boolean variables. *)

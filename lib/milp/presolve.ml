@@ -54,7 +54,7 @@ let tighten_le lb ub integral terms rhs tol changed =
   in
   List.iter tighten terms
 
-let run m =
+let run_untraced m =
   let n = Model.var_count m in
   let lb = Array.init n (Model.lower_bound m) in
   let ub = Array.init n (Model.upper_bound m) in
@@ -130,3 +130,26 @@ let run m =
     in
     { model = reduced; fixed; dropped_rows = !dropped; infeasible = false }
   end
+
+let run ?(obs = Archex_obs.Ctx.null) m =
+  let module Obs = Archex_obs in
+  let result =
+    Obs.Trace.with_span (Obs.Ctx.trace obs) "presolve"
+      ~attrs:
+        [ ("vars", Obs.Json.Num (float_of_int (Model.var_count m)));
+          ( "constraints",
+            Obs.Json.Num (float_of_int (Model.constraint_count m)) ) ]
+      (fun () -> run_untraced m)
+  in
+  let metrics = Obs.Ctx.metrics obs in
+  if Obs.Metrics.enabled metrics then begin
+    Obs.Metrics.add
+      (Obs.Metrics.counter metrics "presolve.fixed")
+      (float_of_int (List.length result.fixed));
+    Obs.Metrics.add
+      (Obs.Metrics.counter metrics "presolve.dropped")
+      (float_of_int result.dropped_rows);
+    if result.infeasible then
+      Obs.Metrics.incr (Obs.Metrics.counter metrics "presolve.infeasible")
+  end;
+  result

@@ -14,4 +14,6 @@ type result = {
   infeasible : bool;       (** proven infeasible: [model] is meaningless *)
 }
 
-val run : Model.t -> result
+val run : ?obs:Archex_obs.Ctx.t -> Model.t -> result
+(** [obs] (default disabled) wraps the pass in a ["presolve"] span and
+    accumulates [presolve.fixed] / [presolve.dropped] counters. *)

@@ -280,7 +280,8 @@ let eliminate_artificials conv cr =
     end
   done
 
-let solve_relaxation ?max_pivots m =
+(* Returns the result plus the pivot count spent, whatever the outcome. *)
+let solve_relaxation_counted ?max_pivots m =
   let conv = convert m in
   let t = conv.tab in
   let max_pivots =
@@ -289,35 +290,45 @@ let solve_relaxation ?max_pivots m =
     | None -> 20_000 + (50 * (t.m + t.n))
   in
   let bland_after = max_pivots - (max_pivots / 4) in
-  (* Phase 1 *)
-  let phase1_cost = Array.make t.n 0. in
-  for j = conv.art_start to t.n - 1 do
-    phase1_cost.(j) <- 1.
-  done;
-  let cr1 = make_cost_row t phase1_cost in
-  (match run_phase t cr1 ~max_pivots ~bland_after with
-  | Phase_optimal -> ()
-  | Phase_unbounded -> assert false (* phase-1 objective is bounded below *)
-  | Phase_pivot_limit -> raise Exit);
-  if cr1.z > 1e-6 then Infeasible
-  else begin
-    eliminate_artificials conv cr1;
-    (* Phase 2 *)
-    let phase2_cost = Array.make t.n 0. in
-    List.iter
-      (fun (x, c) -> phase2_cost.(x) <- c)
-      (Lin_expr.terms (Model.objective m));
-    let cr2 = make_cost_row t phase2_cost in
-    match run_phase t cr2 ~max_pivots ~bland_after with
-    | Phase_optimal ->
-        let solution = extract_solution conv in
-        let objective =
-          Lin_expr.eval (Model.objective m) (fun x -> solution.(x))
-        in
-        Optimal { objective; solution; pivots = t.pivots }
-    | Phase_unbounded -> Unbounded
-    | Phase_pivot_limit -> Pivot_limit
-  end
+  let result =
+    try
+      (* Phase 1 *)
+      let phase1_cost = Array.make t.n 0. in
+      for j = conv.art_start to t.n - 1 do
+        phase1_cost.(j) <- 1.
+      done;
+      let cr1 = make_cost_row t phase1_cost in
+      (match run_phase t cr1 ~max_pivots ~bland_after with
+      | Phase_optimal -> ()
+      | Phase_unbounded ->
+          assert false (* phase-1 objective is bounded below *)
+      | Phase_pivot_limit -> raise Exit);
+      if cr1.z > 1e-6 then Infeasible
+      else begin
+        eliminate_artificials conv cr1;
+        (* Phase 2 *)
+        let phase2_cost = Array.make t.n 0. in
+        List.iter
+          (fun (x, c) -> phase2_cost.(x) <- c)
+          (Lin_expr.terms (Model.objective m));
+        let cr2 = make_cost_row t phase2_cost in
+        match run_phase t cr2 ~max_pivots ~bland_after with
+        | Phase_optimal ->
+            let solution = extract_solution conv in
+            let objective =
+              Lin_expr.eval (Model.objective m) (fun x -> solution.(x))
+            in
+            Optimal { objective; solution; pivots = t.pivots }
+        | Phase_unbounded -> Unbounded
+        | Phase_pivot_limit -> Pivot_limit
+      end
+    with Exit -> Pivot_limit
+  in
+  (result, t.pivots)
 
-let solve_relaxation ?max_pivots m =
-  try solve_relaxation ?max_pivots m with Exit -> Pivot_limit
+let solve_relaxation ?(metrics = Archex_obs.Metrics.null) ?max_pivots m =
+  let result, pivots = solve_relaxation_counted ?max_pivots m in
+  Archex_obs.Metrics.add
+    (Archex_obs.Metrics.counter metrics "lp.pivots")
+    (float_of_int pivots);
+  result

@@ -16,7 +16,10 @@ type result =
   | Pivot_limit
       (** [max_pivots] exhausted before termination. *)
 
-val solve_relaxation : ?max_pivots:int -> Model.t -> result
+val solve_relaxation :
+  ?metrics:Archex_obs.Metrics.t -> ?max_pivots:int -> Model.t -> result
 (** Minimize the model objective over the LP relaxation.
     [max_pivots] defaults to [20_000 + 50·(rows + vars)].
+    [metrics] (default disabled) accumulates the pivot count under
+    [lp.pivots].
     @raise Invalid_argument if some variable has an infinite lower bound. *)

@@ -27,18 +27,14 @@ let backend_name = function
 
 let solution_value solution x = solution.(x) >= 0.5
 
-let now () = Sys.time ()
+let now () = Archex_obs.Clock.now ()
 
-let solve ?backend ?(presolve = true) ?max_nodes ?time_limit m =
+let solve_untraced ~obs ~on_event ~backend ~presolve ?max_nodes ?time_limit
+    m =
   let t0 = now () in
-  let backend =
-    match backend with
-    | Some b -> b
-    | None -> if Model.is_pure_boolean m then Pseudo_boolean
-              else Lp_branch_bound
-  in
+  let metrics = Archex_obs.Ctx.metrics obs in
   let pre =
-    if presolve then Presolve.run m
+    if presolve then Presolve.run ~obs m
     else { Presolve.model = m; fixed = []; dropped_rows = 0;
            infeasible = false }
   in
@@ -80,10 +76,11 @@ let solve ?backend ?(presolve = true) ?max_nodes ?time_limit m =
                 Le (lower_bound +. scale);
               Model.set_objective probe_model Lin_expr.zero;
               let probe_limit = Option.map (fun t -> t /. 2.) time_limit in
-              probe_spent := Sys.time ();
+              probe_spent := now ();
               match
-                Pb_solver.solve ?max_decisions:max_nodes
-                  ?time_limit:probe_limit probe_model
+                Pb_solver.solve ~metrics ?on_event
+                  ?max_decisions:max_nodes ?time_limit:probe_limit
+                  probe_model
               with
               | Pb_solver.Optimal { solution; _ }, s ->
                   let objective =
@@ -105,13 +102,14 @@ let solve ?backend ?(presolve = true) ?max_nodes ?time_limit m =
                     (fun t ->
                       if !probe_spent > 0. then
                         Float.max (t /. 4.)
-                          (t -. (Sys.time () -. !probe_spent))
+                          (t -. (now () -. !probe_spent))
                       else t)
                     time_limit
                 in
                 let o, s =
-                  Pb_solver.solve ?max_decisions:max_nodes
-                    ?time_limit:remaining ~lower_bound m'
+                  Pb_solver.solve ~metrics ?on_event
+                    ?max_decisions:max_nodes ?time_limit:remaining
+                    ~lower_bound m'
                 in
                 let outcome =
                   match o with
@@ -129,7 +127,7 @@ let solve ?backend ?(presolve = true) ?max_nodes ?time_limit m =
              propagations = s.Pb_solver.propagations;
              conflicts = s.Pb_solver.conflicts })
       | Lp_branch_bound ->
-          let o, s = Lp_bb.solve ?max_nodes ?time_limit m' in
+          let o, s = Lp_bb.solve ~metrics ?on_event ?max_nodes ?time_limit m' in
           let outcome =
             match o with
             | Lp_bb.Optimal { objective; solution } ->
@@ -152,6 +150,61 @@ let solve ?backend ?(presolve = true) ?max_nodes ?time_limit m =
     end
   in
   (outcome, { stats with elapsed = now () -. t0 })
+
+let solve ?(obs = Archex_obs.Ctx.null) ?on_event ?backend ?(presolve = true)
+    ?max_nodes ?time_limit m =
+  let backend =
+    match backend with
+    | Some b -> b
+    | None ->
+        if Model.is_pure_boolean m then Pseudo_boolean else Lp_branch_bound
+  in
+  let trace = Archex_obs.Ctx.trace obs in
+  let attrs =
+    if Archex_obs.Trace.enabled trace then
+      [ ("backend", Archex_obs.Json.Str (backend_name backend));
+        ("vars", Archex_obs.Json.Num (float_of_int (Model.var_count m)));
+        ("constraints",
+         Archex_obs.Json.Num (float_of_int (Model.constraint_count m))) ]
+    else []
+  in
+  let outcome, stats =
+    Archex_obs.Trace.with_span ~attrs trace "solve" (fun () ->
+        solve_untraced ~obs ~on_event ~backend ~presolve ?max_nodes
+          ?time_limit m)
+  in
+  let metrics = Archex_obs.Ctx.metrics obs in
+  if Archex_obs.Metrics.enabled metrics then begin
+    Archex_obs.Metrics.incr (Archex_obs.Metrics.counter metrics "solve.calls");
+    Archex_obs.Metrics.observe
+      (Archex_obs.Metrics.histogram metrics "solve.seconds")
+      stats.elapsed
+  end;
+  (outcome, stats)
+
+let pp_run_stats ppf s =
+  Format.fprintf ppf "%s: %d nodes" (backend_name s.backend) s.nodes;
+  if s.propagations > 0 || s.conflicts > 0 then
+    Format.fprintf ppf ", %d propagations, %d conflicts" s.propagations
+      s.conflicts;
+  if s.pivots > 0 then Format.fprintf ppf ", %d pivots" s.pivots;
+  if s.presolve_fixed > 0 || s.presolve_dropped > 0 then
+    Format.fprintf ppf ", presolve %d fixed / %d dropped" s.presolve_fixed
+      s.presolve_dropped;
+  Format.fprintf ppf ", %.3fs" s.elapsed
+
+let run_stats_to_json s =
+  Archex_obs.Json.Obj
+    [ ("backend", Archex_obs.Json.Str (backend_name s.backend));
+      ("nodes", Archex_obs.Json.Num (float_of_int s.nodes));
+      ("propagations", Archex_obs.Json.Num (float_of_int s.propagations));
+      ("conflicts", Archex_obs.Json.Num (float_of_int s.conflicts));
+      ("pivots", Archex_obs.Json.Num (float_of_int s.pivots));
+      ("presolve_fixed",
+       Archex_obs.Json.Num (float_of_int s.presolve_fixed));
+      ("presolve_dropped",
+       Archex_obs.Json.Num (float_of_int s.presolve_dropped));
+      ("elapsed", Archex_obs.Json.Num s.elapsed) ]
 
 let pp_outcome ppf = function
   | Optimal { objective; _ } ->

@@ -26,6 +26,8 @@ type run_stats = {
 }
 
 val solve :
+  ?obs:Archex_obs.Ctx.t ->
+  ?on_event:(Archex_obs.Event.t -> unit) ->
   ?backend:backend ->
   ?presolve:bool ->
   ?max_nodes:int ->
@@ -34,7 +36,14 @@ val solve :
 (** Minimize the model.  [backend] defaults to [Pseudo_boolean] when the
     model is pure Boolean, [Lp_branch_bound] otherwise.  [presolve]
     (default true) runs {!Presolve} first.  [time_limit] is wall-clock
-    seconds (the caller's model is never mutated).
+    seconds ({!Archex_obs.Clock}; the caller's model is never mutated).
+
+    [obs] (default disabled) wraps the run in a ["solve"] trace span
+    (attributes: backend, vars, constraints) and accumulates backend
+    metrics — [pb.*], [bb.nodes], [lp.pivots], [presolve.*] — plus a
+    [solve.calls] counter and a [solve.seconds] histogram.  [on_event]
+    forwards the backend's progress callback (heartbeats and incumbent
+    updates); note the PB probe and main search both report through it.
 
     The front-end computes the {!Obj_bound} combinatorial lower bound,
     injects it as an implied row, and — for the PB backend — first probes
@@ -47,3 +56,11 @@ val solution_value : float array -> Model.var -> bool
 
 val backend_name : backend -> string
 val pp_outcome : Format.formatter -> outcome -> unit
+
+val pp_run_stats : Format.formatter -> run_stats -> unit
+(** One-line human summary, e.g.
+    ["pb: 421 nodes, 1530 propagations, 37 conflicts, 0.004s"]
+    (mirrors {!Model.pp_stats}). *)
+
+val run_stats_to_json : run_stats -> Archex_obs.Json.t
+(** Structured form of {!run_stats} for machine-readable reports. *)

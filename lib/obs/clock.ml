@@ -1,0 +1,11 @@
+let last = ref neg_infinity
+
+let now () =
+  let t = Unix.gettimeofday () in
+  if t > !last then begin
+    last := t;
+    t
+  end
+  else !last
+
+let elapsed t0 = Float.max 0. (now () -. t0)

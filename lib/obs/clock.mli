@@ -1,0 +1,15 @@
+(** Monotonic wall clock.
+
+    [Sys.time] measures CPU seconds, which silently under-counts whenever
+    the process sleeps or the machine is loaded — wrong for both time-limit
+    enforcement and reported timings.  This module reads the system wall
+    clock and clamps it to be non-decreasing, so spans and limits always
+    mean wall-clock seconds. *)
+
+val now : unit -> float
+(** Seconds since the Unix epoch, guaranteed non-decreasing across calls
+    (a backwards system-clock step is absorbed by returning the previous
+    reading until real time catches up). *)
+
+val elapsed : float -> float
+(** [elapsed t0] is [now () -. t0], never negative. *)

@@ -1,0 +1,13 @@
+type t = {
+  trace : Trace.t;
+  metrics : Metrics.t;
+}
+
+let null = { trace = Trace.null; metrics = Metrics.null }
+
+let make ?(trace = Trace.null) ?(metrics = Metrics.null) () =
+  { trace; metrics }
+
+let enabled t = Trace.enabled t.trace || Metrics.enabled t.metrics
+let trace t = t.trace
+let metrics t = t.metrics

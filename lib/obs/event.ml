@@ -1,0 +1,25 @@
+type kind = Heartbeat | Incumbent | Iteration
+
+type t = {
+  source : string;
+  kind : kind;
+  elapsed : float;
+  data : (string * float) list;
+}
+
+let kind_name = function
+  | Heartbeat -> "heartbeat"
+  | Incumbent -> "incumbent"
+  | Iteration -> "iteration"
+
+let to_json ev =
+  Json.Obj
+    [ ("source", Json.Str ev.source);
+      ("kind", Json.Str (kind_name ev.kind));
+      ("elapsed", Json.Num ev.elapsed);
+      ("data", Json.Obj (List.map (fun (k, v) -> (k, Json.Num v)) ev.data)) ]
+
+let pp ppf ev =
+  Format.fprintf ppf "[%s +%.1fs] %s:" ev.source ev.elapsed
+    (kind_name ev.kind);
+  List.iter (fun (k, v) -> Format.fprintf ppf " %s=%g" k v) ev.data

@@ -1,0 +1,26 @@
+(** Solver progress events.
+
+    Long solves report liveness through an optional [?on_event] callback
+    instead of going dark until the time limit: periodic {!Heartbeat}s,
+    {!Incumbent} improvements, and outer-loop {!Iteration} completions.
+    Events are only constructed when a callback is installed, so the
+    disabled path allocates nothing. *)
+
+type kind =
+  | Heartbeat  (** periodic liveness from inside a search loop *)
+  | Incumbent  (** a new best feasible solution was found *)
+  | Iteration  (** an outer-loop iteration (ILP-MR / ILP-AR) completed *)
+
+type t = {
+  source : string;  (** emitting stage: ["pb"], ["lp-bb"], ["ilp-mr"], … *)
+  kind : kind;
+  elapsed : float;  (** wall-clock seconds since the stage started *)
+  data : (string * float) list;
+      (** stage statistics, e.g. [("conflicts", 42.)] *)
+}
+
+val kind_name : kind -> string
+val to_json : t -> Json.t
+val pp : Format.formatter -> t -> unit
+(** One-line human rendering, e.g.
+    [\[pb +12.3s\] heartbeat: decisions=15360 conflicts=210]. *)

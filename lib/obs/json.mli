@@ -1,0 +1,35 @@
+(** Minimal JSON values — the wire format of the observability layer.
+
+    Self-contained (no external dependency): just enough of RFC 8259 to
+    serialize traces and metric snapshots and to parse them back in tests
+    and the [trace-check] CLI command.  Numbers are floats; serialization
+    round-trips finite values exactly (non-finite values are emitted as
+    [null], which JSON cannot represent). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact single-line rendering (no newlines — NDJSON-safe). *)
+
+val pp : Format.formatter -> t -> unit
+
+val of_string : string -> (t, string) result
+(** Parse one JSON value; trailing garbage is an error. *)
+
+val parse_lines : string -> (t list, string) result
+(** Parse NDJSON: one value per non-blank line. *)
+
+val mem : string -> t -> t option
+(** Object member lookup; [None] on non-objects / absent keys. *)
+
+val to_float : t -> float option
+val to_str : t -> string option
+
+val equal : t -> t -> bool
+(** Structural equality (object key order is significant). *)

@@ -1,0 +1,163 @@
+type counter = { mutable count : float }
+type gauge = { mutable value : float }
+
+(* Buckets are powers of two: bucket i counts observations in
+   (2^(i-1-bias), 2^(i-bias)].  bias = 40 puts 1.0 at index 40. *)
+let bias = 40
+let n_buckets = 65
+
+type histogram = {
+  buckets : int array;
+  mutable n : int;
+  mutable sum : float;
+  mutable vmin : float;
+  mutable vmax : float;
+}
+
+type item = Counter of counter | Gauge of gauge | Histogram of histogram
+type t = (string, item) Hashtbl.t option
+
+let create () = Some (Hashtbl.create 32)
+let null : t = None
+let enabled = function Some _ -> true | None -> false
+
+(* Write-only cells handed out by the null registry. *)
+let dummy_counter = { count = 0. }
+let dummy_gauge = { value = 0. }
+
+let dummy_histogram =
+  { buckets = [||]; n = 0; sum = 0.; vmin = infinity; vmax = neg_infinity }
+
+let kind_name = function
+  | Counter _ -> "counter"
+  | Gauge _ -> "gauge"
+  | Histogram _ -> "histogram"
+
+let find_or_add reg name ~make ~cast =
+  match Hashtbl.find_opt reg name with
+  | Some item -> (
+      match cast item with
+      | Some handle -> handle
+      | None ->
+          invalid_arg
+            (Printf.sprintf "Metrics: %S is already a %s" name
+               (kind_name item)))
+  | None ->
+      let item, handle = make () in
+      Hashtbl.add reg name item;
+      handle
+
+let counter t name =
+  match t with
+  | None -> dummy_counter
+  | Some reg ->
+      find_or_add reg name
+        ~make:(fun () ->
+          let c = { count = 0. } in
+          (Counter c, c))
+        ~cast:(function Counter c -> Some c | _ -> None)
+
+let gauge t name =
+  match t with
+  | None -> dummy_gauge
+  | Some reg ->
+      find_or_add reg name
+        ~make:(fun () ->
+          let g = { value = 0. } in
+          (Gauge g, g))
+        ~cast:(function Gauge g -> Some g | _ -> None)
+
+let histogram t name =
+  match t with
+  | None -> dummy_histogram
+  | Some reg ->
+      find_or_add reg name
+        ~make:(fun () ->
+          let h =
+            { buckets = Array.make n_buckets 0;
+              n = 0;
+              sum = 0.;
+              vmin = infinity;
+              vmax = neg_infinity }
+          in
+          (Histogram h, h))
+        ~cast:(function Histogram h -> Some h | _ -> None)
+
+let add c by = c.count <- c.count +. by
+let incr c = c.count <- c.count +. 1.
+let set g v = g.value <- v
+
+let bucket_index v =
+  if v <= 0. || Float.is_nan v then 0
+  else begin
+    let e = int_of_float (Float.ceil (Float.log2 v)) + bias in
+    if e < 0 then 0 else if e >= n_buckets then n_buckets - 1 else e
+  end
+
+let observe h v =
+  if Array.length h.buckets > 0 then begin
+    h.buckets.(bucket_index v) <- h.buckets.(bucket_index v) + 1;
+    h.n <- h.n + 1;
+    h.sum <- h.sum +. v;
+    if v < h.vmin then h.vmin <- v;
+    if v > h.vmax then h.vmax <- v
+  end
+
+let counter_value c = c.count
+let gauge_value g = g.value
+let histogram_count h = h.n
+let histogram_sum h = h.sum
+let bucket_bound i = Float.pow 2. (float_of_int (i - bias))
+
+let bucket_counts h =
+  let acc = ref [] in
+  for i = Array.length h.buckets - 1 downto 0 do
+    if h.buckets.(i) > 0 then acc := (bucket_bound i, h.buckets.(i)) :: !acc
+  done;
+  !acc
+
+let value t name =
+  match t with
+  | None -> None
+  | Some reg -> (
+      match Hashtbl.find_opt reg name with
+      | Some (Counter c) -> Some c.count
+      | Some (Gauge g) -> Some g.value
+      | Some (Histogram _) | None -> None)
+
+let item_json = function
+  | Counter c -> Json.Num c.count
+  | Gauge g -> Json.Num g.value
+  | Histogram h ->
+      Json.Obj
+        [ ("count", Json.Num (float_of_int h.n));
+          ("sum", Json.Num h.sum);
+          ("min", if h.n = 0 then Json.Null else Json.Num h.vmin);
+          ("max", if h.n = 0 then Json.Null else Json.Num h.vmax);
+          ( "buckets",
+            Json.Arr
+              (List.map
+                 (fun (le, c) ->
+                   Json.Obj
+                     [ ("le", Json.Num le);
+                       ("count", Json.Num (float_of_int c)) ])
+                 (bucket_counts h)) ) ]
+
+let to_json t =
+  match t with
+  | None -> Json.Obj []
+  | Some reg ->
+      let entries =
+        Hashtbl.fold (fun name item acc -> (name, item_json item) :: acc)
+          reg []
+      in
+      Json.Obj
+        (List.sort (fun (a, _) (b, _) -> String.compare a b) entries)
+
+let write_file t path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (Json.to_string (to_json t));
+      output_char oc '\n')

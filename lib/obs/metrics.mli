@@ -1,0 +1,62 @@
+(** Metrics registry: named counters, gauges and log-scale histograms.
+
+    Handles are plain mutable cells, so updating one on a hot path is a
+    single float store.  The {!null} registry hands out shared dummy
+    handles whose updates land in write-only cells — instrumented code can
+    therefore update unconditionally with no allocation and no branch on
+    the fast path, and a disabled registry has no observable effect.
+
+    Conventional names used across the synthesis stack:
+    [pb.decisions], [pb.propagations], [pb.conflicts], [pb.learned],
+    [pb.restarts], [lp.pivots], [bb.nodes], [presolve.fixed],
+    [presolve.dropped], [mr.iterations], [mr.constraints_learned],
+    [rel.bdd_nodes], [rel.analyses]. *)
+
+type t
+type counter
+type gauge
+type histogram
+
+val create : unit -> t
+val null : t
+(** Disabled registry: handle lookups return shared dummies, snapshots are
+    empty. *)
+
+val enabled : t -> bool
+
+val counter : t -> string -> counter
+(** Find or register.  @raise Invalid_argument if the name is already
+    registered with a different kind. *)
+
+val gauge : t -> string -> gauge
+val histogram : t -> string -> histogram
+(** Log₂-bucketed histogram covering [2⁻⁴⁰, 2²⁴] (≈1e-12 s to ≈2e7 s when
+    observing durations); out-of-range values clamp to the end buckets. *)
+
+val add : counter -> float -> unit
+val incr : counter -> unit
+val set : gauge -> float -> unit
+val observe : histogram -> float -> unit
+
+val counter_value : counter -> float
+val gauge_value : gauge -> float
+val histogram_count : histogram -> int
+val histogram_sum : histogram -> float
+
+val bucket_bound : int -> float
+(** Inclusive upper bound of bucket [i] ([2^(i-40)]). *)
+
+val bucket_counts : histogram -> (float * int) list
+(** Non-empty buckets as [(upper_bound, count)], ascending. *)
+
+val value : t -> string -> float option
+(** Current value of a counter or gauge by name ([None] if absent, a
+    histogram, or the registry is {!null}). *)
+
+val to_json : t -> Json.t
+(** Snapshot: an object keyed by metric name, sorted.  Counters and gauges
+    are numbers; histograms are objects with [count], [sum], [min], [max]
+    and the non-empty [buckets]. *)
+
+val write_file : t -> string -> unit
+(** Write {!to_json} (newline-terminated) to a file. *)

@@ -1,0 +1,132 @@
+type state = {
+  emit : Json.t -> unit;
+  mutable depth : int;
+  mutable next_id : int;
+}
+
+type t = state option
+
+let null : t = None
+let make emit = Some { emit; depth = 0; next_id = 0 }
+
+let memory () =
+  let events = ref [] in
+  let t = make (fun j -> events := j :: !events) in
+  (t, fun () -> List.rev !events)
+
+let enabled = function Some _ -> true | None -> false
+
+let with_span ?(attrs = []) t name f =
+  match t with
+  | None -> f ()
+  | Some st ->
+      let id = st.next_id in
+      st.next_id <- id + 1;
+      let t0 = Clock.now () in
+      st.emit
+        (Json.Obj
+           [ ("ts", Json.Num t0);
+             ("ev", Json.Str "begin");
+             ("name", Json.Str name);
+             ("id", Json.Num (float_of_int id));
+             ("depth", Json.Num (float_of_int st.depth));
+             ("attrs", Json.Obj attrs) ]);
+      st.depth <- st.depth + 1;
+      Fun.protect
+        ~finally:(fun () ->
+          st.depth <- st.depth - 1;
+          let t1 = Clock.now () in
+          st.emit
+            (Json.Obj
+               [ ("ts", Json.Num t1);
+                 ("ev", Json.Str "end");
+                 ("name", Json.Str name);
+                 ("id", Json.Num (float_of_int id));
+                 ("depth", Json.Num (float_of_int st.depth));
+                 ("dur", Json.Num (t1 -. t0)) ]))
+        f
+
+let instant ?(attrs = []) t name =
+  match t with
+  | None -> ()
+  | Some st ->
+      st.emit
+        (Json.Obj
+           [ ("ts", Json.Num (Clock.now ()));
+             ("ev", Json.Str "event");
+             ("name", Json.Str name);
+             ("depth", Json.Num (float_of_int st.depth));
+             ("attrs", Json.Obj attrs) ])
+
+(* ------------------------------------------------------------------ *)
+(* Pretty tree                                                         *)
+
+type tree = {
+  name : string;
+  dur : float option;
+  attrs : (string * Json.t) list;
+  children : tree list;
+}
+
+(* Fold the flat event stream back into a forest with an explicit stack of
+   open spans; an "end" closes the innermost one. *)
+let tree_of_events events =
+  let attrs_of j =
+    match Json.mem "attrs" j with Some (Json.Obj a) -> a | _ -> []
+  in
+  let name_of j =
+    match Json.mem "name" j with Some (Json.Str s) -> s | _ -> "?"
+  in
+  (* stack frames: (name, attrs, reversed children) *)
+  let close (name, attrs, children) dur =
+    { name; dur; attrs; children = List.rev children }
+  in
+  let push_child child = function
+    | [] -> assert false
+    | (name, attrs, children) :: rest ->
+        (name, attrs, child :: children) :: rest
+  in
+  let step (roots, stack) j =
+    match Json.mem "ev" j with
+    | Some (Json.Str "begin") ->
+        (roots, (name_of j, attrs_of j, []) :: stack)
+    | Some (Json.Str "end") -> (
+        let dur = Option.bind (Json.mem "dur" j) Json.to_float in
+        match stack with
+        | [] -> (roots, []) (* end without begin: truncated head, skip *)
+        | frame :: rest ->
+            let node = close frame dur in
+            if rest = [] then (node :: roots, [])
+            else (roots, push_child node rest))
+    | Some (Json.Str "event") ->
+        let leaf =
+          { name = name_of j; dur = None; attrs = attrs_of j; children = [] }
+        in
+        if stack = [] then (leaf :: roots, [])
+        else (roots, push_child leaf stack)
+    | _ -> (roots, stack)
+  in
+  let roots, stack = List.fold_left step ([], []) events in
+  (* unpaired begins (truncated trace): close innermost-first without a
+     duration, nesting each into its enclosing frame *)
+  let rec drain roots = function
+    | [] -> roots
+    | frame :: rest ->
+        let node = close frame None in
+        if rest = [] then node :: roots
+        else drain roots (push_child node rest)
+  in
+  List.rev (drain roots stack)
+
+let rec pp_node ppf indent node =
+  Format.fprintf ppf "%s%s" (String.make (2 * indent) ' ') node.name;
+  (match node.dur with
+  | Some d -> Format.fprintf ppf " (%.3fs)" d
+  | None -> ());
+  List.iter
+    (fun (k, v) -> Format.fprintf ppf " %s=%a" k Json.pp v)
+    node.attrs;
+  Format.pp_print_newline ppf ();
+  List.iter (pp_node ppf (indent + 1)) node.children
+
+let pp_tree ppf forest = List.iter (pp_node ppf 0) forest

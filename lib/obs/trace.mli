@@ -1,0 +1,52 @@
+(** Structured tracing: nested wall-clock spans with attributes.
+
+    A tracer either discards everything ({!null} — every operation is an
+    early return, no allocation) or emits one JSON object per span
+    boundary / instant event to a caller-supplied sink, which makes NDJSON
+    export a one-liner.  Span timestamps come from {!Clock}.
+
+    Event schema (one object per line):
+    - [{"ts", "ev":"begin", "name", "id", "depth", "attrs"}]
+    - [{"ts", "ev":"end",   "name", "id", "depth", "dur"}]
+    - [{"ts", "ev":"event", "name", "depth", "attrs"}] *)
+
+type t
+
+val null : t
+(** Disabled tracer: [with_span _ _ f] is exactly [f ()]. *)
+
+val make : (Json.t -> unit) -> t
+(** Tracer emitting every event to the given sink. *)
+
+val memory : unit -> t * (unit -> Json.t list)
+(** In-memory tracer plus an accessor for the events captured so far (in
+    emission order) — for tests and pretty-printing. *)
+
+val enabled : t -> bool
+
+val with_span : ?attrs:(string * Json.t) list -> t -> string ->
+  (unit -> 'a) -> 'a
+(** Run the thunk inside a named span.  The end event is emitted even when
+    the thunk raises. *)
+
+val instant : ?attrs:(string * Json.t) list -> t -> string -> unit
+(** Zero-duration event at the current nesting depth. *)
+
+(** {1 Pretty tree}
+
+    Reconstruction of the span hierarchy from an exported event stream. *)
+
+type tree = {
+  name : string;
+  dur : float option;        (** [None] for instant events *)
+  attrs : (string * Json.t) list;
+  children : tree list;
+}
+
+val tree_of_events : Json.t list -> tree list
+(** Rebuild the forest from begin/end/event records; unpaired begins (e.g.
+    a truncated trace) close at their last seen child. *)
+
+val pp_tree : Format.formatter -> tree list -> unit
+(** Indented rendering, one node per line:
+    [solve (0.123s) backend=pb vars=94]. *)

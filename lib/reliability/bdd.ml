@@ -8,14 +8,16 @@ type man = {
   unique : (int * int * int, t) Hashtbl.t; (* (var, lo_id, hi_id) → node *)
   ite_cache : (int * int * int, t) Hashtbl.t;
   mutable next_id : int;
+  fresh_nodes : Archex_obs.Metrics.counter;
 }
 
-let manager ~nvars =
+let manager ?(metrics = Archex_obs.Metrics.null) ~nvars () =
   if nvars < 0 then invalid_arg "Bdd.manager";
   { n = nvars;
     unique = Hashtbl.create 1024;
     ite_cache = Hashtbl.create 1024;
-    next_id = 2 }
+    next_id = 2;
+    fresh_nodes = Archex_obs.Metrics.counter metrics "rel.bdd_nodes" }
 
 let nvars m = m.n
 let bot = False
@@ -44,6 +46,7 @@ let mk m var lo hi =
     | None ->
         let node = Node { id = m.next_id; var; lo; hi } in
         m.next_id <- m.next_id + 1;
+        Archex_obs.Metrics.incr m.fresh_nodes;
         Hashtbl.add m.unique key node;
         node
   end

@@ -11,8 +11,10 @@ type man
 
 type t
 
-val manager : nvars:int -> man
-(** Variables are [0 .. nvars-1]; smaller index = closer to the root. *)
+val manager : ?metrics:Archex_obs.Metrics.t -> nvars:int -> unit -> man
+(** Variables are [0 .. nvars-1]; smaller index = closer to the root.
+    [metrics] (default disabled) counts every fresh decision node under
+    [rel.bdd_nodes] — the cost driver of the exact engine. *)
 
 val nvars : man -> int
 

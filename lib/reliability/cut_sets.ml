@@ -5,8 +5,8 @@ module Iset = Set.Make (Int)
    Standard recursive prime extraction over the (reduced, ordered) BDD with
    memoization and subsumption filtering. *)
 
-let failure_bdd net ~sink =
-  let man = Bdd.manager ~nvars:(Fail_model.var_count net) in
+let failure_bdd ~metrics net ~sink =
+  let man = Bdd.manager ~metrics ~nvars:(Fail_model.var_count net) () in
   let working = Fail_model.working_bdd net man ~sink in
   (man, Bdd.neg man working)
 
@@ -39,19 +39,34 @@ let rec primes memo ~max_width f =
         result
   end
 
-let minimal_cut_sets ?(max_width = max_int) net ~sink =
-  let _man, failure = failure_bdd net ~sink in
-  let memo = Hashtbl.create 256 in
-  let cuts = primes memo ~max_width failure in
-  let cuts = List.map Iset.elements cuts in
-  List.sort
-    (fun a b ->
-      let c = compare (List.length a) (List.length b) in
-      if c <> 0 then c else compare a b)
-    cuts
+let minimal_cut_sets ?(obs = Archex_obs.Ctx.null) ?(max_width = max_int) net
+    ~sink =
+  let trace = Archex_obs.Ctx.trace obs in
+  let attrs =
+    if Archex_obs.Trace.enabled trace then
+      [ ("sink", Archex_obs.Json.Num (float_of_int sink)) ]
+    else []
+  in
+  Archex_obs.Trace.with_span ~attrs trace "reliability.cut_sets" (fun () ->
+      let _man, failure =
+        failure_bdd ~metrics:(Archex_obs.Ctx.metrics obs) net ~sink
+      in
+      let memo = Hashtbl.create 256 in
+      let cuts = primes memo ~max_width failure in
+      let cuts = List.map Iset.elements cuts in
+      let metrics = Archex_obs.Ctx.metrics obs in
+      if Archex_obs.Metrics.enabled metrics then
+        Archex_obs.Metrics.add
+          (Archex_obs.Metrics.counter metrics "rel.cut_sets")
+          (float_of_int (List.length cuts));
+      List.sort
+        (fun a b ->
+          let c = compare (List.length a) (List.length b) in
+          if c <> 0 then c else compare a b)
+        cuts)
 
-let rare_event_approximation net ~sink =
-  let cuts = minimal_cut_sets net ~sink in
+let rare_event_approximation ?obs net ~sink =
+  let cuts = minimal_cut_sets ?obs net ~sink in
   List.fold_left
     (fun acc cut ->
       acc
@@ -60,8 +75,8 @@ let rare_event_approximation net ~sink =
            1. cut)
     0. cuts
 
-let min_cut_width net ~sink =
-  match minimal_cut_sets net ~sink with
+let min_cut_width ?obs net ~sink =
+  match minimal_cut_sets ?obs net ~sink with
   | [] -> max_int (* no cut: the sink can never be disconnected *)
   | first :: _ -> List.length first
 

@@ -8,19 +8,24 @@
     (Sec. I), provided here for interoperability and cross-checking. *)
 
 val minimal_cut_sets :
-  ?max_width:int -> Fail_model.t -> sink:int -> int list list
+  ?obs:Archex_obs.Ctx.t -> ?max_width:int -> Fail_model.t -> sink:int ->
+  int list list
 (** All minimal cut sets (over the model's variables: node ids, plus edge
     variables for failing edges), each sorted, the list ordered by width
     then lexicographically.  [max_width] prunes the enumeration (default:
     unbounded).  Computed from the structure-function BDD, so exact.
     A sink with no source connection yields [[[]]]-like degenerate data:
-    the empty cut (it is always disconnected). *)
+    the empty cut (it is always disconnected).
+    [obs] (default disabled) wraps the enumeration in a
+    ["reliability.cut_sets"] span and counts [rel.cut_sets] and
+    [rel.bdd_nodes]. *)
 
-val rare_event_approximation : Fail_model.t -> sink:int -> float
+val rare_event_approximation :
+  ?obs:Archex_obs.Ctx.t -> Fail_model.t -> sink:int -> float
 (** [Σ_C Π p] over the minimal cut sets — an upper-bound-flavoured
     first-order estimate, asymptotically exact as probabilities shrink. *)
 
-val min_cut_width : Fail_model.t -> sink:int -> int
+val min_cut_width : ?obs:Archex_obs.Ctx.t -> Fail_model.t -> sink:int -> int
 (** Width of the smallest cut — the architecture's redundancy order (how
     many simultaneous failures it takes to lose the sink).  0 when the sink
     is already disconnected. *)

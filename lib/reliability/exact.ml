@@ -6,8 +6,13 @@ type engine =
   | Inclusion_exclusion
   | Factoring
 
-let bdd_failure net ~sink =
-  let man = Bdd.manager ~nvars:(Fail_model.var_count net) in
+let engine_name = function
+  | Bdd_compilation -> "bdd"
+  | Inclusion_exclusion -> "inclusion-exclusion"
+  | Factoring -> "factoring"
+
+let bdd_failure ~metrics net ~sink =
+  let man = Bdd.manager ~metrics ~nvars:(Fail_model.var_count net) () in
   let working = Fail_model.working_bdd net man ~sink in
   1. -. Bdd.probability man (Fail_model.var_fail net) working
 
@@ -137,15 +142,25 @@ let factoring_failure net ~sink =
   let fail = Array.init (Digraph.node_count g) (Fail_model.node_fail net) in
   go g fail
 
-let sink_failure ?(engine = Bdd_compilation) net ~sink =
-  match engine with
-  | Bdd_compilation -> bdd_failure net ~sink
-  | Inclusion_exclusion -> inclusion_exclusion_failure net ~sink
-  | Factoring -> factoring_failure net ~sink
+let sink_failure ?(obs = Archex_obs.Ctx.null) ?(engine = Bdd_compilation)
+    net ~sink =
+  let trace = Archex_obs.Ctx.trace obs in
+  let attrs =
+    if Archex_obs.Trace.enabled trace then
+      [ ("sink", Archex_obs.Json.Num (float_of_int sink));
+        ("engine", Archex_obs.Json.Str (engine_name engine)) ]
+    else []
+  in
+  Archex_obs.Trace.with_span ~attrs trace "reliability.sink" (fun () ->
+      match engine with
+      | Bdd_compilation ->
+          bdd_failure ~metrics:(Archex_obs.Ctx.metrics obs) net ~sink
+      | Inclusion_exclusion -> inclusion_exclusion_failure net ~sink
+      | Factoring -> factoring_failure net ~sink)
 
-let all_sink_failures ?engine net ~sinks =
-  List.map (fun s -> (s, sink_failure ?engine net ~sink:s)) sinks
+let all_sink_failures ?obs ?engine net ~sinks =
+  List.map (fun s -> (s, sink_failure ?obs ?engine net ~sink:s)) sinks
 
-let worst_failure ?engine net ~sinks =
+let worst_failure ?obs ?engine net ~sinks =
   List.fold_left (fun acc (_, r) -> Float.max acc r) 0.
-    (all_sink_failures ?engine net ~sinks)
+    (all_sink_failures ?obs ?engine net ~sinks)

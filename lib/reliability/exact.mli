@@ -17,16 +17,25 @@ type engine =
   | Factoring
       (** Pivotal decomposition  r = p·r(v failed) + (1-p)·r(v perfect). *)
 
-val sink_failure : ?engine:engine -> Fail_model.t -> sink:int -> float
+val engine_name : engine -> string
+
+val sink_failure :
+  ?obs:Archex_obs.Ctx.t -> ?engine:engine -> Fail_model.t -> sink:int ->
+  float
 (** Failure probability [r] of one sink.  A sink unreachable even with all
-    components perfect has [r = 1].
+    components perfect has [r = 1].  [obs] (default disabled) wraps the
+    computation in a ["reliability.sink"] span (attributes: sink, engine)
+    and, for the BDD engine, counts [rel.bdd_nodes].
     @raise Invalid_argument for [Inclusion_exclusion] when the network has
     more than 24 minimal path sets. *)
 
-val worst_failure : ?engine:engine -> Fail_model.t -> sinks:int list -> float
+val worst_failure :
+  ?obs:Archex_obs.Ctx.t -> ?engine:engine -> Fail_model.t ->
+  sinks:int list -> float
 (** [max] of {!sink_failure} over the given sinks — the paper's single
     requirement figure [r] (Sec. III "worst case failure probability over a
     set of nodes of interest").  [sinks = []] yields [0]. *)
 
 val all_sink_failures :
-  ?engine:engine -> Fail_model.t -> sinks:int list -> (int * float) list
+  ?obs:Archex_obs.Ctx.t -> ?engine:engine -> Fail_model.t ->
+  sinks:int list -> (int * float) list

@@ -1,0 +1,290 @@
+(* Tests for the observability layer: JSON round-trips, span
+   nesting/reconstruction, metric semantics, and agreement between the
+   counters emitted by an instrumented solver run and the stats it
+   returns. *)
+
+module Json = Archex_obs.Json
+module Clock = Archex_obs.Clock
+module Metrics = Archex_obs.Metrics
+module Trace = Archex_obs.Trace
+module Ctx = Archex_obs.Ctx
+module Model = Milp.Model
+module Lin_expr = Milp.Lin_expr
+
+let checkb = Alcotest.(check bool)
+let checkf = Alcotest.(check (float 1e-9))
+let check_int = Alcotest.(check int)
+let check_str = Alcotest.(check string)
+
+(* ------------------------------------------------------------------ *)
+(* Json                                                                *)
+
+let test_json_roundtrip () =
+  let samples =
+    [ Json.Null;
+      Json.Bool true;
+      Json.Num 0.;
+      Json.Num (-3.25);
+      Json.Num 1e-37;
+      Json.Num 123456789.;
+      Json.Str "plain";
+      Json.Str "esc \" \\ \n \t \x01";
+      Json.Arr [ Json.Num 1.; Json.Str "two"; Json.Null ];
+      Json.Obj
+        [ ("a", Json.Num 1.5);
+          ("nested", Json.Obj [ ("b", Json.Arr [ Json.Bool false ]) ]) ] ]
+  in
+  List.iter
+    (fun v ->
+      let s = Json.to_string v in
+      checkb ("single line: " ^ s) false (String.contains s '\n');
+      match Json.of_string s with
+      | Ok v' -> checkb ("round-trip: " ^ s) true (Json.equal v v')
+      | Error e -> Alcotest.failf "parse %s: %s" s e)
+    samples
+
+let test_json_errors () =
+  let bad s =
+    match Json.of_string s with
+    | Ok _ -> Alcotest.failf "accepted %S" s
+    | Error _ -> ()
+  in
+  bad "";
+  bad "{";
+  bad "[1,]";
+  bad "{\"a\":}";
+  bad "1 2";
+  bad "nul"
+
+let test_ndjson () =
+  let lines = "{\"a\":1}\n\n{\"b\":[true,null]}\n" in
+  match Json.parse_lines lines with
+  | Ok [ a; b ] ->
+      checkb "first" true
+        (Json.equal a (Json.Obj [ ("a", Json.Num 1.) ]));
+      checkb "second" true
+        (Json.equal b
+           (Json.Obj [ ("b", Json.Arr [ Json.Bool true; Json.Null ]) ]))
+  | Ok vs -> Alcotest.failf "expected 2 values, got %d" (List.length vs)
+  | Error e -> Alcotest.fail e
+
+(* ------------------------------------------------------------------ *)
+(* Clock                                                               *)
+
+let test_clock_monotone () =
+  let a = Clock.now () in
+  let b = Clock.now () in
+  let c = Clock.now () in
+  checkb "non-decreasing" true (a <= b && b <= c);
+  checkb "elapsed non-negative" true (Clock.elapsed a >= 0.)
+
+(* ------------------------------------------------------------------ *)
+(* Trace                                                               *)
+
+let test_span_nesting_roundtrip () =
+  let t, events = Trace.memory () in
+  let result =
+    Trace.with_span ~attrs:[ ("root", Json.Bool true) ] t "outer" (fun () ->
+        Trace.with_span t "inner" (fun () -> ());
+        Trace.instant ~attrs:[ ("mark", Json.Num 7.) ] t "tick";
+        Trace.with_span t "inner2" (fun () -> 42))
+  in
+  check_int "with_span returns the thunk's value" 42 result;
+  let evs = events () in
+  (* outer begin/end, inner begin/end, tick, inner2 begin/end *)
+  check_int "event count" 7 (List.length evs);
+  (* NDJSON round-trip of the whole stream *)
+  let ndjson =
+    String.concat "\n" (List.map Json.to_string evs) ^ "\n"
+  in
+  let reparsed =
+    match Json.parse_lines ndjson with
+    | Ok vs -> vs
+    | Error e -> Alcotest.fail e
+  in
+  checkb "stream round-trips" true (List.for_all2 Json.equal evs reparsed);
+  (* tree reconstruction from the re-parsed stream *)
+  match Trace.tree_of_events reparsed with
+  | [ root ] ->
+      check_str "root name" "outer" root.Trace.name;
+      checkb "root has duration" true (root.Trace.dur <> None);
+      checkb "root attrs kept" true
+        (List.mem_assoc "root" root.Trace.attrs);
+      check_int "children" 3 (List.length root.Trace.children);
+      let names =
+        List.map (fun c -> c.Trace.name) root.Trace.children
+      in
+      checkb "child order" true (names = [ "inner"; "tick"; "inner2" ]);
+      let tick = List.nth root.Trace.children 1 in
+      checkb "instant has no duration" true (tick.Trace.dur = None)
+  | forest -> Alcotest.failf "expected 1 root, got %d" (List.length forest)
+
+let test_span_end_on_raise () =
+  let t, events = Trace.memory () in
+  (try
+     Trace.with_span t "doomed" (fun () -> failwith "boom")
+   with Failure _ -> ());
+  let evs = events () in
+  check_int "begin and end both emitted" 2 (List.length evs);
+  let last = List.nth evs 1 in
+  checkb "last is an end event" true
+    (Json.mem "ev" last = Some (Json.Str "end"))
+
+let test_null_trace_is_transparent () =
+  checkb "null disabled" false (Trace.enabled Trace.null);
+  check_int "with_span is the identity on null" 9
+    (Trace.with_span Trace.null "x" (fun () -> 9))
+
+(* ------------------------------------------------------------------ *)
+(* Metrics                                                             *)
+
+let test_counters_and_gauges () =
+  let m = Metrics.create () in
+  let c = Metrics.counter m "pb.conflicts" in
+  Metrics.incr c;
+  Metrics.add c 4.;
+  checkf "counter" 5. (Metrics.counter_value c);
+  checkb "same handle" true (Metrics.counter m "pb.conflicts" == c);
+  let g = Metrics.gauge m "mr.estpath_k" in
+  Metrics.set g 3.;
+  Metrics.set g 2.;
+  checkf "gauge keeps last" 2. (Metrics.gauge_value g);
+  checkb "value lookup" true (Metrics.value m "pb.conflicts" = Some 5.);
+  checkb "absent lookup" true (Metrics.value m "nope" = None);
+  Alcotest.check_raises "kind clash"
+    (Invalid_argument "Metrics: \"pb.conflicts\" is already a counter")
+    (fun () -> ignore (Metrics.gauge m "pb.conflicts"))
+
+let test_histogram_bucketing () =
+  let m = Metrics.create () in
+  let h = Metrics.histogram m "solve.seconds" in
+  (* 0.75 and 1.0 share bucket (0.5, 1]; 1.5 lands in (1, 2] *)
+  Metrics.observe h 0.75;
+  Metrics.observe h 1.0;
+  Metrics.observe h 1.5;
+  check_int "count" 3 (Metrics.histogram_count h);
+  checkf "sum" 3.25 (Metrics.histogram_sum h);
+  (match Metrics.bucket_counts h with
+  | [ (b1, n1); (b2, n2) ] ->
+      checkf "first bound" 1. b1;
+      check_int "first count" 2 n1;
+      checkf "second bound" 2. b2;
+      check_int "second count" 1 n2
+  | bs -> Alcotest.failf "expected 2 buckets, got %d" (List.length bs));
+  (* extremes clamp instead of vanishing *)
+  Metrics.observe h 0.;
+  Metrics.observe h 1e300;
+  check_int "clamped count" 5 (Metrics.histogram_count h);
+  checkf "bucket_bound is a power of two" 2. (Metrics.bucket_bound 41)
+
+let test_null_metrics () =
+  let m = Metrics.null in
+  checkb "disabled" false (Metrics.enabled m);
+  let c = Metrics.counter m "anything" in
+  Metrics.incr c;
+  Metrics.add c 100.;
+  let h = Metrics.histogram m "h" in
+  Metrics.observe h 1.;
+  checkb "null value lookup" true (Metrics.value m "anything" = None);
+  checkb "null snapshot empty" true
+    (Json.equal (Metrics.to_json m) (Json.Obj []))
+
+let test_metrics_json () =
+  let m = Metrics.create () in
+  Metrics.add (Metrics.counter m "b.two") 2.;
+  Metrics.add (Metrics.counter m "a.one") 1.;
+  match Metrics.to_json m with
+  | Json.Obj [ ("a.one", Json.Num 1.); ("b.two", Json.Num 2.) ] -> ()
+  | j -> Alcotest.failf "unexpected snapshot %s" (Json.to_string j)
+
+(* ------------------------------------------------------------------ *)
+(* Instrumented solver run: counters = returned stats                  *)
+
+(* A small pure-Boolean covering problem with a non-trivial search:
+   minimize Σ cost·xᵢ subject to pairwise coverage rows. *)
+let covering_model () =
+  let m = Model.create () in
+  let xs = Array.init 8 (fun i -> Model.bool_var ~name:(Printf.sprintf "x%d" i) m) in
+  for i = 0 to 6 do
+    Model.add_constraint m
+      (Lin_expr.add (Lin_expr.var xs.(i)) (Lin_expr.var xs.(i + 1)))
+      Model.Ge 1.
+  done;
+  Model.set_objective m
+    (Lin_expr.of_terms
+       (Array.to_list (Array.mapi (fun i x -> (x, float_of_int (1 + (i mod 3)))) xs)));
+  m
+
+let test_pb_metrics_match_stats () =
+  let metrics = Metrics.create () in
+  let events = ref 0 in
+  let outcome, stats =
+    Milp.Pb_solver.solve ~metrics ~on_event:(fun _ -> incr events)
+      (covering_model ())
+  in
+  (match outcome with
+  | Milp.Pb_solver.Optimal _ -> ()
+  | _ -> Alcotest.fail "expected an optimal outcome");
+  let v name = Option.value (Metrics.value metrics name) ~default:(-1.) in
+  checkf "pb.decisions" (float_of_int stats.Milp.Pb_solver.decisions)
+    (v "pb.decisions");
+  checkf "pb.propagations" (float_of_int stats.Milp.Pb_solver.propagations)
+    (v "pb.propagations");
+  checkf "pb.conflicts" (float_of_int stats.Milp.Pb_solver.conflicts)
+    (v "pb.conflicts");
+  checkf "pb.restarts" (float_of_int stats.Milp.Pb_solver.restarts)
+    (v "pb.restarts");
+  checkf "pb.learned" (float_of_int stats.Milp.Pb_solver.learned)
+    (v "pb.learned")
+
+let v_pos metrics name =
+  match Metrics.value metrics name with Some v -> v > 0. | None -> false
+
+let test_solver_trace_shape () =
+  let tracer, events = Trace.memory () in
+  let metrics = Metrics.create () in
+  let obs = Ctx.make ~trace:tracer ~metrics () in
+  let outcome, _ = Milp.Solver.solve ~obs (covering_model ()) in
+  (match outcome with
+  | Milp.Solver.Optimal { objective; _ } ->
+      checkb "positive cost" true (objective > 0.)
+  | _ -> Alcotest.fail "expected optimal");
+  (match Trace.tree_of_events (events ()) with
+  | [ root ] ->
+      check_str "root span" "solve" root.Trace.name;
+      checkb "presolve child" true
+        (List.exists (fun c -> c.Trace.name = "presolve") root.Trace.children)
+  | forest -> Alcotest.failf "expected 1 root, got %d" (List.length forest));
+  checkb "solve.calls counted" true
+    (Metrics.value metrics "solve.calls" = Some 1.);
+  checkb "pb decisions counted" true (v_pos metrics "pb.decisions")
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "obs"
+    [ ( "json",
+        [ Alcotest.test_case "round-trip" `Quick test_json_roundtrip;
+          Alcotest.test_case "errors rejected" `Quick test_json_errors;
+          Alcotest.test_case "ndjson lines" `Quick test_ndjson ] );
+      ( "clock",
+        [ Alcotest.test_case "monotone" `Quick test_clock_monotone ] );
+      ( "trace",
+        [ Alcotest.test_case "nesting + round-trip" `Quick
+            test_span_nesting_roundtrip;
+          Alcotest.test_case "end emitted on raise" `Quick
+            test_span_end_on_raise;
+          Alcotest.test_case "null transparent" `Quick
+            test_null_trace_is_transparent ] );
+      ( "metrics",
+        [ Alcotest.test_case "counters and gauges" `Quick
+            test_counters_and_gauges;
+          Alcotest.test_case "histogram bucketing" `Quick
+            test_histogram_bucketing;
+          Alcotest.test_case "null registry" `Quick test_null_metrics;
+          Alcotest.test_case "json snapshot" `Quick test_metrics_json ] );
+      ( "solver",
+        [ Alcotest.test_case "pb counters = stats" `Quick
+            test_pb_metrics_match_stats;
+          Alcotest.test_case "solve span shape" `Quick
+            test_solver_trace_shape ] ) ]

@@ -17,7 +17,7 @@ let checkf eps = Alcotest.(check (float eps))
 (* BDD                                                                 *)
 
 let test_bdd_constants () =
-  let man = Bdd.manager ~nvars:2 in
+  let man = Bdd.manager ~nvars:2 () in
   checkb "neg bot = top" true (Bdd.equal (Bdd.neg man Bdd.bot) Bdd.top);
   checkb "x and not x = bot" true
     (Bdd.equal (Bdd.conj man (Bdd.var man 0) (Bdd.neg man (Bdd.var man 0)))
@@ -27,7 +27,7 @@ let test_bdd_constants () =
        Bdd.top)
 
 let test_bdd_hash_consing () =
-  let man = Bdd.manager ~nvars:3 in
+  let man = Bdd.manager ~nvars:3 () in
   let f1 = Bdd.conj man (Bdd.var man 0) (Bdd.var man 1) in
   let f2 = Bdd.conj man (Bdd.var man 1) (Bdd.var man 0) in
   checkb "canonical forms are physically equal" true (Bdd.equal f1 f2)
@@ -47,7 +47,7 @@ let random_formula man depth rng =
   go depth
 
 let test_bdd_eval_vs_semantics () =
-  let man = Bdd.manager ~nvars:6 in
+  let man = Bdd.manager ~nvars:6 () in
   let rng = Random.State.make [| 42 |] in
   for _ = 1 to 50 do
     let f = random_formula man 4 rng in
@@ -65,7 +65,7 @@ let test_bdd_eval_vs_semantics () =
 
 let test_bdd_probability_is_weighted_count () =
   (* P(f) under p must equal the sum over satisfying assignments. *)
-  let man = Bdd.manager ~nvars:6 in
+  let man = Bdd.manager ~nvars:6 () in
   let rng = Random.State.make [| 7 |] in
   let p v = 0.1 +. (0.12 *. float_of_int v) in
   for _ = 1 to 30 do
@@ -85,7 +85,7 @@ let test_bdd_probability_is_weighted_count () =
   done
 
 let test_bdd_ite () =
-  let man = Bdd.manager ~nvars:3 in
+  let man = Bdd.manager ~nvars:3 () in
   let f = Bdd.ite man (Bdd.var man 0) (Bdd.var man 1) (Bdd.var man 2) in
   List.iter
     (fun mask ->
@@ -403,7 +403,7 @@ let test_bdd_size_reasonable () =
   let net =
     Fail_model.make g ~sources:[ 0; 1 ] ~node_fail:(Array.make 7 0.1)
   in
-  let man = Bdd.manager ~nvars:(Fail_model.var_count net) in
+  let man = Bdd.manager ~nvars:(Fail_model.var_count net) () in
   let w = Fail_model.working_bdd net man ~sink:6 in
   checkb "nontrivial" true (not (Bdd.is_bot w) && not (Bdd.is_top w));
   checkb "small" true (Bdd.size w <= 20)
