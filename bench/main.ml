@@ -287,69 +287,108 @@ let ablation_exact () =
     [ 2; 3; 4; 5; 6 ]
 
 (* ------------------------------------------------------------------ *)
-(* Instrumented synthesis sweep → BENCH_synthesis.json                 *)
+(* Benchmark artifacts — BENCH_*.json in the Bench_compare schema      *)
+
+let instance_of generators =
+  match generators with
+  | None -> Eps.Eps_template.base ()
+  | Some g -> Eps.Eps_template.make ~generators:g
+
+(* One ILP-MR run distilled into the flat numeric series of a benchmark
+   case.  Counter series (iterations, pb_decisions, pb_conflicts) are
+   deterministic across machines; the "_s" series are wall-clock and
+   judged at the looser time tolerance by bench-diff. *)
+let mr_series ?generators ~r_star () =
+  let open Archex_obs in
+  let inst = instance_of generators in
+  let template = inst.Eps.Eps_template.template in
+  let metrics = Metrics.create () in
+  let obs = Ctx.make ~metrics () in
+  let t0 = Clock.now () in
+  let result =
+    Archex.Ilp_mr.run ~obs ~solve_time_limit:!per_solve_limit template
+      ~r_star
+  in
+  let wall = Clock.now () -. t0 in
+  let metric name = Option.value (Metrics.value metrics name) ~default:0. in
+  let trace, timing, tail =
+    match result with
+    | Archex.Synthesis.Synthesized (arch, trace, timing) ->
+        ( trace, timing,
+          [ ("feasible", 1.); ("cost", arch.Archex.Synthesis.cost) ] )
+    | Archex.Synthesis.Unfeasible (trace, timing) ->
+        (trace, timing, [ ("feasible", 0.) ])
+  in
+  [ ("wall_s", wall);
+    ("solver_time_s", timing.Archex.Synthesis.solver_time);
+    ("analysis_time_s", timing.Archex.Synthesis.analysis_time);
+    ("iterations", float_of_int (List.length trace));
+    ("pb_decisions", metric "pb.decisions");
+    ("pb_conflicts", metric "pb.conflicts") ]
+  @ tail
+
+(* Same for an ILP-AR run (no analysis loop; setup dominates instead). *)
+let ar_series ?generators ~r_star () =
+  let open Archex_obs in
+  let inst = instance_of generators in
+  let template = inst.Eps.Eps_template.template in
+  let metrics = Metrics.create () in
+  let obs = Ctx.make ~metrics () in
+  let t0 = Clock.now () in
+  let result =
+    Archex.Ilp_ar.run ~obs ~time_limit:!per_solve_limit template ~r_star
+  in
+  let wall = Clock.now () -. t0 in
+  let metric name = Option.value (Metrics.value metrics name) ~default:0. in
+  let info, timing, tail =
+    match result with
+    | Archex.Synthesis.Synthesized (arch, info, timing) ->
+        ( info, timing,
+          [ ("feasible", 1.); ("cost", arch.Archex.Synthesis.cost) ] )
+    | Archex.Synthesis.Unfeasible (info, timing) ->
+        (info, timing, [ ("feasible", 0.) ])
+  in
+  [ ("wall_s", wall);
+    ("setup_time_s", timing.Archex.Synthesis.setup_time);
+    ("solver_time_s", timing.Archex.Synthesis.solver_time);
+    ("constraints", float_of_int info.Archex.Ilp_ar.constraint_count);
+    ("pb_decisions", metric "pb.decisions");
+    ("pb_conflicts", metric "pb.conflicts") ]
+  @ tail
+
+let run_cases ~experiment ~output cases =
+  let rows =
+    List.map
+      (fun (name, run) ->
+        let series = run () in
+        Printf.printf "  %-16s %s\n%!" name
+          (String.concat "  "
+             (List.map (fun (k, v) -> Printf.sprintf "%s=%g" k v) series));
+        (name, series))
+      cases
+  in
+  let artifact = Archex_obs.Bench_compare.artifact ~experiment rows in
+  Archex_obs.Bench_compare.write_file artifact output;
+  Printf.printf "  wrote %s\n" output
 
 let synthesis () =
   hr "Instrumented ILP-MR sweep (writes BENCH_synthesis.json)";
-  let open Archex_obs in
-  let metric m name = Option.value (Metrics.value m name) ~default:0. in
-  let row g =
-    let inst = Eps.Eps_template.make ~generators:g in
-    let template = inst.Eps.Eps_template.template in
-    let metrics = Metrics.create () in
-    let obs = Ctx.make ~metrics () in
-    let result =
-      Archex.Ilp_mr.run ~obs ~solve_time_limit:!per_solve_limit template
-        ~r_star:1e-11
-    in
-    let trace, timing, outcome =
-      match result with
-      | Archex.Synthesis.Synthesized (arch, trace, timing) ->
-          ( trace, timing,
-            [ ("feasible", Json.Bool true);
-              ("cost", Json.Num arch.Archex.Synthesis.cost);
-              ("reliability", Json.Num arch.Archex.Synthesis.reliability) ] )
-      | Archex.Synthesis.Unfeasible (trace, timing) ->
-          (trace, timing, [ ("feasible", Json.Bool false) ])
-    in
-    (* the per-iteration run_stats sum to the same totals as the pb.*
-       counters; report both so the JSON cross-checks itself *)
-    let sum f =
-      List.fold_left (fun acc it -> acc + f it.Archex.Ilp_mr.stats) 0 trace
-    in
-    Printf.printf
-      "  %-18s %-12d solver %-8.2f analysis %-8.2f decisions %.0f\n%!"
-      (Printf.sprintf "%d (%d)" (5 * g) g)
-      (List.length trace)
-      timing.Archex.Synthesis.solver_time
-      timing.Archex.Synthesis.analysis_time
-      (metric metrics "pb.decisions");
-    Json.Obj
-      (("generators", Json.Num (float_of_int g))
-       :: ("nodes", Json.Num (float_of_int (5 * g)))
-       :: outcome
-      @ [ ("iterations", Json.Num (float_of_int (List.length trace)));
-          ("setup_time", Json.Num timing.Archex.Synthesis.setup_time);
-          ("solver_time", Json.Num timing.Archex.Synthesis.solver_time);
-          ("analysis_time", Json.Num timing.Archex.Synthesis.analysis_time);
-          ("solver_nodes",
-           Json.Num (float_of_int (sum (fun s -> s.Milp.Solver.nodes))));
-          ("solver_conflicts",
-           Json.Num (float_of_int (sum (fun s -> s.Milp.Solver.conflicts))));
-          ("metrics", Metrics.to_json metrics) ])
-  in
-  let rows = List.map row !sizes in
-  let json =
-    Json.Obj
-      [ ("experiment", Json.Str "ilp_mr_scaling");
-        ("r_star", Json.Num 1e-11);
-        ("sizes", Json.Arr rows) ]
-  in
-  let oc = open_out "BENCH_synthesis.json" in
-  output_string oc (Json.to_string json);
-  output_char oc '\n';
-  close_out oc;
-  Printf.printf "  wrote BENCH_synthesis.json\n"
+  run_cases ~experiment:"ilp_mr_scaling" ~output:"BENCH_synthesis.json"
+    (List.map
+       (fun g ->
+         ( Printf.sprintf "mr_g%d_r1e-11" g,
+           fun () -> mr_series ~generators:g ~r_star:1e-11 () ))
+       !sizes)
+
+(* Fast regression sweep for CI: sub-second cases only, diffed against
+   bench/baseline/BENCH_smoke.json by [archex bench-diff]. *)
+let bench_smoke () =
+  hr "Benchmark smoke sweep (writes BENCH_smoke.json)";
+  run_cases ~experiment:"smoke" ~output:"BENCH_smoke.json"
+    [ ("mr_base_r2e-3", fun () -> mr_series ~r_star:2e-3 ());
+      ("mr_base_r2e-6", fun () -> mr_series ~r_star:2e-6 ());
+      ("ar_base_r2e-6", fun () -> ar_series ~r_star:2e-6 ());
+      ("mr_g4_r2e-6", fun () -> mr_series ~generators:4 ~r_star:2e-6 ()) ]
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test.make per table/figure kernel.   *)
@@ -454,7 +493,8 @@ let artifacts =
   [ ("table1", table1); ("example1", example1); ("fig2", fig2);
     ("fig3", fig3); ("table2", table2); ("table3", table3);
     ("ablation-backend", ablation_backend); ("ablation-exact", ablation_exact);
-    ("synthesis", synthesis); ("bechamel", bechamel) ]
+    ("synthesis", synthesis); ("bench-smoke", bench_smoke);
+    ("bechamel", bechamel) ]
 
 let default_artifacts =
   [ "table1"; "example1"; "fig2"; "fig3"; "table2"; "table3";

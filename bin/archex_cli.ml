@@ -105,10 +105,34 @@ let with_obs (trace_file, metrics_file, progress) f =
     else Archex_obs.Metrics.create ()
   in
   let obs = Archex_obs.Ctx.make ~trace:tracer ~metrics () in
-  let on_event =
+  (* progress events go to stderr when asked for, and are always recorded
+     into the trace (as "progress" instants) when one is being written —
+     that is what lets trace-profile/report reconstruct the solver
+     convergence timeline afterwards *)
+  let stderr_sink =
     if progress then
       Some (fun ev -> Format.eprintf "%a@." Archex_obs.Event.pp ev)
     else None
+  in
+  let trace_sink =
+    if Archex_obs.Trace.enabled tracer then
+      Some
+        (fun ev ->
+          match Archex_obs.Event.to_json ev with
+          | Archex_obs.Json.Obj attrs ->
+              Archex_obs.Trace.instant ~attrs tracer "progress"
+          | _ -> ())
+    else None
+  in
+  let on_event =
+    match (stderr_sink, trace_sink) with
+    | None, None -> None
+    | Some f, None | None, Some f -> Some f
+    | Some f, Some g ->
+        Some
+          (fun ev ->
+            f ev;
+            g ev)
   in
   Fun.protect
     ~finally:(fun () ->
@@ -242,36 +266,174 @@ let export_cmd =
   Cmd.v (Cmd.info "export" ~doc)
     Term.(const run $ generators_arg $ r_star_arg $ path_arg)
 
+let read_whole_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* Parse an NDJSON trace keeping source line numbers; exits 1 with a
+   message on malformed JSON. *)
+let load_trace path =
+  match Archex_obs.Json.parse_lines_numbered (read_whole_file path) with
+  | Ok events -> events
+  | Error msg ->
+      Format.eprintf "%s: invalid NDJSON: %s@." path msg;
+      exit 1
+
+let load_json path =
+  match Archex_obs.Json.of_string (String.trim (read_whole_file path)) with
+  | Ok j -> j
+  | Error msg ->
+      Format.eprintf "%s: invalid JSON: %s@." path msg;
+      exit 1
+
+let trace_arg_pos =
+  Arg.(required & pos 0 (some file) None
+       & info [] ~docv:"TRACE" ~doc:"NDJSON trace written by $(b,--trace).")
+
 let trace_check_cmd =
   let run path tree =
-    let contents =
-      let ic = open_in_bin path in
-      Fun.protect
-        ~finally:(fun () -> close_in ic)
-        (fun () -> really_input_string ic (in_channel_length ic))
-    in
-    match Archex_obs.Json.parse_lines contents with
-    | Error msg ->
-        Format.eprintf "%s: invalid NDJSON: %s@." path msg;
-        1
-    | Ok events ->
-        Format.printf "%s: %d events, valid NDJSON@." path
-          (List.length events);
+    let numbered = load_trace path in
+    match Archex_obs.Trace.validate numbered with
+    | [] ->
+        Format.printf "%s: %d events, valid@." path (List.length numbered);
         if tree then
           Format.printf "%a@." Archex_obs.Trace.pp_tree
-            (Archex_obs.Trace.tree_of_events events);
+            (Archex_obs.Trace.tree_of_events (List.map snd numbered));
         0
-  in
-  let path_arg =
-    Arg.(required & pos 0 (some file) None
-         & info [] ~docv:"FILE" ~doc:"NDJSON trace written by $(b,--trace).")
+    | errors ->
+        List.iter
+          (fun (line, msg) ->
+            Format.eprintf "%s:%d: %s@." path line msg)
+          errors;
+        Format.eprintf "%s: %d error(s) in %d events@." path
+          (List.length errors) (List.length numbered);
+        1
   in
   let tree_arg =
     let doc = "Reconstruct and print the span tree." in
     Arg.(value & flag & info [ "tree" ] ~doc)
   in
-  let doc = "Validate an NDJSON trace file and optionally print its tree." in
-  Cmd.v (Cmd.info "trace-check" ~doc) Term.(const run $ path_arg $ tree_arg)
+  let doc =
+    "Validate an NDJSON trace file (well-formed records, non-decreasing \
+     timestamps, depth consistent with begin/end nesting) and optionally \
+     print its tree."
+  in
+  Cmd.v (Cmd.info "trace-check" ~doc)
+    Term.(const run $ trace_arg_pos $ tree_arg)
+
+let trace_profile_cmd =
+  let run path folded =
+    let events = List.map snd (load_trace path) in
+    let forest = Archex_obs.Trace.tree_of_events events in
+    if folded then
+      Format.printf "%a" Archex_obs.Profile.pp_folded forest
+    else
+      Format.printf "%a" Archex_obs.Profile.pp
+        (Archex_obs.Profile.of_tree forest);
+    0
+  in
+  let folded_arg =
+    let doc =
+      "Print collapsed (folded) stacks — $(i,stack;path weight) lines \
+       consumable by flamegraph tooling (inferno, flamegraph.pl, \
+       speedscope) — instead of the profile table."
+    in
+    Arg.(value & flag & info [ "folded" ] ~doc)
+  in
+  let doc =
+    "Aggregate a span trace into a per-span profile (count, total/self \
+     time, share of root) or folded flamegraph stacks."
+  in
+  Cmd.v (Cmd.info "trace-profile" ~doc)
+    Term.(const run $ trace_arg_pos $ folded_arg)
+
+let report_cmd =
+  let run path metrics_path out =
+    let events = List.map snd (load_trace path) in
+    let metrics = Option.map load_json metrics_path in
+    let md = Archex_obs.Report.markdown ?metrics events in
+    (match out with
+    | None -> print_string md
+    | Some out_path ->
+        let oc = open_out out_path in
+        Fun.protect
+          ~finally:(fun () -> close_out oc)
+          (fun () -> output_string oc md);
+        Format.printf "wrote %s@." out_path);
+    0
+  in
+  let metrics_arg =
+    let doc = "Metrics snapshot written by $(b,--metrics)." in
+    Arg.(value & opt (some file) None
+         & info [ "metrics" ] ~doc ~docv:"FILE")
+  in
+  let out_arg =
+    let doc = "Write the report to $(docv) instead of standard output." in
+    Arg.(value & opt (some string) None
+         & info [ "o"; "output" ] ~doc ~docv:"FILE")
+  in
+  let doc =
+    "Render a markdown run report (profile, convergence timeline, \
+     iteration history, metrics) from a trace."
+  in
+  Cmd.v (Cmd.info "report" ~doc)
+    Term.(const run $ trace_arg_pos $ metrics_arg $ out_arg)
+
+let bench_diff_cmd =
+  let run baseline_path current_path time_tol count_tol =
+    let module B = Archex_obs.Bench_compare in
+    let tol =
+      { B.default_tolerances with
+        time_tol =
+          Option.value time_tol ~default:B.default_tolerances.B.time_tol;
+        count_tol =
+          Option.value count_tol ~default:B.default_tolerances.B.count_tol }
+    in
+    let baseline = load_json baseline_path in
+    let current = load_json current_path in
+    match B.diff ~tol ~baseline ~current () with
+    | Error msg ->
+        Format.eprintf "bench-diff: %s@." msg;
+        2
+    | Ok entries ->
+        Format.printf "%a" B.pp_entries entries;
+        if B.regression entries then begin
+          Format.eprintf
+            "bench-diff: regression detected (%s vs %s)@." current_path
+            baseline_path;
+          1
+        end
+        else 0
+  in
+  let pos i docv doc =
+    Arg.(required & pos i (some file) None & info [] ~docv ~doc)
+  in
+  let time_tol_arg =
+    let doc =
+      "Relative tolerance for wall-clock series (default 0.5 = 50%)."
+    in
+    Arg.(value & opt (some float) None
+         & info [ "time-tol" ] ~doc ~docv:"REL")
+  in
+  let count_tol_arg =
+    let doc =
+      "Relative tolerance for counter series (default 0.25 = 25%)."
+    in
+    Arg.(value & opt (some float) None
+         & info [ "count-tol" ] ~doc ~docv:"REL")
+  in
+  let doc =
+    "Diff two benchmark artifacts (BENCH_*.json); exit 1 if any series \
+     regressed beyond tolerance or vanished."
+  in
+  Cmd.v (Cmd.info "bench-diff" ~doc)
+    Term.(
+      const run
+      $ pos 0 "BASELINE" "Baseline benchmark artifact."
+      $ pos 1 "CURRENT" "Current benchmark artifact."
+      $ time_tol_arg $ count_tol_arg)
 
 let () =
   Logs.set_reporter (Logs.format_reporter ());
@@ -285,4 +447,5 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group ~default:mr_term info
-          [ mr_cmd; ar_cmd; analyze_cmd; export_cmd; trace_check_cmd ]))
+          [ mr_cmd; ar_cmd; analyze_cmd; export_cmd; trace_check_cmd;
+            trace_profile_cmd; report_cmd; bench_diff_cmd ]))

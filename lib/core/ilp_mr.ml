@@ -48,7 +48,12 @@ let run ?(obs = Archex_obs.Ctx.null) ?on_event ?strategy ?backend ?engine
               [ ("iteration", float_of_int it.index);
                 ("cost", it.cost);
                 ("reliability", it.reliability);
-                ("new_constraints", float_of_int it.new_constraints) ] }
+                ("new_constraints", float_of_int it.new_constraints);
+                ("solver_time", it.solver_time);
+                ("analysis_time", it.analysis_time);
+                ("nodes", float_of_int it.stats.Milp.Solver.nodes);
+                ("conflicts", float_of_int it.stats.Milp.Solver.conflicts) ]
+          }
   in
   (* One iteration of the Algorithm 1 loop, wrapped in its own span; the
      tail call happens outside the span so iteration n+1 is a sibling of

@@ -28,8 +28,14 @@ let fractional_var m solution =
   done;
   Option.map fst !best
 
-(* A node is the base model plus a list of bound narrowings. *)
-type node = { bounds : (Model.var * float * float) list; depth : int }
+(* A node is the base model plus a list of bound narrowings; [lb] is the
+   parent's LP relaxation objective — a valid lower bound on every
+   integral solution under this node. *)
+type node = {
+  bounds : (Model.var * float * float) list;
+  depth : int;
+  lb : float;
+}
 
 let solve ?(metrics = Archex_obs.Metrics.null) ?on_event
     ?(max_nodes = 1_000_000) ?time_limit m =
@@ -47,19 +53,40 @@ let solve ?(metrics = Archex_obs.Metrics.null) ?on_event
             elapsed = Archex_obs.Clock.now () -. t0;
             data = data () }
   in
+  (* Global best bound: the min LP bound over the open frontier only
+     increases as the search dives, so track the high-water mark and emit
+     a Bound event whenever it moves. *)
+  let best_bound = ref neg_infinity in
+  let emitted_bound = ref neg_infinity in
+  let with_best base =
+    match !best with
+    | Some (c, _) -> ("incumbent", c) :: base
+    | None -> base
+  in
+  let with_bound base =
+    if Float.is_finite !best_bound then ("bound", !best_bound) :: base
+    else base
+  in
+  let emit_bound () =
+    if Float.is_finite !best_bound && !best_bound > !emitted_bound +. 1e-12
+    then begin
+      emitted_bound := !best_bound;
+      emit Archex_obs.Event.Bound (fun () ->
+          with_best
+            [ ("bound", !best_bound); ("nodes", float_of_int !nodes) ])
+    end
+  in
   let heartbeat () =
     emit Archex_obs.Event.Heartbeat (fun () ->
         let base =
           [ ("nodes", float_of_int !nodes);
             ("pivots", float_of_int !pivots) ]
         in
-        match !best with
-        | Some (c, _) -> ("incumbent", c) :: base
-        | None -> base)
+        with_best (with_bound base))
   in
   let unbounded = ref false in
   let limit_hit = ref false in
-  let stack = ref [ { bounds = []; depth = 0 } ] in
+  let stack = ref [ { bounds = []; depth = 0; lb = neg_infinity } ] in
   let obj_tol obj = 1e-9 *. Float.max 1. (Float.abs obj) in
   let worse_than_best obj =
     match !best with
@@ -104,18 +131,21 @@ let solve ?(metrics = Archex_obs.Metrics.null) ?on_event
                     in
                     best := Some (objective, rounded);
                     emit Archex_obs.Event.Incumbent (fun () ->
-                        [ ("incumbent", objective);
-                          ("nodes", float_of_int !nodes) ])
+                        with_bound
+                          [ ("incumbent", objective);
+                            ("nodes", float_of_int !nodes) ])
                   end
               | Some x ->
                   let v = solution.(x) in
                   let lo = Float.of_int (int_of_float (Float.floor v)) in
                   let down =
                     { bounds = (x, neg_infinity, lo) :: node.bounds;
-                      depth = node.depth + 1 }
+                      depth = node.depth + 1;
+                      lb = objective }
                   and up =
                     { bounds = (x, lo +. 1., infinity) :: node.bounds;
-                      depth = node.depth + 1 }
+                      depth = node.depth + 1;
+                      lb = objective }
                   in
                   (* explore the branch nearer the relaxation value first *)
                   if v -. lo <= 0.5 then stack := down :: up :: !stack
@@ -129,8 +159,17 @@ let solve ?(metrics = Archex_obs.Metrics.null) ?on_event
         stack := rest;
         if !nodes >= max_nodes then limit_hit := true
         else begin
-          if on_event <> None && !nodes land 255 = 0 && !nodes > 0 then
-            heartbeat ();
+          if on_event <> None && !nodes land 255 = 0 && !nodes > 0 then begin
+            (* the open frontier is this node plus the stack; its min LP
+               bound is the proven global lower bound right now *)
+            let frontier_bound =
+              List.fold_left (fun acc n -> Float.min acc n.lb) node.lb rest
+            in
+            if frontier_bound > !best_bound then
+              best_bound := frontier_bound;
+            emit_bound ();
+            heartbeat ()
+          end;
           (match time_limit with
           | Some tl when Archex_obs.Clock.now () -. t0 > tl ->
               limit_hit := true
@@ -151,7 +190,11 @@ let solve ?(metrics = Archex_obs.Metrics.null) ?on_event
     else if !limit_hit then Limit_reached { incumbent = !best }
     else
       match !best with
-      | Some (objective, solution) -> Optimal { objective; solution }
+      | Some (objective, solution) ->
+          (* tree exhausted: the incumbent is optimal, the bound closes *)
+          if objective > !best_bound then best_bound := objective;
+          emit_bound ();
+          Optimal { objective; solution }
       | None -> Infeasible
   in
   (outcome, stats)

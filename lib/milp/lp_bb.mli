@@ -23,5 +23,9 @@ val solve :
 
     [metrics] (default disabled) accumulates [bb.nodes] here and
     [lp.pivots] through {!Simplex}.  [on_event] receives a [Heartbeat]
-    every 256 nodes and an [Incumbent] event at every improving integral
-    solution, with source ["lp-bb"]. *)
+    every 256 nodes, an [Incumbent] event at every improving integral
+    solution and a [Bound] event when the proven global lower bound —
+    the minimum LP relaxation bound over the open frontier — improves
+    (it closes onto the incumbent when the tree is exhausted), with
+    source ["lp-bb"].  Heartbeat and incumbent data include the current
+    ["bound"] when one is known. *)

@@ -527,6 +527,36 @@ let search st ~on_event ~max_decisions ~time_limit ~lower_bound =
             elapsed = Archex_obs.Clock.now () -. t0;
             data = data () }
   in
+  (* Best proven objective lower bound: starts at the caller's
+     combinatorial bound and improves with the level-0 cost floor (valid
+     for any solution still able to beat the incumbent, the usual
+     best-bound semantics of branch-and-bound). *)
+  let global_lb = ref lower_bound in
+  let emitted_lb = ref neg_infinity in
+  let with_best base =
+    match st.best with
+    | Some (c, _) -> ("incumbent", c) :: base
+    | None -> base
+  in
+  let with_bound base =
+    if Float.is_finite !global_lb then ("bound", !global_lb) :: base
+    else base
+  in
+  let emit_bound () =
+    if Float.is_finite !global_lb && !global_lb > !emitted_lb +. 1e-12 then begin
+      emitted_lb := !global_lb;
+      emit Archex_obs.Event.Bound (fun () ->
+          with_best
+            [ ("bound", !global_lb);
+              ("conflicts", float_of_int st.n_conflicts) ])
+    end
+  in
+  (* call at decision level 0, where cost_lb is a global fact *)
+  let update_global_lb () =
+    let lb = cost_lb st in
+    if lb > !global_lb then global_lb := lb;
+    emit_bound ()
+  in
   let heartbeat () =
     emit Archex_obs.Event.Heartbeat (fun () ->
         let base =
@@ -536,9 +566,7 @@ let search st ~on_event ~max_decisions ~time_limit ~lower_bound =
             ("learned", float_of_int st.n_learned);
             ("level", float_of_int (decision_level st)) ]
         in
-        match st.best with
-        | Some (c, _) -> ("incumbent", c) :: base
-        | None -> base)
+        with_best (with_bound base))
   in
   let ticks = ref 0 in
   let check_limits () =
@@ -601,7 +629,8 @@ let search st ~on_event ~max_decisions ~time_limit ~lower_bound =
         enqueue_implications st ci
       done;
       propagate_fully ()
-    end
+    end;
+    update_global_lb ()
   in
   (* Cost-bearing variables are decided first (largest coefficient first):
      with cheap-first phases this enumerates architectures by cost shape,
@@ -630,6 +659,7 @@ let search st ~on_event ~max_decisions ~time_limit ~lower_bound =
   in
   try
     propagate_fully ();
+    update_global_lb ();
     while true do
       check_limits ();
       if !conflicts_until_restart <= 0 && decision_level st > 0 then
@@ -638,10 +668,11 @@ let search st ~on_event ~max_decisions ~time_limit ~lower_bound =
       | None ->
           if not (record_incumbent st) then raise Exhausted;
           emit Archex_obs.Event.Incumbent (fun () ->
-              [ ( "incumbent",
-                  match st.best with Some (c, _) -> c | None -> nan );
-                ("decisions", float_of_int st.n_decisions);
-                ("conflicts", float_of_int st.n_conflicts) ]);
+              with_bound
+                [ ( "incumbent",
+                    match st.best with Some (c, _) -> c | None -> nan );
+                  ("decisions", float_of_int st.n_decisions);
+                  ("conflicts", float_of_int st.n_conflicts) ]);
           (* a known objective lower bound proves optimality as soon as the
              incumbent cannot be beaten by the improvement gap *)
           (match st.best with
@@ -659,7 +690,8 @@ let search st ~on_event ~max_decisions ~time_limit ~lower_bound =
               if con.poss < con.bound -. con.tol then raise Exhausted;
               Queue.clear st.pending;
               enqueue_implications st (st.ncons - 1);
-              propagate_fully ()
+              propagate_fully ();
+              update_global_lb ()
           | None -> raise Exhausted)
       | Some x ->
           st.n_decisions <- st.n_decisions + 1;
@@ -671,7 +703,15 @@ let search st ~on_event ~max_decisions ~time_limit ~lower_bound =
     done;
     false
   with
-  | Exhausted -> false
+  | Exhausted ->
+      (* the search space is exhausted: any incumbent is proven optimal,
+         so the lower bound closes onto it *)
+      (match st.best with
+      | Some (c, _) ->
+          if c > !global_lb then global_lb := c;
+          emit_bound ()
+      | None -> ());
+      false
   | Limits -> true
 
 (* ------------------------------------------------------------------ *)

@@ -41,6 +41,11 @@ val solve :
     [metrics] (default disabled) accumulates [pb.decisions],
     [pb.propagations], [pb.conflicts], [pb.restarts] and [pb.learned].
     [on_event] (default none; nothing is allocated without it) receives a
-    [Heartbeat] every few thousand search steps and an [Incumbent] event at
-    every improving solution, with source ["pb"].
+    [Heartbeat] every few thousand search steps, an [Incumbent] event at
+    every improving solution and a [Bound] event whenever the proven
+    objective lower bound improves (the level-0 cost floor; it closes onto
+    the incumbent when optimality is proven), with source ["pb"].
+    Heartbeat and incumbent data include the current ["bound"] when one is
+    known, so a (time, incumbent, bound) timeline can be reconstructed
+    from the stream (see {!Archex_obs.Convergence}).
     @raise Invalid_argument if the model has non-Boolean variables. *)

@@ -1,0 +1,225 @@
+(* Benchmark artifact schema + regression diff.
+
+   An artifact is one JSON object:
+
+     { "schema_version": 1,
+       "experiment": "smoke",
+       "env": { "ocaml_version": ..., "os_type": ..., ... },
+       "cases": [ { "name": "mr_base", "series": { "wall_s": 0.12,
+                                                   "iterations": 2, ... } } ] }
+
+   Series values are plain numbers.  The diff walks the union of
+   (case, series) pairs and classifies each against a relative tolerance:
+   wall-clock series (name ends in "_s" or mentions time/seconds) get
+   their own, looser tolerance than deterministic counters.  Lower is
+   better everywhere except series named "feasible". *)
+
+let schema_version = 1
+
+(* ------------------------------------------------------------------ *)
+(* Artifact construction                                               *)
+
+let default_env () =
+  [ ("ocaml_version", Json.Str Sys.ocaml_version);
+    ("os_type", Json.Str Sys.os_type);
+    ("word_size", Json.Num (float_of_int Sys.word_size));
+    ("hostname",
+     Json.Str (try Unix.gethostname () with Unix.Unix_error _ -> "?")) ]
+
+let artifact ~experiment ?env cases =
+  let env = match env with Some e -> e | None -> default_env () in
+  Json.Obj
+    [ ("schema_version", Json.Num (float_of_int schema_version));
+      ("experiment", Json.Str experiment);
+      ("env", Json.Obj env);
+      ( "cases",
+        Json.Arr
+          (List.map
+             (fun (name, series) ->
+               Json.Obj
+                 [ ("name", Json.Str name);
+                   ( "series",
+                     Json.Obj
+                       (List.map (fun (k, v) -> (k, Json.Num v)) series) ) ])
+             cases) ) ]
+
+let write_file json path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (Json.to_string json);
+      output_char oc '\n')
+
+(* ------------------------------------------------------------------ *)
+(* Parsing                                                             *)
+
+let cases_of_artifact json =
+  match Json.mem "cases" json with
+  | Some (Json.Arr cases) ->
+      let parse_case j =
+        match (Json.mem "name" j, Json.mem "series" j) with
+        | Some (Json.Str name), Some (Json.Obj series) ->
+            Ok
+              ( name,
+                List.filter_map
+                  (fun (k, v) ->
+                    match v with Json.Num x -> Some (k, x) | _ -> None)
+                  series )
+        | _ -> Error "case without \"name\"/\"series\" fields"
+      in
+      List.fold_left
+        (fun acc j ->
+          match (acc, parse_case j) with
+          | Ok cs, Ok c -> Ok (c :: cs)
+          | (Error _ as e), _ | _, (Error _ as e) -> e)
+        (Ok []) cases
+      |> Result.map List.rev
+  | Some _ -> Error "\"cases\" is not an array"
+  | None -> Error "missing \"cases\" field"
+
+(* ------------------------------------------------------------------ *)
+(* Diff                                                                *)
+
+type verdict = Improved | Unchanged | Regressed | Missing | Added
+
+type entry = {
+  case : string;
+  series : string;
+  baseline : float option;
+  current : float option;
+  delta : float option; (* signed relative change, >0 = worse *)
+  tolerance : float;
+  verdict : verdict;
+}
+
+type tolerances = {
+  time_tol : float;
+  count_tol : float;
+  time_floor : float;
+  count_floor : float;
+}
+
+let default_tolerances =
+  { time_tol = 0.5; count_tol = 0.25; time_floor = 0.02; count_floor = 4. }
+
+let is_time_series name =
+  let contains needle =
+    let n = String.length needle and m = String.length name in
+    let rec at i = i + n <= m && (String.sub name i n = needle || at (i + 1)) in
+    at 0
+  in
+  (String.length name > 2 && String.sub name (String.length name - 2) 2 = "_s")
+  || contains "time" || contains "seconds"
+
+(* "feasible" flips direction: losing feasibility is the regression. *)
+let higher_is_better name = name = "feasible"
+
+let classify tol ~case ~series ~baseline ~current =
+  match (baseline, current) with
+  | None, None -> assert false
+  | Some _, None ->
+      { case; series; baseline; current; delta = None; tolerance = 0.;
+        verdict = Missing }
+  | None, Some _ ->
+      { case; series; baseline; current; delta = None; tolerance = 0.;
+        verdict = Added }
+  | Some b, Some c ->
+      let rel_tol, floor =
+        if is_time_series series then (tol.time_tol, tol.time_floor)
+        else (tol.count_tol, tol.count_floor)
+      in
+      (* 0/1 indicators like "feasible" must not be damped by the count
+         floor: a lost feasibility is always a regression *)
+      let floor = if higher_is_better series then 1. else floor in
+      let raw = (c -. b) /. Float.max floor (Float.abs b) in
+      let delta = if higher_is_better series then -.raw else raw in
+      let verdict =
+        if delta > rel_tol then Regressed
+        else if delta < -.rel_tol then Improved
+        else Unchanged
+      in
+      { case; series; baseline; current; delta = Some delta;
+        tolerance = rel_tol; verdict }
+
+let diff ?(tol = default_tolerances) ~baseline ~current () =
+  match (cases_of_artifact baseline, cases_of_artifact current) with
+  | Error e, _ -> Error (Printf.sprintf "baseline: %s" e)
+  | _, Error e -> Error (Printf.sprintf "current: %s" e)
+  | Ok base_cases, Ok cur_cases ->
+      let entries = ref [] in
+      let emit e = entries := e :: !entries in
+      let diff_case name base_series cur_series =
+        List.iter
+          (fun (series, b) ->
+            emit
+              (classify tol ~case:name ~series ~baseline:(Some b)
+                 ~current:(List.assoc_opt series cur_series)))
+          base_series;
+        List.iter
+          (fun (series, c) ->
+            if not (List.mem_assoc series base_series) then
+              emit
+                (classify tol ~case:name ~series ~baseline:None
+                   ~current:(Some c)))
+          cur_series
+      in
+      List.iter
+        (fun (name, base_series) ->
+          match List.assoc_opt name cur_cases with
+          | Some cur_series -> diff_case name base_series cur_series
+          | None ->
+              (* the whole case vanished: every series is missing *)
+              List.iter
+                (fun (series, b) ->
+                  emit
+                    (classify tol ~case:name ~series ~baseline:(Some b)
+                       ~current:None))
+                base_series)
+        base_cases;
+      List.iter
+        (fun (name, cur_series) ->
+          if not (List.mem_assoc name base_cases) then
+            diff_case name [] cur_series)
+        cur_cases;
+      Ok (List.rev !entries)
+
+(* A vanished series or case counts as a regression: the benchmark can no
+   longer vouch for it. *)
+let regression entries =
+  List.exists (fun e -> e.verdict = Regressed || e.verdict = Missing) entries
+
+let verdict_name = function
+  | Improved -> "improved"
+  | Unchanged -> "unchanged"
+  | Regressed -> "REGRESSED"
+  | Missing -> "MISSING"
+  | Added -> "added"
+
+let pp_value ppf = function
+  | Some v -> Format.fprintf ppf "%12.5g" v
+  | None -> Format.fprintf ppf "%12s" "-"
+
+let pp_entries ppf entries =
+  Format.fprintf ppf "%-24s %-20s %12s %12s %9s  %s@." "case" "series"
+    "baseline" "current" "delta" "verdict";
+  List.iter
+    (fun e ->
+      Format.fprintf ppf "%-24s %-20s %a %a " e.case e.series pp_value
+        e.baseline pp_value e.current;
+      (match e.delta with
+      | Some d -> Format.fprintf ppf "%+8.1f%%" (100. *. d)
+      | None -> Format.fprintf ppf "%9s" "-");
+      Format.fprintf ppf "  %s" (verdict_name e.verdict);
+      (match e.verdict with
+      | Regressed ->
+          Format.fprintf ppf " (tolerance %.0f%%)" (100. *. e.tolerance)
+      | _ -> ());
+      Format.pp_print_newline ppf ())
+    entries;
+  let count v = List.length (List.filter (fun e -> e.verdict = v) entries) in
+  Format.fprintf ppf
+    "%d series: %d improved, %d unchanged, %d regressed, %d missing, \
+     %d added@."
+    (List.length entries) (count Improved) (count Unchanged)
+    (count Regressed) (count Missing) (count Added)

@@ -1,0 +1,83 @@
+(** Benchmark artifact schema and regression diff.
+
+    A benchmark artifact is a single JSON object — schema version,
+    experiment name, an environment stamp, and a list of named cases
+    each holding a flat map of numeric series ([wall_s], [iterations],
+    [pb_conflicts], …).  {!diff} compares two artifacts series-by-series
+    under relative tolerances and classifies each as improved /
+    unchanged / regressed, which is what the CI regression gate keys
+    on. *)
+
+val schema_version : int
+
+val default_env : unit -> (string * Json.t) list
+(** OCaml version, OS type, word size, hostname. *)
+
+val artifact :
+  experiment:string ->
+  ?env:(string * Json.t) list ->
+  (string * (string * float) list) list ->
+  Json.t
+(** Build an artifact from [(case_name, series)] rows.  [env] defaults
+    to {!default_env}. *)
+
+val write_file : Json.t -> string -> unit
+(** Write a JSON value, newline-terminated, to a file. *)
+
+val cases_of_artifact :
+  Json.t -> ((string * (string * float) list) list, string) result
+(** Extract the cases of a parsed artifact; non-numeric series entries
+    are ignored. *)
+
+(** {1 Diff} *)
+
+type verdict =
+  | Improved
+  | Unchanged
+  | Regressed  (** worse than baseline beyond the series' tolerance *)
+  | Missing    (** present in baseline, absent from current *)
+  | Added      (** absent from baseline — informational *)
+
+type entry = {
+  case : string;
+  series : string;
+  baseline : float option;
+  current : float option;
+  delta : float option;
+      (** signed relative change; positive = worse.  Relative to
+          [max(floor, |baseline|)], so zero baselines are handled by the
+          kind's absolute floor rather than dividing by zero. *)
+  tolerance : float; (** the relative tolerance this entry was judged at *)
+  verdict : verdict;
+}
+
+type tolerances = {
+  time_tol : float;   (** wall-clock series ([*_s], [*time*], [*seconds*]) *)
+  count_tol : float;  (** everything else (deterministic counters) *)
+  time_floor : float; (** absolute denominator floor for time series *)
+  count_floor : float;
+}
+
+val default_tolerances : tolerances
+(** 50% on times (floor 0.02 s), 25% on counts (floor 4). *)
+
+val is_time_series : string -> bool
+
+val diff :
+  ?tol:tolerances ->
+  baseline:Json.t ->
+  current:Json.t ->
+  unit ->
+  (entry list, string) result
+(** Union of (case, series) pairs, baseline order first.  Strictly
+    beyond tolerance regresses; exactly at tolerance does not.  Series
+    named ["feasible"] are higher-is-better; everything else is
+    lower-is-better. *)
+
+val regression : entry list -> bool
+(** True iff some entry is {!Regressed} or {!Missing} — the CI failure
+    condition. *)
+
+val verdict_name : verdict -> string
+val pp_entries : Format.formatter -> entry list -> unit
+(** Fixed-width table plus a summary line. *)

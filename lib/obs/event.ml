@@ -1,4 +1,4 @@
-type kind = Heartbeat | Incumbent | Iteration
+type kind = Heartbeat | Incumbent | Bound | Iteration
 
 type t = {
   source : string;
@@ -10,7 +10,15 @@ type t = {
 let kind_name = function
   | Heartbeat -> "heartbeat"
   | Incumbent -> "incumbent"
+  | Bound -> "bound"
   | Iteration -> "iteration"
+
+let kind_of_name = function
+  | "heartbeat" -> Some Heartbeat
+  | "incumbent" -> Some Incumbent
+  | "bound" -> Some Bound
+  | "iteration" -> Some Iteration
+  | _ -> None
 
 let to_json ev =
   Json.Obj
@@ -18,6 +26,25 @@ let to_json ev =
       ("kind", Json.Str (kind_name ev.kind));
       ("elapsed", Json.Num ev.elapsed);
       ("data", Json.Obj (List.map (fun (k, v) -> (k, Json.Num v)) ev.data)) ]
+
+let of_json j =
+  match (Json.mem "source" j, Json.mem "kind" j, Json.mem "elapsed" j) with
+  | Some (Json.Str source), Some (Json.Str kind), Some (Json.Num elapsed)
+    -> (
+      match kind_of_name kind with
+      | None -> None
+      | Some kind ->
+          let data =
+            match Json.mem "data" j with
+            | Some (Json.Obj fields) ->
+                List.filter_map
+                  (fun (k, v) ->
+                    match v with Json.Num x -> Some (k, x) | _ -> None)
+                  fields
+            | _ -> []
+          in
+          Some { source; kind; elapsed; data })
+  | _ -> None
 
 let pp ppf ev =
   Format.fprintf ppf "[%s +%.1fs] %s:" ev.source ev.elapsed

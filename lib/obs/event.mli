@@ -9,6 +9,7 @@
 type kind =
   | Heartbeat  (** periodic liveness from inside a search loop *)
   | Incumbent  (** a new best feasible solution was found *)
+  | Bound      (** the proven objective lower bound improved *)
   | Iteration  (** an outer-loop iteration (ILP-MR / ILP-AR) completed *)
 
 type t = {
@@ -20,7 +21,16 @@ type t = {
 }
 
 val kind_name : kind -> string
+
+val kind_of_name : string -> kind option
+(** Inverse of {!kind_name}; [None] on unknown names. *)
+
 val to_json : t -> Json.t
+
+val of_json : Json.t -> t option
+(** Inverse of {!to_json} — used to recover events recorded in a trace.
+    Non-numeric [data] entries are dropped; unknown kinds yield [None]. *)
+
 val pp : Format.formatter -> t -> unit
 (** One-line human rendering, e.g.
     [\[pb +12.3s\] heartbeat: decisions=15360 conflicts=210]. *)

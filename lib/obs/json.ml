@@ -233,7 +233,7 @@ let of_string s =
   | v -> Ok v
   | exception Parse_error msg -> Error msg
 
-let parse_lines s =
+let parse_lines_numbered s =
   let lines = String.split_on_char '\n' s in
   let rec go i acc = function
     | [] -> Ok (List.rev acc)
@@ -241,11 +241,14 @@ let parse_lines s =
         if String.trim line = "" then go (i + 1) acc rest
         else begin
           match of_string line with
-          | Ok v -> go (i + 1) (v :: acc) rest
+          | Ok v -> go (i + 1) ((i, v) :: acc) rest
           | Error msg -> Error (Printf.sprintf "line %d: %s" i msg)
         end
   in
   go 1 [] lines
+
+let parse_lines s =
+  Result.map (List.map snd) (parse_lines_numbered s)
 
 let mem key = function
   | Obj fields -> List.assoc_opt key fields

@@ -25,6 +25,11 @@ val of_string : string -> (t, string) result
 val parse_lines : string -> (t list, string) result
 (** Parse NDJSON: one value per non-blank line. *)
 
+val parse_lines_numbered : string -> ((int * t) list, string) result
+(** Like {!parse_lines} but pairs every value with its 1-based source
+    line number (blank lines are skipped but still counted) — for
+    diagnostics that point back into the file. *)
+
 val mem : string -> t -> t option
 (** Object member lookup; [None] on non-objects / absent keys. *)
 

@@ -116,6 +116,34 @@ let bucket_counts h =
   done;
   !acc
 
+(* Quantile estimate from the log₂ buckets: find the bucket holding the
+   rank-q observation and interpolate linearly inside it, clamping to the
+   observed min/max so tiny samples do not report a whole bucket width. *)
+let quantile h q =
+  if h.n = 0 || Array.length h.buckets = 0 then None
+  else begin
+    let q = Float.max 0. (Float.min 1. q) in
+    let rank = q *. float_of_int h.n in
+    let rec find i cum =
+      if i >= Array.length h.buckets then None
+      else begin
+        let c = h.buckets.(i) in
+        let cum' = cum +. float_of_int c in
+        if c > 0 && cum' >= rank then begin
+          let lo = if i = 0 then 0. else bucket_bound (i - 1) in
+          let hi = bucket_bound i in
+          let frac =
+            if c = 0 then 1. else (rank -. cum) /. float_of_int c
+          in
+          let v = lo +. (Float.max 0. (Float.min 1. frac) *. (hi -. lo)) in
+          Some (Float.max h.vmin (Float.min h.vmax v))
+        end
+        else find (i + 1) cum'
+      end
+    in
+    find 0 0.
+  end
+
 let value t name =
   match t with
   | None -> None
@@ -129,11 +157,17 @@ let item_json = function
   | Counter c -> Json.Num c.count
   | Gauge g -> Json.Num g.value
   | Histogram h ->
+      let quantile_json q =
+        match quantile h q with None -> Json.Null | Some v -> Json.Num v
+      in
       Json.Obj
         [ ("count", Json.Num (float_of_int h.n));
           ("sum", Json.Num h.sum);
           ("min", if h.n = 0 then Json.Null else Json.Num h.vmin);
           ("max", if h.n = 0 then Json.Null else Json.Num h.vmax);
+          ("p50", quantile_json 0.5);
+          ("p90", quantile_json 0.9);
+          ("p99", quantile_json 0.99);
           ( "buckets",
             Json.Arr
               (List.map

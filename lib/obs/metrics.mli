@@ -49,14 +49,24 @@ val bucket_bound : int -> float
 val bucket_counts : histogram -> (float * int) list
 (** Non-empty buckets as [(upper_bound, count)], ascending. *)
 
+val quantile : histogram -> float -> float option
+(** Quantile estimate (e.g. [quantile h 0.99] for p99) interpolated
+    linearly inside the log₂ bucket holding the requested rank and clamped
+    to the observed min/max.  The estimate is exact only up to the bucket
+    resolution (a factor of 2); [None] when the histogram is empty. *)
+
 val value : t -> string -> float option
-(** Current value of a counter or gauge by name ([None] if absent, a
-    histogram, or the registry is {!null}). *)
+(** Current value of a counter or gauge by name.  Returns [None] if the
+    name is absent or the registry is {!null} — and also when the name is
+    registered as a {e histogram}: a histogram has no single current value
+    (it is a distribution), so read it through {!histogram_count},
+    {!histogram_sum}, {!quantile} or {!bucket_counts} instead. *)
 
 val to_json : t -> Json.t
 (** Snapshot: an object keyed by metric name, sorted.  Counters and gauges
-    are numbers; histograms are objects with [count], [sum], [min], [max]
-    and the non-empty [buckets]. *)
+    are numbers; histograms are objects with [count], [sum], [min], [max],
+    bucket-interpolated [p50]/[p90]/[p99] quantile estimates (see
+    {!quantile}) and the non-empty [buckets]. *)
 
 val write_file : t -> string -> unit
 (** Write {!to_json} (newline-terminated) to a file. *)

@@ -1,0 +1,129 @@
+(* Span-stream profiling: fold a reconstructed span forest into a
+   per-span-name aggregate (count, total vs self time, extrema) and into
+   collapsed "folded stack" lines for flamegraph tooling.
+
+   Total time of a node is its recorded duration; self time is the
+   duration minus the durations of its direct children.  Nodes without a
+   duration (instants, truncated spans) contribute a count but no time —
+   their children still contribute normally, so a truncated root does not
+   erase the profile of the work it did complete. *)
+
+type row = {
+  name : string;
+  count : int;
+  total : float;
+  self_ : float;
+  min_total : float;
+  max_total : float;
+}
+
+type t = {
+  rows : row list;
+  root_total : float;
+  span_count : int;
+}
+
+let node_dur (n : Trace.tree) = Option.value n.Trace.dur ~default:0.
+
+let self_time (n : Trace.tree) =
+  match n.Trace.dur with
+  | None -> 0.
+  | Some d ->
+      let children =
+        List.fold_left (fun acc c -> acc +. node_dur c) 0. n.Trace.children
+      in
+      (* clock granularity can make children sum past the parent *)
+      Float.max 0. (d -. children)
+
+let of_tree forest =
+  let tbl : (string, row) Hashtbl.t = Hashtbl.create 32 in
+  let span_count = ref 0 in
+  let rec visit (n : Trace.tree) =
+    incr span_count;
+    let dur = node_dur n in
+    let self_ = self_time n in
+    let row =
+      match Hashtbl.find_opt tbl n.Trace.name with
+      | None ->
+          { name = n.Trace.name;
+            count = 1;
+            total = dur;
+            self_;
+            min_total = dur;
+            max_total = dur }
+      | Some r ->
+          { r with
+            count = r.count + 1;
+            total = r.total +. dur;
+            self_ = r.self_ +. self_;
+            min_total = Float.min r.min_total dur;
+            max_total = Float.max r.max_total dur }
+    in
+    Hashtbl.replace tbl n.Trace.name row;
+    List.iter visit n.Trace.children
+  in
+  List.iter visit forest;
+  let root_total = List.fold_left (fun acc r -> acc +. node_dur r) 0. forest in
+  let rows =
+    Hashtbl.fold (fun _ r acc -> r :: acc) tbl []
+    |> List.sort (fun a b ->
+           match Float.compare b.self_ a.self_ with
+           | 0 -> String.compare a.name b.name
+           | c -> c)
+  in
+  { rows; root_total; span_count = !span_count }
+
+let of_events events = of_tree (Trace.tree_of_events events)
+
+let mean r = if r.count = 0 then 0. else r.total /. float_of_int r.count
+
+let share t r = if t.root_total <= 0. then 0. else r.self_ /. t.root_total
+
+let pp ppf t =
+  Format.fprintf ppf
+    "%-24s %8s %10s %10s %10s %10s %10s %7s@." "span" "count" "total(s)"
+    "self(s)" "min(s)" "max(s)" "mean(s)" "self%";
+  List.iter
+    (fun r ->
+      Format.fprintf ppf
+        "%-24s %8d %10.4f %10.4f %10.4f %10.4f %10.4f %6.1f%%@." r.name
+        r.count r.total r.self_ r.min_total r.max_total (mean r)
+        (100. *. share t r))
+    t.rows;
+  Format.fprintf ppf "%d spans, root total %.4fs@." t.span_count
+    t.root_total
+
+(* ------------------------------------------------------------------ *)
+(* Folded stacks                                                       *)
+
+(* One line per distinct call stack: "root;child;leaf <self-µs>" — the
+   collapsed format consumed by inferno / flamegraph.pl and importable by
+   speedscope.  Sibling occurrences of the same stack merge; zero-weight
+   stacks are dropped. *)
+let folded_stacks forest =
+  let tbl : (string, float) Hashtbl.t = Hashtbl.create 64 in
+  let order = ref [] in
+  let add stack v =
+    match Hashtbl.find_opt tbl stack with
+    | None ->
+        Hashtbl.add tbl stack v;
+        order := stack :: !order
+    | Some prev -> Hashtbl.replace tbl stack (prev +. v)
+  in
+  let rec visit prefix (n : Trace.tree) =
+    let stack =
+      if prefix = "" then n.Trace.name else prefix ^ ";" ^ n.Trace.name
+    in
+    add stack (self_time n);
+    List.iter (visit stack) n.Trace.children
+  in
+  List.iter (visit "") forest;
+  List.rev_map (fun stack -> (stack, Hashtbl.find tbl stack)) !order
+  |> List.filter (fun (_, v) -> v > 0.)
+
+let pp_folded ppf forest =
+  List.iter
+    (fun (stack, seconds) ->
+      let us = int_of_float (Float.round (seconds *. 1e6)) in
+      if us > 0 then Format.fprintf ppf "%s %d@." stack us)
+    (folded_stacks forest)

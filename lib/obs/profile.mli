@@ -1,0 +1,48 @@
+(** Span-stream profiling.
+
+    Aggregates a span forest (as reconstructed by
+    {!Trace.tree_of_events}) into a per-span-name profile — how many
+    times each span ran, how much wall time it covered in total and how
+    much was spent in the span itself rather than in its children — and
+    renders collapsed "folded stack" lines consumable by standard
+    flamegraph tooling (inferno / flamegraph.pl; importable by
+    speedscope). *)
+
+type row = {
+  name : string;
+  count : int;       (** occurrences of this span name *)
+  total : float;     (** summed durations, seconds *)
+  self_ : float;     (** total minus direct children's durations *)
+  min_total : float; (** fastest single occurrence *)
+  max_total : float; (** slowest single occurrence *)
+}
+
+type t = {
+  rows : row list;   (** sorted by self time, descending *)
+  root_total : float;
+      (** summed duration of the root spans — the traced wall time *)
+  span_count : int;
+}
+
+val of_tree : Trace.tree list -> t
+(** Nodes without a duration (instants, truncated spans) count as
+    occurrences but contribute zero time; their children still
+    contribute. *)
+
+val of_events : Json.t list -> t
+(** [of_tree] composed with {!Trace.tree_of_events}. *)
+
+val mean : row -> float
+val share : t -> row -> float
+(** Fraction of {!field-root_total} spent as this row's self time. *)
+
+val pp : Format.formatter -> t -> unit
+(** Fixed-width table, one row per span name, plus a summary line. *)
+
+val folded_stacks : Trace.tree list -> (string * float) list
+(** Distinct call stacks as ["root;child;leaf"] with their summed self
+    time in seconds, in first-seen order; zero-weight stacks dropped. *)
+
+val pp_folded : Format.formatter -> Trace.tree list -> unit
+(** Folded-stack lines ["stack;path 1234"] with integer microsecond
+    weights (sub-microsecond stacks are dropped). *)

@@ -1,0 +1,135 @@
+(* Markdown run report: one self-contained document combining the span
+   profile, the solver convergence timeline, the outer-loop iteration
+   history and an optional metrics snapshot — everything a reader needs
+   to judge one traced run without replaying it. *)
+
+let bpf = Printf.bprintf
+
+let fnum v =
+  (* trim the noise: counters print as integers, times keep 4 digits *)
+  if Float.is_integer v && Float.abs v < 1e15 then
+    Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.4g" v
+
+let opt_num = function None -> "-" | Some v -> fnum v
+
+let section buf title = bpf buf "\n## %s\n\n" title
+
+let summary buf (profile : Profile.t) forest =
+  bpf buf "# ARCHEX run report\n\n";
+  bpf buf "- spans: %d (%d distinct names)\n" profile.Profile.span_count
+    (List.length profile.Profile.rows);
+  bpf buf "- traced wall time: %.4f s\n" profile.Profile.root_total;
+  List.iter
+    (fun (root : Trace.tree) ->
+      bpf buf "- root span `%s`: %s\n" root.Trace.name
+        (match root.Trace.dur with
+        | Some d -> Printf.sprintf "%.4f s" d
+        | None -> "unfinished (truncated trace)"))
+    forest
+
+let profile_section buf (profile : Profile.t) =
+  section buf "Profile";
+  if profile.Profile.rows = [] then bpf buf "no spans in trace.\n"
+  else begin
+    bpf buf
+      "| span | count | total (s) | self (s) | min (s) | max (s) | mean \
+       (s) | self %% |\n";
+    bpf buf "|---|---:|---:|---:|---:|---:|---:|---:|\n";
+    List.iter
+      (fun (r : Profile.row) ->
+        bpf buf "| `%s` | %d | %.4f | %.4f | %.4f | %.4f | %.4f | %.1f |\n"
+          r.Profile.name r.Profile.count r.Profile.total r.Profile.self_
+          r.Profile.min_total r.Profile.max_total (Profile.mean r)
+          (100. *. Profile.share profile r))
+      profile.Profile.rows
+  end
+
+let convergence_section buf (conv : Convergence.t) =
+  section buf "Convergence";
+  if conv.Convergence.segments = [] then
+    bpf buf
+      "no progress events in trace (run with `--progress` or `--trace` \
+       to record them).\n"
+  else
+    List.iter
+      (fun (seg : Convergence.segment) ->
+        bpf buf "### Solve #%d (`%s`)\n\n" seg.Convergence.index
+          seg.Convergence.source;
+        bpf buf "| t (s) | kind | incumbent | bound | gap %% |\n";
+        bpf buf "|---:|---|---:|---:|---:|\n";
+        List.iter
+          (fun (p : Convergence.point) ->
+            bpf buf "| %.4f | %s | %s | %s | %s |\n" p.Convergence.t
+              (Event.kind_name p.Convergence.kind)
+              (opt_num p.Convergence.incumbent)
+              (opt_num p.Convergence.bound)
+              (match Convergence.point_gap p with
+              | Some g -> Printf.sprintf "%.3f" (100. *. g)
+              | None -> "-"))
+          seg.Convergence.points;
+        (match Convergence.final_gap seg with
+        | Some g -> bpf buf "\nfinal gap: %.3f%%\n" (100. *. g)
+        | None -> ());
+        bpf buf "\n")
+      conv.Convergence.segments
+
+let iterations_section buf (conv : Convergence.t) =
+  if conv.Convergence.iterations <> [] then begin
+    section buf "Outer-loop iterations";
+    bpf buf
+      "| t (s) | source | iteration | cost | reliability | new \
+       constraints | solver (s) | analysis (s) | nodes | conflicts |\n";
+    bpf buf "|---:|---|---:|---:|---:|---:|---:|---:|---:|---:|\n";
+    List.iter
+      (fun (t, (ev : Event.t)) ->
+        let d key = List.assoc_opt key ev.Event.data in
+        let cell key = opt_num (d key) in
+        bpf buf "| %.4f | %s | %s | %s | %s | %s | %s | %s | %s | %s |\n" t
+          ev.Event.source (cell "iteration") (cell "cost")
+          (match d "reliability" with
+          | Some r -> Printf.sprintf "%.3e" r
+          | None -> "-")
+          (cell "new_constraints") (cell "solver_time")
+          (cell "analysis_time") (cell "nodes") (cell "conflicts"))
+      conv.Convergence.iterations
+  end
+
+let metrics_section buf metrics =
+  match metrics with
+  | None -> ()
+  | Some (Json.Obj fields) ->
+      section buf "Metrics";
+      if fields = [] then bpf buf "empty snapshot.\n"
+      else begin
+        bpf buf "| metric | value |\n|---|---:|\n";
+        List.iter
+          (fun (name, v) ->
+            match v with
+            | Json.Num x -> bpf buf "| `%s` | %s |\n" name (fnum x)
+            | Json.Obj _ ->
+                (* histogram: count / sum / quantile estimates *)
+                let f key =
+                  opt_num (Option.bind (Json.mem key v) Json.to_float)
+                in
+                bpf buf
+                  "| `%s` | count %s, sum %s, p50 %s, p90 %s, p99 %s |\n"
+                  name (f "count") (f "sum") (f "p50") (f "p90") (f "p99")
+            | _ -> bpf buf "| `%s` | %s |\n" name (Json.to_string v))
+          fields
+      end
+  | Some j ->
+      section buf "Metrics";
+      bpf buf "unexpected metrics snapshot shape: `%s`\n" (Json.to_string j)
+
+let markdown ?metrics events =
+  let buf = Buffer.create 4096 in
+  let forest = Trace.tree_of_events events in
+  let profile = Profile.of_tree forest in
+  let conv = Convergence.of_events events in
+  summary buf profile forest;
+  profile_section buf profile;
+  convergence_section buf conv;
+  iterations_section buf conv;
+  metrics_section buf metrics;
+  Buffer.contents buf

@@ -1,0 +1,12 @@
+(** Markdown run reports.
+
+    Renders one traced run — the NDJSON record list written by
+    [--trace], plus an optional metrics snapshot — as a self-contained
+    markdown document: run summary, per-span profile ({!Profile}),
+    solver convergence timelines ({!Convergence}), the outer-loop
+    iteration history, and the metrics snapshot with histogram quantile
+    estimates. *)
+
+val markdown : ?metrics:Json.t -> Json.t list -> string
+(** [markdown ?metrics events] builds the report.  [metrics] is the
+    parsed snapshot written by [--metrics] / {!Metrics.write_file}. *)

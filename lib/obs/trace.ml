@@ -69,7 +69,11 @@ type tree = {
 }
 
 (* Fold the flat event stream back into a forest with an explicit stack of
-   open spans; an "end" closes the innermost one. *)
+   open spans.  An "end" closes the frame it belongs to — matched by span
+   id when both sides carry one, by name otherwise.  Open frames skipped
+   over by a matching end (their own end line was lost — a truncated
+   trace) close without a duration, like the trailing unpaired begins at
+   end-of-stream; an end with no matching open frame is dropped. *)
 let tree_of_events events =
   let attrs_of j =
     match Json.mem "attrs" j with Some (Json.Obj a) -> a | _ -> []
@@ -77,46 +81,120 @@ let tree_of_events events =
   let name_of j =
     match Json.mem "name" j with Some (Json.Str s) -> s | _ -> "?"
   in
-  (* stack frames: (name, attrs, reversed children) *)
-  let close (name, attrs, children) dur =
+  let id_of j = Option.bind (Json.mem "id" j) Json.to_float in
+  (* stack frames: (id, name, attrs, reversed children) *)
+  let close (_, name, attrs, children) dur =
     { name; dur; attrs; children = List.rev children }
   in
   let push_child child = function
     | [] -> assert false
-    | (name, attrs, children) :: rest ->
-        (name, attrs, child :: children) :: rest
+    | (id, name, attrs, children) :: rest ->
+        (id, name, attrs, child :: children) :: rest
+  in
+  (* nest a finished node into its parent frame, or emit it as a root *)
+  let finish (roots, stack) node =
+    if stack = [] then (node :: roots, [])
+    else (roots, push_child node stack)
+  in
+  let frame_matches j (fid, fname, _, _) =
+    match (id_of j, fid) with
+    | Some i, Some fi -> i = fi
+    | _ -> name_of j = fname
   in
   let step (roots, stack) j =
     match Json.mem "ev" j with
     | Some (Json.Str "begin") ->
-        (roots, (name_of j, attrs_of j, []) :: stack)
-    | Some (Json.Str "end") -> (
-        let dur = Option.bind (Json.mem "dur" j) Json.to_float in
-        match stack with
-        | [] -> (roots, []) (* end without begin: truncated head, skip *)
-        | frame :: rest ->
-            let node = close frame dur in
-            if rest = [] then (node :: roots, [])
-            else (roots, push_child node rest))
+        (roots, (id_of j, name_of j, attrs_of j, []) :: stack)
+    | Some (Json.Str "end") ->
+        if not (List.exists (frame_matches j) stack) then
+          (roots, stack) (* end without begin: truncated head, skip *)
+        else begin
+          let dur = Option.bind (Json.mem "dur" j) Json.to_float in
+          (* close unmatched inner frames (lost end lines) without a
+             duration, then the matching frame with the reported one *)
+          let rec unwind (roots, stack) =
+            match stack with
+            | [] -> assert false
+            | frame :: rest ->
+                let acc = (roots, rest) in
+                if frame_matches j frame then finish acc (close frame dur)
+                else unwind (finish acc (close frame None))
+          in
+          unwind (roots, stack)
+        end
     | Some (Json.Str "event") ->
         let leaf =
           { name = name_of j; dur = None; attrs = attrs_of j; children = [] }
         in
-        if stack = [] then (leaf :: roots, [])
-        else (roots, push_child leaf stack)
+        finish (roots, stack) leaf
     | _ -> (roots, stack)
   in
   let roots, stack = List.fold_left step ([], []) events in
-  (* unpaired begins (truncated trace): close innermost-first without a
+  (* unpaired begins (truncated tail): close innermost-first without a
      duration, nesting each into its enclosing frame *)
-  let rec drain roots = function
+  let rec drain (roots, stack) =
+    match stack with
     | [] -> roots
-    | frame :: rest ->
-        let node = close frame None in
-        if rest = [] then node :: roots
-        else drain roots (push_child node rest)
+    | frame :: rest -> drain (finish (roots, rest) (close frame None))
   in
-  List.rev (drain roots stack)
+  List.rev (drain (roots, stack))
+
+(* ------------------------------------------------------------------ *)
+(* Validation                                                          *)
+
+(* Structural checks over a numbered event stream (the number is the
+   source line, for error messages): every record is a well-formed
+   begin/end/event, timestamps never go backwards, the recorded [depth]
+   matches the begin/end nesting, and every end closes an open span. *)
+let validate events =
+  let errors = ref [] in
+  let error line fmt =
+    Printf.ksprintf (fun msg -> errors := (line, msg) :: !errors) fmt
+  in
+  let last_ts = ref neg_infinity in
+  let depth = ref 0 in
+  let check (line, j) =
+    (match Json.mem "ts" j with
+    | Some (Json.Num ts) ->
+        if ts < !last_ts then
+          error line
+            "timestamp goes backwards (ts %g after %g)" ts !last_ts
+        else last_ts := ts
+    | Some _ -> error line "\"ts\" is not a number"
+    | None -> error line "missing \"ts\" field");
+    let check_depth expected =
+      match Json.mem "depth" j with
+      | Some (Json.Num d) ->
+          if d <> float_of_int expected then
+            error line
+              "depth %g inconsistent with begin/end nesting (expected %d)"
+              d expected
+      | Some _ -> error line "\"depth\" is not a number"
+      | None -> error line "missing \"depth\" field"
+    in
+    match Json.mem "ev" j with
+    | Some (Json.Str "begin") ->
+        check_depth !depth;
+        incr depth
+    | Some (Json.Str "end") ->
+        if !depth = 0 then error line "end event without a matching begin"
+        else begin
+          decr depth;
+          check_depth !depth
+        end
+    | Some (Json.Str "event") -> check_depth !depth
+    | Some (Json.Str ev) -> error line "unknown event kind %S" ev
+    | Some _ -> error line "\"ev\" is not a string"
+    | None -> error line "missing \"ev\" field"
+  in
+  List.iter check events;
+  let tail_errors =
+    if !depth > 0 then
+      [ ( (match List.rev events with (l, _) :: _ -> l | [] -> 0),
+          Printf.sprintf "%d span(s) still open at end of trace" !depth ) ]
+    else []
+  in
+  List.rev_append !errors tail_errors
 
 let rec pp_node ppf indent node =
   Format.fprintf ppf "%s%s" (String.make (2 * indent) ' ') node.name;

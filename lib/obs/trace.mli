@@ -44,8 +44,19 @@ type tree = {
 }
 
 val tree_of_events : Json.t list -> tree list
-(** Rebuild the forest from begin/end/event records; unpaired begins (e.g.
-    a truncated trace) close at their last seen child. *)
+(** Rebuild the forest from begin/end/event records.  End events are
+    matched to their begin by span id (by name when either side has no
+    id), so a truncated trace degrades gracefully: a span whose end line
+    was lost — trailing or interior — becomes a node with [dur = None]
+    (instant-like) holding the children seen so far, and an end without a
+    matching begin is dropped. *)
+
+val validate : (int * Json.t) list -> (int * string) list
+(** Structural validation of a numbered event stream (the [int] is the
+    source line number, echoed in the errors): well-formed
+    begin/end/event records, non-decreasing timestamps, [depth] fields
+    consistent with the begin/end nesting, no end without a begin, and no
+    span left open at end of stream.  Empty result = valid. *)
 
 val pp_tree : Format.formatter -> tree list -> unit
 (** Indented rendering, one node per line:

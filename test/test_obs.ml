@@ -119,6 +119,132 @@ let test_span_nesting_roundtrip () =
       checkb "instant has no duration" true (tick.Trace.dur = None)
   | forest -> Alcotest.failf "expected 1 root, got %d" (List.length forest)
 
+(* Hand-built raw trace records, for truncation and validation tests. *)
+let ev_begin ?id ~ts ~depth name =
+  Json.Obj
+    ([ ("ts", Json.Num ts); ("ev", Json.Str "begin");
+       ("name", Json.Str name) ]
+    @ (match id with Some i -> [ ("id", Json.Num i) ] | None -> [])
+    @ [ ("depth", Json.Num depth); ("attrs", Json.Obj []) ])
+
+let ev_end ?id ~ts ~depth ~dur name =
+  Json.Obj
+    ([ ("ts", Json.Num ts); ("ev", Json.Str "end");
+       ("name", Json.Str name) ]
+    @ (match id with Some i -> [ ("id", Json.Num i) ] | None -> [])
+    @ [ ("depth", Json.Num depth); ("dur", Json.Num dur) ])
+
+let test_truncated_tail () =
+  (* the trace stops mid-flight: both spans are still open *)
+  let events =
+    [ ev_begin ~id:0. ~ts:1. ~depth:0. "outer";
+      ev_begin ~id:1. ~ts:2. ~depth:1. "inner" ]
+  in
+  match Trace.tree_of_events events with
+  | [ root ] ->
+      check_str "root name" "outer" root.Trace.name;
+      checkb "unfinished root has no duration" true (root.Trace.dur = None);
+      (match root.Trace.children with
+      | [ child ] ->
+          check_str "child name" "inner" child.Trace.name;
+          checkb "unfinished child has no duration" true
+            (child.Trace.dur = None)
+      | cs -> Alcotest.failf "expected 1 child, got %d" (List.length cs))
+  | forest -> Alcotest.failf "expected 1 root, got %d" (List.length forest)
+
+let test_lost_inner_end () =
+  (* inner's end line was lost; outer's end must still close outer (matched
+     by id), not steal inner's frame and report a bogus duration *)
+  let events =
+    [ ev_begin ~id:0. ~ts:1. ~depth:0. "outer";
+      ev_begin ~id:1. ~ts:2. ~depth:1. "inner";
+      ev_end ~id:0. ~ts:5. ~depth:0. ~dur:4. "outer" ]
+  in
+  (match Trace.tree_of_events events with
+  | [ root ] ->
+      check_str "root name" "outer" root.Trace.name;
+      checkb "outer keeps its reported duration" true
+        (root.Trace.dur = Some 4.);
+      (match root.Trace.children with
+      | [ child ] ->
+          check_str "child name" "inner" child.Trace.name;
+          checkb "lost-end child degrades to no duration" true
+            (child.Trace.dur = None)
+      | cs -> Alcotest.failf "expected 1 child, got %d" (List.length cs))
+  | forest -> Alcotest.failf "expected 1 root, got %d" (List.length forest));
+  (* an end whose begin predates the capture window is dropped *)
+  let headless =
+    [ ev_end ~id:9. ~ts:1. ~depth:0. ~dur:1. "ghost";
+      ev_begin ~id:0. ~ts:2. ~depth:0. "real";
+      ev_end ~id:0. ~ts:3. ~depth:0. ~dur:1. "real" ]
+  in
+  match Trace.tree_of_events headless with
+  | [ root ] -> check_str "ghost end dropped" "real" root.Trace.name
+  | forest -> Alcotest.failf "expected 1 root, got %d" (List.length forest)
+
+let test_validate_clean_stream () =
+  let t, events = Trace.memory () in
+  Trace.with_span t "outer" (fun () ->
+      Trace.with_span t "inner" (fun () -> ());
+      Trace.instant t "tick");
+  let numbered = List.mapi (fun i j -> (i + 1, j)) (events ()) in
+  checkb "live stream validates clean" true (Trace.validate numbered = [])
+
+let test_validate_errors () =
+  let find line errors =
+    List.filter_map (fun (l, m) -> if l = line then Some m else None) errors
+  in
+  let contains sub s =
+    let n = String.length s and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+    go 0
+  in
+  (* backwards timestamp *)
+  let errs =
+    Trace.validate
+      [ (1, ev_begin ~id:0. ~ts:5. ~depth:0. "a");
+        (2, ev_end ~id:0. ~ts:4. ~depth:0. ~dur:1. "a") ]
+  in
+  checkb "backwards ts flagged on line 2" true
+    (List.exists (contains "backwards") (find 2 errs));
+  (* depth inconsistent with nesting *)
+  let errs =
+    Trace.validate
+      [ (1, ev_begin ~id:0. ~ts:1. ~depth:0. "a");
+        (2, ev_begin ~id:1. ~ts:2. ~depth:3. "b");
+        (3, ev_end ~id:1. ~ts:3. ~depth:1. ~dur:1. "b");
+        (4, ev_end ~id:0. ~ts:4. ~depth:0. ~dur:3. "a") ]
+  in
+  checkb "bad depth flagged on line 2" true
+    (List.exists (contains "depth") (find 2 errs));
+  checkb "good lines stay clean" true (find 3 errs = [] && find 4 errs = []);
+  (* end without begin *)
+  let errs =
+    Trace.validate [ (1, ev_end ~id:0. ~ts:1. ~depth:0. ~dur:1. "a") ]
+  in
+  checkb "stray end flagged" true
+    (List.exists (contains "without a matching begin") (find 1 errs));
+  (* span left open at end of stream *)
+  let errs = Trace.validate [ (7, ev_begin ~id:0. ~ts:1. ~depth:0. "a") ] in
+  checkb "open span at EOF flagged" true
+    (List.exists (contains "still open") (find 7 errs));
+  (* unknown event kind *)
+  let errs =
+    Trace.validate
+      [ (1, Json.Obj [ ("ts", Json.Num 1.); ("ev", Json.Str "wat") ]) ]
+  in
+  checkb "unknown kind flagged" true
+    (List.exists (contains "unknown event kind") (find 1 errs))
+
+let test_parse_lines_numbered () =
+  match Json.parse_lines_numbered "{\"a\":1}\n\n{\"b\":2}\n" with
+  | Ok [ (1, _); (3, b) ] ->
+      checkb "blank lines counted but skipped" true
+        (Json.equal b (Json.Obj [ ("b", Json.Num 2.) ]))
+  | Ok l -> Alcotest.failf "expected lines 1 and 3, got %d entries"
+              (List.length l)
+  | Error e -> Alcotest.fail e
+
 let test_span_end_on_raise () =
   let t, events = Trace.memory () in
   (try
@@ -176,6 +302,39 @@ let test_histogram_bucketing () =
   Metrics.observe h 1e300;
   check_int "clamped count" 5 (Metrics.histogram_count h);
   checkf "bucket_bound is a power of two" 2. (Metrics.bucket_bound 41)
+
+let test_histogram_quantiles () =
+  let m = Metrics.create () in
+  let h = Metrics.histogram m "q" in
+  checkb "empty histogram has no quantiles" true
+    (Metrics.quantile h 0.5 = None);
+  (* three observations in (0.5,1], one in (2,4] *)
+  Metrics.observe h 1.0;
+  Metrics.observe h 1.0;
+  Metrics.observe h 1.0;
+  Metrics.observe h 4.0;
+  (* rank 2 of 4 lands in the first bucket; interpolation would say
+     0.83 but the estimate clamps to the observed minimum *)
+  (match Metrics.quantile h 0.5 with
+  | Some v -> checkf "p50 clamps to observed min" 1.0 v
+  | None -> Alcotest.fail "p50 missing");
+  (* rank 3.96 lands in the (2,4] bucket: 2 + 0.96·2 = 3.92 *)
+  (match Metrics.quantile h 0.99 with
+  | Some v -> checkf "p99 interpolates inside its bucket" 3.92 v
+  | None -> Alcotest.fail "p99 missing");
+  (match Metrics.quantile h 1.5 with
+  | Some v -> checkf "q clamps to [0,1]" 4.0 v
+  | None -> Alcotest.fail "q=1.5 missing");
+  (* snapshot carries the estimates *)
+  match Metrics.to_json m with
+  | Json.Obj [ ("q", Json.Obj fields) ] ->
+      checkb "p50 in snapshot" true
+        (List.assoc_opt "p50" fields = Some (Json.Num 1.0));
+      checkb "p99 in snapshot" true
+        (match List.assoc_opt "p99" fields with
+        | Some (Json.Num v) -> Float.abs (v -. 3.92) < 1e-9
+        | _ -> false)
+  | j -> Alcotest.failf "unexpected snapshot %s" (Json.to_string j)
 
 let test_null_metrics () =
   let m = Metrics.null in
@@ -266,7 +425,9 @@ let () =
     [ ( "json",
         [ Alcotest.test_case "round-trip" `Quick test_json_roundtrip;
           Alcotest.test_case "errors rejected" `Quick test_json_errors;
-          Alcotest.test_case "ndjson lines" `Quick test_ndjson ] );
+          Alcotest.test_case "ndjson lines" `Quick test_ndjson;
+          Alcotest.test_case "numbered ndjson lines" `Quick
+            test_parse_lines_numbered ] );
       ( "clock",
         [ Alcotest.test_case "monotone" `Quick test_clock_monotone ] );
       ( "trace",
@@ -275,12 +436,21 @@ let () =
           Alcotest.test_case "end emitted on raise" `Quick
             test_span_end_on_raise;
           Alcotest.test_case "null transparent" `Quick
-            test_null_trace_is_transparent ] );
+            test_null_trace_is_transparent;
+          Alcotest.test_case "truncated tail degrades" `Quick
+            test_truncated_tail;
+          Alcotest.test_case "lost inner end" `Quick test_lost_inner_end;
+          Alcotest.test_case "validate clean stream" `Quick
+            test_validate_clean_stream;
+          Alcotest.test_case "validate flags errors" `Quick
+            test_validate_errors ] );
       ( "metrics",
         [ Alcotest.test_case "counters and gauges" `Quick
             test_counters_and_gauges;
           Alcotest.test_case "histogram bucketing" `Quick
             test_histogram_bucketing;
+          Alcotest.test_case "histogram quantiles" `Quick
+            test_histogram_quantiles;
           Alcotest.test_case "null registry" `Quick test_null_metrics;
           Alcotest.test_case "json snapshot" `Quick test_metrics_json ] );
       ( "solver",
