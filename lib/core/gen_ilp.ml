@@ -165,10 +165,10 @@ let config_of_solution t solution =
     t.edges;
   g
 
-let solve ?obs ?on_event ?backend ?time_limit t =
+let solve_raw ?obs ?on_event ?backend ?time_limit t =
   match Milp.Solver.solve ?obs ?on_event ?backend ?time_limit t.model with
   | Milp.Solver.Optimal { objective; solution }, stats ->
-      Some (config_of_solution t solution, objective, stats)
+      Some (solution, config_of_solution t solution, objective, stats)
   | Milp.Solver.Infeasible, _ -> None
   | Milp.Solver.Unbounded, _ ->
       failwith "Gen_ilp.solve: unbounded model (costs must be non-negative)"
@@ -180,8 +180,13 @@ let solve ?obs ?on_event ?backend ?time_limit t =
       Logs.warn (fun m ->
           m "Gen_ilp.solve: time limit reached; using incumbent (cost %g)"
             objective);
-      Some (config_of_solution t solution, objective, stats)
+      Some (solution, config_of_solution t solution, objective, stats)
   | Milp.Solver.Limit_reached { incumbent = None }, _ ->
       failwith
         "Gen_ilp.solve: solver resource limit reached without a feasible \
          solution"
+
+let solve ?obs ?on_event ?backend ?time_limit t =
+  Option.map
+    (fun (_, config, objective, stats) -> (config, objective, stats))
+    (solve_raw ?obs ?on_event ?backend ?time_limit t)

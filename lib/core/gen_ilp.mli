@@ -44,3 +44,11 @@ val solve :
     [None] when infeasible.  [obs] / [on_event] are forwarded to
     {!Milp.Solver.solve}.
     @raise Failure on solver resource-limit outcomes. *)
+
+val solve_raw :
+  ?obs:Archex_obs.Ctx.t ->
+  ?on_event:(Archex_obs.Event.t -> unit) ->
+  ?backend:Milp.Solver.backend -> ?time_limit:float -> t ->
+  (float array * Netgraph.Digraph.t * float * Milp.Solver.run_stats) option
+(** Like {!solve} but also returns the raw 0-1 assignment, which
+    certification ({!Archex_cert}) needs verbatim. *)

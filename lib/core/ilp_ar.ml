@@ -10,6 +10,7 @@ type info = {
   theorem2_bound : float;
   constraint_count : int;
   variable_count : int;
+  cert : (Archex_obs.Json.t, string) result option;
 }
 
 (* Chain bookkeeping: 1-based position of each chain type. *)
@@ -194,7 +195,8 @@ let compile ?(obs = Archex_obs.Ctx.null) template ~r_star =
     { approx_estimate = -1.;
       theorem2_bound = -1.;
       constraint_count = Model.constraint_count model;
-      variable_count = Model.var_count model } )
+      variable_count = Model.var_count model;
+      cert = None } )
 
 (* Worst-sink Eq. 7 estimate and Theorem 2 bound on a configuration. *)
 let approx_on_config template config =
@@ -221,14 +223,15 @@ let approx_on_config template config =
     (Template.sinks template)
 
 let run ?(obs = Archex_obs.Ctx.null) ?on_event ?backend ?engine
-    ?(time_limit = 300.) template ~r_star =
+    ?(time_limit = 300.) ?(certify = false) ?cert_node_budget template
+    ~r_star =
   Archex_obs.Trace.with_span (Archex_obs.Ctx.trace obs) "ilp_ar"
   @@ fun () ->
   let t0 = Archex_obs.Clock.now () in
   let enc, info = compile ~obs template ~r_star in
   let setup_time = Archex_obs.Clock.now () -. t0 in
-  if Archex_obs.Metrics.enabled (Archex_obs.Ctx.metrics obs) then begin
-    let metrics = Archex_obs.Ctx.metrics obs in
+  let metrics = Archex_obs.Ctx.metrics obs in
+  if Archex_obs.Metrics.enabled metrics then begin
     Archex_obs.Metrics.set
       (Archex_obs.Metrics.gauge metrics "ar.variables")
       (float_of_int info.variable_count);
@@ -236,16 +239,30 @@ let run ?(obs = Archex_obs.Ctx.null) ?on_event ?backend ?engine
       (Archex_obs.Metrics.gauge metrics "ar.constraints")
       (float_of_int info.constraint_count)
   end;
-  match Gen_ilp.solve ~obs ?on_event ?backend ~time_limit enc with
+  match Gen_ilp.solve_raw ~obs ?on_event ?backend ~time_limit enc with
   | None ->
       Synthesis.Unfeasible
         ( info,
           { Synthesis.setup_time; solver_time = 0.; analysis_time = 0. } )
-  | Some (config, _cost, stats) ->
+  | Some (solution, config, cost, stats) ->
+      let cert =
+        if certify then
+          Some
+            (Archex_obs.Trace.with_span (Archex_obs.Ctx.trace obs) "certify"
+             @@ fun () ->
+             Archex_cert.certify ?node_budget:cert_node_budget
+               (Gen_ilp.model enc)
+               ~incumbent:(Some (cost, solution)))
+        else None
+      in
       let report = Rel_analysis.analyze ~obs ?engine template config in
       let estimate, bound = approx_on_config template config in
+      Archex_obs.Gc_metrics.sample metrics;
       let info =
-        { info with approx_estimate = estimate; theorem2_bound = bound }
+        { info with
+          approx_estimate = estimate;
+          theorem2_bound = bound;
+          cert }
       in
       Synthesis.Synthesized
         ( Synthesis.architecture template config report,

@@ -18,6 +18,9 @@ type info = {
       (** worst-sink (smallest) guaranteed [r~/r] ratio on the result *)
   constraint_count : int;  (** rows in the compiled model *)
   variable_count : int;
+  cert : (Archex_obs.Json.t, string) result option;
+      (** optimality certificate of the monolithic solve ({!Archex_cert});
+          [None] when the run was not asked to certify *)
 }
 
 val run :
@@ -26,6 +29,8 @@ val run :
   ?backend:Milp.Solver.backend ->
   ?engine:Reliability.Exact.engine ->
   ?time_limit:float ->
+  ?certify:bool ->
+  ?cert_node_budget:int ->
   Archlib.Template.t -> r_star:float -> info Synthesis.result
 (** Synthesize with the approximate-reliability encoding.  The template must
     declare a type chain ({!Archlib.Template.set_type_chain}); per Theorem 3
@@ -39,6 +44,11 @@ val run :
     the ["compile"], ["solve"] and ["reliability"] spans, and tracks the
     compiled model size in the [ar.variables] / [ar.constraints] gauges.
     [on_event] forwards the solver backend's progress callback.
+
+    [certify] (default false) re-proves the monolithic optimum with
+    {!Archex_cert.certify} (inside a ["certify"] span when tracing) and
+    stores the result in the info's [cert] field; [cert_node_budget] caps
+    the certifying search.
     @raise Invalid_argument if the template declares no type chain or a
     type's members have differing failure probabilities. *)
 

@@ -9,12 +9,16 @@ type iteration = {
   solver_time : float;
   analysis_time : float;
   stats : Milp.Solver.run_stats;
+  solution : float array;
+  cert : (Archex_obs.Json.t, string) result option;
+  learned_rows : Archex_obs.Json.t list;
 }
 
 type trace = iteration list
 
-let run ?(obs = Archex_obs.Ctx.null) ?on_event ?strategy ?backend ?engine
-    ?(max_iterations = 50) ?(solve_time_limit = 180.) template ~r_star =
+let run_with_encoding ?(obs = Archex_obs.Ctx.null) ?on_event ?strategy
+    ?backend ?engine ?(max_iterations = 50) ?(solve_time_limit = 180.)
+    ?(certify = false) ?cert_node_budget template ~r_star =
   let tracer = Archex_obs.Ctx.trace obs in
   let metrics = Archex_obs.Ctx.metrics obs in
   let root_attrs =
@@ -22,103 +26,155 @@ let run ?(obs = Archex_obs.Ctx.null) ?on_event ?strategy ?backend ?engine
       [ ("r_star", Archex_obs.Json.Num r_star) ]
     else []
   in
-  Archex_obs.Trace.with_span ~attrs:root_attrs tracer "ilp_mr" @@ fun () ->
   let t_run = Archex_obs.Clock.now () in
   let t0 = Archex_obs.Clock.now () in
   let enc = Gen_ilp.encode ~obs template in
-  let setup_time = Archex_obs.Clock.now () -. t0 in
-  let learn_state = Learn_cons.init ~obs enc in
-  let solver_total = ref 0. in
-  let analysis_total = ref 0. in
-  let trace = ref [] in
-  let timing () =
-    { Synthesis.setup_time;
-      solver_time = !solver_total;
-      analysis_time = !analysis_total }
-  in
-  let emit_iteration it =
-    match on_event with
-    | None -> ()
-    | Some f ->
-        f
-          { Archex_obs.Event.source = "ilp-mr";
-            kind = Archex_obs.Event.Iteration;
-            elapsed = Archex_obs.Clock.now () -. t_run;
-            data =
-              [ ("iteration", float_of_int it.index);
-                ("cost", it.cost);
-                ("reliability", it.reliability);
-                ("new_constraints", float_of_int it.new_constraints);
-                ("solver_time", it.solver_time);
-                ("analysis_time", it.analysis_time);
-                ("nodes", float_of_int it.stats.Milp.Solver.nodes);
-                ("conflicts", float_of_int it.stats.Milp.Solver.conflicts) ]
-          }
-  in
-  (* One iteration of the Algorithm 1 loop, wrapped in its own span; the
-     tail call happens outside the span so iteration n+1 is a sibling of
-     iteration n, not its child. *)
-  let step index =
-    let attrs =
-      if Archex_obs.Trace.enabled tracer then
-        [ ("index", Archex_obs.Json.Num (float_of_int index)) ]
-      else []
+  let result =
+    Archex_obs.Trace.with_span ~attrs:root_attrs tracer "ilp_mr" @@ fun () ->
+    let setup_time = Archex_obs.Clock.now () -. t0 in
+    let learn_state = Learn_cons.init ~obs enc in
+    let solver_total = ref 0. in
+    let analysis_total = ref 0. in
+    let trace = ref [] in
+    let timing () =
+      { Synthesis.setup_time;
+        solver_time = !solver_total;
+        analysis_time = !analysis_total }
     in
-    Archex_obs.Trace.with_span ~attrs tracer "iteration" @@ fun () ->
-    Archex_obs.Metrics.incr
-      (Archex_obs.Metrics.counter metrics "mr.iterations");
-    match
-      Gen_ilp.solve ~obs ?on_event ?backend ~time_limit:solve_time_limit enc
-    with
-    | None -> `Done (Synthesis.Unfeasible (List.rev !trace, timing ()))
-    | Some (config, cost, stats) ->
-        solver_total := !solver_total +. stats.Milp.Solver.elapsed;
-        let report = Rel_analysis.analyze ~obs ?engine template config in
-        analysis_total := !analysis_total +. report.Rel_analysis.elapsed;
-        let reliability = report.Rel_analysis.worst in
-        let record ~k_estimate ~new_constraints =
-          let it =
-            { index;
-              config;
-              cost;
-              reliability;
-              per_sink = report.Rel_analysis.per_sink;
-              k_estimate;
-              new_constraints;
-              solver_time = stats.Milp.Solver.elapsed;
-              analysis_time = report.Rel_analysis.elapsed;
-              stats }
+    let emit_iteration it =
+      match on_event with
+      | None -> ()
+      | Some f ->
+          f
+            { Archex_obs.Event.source = "ilp-mr";
+              kind = Archex_obs.Event.Iteration;
+              elapsed = Archex_obs.Clock.now () -. t_run;
+              data =
+                [ ("iteration", float_of_int it.index);
+                  ("cost", it.cost);
+                  ("reliability", it.reliability);
+                  ("new_constraints", float_of_int it.new_constraints);
+                  ("solver_time", it.solver_time);
+                  ("analysis_time", it.analysis_time);
+                  ("nodes", float_of_int it.stats.Milp.Solver.nodes);
+                  ("conflicts", float_of_int it.stats.Milp.Solver.conflicts)
+                ]
+            }
+    in
+    (* One iteration of the Algorithm 1 loop, wrapped in its own span; the
+       tail call happens outside the span so iteration n+1 is a sibling of
+       iteration n, not its child. *)
+    let step index =
+      let attrs =
+        if Archex_obs.Trace.enabled tracer then
+          [ ("index", Archex_obs.Json.Num (float_of_int index)) ]
+        else []
+      in
+      Archex_obs.Trace.with_span ~attrs tracer "iteration" @@ fun () ->
+      Archex_obs.Metrics.incr
+        (Archex_obs.Metrics.counter metrics "mr.iterations");
+      match
+        Gen_ilp.solve_raw ~obs ?on_event ?backend
+          ~time_limit:solve_time_limit enc
+      with
+      | None -> `Done (Synthesis.Unfeasible (List.rev !trace, timing ()))
+      | Some (solution, config, cost, stats) ->
+          solver_total := !solver_total +. stats.Milp.Solver.elapsed;
+          (* certification must look at the model as solved, i.e. before
+             Learn_cons extends it below *)
+          let cert =
+            if certify then
+              Some
+                (Archex_obs.Trace.with_span tracer "certify" @@ fun () ->
+                 Archex_cert.certify ?node_budget:cert_node_budget
+                   (Gen_ilp.model enc)
+                   ~incumbent:(Some (cost, solution)))
+            else None
           in
-          trace := it :: !trace;
-          emit_iteration it
-        in
-        if Rel_analysis.meets report ~r_star then begin
-          record ~k_estimate:None ~new_constraints:0;
-          `Done
-            (Synthesis.Synthesized
-               ( Synthesis.architecture template config report,
-                 List.rev !trace,
-                 timing () ))
-        end
-        else begin
-          match
-            Learn_cons.learn ?strategy learn_state ~config ~reliability
-              ~r_star
-          with
-          | Learn_cons.Saturated ->
-              record ~k_estimate:None ~new_constraints:0;
-              `Done (Synthesis.Unfeasible (List.rev !trace, timing ()))
-          | Learn_cons.Learned { k; new_constraints } ->
-              record ~k_estimate:(Some k) ~new_constraints;
-              `Continue
-        end
+          let report = Rel_analysis.analyze ~obs ?engine template config in
+          analysis_total := !analysis_total +. report.Rel_analysis.elapsed;
+          let reliability = report.Rel_analysis.worst in
+          Archex_obs.Gc_metrics.sample metrics;
+          let record ~k_estimate ~new_constraints =
+            let it =
+              { index;
+                config;
+                cost;
+                reliability;
+                per_sink = report.Rel_analysis.per_sink;
+                k_estimate;
+                new_constraints;
+                solver_time = stats.Milp.Solver.elapsed;
+                analysis_time = report.Rel_analysis.elapsed;
+                stats;
+                solution;
+                cert;
+                learned_rows = Learn_cons.drain_learned learn_state }
+            in
+            trace := it :: !trace;
+            emit_iteration it
+          in
+          if Rel_analysis.meets report ~r_star then begin
+            record ~k_estimate:None ~new_constraints:0;
+            `Done
+              (Synthesis.Synthesized
+                 ( Synthesis.architecture template config report,
+                   List.rev !trace,
+                   timing () ))
+          end
+          else begin
+            match
+              Learn_cons.learn ?strategy learn_state ~config ~reliability
+                ~r_star
+            with
+            | Learn_cons.Saturated ->
+                record ~k_estimate:None ~new_constraints:0;
+                `Done (Synthesis.Unfeasible (List.rev !trace, timing ()))
+            | Learn_cons.Learned { k; new_constraints } ->
+                record ~k_estimate:(Some k) ~new_constraints;
+                `Continue
+          end
+    in
+    let rec iterate index =
+      if index > max_iterations then
+        Synthesis.Unfeasible (List.rev !trace, timing ())
+      else
+        match step index with
+        | `Done result -> result
+        | `Continue -> iterate (index + 1)
+    in
+    iterate 1
   in
-  let rec iterate index =
-    if index > max_iterations then
-      Synthesis.Unfeasible (List.rev !trace, timing ())
-    else
-      match step index with
-      | `Done result -> result
-      | `Continue -> iterate (index + 1)
+  (enc, result)
+
+let run ?obs ?on_event ?strategy ?backend ?engine ?max_iterations
+    ?solve_time_limit ?certify ?cert_node_budget template ~r_star =
+  snd
+    (run_with_encoding ?obs ?on_event ?strategy ?backend ?engine
+       ?max_iterations ?solve_time_limit ?certify ?cert_node_budget template
+       ~r_star)
+
+let certificate_of_trace ~r_star trace =
+  let rec collect acc = function
+    | [] -> Ok (List.rev acc)
+    | it :: rest -> (
+        match it.cert with
+        | None ->
+            Error
+              (Printf.sprintf "iteration %d was run without certification"
+                 it.index)
+        | Some (Error e) ->
+            Error
+              (Printf.sprintf "iteration %d failed to certify: %s" it.index e)
+        | Some (Ok c) -> collect ((c, it.learned_rows) :: acc) rest)
   in
-  iterate 1
+  match trace with
+  | [] -> Error "empty trace: nothing to certify"
+  | _ -> (
+      match collect [] trace with
+      | Error _ as e -> e
+      | Ok iterations ->
+          let final_objective =
+            match List.rev trace with it :: _ -> Some it.cost | [] -> None
+          in
+          Ok (Archex_cert.chain ~r_star ~iterations ~final_objective))

@@ -17,6 +17,15 @@ type iteration = {
   solver_time : float;
   analysis_time : float;
   stats : Milp.Solver.run_stats;     (** the SOLVEILP run of this iteration *)
+  solution : float array;
+      (** the raw 0-1 assignment behind [config] (over this iteration's
+          model variables) *)
+  cert : (Archex_obs.Json.t, string) result option;
+      (** per-iteration optimality certificate ({!Archex_cert}); [None]
+          when the run was not asked to certify *)
+  learned_rows : Archex_obs.Json.t list;
+      (** provenance of the constraints this iteration's analysis added
+          ({!Learn_cons.drain_learned}); empty on convergence *)
 }
 
 type trace = iteration list
@@ -30,6 +39,8 @@ val run :
   ?engine:Reliability.Exact.engine ->
   ?max_iterations:int ->
   ?solve_time_limit:float ->
+  ?certify:bool ->
+  ?cert_node_budget:int ->
   Archlib.Template.t -> r_star:float -> trace Synthesis.result
 (** Synthesize a minimum-cost architecture with worst-sink failure
     probability at most [r*].  [strategy] defaults to
@@ -39,9 +50,38 @@ val run :
     time-limited call falls back to the solver's best incumbent (feasible,
     possibly not proven optimal — the ε tolerance of Theorem 1).
 
+    [certify] (default false) re-proves every iteration's optimum with
+    {!Archex_cert.certify} — on the model exactly as solved, before the
+    learned constraints of the iteration extend it — and stores the result
+    in the iteration's [cert] field (inside a ["certify"] span when
+    tracing); [cert_node_budget] caps each certifying search.
+
     [obs] (default disabled) wraps the run in an ["ilp_mr"] span with one
     ["iteration"] child per loop pass (each enclosing its ["solve"],
     ["reliability"] and ["learn"] spans) and counts [mr.iterations] plus
-    the metrics of every layer below.  [on_event] receives an [Iteration]
-    progress event (source ["ilp-mr"]) after each analyzed candidate, in
-    addition to the solver backend's own heartbeats. *)
+    the metrics of every layer below; GC gauges are sampled once per
+    iteration.  [on_event] receives an [Iteration] progress event (source
+    ["ilp-mr"]) after each analyzed candidate, in addition to the solver
+    backend's own heartbeats. *)
+
+val run_with_encoding :
+  ?obs:Archex_obs.Ctx.t ->
+  ?on_event:(Archex_obs.Event.t -> unit) ->
+  ?strategy:Learn_cons.strategy ->
+  ?backend:Milp.Solver.backend ->
+  ?engine:Reliability.Exact.engine ->
+  ?max_iterations:int ->
+  ?solve_time_limit:float ->
+  ?certify:bool ->
+  ?cert_node_budget:int ->
+  Archlib.Template.t -> r_star:float -> Gen_ilp.t * trace Synthesis.result
+(** Like {!run} but also returns the encoding, whose model is the final
+    (fully extended) ILP — what the explanation report
+    ({!Archex_explain}) renders against the last iteration's solution. *)
+
+val certificate_of_trace :
+  r_star:float -> trace -> (Archex_obs.Json.t, string) result
+(** Assemble the end-to-end certificate chain
+    ({!Archex_cert.check_chain}-checkable) from a certified run's trace.
+    Errors when the trace is empty, an iteration was run without
+    certification, or any per-iteration certification failed. *)

@@ -18,6 +18,12 @@ type state = {
   enforced : (int * int, int) Hashtbl.t;
       (* (sink, type) → strongest target enforced so far *)
   mutable true_var : Model.var option;
+  mutable pending_rows : (string * int * int * int * string) list;
+      (* (row name, sink, type, target, role), newest first: rows added by
+         add_path during the current learn call, awaiting the call-level
+         tags (k / reliability / r_star) *)
+  mutable learned_log : Archex_obs.Json.t list;
+      (* tagged descriptors not yet drained, oldest first *)
 }
 
 let init ?(obs = Archex_obs.Ctx.null) enc =
@@ -29,7 +35,9 @@ let init ?(obs = Archex_obs.Ctx.null) enc =
     reach = Hashtbl.create 256;
     src_reach = Hashtbl.create 256;
     enforced = Hashtbl.create 32;
-    true_var = None }
+    true_var = None;
+    pending_rows = [];
+    learned_log = [] }
 
 type strategy =
   | Estimated
@@ -196,8 +204,14 @@ let add_path st ~sink ty ~target =
     let target = min target (List.length indicators) in
     if target <= previous then false
     else begin
+      let record role name =
+        st.pending_rows <- (name, sink, ty, target, role) :: st.pending_rows;
+        name
+      in
       Bool_encode.at_least_k
-        ~name:(Printf.sprintf "addpath_s%d_t%d_k%d" sink ty target)
+        ~name:
+          (record "addpath"
+             (Printf.sprintf "addpath_s%d_t%d_k%d" sink ty target))
         (model st) indicators target;
       (* valid usage cut: a component connected to the sink is instantiated,
          so at least [target] components of the type must be used — stated
@@ -208,7 +222,9 @@ let add_path st ~sink ty ~target =
       in
       if List.length deltas >= target then
         Bool_encode.at_least_k
-          ~name:(Printf.sprintf "usecut_s%d_t%d_k%d" sink ty target)
+          ~name:
+            (record "usecut"
+               (Printf.sprintf "usecut_s%d_t%d_k%d" sink ty target))
           (model st) deltas target;
       (* valid first-edge cut: the [target] connected components each start
          their walk to the sink with an outgoing edge of their own, and
@@ -223,7 +239,9 @@ let add_path st ~sink ty ~target =
       in
       if List.length out_edges >= target then
         Bool_encode.at_least_k
-          ~name:(Printf.sprintf "edgecut_s%d_t%d_k%d" sink ty target)
+          ~name:
+            (record "edgecut"
+               (Printf.sprintf "edgecut_s%d_t%d_k%d" sink ty target))
           (model st) out_edges target;
       Hashtbl.replace st.enforced key target;
       true
@@ -339,6 +357,26 @@ let learn ?(strategy = Estimated) st ~config ~reliability ~r_star =
     end
   in
   List.iter per_sink sinks;
+  (* tag the rows added by this call with its analysis context — the
+     provenance chain that certificate chains and explanation reports
+     surface ("this cut exists because reliability r missed r_star") *)
+  let module J = Archex_obs.Json in
+  let tagged =
+    List.rev_map
+      (fun (name, sink, ty, target, role) ->
+        J.Obj
+          [ ("name", J.Str name);
+            ("role", J.Str role);
+            ("sink", J.Num (float_of_int sink));
+            ("type", J.Num (float_of_int ty));
+            ("target", J.Num (float_of_int target));
+            ("k", J.Num (float_of_int k));
+            ("reliability", J.Num reliability);
+            ("r_star", J.Num r_star) ])
+      st.pending_rows
+  in
+  st.pending_rows <- [];
+  st.learned_log <- st.learned_log @ tagged;
   let metrics = Archex_obs.Ctx.metrics st.obs in
   if Archex_obs.Metrics.enabled metrics then begin
     Archex_obs.Metrics.add
@@ -349,3 +387,8 @@ let learn ?(strategy = Estimated) st ~config ~reliability ~r_star =
       (float_of_int k)
   end;
   if !added = 0 then Saturated else Learned { k; new_constraints = !added }
+
+let drain_learned st =
+  let l = st.learned_log in
+  st.learned_log <- [];
+  l

@@ -40,6 +40,14 @@ val est_path :
   r_star:float -> int
 (** Exposed for inspection/testing: the [k] of [ESTPATH]. *)
 
+val drain_learned : state -> Archex_obs.Json.t list
+(** Provenance of the constraints learned since the last drain, oldest
+    first: one JSON object per added row with ["name"], ["role"]
+    (["addpath"]/["usecut"]/["edgecut"]), ["sink"], ["type"], ["target"]
+    and the analysis context that triggered it (["k"], ["reliability"],
+    ["r_star"]).  ILP-MR attaches these to its per-iteration records and
+    certificate chain. *)
+
 val reach_var :
   state -> sink:int -> depth:int -> int -> Milp.Model.var option
 (** The walk-indicator variable η[w → sink, ≤ depth] over the decision

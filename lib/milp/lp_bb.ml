@@ -37,9 +37,27 @@ type node = {
   lb : float;
 }
 
-let solve ?(metrics = Archex_obs.Metrics.null) ?on_event
+let solve ?(metrics = Archex_obs.Metrics.null) ?on_event ?log
     ?(max_nodes = 1_000_000) ?time_limit m =
   let t0 = Archex_obs.Clock.now () in
+  let module J = Archex_obs.Json in
+  (* structured search log (the [--search-log] flag); free without a sink *)
+  let slog fields =
+    match log with
+    | None -> ()
+    | Some sink ->
+        sink
+          (J.Obj
+             (("t", J.Num (Archex_obs.Clock.now () -. t0)) :: fields ()))
+  in
+  let node_record node outcome extra =
+    slog (fun () ->
+        [ ("ev", J.Str "node");
+          ("depth", J.Num (float_of_int node.depth));
+          ("lb", (if Float.is_finite node.lb then J.Num node.lb else J.Null));
+          ("outcome", J.Str outcome) ]
+        @ extra ())
+  in
   let best : (float * float array) option ref = ref None in
   let nodes = ref 0 in
   let pivots = ref 0 in
@@ -73,7 +91,11 @@ let solve ?(metrics = Archex_obs.Metrics.null) ?on_event
       emitted_bound := !best_bound;
       emit Archex_obs.Event.Bound (fun () ->
           with_best
-            [ ("bound", !best_bound); ("nodes", float_of_int !nodes) ])
+            [ ("bound", !best_bound); ("nodes", float_of_int !nodes) ]);
+      slog (fun () ->
+          [ ("ev", J.Str "bound");
+            ("bound", J.Num !best_bound);
+            ("nodes", J.Num (float_of_int !nodes)) ])
     end
   in
   let heartbeat () =
@@ -100,11 +122,14 @@ let solve ?(metrics = Archex_obs.Metrics.null) ?on_event
   in
   let process node =
     incr nodes;
+    let no_extra () = [] in
     match apply_node node with
-    | exception Invalid_argument _ -> () (* empty bound interval: prune *)
+    | exception Invalid_argument _ ->
+        (* empty bound interval: prune *)
+        node_record node "infeasible" no_extra
     | sub -> (
         match Simplex.solve_relaxation ~metrics sub with
-        | Simplex.Infeasible -> ()
+        | Simplex.Infeasible -> node_record node "infeasible" no_extra
         | Simplex.Pivot_limit -> limit_hit := true
         | Simplex.Unbounded ->
             (* Unbounded relaxation at the root means the MILP is unbounded
@@ -112,9 +137,13 @@ let solve ?(metrics = Archex_obs.Metrics.null) ?on_event
             if node.depth = 0 then unbounded := true else ()
         | Simplex.Optimal { objective; solution; pivots = p } ->
             pivots := !pivots + p;
-            if not (worse_than_best objective) then begin
+            let relax () = [ ("relaxation", J.Num objective) ] in
+            if worse_than_best objective then
+              node_record node "pruned" relax
+            else begin
               match fractional_var m solution with
               | None ->
+                  node_record node "integral" relax;
                   let improves =
                     match !best with
                     | None -> true
@@ -133,9 +162,15 @@ let solve ?(metrics = Archex_obs.Metrics.null) ?on_event
                     emit Archex_obs.Event.Incumbent (fun () ->
                         with_bound
                           [ ("incumbent", objective);
-                            ("nodes", float_of_int !nodes) ])
+                            ("nodes", float_of_int !nodes) ]);
+                    slog (fun () ->
+                        [ ("ev", J.Str "incumbent");
+                          ("objective", J.Num objective);
+                          ("nodes", J.Num (float_of_int !nodes)) ])
                   end
               | Some x ->
+                  node_record node "branch" (fun () ->
+                      relax () @ [ ("branch_var", J.Num (float_of_int x)) ]);
                   let v = solution.(x) in
                   let lo = Float.of_int (int_of_float (Float.floor v)) in
                   let down =

@@ -16,6 +16,7 @@ type outcome =
 val solve :
   ?metrics:Archex_obs.Metrics.t ->
   ?on_event:(Archex_obs.Event.t -> unit) ->
+  ?log:(Archex_obs.Json.t -> unit) ->
   ?max_nodes:int -> ?time_limit:float -> Model.t -> outcome * stats
 (** Minimize.  Integer/Boolean variables are branched; continuous variables
     are left to the LP.  [time_limit] in wall-clock seconds
@@ -28,4 +29,11 @@ val solve :
     the minimum LP relaxation bound over the open frontier — improves
     (it closes onto the incumbent when the tree is exhausted), with
     source ["lp-bb"].  Heartbeat and incumbent data include the current
-    ["bound"] when one is known. *)
+    ["bound"] when one is known.
+
+    [log] (default none) receives one JSON object per processed node —
+    the structured search log behind [--search-log].  Records are tagged
+    by ["ev"]: ["node"] (depth, parent lb, relaxation value, outcome
+    ["infeasible"]/["pruned"]/["integral"]/["branch"] with [branch_var]),
+    ["incumbent"] and ["bound"]; every record carries ["t"], elapsed
+    seconds since solve start. *)

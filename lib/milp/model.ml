@@ -171,6 +171,190 @@ let copy m =
     nrows = m.nrows;
     obj = m.obj }
 
+(* --- JSON serialization ------------------------------------------------
+
+   The wire format of optimality certificates (Archex_cert): a model is
+   re-checkable offline only if the certificate carries it, so the
+   encoding round-trips everything semantic — kinds, (possibly narrowed)
+   bounds, row order, names.  Infinite continuous bounds serialize as
+   [null] (JSON has no infinities); [of_json] restores the side. *)
+
+module Json = Archex_obs.Json
+
+let cmp_name = function Le -> "le" | Ge -> "ge" | Eq -> "eq"
+
+let num_or_null v = if Float.is_finite v then Json.Num v else Json.Null
+
+let expr_fields e =
+  [ ("const", Json.Num (Lin_expr.constant e));
+    ("terms",
+     Json.Arr
+       (List.map
+          (fun (x, a) -> Json.Arr [ Json.Num (float_of_int x); Json.Num a ])
+          (Lin_expr.terms e))) ]
+
+let to_json m =
+  let kind_json = function
+    | Boolean -> Json.Str "bool"
+    | Integer (lo, hi) ->
+        Json.Obj
+          [ ("int",
+             Json.Arr
+               [ Json.Num (float_of_int lo); Json.Num (float_of_int hi) ]) ]
+    | Continuous (lo, hi) ->
+        Json.Obj [ ("cont", Json.Arr [ num_or_null lo; num_or_null hi ]) ]
+  in
+  let var_json i =
+    let vi = m.vars.(i) in
+    Json.Obj
+      ((match vi.vname with Some n -> [ ("name", Json.Str n) ] | None -> [])
+      @ [ ("kind", kind_json vi.kind);
+          ("lb", num_or_null vi.lb);
+          ("ub", num_or_null vi.ub) ])
+  in
+  let row_json r =
+    Json.Obj
+      ((match r.cname with Some n -> [ ("name", Json.Str n) ] | None -> [])
+      @ [ ("cmp", Json.Str (cmp_name r.cmp)); ("rhs", Json.Num r.rhs) ]
+      @ expr_fields r.expr)
+  in
+  Json.Obj
+    [ ("vars", Json.Arr (List.init m.nvars var_json));
+      ("objective", Json.Obj (expr_fields m.obj));
+      ("rows", Json.Arr (List.map row_json (constraints m))) ]
+
+let of_json j =
+  let ( let* ) = Result.bind in
+  let err fmt = Printf.ksprintf (fun s -> Error s) fmt in
+  let field name o =
+    match Json.mem name o with
+    | Some v -> Ok v
+    | None -> err "model JSON: missing %S" name
+  in
+  let num ctx = function
+    | Json.Num v -> Ok v
+    | v -> err "model JSON: %s must be a number, got %s" ctx (Json.to_string v)
+  in
+  let arr ctx = function
+    | Json.Arr l -> Ok l
+    | v -> err "model JSON: %s must be an array, got %s" ctx (Json.to_string v)
+  in
+  let bound ~default ctx = function
+    | Json.Null -> Ok default
+    | Json.Num v -> Ok v
+    | v ->
+        err "model JSON: %s must be a number or null, got %s" ctx
+          (Json.to_string v)
+  in
+  let rec map_result f = function
+    | [] -> Ok []
+    | x :: tl ->
+        let* y = f x in
+        let* ys = map_result f tl in
+        Ok (y :: ys)
+  in
+  let int_of ctx v =
+    let* x = num ctx v in
+    if Float.is_integer x then Ok (int_of_float x)
+    else err "model JSON: %s must be an integer, got %g" ctx x
+  in
+  let kind_of_json = function
+    | Json.Str "bool" -> Ok Boolean
+    | Json.Obj [ ("int", Json.Arr [ lo; hi ]) ] ->
+        let* lo = int_of "int lower bound" lo in
+        let* hi = int_of "int upper bound" hi in
+        Ok (Integer (lo, hi))
+    | Json.Obj [ ("cont", Json.Arr [ lo; hi ]) ] ->
+        let* lo = bound ~default:Float.neg_infinity "cont lower bound" lo in
+        let* hi = bound ~default:Float.infinity "cont upper bound" hi in
+        Ok (Continuous (lo, hi))
+    | v -> err "model JSON: bad variable kind %s" (Json.to_string v)
+  in
+  let term nvars = function
+    | Json.Arr [ x; a ] ->
+        let* xi = int_of "term variable" x in
+        let* a = num "term coefficient" a in
+        if xi < 0 || xi >= nvars then
+          err "model JSON: variable index %d out of range (%d vars)" xi nvars
+        else Ok (xi, a)
+    | v -> err "model JSON: bad term %s" (Json.to_string v)
+  in
+  let expr nvars ctx o =
+    let* c =
+      match Json.mem "const" o with
+      | None -> Ok 0.
+      | Some v -> num (ctx ^ " const") v
+    in
+    let* ts = field "terms" o in
+    let* ts = arr (ctx ^ " terms") ts in
+    let* ts = map_result (term nvars) ts in
+    Ok (Lin_expr.of_terms ~constant:c ts)
+  in
+  let m = create () in
+  let add_parsed_var o =
+    let* kj = field "kind" o in
+    let* kind = kind_of_json kj in
+    let name = Option.bind (Json.mem "name" o) Json.to_str in
+    let x = try Ok (add_var ?name m kind) with Invalid_argument e -> Error e in
+    let* x = x in
+    let klb, kub = bounds_of_kind kind in
+    let* lb =
+      match Json.mem "lb" o with
+      | None -> Ok klb
+      | Some v -> bound ~default:Float.neg_infinity "lb" v
+    in
+    let* ub =
+      match Json.mem "ub" o with
+      | None -> Ok kub
+      | Some v -> bound ~default:Float.infinity "ub" v
+    in
+    if lb < klb || ub > kub || lb > ub then
+      err "model JSON: variable %s bounds [%g, %g] outside kind range"
+        (name_of m x) lb ub
+    else begin
+      let vi = m.vars.(x) in
+      vi.lb <- lb;
+      vi.ub <- ub;
+      Ok ()
+    end
+  in
+  let cmp_of_json = function
+    | Json.Str "le" -> Ok Le
+    | Json.Str "ge" -> Ok Ge
+    | Json.Str "eq" -> Ok Eq
+    | v -> err "model JSON: bad cmp %s" (Json.to_string v)
+  in
+  let add_row o =
+    let name = Option.bind (Json.mem "name" o) Json.to_str in
+    let* cj = field "cmp" o in
+    let* cmp = cmp_of_json cj in
+    let* rj = field "rhs" o in
+    let* rhs = num "rhs" rj in
+    let* e = expr m.nvars "row" o in
+    add_constraint ?name m e cmp rhs;
+    Ok ()
+  in
+  let rec iter_result f = function
+    | [] -> Ok ()
+    | x :: tl ->
+        let* () = f x in
+        iter_result f tl
+  in
+  let* vars =
+    let* v = field "vars" j in
+    arr "vars" v
+  in
+  let* () = iter_result add_parsed_var vars in
+  let* obj = field "objective" j in
+  let* obj = expr m.nvars "objective" obj in
+  set_objective m obj;
+  let* rows =
+    let* v = field "rows" j in
+    arr "rows" v
+  in
+  let* () = iter_result add_row rows in
+  Ok m
+
 let pp_stats ppf m =
   let bools =
     let count acc i = if m.vars.(i).kind = Boolean then acc + 1 else acc in

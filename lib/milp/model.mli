@@ -83,5 +83,19 @@ val copy : t -> t
 (** Independent copy (new constraints/fixings don't propagate back): used by
     ILP-MR to extend the base ILP at every iteration. *)
 
+(** {1 Serialization}
+
+    The wire format embedded in optimality certificates: everything
+    semantic round-trips — variable kinds, possibly-narrowed bounds,
+    objective, rows in insertion order, names.  Infinite continuous
+    bounds serialize as [null]. *)
+
+val to_json : t -> Archex_obs.Json.t
+
+val of_json : Archex_obs.Json.t -> (t, string) result
+(** Rebuilds a model from {!to_json} output.  Validation errors (unknown
+    kinds, variable indices out of range, bounds outside the kind's
+    range) are reported, not raised. *)
+
 val pp_stats : Format.formatter -> t -> unit
 (** One-line summary: #vars (#bool), #constraints, #objective terms. *)

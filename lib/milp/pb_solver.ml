@@ -514,7 +514,7 @@ let rec luby i =
   if (1 lsl !k) - 1 = i then 1 lsl (!k - 1)
   else luby (i - (1 lsl (!k - 1)) + 1)
 
-let search st ~on_event ~max_decisions ~time_limit ~lower_bound =
+let search st ~on_event ~log ~max_decisions ~time_limit ~lower_bound =
   let t0 = Archex_obs.Clock.now () in
   (* progress events: build nothing unless a callback is installed *)
   let emit kind data =
@@ -527,6 +527,18 @@ let search st ~on_event ~max_decisions ~time_limit ~lower_bound =
             elapsed = Archex_obs.Clock.now () -. t0;
             data = data () }
   in
+  (* structured search log: one record per branch decision / conflict /
+     incumbent / bound move / restart; nothing is built without a sink *)
+  let slog fields =
+    match log with
+    | None -> ()
+    | Some sink ->
+        let module J = Archex_obs.Json in
+        sink
+          (J.Obj
+             (("t", J.Num (Archex_obs.Clock.now () -. t0)) :: fields ()))
+  in
+  let module J = Archex_obs.Json in
   (* Best proven objective lower bound: starts at the caller's
      combinatorial bound and improves with the level-0 cost floor (valid
      for any solution still able to beat the incumbent, the usual
@@ -548,7 +560,11 @@ let search st ~on_event ~max_decisions ~time_limit ~lower_bound =
       emit Archex_obs.Event.Bound (fun () ->
           with_best
             [ ("bound", !global_lb);
-              ("conflicts", float_of_int st.n_conflicts) ])
+              ("conflicts", float_of_int st.n_conflicts) ]);
+      slog (fun () ->
+          [ ("ev", J.Str "bound");
+            ("bound", J.Num !global_lb);
+            ("conflicts", J.Num (float_of_int st.n_conflicts)) ])
     end
   in
   (* call at decision level 0, where cost_lb is a global fact *)
@@ -586,9 +602,23 @@ let search st ~on_event ~max_decisions ~time_limit ~lower_bound =
     st.n_conflicts <- st.n_conflicts + 1;
     check_limits ();
     decr conflicts_until_restart;
+    let kind = if reason = reason_bound then "bound" else "row" in
+    let level = decision_level st in
     match analyze st reason with
-    | None -> raise Exhausted
+    | None ->
+        slog (fun () ->
+            [ ("ev", J.Str "conflict");
+              ("kind", J.Str kind);
+              ("level", J.Num (float_of_int level));
+              ("exhausted", J.Bool true) ]);
+        raise Exhausted
     | Some (lits, btlevel) ->
+        slog (fun () ->
+            [ ("ev", J.Str "conflict");
+              ("kind", J.Str kind);
+              ("level", J.Num (float_of_int level));
+              ("backjump", J.Num (float_of_int btlevel));
+              ("learned_lits", J.Num (float_of_int (List.length lits))) ]);
         backtrack_to_level st btlevel;
         by_cost_cursor := 0;
         let ci = learn_clause st lits in
@@ -613,6 +643,10 @@ let search st ~on_event ~max_decisions ~time_limit ~lower_bound =
     by_cost_cursor := 0;
     incr restart_count;
     st.n_restarts <- st.n_restarts + 1;
+    slog (fun () ->
+        [ ("ev", J.Str "restart");
+          ("restarts", J.Num (float_of_int st.n_restarts));
+          ("conflicts", J.Num (float_of_int st.n_conflicts)) ]);
     conflicts_until_restart := 100 * luby (!restart_count + 1);
     (* diversification: jitter a few saved phases so successive descents do
        not replay the same trapped trajectory *)
@@ -673,6 +707,12 @@ let search st ~on_event ~max_decisions ~time_limit ~lower_bound =
                     match st.best with Some (c, _) -> c | None -> nan );
                   ("decisions", float_of_int st.n_decisions);
                   ("conflicts", float_of_int st.n_conflicts) ]);
+          slog (fun () ->
+              [ ("ev", J.Str "incumbent");
+                ( "objective",
+                  J.Num (match st.best with Some (c, _) -> c | None -> nan) );
+                ("decisions", J.Num (float_of_int st.n_decisions));
+                ("conflicts", J.Num (float_of_int st.n_conflicts)) ]);
           (* a known objective lower bound proves optimality as soon as the
              incumbent cannot be beaten by the improvement gap *)
           (match st.best with
@@ -696,6 +736,11 @@ let search st ~on_event ~max_decisions ~time_limit ~lower_bound =
       | Some x ->
           st.n_decisions <- st.n_decisions + 1;
           st.trail_lim <- st.trail_size :: st.trail_lim;
+          slog (fun () ->
+              [ ("ev", J.Str "decision");
+                ("var", J.Num (float_of_int x));
+                ("value", J.Num (float_of_int st.phase.(x)));
+                ("level", J.Num (float_of_int (decision_level st))) ]);
           (match assign st x st.phase.(x) reason_decision with
           | () -> ()
           | exception Conflict reason -> handle_conflict reason);
@@ -806,7 +851,7 @@ let record_metrics metrics (stats : stats) =
     M.add (M.counter metrics "pb.learned") (float_of_int stats.learned)
   end
 
-let solve ?(metrics = Archex_obs.Metrics.null) ?on_event
+let solve ?(metrics = Archex_obs.Metrics.null) ?on_event ?log
     ?(max_decisions = max_int) ?time_limit ?(lower_bound = neg_infinity) m =
   match build_state m with
   | exception Trivially_infeasible ->
@@ -827,7 +872,8 @@ let solve ?(metrics = Archex_obs.Metrics.null) ?on_event
             else if ub < 0.5 then assign st x 0 reason_decision
           done
         with
-        | () -> search st ~on_event ~max_decisions ~time_limit ~lower_bound
+        | () ->
+            search st ~on_event ~log ~max_decisions ~time_limit ~lower_bound
         | exception Conflict _ -> false
       in
       let stats =

@@ -29,6 +29,7 @@ type outcome =
 val solve :
   ?metrics:Archex_obs.Metrics.t ->
   ?on_event:(Archex_obs.Event.t -> unit) ->
+  ?log:(Archex_obs.Json.t -> unit) ->
   ?max_decisions:int -> ?time_limit:float -> ?lower_bound:float ->
   Model.t -> outcome * stats
 (** Minimize the model objective over all feasible 0-1 assignments.
@@ -48,4 +49,12 @@ val solve :
     Heartbeat and incumbent data include the current ["bound"] when one is
     known, so a (time, incumbent, bound) timeline can be reconstructed
     from the stream (see {!Archex_obs.Convergence}).
+
+    [log] (default none; nothing is allocated without it) receives one JSON
+    object per search step — the structured search log behind the
+    [--search-log] CLI flag.  Records are tagged by ["ev"]:
+    ["decision"] (var, value, level), ["conflict"] (kind ["row"]/["bound"],
+    level, backjump, learned_lits), ["incumbent"] (objective),
+    ["bound"] (proven lower bound) and ["restart"]; every record carries
+    ["t"], the elapsed seconds since search start.
     @raise Invalid_argument if the model has non-Boolean variables. *)

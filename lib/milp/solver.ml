@@ -33,6 +33,21 @@ let solve_untraced ~obs ~on_event ~backend ~presolve ?max_nodes ?time_limit
     m =
   let t0 = now () in
   let metrics = Archex_obs.Ctx.metrics obs in
+  let log = Archex_obs.Ctx.search_log obs in
+  (* search-log header: one record identifying the solve, then one per
+     backend phase so a reader can split the stream *)
+  let slog fields =
+    match log with
+    | None -> ()
+    | Some sink -> sink (Archex_obs.Json.Obj fields)
+  in
+  let module J = Archex_obs.Json in
+  slog
+    [ ("ev", J.Str "solve");
+      ("backend", J.Str (backend_name backend));
+      ("vars", J.Num (float_of_int (Model.var_count m)));
+      ("rows", J.Num (float_of_int (Model.constraint_count m))) ];
+  let phase name = slog [ ("ev", J.Str "phase"); ("name", J.Str name) ] in
   let pre =
     if presolve then Presolve.run ~obs m
     else { Presolve.model = m; fixed = []; dropped_rows = 0;
@@ -77,8 +92,9 @@ let solve_untraced ~obs ~on_event ~backend ~presolve ?max_nodes ?time_limit
               Model.set_objective probe_model Lin_expr.zero;
               let probe_limit = Option.map (fun t -> t /. 2.) time_limit in
               probe_spent := now ();
+              phase "probe";
               match
-                Pb_solver.solve ~metrics ?on_event
+                Pb_solver.solve ~metrics ?on_event ?log
                   ?max_decisions:max_nodes ?time_limit:probe_limit
                   probe_model
               with
@@ -106,8 +122,9 @@ let solve_untraced ~obs ~on_event ~backend ~presolve ?max_nodes ?time_limit
                       else t)
                     time_limit
                 in
+                phase "main";
                 let o, s =
-                  Pb_solver.solve ~metrics ?on_event
+                  Pb_solver.solve ~metrics ?on_event ?log
                     ?max_decisions:max_nodes ?time_limit:remaining
                     ~lower_bound m'
                 in
@@ -127,7 +144,9 @@ let solve_untraced ~obs ~on_event ~backend ~presolve ?max_nodes ?time_limit
              propagations = s.Pb_solver.propagations;
              conflicts = s.Pb_solver.conflicts })
       | Lp_branch_bound ->
-          let o, s = Lp_bb.solve ~metrics ?on_event ?max_nodes ?time_limit m' in
+          let o, s =
+            Lp_bb.solve ~metrics ?on_event ?log ?max_nodes ?time_limit m'
+          in
           let outcome =
             match o with
             | Lp_bb.Optimal { objective; solution } ->
@@ -180,6 +199,7 @@ let solve ?(obs = Archex_obs.Ctx.null) ?on_event ?backend ?(presolve = true)
       (Archex_obs.Metrics.histogram metrics "solve.seconds")
       stats.elapsed
   end;
+  Archex_obs.Gc_metrics.sample metrics;
   (outcome, stats)
 
 let pp_run_stats ppf s =

@@ -1,0 +1,603 @@
+(* Optimality certificates for the exact 0-1 solvers.
+
+   A certificate is a self-contained JSON value: the model, the claimed
+   incumbent (absent for an infeasibility claim) and a binary pruning
+   tree whose leaves each carry an arithmetic justification — either a
+   constraint row that cannot be satisfied under the branch assignment,
+   or the claim that the minimum achievable objective under it already
+   matches the incumbent.  Checking a certificate therefore needs only
+   interval arithmetic over the model ({!Milp.Model} / {!Milp.Lin_expr});
+   no solver code is involved, so a bug in the CDCL or branch-and-bound
+   backends cannot hide in the proof.
+
+   The generator below is NOT the production solver: it is a transparent
+   DFS that re-proves the incumbent's optimality after the fast solver
+   found it, emitting the pruning tree as it closes the search space.
+   Its leaf conditions are the very functions the checker replays, so an
+   emitted certificate checks by construction. *)
+
+module J = Archex_obs.Json
+module Model = Milp.Model
+module Lin_expr = Milp.Lin_expr
+
+let ( let* ) = Result.bind
+let errf fmt = Printf.ksprintf (fun s -> Error s) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Interval arithmetic over a partial assignment                       *)
+
+(* [value.(x)] is the branch assignment; NaN means unassigned, in which
+   case the variable ranges over its model bounds. *)
+let unassigned = Float.nan
+
+let is_assigned v = not (Float.is_nan v)
+
+let minmax_expr m value e =
+  let lo = ref (Lin_expr.constant e) and hi = ref (Lin_expr.constant e) in
+  List.iter
+    (fun (x, a) ->
+      let v = value.(x) in
+      if is_assigned v then begin
+        lo := !lo +. (a *. v);
+        hi := !hi +. (a *. v)
+      end
+      else begin
+        let c1 = a *. Model.lower_bound m x in
+        let c2 = a *. Model.upper_bound m x in
+        lo := !lo +. Float.min c1 c2;
+        hi := !hi +. Float.max c1 c2
+      end)
+    (Lin_expr.terms e);
+  (!lo, !hi)
+
+let row_tol (r : Model.row) =
+  let scale =
+    List.fold_left
+      (fun acc (_, a) -> Float.max acc (Float.abs a))
+      (Float.max 1. (Float.abs r.Model.rhs))
+      (Lin_expr.terms r.Model.expr)
+  in
+  1e-9 *. scale
+
+(* A row no assignment extending [value] can satisfy. *)
+let row_infeasible m value (r : Model.row) =
+  let lo, hi = minmax_expr m value r.Model.expr in
+  let tol = row_tol r in
+  match r.Model.cmp with
+  | Model.Ge -> hi < r.Model.rhs -. tol
+  | Model.Le -> lo > r.Model.rhs +. tol
+  | Model.Eq -> hi < r.Model.rhs -. tol || lo > r.Model.rhs +. tol
+
+(* Minimal improvement a better solution would need: with an all-integral
+   objective the next value down is a full unit away, otherwise only a
+   relative tolerance separates "better" from "equal".  Recomputed from
+   the model by both generator and checker — never trusted from the
+   certificate. *)
+let objective_gap m c =
+  let integral a = Float.abs (a -. Float.round a) < 1e-9 in
+  let obj = Model.objective m in
+  if
+    List.for_all (fun (_, a) -> integral a) (Lin_expr.terms obj)
+    && integral (Lin_expr.constant obj)
+  then 1. -. 1e-6
+  else 1e-6 *. Float.max 1. (Float.abs c)
+
+let min_objective m value = fst (minmax_expr m value (Model.objective m))
+
+(* ------------------------------------------------------------------ *)
+(* Incumbent verification — shared by generator and checker            *)
+
+let verify_incumbent m (c, sol) =
+  let nvars = Model.var_count m in
+  if Array.length sol <> nvars then
+    errf "incumbent solution has %d entries, model has %d variables"
+      (Array.length sol) nvars
+  else
+    let assignment x = sol.(x) in
+    match Model.violated_constraints m assignment with
+    | r :: _ ->
+        errf "incumbent violates constraint %s"
+          (match r.Model.cname with Some n -> n | None -> "<unnamed>")
+    | [] ->
+        if not (Model.is_feasible m assignment) then
+          Error "incumbent violates a variable bound"
+        else
+          let obj = Model.objective_value m assignment in
+          if Float.abs (obj -. c) > 1e-6 *. Float.max 1. (Float.abs c) then
+            errf "incumbent objective mismatch: claimed %g, recomputed %g" c
+              obj
+          else Ok ()
+
+(* ------------------------------------------------------------------ *)
+(* Generator                                                           *)
+
+let default_node_budget = 2_000_000
+
+exception Cert_error of string
+
+let leaf_bound = J.Obj [ ("leaf", J.Str "bound") ]
+let leaf_infeasible i =
+  J.Obj [ ("leaf", J.Str "infeasible"); ("row", J.Num (float_of_int i)) ]
+let branch x zero one =
+  J.Obj [ ("var", J.Num (float_of_int x)); ("zero", zero); ("one", one) ]
+
+let certify ?(node_budget = default_node_budget) m ~incumbent =
+  if not (Model.is_pure_boolean m) then
+    Error "certify: only pure 0-1 models are certifiable"
+  else begin
+    let* () =
+      match incumbent with
+      | None -> Ok ()
+      | Some inc ->
+          Result.map_error (fun e -> "certify: " ^ e) (verify_incumbent m inc)
+    in
+    let nvars = Model.var_count m in
+    let rows = Array.of_list (Model.constraints m) in
+    let value = Array.make nvars unassigned in
+    let free x = Model.lower_bound m x < Model.upper_bound m x in
+    let gap =
+      match incumbent with Some (c, _) -> objective_gap m c | None -> 0.
+    in
+    (* static branch order: objective weight descending, so the incumbent
+       bound engages as early as possible; row-forced variables override
+       it dynamically *)
+    let by_cost =
+      let coef = Array.make nvars 0. in
+      List.iter
+        (fun (x, a) -> coef.(x) <- a)
+        (Lin_expr.terms (Model.objective m));
+      List.init nvars Fun.id
+      |> List.filter free
+      |> List.sort (fun a b ->
+             Float.compare (Float.abs coef.(b)) (Float.abs coef.(a)))
+      |> Array.of_list
+    in
+    (* One pass over the rows: the first infeasible row, or failing that a
+       variable one of whose values would make some row infeasible (its
+       "bad" branch then closes as a one-node leaf). *)
+    let scan () =
+      let forced = ref None in
+      let hit = ref None in
+      (try
+         Array.iteri
+           (fun i r ->
+             let lo, hi = minmax_expr m value r.Model.expr in
+             let tol = row_tol r in
+             let rhs = r.Model.rhs in
+             let ge_bad = hi < rhs -. tol in
+             let le_bad = lo > rhs +. tol in
+             let infeasible =
+               match r.Model.cmp with
+               | Model.Ge -> ge_bad
+               | Model.Le -> le_bad
+               | Model.Eq -> ge_bad || le_bad
+             in
+             if infeasible then begin
+               hit := Some i;
+               raise Exit
+             end;
+             if !forced = None then begin
+               let try_force need_hi =
+                 (* [need_hi]: the row needs its max kept high (Ge sense);
+                    otherwise its min kept low (Le sense) *)
+                 List.iter
+                   (fun (x, a) ->
+                     if !forced = None && free x && not (is_assigned value.(x))
+                     then begin
+                       let width = Float.abs a in
+                       if need_hi then begin
+                         if hi -. width < rhs -. tol then
+                           forced := Some x
+                       end
+                       else if lo +. width > rhs +. tol then forced := Some x
+                     end)
+                   (Lin_expr.terms r.Model.expr)
+               in
+               (match r.Model.cmp with
+               | Model.Ge -> try_force true
+               | Model.Le -> try_force false
+               | Model.Eq ->
+                   try_force true;
+                   try_force false)
+             end)
+           rows
+       with Exit -> ());
+      match !hit with
+      | Some i -> `Infeasible i
+      | None -> ( match !forced with Some x -> `Forced x | None -> `Open)
+    in
+    let nodes = ref 0 in
+    let pick_static () =
+      let n = Array.length by_cost in
+      let rec go i =
+        if i >= n then None
+        else begin
+          let x = by_cost.(i) in
+          if is_assigned value.(x) then go (i + 1) else Some x
+        end
+      in
+      go 0
+    in
+    let rec dfs () =
+      incr nodes;
+      if !nodes > node_budget then
+        raise
+          (Cert_error
+             (Printf.sprintf "certify: node budget exceeded (%d nodes)"
+                node_budget));
+      match scan () with
+      | `Infeasible i -> leaf_infeasible i
+      | (`Forced _ | `Open) as s -> (
+          let bounded =
+            match incumbent with
+            | Some (c, _) -> min_objective m value >= c -. gap
+            | None -> false
+          in
+          if bounded then leaf_bound
+          else
+            let x =
+              match s with `Forced x -> Some x | `Open -> pick_static ()
+            in
+            match x with
+            | Some x ->
+                value.(x) <- 0.;
+                let zero = dfs () in
+                value.(x) <- 1.;
+                let one = dfs () in
+                value.(x) <- unassigned;
+                branch x zero one
+            | None ->
+                (* complete feasible assignment that neither an infeasible
+                   row nor the incumbent bound excludes: the claim fails *)
+                raise
+                  (Cert_error
+                     (match incumbent with
+                     | Some (c, _) ->
+                         Printf.sprintf
+                           "certify: found a feasible solution with \
+                            objective %g, better than the incumbent %g — \
+                            solver result is not optimal"
+                           (min_objective m value) c
+                     | None ->
+                         "certify: model is feasible but was claimed \
+                          infeasible")))
+    in
+    match dfs () with
+    | exception Cert_error e -> Error e
+    | tree ->
+        let incumbent_json =
+          match incumbent with
+          | None -> []
+          | Some (c, sol) ->
+              [ ( "incumbent",
+                  J.Obj
+                    [ ("objective", J.Num c);
+                      ( "solution",
+                        J.Arr
+                          (Array.to_list (Array.map (fun v -> J.Num v) sol))
+                      ) ] ) ]
+        in
+        Ok
+          (J.Obj
+             ([ ("format", J.Str "archex-cert");
+                ("version", J.Num 1.);
+                ("model", Model.to_json m) ]
+             @ incumbent_json
+             @ [ ("nodes", J.Num (float_of_int !nodes)); ("tree", tree) ]))
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Checker                                                             *)
+
+type summary = {
+  objective : float option;
+  vars : int;
+  rows : int;
+  tree_nodes : int;
+}
+
+let field name j =
+  match J.mem name j with
+  | Some v -> Ok v
+  | None -> errf "certificate: missing %S" name
+
+let num ctx = function
+  | J.Num v -> Ok v
+  | v -> errf "certificate: %s must be a number, got %s" ctx (J.to_string v)
+
+let int_field ctx v =
+  let* x = num ctx v in
+  if Float.is_integer x then Ok (int_of_float x)
+  else errf "certificate: %s must be an integer" ctx
+
+let expect_format name j =
+  match (J.mem "format" j, J.mem "version" j) with
+  | Some (J.Str f), Some (J.Num 1.) when f = name -> Ok ()
+  | Some (J.Str f), _ when f <> name ->
+      errf "certificate: expected format %S, got %S" name f
+  | _ -> errf "certificate: missing or unsupported format/version"
+
+let check cert =
+  let* () = expect_format "archex-cert" cert in
+  let* model_json = field "model" cert in
+  let* m = Model.of_json model_json in
+  let nvars = Model.var_count m in
+  let rows = Array.of_list (Model.constraints m) in
+  let* incumbent =
+    match J.mem "incumbent" cert with
+    | None -> Ok None
+    | Some inc ->
+        let* c = Result.bind (field "objective" inc) (num "objective") in
+        let* sol = field "solution" inc in
+        let* sol =
+          match sol with
+          | J.Arr l ->
+              let rec go acc = function
+                | [] -> Ok (Array.of_list (List.rev acc))
+                | J.Num v :: tl -> go (v :: acc) tl
+                | v :: _ ->
+                    errf "certificate: non-numeric solution entry %s"
+                      (J.to_string v)
+              in
+              go [] l
+          | v ->
+              errf "certificate: solution must be an array, got %s"
+                (J.to_string v)
+        in
+        Ok (Some (c, sol))
+  in
+  let* () =
+    match incumbent with
+    | None -> Ok ()
+    | Some inc ->
+        Result.map_error (fun e -> "certificate: " ^ e) (verify_incumbent m inc)
+  in
+  let gap =
+    match incumbent with Some (c, _) -> objective_gap m c | None -> 0.
+  in
+  let value = Array.make nvars unassigned in
+  let count = ref 0 in
+  let rec walk path t =
+    incr count;
+    match t with
+    | J.Obj fields when List.mem_assoc "leaf" fields -> (
+        match List.assoc "leaf" fields with
+        | J.Str "bound" -> (
+            match incumbent with
+            | None ->
+                errf "%s: bound leaf in an infeasibility certificate" path
+            | Some (c, _) ->
+                let lo = min_objective m value in
+                if lo >= c -. gap then Ok ()
+                else
+                  errf
+                    "%s: bound leaf not justified — min achievable \
+                     objective %g is below incumbent %g - gap %g"
+                    path lo c gap)
+        | J.Str "infeasible" ->
+            let* i =
+              Result.bind (field "row" t) (int_field (path ^ ".row"))
+            in
+            if i < 0 || i >= Array.length rows then
+              errf "%s: row index %d out of range (%d rows)" path i
+                (Array.length rows)
+            else if row_infeasible m value rows.(i) then Ok ()
+            else
+              errf
+                "%s: row %d (%s) is still satisfiable under the branch \
+                 assignment"
+                path i
+                (match rows.(i).Model.cname with
+                | Some n -> n
+                | None -> "<unnamed>")
+        | v -> errf "%s: unknown leaf kind %s" path (J.to_string v))
+    | J.Obj fields when List.mem_assoc "var" fields ->
+        let* x =
+          Result.bind (field "var" t) (int_field (path ^ ".var"))
+        in
+        if x < 0 || x >= nvars then
+          errf "%s: variable index %d out of range (%d vars)" path x nvars
+        else if Model.kind_of m x <> Model.Boolean then
+          errf "%s: branch on non-Boolean variable %s" path (Model.name_of m x)
+        else if is_assigned value.(x) then
+          errf "%s: branches twice on variable %s" path (Model.name_of m x)
+        else
+          let* zero = field "zero" t in
+          let* one = field "one" t in
+          let child v sub tag =
+            (* a branch value outside the variable's (narrowed) bounds
+               covers no feasible point: the subtree is vacuously valid *)
+            if
+              v < Model.lower_bound m x -. 1e-9
+              || v > Model.upper_bound m x +. 1e-9
+            then Ok ()
+            else begin
+              value.(x) <- v;
+              let r = walk (path ^ "." ^ tag) sub in
+              value.(x) <- unassigned;
+              r
+            end
+          in
+          let* () = child 0. zero "zero" in
+          child 1. one "one"
+    | v -> errf "%s: malformed tree node %s" path (J.to_string v)
+  in
+  let* tree = field "tree" cert in
+  let* () = walk "tree" tree in
+  Ok
+    { objective = Option.map fst incumbent;
+      vars = nvars;
+      rows = Array.length rows;
+      tree_nodes = !count }
+
+(* ------------------------------------------------------------------ *)
+(* ILP-MR certificate chains                                           *)
+
+let chain ~r_star ~iterations ~final_objective =
+  J.Obj
+    [ ("format", J.Str "archex-mr-cert");
+      ("version", J.Num 1.);
+      ("r_star", J.Num r_star);
+      ( "iterations",
+        J.Arr
+          (List.mapi
+             (fun i (cert, learned) ->
+               J.Obj
+                 [ ("index", J.Num (float_of_int i));
+                   ("cert", cert);
+                   ("learned", J.Arr learned) ])
+             iterations) );
+      ( "final",
+        J.Obj
+          [ ( "objective",
+              match final_objective with Some c -> J.Num c | None -> J.Null
+            ) ] ) ]
+
+type chain_summary = {
+  iterations : int;
+  final_objective : float option;
+  total_tree_nodes : int;
+}
+
+(* var/row arrays of a per-iteration certificate's embedded model, as raw
+   JSON (prefix chaining compares them structurally) *)
+let model_arrays cert =
+  let* model = field "model" cert in
+  let* vars = field "vars" model in
+  let* rows = field "rows" model in
+  match (vars, rows) with
+  | J.Arr vs, J.Arr rs -> Ok (vs, rs)
+  | _ -> Error "certificate: model vars/rows must be arrays"
+
+let rec is_prefix eq xs ys =
+  match (xs, ys) with
+  | [], _ -> true
+  | _, [] -> false
+  | x :: xs, y :: ys -> eq x y && is_prefix eq xs ys
+
+let row_name row =
+  match J.mem "name" row with Some (J.Str n) -> Some n | _ -> None
+
+let check_chain chain_json =
+  let* () = expect_format "archex-mr-cert" chain_json in
+  let* _ = Result.bind (field "r_star" chain_json) (num "r_star") in
+  let* iters =
+    match J.mem "iterations" chain_json with
+    | Some (J.Arr ([ _ ] as l)) | Some (J.Arr (_ :: _ :: _ as l)) -> Ok l
+    | _ -> Error "certificate: chain needs a non-empty iterations array"
+  in
+  let n = List.length iters in
+  let rec go i prev total = function
+    | [] -> Ok (prev, total)
+    | it :: rest ->
+        let* idx = Result.bind (field "index" it) (int_field "index") in
+        let* () =
+          if idx <> i then
+            errf "certificate: iteration %d carries index %d" i idx
+          else Ok ()
+        in
+        let* cert = field "cert" it in
+        let* summary =
+          Result.map_error
+            (fun e -> Printf.sprintf "iteration %d: %s" i e)
+            (check cert)
+        in
+        let* () =
+          if summary.objective = None then
+            errf "certificate: iteration %d proves infeasibility mid-chain" i
+          else Ok ()
+        in
+        let* vars, rows = model_arrays cert in
+        let* learned =
+          match J.mem "learned" it with
+          | Some (J.Arr l) -> Ok l
+          | _ -> errf "certificate: iteration %d has no learned array" i
+        in
+        (* chaining: this model must extend the previous one by exactly the
+           rows the previous iteration learned (plus nothing dropped) *)
+        let* () =
+          match prev with
+          | None -> Ok ()
+          | Some (pvars, prows, plearned, psummary) ->
+              if not (is_prefix J.equal pvars vars) then
+                errf
+                  "certificate: iteration %d variables do not extend \
+                   iteration %d"
+                  i (i - 1)
+              else if not (is_prefix J.equal prows rows) then
+                errf
+                  "certificate: iteration %d rows do not extend iteration %d"
+                  i (i - 1)
+              else begin
+                let added =
+                  List.filteri
+                    (fun k _ -> k >= List.length prows)
+                    rows
+                  |> List.filter_map row_name
+                in
+                let missing =
+                  List.filter_map
+                    (fun l ->
+                      match J.mem "name" l with
+                      | Some (J.Str nm) when not (List.mem nm added) ->
+                          Some nm
+                      | _ -> None)
+                    plearned
+                in
+                match missing with
+                | nm :: _ ->
+                    errf
+                      "certificate: learned constraint %S of iteration %d \
+                       missing from iteration %d's model"
+                      nm (i - 1) i
+                | [] ->
+                    if List.length rows <= List.length prows then
+                      errf
+                        "certificate: iteration %d adds no constraints over \
+                         iteration %d"
+                        i (i - 1)
+                    else begin
+                      (* monotone cost: adding constraints cannot cheapen
+                         the optimum *)
+                      match (psummary.objective, summary.objective) with
+                      | Some a, Some b
+                        when b < a -. (1e-6 *. Float.max 1. (Float.abs a)) ->
+                          errf
+                            "certificate: iteration %d optimum %g is below \
+                             iteration %d optimum %g despite added \
+                             constraints"
+                            i b (i - 1) a
+                      | _ -> Ok ()
+                    end
+              end
+        in
+        let* () =
+          if i < n - 1 && learned = [] then
+            errf
+              "certificate: iteration %d learned nothing yet the chain \
+               continues"
+              i
+          else Ok ()
+        in
+        go (i + 1)
+          (Some (vars, rows, learned, summary))
+          (total + summary.tree_nodes)
+          rest
+  in
+  let* last, total = go 0 None 0 iters in
+  let final_objective =
+    match last with Some (_, _, _, s) -> s.objective | None -> None
+  in
+  let* () =
+    let* final = field "final" chain_json in
+    let* claimed = field "objective" final in
+    match (claimed, final_objective) with
+    | J.Null, None -> Ok ()
+    | J.Num c, Some c'
+      when Float.abs (c -. c') <= 1e-6 *. Float.max 1. (Float.abs c') ->
+        Ok ()
+    | _ ->
+        errf "certificate: final objective %s does not match last iteration"
+          (J.to_string claimed)
+  in
+  Ok { iterations = n; final_objective; total_tree_nodes = total }

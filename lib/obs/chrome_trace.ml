@@ -1,0 +1,99 @@
+(* NDJSON span trace → Chrome trace-event JSON.
+
+   The span schema of {!Trace} (begin/end/event records with absolute
+   [ts] seconds) maps directly onto the Chrome trace-event format that
+   Perfetto and chrome://tracing load: every begin/end pair becomes one
+   complete ("ph":"X") event with microsecond [ts]/[dur] relative to the
+   first record, and every instant record becomes an instant ("ph":"i")
+   event.  Spans whose end line was lost (truncated trace) are emitted
+   with [dur] 0 and a ["truncated"] argument so they stay visible. *)
+
+let us t = Float.round (t *. 1e6)
+
+let field j key = Json.mem key j
+let str_field j key = Option.bind (field j key) Json.to_str
+let num_field j key = Option.bind (field j key) Json.to_float
+
+let attrs_of j =
+  match field j "attrs" with Some (Json.Obj a) -> a | _ -> []
+
+let complete ~name ~ts ~dur ~args =
+  Json.Obj
+    ([ ("name", Json.Str name);
+       ("ph", Json.Str "X");
+       ("ts", Json.Num (us ts));
+       ("dur", Json.Num (us dur));
+       ("pid", Json.Num 1.);
+       ("tid", Json.Num 1.) ]
+    @ if args = [] then [] else [ ("args", Json.Obj args) ])
+
+let instant ~name ~ts ~args =
+  Json.Obj
+    ([ ("name", Json.Str name);
+       ("ph", Json.Str "i");
+       ("ts", Json.Num (us ts));
+       ("s", Json.Str "t");
+       ("pid", Json.Num 1.);
+       ("tid", Json.Num 1.) ]
+    @ if args = [] then [] else [ ("args", Json.Obj args) ])
+
+(* Stack walk mirroring {!Trace.tree_of_events}: ends are matched to their
+   begin by span id when both carry one, by name otherwise; frames skipped
+   over by a matching end, and frames still open at end-of-stream, close
+   with zero duration and a "truncated" argument. *)
+let of_events events =
+  let t0 =
+    match
+      List.find_map (fun j -> num_field j "ts") events
+    with
+    | Some t -> t
+    | None -> 0.
+  in
+  let out = ref [] in
+  let emit e = out := e :: !out in
+  (* frames: (id option, name, attrs, begin ts) *)
+  let close_truncated (_, name, attrs, ts) =
+    emit
+      (complete ~name ~ts:(ts -. t0) ~dur:0.
+         ~args:(attrs @ [ ("truncated", Json.Bool true) ]))
+  in
+  let frame_matches j (fid, fname, _, _) =
+    match (num_field j "id", fid) with
+    | Some i, Some fi -> i = fi
+    | _ -> Option.value (str_field j "name") ~default:"?" = fname
+  in
+  let step stack j =
+    let name = Option.value (str_field j "name") ~default:"?" in
+    let ts = Option.value (num_field j "ts") ~default:t0 in
+    match str_field j "ev" with
+    | Some "begin" -> (num_field j "id", name, attrs_of j, ts) :: stack
+    | Some "end" ->
+        if not (List.exists (frame_matches j) stack) then stack
+        else begin
+          let rec unwind = function
+            | [] -> []
+            | ((_, fname, attrs, fts) as frame) :: rest ->
+                if frame_matches j frame then begin
+                  emit
+                    (complete ~name:fname ~ts:(fts -. t0)
+                       ~dur:(Float.max 0. (ts -. fts))
+                       ~args:attrs);
+                  rest
+                end
+                else begin
+                  close_truncated frame;
+                  unwind rest
+                end
+          in
+          unwind stack
+        end
+    | Some "event" ->
+        emit (instant ~name ~ts:(ts -. t0) ~args:(attrs_of j));
+        stack
+    | _ -> stack
+  in
+  let stack = List.fold_left step [] events in
+  List.iter close_truncated stack;
+  Json.Obj
+    [ ("traceEvents", Json.Arr (List.rev !out));
+      ("displayTimeUnit", Json.Str "ms") ]

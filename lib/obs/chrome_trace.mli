@@ -1,0 +1,14 @@
+(** Chrome trace-event export.
+
+    Converts the NDJSON span trace written by [--trace] into the Chrome
+    trace-event JSON format, loadable in Perfetto
+    ({:https://ui.perfetto.dev}) and [chrome://tracing]: one complete
+    ("ph":"X") event per span with microsecond timestamps relative to the
+    first record, and one instant ("ph":"i") event per instant record
+    (solver progress events included).  All events land on pid 1 / tid 1
+    — the synthesis stack is single-threaded. *)
+
+val of_events : Json.t list -> Json.t
+(** [of_events records] is the [{"traceEvents": [...]}] object.  Spans
+    whose end record is missing (truncated trace) are emitted with zero
+    duration and a ["truncated"] argument rather than dropped. *)

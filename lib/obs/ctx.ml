@@ -1,13 +1,17 @@
 type t = {
   trace : Trace.t;
   metrics : Metrics.t;
+  search_log : (Json.t -> unit) option;
 }
 
-let null = { trace = Trace.null; metrics = Metrics.null }
+let null = { trace = Trace.null; metrics = Metrics.null; search_log = None }
 
-let make ?(trace = Trace.null) ?(metrics = Metrics.null) () =
-  { trace; metrics }
+let make ?(trace = Trace.null) ?(metrics = Metrics.null) ?search_log () =
+  { trace; metrics; search_log }
 
-let enabled t = Trace.enabled t.trace || Metrics.enabled t.metrics
+let enabled t =
+  Trace.enabled t.trace || Metrics.enabled t.metrics || t.search_log <> None
+
 let trace t = t.trace
 let metrics t = t.metrics
+let search_log t = t.search_log

@@ -1,0 +1,199 @@
+(* Human-readable explanation of an optimized architecture: where the
+   cost goes, which constraints pin the optimum down, how much
+   reliability margin each requirement has, and which ILP-MR iteration
+   taught the solver each active learned constraint.  Everything is
+   derived from the final model and its solution by plain arithmetic —
+   the same trust base as the certificate checker. *)
+
+module Model = Milp.Model
+module Lin_expr = Milp.Lin_expr
+
+let bpf = Printf.bprintf
+
+type row_status = Binding | Slack of float | Violated of float
+
+(* Signed slack: distance to the constraint boundary, ≥ 0 when satisfied.
+   Eq rows are binding or violated, never slack. *)
+let classify (r : Model.row) assignment =
+  let lhs = Lin_expr.eval r.Model.expr assignment in
+  let scale =
+    List.fold_left
+      (fun acc (_, a) -> Float.max acc (Float.abs a))
+      (Float.max 1. (Float.abs r.Model.rhs))
+      (Lin_expr.terms r.Model.expr)
+  in
+  let tol = 1e-6 *. scale in
+  let slack =
+    match r.Model.cmp with
+    | Model.Le -> r.Model.rhs -. lhs
+    | Model.Ge -> lhs -. r.Model.rhs
+    | Model.Eq -> -.Float.abs (lhs -. r.Model.rhs)
+  in
+  if slack < -.tol then Violated (-.slack)
+  else if slack <= tol then Binding
+  else Slack slack
+
+let row_label i (r : Model.row) =
+  match r.Model.cname with
+  | Some n -> n
+  | None -> Printf.sprintf "row_%d" i
+
+let markdown ?(title = "Architecture explanation") ?(reliability = [])
+    ?(learned = []) ~model ~solution () =
+  let buf = Buffer.create 4096 in
+  let assignment x = solution.(x) in
+  let objective = Model.objective_value model assignment in
+  bpf buf "# %s\n\n" title;
+  bpf buf "- objective (total cost): **%g**\n" objective;
+  bpf buf "- variables: %d, constraints: %d\n" (Model.var_count model)
+    (Model.constraint_count model);
+
+  (* --- cost attribution -------------------------------------------- *)
+  let obj_terms = Lin_expr.terms (Model.objective model) in
+  let selected =
+    List.filter_map
+      (fun (x, a) ->
+        let v = solution.(x) in
+        let contribution = a *. v in
+        if Float.abs contribution > 1e-9 then
+          Some (Model.name_of model x, v, a, contribution)
+        else None)
+      obj_terms
+    |> List.sort (fun (_, _, _, a) (_, _, _, b) -> Float.compare b a)
+  in
+  bpf buf "\n## Selected components and cost attribution\n\n";
+  if selected = [] then bpf buf "no cost-bearing variable is active.\n"
+  else begin
+    bpf buf "| variable | value | unit cost | cost | share %% |\n";
+    bpf buf "|---|---:|---:|---:|---:|\n";
+    let total = List.fold_left (fun s (_, _, _, c) -> s +. c) 0. selected in
+    List.iter
+      (fun (name, v, a, c) ->
+        bpf buf "| `%s` | %g | %g | %g | %.1f |\n" name v a c
+          (if total = 0. then 0. else 100. *. c /. total))
+      selected;
+    let const = Lin_expr.constant (Model.objective model) in
+    if const <> 0. then bpf buf "\nconstant objective offset: %g\n" const
+  end;
+  let active_structural =
+    List.length
+      (List.filter
+         (fun x ->
+           solution.(x) > 0.5 && Lin_expr.coef (Model.objective model) x = 0.)
+         (List.init (Model.var_count model) Fun.id))
+  in
+  if active_structural > 0 then
+    bpf buf "\n%d zero-cost structural variables are active (interconnection \
+             / selector variables).\n"
+      active_structural;
+
+  (* --- binding vs slack constraints -------------------------------- *)
+  let classified =
+    List.mapi
+      (fun i r -> (i, r, classify r assignment))
+      (Model.constraints model)
+  in
+  let binding =
+    List.filter (fun (_, _, s) -> s = Binding) classified
+  in
+  let violated =
+    List.filter
+      (fun (_, _, s) -> match s with Violated _ -> true | _ -> false)
+      classified
+  in
+  bpf buf "\n## Constraints at the optimum\n\n";
+  bpf buf "- binding: %d of %d (the constraints that pin the optimum down)\n"
+    (List.length binding) (List.length classified);
+  (match violated with
+  | [] -> ()
+  | l ->
+      bpf buf "- **violated: %d** — the solution is not feasible!\n"
+        (List.length l));
+  if binding <> [] then begin
+    (* the full list can run to hundreds of structural rows — show the
+       named (requirement / learned) ones first and cap the table *)
+    let named (_, r, _) = r.Model.cname <> None in
+    let shown, cap = (List.stable_sort
+                        (fun a b -> compare (named b) (named a)) binding,
+                      30)
+    in
+    bpf buf "\n| binding constraint |\n|---|\n";
+    List.iteri
+      (fun n (i, r, _) ->
+        if n < cap then bpf buf "| `%s` |\n" (row_label i r))
+      shown;
+    if List.length binding > cap then
+      bpf buf "\n… and %d more binding constraints (structural rows \
+               elided).\n"
+        (List.length binding - cap)
+  end;
+  List.iter
+    (fun (i, r, s) ->
+      match s with
+      | Violated v ->
+          bpf buf "\nviolated: `%s` by %g\n" (row_label i r) v
+      | _ -> ())
+    classified;
+  let slackest =
+    List.filter_map
+      (fun (i, r, s) -> match s with Slack v -> Some (i, r, v) | _ -> None)
+      classified
+    |> List.sort (fun (_, _, a) (_, _, b) -> Float.compare a b)
+  in
+  (match slackest with
+  | [] -> ()
+  | (i, r, v) :: _ ->
+      bpf buf "\ntightest non-binding constraint: `%s` (slack %g)\n"
+        (row_label i r) v);
+
+  (* --- reliability margins ----------------------------------------- *)
+  if reliability <> [] then begin
+    bpf buf "\n## Reliability margin per requirement\n\n";
+    bpf buf "| sink | unreliability | requirement r* | margin |\n";
+    bpf buf "|---|---:|---:|---:|\n";
+    List.iter
+      (fun (sink, achieved, target) ->
+        let margin = target -. achieved in
+        bpf buf "| %s | %.3e | %.3e | %s%.3e |\n" sink achieved target
+          (if margin < 0. then "**-**" else "")
+          (Float.abs margin))
+      reliability;
+    if List.exists (fun (_, a, t) -> a > t) reliability then
+      bpf buf "\n**warning: at least one requirement is missed.**\n"
+  end;
+
+  (* --- learned-constraint provenance ------------------------------- *)
+  if learned <> [] then begin
+    bpf buf "\n## Learned reliability constraints\n\n";
+    bpf buf "| constraint | introduced in iteration | status |\n";
+    bpf buf "|---|---:|---|\n";
+    let status_of name =
+      match
+        List.find_opt
+          (fun (i, r, _) -> row_label i r = name)
+          classified
+      with
+      | Some (_, _, Binding) -> "**binding**"
+      | Some (_, _, Slack v) -> Printf.sprintf "slack %g" v
+      | Some (_, _, Violated v) -> Printf.sprintf "VIOLATED by %g" v
+      | None -> "not in final model"
+    in
+    List.iter
+      (fun (name, iter) ->
+        bpf buf "| `%s` | %d | %s |\n" name iter (status_of name))
+      learned;
+    let active =
+      List.filter
+        (fun (name, _) ->
+          List.exists
+            (fun (i, r, s) -> s = Binding && row_label i r = name)
+            classified)
+        learned
+    in
+    bpf buf
+      "\n%d of %d learned constraints are binding at the optimum — these \
+       are the cut sets that forced the architecture away from the \
+       cost-only solution.\n"
+      (List.length active) (List.length learned)
+  end;
+  Buffer.contents buf

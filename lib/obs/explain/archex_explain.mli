@@ -1,0 +1,31 @@
+(** Human-readable explanation report for an optimized architecture.
+
+    Renders, as markdown: the selected (cost-bearing) components with
+    per-component cost attribution, the binding vs slack constraints at
+    the optimum, the reliability margin of every requirement against
+    [r*], and — for ILP-MR runs — which iteration introduced each learned
+    constraint and whether it is binding in the final model.
+
+    Everything is computed from the final model and its solution with
+    plain {!Milp.Lin_expr} arithmetic (the same trust base as
+    {!Archex_cert.check}); no solver state is consulted. *)
+
+type row_status = Binding | Slack of float | Violated of float
+
+val classify : Milp.Model.row -> (int -> float) -> row_status
+(** Status of one constraint under an assignment, with a relative
+    tolerance on the boundary ([Eq] rows are binding or violated, never
+    slack). *)
+
+val markdown :
+  ?title:string ->
+  ?reliability:(string * float * float) list ->
+  ?learned:(string * int) list ->
+  model:Milp.Model.t ->
+  solution:float array ->
+  unit ->
+  string
+(** [markdown ~model ~solution ()] renders the report.  [reliability]
+    rows are [(sink, achieved unreliability, requirement r_star)];
+    [learned] maps constraint names to the ILP-MR iteration that
+    introduced them. *)

@@ -1,0 +1,18 @@
+(* OCaml runtime GC observability: sample Gc.quick_stat into gauges so
+   metrics snapshots (and the markdown report built from them) show how
+   much allocation and heap growth a run cost.  Sampling a disabled
+   registry is a no-op, so callers sample unconditionally at span
+   boundaries. *)
+
+let sample metrics =
+  if Metrics.enabled metrics then begin
+    let s = Gc.quick_stat () in
+    let set name v = Metrics.set (Metrics.gauge metrics name) v in
+    set "gc.minor_collections" (float_of_int s.Gc.minor_collections);
+    set "gc.major_collections" (float_of_int s.Gc.major_collections);
+    set "gc.compactions" (float_of_int s.Gc.compactions);
+    set "gc.heap_words" (float_of_int s.Gc.heap_words);
+    set "gc.top_heap_words" (float_of_int s.Gc.top_heap_words);
+    set "gc.minor_words" s.Gc.minor_words;
+    set "gc.promoted_words" s.Gc.promoted_words
+  end

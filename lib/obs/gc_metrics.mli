@@ -1,0 +1,15 @@
+(** OCaml runtime GC observability.
+
+    {!sample} reads [Gc.quick_stat] and stores the collection counts and
+    heap sizes as gauges in a {!Metrics} registry:
+    [gc.minor_collections], [gc.major_collections], [gc.compactions],
+    [gc.heap_words], [gc.top_heap_words], [gc.minor_words],
+    [gc.promoted_words].
+
+    The synthesis stack samples at span boundaries (after every
+    [Milp.Solver.solve], ILP-MR iteration and reliability analysis, and
+    once more before a metrics snapshot is written), so the gauges hold
+    the latest values at the time of the snapshot. *)
+
+val sample : Metrics.t -> unit
+(** No-op on a disabled registry. *)

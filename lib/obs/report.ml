@@ -95,6 +95,23 @@ let iterations_section buf (conv : Convergence.t) =
       conv.Convergence.iterations
   end
 
+let gc_summary buf fields =
+  (* one-line digest of the gc.* gauges sampled by Gc_metrics *)
+  let g name =
+    Option.bind (List.assoc_opt name fields) Json.to_float
+  in
+  match g "gc.top_heap_words" with
+  | None -> ()
+  | Some top ->
+      let words_mib w = w *. float_of_int (Sys.word_size / 8) /. 1048576. in
+      bpf buf "\nGC: top heap %.1f MiB, %s minor / %s major collections"
+        (words_mib top)
+        (opt_num (g "gc.minor_collections"))
+        (opt_num (g "gc.major_collections"));
+      (match g "gc.minor_words" with
+      | Some mw -> bpf buf ", %.1f MiB allocated\n" (words_mib mw)
+      | None -> bpf buf "\n")
+
 let metrics_section buf metrics =
   match metrics with
   | None -> ()
@@ -116,7 +133,8 @@ let metrics_section buf metrics =
                   "| `%s` | count %s, sum %s, p50 %s, p90 %s, p99 %s |\n"
                   name (f "count") (f "sum") (f "p50") (f "p90") (f "p99")
             | _ -> bpf buf "| `%s` | %s |\n" name (Json.to_string v))
-          fields
+          fields;
+        gc_summary buf fields
       end
   | Some j ->
       section buf "Metrics";

@@ -154,6 +154,45 @@ let test_event_json_roundtrip () =
             ("elapsed", Json.Num 1.) ])
     = None)
 
+let test_convergence_edge_cases () =
+  (* empty stream: well-formed empty timeline, nothing invented *)
+  let t = Convergence.of_event_list [] in
+  check_int "empty stream: no segments" 0
+    (List.length t.Convergence.segments);
+  check_int "empty stream: no iterations" 0
+    (List.length t.Convergence.iterations);
+  let t = Convergence.of_events [] in
+  check_int "empty trace: no segments" 0
+    (List.length t.Convergence.segments);
+  (* single-event stream whose one event carries no data: the heartbeat
+     is dropped and no empty segment is fabricated *)
+  let t =
+    Convergence.of_event_list [ ev ~kind:Event.Heartbeat ~elapsed:0.1 [] ]
+  in
+  check_int "lone empty heartbeat: no segment" 0
+    (List.length t.Convergence.segments);
+  (* first (and only) event is an incumbent: one segment, one point,
+     no bogus bound or gap *)
+  let t =
+    Convergence.of_event_list
+      [ ev ~kind:Event.Incumbent ~elapsed:0.1 [ ("incumbent", 5.) ] ]
+  in
+  match t.Convergence.segments with
+  | [ seg ] -> (
+      check_int "lone incumbent: one point" 1
+        (List.length seg.Convergence.points);
+      let p = List.hd seg.Convergence.points in
+      checkb "lone incumbent: value kept" true
+        (p.Convergence.incumbent = Some 5.);
+      checkb "lone incumbent: no invented bound" true
+        (p.Convergence.bound = None);
+      checkb "lone incumbent: no gap claimed" true
+        (Convergence.point_gap p = None);
+      match Convergence.final_gap seg with
+      | None -> ()
+      | Some g -> Alcotest.failf "bogus final gap %g" g)
+  | segs -> Alcotest.failf "expected 1 segment, got %d" (List.length segs)
+
 let test_convergence_from_trace () =
   (* progress instants inside a traced span, as written by the CLI *)
   let progress ~ts event =
@@ -302,6 +341,8 @@ let () =
         [ Alcotest.test_case "reconstruction + segmentation" `Quick
             test_convergence_reconstruction;
           Alcotest.test_case "gap clamps" `Quick test_gap_clamps;
+          Alcotest.test_case "edge cases (empty / single event)" `Quick
+            test_convergence_edge_cases;
           Alcotest.test_case "event json round-trip" `Quick
             test_event_json_roundtrip;
           Alcotest.test_case "from trace records" `Quick

@@ -1,0 +1,341 @@
+(* Tests for the certification layer: certificate generation and the
+   arithmetic-only checker (including tampered certificates), ILP-MR
+   chains end to end, the explanation report, the Chrome trace export
+   and the GC gauges. *)
+
+module Json = Archex_obs.Json
+module Model = Milp.Model
+module Lin_expr = Milp.Lin_expr
+module Cert = Archex_cert
+module Explain = Archex_explain
+
+let checkb = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let contains ~needle hay =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+let check_error ~what ~needle = function
+  | Ok _ -> Alcotest.failf "%s: expected an error mentioning %S" what needle
+  | Error msg ->
+      if not (contains ~needle msg) then
+        Alcotest.failf "%s: error %S does not mention %S" what msg needle
+
+let cert_exn = function
+  | Ok c -> c
+  | Error e -> Alcotest.failf "certify failed: %s" e
+
+(* min x + 2y  s.t.  x + y >= 1  over Booleans: optimum x=1, y=0, cost 1 *)
+let tiny_model () =
+  let m = Model.create () in
+  let x = Model.bool_var ~name:"x" m in
+  let y = Model.bool_var ~name:"y" m in
+  Model.set_objective m
+    (Lin_expr.add (Lin_expr.var x) (Lin_expr.scale 2. (Lin_expr.var y)));
+  Model.add_constraint ~name:"cover" m
+    (Lin_expr.add (Lin_expr.var x) (Lin_expr.var y))
+    Model.Ge 1.;
+  m
+
+(* ------------------------------------------------------------------ *)
+(* Certify + check round trip                                          *)
+
+let test_certify_roundtrip () =
+  let m = tiny_model () in
+  let cert = cert_exn (Cert.certify m ~incumbent:(Some (1., [| 1.; 0. |]))) in
+  match Cert.check cert with
+  | Error e -> Alcotest.failf "checker rejected a fresh certificate: %s" e
+  | Ok s ->
+      checkb "objective" true (s.Cert.objective = Some 1.);
+      check_int "vars" 2 s.Cert.vars;
+      check_int "rows" 1 s.Cert.rows;
+      checkb "tree has nodes" true (s.Cert.tree_nodes >= 1)
+
+let test_certify_rejects_wrong_incumbents () =
+  let m = tiny_model () in
+  check_error ~what:"infeasible incumbent" ~needle:"cover"
+    (Cert.certify m ~incumbent:(Some (0., [| 0.; 0. |])));
+  check_error ~what:"mis-priced incumbent" ~needle:"objective"
+    (Cert.certify m ~incumbent:(Some (5., [| 1.; 0. |])));
+  (* feasible but suboptimal: the transparent search finds the better
+     point, i.e. the claimed solver result was wrong *)
+  check_error ~what:"suboptimal incumbent" ~needle:"better than the incumbent"
+    (Cert.certify m ~incumbent:(Some (2., [| 0.; 1. |])))
+
+let test_infeasibility_certificate () =
+  let m = Model.create () in
+  let x = Model.bool_var ~name:"x" m in
+  Model.add_constraint ~name:"up" m (Lin_expr.var x) Model.Ge 1.;
+  Model.add_constraint ~name:"down" m (Lin_expr.var x) Model.Le 0.;
+  (* claiming infeasibility of a feasible model must fail *)
+  let feasible = tiny_model () in
+  check_error ~what:"bogus infeasibility claim" ~needle:"feasible"
+    (Cert.certify feasible ~incumbent:None);
+  let cert = cert_exn (Cert.certify m ~incumbent:None) in
+  match Cert.check cert with
+  | Error e -> Alcotest.failf "infeasibility certificate rejected: %s" e
+  | Ok s -> checkb "no objective" true (s.Cert.objective = None)
+
+(* ------------------------------------------------------------------ *)
+(* Tampered certificates                                               *)
+
+let set_field obj key v =
+  match obj with
+  | Json.Obj fields ->
+      Json.Obj (List.map (fun (k, w) -> if k = key then (k, v) else (k, w))
+                  fields)
+  | j -> j
+
+let get_field obj key =
+  match Json.mem key obj with
+  | Some v -> v
+  | None -> Alcotest.failf "certificate has no %S field" key
+
+let test_tampered_certificates_rejected () =
+  let m = tiny_model () in
+  let cert = cert_exn (Cert.certify m ~incumbent:(Some (1., [| 1.; 0. |]))) in
+  let incumbent = get_field cert "incumbent" in
+  (* flip an assignment bit: x=1 becomes x=0, the incumbent no longer
+     satisfies the cover row *)
+  let flipped =
+    set_field cert "incumbent"
+      (set_field incumbent "solution" (Json.Arr [ Json.Num 0.; Json.Num 0. ]))
+  in
+  check_error ~what:"flipped assignment bit" ~needle:"cover"
+    (Cert.check flipped);
+  (* flip the other way: still feasible but the claimed objective is now
+     wrong for the embedded solution *)
+  let flipped =
+    set_field cert "incumbent"
+      (set_field incumbent "solution" (Json.Arr [ Json.Num 1.; Json.Num 1. ]))
+  in
+  check_error ~what:"objective mismatch" ~needle:"objective"
+    (Cert.check flipped);
+  (* weaken the pruning argument: claim the whole space is bound-pruned.
+     With incumbent 1 and integral costs the gap is 1 - eps, and the
+     min achievable objective is 0 — not justified *)
+  let weakened = set_field cert "tree" (Json.Obj [ ("leaf", Json.Str "bound") ]) in
+  check_error ~what:"weakened bound leaf" ~needle:"not justified"
+    (Cert.check weakened);
+  (* claim a better objective than the solution achieves *)
+  let lowered =
+    set_field cert "incumbent" (set_field incumbent "objective" (Json.Num 0.))
+  in
+  check_error ~what:"lowered claimed objective" ~needle:"objective"
+    (Cert.check lowered)
+
+(* ------------------------------------------------------------------ *)
+(* Chains                                                              *)
+
+let test_chain_roundtrip_and_tamper () =
+  let m1 = tiny_model () in
+  let c1 = cert_exn (Cert.certify m1 ~incumbent:(Some (1., [| 1.; 0. |]))) in
+  (* iteration 2: the learned row y >= 1 pushes the optimum to cost 2 *)
+  let m2 = tiny_model () in
+  let learned_name = "learn_y" in
+  Model.add_constraint ~name:learned_name m2
+    (Lin_expr.var 1) Model.Ge 1.;
+  let c2 = cert_exn (Cert.certify m2 ~incumbent:(Some (2., [| 0.; 1. |]))) in
+  let learned = [ Json.Obj [ ("name", Json.Str learned_name) ] ] in
+  let chain =
+    Cert.chain ~r_star:1e-3
+      ~iterations:[ (c1, learned); (c2, []) ]
+      ~final_objective:(Some 2.)
+  in
+  (match Cert.check_chain chain with
+  | Error e -> Alcotest.failf "fresh chain rejected: %s" e
+  | Ok s ->
+      check_int "iterations" 2 s.Cert.iterations;
+      checkb "final objective" true (s.Cert.final_objective = Some 2.);
+      checkb "total nodes" true (s.Cert.total_tree_nodes >= 2));
+  (* declared final objective disagrees with the last incumbent *)
+  check_error ~what:"wrong final objective" ~needle:"final"
+    (Cert.check_chain
+       (set_field chain "final"
+          (Json.Obj [ ("objective", Json.Num 1.) ])));
+  (* a learned constraint that never shows up in the next model *)
+  let ghost = [ Json.Obj [ ("name", Json.Str "ghost_row") ] ] in
+  check_error ~what:"learned row missing from next model" ~needle:"ghost_row"
+    (Cert.check_chain
+       (Cert.chain ~r_star:1e-3
+          ~iterations:[ (c1, ghost); (c2, []) ]
+          ~final_objective:(Some 2.)));
+  (* a non-final iteration that learned nothing cannot justify the loop
+     having continued *)
+  check_error ~what:"chain continues without learning" ~needle:"learned"
+    (Cert.check_chain
+       (Cert.chain ~r_star:1e-3
+          ~iterations:[ (c1, []); (c2, []) ]
+          ~final_objective:(Some 2.)))
+
+(* ------------------------------------------------------------------ *)
+(* ILP-MR end to end                                                   *)
+
+let test_mr_chain_end_to_end () =
+  let inst = Eps.Eps_template.base () in
+  let enc, result =
+    Archex.Ilp_mr.run_with_encoding ~certify:true
+      inst.Eps.Eps_template.template ~r_star:2e-4
+  in
+  match result with
+  | Archex.Synthesis.Unfeasible _ -> Alcotest.fail "smoke instance unfeasible"
+  | Archex.Synthesis.Synthesized (_, trace, _) -> (
+      checkb "at least one iteration" true (trace <> []);
+      List.iter
+        (fun it ->
+          match it.Archex.Ilp_mr.cert with
+          | Some (Ok _) -> ()
+          | Some (Error e) ->
+              Alcotest.failf "iteration %d failed to certify: %s"
+                it.Archex.Ilp_mr.index e
+          | None -> Alcotest.failf "iteration %d has no certificate"
+                      it.Archex.Ilp_mr.index)
+        trace;
+      match Archex.Ilp_mr.certificate_of_trace ~r_star:2e-4 trace with
+      | Error e -> Alcotest.failf "chain assembly failed: %s" e
+      | Ok chain -> (
+          match Cert.check_chain chain with
+          | Error e -> Alcotest.failf "chain check failed: %s" e
+          | Ok s ->
+              check_int "one cert per iteration" (List.length trace)
+                s.Cert.iterations;
+              (* the explanation renders against the final model *)
+              let last = List.nth trace (List.length trace - 1) in
+              let md =
+                Explain.markdown
+                  ~learned:[]
+                  ~model:(Archex.Gen_ilp.model enc)
+                  ~solution:last.Archex.Ilp_mr.solution ()
+              in
+              checkb "explanation mentions cost attribution" true
+                (contains ~needle:"cost attribution" md)))
+
+(* ------------------------------------------------------------------ *)
+(* Explanation report                                                  *)
+
+let test_explain_markdown () =
+  let m = tiny_model () in
+  let md =
+    Explain.markdown
+      ~reliability:[ ("SINK", 5e-7, 2e-6); ("BAD", 3e-6, 2e-6) ]
+      ~learned:[ ("cover", 1) ]
+      ~model:m ~solution:[| 1.; 0. |] ()
+  in
+  checkb "selected variable listed" true (contains ~needle:"`x`" md);
+  checkb "binding constraint listed" true (contains ~needle:"`cover`" md);
+  checkb "reliability margin table" true
+    (contains ~needle:"Reliability margin" md);
+  checkb "missed requirement flagged" true
+    (contains ~needle:"requirement is missed" md);
+  checkb "learned provenance with status" true
+    (contains ~needle:"| `cover` | 1 | **binding** |" md);
+  (* classify: strict inequality is slack, equality is binding *)
+  let row = List.hd (Model.constraints m) in
+  checkb "binding at the boundary" true
+    (Explain.classify row (fun _ -> 0.5) = Explain.Binding);
+  (match Explain.classify row (fun _ -> 1.) with
+  | Explain.Slack s -> Alcotest.(check (float 1e-9)) "slack of 1" 1. s
+  | _ -> Alcotest.fail "expected slack");
+  match Explain.classify row (fun _ -> 0.) with
+  | Explain.Violated v -> Alcotest.(check (float 1e-9)) "violated by 1" 1. v
+  | _ -> Alcotest.fail "expected violation"
+
+(* ------------------------------------------------------------------ *)
+(* Chrome trace export                                                 *)
+
+let test_chrome_export () =
+  let span ~ts ~ev extra =
+    Json.Obj
+      ([ ("ts", Json.Num ts); ("ev", Json.Str ev);
+         ("name", Json.Str "solve"); ("id", Json.Num 1.);
+         ("depth", Json.Num 0.) ]
+      @ extra)
+  in
+  let records =
+    [ span ~ts:10. ~ev:"begin" [ ("attrs", Json.Obj []) ];
+      Json.Obj
+        [ ("ts", Json.Num 10.5); ("ev", Json.Str "event");
+          ("name", Json.Str "progress"); ("depth", Json.Num 1.);
+          ("attrs", Json.Obj [ ("k", Json.Num 1.) ]) ];
+      span ~ts:11. ~ev:"end" [ ("dur", Json.Num 1.) ];
+      (* a second span left unclosed: must come out truncated, dur 0 *)
+      span ~ts:12. ~ev:"begin" [ ("attrs", Json.Obj []) ] ]
+  in
+  match Archex_obs.Chrome_trace.of_events records with
+  | Json.Obj fields -> (
+      match List.assoc_opt "traceEvents" fields with
+      | Some (Json.Arr events) ->
+          let ph e = Option.bind (Json.mem "ph" e) Json.to_str in
+          check_int "three converted events" 3 (List.length events);
+          check_int "two complete spans" 2
+            (List.length (List.filter (fun e -> ph e = Some "X") events));
+          check_int "one instant" 1
+            (List.length (List.filter (fun e -> ph e = Some "i") events));
+          let closed =
+            List.find
+              (fun e ->
+                ph e = Some "X" && Json.mem "dur" e = Some (Json.Num 1e6))
+              events
+          in
+          checkb "timestamps rebased to first record, in µs" true
+            (Json.mem "ts" closed = Some (Json.Num 0.));
+          let truncated =
+            List.find
+              (fun e ->
+                ph e = Some "X" && Json.mem "dur" e = Some (Json.Num 0.))
+              events
+          in
+          checkb "unclosed span marked truncated" true
+            (match Json.mem "args" truncated with
+            | Some args -> Json.mem "truncated" args = Some (Json.Bool true)
+            | None -> false)
+      | _ -> Alcotest.fail "no traceEvents array")
+  | j -> Alcotest.failf "unexpected export %s" (Json.to_string j)
+
+(* ------------------------------------------------------------------ *)
+(* GC gauges                                                           *)
+
+let test_gc_gauges () =
+  let m = Archex_obs.Metrics.create () in
+  Archex_obs.Gc_metrics.sample m;
+  let present name =
+    match Archex_obs.Metrics.value m name with
+    | Some v -> checkb (name ^ " non-negative") true (v >= 0.)
+    | None -> Alcotest.failf "gauge %s missing after sample" name
+  in
+  List.iter present
+    [ "gc.minor_collections"; "gc.major_collections"; "gc.compactions";
+      "gc.heap_words"; "gc.top_heap_words"; "gc.minor_words";
+      "gc.promoted_words" ];
+  (* sampling a disabled registry stays a no-op *)
+  Archex_obs.Gc_metrics.sample Archex_obs.Metrics.null;
+  checkb "null registry untouched" true
+    (Archex_obs.Metrics.value Archex_obs.Metrics.null "gc.heap_words" = None)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "cert"
+    [ ( "certify",
+        [ Alcotest.test_case "round trip" `Quick test_certify_roundtrip;
+          Alcotest.test_case "wrong incumbents rejected" `Quick
+            test_certify_rejects_wrong_incumbents;
+          Alcotest.test_case "infeasibility certificate" `Quick
+            test_infeasibility_certificate ] );
+      ( "checker",
+        [ Alcotest.test_case "tampered certificates rejected" `Quick
+            test_tampered_certificates_rejected;
+          Alcotest.test_case "chain round trip + tampering" `Quick
+            test_chain_roundtrip_and_tamper ] );
+      ( "ilp-mr",
+        [ Alcotest.test_case "certified run end to end" `Quick
+            test_mr_chain_end_to_end ] );
+      ( "explain",
+        [ Alcotest.test_case "markdown content" `Quick
+            test_explain_markdown ] );
+      ( "chrome-trace",
+        [ Alcotest.test_case "export structure" `Quick test_chrome_export ] );
+      ( "gc-metrics",
+        [ Alcotest.test_case "gauges sampled" `Quick test_gc_gauges ] ) ]
