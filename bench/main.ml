@@ -184,7 +184,7 @@ let table2_strategy strategy label =
             timing.Archex.Synthesis.analysis_time
             timing.Archex.Synthesis.solver_time
             (Archex_obs.Clock.now () -. t0)
-      | Archex.Synthesis.Unfeasible (trace, _) ->
+      | Archex.Synthesis.Unfeasible (_, trace, _) ->
           Printf.printf "  %-18s UNFEASIBLE after %d iterations\n"
             (Printf.sprintf "%d (%d)" (5 * g) g)
             (List.length trace))
@@ -218,7 +218,7 @@ let table3 () =
             info.Archex.Ilp_ar.constraint_count
             timing.Archex.Synthesis.setup_time
             timing.Archex.Synthesis.solver_time
-      | Archex.Synthesis.Unfeasible (info, timing) ->
+      | Archex.Synthesis.Unfeasible (_, info, timing) ->
           Printf.printf "  %-18s %-14d %-15.2f (unfeasible)\n"
             (Printf.sprintf "%d (%d)" (5 * g) g)
             info.Archex.Ilp_ar.constraint_count
@@ -316,7 +316,7 @@ let mr_series ?generators ~r_star () =
     | Archex.Synthesis.Synthesized (arch, trace, timing) ->
         ( trace, timing,
           [ ("feasible", 1.); ("cost", arch.Archex.Synthesis.cost) ] )
-    | Archex.Synthesis.Unfeasible (trace, timing) ->
+    | Archex.Synthesis.Unfeasible (_, trace, timing) ->
         (trace, timing, [ ("feasible", 0.) ])
   in
   [ ("wall_s", wall);
@@ -345,7 +345,7 @@ let ar_series ?generators ~r_star () =
     | Archex.Synthesis.Synthesized (arch, info, timing) ->
         ( info, timing,
           [ ("feasible", 1.); ("cost", arch.Archex.Synthesis.cost) ] )
-    | Archex.Synthesis.Unfeasible (info, timing) ->
+    | Archex.Synthesis.Unfeasible (_, info, timing) ->
         (info, timing, [ ("feasible", 0.) ])
   in
   [ ("wall_s", wall);

@@ -90,6 +90,93 @@ let stats_arg =
   let doc = "Print per-iteration solver statistics." in
   Arg.(value & flag & info [ "stats" ] ~doc)
 
+(* Resilience: --deadline/--max-nodes/--bdd-limit build the global
+   Archex_resilience.Budget shared by every synthesis command; --inject
+   installs a deterministic fault plan for the whole run.  Exit codes:
+   0 synthesized, 1 proved unfeasible (or saturated / iteration limit),
+   3 budget exhausted, 4 invalid input (bad checkpoint, hostile
+   template). *)
+
+let exit_unfeasible = 1
+let exit_exhausted = 3
+let exit_invalid = 4
+
+let fault_plan_conv =
+  let parse s =
+    Result.map_error (fun m -> `Msg m)
+      (Archex_resilience.Faults.parse_spec s)
+  in
+  Arg.conv (parse, fun ppf _ -> Format.pp_print_string ppf "<fault-plan>")
+
+let resilience_args =
+  let deadline_arg =
+    let doc =
+      "Global wall-clock deadline for the whole run, in seconds.  Every \
+       SOLVEILP call runs under a slice of what remains, so one deadline \
+       governs all iterations; on exhaustion the run reports \
+       BUDGET-EXHAUSTED (exit 3), never UNFEASIBLE."
+    in
+    Arg.(value & opt (some float) None
+         & info [ "deadline" ] ~doc ~docv:"SECONDS")
+  in
+  let max_nodes_arg =
+    let doc = "Global search-node budget shared by every solve." in
+    Arg.(value & opt (some int) None & info [ "max-nodes" ] ~doc ~docv:"N")
+  in
+  let bdd_limit_arg =
+    let doc =
+      "BDD node ceiling for the exact reliability oracle.  When a sink's \
+       BDD outgrows it the analysis degrades to cut-set bounds, then to \
+       seeded Monte Carlo (reported per sink, consumed conservatively)."
+    in
+    Arg.(value & opt (some int) None & info [ "bdd-limit" ] ~doc ~docv:"N")
+  in
+  let heap_limit_arg =
+    let doc =
+      "GC heap watermark in words; checked at every budget check (and the \
+       probe point of injected alloc-pressure faults)."
+    in
+    Arg.(value & opt (some int) None
+         & info [ "heap-limit" ] ~doc ~docv:"WORDS")
+  in
+  let inject_arg =
+    let doc =
+      "Deterministic fault injection, e.g. $(b,oracle-failure@2) or \
+       $(b,clock-jump/3,solver-limit~0.1).  Kinds: clock-jump, \
+       oracle-failure, solver-limit, alloc-pressure; triggers: @N = the \
+       N-th probe, /N = every N-th, ~P = seeded Bernoulli.  clock-jump \
+       probes only fire under a --deadline, alloc-pressure only under a \
+       --heap-limit."
+    in
+    Arg.(value & opt (some fault_plan_conv) None
+         & info [ "inject" ] ~doc ~docv:"SPEC")
+  in
+  Term.(
+    const (fun deadline max_nodes bdd_limit heap_limit inject ->
+        (deadline, max_nodes, bdd_limit, heap_limit, inject))
+    $ deadline_arg $ max_nodes_arg $ bdd_limit_arg $ heap_limit_arg
+    $ inject_arg)
+
+let budget_of (deadline, max_nodes, bdd_limit, heap_limit, _) =
+  if
+    deadline = None && max_nodes = None && bdd_limit = None
+    && heap_limit = None
+  then Archex_resilience.Budget.unlimited
+  else
+    Archex_resilience.Budget.create ?deadline ?max_nodes
+      ?max_bdd_nodes:bdd_limit ?max_heap_words:heap_limit ()
+
+let with_faults (_, _, _, _, inject) f =
+  match inject with
+  | None -> f ()
+  | Some plan -> Archex_resilience.Faults.with_plan plan f
+
+let report_unfeasible what n reason =
+  Format.printf "%s after %d iteration(s): %a@." what n
+    Archex.Synthesis.pp_failure_reason reason;
+  if Archex.Synthesis.is_budget_failure reason then exit_exhausted
+  else exit_unfeasible
+
 (* Run [f obs on_event] with sinks wired to the requested files; the trace
    channel is closed and the metrics snapshot written even when [f]
    raises or exits nonzero. *)
@@ -172,18 +259,54 @@ let report inst arch diagram =
   Format.printf "%a@." (Archex.Synthesis.pp_architecture template) arch;
   if diagram then Eps.Eps_diagram.print inst arch.Archex.Synthesis.config
 
+let checkpoint_arg =
+  let doc =
+    "Write a resumable checkpoint of the run to $(docv) (atomically, \
+     after every iteration)."
+  in
+  Arg.(value & opt (some string) None
+       & info [ "checkpoint" ] ~doc ~docv:"FILE")
+
+let resume_arg =
+  let doc =
+    "Resume a checkpointed run from $(docv): the completed iterations \
+     are replayed deterministically (r* and the learning strategy come \
+     from the checkpoint), then the loop continues where it stopped."
+  in
+  Arg.(value & opt (some string) None & info [ "resume" ] ~doc ~docv:"FILE")
+
 let mr_term =
-  let run generators r_star backend lazy_ diagram obs3 stats =
+  let run generators r_star backend lazy_ diagram obs3 stats res checkpoint
+      resume =
     let inst = instance_of generators in
     let strategy =
       if lazy_ then Archex.Learn_cons.Lazy_one_path
       else Archex.Learn_cons.Estimated
     in
+    let budget = budget_of res in
     with_obs obs3 @@ fun obs on_event ->
-    match
-      Archex.Ilp_mr.run ~obs ?on_event ~strategy ~backend
-        inst.Eps.Eps_template.template ~r_star
-    with
+    with_faults res @@ fun () ->
+    let result =
+      match resume with
+      | Some path -> (
+          match Archex.Checkpoint.load path with
+          | Error msg ->
+              Format.eprintf "archex: cannot resume from %s: %s@." path msg;
+              exit exit_invalid
+          | Ok from ->
+              Format.eprintf
+                "archex: resuming after iteration %d (r* = %g)@."
+                (List.length from.Archex.Checkpoint.iterations)
+                from.Archex.Checkpoint.r_star;
+              Archex.Ilp_mr.resume ~obs ?on_event
+                ?strategy:(if lazy_ then Some strategy else None)
+                ~backend ~budget ?checkpoint inst.Eps.Eps_template.template
+                ~from)
+      | None ->
+          Archex.Ilp_mr.run ~obs ?on_event ~strategy ~backend ~budget
+            ?checkpoint inst.Eps.Eps_template.template ~r_star
+    in
+    match result with
     | Archex.Synthesis.Synthesized (arch, trace, timing) ->
         List.iter
           (fun it ->
@@ -202,24 +325,26 @@ let mr_term =
           timing.Archex.Synthesis.solver_time
           timing.Archex.Synthesis.analysis_time;
         0
-    | Archex.Synthesis.Unfeasible (trace, _) ->
-        Format.printf "UNFEASIBLE after %d iterations@." (List.length trace);
-        1
+    | Archex.Synthesis.Unfeasible (reason, trace, _) ->
+        report_unfeasible "UNFEASIBLE" (List.length trace) reason
   in
   Term.(
     const run $ generators_arg $ r_star_arg $ backend_arg $ lazy_arg
-    $ diagram_arg $ obs_args $ stats_arg)
+    $ diagram_arg $ obs_args $ stats_arg $ resilience_args $ checkpoint_arg
+    $ resume_arg)
 
 let mr_cmd =
   let doc = "Synthesize with ILP Modulo Reliability (Algorithm 1)." in
   Cmd.v (Cmd.info "mr" ~doc) mr_term
 
 let ar_cmd =
-  let run generators r_star backend diagram obs3 =
+  let run generators r_star backend diagram obs3 res =
     let inst = instance_of generators in
+    let budget = budget_of res in
     with_obs obs3 @@ fun obs on_event ->
+    with_faults res @@ fun () ->
     match
-      Archex.Ilp_ar.run ~obs ?on_event ~backend
+      Archex.Ilp_ar.run ~obs ?on_event ~backend ~budget
         inst.Eps.Eps_template.template ~r_star
     with
     | Archex.Synthesis.Synthesized (arch, info, timing) ->
@@ -233,16 +358,18 @@ let ar_cmd =
           timing.Archex.Synthesis.setup_time
           timing.Archex.Synthesis.solver_time;
         0
-    | Archex.Synthesis.Unfeasible (info, _) ->
-        Format.printf "UNFEASIBLE (%d constraints)@."
-          info.Archex.Ilp_ar.constraint_count;
-        1
+    | Archex.Synthesis.Unfeasible (reason, info, _) ->
+        Format.printf "UNFEASIBLE (%d constraints): %a@."
+          info.Archex.Ilp_ar.constraint_count
+          Archex.Synthesis.pp_failure_reason reason;
+        if Archex.Synthesis.is_budget_failure reason then exit_exhausted
+        else exit_unfeasible
   in
   let doc = "Synthesize with ILP + Approximate Reliability (Algorithm 3)." in
   Cmd.v (Cmd.info "ar" ~doc)
     Term.(
       const run $ generators_arg $ r_star_arg $ backend_arg $ diagram_arg
-      $ obs_args)
+      $ obs_args $ resilience_args)
 
 let analyze_cmd =
   let run generators obs3 =
@@ -541,7 +668,7 @@ let certify_cmd =
         ~certify:true ?cert_node_budget:node_budget template ~r_star
     in
     match result with
-    | Archex.Synthesis.Unfeasible (trace, _) ->
+    | Archex.Synthesis.Unfeasible (_, trace, _) ->
         Format.eprintf
           "certify: UNFEASIBLE after %d iteration(s) — nothing to certify@."
           (List.length trace);
@@ -664,7 +791,7 @@ let explain_cmd =
         template ~r_star
     in
     match result with
-    | Archex.Synthesis.Unfeasible (trace, _) ->
+    | Archex.Synthesis.Unfeasible (_, trace, _) ->
         Format.eprintf
           "explain: UNFEASIBLE after %d iteration(s) — nothing to explain@."
           (List.length trace);

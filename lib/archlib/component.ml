@@ -14,6 +14,26 @@ let make ?(cost = 0.) ?(fail_prob = 0.) ?(capacity = 0.) ~name ~type_id () =
     invalid_arg "Component.make: failure probability outside [0, 1]";
   { name; type_id; cost; fail_prob; capacity }
 
+let violations c =
+  let bad = ref [] in
+  let check cond msg = if not cond then bad := msg :: !bad in
+  let who = if c.name = "" then "<unnamed>" else c.name in
+  check (c.name <> "") "component has an empty name";
+  check (c.type_id >= 0) (Printf.sprintf "%s: negative type id %d" who c.type_id);
+  check
+    (Float.is_finite c.cost && c.cost >= 0.)
+    (Printf.sprintf "%s: cost %g is not a finite non-negative number" who
+       c.cost);
+  check
+    (Float.is_finite c.capacity && c.capacity >= 0.)
+    (Printf.sprintf "%s: capacity %g is not a finite non-negative number" who
+       c.capacity);
+  check
+    (Float.is_finite c.fail_prob && c.fail_prob >= 0. && c.fail_prob <= 1.)
+    (Printf.sprintf "%s: failure probability %g outside [0, 1]" who
+       c.fail_prob);
+  List.rev !bad
+
 let pp ppf c =
   Format.fprintf ppf "%s(type=%d, c=%g, p=%g, w=%g)" c.name c.type_id c.cost
     c.fail_prob c.capacity

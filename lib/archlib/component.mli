@@ -21,4 +21,11 @@ val make :
     @raise Invalid_argument on a negative type, cost or capacity, or a
     probability outside [0, 1]. *)
 
+val violations : t -> string list
+(** Every attribute violation of the record (empty name, negative type /
+    cost / capacity, non-finite or out-of-range failure probability) — all
+    of them, not just the first.  Empty for any record {!make} would
+    accept.  {!Template.validate_all} aggregates these across a library
+    load so hostile input is rejected with one complete report. *)
+
 val pp : Format.formatter -> t -> unit

@@ -147,6 +147,85 @@ let expand_redundant_pairs t config =
   done;
   g
 
+let validate_all t =
+  let bad = ref [] in
+  let check cond msg = if not cond then bad := msg :: !bad in
+  (* component attributes: every violation of every component *)
+  Array.iteri
+    (fun v c ->
+      List.iter
+        (fun m -> check false (Printf.sprintf "component %d: %s" v m))
+        (Component.violations c))
+    t.components;
+  (* switch costs *)
+  Hashtbl.iter
+    (fun (i, j) c ->
+      check
+        (Float.is_finite c && c >= 0.)
+        (Printf.sprintf
+           "switch cost on pair {%d,%d} is %g (must be finite and >= 0)" i j
+           c))
+    t.switch_costs;
+  (* terminals *)
+  check (t.sources <> []) "no sources declared";
+  check (t.sinks <> []) "no sinks declared";
+  List.iter
+    (fun s ->
+      check
+        (not (List.mem s t.sinks))
+        (Printf.sprintf "node %d is both a source and a sink" s))
+    t.sources;
+  (* requirement references: every edge must be a candidate, every node
+     reference in range and connectable (Gen_ilp rejects isolated nodes) *)
+  let n = node_count t in
+  let has_candidate v =
+    v >= 0 && v < n
+    && (Digraph.pred t.candidate v <> [] || Digraph.succ t.candidate v <> [])
+  in
+  let check_edge i (u, v) =
+    check (is_candidate t u v)
+      (Printf.sprintf "requirement %d references non-candidate edge (%d,%d)"
+         i u v)
+  in
+  let check_node i v =
+    check (has_candidate v)
+      (Printf.sprintf
+         "requirement %d references node %d with no candidate edges" i v)
+  in
+  List.iteri
+    (fun i req ->
+      match req with
+      | Requirement.Edge_card (edges, _, _) -> List.iter (check_edge i) edges
+      | Requirement.Linear_edges (terms, _, _) ->
+          List.iter (fun (e, _) -> check_edge i e) terms
+      | Requirement.Conditional_connect (ante, cons) ->
+          List.iter (check_edge i) ante;
+          List.iter (check_edge i) cons
+      | Requirement.Usage_balance (providers, consumers) ->
+          List.iter (fun (v, _) -> check_node i v) providers;
+          List.iter (fun (v, _) -> check_node i v) consumers
+      | Requirement.Require_used v -> check_node i v
+      | Requirement.Usage_order vs -> List.iter (check_node i) vs)
+    (List.rev t.reqs_rev);
+  (* type chain *)
+  (match t.chain with
+  | None -> ()
+  | Some [] -> check false "empty type chain"
+  | Some (first :: _ as chain) ->
+      if t.sources <> [] && t.sinks <> [] then begin
+        let part = partition t in
+        let last = List.hd (List.rev chain) in
+        let source_types =
+          List.sort_uniq compare (List.map (Partition.type_of part) t.sources)
+        and sink_types =
+          List.sort_uniq compare (List.map (Partition.type_of part) t.sinks)
+        in
+        check (source_types = [ first ])
+          "type chain must start at the sources' type";
+        check (sink_types = [ last ]) "type chain must end at the sinks' type"
+      end);
+  match List.rev !bad with [] -> Ok () | vs -> Error vs
+
 let validate t =
   let ( let* ) r f = Result.bind r f in
   let check cond msg = if cond then Ok () else Error msg in

@@ -81,4 +81,14 @@ val expand_redundant_pairs : t -> Netgraph.Digraph.t -> Netgraph.Digraph.t
 val validate : t -> (unit, string) result
 (** Structural checks: sources/sinks non-empty and disjoint, candidate graph
     references valid nodes, type chain (if set) starts at the sources' type
-    and ends at the sinks'. *)
+    and ends at the sinks'.  Stops at the first violation; prefer
+    {!validate_all} at trust boundaries. *)
+
+val validate_all : t -> (unit, string list) result
+(** Every violation in the template, not just the first: all component
+    attribute violations ({!Component.violations}), non-finite or negative
+    switch costs, missing / overlapping sources and sinks, requirement
+    references to non-candidate edges or unconnectable nodes, and the type
+    chain checks of {!validate}.  The synthesis entry points wrap the
+    result into a single [Archex_resilience.Error.Invalid_input] so a
+    hostile library load is rejected with one complete report. *)

@@ -1,0 +1,47 @@
+(** ILP-MR checkpoints: enough per-iteration state to replay a run
+    deterministically.
+
+    A checkpoint does {e not} snapshot the solver or the learned
+    constraint rows themselves — it records, per completed iteration, the
+    solved configuration and the analysis figures that drove
+    [LEARNCONS].  Because {!Learn_cons.learn} is deterministic in those
+    inputs, {!Ilp_mr.resume} reconstructs the extended model by replaying
+    the learning calls, then continues the loop from the next iteration.
+    Replayed iterations can even be re-certified: at each replay step the
+    model is exactly the model the original iteration solved (learning
+    happens after certification, in both live and replayed runs), so a
+    resumed run still assembles a checkable certificate chain.
+
+    The on-disk form is a single JSON object tagged
+    [{"format": "archex-mr-ckpt", "version": 1}].  {!save} writes
+    atomically (temp file + rename): a kill mid-write leaves the previous
+    checkpoint intact. *)
+
+type iteration = {
+  index : int;                     (** 1-based, as in {!Ilp_mr.iteration} *)
+  solution : float array;          (** raw 0-1 assignment as solved *)
+  edges : (int * int) list;        (** the configuration's edges *)
+  cost : float;
+  reliability : float;             (** worst-sink failure of the analysis *)
+  per_sink : (int * float) list;
+  k_estimate : int option;
+      (** [Some k] iff the iteration learned constraints — the replay
+          re-runs {!Learn_cons.learn} exactly for these *)
+  new_constraints : int;
+}
+
+type t = {
+  r_star : float;                  (** the run's reliability target *)
+  strategy : string option;        (** ["estimated"] / ["lazy-one-path"] *)
+  backend : string option;         (** ["pb"] / ["lp-bb"] / ["brute"] *)
+  iterations : iteration list;     (** chronological *)
+}
+
+val to_json : t -> Archex_obs.Json.t
+val of_json : Archex_obs.Json.t -> (t, string) result
+val of_string : string -> (t, string) result
+
+val save : string -> t -> (unit, string) result
+(** Atomic write (".tmp" sibling, then rename). *)
+
+val load : string -> (t, string) result

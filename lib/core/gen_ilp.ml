@@ -165,13 +165,36 @@ let config_of_solution t solution =
     t.edges;
   g
 
-let solve_raw ?obs ?on_event ?backend ?time_limit t =
-  match Milp.Solver.solve ?obs ?on_event ?backend ?time_limit t.model with
+type checked =
+  | Solved of {
+      solution : float array;
+      config : Digraph.t;
+      objective : float;
+      stats : Milp.Solver.run_stats;
+    }
+  | No_solution of { stats : Milp.Solver.run_stats }
+  | Exhausted of {
+      error : Archex_resilience.Error.t;
+      stats : Milp.Solver.run_stats;
+    }
+
+let solve_checked ?obs ?on_event ?backend ?time_limit ?budget t =
+  match
+    Milp.Solver.solve ?obs ?on_event ?backend ?time_limit ?budget t.model
+  with
   | Milp.Solver.Optimal { objective; solution }, stats ->
-      Some (solution, config_of_solution t solution, objective, stats)
-  | Milp.Solver.Infeasible, _ -> None
-  | Milp.Solver.Unbounded, _ ->
-      failwith "Gen_ilp.solve: unbounded model (costs must be non-negative)"
+      Solved
+        { solution;
+          config = config_of_solution t solution;
+          objective;
+          stats }
+  | Milp.Solver.Infeasible, stats -> No_solution { stats }
+  | Milp.Solver.Unbounded, stats ->
+      Exhausted
+        { error =
+            Archex_resilience.Error.Invalid_input
+              [ "Gen_ilp: unbounded model (costs must be non-negative)" ];
+          stats }
   | Milp.Solver.Limit_reached { incumbent = Some (objective, solution) },
     stats ->
       (* time-limited solve: the incumbent is feasible, possibly not proven
@@ -180,11 +203,33 @@ let solve_raw ?obs ?on_event ?backend ?time_limit t =
       Logs.warn (fun m ->
           m "Gen_ilp.solve: time limit reached; using incumbent (cost %g)"
             objective);
-      Some (solution, config_of_solution t solution, objective, stats)
-  | Milp.Solver.Limit_reached { incumbent = None }, _ ->
+      Solved
+        { solution;
+          config = config_of_solution t solution;
+          objective;
+          stats }
+  | Milp.Solver.Limit_reached { incumbent = None }, stats ->
+      (* the old silent-truncation hazard: this is NOT infeasibility *)
+      let error =
+        match budget with
+        | Some b -> Archex_resilience.Budget.exhaustion ~stage:"solve" b
+        | None ->
+            Archex_resilience.Error.Timeout
+              { stage = "solve";
+                elapsed = stats.Milp.Solver.elapsed;
+                limit = Option.value time_limit ~default:0. }
+      in
+      Exhausted { error; stats }
+
+let solve_raw ?obs ?on_event ?backend ?time_limit t =
+  match solve_checked ?obs ?on_event ?backend ?time_limit t with
+  | Solved { solution; config; objective; stats } ->
+      Some (solution, config, objective, stats)
+  | No_solution _ -> None
+  | Exhausted { error; _ } ->
       failwith
-        "Gen_ilp.solve: solver resource limit reached without a feasible \
-         solution"
+        (Printf.sprintf "Gen_ilp.solve: %s"
+           (Archex_resilience.Error.to_string error))
 
 let solve ?obs ?on_event ?backend ?time_limit t =
   Option.map

@@ -35,6 +35,38 @@ val delta_var : t -> int -> Milp.Model.var option
 val config_of_solution : t -> float array -> Netgraph.Digraph.t
 (** Read a configuration out of a 0-1 solution. *)
 
+type checked =
+  | Solved of {
+      solution : float array;
+      config : Netgraph.Digraph.t;
+      objective : float;
+      stats : Milp.Solver.run_stats;
+    }
+      (** a feasible configuration — proven optimal, or the best incumbent
+          of a limit-hit solve (the cost says which: see [stats]) *)
+  | No_solution of { stats : Milp.Solver.run_stats }
+      (** {e proved} infeasible *)
+  | Exhausted of {
+      error : Archex_resilience.Error.t;
+      stats : Milp.Solver.run_stats;
+    }
+      (** the solve ran out of budget with no feasible incumbent (or the
+          model was malformed — [Invalid_input]).  [stats.best_bound]
+          still carries whatever lower bound the aborted search proved. *)
+
+val solve_checked :
+  ?obs:Archex_obs.Ctx.t ->
+  ?on_event:(Archex_obs.Event.t -> unit) ->
+  ?backend:Milp.Solver.backend ->
+  ?time_limit:float ->
+  ?budget:Archex_resilience.Budget.t ->
+  t -> checked
+(** [SOLVEILP] with typed outcomes: infeasibility and budget exhaustion
+    are distinct constructors, never conflated (the silent-truncation
+    hazard of the raw interface).  [budget] is forwarded to
+    {!Milp.Solver.solve}, which clamps the call under the global
+    allowance and charges the nodes it spends. *)
+
 val solve :
   ?obs:Archex_obs.Ctx.t ->
   ?on_event:(Archex_obs.Event.t -> unit) ->
@@ -43,7 +75,8 @@ val solve :
 (** [SOLVEILP]: minimize and extract the configuration and its objective;
     [None] when infeasible.  [obs] / [on_event] are forwarded to
     {!Milp.Solver.solve}.
-    @raise Failure on solver resource-limit outcomes. *)
+    @raise Failure on solver resource-limit outcomes (prefer
+    {!solve_checked}, which types them). *)
 
 val solve_raw :
   ?obs:Archex_obs.Ctx.t ->

@@ -223,8 +223,8 @@ let approx_on_config template config =
     (Template.sinks template)
 
 let run ?(obs = Archex_obs.Ctx.null) ?on_event ?backend ?engine
-    ?(time_limit = 300.) ?(certify = false) ?cert_node_budget template
-    ~r_star =
+    ?(time_limit = 300.) ?(certify = false) ?cert_node_budget
+    ?(budget = Archex_resilience.Budget.unlimited) template ~r_star =
   Archex_obs.Trace.with_span (Archex_obs.Ctx.trace obs) "ilp_ar"
   @@ fun () ->
   let t0 = Archex_obs.Clock.now () in
@@ -239,12 +239,32 @@ let run ?(obs = Archex_obs.Ctx.null) ?on_event ?backend ?engine
       (Archex_obs.Metrics.gauge metrics "ar.constraints")
       (float_of_int info.constraint_count)
   end;
-  match Gen_ilp.solve_raw ~obs ?on_event ?backend ~time_limit enc with
-  | None ->
+  match
+    Gen_ilp.solve_checked ~obs ?on_event ?backend
+      ?time_limit:
+        (Some
+           (Option.value
+              (Archex_resilience.Budget.slice ~frac:1.0 ~cap:time_limit
+                 budget)
+              ~default:time_limit))
+      ~budget enc
+  with
+  | Gen_ilp.No_solution { stats } ->
       Synthesis.Unfeasible
-        ( info,
-          { Synthesis.setup_time; solver_time = 0.; analysis_time = 0. } )
-  | Some (solution, config, cost, stats) ->
+        ( Synthesis.Proved_infeasible,
+          info,
+          { Synthesis.setup_time;
+            solver_time = stats.Milp.Solver.elapsed;
+            analysis_time = 0. } )
+  | Gen_ilp.Exhausted { error; stats } ->
+      Synthesis.Unfeasible
+        ( Synthesis.Budget_exhausted
+            { error; incumbent = None; bound = stats.Milp.Solver.best_bound },
+          info,
+          { Synthesis.setup_time;
+            solver_time = stats.Milp.Solver.elapsed;
+            analysis_time = 0. } )
+  | Gen_ilp.Solved { solution; config; objective = cost; stats } ->
       let cert =
         if certify then
           Some
@@ -255,7 +275,9 @@ let run ?(obs = Archex_obs.Ctx.null) ?on_event ?backend ?engine
                ~incumbent:(Some (cost, solution)))
         else None
       in
-      let report = Rel_analysis.analyze ~obs ?engine template config in
+      let report =
+        Rel_analysis.analyze ~obs ?on_event ?engine ~budget template config
+      in
       let estimate, bound = approx_on_config template config in
       Archex_obs.Gc_metrics.sample metrics;
       let info =

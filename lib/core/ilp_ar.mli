@@ -31,6 +31,7 @@ val run :
   ?time_limit:float ->
   ?certify:bool ->
   ?cert_node_budget:int ->
+  ?budget:Archex_resilience.Budget.t ->
   Archlib.Template.t -> r_star:float -> info Synthesis.result
 (** Synthesize with the approximate-reliability encoding.  The template must
     declare a type chain ({!Archlib.Template.set_type_chain}); per Theorem 3
@@ -39,6 +40,14 @@ val run :
     requirement a posteriori.  [time_limit] (default 300 s) caps the
     monolithic solve; a time-limited call falls back to the solver's best
     incumbent.
+
+    [budget] (default unlimited) clamps the solve under the global
+    allowance and arms {!Rel_analysis}'s degradation ladder for the a
+    posteriori check.  A proved-infeasible model reports
+    [Unfeasible (Proved_infeasible, _, _)]; an exhausted solve with no
+    incumbent reports [Unfeasible (Budget_exhausted _, _, _)] carrying
+    the typed binding limit and the search's proven cost lower bound —
+    the two are never conflated.
 
     [obs] (default disabled) wraps the run in an ["ilp_ar"] span enclosing
     the ["compile"], ["solve"] and ["reliability"] spans, and tracks the

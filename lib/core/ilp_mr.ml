@@ -1,3 +1,6 @@
+module B = Archex_resilience.Budget
+module Err = Archex_resilience.Error
+
 type iteration = {
   index : int;
   config : Netgraph.Digraph.t;
@@ -16,9 +19,49 @@ type iteration = {
 
 type trace = iteration list
 
+let strategy_name = function
+  | Learn_cons.Estimated -> "estimated"
+  | Learn_cons.Lazy_one_path -> "lazy-one-path"
+
+let strategy_of_name = function
+  | "estimated" -> Some Learn_cons.Estimated
+  | "lazy-one-path" -> Some Learn_cons.Lazy_one_path
+  | _ -> None
+
+let backend_of_name = function
+  | "pb" -> Some Milp.Solver.Pseudo_boolean
+  | "lp-bb" -> Some Milp.Solver.Lp_branch_bound
+  | "brute" -> Some Milp.Solver.Brute_force
+  | _ -> None
+
+(* Replayed iterations did not re-run the solver; their statistics are
+   zero by construction, not unknown. *)
+let replay_stats backend =
+  { Milp.Solver.backend = Option.value backend ~default:Milp.Solver.Pseudo_boolean;
+    nodes = 0;
+    propagations = 0;
+    conflicts = 0;
+    pivots = 0;
+    presolve_fixed = 0;
+    presolve_dropped = 0;
+    elapsed = 0.;
+    best_bound = None;
+    retries = 0 }
+
+let checkpoint_iteration it =
+  { Checkpoint.index = it.index;
+    solution = it.solution;
+    edges = Netgraph.Digraph.edges it.config;
+    cost = it.cost;
+    reliability = it.reliability;
+    per_sink = it.per_sink;
+    k_estimate = it.k_estimate;
+    new_constraints = it.new_constraints }
+
 let run_with_encoding ?(obs = Archex_obs.Ctx.null) ?on_event ?strategy
     ?backend ?engine ?(max_iterations = 50) ?(solve_time_limit = 180.)
-    ?(certify = false) ?cert_node_budget template ~r_star =
+    ?(certify = false) ?cert_node_budget ?(budget = B.unlimited) ?checkpoint
+    ?resume_from template ~r_star =
   let tracer = Archex_obs.Ctx.trace obs in
   let metrics = Archex_obs.Ctx.metrics obs in
   let root_attrs =
@@ -36,10 +79,30 @@ let run_with_encoding ?(obs = Archex_obs.Ctx.null) ?on_event ?strategy
     let solver_total = ref 0. in
     let analysis_total = ref 0. in
     let trace = ref [] in
+    let ckpt_rev = ref [] in
+    (* cost of the last solved relaxation: each iteration's model is a
+       relaxation of every later one, so its optimum is a valid global
+       lower bound to report on budget exhaustion *)
+    let last_cost = ref None in
     let timing () =
       { Synthesis.setup_time;
         solver_time = !solver_total;
         analysis_time = !analysis_total }
+    in
+    let save_checkpoint () =
+      match checkpoint with
+      | None -> ()
+      | Some path -> (
+          let ck =
+            { Checkpoint.r_star;
+              strategy = Option.map strategy_name strategy;
+              backend = Option.map Milp.Solver.backend_name backend;
+              iterations = List.rev !ckpt_rev }
+          in
+          match Checkpoint.save path ck with
+          | Ok () -> ()
+          | Error msg ->
+              Logs.warn (fun m -> m "Ilp_mr: checkpoint not saved: %s" msg))
     in
     let emit_iteration it =
       match on_event with
@@ -61,6 +124,86 @@ let run_with_encoding ?(obs = Archex_obs.Ctx.null) ?on_event ?strategy
                 ]
             }
     in
+    let push it =
+      trace := it :: !trace;
+      ckpt_rev := checkpoint_iteration it :: !ckpt_rev;
+      last_cost := Some it.cost;
+      emit_iteration it;
+      save_checkpoint ()
+    in
+    let exhausted error =
+      Synthesis.Unfeasible
+        ( Synthesis.Budget_exhausted
+            { error; incumbent = None; bound = !last_cost },
+          List.rev !trace,
+          timing () )
+    in
+    (* Deterministic replay of a previous run's prefix: re-certify against
+       the model exactly as that iteration solved it, then re-run the
+       learning call (deterministic in the recorded analysis figures) so
+       the model grows back to its checkpointed shape. *)
+    let replay (ck : Checkpoint.t) =
+      List.iter
+        (fun (cit : Checkpoint.iteration) ->
+          Archex_obs.Trace.with_span
+            ~attrs:
+              (if Archex_obs.Trace.enabled tracer then
+                 [ ("index", Archex_obs.Json.Num (float_of_int cit.index));
+                   ("replayed", Archex_obs.Json.Bool true) ]
+               else [])
+            tracer "iteration"
+          @@ fun () ->
+          let config =
+            Archlib.Template.config_of_edges template cit.Checkpoint.edges
+          in
+          let cert =
+            if certify then
+              Some
+                (Archex_obs.Trace.with_span tracer "certify" @@ fun () ->
+                 Archex_cert.certify ?node_budget:cert_node_budget
+                   (Gen_ilp.model enc)
+                   ~incumbent:(Some (cit.cost, cit.solution)))
+            else None
+          in
+          (match cit.k_estimate with
+          | None -> ()
+          | Some _ -> (
+              match
+                Learn_cons.learn ?strategy learn_state ~config
+                  ~reliability:cit.reliability ~r_star
+              with
+              | Learn_cons.Learned _ -> ()
+              | Learn_cons.Saturated ->
+                  raise
+                    (Err.E
+                       (Err.Internal
+                          { stage = "ilp-mr.resume";
+                            detail =
+                              Printf.sprintf
+                                "replay diverged at iteration %d: learning \
+                                 saturated where the original run learned \
+                                 (checkpoint does not match this template)"
+                                cit.index }))));
+          push
+            { index = cit.index;
+              config;
+              cost = cit.cost;
+              reliability = cit.reliability;
+              per_sink = cit.per_sink;
+              k_estimate = cit.k_estimate;
+              new_constraints = cit.new_constraints;
+              solver_time = 0.;
+              analysis_time = 0.;
+              stats = replay_stats backend;
+              solution = cit.solution;
+              cert;
+              learned_rows = Learn_cons.drain_learned learn_state })
+        ck.Checkpoint.iterations;
+      List.length ck.Checkpoint.iterations
+    in
+    let replayed =
+      match resume_from with None -> 0 | Some ck -> replay ck
+    in
     (* One iteration of the Algorithm 1 loop, wrapped in its own span; the
        tail call happens outside the span so iteration n+1 is a sibling of
        iteration n, not its child. *)
@@ -73,86 +216,140 @@ let run_with_encoding ?(obs = Archex_obs.Ctx.null) ?on_event ?strategy
       Archex_obs.Trace.with_span ~attrs tracer "iteration" @@ fun () ->
       Archex_obs.Metrics.incr
         (Archex_obs.Metrics.counter metrics "mr.iterations");
-      match
-        Gen_ilp.solve_raw ~obs ?on_event ?backend
-          ~time_limit:solve_time_limit enc
-      with
-      | None -> `Done (Synthesis.Unfeasible (List.rev !trace, timing ()))
-      | Some (solution, config, cost, stats) ->
-          solver_total := !solver_total +. stats.Milp.Solver.elapsed;
-          (* certification must look at the model as solved, i.e. before
-             Learn_cons extends it below *)
-          let cert =
-            if certify then
-              Some
-                (Archex_obs.Trace.with_span tracer "certify" @@ fun () ->
-                 Archex_cert.certify ?node_budget:cert_node_budget
-                   (Gen_ilp.model enc)
-                   ~incumbent:(Some (cost, solution)))
-            else None
-          in
-          let report = Rel_analysis.analyze ~obs ?engine template config in
-          analysis_total := !analysis_total +. report.Rel_analysis.elapsed;
-          let reliability = report.Rel_analysis.worst in
-          Archex_obs.Gc_metrics.sample metrics;
-          let record ~k_estimate ~new_constraints =
-            let it =
-              { index;
-                config;
-                cost;
-                reliability;
-                per_sink = report.Rel_analysis.per_sink;
-                k_estimate;
-                new_constraints;
-                solver_time = stats.Milp.Solver.elapsed;
-                analysis_time = report.Rel_analysis.elapsed;
-                stats;
-                solution;
-                cert;
-                learned_rows = Learn_cons.drain_learned learn_state }
-            in
-            trace := it :: !trace;
-            emit_iteration it
-          in
-          if Rel_analysis.meets report ~r_star then begin
-            record ~k_estimate:None ~new_constraints:0;
-            `Done
-              (Synthesis.Synthesized
-                 ( Synthesis.architecture template config report,
-                   List.rev !trace,
-                   timing () ))
-          end
-          else begin
-            match
-              Learn_cons.learn ?strategy learn_state ~config ~reliability
-                ~r_star
-            with
-            | Learn_cons.Saturated ->
+      match B.check ~stage:"ilp-mr" budget with
+      | Error e -> `Done (exhausted e)
+      | Ok () -> (
+          match
+            Gen_ilp.solve_checked ~obs ?on_event ?backend
+              ?time_limit:(B.slice ~cap:solve_time_limit budget) ~budget enc
+          with
+          | Gen_ilp.No_solution { stats } ->
+              solver_total := !solver_total +. stats.Milp.Solver.elapsed;
+              `Done
+                (Synthesis.Unfeasible
+                   (Synthesis.Proved_infeasible, List.rev !trace, timing ()))
+          | Gen_ilp.Exhausted { error; stats } ->
+              solver_total := !solver_total +. stats.Milp.Solver.elapsed;
+              let bound =
+                match (stats.Milp.Solver.best_bound, !last_cost) with
+                | Some b, Some c -> Some (Float.max b c)
+                | (Some _ as b), None -> b
+                | None, b -> b
+              in
+              `Done
+                (Synthesis.Unfeasible
+                   ( Synthesis.Budget_exhausted
+                       { error; incumbent = None; bound },
+                     List.rev !trace,
+                     timing () ))
+          | Gen_ilp.Solved { solution; config; objective = cost; stats } ->
+              solver_total := !solver_total +. stats.Milp.Solver.elapsed;
+              (* certification must look at the model as solved, i.e. before
+                 Learn_cons extends it below *)
+              let cert =
+                if certify then
+                  Some
+                    (Archex_obs.Trace.with_span tracer "certify" @@ fun () ->
+                     Archex_cert.certify ?node_budget:cert_node_budget
+                       (Gen_ilp.model enc)
+                       ~incumbent:(Some (cost, solution)))
+                else None
+              in
+              let report =
+                Rel_analysis.analyze ~obs ?on_event ?engine ~budget template
+                  config
+              in
+              analysis_total := !analysis_total +. report.Rel_analysis.elapsed;
+              let reliability = report.Rel_analysis.worst in
+              Archex_obs.Gc_metrics.sample metrics;
+              let record ~k_estimate ~new_constraints =
+                push
+                  { index;
+                    config;
+                    cost;
+                    reliability;
+                    per_sink = report.Rel_analysis.per_sink;
+                    k_estimate;
+                    new_constraints;
+                    solver_time = stats.Milp.Solver.elapsed;
+                    analysis_time = report.Rel_analysis.elapsed;
+                    stats;
+                    solution;
+                    cert;
+                    learned_rows = Learn_cons.drain_learned learn_state }
+              in
+              if Rel_analysis.meets report ~r_star then begin
                 record ~k_estimate:None ~new_constraints:0;
-                `Done (Synthesis.Unfeasible (List.rev !trace, timing ()))
-            | Learn_cons.Learned { k; new_constraints } ->
-                record ~k_estimate:(Some k) ~new_constraints;
-                `Continue
-          end
+                `Done
+                  (Synthesis.Synthesized
+                     ( Synthesis.architecture template config report,
+                       List.rev !trace,
+                       timing () ))
+              end
+              else begin
+                match
+                  Learn_cons.learn ?strategy learn_state ~config ~reliability
+                    ~r_star
+                with
+                | Learn_cons.Saturated ->
+                    record ~k_estimate:None ~new_constraints:0;
+                    `Done
+                      (Synthesis.Unfeasible
+                         (Synthesis.Saturated, List.rev !trace, timing ()))
+                | Learn_cons.Learned { k; new_constraints } ->
+                    record ~k_estimate:(Some k) ~new_constraints;
+                    `Continue
+              end)
     in
     let rec iterate index =
       if index > max_iterations then
-        Synthesis.Unfeasible (List.rev !trace, timing ())
+        Synthesis.Unfeasible
+          (Synthesis.Iteration_limit max_iterations, List.rev !trace,
+           timing ())
       else
         match step index with
         | `Done result -> result
         | `Continue -> iterate (index + 1)
     in
-    iterate 1
+    iterate (replayed + 1)
   in
   (enc, result)
 
 let run ?obs ?on_event ?strategy ?backend ?engine ?max_iterations
-    ?solve_time_limit ?certify ?cert_node_budget template ~r_star =
+    ?solve_time_limit ?certify ?cert_node_budget ?budget ?checkpoint
+    ?resume_from template ~r_star =
   snd
     (run_with_encoding ?obs ?on_event ?strategy ?backend ?engine
-       ?max_iterations ?solve_time_limit ?certify ?cert_node_budget template
-       ~r_star)
+       ?max_iterations ?solve_time_limit ?certify ?cert_node_budget ?budget
+       ?checkpoint ?resume_from template ~r_star)
+
+let resume ?obs ?on_event ?strategy ?backend ?engine ?max_iterations
+    ?solve_time_limit ?certify ?cert_node_budget ?budget ?checkpoint template
+    ~from =
+  let strategy =
+    match strategy with
+    | Some _ -> strategy
+    | None -> Option.bind from.Checkpoint.strategy strategy_of_name
+  in
+  let backend =
+    match backend with
+    | Some _ -> backend
+    | None -> Option.bind from.Checkpoint.backend backend_of_name
+  in
+  run ?obs ?on_event ?strategy ?backend ?engine ?max_iterations
+    ?solve_time_limit ?certify ?cert_node_budget ?budget ?checkpoint
+    ~resume_from:from template ~r_star:from.Checkpoint.r_star
+
+let run_checked ?obs ?on_event ?strategy ?backend ?engine ?max_iterations
+    ?solve_time_limit ?certify ?cert_node_budget ?budget ?checkpoint
+    ?resume_from template ~r_star =
+  match Archlib.Template.validate_all template with
+  | Error violations -> Error (Err.Invalid_input violations)
+  | Ok () ->
+      Err.guard ~stage:"ilp-mr" (fun () ->
+          run ?obs ?on_event ?strategy ?backend ?engine ?max_iterations
+            ?solve_time_limit ?certify ?cert_node_budget ?budget ?checkpoint
+            ?resume_from template ~r_star)
 
 let certificate_of_trace ~r_star trace =
   let rec collect acc = function

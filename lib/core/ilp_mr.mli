@@ -4,19 +4,28 @@
     with exact reliability analysis, and — when the requirement is missed —
     learn redundant-path constraints ({!Learn_cons}) and iterate.  Exact
     analysis runs only on concrete configurations, a small number of times:
-    the lazy counterpart of compiling reliability into the ILP. *)
+    the lazy counterpart of compiling reliability into the ILP.
+
+    The loop is resilient: a global {!Archex_resilience.Budget} is
+    partitioned across iterations, exhaustion surfaces as a typed
+    [Budget_exhausted] (never conflated with infeasibility), and a run can
+    checkpoint after every iteration and {!resume} later — deterministic
+    replay reconstructs the learned model, so the resumed run reaches the
+    same final architecture the uninterrupted run would have. *)
 
 type iteration = {
   index : int;                      (** 1-based *)
   config : Netgraph.Digraph.t;
   cost : float;
-  reliability : float;              (** exact worst-sink failure *)
+  reliability : float;              (** worst-sink failure (conservative
+                                        upper end under degradation) *)
   per_sink : (int * float) list;
   k_estimate : int option;          (** ESTPATH's k, when learning ran *)
   new_constraints : int;            (** constraint groups added *)
   solver_time : float;
   analysis_time : float;
-  stats : Milp.Solver.run_stats;     (** the SOLVEILP run of this iteration *)
+  stats : Milp.Solver.run_stats;     (** the SOLVEILP run of this iteration
+                                        (all-zero for replayed iterations) *)
   solution : float array;
       (** the raw 0-1 assignment behind [config] (over this iteration's
           model variables) *)
@@ -41,14 +50,38 @@ val run :
   ?solve_time_limit:float ->
   ?certify:bool ->
   ?cert_node_budget:int ->
+  ?budget:Archex_resilience.Budget.t ->
+  ?checkpoint:string ->
+  ?resume_from:Checkpoint.t ->
   Archlib.Template.t -> r_star:float -> trace Synthesis.result
 (** Synthesize a minimum-cost architecture with worst-sink failure
     probability at most [r*].  [strategy] defaults to
     {!Learn_cons.Estimated}; [max_iterations] (default 50) guards
-    non-termination and reports [Unfeasible] when exhausted.
-    [solve_time_limit] (default 180 s) caps each [SOLVEILP] call; a
-    time-limited call falls back to the solver's best incumbent (feasible,
-    possibly not proven optimal — the ε tolerance of Theorem 1).
+    non-termination and reports [Unfeasible (Iteration_limit _)] when
+    exhausted.  [solve_time_limit] (default 180 s) caps each [SOLVEILP]
+    call; a time-limited call falls back to the solver's best incumbent
+    (feasible, possibly not proven optimal — the ε tolerance of
+    Theorem 1).
+
+    [budget] (default unlimited) is the run's global allowance.  Each
+    iteration first passes through {!Archex_resilience.Budget.check}, each
+    [SOLVEILP] call runs under a {!Archex_resilience.Budget.slice} of the
+    remaining time (never more than [solve_time_limit]) with the node
+    budget enforced and charged inside the solver, and the reliability
+    oracle inherits the budget's BDD node ceiling (arming
+    {!Rel_analysis}'s degradation ladder).  Exhaustion anywhere yields
+    [Unfeasible (Budget_exhausted {error; incumbent; bound})]: the typed
+    binding limit, plus the best proven cost lower bound — the cost of the
+    last solved relaxation, every such model being a relaxation of the
+    final one.
+
+    [checkpoint] (default none) writes an {!Checkpoint} file atomically
+    after {e every} recorded iteration, so a killed run can continue with
+    {!resume} from the last completed iteration.  [resume_from] replays a
+    checkpoint's iterations first — re-running the deterministic learning
+    calls (and, when [certify] is set, re-certifying against the replayed
+    model, which is exactly the model the original iteration solved) —
+    then continues the loop at the next index.
 
     [certify] (default false) re-proves every iteration's optimum with
     {!Archex_cert.certify} — on the model exactly as solved, before the
@@ -61,8 +94,9 @@ val run :
     ["reliability"] and ["learn"] spans) and counts [mr.iterations] plus
     the metrics of every layer below; GC gauges are sampled once per
     iteration.  [on_event] receives an [Iteration] progress event (source
-    ["ilp-mr"]) after each analyzed candidate, in addition to the solver
-    backend's own heartbeats. *)
+    ["ilp-mr"]) after each analyzed candidate, the solver backend's own
+    heartbeats, and a [Fallback] event for every degradation step taken
+    by the solver or the reliability oracle. *)
 
 val run_with_encoding :
   ?obs:Archex_obs.Ctx.t ->
@@ -74,10 +108,55 @@ val run_with_encoding :
   ?solve_time_limit:float ->
   ?certify:bool ->
   ?cert_node_budget:int ->
+  ?budget:Archex_resilience.Budget.t ->
+  ?checkpoint:string ->
+  ?resume_from:Checkpoint.t ->
   Archlib.Template.t -> r_star:float -> Gen_ilp.t * trace Synthesis.result
 (** Like {!run} but also returns the encoding, whose model is the final
     (fully extended) ILP — what the explanation report
     ({!Archex_explain}) renders against the last iteration's solution. *)
+
+val resume :
+  ?obs:Archex_obs.Ctx.t ->
+  ?on_event:(Archex_obs.Event.t -> unit) ->
+  ?strategy:Learn_cons.strategy ->
+  ?backend:Milp.Solver.backend ->
+  ?engine:Reliability.Exact.engine ->
+  ?max_iterations:int ->
+  ?solve_time_limit:float ->
+  ?certify:bool ->
+  ?cert_node_budget:int ->
+  ?budget:Archex_resilience.Budget.t ->
+  ?checkpoint:string ->
+  Archlib.Template.t -> from:Checkpoint.t -> trace Synthesis.result
+(** {!run} continued from a checkpoint: [r*] comes from the checkpoint,
+    and [strategy] / [backend] default to the checkpointed names (an
+    explicit argument still wins — but changing either voids the replay's
+    determinism guarantee).  Pass [checkpoint] (typically the same path)
+    to keep checkpointing the resumed run.
+    @raise Invalid_argument if the checkpoint references edges that are
+    not candidates in [template] (checkpoint/template mismatch). *)
+
+val run_checked :
+  ?obs:Archex_obs.Ctx.t ->
+  ?on_event:(Archex_obs.Event.t -> unit) ->
+  ?strategy:Learn_cons.strategy ->
+  ?backend:Milp.Solver.backend ->
+  ?engine:Reliability.Exact.engine ->
+  ?max_iterations:int ->
+  ?solve_time_limit:float ->
+  ?certify:bool ->
+  ?cert_node_budget:int ->
+  ?budget:Archex_resilience.Budget.t ->
+  ?checkpoint:string ->
+  ?resume_from:Checkpoint.t ->
+  Archlib.Template.t -> r_star:float ->
+  (trace Synthesis.result, Archex_resilience.Error.t) result
+(** The trust-boundary entry point: first {!Archlib.Template.validate_all}
+    — {e every} violation of a hostile template is collected into one
+    [Invalid_input] — then {!run} under {!Archex_resilience.Error.guard},
+    so an escaped [Invalid_argument] / [Failure] / checkpoint-mismatch
+    surfaces as a typed error instead of an exception. *)
 
 val certificate_of_trace :
   r_star:float -> trace -> (Archex_obs.Json.t, string) result

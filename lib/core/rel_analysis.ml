@@ -1,10 +1,19 @@
 module Template = Archlib.Template
+module Verdict = Archex_resilience.Verdict
+module Faults = Archex_resilience.Faults
+module Budget = Archex_resilience.Budget
 
 type report = {
   per_sink : (int * float) list;
   worst : float;
   elapsed : float;
+  verdicts : (int * Verdict.t) list;
+  degraded : int;
 }
+
+(* Sampling rung of the degradation ladder: fixed trial count and the
+   library's fixed default seed, so a degraded analysis is reproducible. *)
+let mc_trials = 20_000
 
 let fail_model_of_config template config =
   let expanded = Template.expand_redundant_pairs template config in
@@ -16,22 +25,86 @@ let fail_model_of_config template config =
     ~sources:(Template.sources template)
     ~node_fail
 
-let analyze ?(obs = Archex_obs.Ctx.null) ?engine template config =
+let analyze ?(obs = Archex_obs.Ctx.null) ?on_event ?engine ?budget template
+    config =
   let t0 = Archex_obs.Clock.now () in
+  let trace = Archex_obs.Ctx.trace obs in
+  let metrics = Archex_obs.Ctx.metrics obs in
+  let bdd_node_limit = Option.bind budget Budget.bdd_node_limit in
   let report =
-    Archex_obs.Trace.with_span (Archex_obs.Ctx.trace obs) "reliability"
-      (fun () ->
+    Archex_obs.Trace.with_span trace "reliability" (fun () ->
         let net = fail_model_of_config template config in
+        let fallback ~sink ~rung =
+          Archex_obs.Trace.instant
+            ~attrs:
+              (if Archex_obs.Trace.enabled trace then
+                 [ ("sink", Archex_obs.Json.Num (float_of_int sink));
+                   ("to", Archex_obs.Json.Str rung) ]
+               else [])
+            trace "fallback";
+          if Archex_obs.Metrics.enabled metrics then
+            Archex_obs.Metrics.incr
+              (Archex_obs.Metrics.counter metrics "rel.fallbacks");
+          match on_event with
+          | None -> ()
+          | Some f ->
+              f
+                { Archex_obs.Event.source = "rel-analysis";
+                  kind = Archex_obs.Event.Fallback;
+                  elapsed = Archex_obs.Clock.now () -. t0;
+                  data = [ ("sink", float_of_int sink) ] }
+        in
+        (* The ladder: exact BDD analysis, then unpruned cut-set bounds,
+           then a seeded Monte-Carlo interval.  Each rung only runs when
+           the one above blew its capacity (or an Oracle_failure fault is
+           injected in its place). *)
+        let sink_verdict sink =
+          let exact_result =
+            if Faults.probe Faults.Oracle_failure then
+              Error
+                (Archex_resilience.Error.Bdd_blowup
+                   { stage = "reliability.sink (injected)";
+                     nodes = 0;
+                     limit = 0 })
+            else
+              Reliability.Exact.sink_failure_checked ~obs ?engine
+                ?bdd_node_limit net ~sink
+          in
+          match exact_result with
+          | Ok r -> Verdict.exact r
+          | Error _ -> (
+              fallback ~sink ~rung:"bounded";
+              match
+                Reliability.Cut_sets.cut_bounds ~obs
+                  ?bdd_max_nodes:bdd_node_limit net ~sink
+              with
+              | lo, hi -> Verdict.bounded ~lo ~hi
+              | exception Reliability.Bdd.Node_limit _ ->
+                  fallback ~sink ~rung:"sampled";
+                  let est =
+                    Reliability.Monte_carlo.estimate_sink_failure
+                      ~trials:mc_trials net ~sink
+                  in
+                  let lo, hi =
+                    Reliability.Monte_carlo.confidence_interval est
+                  in
+                  Verdict.sampled ~lo ~hi)
+        in
+        let verdicts =
+          List.map (fun s -> (s, sink_verdict s)) (Template.sinks template)
+        in
         let per_sink =
-          Reliability.Exact.all_sink_failures ~obs ?engine net
-            ~sinks:(Template.sinks template)
+          List.map (fun (s, v) -> (s, Verdict.upper v)) verdicts
         in
         let worst =
           List.fold_left (fun acc (_, r) -> Float.max acc r) 0. per_sink
         in
-        { per_sink; worst; elapsed = 0. })
+        let degraded =
+          List.length
+            (List.filter (fun (_, v) -> not (Verdict.is_exact v)) verdicts)
+        in
+        { per_sink; worst; elapsed = 0.; verdicts; degraded })
   in
-  let metrics = Archex_obs.Ctx.metrics obs in
   let elapsed = Archex_obs.Clock.now () -. t0 in
   if Archex_obs.Metrics.enabled metrics then begin
     Archex_obs.Metrics.incr
@@ -43,3 +116,4 @@ let analyze ?(obs = Archex_obs.Ctx.null) ?engine template config =
   { report with elapsed }
 
 let meets report ~r_star = report.worst <= r_star +. 1e-15
+let is_exact report = report.degraded = 0

@@ -1,13 +1,25 @@
-(** [RELANALYSIS]: exact reliability of a configuration (Sec. III).
+(** [RELANALYSIS]: reliability of a configuration (Sec. III), with an
+    anytime degradation ladder.
 
     Builds the failure model of a configuration (after expanding redundant
-    same-type pairs) and computes each sink's exact failure probability with
-    one of the {!Reliability.Exact} engines. *)
+    same-type pairs) and computes each sink's failure probability.  The
+    default rung is the exact BDD engine; when it outgrows the budget's
+    BDD node ceiling — or an [Oracle_failure] fault is injected — the
+    analysis degrades, per sink, to analytic cut-set bounds and then to a
+    seeded Monte-Carlo confidence interval.  Every rung's outcome is a
+    typed {!Archex_resilience.Verdict.t}; [per_sink] and [worst] always
+    hold the {e conservative upper end}, so acceptance tests and
+    constraint learning stay sound under degradation. *)
 
 type report = {
-  per_sink : (int * float) list; (** sink node, exact failure probability *)
+  per_sink : (int * float) list;
+      (** sink node, conservative failure probability (the verdict's
+          upper end — exact value when the verdict is exact) *)
   worst : float;                 (** the paper's single figure [r] *)
   elapsed : float;               (** seconds spent in analysis *)
+  verdicts : (int * Archex_resilience.Verdict.t) list;
+      (** per sink: which ladder rung produced the figure *)
+  degraded : int;                (** sinks not analyzed exactly *)
 }
 
 val fail_model_of_config :
@@ -18,13 +30,30 @@ val fail_model_of_config :
 
 val analyze :
   ?obs:Archex_obs.Ctx.t ->
+  ?on_event:(Archex_obs.Event.t -> unit) ->
   ?engine:Reliability.Exact.engine ->
+  ?budget:Archex_resilience.Budget.t ->
   Archlib.Template.t -> Netgraph.Digraph.t -> report
-(** Exact [r] for every template sink.  An unreachable sink has [r = 1].
-    [elapsed] is wall-clock ({!Archex_obs.Clock}).  [obs] (default
-    disabled) wraps the analysis in a ["reliability"] span enclosing one
-    ["reliability.sink"] span per sink, bumps [rel.analyses] and feeds a
-    [rel.seconds] histogram. *)
+(** [r] for every template sink.  An unreachable sink has [r = 1].
+    [elapsed] is wall-clock ({!Archex_obs.Clock}).
+
+    [budget]'s BDD node ceiling
+    ({!Archex_resilience.Budget.bdd_node_limit}) arms the degradation
+    ladder; without one (and without injected faults) the analysis is
+    always exact.  Each fallback emits a [Fallback] progress event
+    (source ["rel-analysis"]) through [on_event], a ["fallback"] trace
+    instant, and bumps the [rel.fallbacks] counter.  The sampled rung
+    uses {!Reliability.Monte_carlo} with its fixed default seed and
+    20 000 trials, so degraded figures are reproducible.
+
+    [obs] (default disabled) wraps the analysis in a ["reliability"]
+    span enclosing one ["reliability.sink"] span per sink, bumps
+    [rel.analyses] and feeds a [rel.seconds] histogram. *)
 
 val meets : report -> r_star:float -> bool
-(** [worst ≤ r*] (within 1e-15 absolute slack). *)
+(** [worst ≤ r*] (within 1e-15 absolute slack).  Conservative under
+    degradation: an inexact verdict only passes when its {e upper} end
+    does. *)
+
+val is_exact : report -> bool
+(** No sink was degraded: [worst] is the exact figure. *)

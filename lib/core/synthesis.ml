@@ -14,9 +14,63 @@ type timing = {
   analysis_time : float;
 }
 
+type failure_reason =
+  | Proved_infeasible
+  | Saturated
+  | Iteration_limit of int
+  | Budget_exhausted of {
+      error : Archex_resilience.Error.t;
+      incumbent : float option;
+      bound : float option;
+    }
+
 type 'trace result =
   | Synthesized of architecture * 'trace * timing
-  | Unfeasible of 'trace * timing
+  | Unfeasible of failure_reason * 'trace * timing
+
+let failure_reason_code = function
+  | Proved_infeasible -> "infeasible"
+  | Saturated -> "saturated"
+  | Iteration_limit _ -> "iteration-limit"
+  | Budget_exhausted _ -> "budget-exhausted"
+
+let pp_failure_reason ppf = function
+  | Proved_infeasible ->
+      Format.pp_print_string ppf "proved infeasible: no configuration can \
+                                  satisfy the requirements"
+  | Saturated ->
+      Format.pp_print_string ppf
+        "saturated: no further redundant path can be enforced"
+  | Iteration_limit n ->
+      Format.fprintf ppf "iteration limit (%d) reached without convergence" n
+  | Budget_exhausted { error; incumbent; bound } ->
+      Format.fprintf ppf "budget exhausted (%a)" Archex_resilience.Error.pp
+        error;
+      (match incumbent with
+      | Some c -> Format.fprintf ppf "; best incumbent cost %g" c
+      | None -> Format.fprintf ppf "; no incumbent found");
+      (match bound with
+      | Some b -> Format.fprintf ppf ", proven cost lower bound %g" b
+      | None -> ())
+
+let failure_reason_to_json reason =
+  let module J = Archex_obs.Json in
+  let base = [ ("reason", J.Str (failure_reason_code reason)) ] in
+  J.Obj
+    (match reason with
+    | Proved_infeasible | Saturated -> base
+    | Iteration_limit n -> base @ [ ("limit", J.Num (float_of_int n)) ]
+    | Budget_exhausted { error; incumbent; bound } ->
+        base
+        @ [ ("error", Archex_resilience.Error.to_json error) ]
+        @ (match incumbent with
+          | Some c -> [ ("incumbent", J.Num c) ]
+          | None -> [])
+        @ (match bound with Some b -> [ ("bound", J.Num b) ] | None -> []))
+
+let is_budget_failure = function
+  | Budget_exhausted _ -> true
+  | Proved_infeasible | Saturated | Iteration_limit _ -> false
 
 let architecture template config (report : Rel_analysis.report) =
   { config;

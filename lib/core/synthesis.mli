@@ -13,9 +13,47 @@ type timing = {
   analysis_time : float;  (** total time inside RELANALYSIS *)
 }
 
+type failure_reason =
+  | Proved_infeasible
+      (** the solver {e proved} no configuration satisfies the
+          requirements — a fact about the problem *)
+  | Saturated
+      (** [LEARNCONS] can enforce nothing further (Algorithm 1's
+          UNFEASIBLE): the reliability target is out of the template's
+          reach *)
+  | Iteration_limit of int
+      (** the ILP-MR iteration guard tripped — a fact about the budget,
+          not the problem *)
+  | Budget_exhausted of {
+      error : Archex_resilience.Error.t;
+          (** which budget ran out (timeout, node budget, …) *)
+      incumbent : float option;
+          (** best feasible objective seen before exhaustion, if any *)
+      bound : float option;
+          (** proven objective lower bound at exhaustion, if any: the
+              true optimum lies in [[bound, incumbent]] *)
+    }
+      (** the run stopped because a global resource limit was hit.
+          Crucially {e not} the same as {!Proved_infeasible}: a solver
+          [Limit_reached] with no incumbent used to read as
+          infeasibility — silent truncation.  Now the distinction is
+          typed and reported. *)
+
 type 'trace result =
   | Synthesized of architecture * 'trace * timing
-  | Unfeasible of 'trace * timing
+  | Unfeasible of failure_reason * 'trace * timing
+
+val failure_reason_code : failure_reason -> string
+(** Stable tag: ["infeasible"], ["saturated"], ["iteration-limit"],
+    ["budget-exhausted"]. *)
+
+val pp_failure_reason : Format.formatter -> failure_reason -> unit
+val failure_reason_to_json : failure_reason -> Archex_obs.Json.t
+
+val is_budget_failure : failure_reason -> bool
+(** True when the failure says nothing about the problem itself —
+    rerunning with a larger budget (or resuming from a checkpoint) may
+    still synthesize an architecture. *)
 
 val architecture :
   Archlib.Template.t -> Netgraph.Digraph.t -> Rel_analysis.report ->

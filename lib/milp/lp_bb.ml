@@ -1,4 +1,9 @@
-type stats = { nodes : int; pivots : int }
+type stats = {
+  nodes : int;
+  pivots : int;
+  bound : float option;
+  pivot_limited : bool;
+}
 
 type outcome =
   | Optimal of { objective : float; solution : float array }
@@ -108,6 +113,7 @@ let solve ?(metrics = Archex_obs.Metrics.null) ?on_event ?log
   in
   let unbounded = ref false in
   let limit_hit = ref false in
+  let pivot_limited = ref false in
   let stack = ref [ { bounds = []; depth = 0; lb = neg_infinity } ] in
   let obj_tol obj = 1e-9 *. Float.max 1. (Float.abs obj) in
   let worse_than_best obj =
@@ -130,7 +136,9 @@ let solve ?(metrics = Archex_obs.Metrics.null) ?on_event ?log
     | sub -> (
         match Simplex.solve_relaxation ~metrics sub with
         | Simplex.Infeasible -> node_record node "infeasible" no_extra
-        | Simplex.Pivot_limit -> limit_hit := true
+        | Simplex.Pivot_limit ->
+            pivot_limited := true;
+            limit_hit := true
         | Simplex.Unbounded ->
             (* Unbounded relaxation at the root means the MILP is unbounded
                or infeasible; we report unbounded conservatively. *)
@@ -192,9 +200,19 @@ let solve ?(metrics = Archex_obs.Metrics.null) ?on_event ?log
     | [] -> ()
     | node :: rest ->
         stack := rest;
-        if !nodes >= max_nodes then limit_hit := true
+        if !nodes >= max_nodes then begin
+          limit_hit := true;
+          (* close the books on the way out: the open frontier's min LP
+             bound is still a proven global lower bound, and callers of a
+             limit-hit solve need it in the stats *)
+          let frontier_bound =
+            List.fold_left (fun acc n -> Float.min acc n.lb) node.lb rest
+          in
+          if Float.is_finite frontier_bound && frontier_bound > !best_bound
+          then best_bound := frontier_bound
+        end
         else begin
-          if on_event <> None && !nodes land 255 = 0 && !nodes > 0 then begin
+          if !nodes land 255 = 0 && !nodes > 0 then begin
             (* the open frontier is this node plus the stack; its min LP
                bound is the proven global lower bound right now *)
             let frontier_bound =
@@ -203,7 +221,7 @@ let solve ?(metrics = Archex_obs.Metrics.null) ?on_event ?log
             if frontier_bound > !best_bound then
               best_bound := frontier_bound;
             emit_bound ();
-            heartbeat ()
+            if on_event <> None then heartbeat ()
           end;
           (match time_limit with
           | Some tl when Archex_obs.Clock.now () -. t0 > tl ->
@@ -219,7 +237,6 @@ let solve ?(metrics = Archex_obs.Metrics.null) ?on_event ?log
   Archex_obs.Metrics.add
     (Archex_obs.Metrics.counter metrics "bb.nodes")
     (float_of_int !nodes);
-  let stats = { nodes = !nodes; pivots = !pivots } in
   let outcome =
     if !unbounded then Unbounded
     else if !limit_hit then Limit_reached { incumbent = !best }
@@ -231,5 +248,12 @@ let solve ?(metrics = Archex_obs.Metrics.null) ?on_event ?log
           emit_bound ();
           Optimal { objective; solution }
       | None -> Infeasible
+  in
+  let stats =
+    { nodes = !nodes;
+      pivots = !pivots;
+      bound =
+        (if Float.is_finite !best_bound then Some !best_bound else None);
+      pivot_limited = !pivot_limited }
   in
   (outcome, stats)

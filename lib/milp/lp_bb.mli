@@ -5,7 +5,19 @@
     relaxation is solved; integral solutions update the incumbent; fractional
     ones branch on the most fractional integer variable. *)
 
-type stats = { nodes : int; pivots : int }
+type stats = {
+  nodes : int;
+  pivots : int;
+  bound : float option;
+      (** best proven global lower bound at exit (min LP relaxation over
+          the open frontier, sampled every 256 nodes; closes onto the
+          incumbent when the tree is exhausted) — survives a
+          [Limit_reached] abort *)
+  pivot_limited : bool;
+      (** the {!Simplex} pivot ceiling tripped inside some node — the
+          numeric-stall signal the front-end uses to retry on the
+          pseudo-Boolean backend *)
+}
 
 type outcome =
   | Optimal of { objective : float; solution : float array }

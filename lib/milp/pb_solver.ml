@@ -18,6 +18,7 @@ type stats = {
   conflicts : int;
   restarts : int;
   learned : int;
+  bound : float option;
 }
 
 type outcome =
@@ -691,6 +692,10 @@ let search st ~on_event ~log ~max_decisions ~time_limit ~lower_bound =
     end
     else pick_heap ()
   in
+  let finish hit_limit =
+    ( hit_limit,
+      if Float.is_finite !global_lb then Some !global_lb else None )
+  in
   try
     propagate_fully ();
     update_global_lb ();
@@ -746,7 +751,7 @@ let search st ~on_event ~log ~max_decisions ~time_limit ~lower_bound =
           | exception Conflict reason -> handle_conflict reason);
           propagate_fully ()
     done;
-    false
+    finish false
   with
   | Exhausted ->
       (* the search space is exhausted: any incumbent is proven optimal,
@@ -756,8 +761,8 @@ let search st ~on_event ~log ~max_decisions ~time_limit ~lower_bound =
           if c > !global_lb then global_lb := c;
           emit_bound ()
       | None -> ());
-      false
-  | Limits -> true
+      finish false
+  | Limits -> finish true
 
 (* ------------------------------------------------------------------ *)
 (* Entry point                                                         *)
@@ -860,10 +865,11 @@ let solve ?(metrics = Archex_obs.Metrics.null) ?on_event ?log
           propagations = 0;
           conflicts = 0;
           restarts = 0;
-          learned = 0 } )
+          learned = 0;
+          bound = None } )
   | st ->
       let nvars = Array.length st.value in
-      let hit_limit =
+      let hit_limit, bound =
         match
           (* root-level fixings from the model bounds *)
           for x = 0 to nvars - 1 do
@@ -874,14 +880,15 @@ let solve ?(metrics = Archex_obs.Metrics.null) ?on_event ?log
         with
         | () ->
             search st ~on_event ~log ~max_decisions ~time_limit ~lower_bound
-        | exception Conflict _ -> false
+        | exception Conflict _ -> (false, None)
       in
       let stats =
         { decisions = st.n_decisions;
           propagations = st.n_propagations;
           conflicts = st.n_conflicts;
           restarts = st.n_restarts;
-          learned = st.n_learned }
+          learned = st.n_learned;
+          bound }
       in
       record_metrics metrics stats;
       let outcome =

@@ -17,6 +17,10 @@ type stats = {
   conflicts : int;
   restarts : int;
   learned : int;    (** learned rows retained at exit *)
+  bound : float option;
+      (** best proven objective lower bound at exit — survives a
+          [Limit_reached] abort, where it sandwiches the true optimum
+          between itself and the incumbent *)
 }
 
 type outcome =

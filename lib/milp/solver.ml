@@ -18,6 +18,8 @@ type run_stats = {
   presolve_fixed : int;
   presolve_dropped : int;
   elapsed : float;
+  best_bound : float option;
+  retries : int;
 }
 
 let backend_name = function
@@ -61,7 +63,9 @@ let solve_untraced ~obs ~on_event ~backend ~presolve ?max_nodes ?time_limit
       pivots = 0;
       presolve_fixed = List.length pre.Presolve.fixed;
       presolve_dropped = pre.Presolve.dropped_rows;
-      elapsed = 0. }
+      elapsed = 0.;
+      best_bound = None;
+      retries = 0 }
   in
   let outcome, stats =
     if pre.Presolve.infeasible then (Infeasible, empty_stats)
@@ -76,6 +80,7 @@ let solve_untraced ~obs ~on_event ~backend ~presolve ?max_nodes ?time_limit
         | Some b -> b
         | None -> neg_infinity
       in
+      let run_backend backend =
       match backend with
       | Pseudo_boolean ->
           (* Optimistic probe: when the combinatorial bound exists, first try
@@ -138,11 +143,13 @@ let solve_untraced ~obs ~on_event ~backend ~presolve ?max_nodes ?time_limit
                 in
                 (outcome, s)
           in
-          (o,
-           { empty_stats with
-             nodes = s.Pb_solver.decisions;
-             propagations = s.Pb_solver.propagations;
-             conflicts = s.Pb_solver.conflicts })
+          ( o,
+            { empty_stats with
+              nodes = s.Pb_solver.decisions;
+              propagations = s.Pb_solver.propagations;
+              conflicts = s.Pb_solver.conflicts;
+              best_bound = s.Pb_solver.bound },
+            false )
       | Lp_branch_bound ->
           let o, s =
             Lp_bb.solve ~metrics ?on_event ?log ?max_nodes ?time_limit m'
@@ -155,9 +162,12 @@ let solve_untraced ~obs ~on_event ~backend ~presolve ?max_nodes ?time_limit
             | Lp_bb.Unbounded -> Unbounded
             | Lp_bb.Limit_reached { incumbent } -> Limit_reached { incumbent }
           in
-          (outcome,
-           { empty_stats with nodes = s.Lp_bb.nodes;
-             pivots = s.Lp_bb.pivots })
+          ( outcome,
+            { empty_stats with
+              nodes = s.Lp_bb.nodes;
+              pivots = s.Lp_bb.pivots;
+              best_bound = s.Lp_bb.bound },
+            s.Lp_bb.pivot_limited )
       | Brute_force ->
           let outcome =
             match Brute.solve m' with
@@ -165,18 +175,76 @@ let solve_untraced ~obs ~on_event ~backend ~presolve ?max_nodes ?time_limit
                 Optimal { objective; solution }
             | Brute.Infeasible -> Infeasible
           in
-          (outcome, empty_stats)
+          (outcome, empty_stats, false)
+      in
+      let o, s, stalled = run_backend backend in
+      (* Numeric-stall degradation: a simplex pivot-ceiling trip inside the
+         LP relaxation is a numeric breakdown, not a search-space fact.  On
+         a pure 0-1 model the pseudo-Boolean backend solves the same
+         problem without an LP, so retry there once (the chain
+         Lp_branch_bound → Pseudo_boolean of the degradation ladder). *)
+      if stalled && backend = Lp_branch_bound && Model.is_pure_boolean m'
+      then begin
+        phase "retry-pb";
+        (match on_event with
+        | None -> ()
+        | Some f ->
+            f
+              { Archex_obs.Event.source = "solver";
+                kind = Archex_obs.Event.Fallback;
+                elapsed = now () -. t0;
+                data = [ ("retry", 1.) ] });
+        Archex_obs.Metrics.incr
+          (Archex_obs.Metrics.counter metrics "solve.retries");
+        let o2, s2, _ = run_backend Pseudo_boolean in
+        ( o2,
+          { s2 with
+            backend = Pseudo_boolean;
+            pivots = s.pivots;
+            retries = 1 } )
+      end
+      else (o, s)
     end
+  in
+  let stats =
+    match outcome with
+    | Optimal { objective; _ } -> { stats with best_bound = Some objective }
+    | _ -> stats
   in
   (outcome, { stats with elapsed = now () -. t0 })
 
+let min_opt a b =
+  match (a, b) with
+  | Some x, Some y -> Some (min x y)
+  | (Some _ as s), None | None, (Some _ as s) -> s
+  | None, None -> None
+
 let solve ?(obs = Archex_obs.Ctx.null) ?on_event ?backend ?(presolve = true)
-    ?max_nodes ?time_limit m =
+    ?max_nodes ?time_limit ?budget m =
   let backend =
     match backend with
     | Some b -> b
     | None ->
         if Model.is_pure_boolean m then Pseudo_boolean else Lp_branch_bound
+  in
+  (* clamp the per-call limits under what the global budget has left *)
+  let module B = Archex_resilience.Budget in
+  let time_limit =
+    match budget with
+    | None -> time_limit
+    | Some b -> min_opt time_limit (B.remaining_time b)
+  in
+  let max_nodes =
+    match budget with
+    | None -> max_nodes
+    | Some b -> min_opt max_nodes (B.remaining_nodes b)
+  in
+  let spent =
+    (match time_limit with Some t -> t <= 0. | None -> false)
+    || (match max_nodes with Some n -> n <= 0 | None -> false)
+  in
+  let forced_limit =
+    spent || Archex_resilience.Faults.probe Archex_resilience.Faults.Solver_limit
   in
   let trace = Archex_obs.Ctx.trace obs in
   let attrs =
@@ -189,9 +257,25 @@ let solve ?(obs = Archex_obs.Ctx.null) ?on_event ?backend ?(presolve = true)
   in
   let outcome, stats =
     Archex_obs.Trace.with_span ~attrs trace "solve" (fun () ->
-        solve_untraced ~obs ~on_event ~backend ~presolve ?max_nodes
-          ?time_limit m)
+        if forced_limit then
+          ( Limit_reached { incumbent = None },
+            { backend;
+              nodes = 0;
+              propagations = 0;
+              conflicts = 0;
+              pivots = 0;
+              presolve_fixed = 0;
+              presolve_dropped = 0;
+              elapsed = 0.;
+              best_bound = None;
+              retries = 0 } )
+        else
+          solve_untraced ~obs ~on_event ~backend ~presolve ?max_nodes
+            ?time_limit m)
   in
+  (match budget with
+  | Some b -> B.charge_nodes b stats.nodes
+  | None -> ());
   let metrics = Archex_obs.Ctx.metrics obs in
   if Archex_obs.Metrics.enabled metrics then begin
     Archex_obs.Metrics.incr (Archex_obs.Metrics.counter metrics "solve.calls");
@@ -211,6 +295,10 @@ let pp_run_stats ppf s =
   if s.presolve_fixed > 0 || s.presolve_dropped > 0 then
     Format.fprintf ppf ", presolve %d fixed / %d dropped" s.presolve_fixed
       s.presolve_dropped;
+  (match s.best_bound with
+  | Some b -> Format.fprintf ppf ", bound %g" b
+  | None -> ());
+  if s.retries > 0 then Format.fprintf ppf ", %d retries" s.retries;
   Format.fprintf ppf ", %.3fs" s.elapsed
 
 let run_stats_to_json s =
@@ -224,7 +312,12 @@ let run_stats_to_json s =
        Archex_obs.Json.Num (float_of_int s.presolve_fixed));
       ("presolve_dropped",
        Archex_obs.Json.Num (float_of_int s.presolve_dropped));
-      ("elapsed", Archex_obs.Json.Num s.elapsed) ]
+      ("elapsed", Archex_obs.Json.Num s.elapsed);
+      ( "best_bound",
+        match s.best_bound with
+        | Some b -> Archex_obs.Json.Num b
+        | None -> Archex_obs.Json.Null );
+      ("retries", Archex_obs.Json.Num (float_of_int s.retries)) ]
 
 let pp_outcome ppf = function
   | Optimal { objective; _ } ->

@@ -15,7 +15,8 @@ type outcome =
   | Limit_reached of { incumbent : (float * float array) option }
 
 type run_stats = {
-  backend : backend;
+  backend : backend;    (** the backend that produced the outcome (the
+                            retry target after a fallback) *)
   nodes : int;          (** decisions (PB) or B&B nodes (LP) *)
   propagations : int;   (** PB only *)
   conflicts : int;      (** PB only *)
@@ -23,6 +24,11 @@ type run_stats = {
   presolve_fixed : int;
   presolve_dropped : int;
   elapsed : float;      (** seconds *)
+  best_bound : float option;
+      (** best proven objective lower bound at exit; equals the objective
+          on [Optimal], and on [Limit_reached] sandwiches the optimum
+          between itself and the incumbent *)
+  retries : int;        (** backend-fallback retries (numeric stall) *)
 }
 
 val solve :
@@ -32,11 +38,27 @@ val solve :
   ?presolve:bool ->
   ?max_nodes:int ->
   ?time_limit:float ->
+  ?budget:Archex_resilience.Budget.t ->
   Model.t -> outcome * run_stats
 (** Minimize the model.  [backend] defaults to [Pseudo_boolean] when the
     model is pure Boolean, [Lp_branch_bound] otherwise.  [presolve]
     (default true) runs {!Presolve} first.  [time_limit] is wall-clock
     seconds ({!Archex_obs.Clock}; the caller's model is never mutated).
+
+    [budget] (default none) clamps [time_limit] and [max_nodes] under the
+    global allowance: the call never runs past
+    {!Archex_resilience.Budget.remaining_time} or
+    {!Archex_resilience.Budget.remaining_nodes}, the nodes it does spend
+    are charged back, and an already-exhausted budget — or an injected
+    [Solver_limit] fault ({!Archex_resilience.Faults}) — returns
+    [Limit_reached {incumbent = None}] immediately.
+
+    When the LP backend trips the {!Simplex} pivot ceiling on a pure 0-1
+    model (a numeric stall, not a search-space fact), the solve is retried
+    once on the [Pseudo_boolean] backend; the fallback is reported as a
+    [Fallback] progress event (source ["solver"]), a ["retry-pb"] phase in
+    the search log, a [solve.retries] metric, and [retries = 1] in the
+    returned statistics.
 
     [obs] (default disabled) wraps the run in a ["solve"] trace span
     (attributes: backend, vars, constraints) and accumulates backend

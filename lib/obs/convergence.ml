@@ -63,6 +63,9 @@ let flush b =
 let feed b (t, (ev : Event.t)) =
   match ev.kind with
   | Event.Iteration -> b.iterations <- (t, ev) :: b.iterations
+  | Event.Fallback ->
+      (* degradation markers carry no (incumbent, bound) information *)
+      ()
   | Event.Heartbeat | Event.Incumbent | Event.Bound ->
       (* a source switch or a restarted elapsed clock means a new solver
          invocation: close the segment and forget carried values *)

@@ -1,4 +1,4 @@
-type kind = Heartbeat | Incumbent | Bound | Iteration
+type kind = Heartbeat | Incumbent | Bound | Iteration | Fallback
 
 type t = {
   source : string;
@@ -12,12 +12,14 @@ let kind_name = function
   | Incumbent -> "incumbent"
   | Bound -> "bound"
   | Iteration -> "iteration"
+  | Fallback -> "fallback"
 
 let kind_of_name = function
   | "heartbeat" -> Some Heartbeat
   | "incumbent" -> Some Incumbent
   | "bound" -> Some Bound
   | "iteration" -> Some Iteration
+  | "fallback" -> Some Fallback
   | _ -> None
 
 let to_json ev =

@@ -11,6 +11,10 @@ type kind =
   | Incumbent  (** a new best feasible solution was found *)
   | Bound      (** the proven objective lower bound improved *)
   | Iteration  (** an outer-loop iteration (ILP-MR / ILP-AR) completed *)
+  | Fallback
+      (** a degradation step was taken: the exact reliability oracle fell
+          back to bounds or sampling, or a solver backend was swapped
+          after a stall — data names the stage and the rung *)
 
 type t = {
   source : string;  (** emitting stage: ["pb"], ["lp-bb"], ["ilp-mr"], … *)

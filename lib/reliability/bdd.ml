@@ -8,15 +8,21 @@ type man = {
   unique : (int * int * int, t) Hashtbl.t; (* (var, lo_id, hi_id) → node *)
   ite_cache : (int * int * int, t) Hashtbl.t;
   mutable next_id : int;
+  max_nodes : int;
   fresh_nodes : Archex_obs.Metrics.counter;
 }
 
-let manager ?(metrics = Archex_obs.Metrics.null) ~nvars () =
+exception Node_limit of { nodes : int; limit : int }
+
+let manager ?(metrics = Archex_obs.Metrics.null) ?(max_nodes = max_int)
+    ~nvars () =
   if nvars < 0 then invalid_arg "Bdd.manager";
+  if max_nodes <= 0 then invalid_arg "Bdd.manager: max_nodes must be positive";
   { n = nvars;
     unique = Hashtbl.create 1024;
     ite_cache = Hashtbl.create 1024;
     next_id = 2;
+    max_nodes;
     fresh_nodes = Archex_obs.Metrics.counter metrics "rel.bdd_nodes" }
 
 let nvars m = m.n
@@ -44,6 +50,9 @@ let mk m var lo hi =
     match Hashtbl.find_opt m.unique key with
     | Some node -> node
     | None ->
+        let nodes = m.next_id - 2 in
+        if nodes >= m.max_nodes then
+          raise (Node_limit { nodes; limit = m.max_nodes });
         let node = Node { id = m.next_id; var; lo; hi } in
         m.next_id <- m.next_id + 1;
         Archex_obs.Metrics.incr m.fresh_nodes;

@@ -11,10 +11,20 @@ type man
 
 type t
 
-val manager : ?metrics:Archex_obs.Metrics.t -> nvars:int -> unit -> man
+exception Node_limit of { nodes : int; limit : int }
+(** Raised by any diagram operation when creating one more decision node
+    would exceed the manager's [max_nodes] ceiling — the hook the
+    degradation ladder uses to detect a BDD blowup before it eats the
+    heap.  The manager is left usable (no node was created). *)
+
+val manager :
+  ?metrics:Archex_obs.Metrics.t -> ?max_nodes:int -> nvars:int -> unit ->
+  man
 (** Variables are [0 .. nvars-1]; smaller index = closer to the root.
     [metrics] (default disabled) counts every fresh decision node under
-    [rel.bdd_nodes] — the cost driver of the exact engine. *)
+    [rel.bdd_nodes] — the cost driver of the exact engine.
+    [max_nodes] (default unlimited) caps the total decision nodes the
+    manager may ever create; see {!Node_limit}. *)
 
 val nvars : man -> int
 

@@ -5,8 +5,11 @@ module Iset = Set.Make (Int)
    Standard recursive prime extraction over the (reduced, ordered) BDD with
    memoization and subsumption filtering. *)
 
-let failure_bdd ~metrics net ~sink =
-  let man = Bdd.manager ~metrics ~nvars:(Fail_model.var_count net) () in
+let failure_bdd ~metrics ?bdd_max_nodes net ~sink =
+  let man =
+    Bdd.manager ~metrics ?max_nodes:bdd_max_nodes
+      ~nvars:(Fail_model.var_count net) ()
+  in
   let working = Fail_model.working_bdd net man ~sink in
   (man, Bdd.neg man working)
 
@@ -39,8 +42,8 @@ let rec primes memo ~max_width f =
         result
   end
 
-let minimal_cut_sets ?(obs = Archex_obs.Ctx.null) ?(max_width = max_int) net
-    ~sink =
+let minimal_cut_sets ?(obs = Archex_obs.Ctx.null) ?(max_width = max_int)
+    ?bdd_max_nodes net ~sink =
   let trace = Archex_obs.Ctx.trace obs in
   let attrs =
     if Archex_obs.Trace.enabled trace then
@@ -49,7 +52,9 @@ let minimal_cut_sets ?(obs = Archex_obs.Ctx.null) ?(max_width = max_int) net
   in
   Archex_obs.Trace.with_span ~attrs trace "reliability.cut_sets" (fun () ->
       let _man, failure =
-        failure_bdd ~metrics:(Archex_obs.Ctx.metrics obs) net ~sink
+        failure_bdd
+          ~metrics:(Archex_obs.Ctx.metrics obs)
+          ?bdd_max_nodes net ~sink
       in
       let memo = Hashtbl.create 256 in
       let cuts = primes memo ~max_width failure in
@@ -65,15 +70,28 @@ let minimal_cut_sets ?(obs = Archex_obs.Ctx.null) ?(max_width = max_int) net
           if c <> 0 then c else compare a b)
         cuts)
 
-let rare_event_approximation ?obs net ~sink =
-  let cuts = minimal_cut_sets ?obs net ~sink in
-  List.fold_left
-    (fun acc cut ->
-      acc
-      +. List.fold_left
-           (fun p v -> p *. Fail_model.var_fail net v)
-           1. cut)
-    0. cuts
+let cut_probability net cut =
+  List.fold_left (fun p v -> p *. Fail_model.var_fail net v) 1. cut
+
+let rare_event_approximation ?obs ?bdd_max_nodes net ~sink =
+  let cuts = minimal_cut_sets ?obs ?bdd_max_nodes net ~sink in
+  List.fold_left (fun acc cut -> acc +. cut_probability net cut) 0. cuts
+
+(* Bounds need the FULL minimal-cut-set family: width pruning would drop
+   terms from the union bound and silently turn [hi] into a non-bound, so
+   no ?max_width here. *)
+let cut_bounds ?obs ?bdd_max_nodes net ~sink =
+  let cuts = minimal_cut_sets ?obs ?bdd_max_nodes net ~sink in
+  let lo =
+    List.fold_left
+      (fun acc cut -> Float.max acc (cut_probability net cut))
+      0. cuts
+  in
+  let hi =
+    Float.min 1.
+      (List.fold_left (fun acc cut -> acc +. cut_probability net cut) 0. cuts)
+  in
+  (lo, Float.max lo hi)
 
 let min_cut_width ?obs net ~sink =
   match minimal_cut_sets ?obs net ~sink with

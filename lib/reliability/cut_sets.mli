@@ -8,22 +8,37 @@
     (Sec. I), provided here for interoperability and cross-checking. *)
 
 val minimal_cut_sets :
-  ?obs:Archex_obs.Ctx.t -> ?max_width:int -> Fail_model.t -> sink:int ->
-  int list list
+  ?obs:Archex_obs.Ctx.t -> ?max_width:int -> ?bdd_max_nodes:int ->
+  Fail_model.t -> sink:int -> int list list
 (** All minimal cut sets (over the model's variables: node ids, plus edge
     variables for failing edges), each sorted, the list ordered by width
     then lexicographically.  [max_width] prunes the enumeration (default:
     unbounded).  Computed from the structure-function BDD, so exact.
     A sink with no source connection yields [[[]]]-like degenerate data:
     the empty cut (it is always disconnected).
+    [bdd_max_nodes] (default unlimited) caps the BDD manager; the
+    enumeration raises {!Bdd.Node_limit} past it.
     [obs] (default disabled) wraps the enumeration in a
     ["reliability.cut_sets"] span and counts [rel.cut_sets] and
     [rel.bdd_nodes]. *)
 
 val rare_event_approximation :
-  ?obs:Archex_obs.Ctx.t -> Fail_model.t -> sink:int -> float
+  ?obs:Archex_obs.Ctx.t -> ?bdd_max_nodes:int -> Fail_model.t -> sink:int ->
+  float
 (** [Σ_C Π p] over the minimal cut sets — an upper-bound-flavoured
     first-order estimate, asymptotically exact as probabilities shrink. *)
+
+val cut_bounds :
+  ?obs:Archex_obs.Ctx.t -> ?bdd_max_nodes:int -> Fail_model.t -> sink:int ->
+  float * float
+(** Rigorous two-sided bounds [(lo, hi)] on the sink failure probability:
+    [lo = max_C Π p] (some minimal cut fails at least as often as the most
+    probable one) and [hi = min(1, Σ_C Π p)] (union bound over all minimal
+    cuts).  The enumeration is deliberately {e unpruned} — a width-pruned
+    family would make the union bound unsound — so the only escape hatch is
+    [bdd_max_nodes] ({!Bdd.Node_limit} past it).  This is the "bounded"
+    rung of the degradation ladder: cheaper than full BDD probability
+    evaluation on blowup-prone instances, still certifiable. *)
 
 val min_cut_width : ?obs:Archex_obs.Ctx.t -> Fail_model.t -> sink:int -> int
 (** Width of the smallest cut — the architecture's redundancy order (how

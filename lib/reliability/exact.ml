@@ -11,8 +11,11 @@ let engine_name = function
   | Inclusion_exclusion -> "inclusion-exclusion"
   | Factoring -> "factoring"
 
-let bdd_failure ~metrics net ~sink =
-  let man = Bdd.manager ~metrics ~nvars:(Fail_model.var_count net) () in
+let bdd_failure ~metrics ?bdd_node_limit net ~sink =
+  let man =
+    Bdd.manager ~metrics ?max_nodes:bdd_node_limit
+      ~nvars:(Fail_model.var_count net) ()
+  in
   let working = Fail_model.working_bdd net man ~sink in
   1. -. Bdd.probability man (Fail_model.var_fail net) working
 
@@ -143,7 +146,7 @@ let factoring_failure net ~sink =
   go g fail
 
 let sink_failure ?(obs = Archex_obs.Ctx.null) ?(engine = Bdd_compilation)
-    net ~sink =
+    ?bdd_node_limit net ~sink =
   let trace = Archex_obs.Ctx.trace obs in
   let attrs =
     if Archex_obs.Trace.enabled trace then
@@ -154,9 +157,25 @@ let sink_failure ?(obs = Archex_obs.Ctx.null) ?(engine = Bdd_compilation)
   Archex_obs.Trace.with_span ~attrs trace "reliability.sink" (fun () ->
       match engine with
       | Bdd_compilation ->
-          bdd_failure ~metrics:(Archex_obs.Ctx.metrics obs) net ~sink
+          bdd_failure
+            ~metrics:(Archex_obs.Ctx.metrics obs)
+            ?bdd_node_limit net ~sink
       | Inclusion_exclusion -> inclusion_exclusion_failure net ~sink
       | Factoring -> factoring_failure net ~sink)
+
+let sink_failure_checked ?obs ?engine ?bdd_node_limit net ~sink =
+  let module E = Archex_resilience.Error in
+  match sink_failure ?obs ?engine ?bdd_node_limit net ~sink with
+  | r -> Ok r
+  | exception Bdd.Node_limit { nodes; limit } ->
+      Error (E.Bdd_blowup { stage = "reliability.sink"; nodes; limit })
+  | exception Invalid_argument msg ->
+      (* the inclusion-exclusion path-set guard: the same capacity class *)
+      Error
+        (E.Bdd_blowup
+           { stage = Printf.sprintf "reliability.sink: %s" msg;
+             nodes = 0;
+             limit = 0 })
 
 let all_sink_failures ?obs ?engine net ~sinks =
   List.map (fun s -> (s, sink_failure ?obs ?engine net ~sink:s)) sinks

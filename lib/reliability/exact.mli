@@ -20,14 +20,27 @@ type engine =
 val engine_name : engine -> string
 
 val sink_failure :
-  ?obs:Archex_obs.Ctx.t -> ?engine:engine -> Fail_model.t -> sink:int ->
-  float
+  ?obs:Archex_obs.Ctx.t -> ?engine:engine -> ?bdd_node_limit:int ->
+  Fail_model.t -> sink:int -> float
 (** Failure probability [r] of one sink.  A sink unreachable even with all
     components perfect has [r = 1].  [obs] (default disabled) wraps the
     computation in a ["reliability.sink"] span (attributes: sink, engine)
     and, for the BDD engine, counts [rel.bdd_nodes].
+    [bdd_node_limit] (default unlimited) caps the BDD manager's node count
+    for the [Bdd_compilation] engine.
+    @raise Bdd.Node_limit when [bdd_node_limit] is exceeded.
     @raise Invalid_argument for [Inclusion_exclusion] when the network has
     more than 24 minimal path sets. *)
+
+val sink_failure_checked :
+  ?obs:Archex_obs.Ctx.t -> ?engine:engine -> ?bdd_node_limit:int ->
+  Fail_model.t -> sink:int ->
+  (float, Archex_resilience.Error.t) result
+(** Like {!sink_failure}, but capacity blowups come back as a typed
+    [Error.Bdd_blowup] instead of an exception: both the BDD node ceiling
+    and the inclusion–exclusion path-set guard map to that constructor
+    (they are the same resource class — the compiled representation of the
+    structure function grew beyond the budget). *)
 
 val worst_failure :
   ?obs:Archex_obs.Ctx.t -> ?engine:engine -> Fail_model.t ->

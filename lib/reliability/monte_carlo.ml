@@ -17,5 +17,9 @@ let estimate_sink_failure ?(seed = 0x5eed) ~trials net ~sink =
   let std_error = sqrt (Float.max 0. (mean *. (1. -. mean) /. n)) in
   { mean; std_error; trials; failures = !failures }
 
+let confidence_interval ?(z = 3.) e =
+  let clamp x = Float.min 1. (Float.max 0. x) in
+  (clamp (e.mean -. (z *. e.std_error)), clamp (e.mean +. (z *. e.std_error)))
+
 let within e r k =
   Float.abs (r -. e.mean) <= (k *. e.std_error) +. 1e-12

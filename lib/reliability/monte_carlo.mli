@@ -5,7 +5,19 @@
     cross-check of the exact engines (at moderate failure probabilities)
     and for failure-injection style testing; useless at the [1e-10] scale
     of certified avionics requirements — which is the paper's very argument
-    for analytic methods. *)
+    for analytic methods.
+
+    {2 PRNG}
+
+    Sampling uses the OCaml standard library's [Random.State] (the lagged
+    Fibonacci / L64X128 generator of the running stdlib version), with a
+    dedicated state per call — never the global generator, so concurrent
+    estimates and unrelated library code cannot perturb each other.  The
+    seed defaults to a fixed constant ([0x5eed]); two calls with the same
+    seed, trial count and network are bit-for-bit identical, which is what
+    makes the sampled rung of the degradation ladder reproducible and
+    checkpoint/resume deterministic.  Pass a different [?seed] explicitly
+    to draw an independent replicate. *)
 
 type estimate = {
   mean : float;          (** estimated failure probability *)
@@ -16,7 +28,14 @@ type estimate = {
 
 val estimate_sink_failure :
   ?seed:int -> trials:int -> Fail_model.t -> sink:int -> estimate
-(** @raise Invalid_argument if [trials ≤ 0]. *)
+(** [seed] defaults to [0x5eed] (fixed, see the PRNG note above).
+    @raise Invalid_argument if [trials ≤ 0]. *)
+
+val confidence_interval : ?z:float -> estimate -> float * float
+(** Normal-approximation confidence interval [mean ± z·std_error], clamped
+    to [[0, 1]].  [z] defaults to [3.] (≈ 99.7% two-sided coverage) — the
+    width the degradation ladder reports when the exact engine has been
+    replaced by sampling. *)
 
 val within : estimate -> float -> float -> bool
 (** [within e r k] — is [r] inside [k] standard errors of the estimate

@@ -1,0 +1,121 @@
+type t = {
+  born : float;                    (* Clock.now at creation *)
+  deadline : float option;         (* absolute Clock time *)
+  max_nodes : int option;
+  mutable used_nodes : int;
+  max_bdd_nodes : int option;
+  max_heap_words : int option;
+}
+
+let unlimited =
+  { born = 0.;
+    deadline = None;
+    max_nodes = None;
+    used_nodes = 0;
+    max_bdd_nodes = None;
+    max_heap_words = None }
+
+let create ?deadline ?max_nodes ?max_bdd_nodes ?max_heap_words () =
+  let positive name = function
+    | Some v when v <= 0 ->
+        invalid_arg (Printf.sprintf "Budget.create: %s must be positive" name)
+    | _ -> ()
+  in
+  (match deadline with
+  | Some d when d <= 0. ->
+      invalid_arg "Budget.create: deadline must be positive"
+  | _ -> ());
+  positive "max_nodes" max_nodes;
+  positive "max_bdd_nodes" max_bdd_nodes;
+  positive "max_heap_words" max_heap_words;
+  let now = Archex_obs.Clock.now () in
+  { born = now;
+    deadline = Option.map (fun d -> now +. d) deadline;
+    max_nodes;
+    used_nodes = 0;
+    max_bdd_nodes;
+    max_heap_words }
+
+let is_unlimited b =
+  b.deadline = None && b.max_nodes = None && b.max_bdd_nodes = None
+  && b.max_heap_words = None
+
+let remaining_time b =
+  Option.map
+    (fun d -> Float.max 0. (d -. Archex_obs.Clock.now ()))
+    b.deadline
+
+let slice ?(frac = 0.5) ?cap b =
+  let of_remaining =
+    Option.map (fun r -> Float.max 0.01 (r *. frac)) (remaining_time b)
+  in
+  match (of_remaining, cap) with
+  | None, None -> None
+  | Some s, None -> Some s
+  | None, Some c -> Some c
+  | Some s, Some c -> Some (Float.min s c)
+
+let remaining_nodes b =
+  Option.map (fun m -> max 0 (m - b.used_nodes)) b.max_nodes
+
+let charge_nodes b n = if n > 0 then b.used_nodes <- b.used_nodes + n
+
+let bdd_node_limit b = b.max_bdd_nodes
+
+let elapsed b =
+  if b.born = 0. then 0. else Archex_obs.Clock.now () -. b.born
+
+let deadline_error ~stage b =
+  match b.deadline with
+  | Some d ->
+      Error.Timeout
+        { stage; elapsed = elapsed b; limit = Float.max 0. (d -. b.born) }
+  | None -> Error.Timeout { stage; elapsed = elapsed b; limit = 0. }
+
+let check ~stage b =
+  let time_exceeded =
+    (match b.deadline with
+    | Some d -> Archex_obs.Clock.now () > d
+    | None -> false)
+    || (b.deadline <> None && Faults.probe Faults.Clock_jump)
+  in
+  if time_exceeded then Result.Error (deadline_error ~stage b)
+  else
+    match b.max_nodes with
+    | Some limit when b.used_nodes >= limit ->
+        Result.Error
+          (Error.Node_budget { stage; used = b.used_nodes; limit })
+    | _ -> (
+        match b.max_heap_words with
+        | None -> Ok ()
+        | Some limit_words ->
+            let heap_words = (Gc.quick_stat ()).Gc.heap_words in
+            if heap_words > limit_words
+               || Faults.probe Faults.Alloc_pressure then
+              Result.Error
+                (Error.Memory_pressure { stage; heap_words; limit_words })
+            else Ok ())
+
+let exhaustion ~stage b =
+  match check ~stage b with
+  | Result.Error e -> e
+  | Ok () -> (
+      (* no global limit is binding: the per-call slice must have hit *)
+      match b.deadline with
+      | Some _ -> deadline_error ~stage b
+      | None -> Error.Timeout { stage; elapsed = elapsed b; limit = 0. })
+
+let to_json b =
+  let module J = Archex_obs.Json in
+  let opt name f = function
+    | None -> []
+    | Some v -> [ (name, f v) ]
+  in
+  J.Obj
+    (opt "deadline_s" (fun d -> J.Num (d -. b.born)) b.deadline
+    @ opt "max_nodes" (fun n -> J.Num (float_of_int n)) b.max_nodes
+    @ [ ("used_nodes", J.Num (float_of_int b.used_nodes)) ]
+    @ opt "max_bdd_nodes" (fun n -> J.Num (float_of_int n)) b.max_bdd_nodes
+    @ opt "max_heap_words"
+        (fun n -> J.Num (float_of_int n))
+        b.max_heap_words)

@@ -1,0 +1,68 @@
+(** Global resource budget, threaded from the outer synthesis loop down
+    to every solver and oracle call.
+
+    One budget carries a wall-clock deadline (absolute, from
+    {!Archex_obs.Clock}), a shared search-node allowance (PB decisions +
+    B&B nodes, decremented as solves report their statistics), a BDD
+    node ceiling for the exact reliability oracle, and a GC heap
+    watermark.  All limits are optional; {!unlimited} is free to pass.
+
+    The deadline is global: [ILP-MR] used to give each [SOLVEILP] call
+    its own fixed [solve_time_limit], so an adversarial instance could
+    spend [iterations × limit] seconds.  With a budget, each call gets a
+    {e slice} of what remains ({!slice}), so the run as a whole respects
+    one deadline while later iterations always retain a share.
+
+    {!check} is the single enforcement point: it consults the installed
+    fault plan ({!Faults}), so an injected [Clock_jump] or
+    [Alloc_pressure] fault surfaces exactly like the real thing. *)
+
+type t
+
+val unlimited : t
+
+val create :
+  ?deadline:float ->
+  ?max_nodes:int ->
+  ?max_bdd_nodes:int ->
+  ?max_heap_words:int ->
+  unit -> t
+(** [deadline] is in seconds from now (wall clock).  [max_nodes] caps the
+    cumulative search nodes charged with {!charge_nodes}.
+    [max_bdd_nodes] is the per-oracle-call BDD ceiling reported by
+    {!bdd_node_limit}.  [max_heap_words] is compared against
+    [Gc.quick_stat().heap_words] at every {!check}.
+    @raise Invalid_argument on a non-positive limit. *)
+
+val is_unlimited : t -> bool
+
+val remaining_time : t -> float option
+(** Seconds until the deadline, [None] without one; never negative. *)
+
+val slice : ?frac:float -> ?cap:float -> t -> float option
+(** Time allowance for one downstream call: [frac] (default 0.5) of the
+    remaining time, never more than [cap], floored at 10 ms so a call at
+    the deadline's edge still terminates promptly.  [None] when the
+    budget has neither a deadline nor a [cap]. *)
+
+val remaining_nodes : t -> int option
+val charge_nodes : t -> int -> unit
+(** Record nodes spent by a finished solve; clamps at the limit. *)
+
+val bdd_node_limit : t -> int option
+
+val check : stage:string -> t -> (unit, Error.t) result
+(** The enforcement point: returns the binding exhaustion, checking (in
+    order) the deadline (or an injected [Clock_jump]), the node budget,
+    and the heap watermark (or an injected [Alloc_pressure]). *)
+
+val exhaustion : stage:string -> t -> Error.t
+(** The error {!check} would report if any limit were hit — used to
+    explain a [Limit_reached] solver outcome; falls back to a
+    {!Error.Timeout} over the elapsed time when no limit is binding
+    (the per-call limit must have fired). *)
+
+val elapsed : t -> float
+(** Seconds since the budget was created. *)
+
+val to_json : t -> Archex_obs.Json.t

@@ -1,0 +1,142 @@
+type kind = Clock_jump | Oracle_failure | Solver_limit | Alloc_pressure
+
+let kind_name = function
+  | Clock_jump -> "clock-jump"
+  | Oracle_failure -> "oracle-failure"
+  | Solver_limit -> "solver-limit"
+  | Alloc_pressure -> "alloc-pressure"
+
+let kind_of_name = function
+  | "clock-jump" -> Some Clock_jump
+  | "oracle-failure" -> Some Oracle_failure
+  | "solver-limit" -> Some Solver_limit
+  | "alloc-pressure" -> Some Alloc_pressure
+  | _ -> None
+
+let all_kinds = [ Clock_jump; Oracle_failure; Solver_limit; Alloc_pressure ]
+
+let kind_index = function
+  | Clock_jump -> 0
+  | Oracle_failure -> 1
+  | Solver_limit -> 2
+  | Alloc_pressure -> 3
+
+type trigger = At of int | Every of int | Random_p of float
+
+type plan = {
+  triggers : trigger option array; (* indexed by kind *)
+  probes : int array;              (* probe counter per kind *)
+  fired : int array;
+  seed : int;                      (* LCG start state (rng reset on install) *)
+  mutable rng : int;               (* LCG state, from the seed *)
+}
+
+let plan ?(seed = 0x5eed) entries =
+  let triggers = Array.make 4 None in
+  List.iter
+    (fun (k, t) ->
+      let i = kind_index k in
+      if triggers.(i) = None then triggers.(i) <- Some t)
+    entries;
+  let seed = (seed land 0x3FFFFFFF) lor 1 in
+  { triggers;
+    probes = Array.make 4 0;
+    fired = Array.make 4 0;
+    seed;
+    rng = seed }
+
+let parse_spec spec =
+  let parse_item item =
+    let kind_of name =
+      match kind_of_name name with
+      | Some k -> Ok k
+      | None -> Error (Printf.sprintf "unknown fault kind %S" name)
+    in
+    let split sep =
+      match String.index_opt item sep with
+      | None -> None
+      | Some i ->
+          Some
+            ( String.sub item 0 i,
+              String.sub item (i + 1) (String.length item - i - 1) )
+    in
+    match split '@' with
+    | Some (name, n) -> (
+        match (kind_of name, int_of_string_opt n) with
+        | Ok k, Some n when n >= 1 -> Ok (k, At n)
+        | Ok _, _ -> Error (Printf.sprintf "bad probe index in %S" item)
+        | (Error _ as e), _ -> e)
+    | None -> (
+        match split '/' with
+        | Some (name, n) -> (
+            match (kind_of name, int_of_string_opt n) with
+            | Ok k, Some n when n >= 1 -> Ok (k, Every n)
+            | Ok _, _ -> Error (Printf.sprintf "bad period in %S" item)
+            | (Error _ as e), _ -> e)
+        | None -> (
+            match split '~' with
+            | Some (name, p) -> (
+                match (kind_of name, float_of_string_opt p) with
+                | Ok k, Some p when p >= 0. && p <= 1. ->
+                    Ok (k, Random_p p)
+                | Ok _, _ ->
+                    Error (Printf.sprintf "bad probability in %S" item)
+                | (Error _ as e), _ -> e)
+            | None -> Result.map (fun k -> (k, At 1)) (kind_of item)))
+  in
+  let items = String.split_on_char ',' (String.trim spec) in
+  let items = List.filter (fun s -> String.trim s <> "") items in
+  if items = [] then Error "empty fault spec"
+  else
+    let rec go acc = function
+      | [] -> Ok (plan (List.rev acc))
+      | item :: rest -> (
+          match parse_item (String.trim item) with
+          | Ok entry -> go (entry :: acc) rest
+          | Error _ as e -> e)
+    in
+    go [] items
+
+(* The installed plan: dynamically scoped, single-threaded like the rest
+   of the stack. *)
+let current : plan option ref = ref None
+
+let with_plan p f =
+  Array.fill p.probes 0 4 0;
+  Array.fill p.fired 0 4 0;
+  p.rng <- p.seed;
+  let saved = !current in
+  current := Some p;
+  Fun.protect ~finally:(fun () -> current := saved) f
+
+let active () = !current <> None
+
+let next_random p =
+  (* Lehmer-style LCG — same family the PB solver uses for phase jitter *)
+  p.rng <- p.rng * 48271 land 0x3FFFFFFF;
+  p.rng
+
+let probe k =
+  match !current with
+  | None -> false
+  | Some p -> (
+      let i = kind_index k in
+      match p.triggers.(i) with
+      | None -> false
+      | Some t ->
+          p.probes.(i) <- p.probes.(i) + 1;
+          let fires =
+            match t with
+            | At n -> p.probes.(i) = n
+            | Every n -> p.probes.(i) mod n = 0
+            | Random_p pr ->
+                float_of_int (next_random p) /. float_of_int 0x40000000
+                < pr
+          in
+          if fires then p.fired.(i) <- p.fired.(i) + 1;
+          fires)
+
+let fired_count k =
+  match !current with
+  | None -> 0
+  | Some p -> p.fired.(kind_index k)

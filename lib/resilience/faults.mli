@@ -1,0 +1,64 @@
+(** Deterministic fault injection.
+
+    A {e plan} schedules faults against named injection points scattered
+    through the synthesis stack (budget checks, the reliability oracle,
+    the ILP solver front-end).  Each instrumented point calls {!probe}
+    with its fault {!kind}; the plan decides — deterministically, from
+    the per-kind probe counter and the plan's seed — whether the fault
+    fires there.  With no plan installed every probe is free and returns
+    [false], so production runs pay nothing.
+
+    Plans are installed dynamically with {!with_plan} (restored on exit,
+    exceptions included), which is how [test/test_resilience.ml] and the
+    CLI's [--inject] drive every degradation path without real clock
+    jumps, BDD explosions or allocation storms. *)
+
+type kind =
+  | Clock_jump       (** the wall clock leaps past the deadline *)
+  | Oracle_failure   (** exact reliability analysis blows up *)
+  | Solver_limit     (** SOLVEILP exhausts its node/time budget *)
+  | Alloc_pressure   (** the GC heap watermark is exceeded *)
+
+val kind_name : kind -> string
+(** ["clock-jump"], ["oracle-failure"], ["solver-limit"],
+    ["alloc-pressure"]. *)
+
+val kind_of_name : string -> kind option
+
+val all_kinds : kind list
+
+type trigger =
+  | At of int      (** fire exactly on the [n]-th probe (1-based) *)
+  | Every of int   (** fire on every [n]-th probe *)
+  | Random_p of float
+      (** fire independently with probability [p], from the plan's seeded
+          LCG — deterministic for a fixed seed and probe sequence *)
+
+type plan
+
+val plan : ?seed:int -> (kind * trigger) list -> plan
+(** [seed] (default [0x5eed]) drives [Random_p] triggers.  Listing a kind
+    twice keeps the first trigger. *)
+
+val parse_spec : string -> (plan, string) result
+(** Parse a CLI injection spec: comma-separated [KIND\[@N\]] /
+    [KIND/N] / [KIND~P] items, e.g. ["oracle-failure@2,clock-jump/3"].
+    [@N] = {!At}[ N] (default [@1]), [/N] = {!Every}[ N],
+    [~P] = {!Random_p}[ P]. *)
+
+val with_plan : plan -> (unit -> 'a) -> 'a
+(** Install the plan (resetting its probe counters and its [Random_p]
+    generator to the seed, so every installation replays the same fault
+    schedule) for the duration of the callback; the previously installed
+    plan is restored afterwards. *)
+
+val active : unit -> bool
+(** Is any plan installed? *)
+
+val probe : kind -> bool
+(** Ask the installed plan whether this fault fires here; [false] (and no
+    allocation) when no plan is installed. *)
+
+val fired_count : kind -> int
+(** Number of probes of this kind that fired under the installed plan
+    (0 without one). *)

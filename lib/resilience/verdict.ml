@@ -1,0 +1,40 @@
+type interval = { lo : float; hi : float }
+
+type t =
+  | Exact of float
+  | Bounded of interval
+  | Sampled of interval
+
+let clamp01 x = Float.min 1. (Float.max 0. x)
+
+let make_interval ~lo ~hi =
+  let lo = clamp01 lo and hi = clamp01 hi in
+  if lo <= hi then { lo; hi } else { lo = hi; hi = lo }
+
+let exact r = Exact r
+let bounded ~lo ~hi = Bounded (make_interval ~lo ~hi)
+let sampled ~lo ~hi = Sampled (make_interval ~lo ~hi)
+
+let upper = function Exact r -> r | Bounded i | Sampled i -> i.hi
+let lower = function Exact r -> r | Bounded i | Sampled i -> i.lo
+let width v = upper v -. lower v
+let is_exact = function Exact _ -> true | Bounded _ | Sampled _ -> false
+
+let method_name = function
+  | Exact _ -> "exact"
+  | Bounded _ -> "bounded"
+  | Sampled _ -> "sampled"
+
+let to_json v =
+  let module J = Archex_obs.Json in
+  let fields =
+    match v with
+    | Exact r -> [ ("value", J.Num r) ]
+    | Bounded i | Sampled i -> [ ("lo", J.Num i.lo); ("hi", J.Num i.hi) ]
+  in
+  J.Obj (("method", J.Str (method_name v)) :: fields)
+
+let pp ppf = function
+  | Exact r -> Format.fprintf ppf "%.3e (exact)" r
+  | Bounded i -> Format.fprintf ppf "[%.3e, %.3e] (bounded)" i.lo i.hi
+  | Sampled i -> Format.fprintf ppf "[%.3e, %.3e] (sampled)" i.lo i.hi

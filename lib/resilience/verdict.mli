@@ -1,0 +1,46 @@
+(** Reliability verdicts under graceful degradation.
+
+    The exact oracle is the only engine that returns a point value; every
+    fallback on the degradation ladder returns an interval instead, and
+    the verdict records which rung produced it:
+
+    - {!Exact} — exact K-terminal analysis completed;
+    - {!Bounded} — analytic cut-set bounds
+      ([max_C Π p ≤ r ≤ min(1, Σ_C Π p)] over the minimal cut sets);
+    - {!Sampled} — seeded Monte-Carlo confidence interval.
+
+    Downstream algorithms must consume verdicts {e conservatively}: an
+    acceptance test compares {!upper} against [r*] (never accept on hope),
+    and constraint learning treats {!upper} as the observed failure
+    probability (never learn less than the evidence demands). *)
+
+type interval = { lo : float; hi : float }
+
+type t =
+  | Exact of float
+  | Bounded of interval
+  | Sampled of interval
+
+val exact : float -> t
+
+val bounded : lo:float -> hi:float -> t
+(** Clamped to [0, 1] and ordered. *)
+
+val sampled : lo:float -> hi:float -> t
+
+val upper : t -> float
+(** The conservative failure probability: the value itself for {!Exact},
+    the interval's upper end otherwise. *)
+
+val lower : t -> float
+
+val width : t -> float
+(** [0] for {!Exact}. *)
+
+val is_exact : t -> bool
+
+val method_name : t -> string
+(** ["exact"], ["bounded"] or ["sampled"]. *)
+
+val to_json : t -> Archex_obs.Json.t
+val pp : Format.formatter -> t -> unit

@@ -255,7 +255,7 @@ let test_ilp_mr_unfeasible_when_template_too_small () =
   (* even the best architecture (2 sources × 3 middles fully wired) has
      r ≈ p_T + … ≥ ~1e-3: a 1e-12 requirement must be UNFEASIBLE *)
   match Archex.Ilp_mr.run t ~r_star:1e-12 with
-  | Archex.Synthesis.Unfeasible (trace, _) ->
+  | Archex.Synthesis.Unfeasible (_, trace, _) ->
       checkb "tried something" true (trace <> [])
   | Archex.Synthesis.Synthesized (arch, _, _) ->
       Alcotest.failf "impossible requirement satisfied?! r=%g"
@@ -267,7 +267,7 @@ let test_ilp_mr_lazy_strategy_more_iterations () =
   let run strategy template =
     match Archex.Ilp_mr.run ~strategy template ~r_star:0.01 with
     | Archex.Synthesis.Synthesized (_, trace, _) -> List.length trace
-    | Archex.Synthesis.Unfeasible (trace, _) -> List.length trace
+    | Archex.Synthesis.Unfeasible (_, trace, _) -> List.length trace
   in
   let estimated = run Archex.Learn_cons.Estimated t in
   let lazy_ = run Archex.Learn_cons.Lazy_one_path t' in
@@ -305,7 +305,7 @@ let test_ilp_ar_adds_redundancy_when_tight () =
 let test_ilp_ar_unfeasible_when_impossible () =
   let t = small_template () in
   match Archex.Ilp_ar.run t ~r_star:1e-12 with
-  | Archex.Synthesis.Unfeasible (info, _) ->
+  | Archex.Synthesis.Unfeasible (_, info, _) ->
       checkb "reports model size" true
         (info.Archex.Ilp_ar.constraint_count > 0)
   | Archex.Synthesis.Synthesized _ ->
