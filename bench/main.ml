@@ -390,6 +390,97 @@ let bench_smoke () =
       ("ar_base_r2e-6", fun () -> ar_series ~r_star:2e-6 ());
       ("mr_g4_r2e-6", fun () -> mr_series ~generators:4 ~r_star:2e-6 ()) ]
 
+(* Serial vs parallel sweep: times the three parallel surfaces (sharded
+   Monte-Carlo, per-sink analysis fan-out, portfolio solver) at jobs 1
+   and jobs 4, asserting along the way that every figure is identical —
+   the determinism contract — and records the speedups as series.  On a
+   single-core box the speedups hover around (or below) 1; the artifact
+   is still useful there as a determinism check and overhead gauge. *)
+let bench_parallel () =
+  hr "Parallel execution sweep (writes BENCH_parallel.json)";
+  let open Archex_obs in
+  let inst = Eps.Eps_template.base () in
+  let template = inst.Eps.Eps_template.template in
+  let config =
+    match Archex.Gen_ilp.solve (Archex.Gen_ilp.encode template) with
+    | Some (config, _, _) -> config
+    | None -> failwith "base EPS template infeasible"
+  in
+  let time f =
+    let t0 = Clock.now () in
+    let r = f () in
+    (r, Clock.now () -. t0)
+  in
+  let assert_eq what a b =
+    if a <> b then
+      failwith
+        (Printf.sprintf "parallel bench: %s diverges across jobs (%g <> %g)"
+           what a b)
+  in
+  (* 1. sharded Monte-Carlo on the synthesized configuration *)
+  let net = Archex.Rel_analysis.fail_model_of_config template config in
+  let sink = List.hd (Archlib.Template.sinks template) in
+  let trials = 400_000 in
+  let mc jobs () =
+    Reliability.Monte_carlo.estimate_sink_failure ~seed:7 ~jobs ~trials net
+      ~sink
+  in
+  let mc_series () =
+    let est1, t1 = time (mc 1) in
+    let est4, t4 = time (mc 4) in
+    assert_eq "MC failure count"
+      (float_of_int est1.Reliability.Monte_carlo.failures)
+      (float_of_int est4.Reliability.Monte_carlo.failures);
+    [ ("mc_jobs1_s", t1); ("mc_jobs4_s", t4); ("mc_speedup_x", t1 /. t4);
+      ("mc_failures", float_of_int est1.Reliability.Monte_carlo.failures) ]
+  in
+  (* 2. per-sink reliability analysis fan-out *)
+  let analysis_series () =
+    let rep1, t1 =
+      time (fun () -> Archex.Rel_analysis.analyze ~jobs:1 template config)
+    in
+    let rep4, t4 =
+      time (fun () -> Archex.Rel_analysis.analyze ~jobs:4 template config)
+    in
+    assert_eq "worst-sink failure" rep1.Archex.Rel_analysis.worst
+      rep4.Archex.Rel_analysis.worst;
+    [ ("analysis_jobs1_s", t1); ("analysis_jobs4_s", t4);
+      ("analysis_speedup_x", t1 /. t4) ]
+  in
+  (* 3. portfolio solver racing PB and LP-BB on the base EPS ILP *)
+  let solve backend =
+    let enc = Archex.Gen_ilp.encode template in
+    match Archex.Gen_ilp.solve ~backend ~time_limit:!per_solve_limit enc with
+    | Some (_, cost, stats) -> (cost, stats.Milp.Solver.elapsed)
+    | None -> failwith "base EPS ILP infeasible"
+  in
+  let portfolio_series () =
+    let cost_pb, t_pb = solve Milp.Solver.Pseudo_boolean in
+    let cost_pf, t_pf = solve Milp.Solver.Portfolio in
+    assert_eq "ILP objective" cost_pb cost_pf;
+    [ ("solve_pb_s", t_pb); ("solve_portfolio_s", t_pf);
+      ("solve_cost", cost_pb) ]
+  in
+  (* 4. end-to-end ILP-MR cost identity under -j *)
+  let mr_parity_series () =
+    let run jobs =
+      match
+        Archex.Ilp_mr.run ~solve_time_limit:!per_solve_limit ~jobs template
+          ~r_star:2e-6
+      with
+      | Archex.Synthesis.Synthesized (arch, _, _) ->
+          arch.Archex.Synthesis.cost
+      | Archex.Synthesis.Unfeasible _ -> failwith "base EPS mr unfeasible"
+    in
+    let c1, t1 = time (fun () -> run 1) in
+    let c4, t4 = time (fun () -> run 4) in
+    assert_eq "ILP-MR cost" c1 c4;
+    [ ("mr_jobs1_s", t1); ("mr_jobs4_s", t4); ("mr_cost", c1) ]
+  in
+  run_cases ~experiment:"parallel" ~output:"BENCH_parallel.json"
+    [ ("monte_carlo", mc_series); ("rel_analysis", analysis_series);
+      ("portfolio", portfolio_series); ("ilp_mr_jobs", mr_parity_series) ]
+
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test.make per table/figure kernel.   *)
 
@@ -494,7 +585,7 @@ let artifacts =
     ("fig3", fig3); ("table2", table2); ("table3", table3);
     ("ablation-backend", ablation_backend); ("ablation-exact", ablation_exact);
     ("synthesis", synthesis); ("bench-smoke", bench_smoke);
-    ("bechamel", bechamel) ]
+    ("bench-parallel", bench_parallel); ("bechamel", bechamel) ]
 
 let default_artifacts =
   [ "table1"; "example1"; "fig2"; "fig3"; "table2"; "table3";

@@ -13,6 +13,7 @@ let backend_conv =
     | "pb" -> Ok Milp.Solver.Pseudo_boolean
     | "lp-bb" -> Ok Milp.Solver.Lp_branch_bound
     | "brute" -> Ok Milp.Solver.Brute_force
+    | "portfolio" -> Ok Milp.Solver.Portfolio
     | s -> Error (`Msg (Printf.sprintf "unknown backend %S" s))
   in
   Arg.conv (parse, fun ppf b ->
@@ -32,9 +33,22 @@ let r_star_arg =
   Arg.(value & opt float 2e-10 & info [ "r"; "r-star" ] ~doc ~docv:"R")
 
 let backend_arg =
-  let doc = "ILP backend: $(b,pb), $(b,lp-bb) or $(b,brute)." in
+  let doc =
+    "ILP backend: $(b,pb), $(b,lp-bb), $(b,brute) or $(b,portfolio) \
+     (races $(b,pb) and $(b,lp-bb) on two domains over a shared \
+     incumbent; same optimum, first proof wins)."
+  in
   Arg.(value & opt backend_conv Milp.Solver.Pseudo_boolean
        & info [ "backend" ] ~doc ~docv:"B")
+
+let jobs_arg =
+  let doc =
+    "Number of domains for the per-sink reliability analysis (and the \
+     Monte-Carlo rung when the analysis degrades to sampling).  Results \
+     are identical at any $(docv) — parallelism only changes wall-clock \
+     time.  Use $(b,--backend portfolio) to also race the ILP solves."
+  in
+  Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~doc ~docv:"JOBS")
 
 let lazy_arg =
   let doc = "Use the lazy one-path-per-iteration learning strategy \
@@ -277,7 +291,7 @@ let resume_arg =
 
 let mr_term =
   let run generators r_star backend lazy_ diagram obs3 stats res checkpoint
-      resume =
+      resume jobs =
     let inst = instance_of generators in
     let strategy =
       if lazy_ then Archex.Learn_cons.Lazy_one_path
@@ -300,11 +314,11 @@ let mr_term =
                 from.Archex.Checkpoint.r_star;
               Archex.Ilp_mr.resume ~obs ?on_event
                 ?strategy:(if lazy_ then Some strategy else None)
-                ~backend ~budget ?checkpoint inst.Eps.Eps_template.template
-                ~from)
+                ~backend ~budget ?checkpoint ~jobs
+                inst.Eps.Eps_template.template ~from)
       | None ->
           Archex.Ilp_mr.run ~obs ?on_event ~strategy ~backend ~budget
-            ?checkpoint inst.Eps.Eps_template.template ~r_star
+            ?checkpoint ~jobs inst.Eps.Eps_template.template ~r_star
     in
     match result with
     | Archex.Synthesis.Synthesized (arch, trace, timing) ->
@@ -331,20 +345,20 @@ let mr_term =
   Term.(
     const run $ generators_arg $ r_star_arg $ backend_arg $ lazy_arg
     $ diagram_arg $ obs_args $ stats_arg $ resilience_args $ checkpoint_arg
-    $ resume_arg)
+    $ resume_arg $ jobs_arg)
 
 let mr_cmd =
   let doc = "Synthesize with ILP Modulo Reliability (Algorithm 1)." in
   Cmd.v (Cmd.info "mr" ~doc) mr_term
 
 let ar_cmd =
-  let run generators r_star backend diagram obs3 res =
+  let run generators r_star backend diagram obs3 res jobs =
     let inst = instance_of generators in
     let budget = budget_of res in
     with_obs obs3 @@ fun obs on_event ->
     with_faults res @@ fun () ->
     match
-      Archex.Ilp_ar.run ~obs ?on_event ~backend ~budget
+      Archex.Ilp_ar.run ~obs ?on_event ~backend ~budget ~jobs
         inst.Eps.Eps_template.template ~r_star
     with
     | Archex.Synthesis.Synthesized (arch, info, timing) ->
@@ -369,10 +383,10 @@ let ar_cmd =
   Cmd.v (Cmd.info "ar" ~doc)
     Term.(
       const run $ generators_arg $ r_star_arg $ backend_arg $ diagram_arg
-      $ obs_args $ resilience_args)
+      $ obs_args $ resilience_args $ jobs_arg)
 
 let analyze_cmd =
-  let run generators obs3 =
+  let run generators obs3 jobs =
     let inst = instance_of generators in
     let template = inst.Eps.Eps_template.template in
     with_obs obs3 @@ fun obs on_event ->
@@ -382,7 +396,9 @@ let analyze_cmd =
         Format.printf "template is infeasible@.";
         1
     | Some (config, cost, _) ->
-        let report = Archex.Rel_analysis.analyze ~obs template config in
+        let report =
+          Archex.Rel_analysis.analyze ~obs ~jobs template config
+        in
         Format.printf
           "minimal architecture: cost %g, worst failure %.3e@." cost
           report.Archex.Rel_analysis.worst;
@@ -393,7 +409,8 @@ let analyze_cmd =
     "Solve connectivity and power-flow only and report exact reliability \
      of the minimal architecture."
   in
-  Cmd.v (Cmd.info "analyze" ~doc) Term.(const run $ generators_arg $ obs_args)
+  Cmd.v (Cmd.info "analyze" ~doc)
+    Term.(const run $ generators_arg $ obs_args $ jobs_arg)
 
 let export_cmd =
   let run generators r_star path =

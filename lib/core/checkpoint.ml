@@ -174,7 +174,22 @@ let save path ck =
   | oc -> (
       output_string oc (J.to_string (to_json ck));
       output_char oc '\n';
+      (* rename-over-old is only atomic on disk if the new bytes reached
+         the disk first: flush the channel, then fsync the fd, THEN
+         rename.  Without the fsync a crash can leave the rename durable
+         but the data not — a zero-length "checkpoint". *)
+      flush oc;
+      (match Unix.fsync (Unix.descr_of_out_channel oc) with
+      | () -> ()
+      | exception Unix.Unix_error _ ->
+          (* fsync unsupported on this fs: keep best-effort semantics *)
+          ());
       close_out oc;
       match Sys.rename tmp path with
       | () -> Ok ()
       | exception Sys_error msg -> Error msg)
+
+let load_checked path =
+  match load path with
+  | Ok ck -> Ok ck
+  | Error msg -> Error (Archex_resilience.Error.Invalid_input [ msg ])

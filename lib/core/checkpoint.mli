@@ -42,6 +42,15 @@ val of_json : Archex_obs.Json.t -> (t, string) result
 val of_string : string -> (t, string) result
 
 val save : string -> t -> (unit, string) result
-(** Atomic write (".tmp" sibling, then rename). *)
+(** Atomic {e durable} write: the ".tmp" sibling is flushed and
+    [fsync]ed before the rename, so a crash at any point leaves either
+    the previous checkpoint or the complete new one — never a
+    truncated file behind a durable rename. *)
 
 val load : string -> (t, string) result
+
+val load_checked : string -> (t, Archex_resilience.Error.t) result
+(** {!load} at the trust boundary: an unreadable, truncated or corrupt
+    checkpoint surfaces as a typed
+    [{!Archex_resilience.Error.Invalid_input}] carrying the decoder's
+    message, never an exception. *)

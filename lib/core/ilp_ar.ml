@@ -224,7 +224,8 @@ let approx_on_config template config =
 
 let run ?(obs = Archex_obs.Ctx.null) ?on_event ?backend ?engine
     ?(time_limit = 300.) ?(certify = false) ?cert_node_budget
-    ?(budget = Archex_resilience.Budget.unlimited) template ~r_star =
+    ?(budget = Archex_resilience.Budget.unlimited) ?(jobs = 1) template
+    ~r_star =
   Archex_obs.Trace.with_span (Archex_obs.Ctx.trace obs) "ilp_ar"
   @@ fun () ->
   let t0 = Archex_obs.Clock.now () in
@@ -276,7 +277,8 @@ let run ?(obs = Archex_obs.Ctx.null) ?on_event ?backend ?engine
         else None
       in
       let report =
-        Rel_analysis.analyze ~obs ?on_event ?engine ~budget template config
+        Rel_analysis.analyze ~obs ?on_event ?engine ~budget ~jobs template
+          config
       in
       let estimate, bound = approx_on_config template config in
       Archex_obs.Gc_metrics.sample metrics;

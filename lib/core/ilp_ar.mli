@@ -32,8 +32,11 @@ val run :
   ?certify:bool ->
   ?cert_node_budget:int ->
   ?budget:Archex_resilience.Budget.t ->
+  ?jobs:int ->
   Archlib.Template.t -> r_star:float -> info Synthesis.result
-(** Synthesize with the approximate-reliability encoding.  The template must
+(** Synthesize with the approximate-reliability encoding.  [jobs]
+    (default 1) parallelizes the a-posteriori per-sink reliability checks
+    ({!Rel_analysis.analyze}) without changing any reported figure.  The template must
     declare a type chain ({!Archlib.Template.set_type_chain}); per Theorem 3
     the result is optimal up to the Theorem 2 error bound, and the exact
     reliability reported in the architecture lets callers check the actual

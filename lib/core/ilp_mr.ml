@@ -32,6 +32,7 @@ let backend_of_name = function
   | "pb" -> Some Milp.Solver.Pseudo_boolean
   | "lp-bb" -> Some Milp.Solver.Lp_branch_bound
   | "brute" -> Some Milp.Solver.Brute_force
+  | "portfolio" -> Some Milp.Solver.Portfolio
   | _ -> None
 
 (* Replayed iterations did not re-run the solver; their statistics are
@@ -61,7 +62,7 @@ let checkpoint_iteration it =
 let run_with_encoding ?(obs = Archex_obs.Ctx.null) ?on_event ?strategy
     ?backend ?engine ?(max_iterations = 50) ?(solve_time_limit = 180.)
     ?(certify = false) ?cert_node_budget ?(budget = B.unlimited) ?checkpoint
-    ?resume_from template ~r_star =
+    ?resume_from ?(jobs = 1) template ~r_star =
   let tracer = Archex_obs.Ctx.trace obs in
   let metrics = Archex_obs.Ctx.metrics obs in
   let root_attrs =
@@ -256,8 +257,8 @@ let run_with_encoding ?(obs = Archex_obs.Ctx.null) ?on_event ?strategy
                 else None
               in
               let report =
-                Rel_analysis.analyze ~obs ?on_event ?engine ~budget template
-                  config
+                Rel_analysis.analyze ~obs ?on_event ?engine ~budget ~jobs
+                  template config
               in
               analysis_total := !analysis_total +. report.Rel_analysis.elapsed;
               let reliability = report.Rel_analysis.worst in
@@ -317,15 +318,15 @@ let run_with_encoding ?(obs = Archex_obs.Ctx.null) ?on_event ?strategy
 
 let run ?obs ?on_event ?strategy ?backend ?engine ?max_iterations
     ?solve_time_limit ?certify ?cert_node_budget ?budget ?checkpoint
-    ?resume_from template ~r_star =
+    ?resume_from ?jobs template ~r_star =
   snd
     (run_with_encoding ?obs ?on_event ?strategy ?backend ?engine
        ?max_iterations ?solve_time_limit ?certify ?cert_node_budget ?budget
-       ?checkpoint ?resume_from template ~r_star)
+       ?checkpoint ?resume_from ?jobs template ~r_star)
 
 let resume ?obs ?on_event ?strategy ?backend ?engine ?max_iterations
-    ?solve_time_limit ?certify ?cert_node_budget ?budget ?checkpoint template
-    ~from =
+    ?solve_time_limit ?certify ?cert_node_budget ?budget ?checkpoint ?jobs
+    template ~from =
   let strategy =
     match strategy with
     | Some _ -> strategy
@@ -337,19 +338,19 @@ let resume ?obs ?on_event ?strategy ?backend ?engine ?max_iterations
     | None -> Option.bind from.Checkpoint.backend backend_of_name
   in
   run ?obs ?on_event ?strategy ?backend ?engine ?max_iterations
-    ?solve_time_limit ?certify ?cert_node_budget ?budget ?checkpoint
+    ?solve_time_limit ?certify ?cert_node_budget ?budget ?checkpoint ?jobs
     ~resume_from:from template ~r_star:from.Checkpoint.r_star
 
 let run_checked ?obs ?on_event ?strategy ?backend ?engine ?max_iterations
     ?solve_time_limit ?certify ?cert_node_budget ?budget ?checkpoint
-    ?resume_from template ~r_star =
+    ?resume_from ?jobs template ~r_star =
   match Archlib.Template.validate_all template with
   | Error violations -> Error (Err.Invalid_input violations)
   | Ok () ->
       Err.guard ~stage:"ilp-mr" (fun () ->
           run ?obs ?on_event ?strategy ?backend ?engine ?max_iterations
             ?solve_time_limit ?certify ?cert_node_budget ?budget ?checkpoint
-            ?resume_from template ~r_star)
+            ?resume_from ?jobs template ~r_star)
 
 let certificate_of_trace ~r_star trace =
   let rec collect acc = function

@@ -53,6 +53,7 @@ val run :
   ?budget:Archex_resilience.Budget.t ->
   ?checkpoint:string ->
   ?resume_from:Checkpoint.t ->
+  ?jobs:int ->
   Archlib.Template.t -> r_star:float -> trace Synthesis.result
 (** Synthesize a minimum-cost architecture with worst-sink failure
     probability at most [r*].  [strategy] defaults to
@@ -96,7 +97,13 @@ val run :
     iteration.  [on_event] receives an [Iteration] progress event (source
     ["ilp-mr"]) after each analyzed candidate, the solver backend's own
     heartbeats, and a [Fallback] event for every degradation step taken
-    by the solver or the reliability oracle. *)
+    by the solver or the reliability oracle.
+
+    [jobs] (default 1) runs each candidate's per-sink reliability checks
+    on that many domains ({!Rel_analysis.analyze}); combine with the
+    [Portfolio] solver backend to also race the ILP solves.  The
+    synthesized architecture, costs and reliability figures are identical
+    at any [jobs]. *)
 
 val run_with_encoding :
   ?obs:Archex_obs.Ctx.t ->
@@ -111,6 +118,7 @@ val run_with_encoding :
   ?budget:Archex_resilience.Budget.t ->
   ?checkpoint:string ->
   ?resume_from:Checkpoint.t ->
+  ?jobs:int ->
   Archlib.Template.t -> r_star:float -> Gen_ilp.t * trace Synthesis.result
 (** Like {!run} but also returns the encoding, whose model is the final
     (fully extended) ILP — what the explanation report
@@ -128,6 +136,7 @@ val resume :
   ?cert_node_budget:int ->
   ?budget:Archex_resilience.Budget.t ->
   ?checkpoint:string ->
+  ?jobs:int ->
   Archlib.Template.t -> from:Checkpoint.t -> trace Synthesis.result
 (** {!run} continued from a checkpoint: [r*] comes from the checkpoint,
     and [strategy] / [backend] default to the checkpointed names (an
@@ -150,6 +159,7 @@ val run_checked :
   ?budget:Archex_resilience.Budget.t ->
   ?checkpoint:string ->
   ?resume_from:Checkpoint.t ->
+  ?jobs:int ->
   Archlib.Template.t -> r_star:float ->
   (trace Synthesis.result, Archex_resilience.Error.t) result
 (** The trust-boundary entry point: first {!Archlib.Template.validate_all}

@@ -25,8 +25,9 @@ let fail_model_of_config template config =
     ~sources:(Template.sources template)
     ~node_fail
 
-let analyze ?(obs = Archex_obs.Ctx.null) ?on_event ?engine ?budget template
-    config =
+let analyze ?(obs = Archex_obs.Ctx.null) ?on_event ?engine ?budget
+    ?(jobs = 1) ?pool template config =
+  if jobs < 1 then invalid_arg "Rel_analysis.analyze: jobs must be positive";
   let t0 = Archex_obs.Clock.now () in
   let trace = Archex_obs.Ctx.trace obs in
   let metrics = Archex_obs.Ctx.metrics obs in
@@ -34,6 +35,7 @@ let analyze ?(obs = Archex_obs.Ctx.null) ?on_event ?engine ?budget template
   let report =
     Archex_obs.Trace.with_span trace "reliability" (fun () ->
         let net = fail_model_of_config template config in
+        let sinks = Template.sinks template in
         let fallback ~sink ~rung =
           Archex_obs.Trace.instant
             ~attrs:
@@ -54,45 +56,83 @@ let analyze ?(obs = Archex_obs.Ctx.null) ?on_event ?engine ?budget template
                   elapsed = Archex_obs.Clock.now () -. t0;
                   data = [ ("sink", float_of_int sink) ] }
         in
-        (* The ladder: exact BDD analysis, then unpruned cut-set bounds,
+        let parallel =
+          (match pool with
+          | Some p -> Archex_parallel.Pool.jobs p > 1
+          | None -> jobs > 1)
+          && List.length sinks > 1
+        in
+        (* Fault probes advance global plan state: draw them on this
+           domain, in sink order, before any fan-out, so an injected
+           fault plan hits the same sinks at any [jobs]. *)
+        let probed =
+          List.map (fun s -> (s, Faults.probe Faults.Oracle_failure)) sinks
+        in
+        (* In parallel mode the per-sink oracles get a metrics-only ctx:
+           metric handles are atomic, but the trace writer and search-log
+           sink are single-threaded, so those stay on this domain —
+           fallback instants/events are emitted after the join, in sink
+           order (which also keeps them deterministic). *)
+        let task_obs =
+          if parallel then Archex_obs.Ctx.make ~metrics () else obs
+        in
+        (* The ladder: exact BDD analysis (one fresh BDD manager inside
+           each call, hence one per domain), then unpruned cut-set bounds,
            then a seeded Monte-Carlo interval.  Each rung only runs when
            the one above blew its capacity (or an Oracle_failure fault is
            injected in its place). *)
-        let sink_verdict sink =
+        let sink_verdict (sink, injected) =
+          let rungs = ref [] in
+          let note rung = rungs := rung :: !rungs in
           let exact_result =
-            if Faults.probe Faults.Oracle_failure then
+            if injected then
               Error
                 (Archex_resilience.Error.Bdd_blowup
                    { stage = "reliability.sink (injected)";
                      nodes = 0;
                      limit = 0 })
             else
-              Reliability.Exact.sink_failure_checked ~obs ?engine
+              Reliability.Exact.sink_failure_checked ~obs:task_obs ?engine
                 ?bdd_node_limit net ~sink
           in
-          match exact_result with
-          | Ok r -> Verdict.exact r
-          | Error _ -> (
-              fallback ~sink ~rung:"bounded";
-              match
-                Reliability.Cut_sets.cut_bounds ~obs
-                  ?bdd_max_nodes:bdd_node_limit net ~sink
-              with
-              | lo, hi -> Verdict.bounded ~lo ~hi
-              | exception Reliability.Bdd.Node_limit _ ->
-                  fallback ~sink ~rung:"sampled";
-                  let est =
-                    Reliability.Monte_carlo.estimate_sink_failure
-                      ~trials:mc_trials net ~sink
-                  in
-                  let lo, hi =
-                    Reliability.Monte_carlo.confidence_interval est
-                  in
-                  Verdict.sampled ~lo ~hi)
+          let verdict =
+            match exact_result with
+            | Ok r -> Verdict.exact r
+            | Error _ -> (
+                note "bounded";
+                match
+                  Reliability.Cut_sets.cut_bounds ~obs:task_obs
+                    ?bdd_max_nodes:bdd_node_limit net ~sink
+                with
+                | lo, hi -> Verdict.bounded ~lo ~hi
+                | exception Reliability.Bdd.Node_limit _ ->
+                    note "sampled";
+                    let est =
+                      Reliability.Monte_carlo.estimate_sink_failure
+                        ~trials:mc_trials net ~sink
+                    in
+                    let lo, hi =
+                      Reliability.Monte_carlo.confidence_interval est
+                    in
+                    Verdict.sampled ~lo ~hi)
+          in
+          (sink, verdict, List.rev !rungs)
         in
-        let verdicts =
-          List.map (fun s -> (s, sink_verdict s)) (Template.sinks template)
+        let results =
+          if parallel then
+            match pool with
+            | Some p -> Archex_parallel.Pool.map p sink_verdict probed
+            | None ->
+                Archex_parallel.Pool.with_pool
+                  ~jobs:(min jobs (List.length sinks))
+                  (fun p -> Archex_parallel.Pool.map p sink_verdict probed)
+          else List.map sink_verdict probed
         in
+        List.iter
+          (fun (sink, _, rungs) ->
+            List.iter (fun rung -> fallback ~sink ~rung) rungs)
+          results;
+        let verdicts = List.map (fun (s, v, _) -> (s, v)) results in
         let per_sink =
           List.map (fun (s, v) -> (s, Verdict.upper v)) verdicts
         in

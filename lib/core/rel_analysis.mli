@@ -33,9 +33,19 @@ val analyze :
   ?on_event:(Archex_obs.Event.t -> unit) ->
   ?engine:Reliability.Exact.engine ->
   ?budget:Archex_resilience.Budget.t ->
+  ?jobs:int ->
+  ?pool:Archex_parallel.Pool.t ->
   Archlib.Template.t -> Netgraph.Digraph.t -> report
 (** [r] for every template sink.  An unreachable sink has [r = 1].
     [elapsed] is wall-clock ({!Archex_obs.Clock}).
+
+    [jobs] (default 1) analyzes sinks concurrently on that many domains
+    ([pool] reuses an existing {!Archex_parallel.Pool}); each sink's
+    oracle call builds its own BDD manager, so domains never share one.
+    Verdicts are identical at any [jobs]: fault probes are drawn on the
+    calling domain in sink order before the fan-out, the sampled rung's
+    Monte-Carlo stream is per-sink seeded, and fallback events/trace
+    instants are emitted after the join in sink order.
 
     [budget]'s BDD node ceiling
     ({!Archex_resilience.Budget.bdd_node_limit}) arms the degradation

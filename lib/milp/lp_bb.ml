@@ -43,7 +43,7 @@ type node = {
 }
 
 let solve ?(metrics = Archex_obs.Metrics.null) ?on_event ?log
-    ?(max_nodes = 1_000_000) ?time_limit m =
+    ?(max_nodes = 1_000_000) ?time_limit ?should_stop ?shared m =
   let t0 = Archex_obs.Clock.now () in
   let module J = Archex_obs.Json in
   (* structured search log (the [--search-log] flag); free without a sink *)
@@ -121,6 +121,28 @@ let solve ?(metrics = Archex_obs.Metrics.null) ?on_event ?log
     | None -> false
     | Some (b, _) -> obj >= b -. obj_tol b
   in
+  (* Portfolio mode: adopt a rival backend's better incumbent (tightens
+     [worse_than_best] pruning; sound to return as Optimal on exhaustion
+     since the solution is feasible for the same model), and publish our
+     own improving incumbents. *)
+  let poll_shared () =
+    match shared with
+    | None -> ()
+    | Some cell -> (
+        match Archex_parallel.Shared_best.get cell with
+        | Some (c, sol)
+          when (match !best with
+               | None -> true
+               | Some (b, _) -> c < b -. obj_tol b) ->
+            best := Some (c, sol)
+        | _ -> ())
+  in
+  let publish_incumbent () =
+    match (shared, !best) with
+    | Some cell, Some (c, sol) ->
+        ignore (Archex_parallel.Shared_best.publish cell c sol)
+    | _ -> ()
+  in
   let apply_node node =
     let sub = Model.copy m in
     List.iter (fun (x, lo, hi) -> Model.narrow_bounds sub x lo hi) node.bounds;
@@ -167,6 +189,7 @@ let solve ?(metrics = Archex_obs.Metrics.null) ?on_event ?log
                         solution
                     in
                     best := Some (objective, rounded);
+                    publish_incumbent ();
                     emit Archex_obs.Event.Incumbent (fun () ->
                         with_bound
                           [ ("incumbent", objective);
@@ -180,7 +203,16 @@ let solve ?(metrics = Archex_obs.Metrics.null) ?on_event ?log
                   node_record node "branch" (fun () ->
                       relax () @ [ ("branch_var", J.Num (float_of_int x)) ]);
                   let v = solution.(x) in
-                  let lo = Float.of_int (int_of_float (Float.floor v)) in
+                  (* snap to the nearest integer before flooring: an LP
+                     value sitting within [int_tol] below an integer k
+                     must branch at (k, k+1), not (k-1, k) — and going
+                     through [Float.floor] directly avoids the
+                     overflow-prone int round-trip on huge values *)
+                  let nearest = Float.round v in
+                  let lo =
+                    if Float.abs (v -. nearest) <= int_tol then nearest
+                    else Float.floor v
+                  in
                   let down =
                     { bounds = (x, neg_infinity, lo) :: node.bounds;
                       depth = node.depth + 1;
@@ -227,6 +259,10 @@ let solve ?(metrics = Archex_obs.Metrics.null) ?on_event ?log
           | Some tl when Archex_obs.Clock.now () -. t0 > tl ->
               limit_hit := true
           | _ -> ());
+          (match should_stop with
+          | Some stop when stop () -> limit_hit := true
+          | _ -> ());
+          poll_shared ();
           if not (!limit_hit || !unbounded) then begin
             process node;
             loop ()

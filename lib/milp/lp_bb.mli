@@ -29,7 +29,10 @@ val solve :
   ?metrics:Archex_obs.Metrics.t ->
   ?on_event:(Archex_obs.Event.t -> unit) ->
   ?log:(Archex_obs.Json.t -> unit) ->
-  ?max_nodes:int -> ?time_limit:float -> Model.t -> outcome * stats
+  ?max_nodes:int -> ?time_limit:float ->
+  ?should_stop:(unit -> bool) ->
+  ?shared:Archex_parallel.Shared_best.t ->
+  Model.t -> outcome * stats
 (** Minimize.  Integer/Boolean variables are branched; continuous variables
     are left to the LP.  [time_limit] in wall-clock seconds
     ({!Archex_obs.Clock}).
@@ -48,4 +51,11 @@ val solve :
     by ["ev"]: ["node"] (depth, parent lb, relaxation value, outcome
     ["infeasible"]/["pruned"]/["integral"]/["branch"] with [branch_var]),
     ["incumbent"] and ["bound"]; every record carries ["t"], elapsed
-    seconds since solve start. *)
+    seconds since solve start.
+
+    [should_stop] (polled once per node) requests a cooperative abort:
+    the solve returns [Limit_reached] with the current incumbent.
+    [shared] plugs the solver into a portfolio race ({!Solver} with the
+    [Portfolio] backend): improving integral incumbents are published,
+    and better rival incumbents are adopted so they tighten the
+    bound-pruning test immediately. *)

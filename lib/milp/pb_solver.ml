@@ -515,7 +515,8 @@ let rec luby i =
   if (1 lsl !k) - 1 = i then 1 lsl (!k - 1)
   else luby (i - (1 lsl (!k - 1)) + 1)
 
-let search st ~on_event ~log ~max_decisions ~time_limit ~lower_bound =
+let search st ~on_event ~log ~max_decisions ~time_limit ~lower_bound
+    ~should_stop ~shared =
   let t0 = Archex_obs.Clock.now () in
   (* progress events: build nothing unless a callback is installed *)
   let emit kind data =
@@ -591,6 +592,9 @@ let search st ~on_event ~log ~max_decisions ~time_limit ~lower_bound =
     then raise Limits;
     incr ticks;
     if on_event <> None && !ticks land 8191 = 0 then heartbeat ();
+    (match should_stop with
+    | Some stop when !ticks land 63 = 0 && stop () -> raise Limits
+    | _ -> ());
     if !ticks land 255 = 0 then
       match time_limit with
       | Some tl when Archex_obs.Clock.now () -. t0 > tl -> raise Limits
@@ -633,6 +637,46 @@ let search st ~on_event ~log ~max_decisions ~time_limit ~lower_bound =
     | exception Conflict reason ->
         handle_conflict reason;
         propagate_fully ()
+  in
+  (* After st.best improved: constrain the search to strictly better
+     solutions, or conclude the incumbent is optimal. *)
+  let add_bound_row_or_exhaust () =
+    match bound_row st with
+    | Some con ->
+        backtrack_to_level st 0;
+        by_cost_cursor := 0;
+        let _ = add_con st con in
+        (* the new bound may already be conflicting at level 0 *)
+        if con.poss < con.bound -. con.tol then raise Exhausted;
+        Queue.clear st.pending;
+        enqueue_implications st (st.ncons - 1);
+        propagate_fully ();
+        update_global_lb ()
+    | None -> raise Exhausted
+  in
+  (* Portfolio mode: adopt a better incumbent published by a rival backend.
+     Installing it through the same bound-row path as a local incumbent
+     keeps the Exhausted ⇒ Optimal conclusion sound — the search then only
+     looks for strictly better solutions, so exhaustion proves the adopted
+     incumbent optimal. *)
+  let poll_shared () =
+    match shared with
+    | None -> ()
+    | Some cell -> (
+        match Archex_parallel.Shared_best.get cell with
+        | Some (c, sol)
+          when (match st.best with
+               | None -> true
+               | Some (b, _) -> c < b -. obj_tol st) ->
+            st.best <- Some (c, sol);
+            add_bound_row_or_exhaust ()
+        | _ -> ())
+  in
+  let publish_incumbent () =
+    match (shared, st.best) with
+    | Some cell, Some (c, sol) ->
+        ignore (Archex_parallel.Shared_best.publish cell c sol)
+    | _ -> ()
   in
   let next_random () =
     (* Lehmer-style LCG, deterministic across runs *)
@@ -701,11 +745,13 @@ let search st ~on_event ~log ~max_decisions ~time_limit ~lower_bound =
     update_global_lb ();
     while true do
       check_limits ();
+      poll_shared ();
       if !conflicts_until_restart <= 0 && decision_level st > 0 then
         restart ();
       match pick_decision () with
       | None ->
           if not (record_incumbent st) then raise Exhausted;
+          publish_incumbent ();
           emit Archex_obs.Event.Incumbent (fun () ->
               with_bound
                 [ ( "incumbent",
@@ -726,18 +772,7 @@ let search st ~on_event ~log ~max_decisions ~time_limit ~lower_bound =
                  < lower_bound -. (1e-9 *. Float.max 1. (Float.abs best)) ->
               raise Exhausted
           | Some _ | None -> ());
-          (match bound_row st with
-          | Some con ->
-              backtrack_to_level st 0;
-              by_cost_cursor := 0;
-              let _ = add_con st con in
-              (* the new bound may already be conflicting at level 0 *)
-              if con.poss < con.bound -. con.tol then raise Exhausted;
-              Queue.clear st.pending;
-              enqueue_implications st (st.ncons - 1);
-              propagate_fully ();
-              update_global_lb ()
-          | None -> raise Exhausted)
+          add_bound_row_or_exhaust ()
       | Some x ->
           st.n_decisions <- st.n_decisions + 1;
           st.trail_lim <- st.trail_size :: st.trail_lim;
@@ -857,7 +892,8 @@ let record_metrics metrics (stats : stats) =
   end
 
 let solve ?(metrics = Archex_obs.Metrics.null) ?on_event ?log
-    ?(max_decisions = max_int) ?time_limit ?(lower_bound = neg_infinity) m =
+    ?(max_decisions = max_int) ?time_limit ?(lower_bound = neg_infinity)
+    ?should_stop ?shared m =
   match build_state m with
   | exception Trivially_infeasible ->
       ( Infeasible,
@@ -880,6 +916,7 @@ let solve ?(metrics = Archex_obs.Metrics.null) ?on_event ?log
         with
         | () ->
             search st ~on_event ~log ~max_decisions ~time_limit ~lower_bound
+              ~should_stop ~shared
         | exception Conflict _ -> (false, None)
       in
       let stats =

@@ -35,6 +35,8 @@ val solve :
   ?on_event:(Archex_obs.Event.t -> unit) ->
   ?log:(Archex_obs.Json.t -> unit) ->
   ?max_decisions:int -> ?time_limit:float -> ?lower_bound:float ->
+  ?should_stop:(unit -> bool) ->
+  ?shared:Archex_parallel.Shared_best.t ->
   Model.t -> outcome * stats
 (** Minimize the model objective over all feasible 0-1 assignments.
     [time_limit] is in wall-clock seconds ({!Archex_obs.Clock};
@@ -61,4 +63,12 @@ val solve :
     level, backjump, learned_lits), ["incumbent"] (objective),
     ["bound"] (proven lower bound) and ["restart"]; every record carries
     ["t"], the elapsed seconds since search start.
+
+    [should_stop] (polled every few dozen search steps) requests a
+    cooperative abort: the solve returns [Limit_reached] with the current
+    incumbent.  [shared] plugs the solver into a portfolio race
+    ({!Solver} with the [Portfolio] backend): improving incumbents are
+    published to the cell, and rival incumbents found there are adopted
+    through the same objective-bound path as local ones, so optimality
+    conclusions stay sound and each racer prunes with the other's bounds.
     @raise Invalid_argument if the model has non-Boolean variables. *)

@@ -2,6 +2,7 @@ type backend =
   | Pseudo_boolean
   | Lp_branch_bound
   | Brute_force
+  | Portfolio
 
 type outcome =
   | Optimal of { objective : float; solution : float array }
@@ -26,6 +27,7 @@ let backend_name = function
   | Pseudo_boolean -> "pb"
   | Lp_branch_bound -> "lp-bb"
   | Brute_force -> "brute"
+  | Portfolio -> "portfolio"
 
 let solution_value solution x = solution.(x) >= 0.5
 
@@ -80,7 +82,7 @@ let solve_untraced ~obs ~on_event ~backend ~presolve ?max_nodes ?time_limit
         | Some b -> b
         | None -> neg_infinity
       in
-      let run_backend backend =
+      let rec run_backend backend =
       match backend with
       | Pseudo_boolean ->
           (* Optimistic probe: when the combinatorial bound exists, first try
@@ -176,6 +178,107 @@ let solve_untraced ~obs ~on_event ~backend ~presolve ?max_nodes ?time_limit
             | Brute.Infeasible -> Infeasible
           in
           (outcome, empty_stats, false)
+      | Portfolio ->
+          (* Race the two exact backends on separate domains over a shared
+             incumbent cell: each prunes with the other's incumbents, the
+             first optimality (or infeasibility) proof cancels the rest.
+             PB requires a pure 0-1 model, so mixed models fall through to
+             plain LP branch-and-bound. *)
+          if not (Model.is_pure_boolean m') then run_backend Lp_branch_bound
+          else begin
+            let module P = Archex_parallel in
+            let shared = P.Shared_best.create () in
+            let stop = P.Cancel.create () in
+            let should_stop () = P.Cancel.is_cancelled stop in
+            (* observability sinks are not required to be thread-safe:
+               serialize every racer's emissions through one lock *)
+            let sink_lock = Mutex.create () in
+            let serialize sink =
+              Option.map
+                (fun f x ->
+                  Mutex.lock sink_lock;
+                  Fun.protect
+                    ~finally:(fun () -> Mutex.unlock sink_lock)
+                    (fun () -> f x))
+                sink
+            in
+            let on_event = serialize on_event in
+            let log = serialize log in
+            phase "portfolio";
+            let pb_model = Model.copy m' and lp_model = Model.copy m' in
+            let definitive = function
+              | Optimal _ | Infeasible | Unbounded -> true
+              | Limit_reached _ -> false
+            in
+            let run_pb () =
+              let o, s =
+                Pb_solver.solve ~metrics ?on_event ?log
+                  ?max_decisions:max_nodes ?time_limit ~lower_bound
+                  ~should_stop ~shared pb_model
+              in
+              let o =
+                match o with
+                | Pb_solver.Optimal { objective; solution } ->
+                    Optimal { objective; solution }
+                | Pb_solver.Infeasible -> Infeasible
+                | Pb_solver.Limit_reached { incumbent } ->
+                    Limit_reached { incumbent }
+              in
+              if definitive o then P.Cancel.cancel stop;
+              (o, s)
+            in
+            let run_lp () =
+              let o, s =
+                Lp_bb.solve ~metrics ?on_event ?log ?max_nodes ?time_limit
+                  ~should_stop ~shared lp_model
+              in
+              let o =
+                match o with
+                | Lp_bb.Optimal { objective; solution } ->
+                    Optimal { objective; solution }
+                | Lp_bb.Infeasible -> Infeasible
+                | Lp_bb.Unbounded -> Unbounded
+                | Lp_bb.Limit_reached { incumbent } ->
+                    Limit_reached { incumbent }
+              in
+              if definitive o then P.Cancel.cancel stop;
+              (o, s)
+            in
+            let pb, lp =
+              match
+                P.Pool.with_pool ~jobs:2 (fun pool ->
+                    P.Pool.run pool
+                      [ (fun () -> `Pb (run_pb ()));
+                        (fun () -> `Lp (run_lp ())) ])
+              with
+              | [ `Pb pb; `Lp lp ] -> (pb, lp)
+              | _ -> assert false
+            in
+            let pb_o, pb_s = pb and lp_o, lp_s = lp in
+            let outcome =
+              if definitive pb_o then pb_o
+              else if definitive lp_o then lp_o
+              else
+                (* both racers hit limits: the shared cell saw every
+                   published incumbent, local or adopted *)
+                Limit_reached { incumbent = P.Shared_best.get shared }
+            in
+            (* both racers' proven lower bounds are valid: keep the max *)
+            let best_bound =
+              match (pb_s.Pb_solver.bound, lp_s.Lp_bb.bound) with
+              | Some a, Some b -> Some (Float.max a b)
+              | (Some _ as s), None | None, (Some _ as s) -> s
+              | None, None -> None
+            in
+            ( outcome,
+              { empty_stats with
+                nodes = pb_s.Pb_solver.decisions + lp_s.Lp_bb.nodes;
+                propagations = pb_s.Pb_solver.propagations;
+                conflicts = pb_s.Pb_solver.conflicts;
+                pivots = lp_s.Lp_bb.pivots;
+                best_bound },
+              false )
+          end
       in
       let o, s, stalled = run_backend backend in
       (* Numeric-stall degradation: a simplex pivot-ceiling trip inside the

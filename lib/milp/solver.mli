@@ -7,6 +7,14 @@ type backend =
   | Pseudo_boolean   (** {!Pb_solver} — default for pure 0-1 models *)
   | Lp_branch_bound  (** {!Lp_bb} over {!Simplex} *)
   | Brute_force      (** {!Brute} — tiny models / testing *)
+  | Portfolio
+      (** Race [Pseudo_boolean] and [Lp_branch_bound] on separate domains
+          ({!Archex_parallel.Pool}) over a shared incumbent cell
+          ({!Archex_parallel.Shared_best}): each backend prunes with the
+          other's incumbents, the first optimality or infeasibility proof
+          cancels the rest, and the optimal objective is identical
+          regardless of which racer wins.  Mixed (non-0-1) models fall
+          through to plain [Lp_branch_bound]. *)
 
 type outcome =
   | Optimal of { objective : float; solution : float array }
@@ -17,7 +25,8 @@ type outcome =
 type run_stats = {
   backend : backend;    (** the backend that produced the outcome (the
                             retry target after a fallback) *)
-  nodes : int;          (** decisions (PB) or B&B nodes (LP) *)
+  nodes : int;          (** decisions (PB) or B&B nodes (LP); the sum of
+                            both racers under [Portfolio] *)
   propagations : int;   (** PB only *)
   conflicts : int;      (** PB only *)
   pivots : int;         (** LP only *)

@@ -1,11 +1,13 @@
-let last = ref neg_infinity
+(* Monotonic clamp over the wall clock, shared across domains: [now]
+   never goes backwards even if gettimeofday does (NTP step).  The high
+   -water mark is kept with a CAS-max loop so concurrent readers agree. *)
+let last = Atomic.make neg_infinity
 
-let now () =
+let rec now () =
   let t = Unix.gettimeofday () in
-  if t > !last then begin
-    last := t;
-    t
-  end
-  else !last
+  let seen = Atomic.get last in
+  if t > seen then
+    if Atomic.compare_and_set last seen t then t else now ()
+  else seen
 
 let elapsed t0 = Float.max 0. (now () -. t0)

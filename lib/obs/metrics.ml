@@ -1,5 +1,5 @@
-type counter = { mutable count : float }
-type gauge = { mutable value : float }
+type counter = float Atomic.t
+type gauge = float Atomic.t
 
 (* Buckets are powers of two: bucket i counts observations in
    (2^(i-1-bias), 2^(i-bias)].  bias = 40 puts 1.0 at index 40. *)
@@ -7,6 +7,7 @@ let bias = 40
 let n_buckets = 65
 
 type histogram = {
+  lock : Mutex.t;
   buckets : int array;
   mutable n : int;
   mutable sum : float;
@@ -15,18 +16,35 @@ type histogram = {
 }
 
 type item = Counter of counter | Gauge of gauge | Histogram of histogram
-type t = (string, item) Hashtbl.t option
 
-let create () = Some (Hashtbl.create 32)
+type reg = { tbl : (string, item) Hashtbl.t; reg_lock : Mutex.t }
+type t = reg option
+
+let create () = Some { tbl = Hashtbl.create 32; reg_lock = Mutex.create () }
 let null : t = None
 let enabled = function Some _ -> true | None -> false
 
+let locked lock f =
+  Mutex.lock lock;
+  match f () with
+  | v ->
+      Mutex.unlock lock;
+      v
+  | exception e ->
+      Mutex.unlock lock;
+      raise e
+
 (* Write-only cells handed out by the null registry. *)
-let dummy_counter = { count = 0. }
-let dummy_gauge = { value = 0. }
+let dummy_counter : counter = Atomic.make 0.
+let dummy_gauge : gauge = Atomic.make 0.
 
 let dummy_histogram =
-  { buckets = [||]; n = 0; sum = 0.; vmin = infinity; vmax = neg_infinity }
+  { lock = Mutex.create ();
+    buckets = [||];
+    n = 0;
+    sum = 0.;
+    vmin = infinity;
+    vmax = neg_infinity }
 
 let kind_name = function
   | Counter _ -> "counter"
@@ -34,18 +52,19 @@ let kind_name = function
   | Histogram _ -> "histogram"
 
 let find_or_add reg name ~make ~cast =
-  match Hashtbl.find_opt reg name with
-  | Some item -> (
-      match cast item with
-      | Some handle -> handle
+  locked reg.reg_lock (fun () ->
+      match Hashtbl.find_opt reg.tbl name with
+      | Some item -> (
+          match cast item with
+          | Some handle -> handle
+          | None ->
+              invalid_arg
+                (Printf.sprintf "Metrics: %S is already a %s" name
+                   (kind_name item)))
       | None ->
-          invalid_arg
-            (Printf.sprintf "Metrics: %S is already a %s" name
-               (kind_name item)))
-  | None ->
-      let item, handle = make () in
-      Hashtbl.add reg name item;
-      handle
+          let item, handle = make () in
+          Hashtbl.add reg.tbl name item;
+          handle)
 
 let counter t name =
   match t with
@@ -53,7 +72,7 @@ let counter t name =
   | Some reg ->
       find_or_add reg name
         ~make:(fun () ->
-          let c = { count = 0. } in
+          let c = Atomic.make 0. in
           (Counter c, c))
         ~cast:(function Counter c -> Some c | _ -> None)
 
@@ -63,7 +82,7 @@ let gauge t name =
   | Some reg ->
       find_or_add reg name
         ~make:(fun () ->
-          let g = { value = 0. } in
+          let g = Atomic.make 0. in
           (Gauge g, g))
         ~cast:(function Gauge g -> Some g | _ -> None)
 
@@ -74,7 +93,8 @@ let histogram t name =
       find_or_add reg name
         ~make:(fun () ->
           let h =
-            { buckets = Array.make n_buckets 0;
+            { lock = Mutex.create ();
+              buckets = Array.make n_buckets 0;
               n = 0;
               sum = 0.;
               vmin = infinity;
@@ -83,9 +103,12 @@ let histogram t name =
           (Histogram h, h))
         ~cast:(function Histogram h -> Some h | _ -> None)
 
-let add c by = c.count <- c.count +. by
-let incr c = c.count <- c.count +. 1.
-let set g v = g.value <- v
+let rec add c by =
+  let v = Atomic.get c in
+  if not (Atomic.compare_and_set c v (v +. by)) then add c by
+
+let incr c = add c 1.
+let set g v = Atomic.set g v
 
 let bucket_index v =
   if v <= 0. || Float.is_nan v then 0
@@ -95,31 +118,33 @@ let bucket_index v =
   end
 
 let observe h v =
-  if Array.length h.buckets > 0 then begin
-    h.buckets.(bucket_index v) <- h.buckets.(bucket_index v) + 1;
-    h.n <- h.n + 1;
-    h.sum <- h.sum +. v;
-    if v < h.vmin then h.vmin <- v;
-    if v > h.vmax then h.vmax <- v
-  end
+  if Array.length h.buckets > 0 then
+    locked h.lock (fun () ->
+        h.buckets.(bucket_index v) <- h.buckets.(bucket_index v) + 1;
+        h.n <- h.n + 1;
+        h.sum <- h.sum +. v;
+        if v < h.vmin then h.vmin <- v;
+        if v > h.vmax then h.vmax <- v)
 
-let counter_value c = c.count
-let gauge_value g = g.value
-let histogram_count h = h.n
-let histogram_sum h = h.sum
+let counter_value c = Atomic.get c
+let gauge_value g = Atomic.get g
+let histogram_count h = locked h.lock (fun () -> h.n)
+let histogram_sum h = locked h.lock (fun () -> h.sum)
 let bucket_bound i = Float.pow 2. (float_of_int (i - bias))
 
-let bucket_counts h =
+let bucket_counts_unlocked h =
   let acc = ref [] in
   for i = Array.length h.buckets - 1 downto 0 do
     if h.buckets.(i) > 0 then acc := (bucket_bound i, h.buckets.(i)) :: !acc
   done;
   !acc
 
+let bucket_counts h = locked h.lock (fun () -> bucket_counts_unlocked h)
+
 (* Quantile estimate from the log₂ buckets: find the bucket holding the
    rank-q observation and interpolate linearly inside it, clamping to the
    observed min/max so tiny samples do not report a whole bucket width. *)
-let quantile h q =
+let quantile_unlocked h q =
   if h.n = 0 || Array.length h.buckets = 0 then None
   else begin
     let q = Float.max 0. (Float.min 1. q) in
@@ -144,47 +169,56 @@ let quantile h q =
     find 0 0.
   end
 
+let quantile h q = locked h.lock (fun () -> quantile_unlocked h q)
+
 let value t name =
   match t with
   | None -> None
   | Some reg -> (
-      match Hashtbl.find_opt reg name with
-      | Some (Counter c) -> Some c.count
-      | Some (Gauge g) -> Some g.value
+      match
+        locked reg.reg_lock (fun () -> Hashtbl.find_opt reg.tbl name)
+      with
+      | Some (Counter c) -> Some (Atomic.get c)
+      | Some (Gauge g) -> Some (Atomic.get g)
       | Some (Histogram _) | None -> None)
 
 let item_json = function
-  | Counter c -> Json.Num c.count
-  | Gauge g -> Json.Num g.value
+  | Counter c -> Json.Num (Atomic.get c)
+  | Gauge g -> Json.Num (Atomic.get g)
   | Histogram h ->
-      let quantile_json q =
-        match quantile h q with None -> Json.Null | Some v -> Json.Num v
-      in
-      Json.Obj
-        [ ("count", Json.Num (float_of_int h.n));
-          ("sum", Json.Num h.sum);
-          ("min", if h.n = 0 then Json.Null else Json.Num h.vmin);
-          ("max", if h.n = 0 then Json.Null else Json.Num h.vmax);
-          ("p50", quantile_json 0.5);
-          ("p90", quantile_json 0.9);
-          ("p99", quantile_json 0.99);
-          ( "buckets",
-            Json.Arr
-              (List.map
-                 (fun (le, c) ->
-                   Json.Obj
-                     [ ("le", Json.Num le);
-                       ("count", Json.Num (float_of_int c)) ])
-                 (bucket_counts h)) ) ]
+      locked h.lock (fun () ->
+          let quantile_json q =
+            match quantile_unlocked h q with
+            | None -> Json.Null
+            | Some v -> Json.Num v
+          in
+          Json.Obj
+            [ ("count", Json.Num (float_of_int h.n));
+              ("sum", Json.Num h.sum);
+              ("min", if h.n = 0 then Json.Null else Json.Num h.vmin);
+              ("max", if h.n = 0 then Json.Null else Json.Num h.vmax);
+              ("p50", quantile_json 0.5);
+              ("p90", quantile_json 0.9);
+              ("p99", quantile_json 0.99);
+              ( "buckets",
+                Json.Arr
+                  (List.map
+                     (fun (le, c) ->
+                       Json.Obj
+                         [ ("le", Json.Num le);
+                           ("count", Json.Num (float_of_int c)) ])
+                     (bucket_counts_unlocked h)) ) ])
 
 let to_json t =
   match t with
   | None -> Json.Obj []
   | Some reg ->
-      let entries =
-        Hashtbl.fold (fun name item acc -> (name, item_json item) :: acc)
-          reg []
+      let items =
+        locked reg.reg_lock (fun () ->
+            Hashtbl.fold (fun name item acc -> (name, item) :: acc) reg.tbl
+              [])
       in
+      let entries = List.map (fun (name, item) -> (name, item_json item)) items in
       Json.Obj
         (List.sort (fun (a, _) (b, _) -> String.compare a b) entries)
 

@@ -1,10 +1,12 @@
 (** Metrics registry: named counters, gauges and log-scale histograms.
 
-    Handles are plain mutable cells, so updating one on a hot path is a
-    single float store.  The {!null} registry hands out shared dummy
+    All handles are safe to update from multiple domains concurrently:
+    counters and gauges are [Atomic] float cells (a counter bump is one
+    compare-and-set loop), histograms and the registry itself are
+    mutex-protected.  The {!null} registry hands out shared dummy
     handles whose updates land in write-only cells — instrumented code can
-    therefore update unconditionally with no allocation and no branch on
-    the fast path, and a disabled registry has no observable effect.
+    therefore update unconditionally with no allocation on the fast path,
+    and a disabled registry has no observable effect.
 
     Conventional names used across the synthesis stack:
     [pb.decisions], [pb.propagations], [pb.conflicts], [pb.learned],

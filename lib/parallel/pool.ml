@@ -1,0 +1,116 @@
+type t = {
+  jobs : int;
+  queue : (unit -> unit) Queue.t;
+  lock : Mutex.t;
+  nonempty : Condition.t;
+  mutable stopped : bool;
+  mutable workers : unit Domain.t list;
+}
+
+let default_jobs () = Domain.recommended_domain_count ()
+
+let jobs t = t.jobs
+
+let rec worker_loop t =
+  Mutex.lock t.lock;
+  while Queue.is_empty t.queue && not t.stopped do
+    Condition.wait t.nonempty t.lock
+  done;
+  if Queue.is_empty t.queue then Mutex.unlock t.lock
+  else begin
+    let job = Queue.pop t.queue in
+    Mutex.unlock t.lock;
+    job ();
+    worker_loop t
+  end
+
+let create ~jobs () =
+  if jobs < 1 then invalid_arg "Pool.create: jobs must be >= 1";
+  let t =
+    { jobs;
+      queue = Queue.create ();
+      lock = Mutex.create ();
+      nonempty = Condition.create ();
+      stopped = false;
+      workers = [] }
+  in
+  (* the caller's domain participates in every [run], so a pool of [jobs]
+     spawns jobs - 1 extra domains; jobs = 1 degrades to plain serial
+     execution with no domain at all *)
+  t.workers <- List.init (jobs - 1) (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  t
+
+let shutdown t =
+  Mutex.lock t.lock;
+  let was_stopped = t.stopped in
+  t.stopped <- true;
+  Condition.broadcast t.nonempty;
+  Mutex.unlock t.lock;
+  if not was_stopped then begin
+    List.iter Domain.join t.workers;
+    t.workers <- []
+  end
+
+let run t thunks =
+  let thunks = Array.of_list thunks in
+  let n = Array.length thunks in
+  if n = 0 then []
+  else begin
+    let results = Array.make n None in
+    let first_error = Atomic.make None in
+    let remaining = Atomic.make n in
+    let done_lock = Mutex.create () in
+    let done_cond = Condition.create () in
+    let task i () =
+      (try results.(i) <- Some (thunks.(i) ())
+       with e ->
+         let bt = Printexc.get_raw_backtrace () in
+         ignore (Atomic.compare_and_set first_error None (Some (e, bt))));
+      if Atomic.fetch_and_add remaining (-1) = 1 then begin
+        (* last task out: wake the caller (the lock makes the broadcast
+           visible to a caller already committed to waiting) *)
+        Mutex.lock done_lock;
+        Condition.broadcast done_cond;
+        Mutex.unlock done_lock
+      end
+    in
+    Mutex.lock t.lock;
+    for i = 0 to n - 1 do
+      Queue.add (task i) t.queue
+    done;
+    Condition.broadcast t.nonempty;
+    Mutex.unlock t.lock;
+    (* the caller drains the queue alongside the workers ... *)
+    let rec drain () =
+      Mutex.lock t.lock;
+      let job =
+        if Queue.is_empty t.queue then None else Some (Queue.pop t.queue)
+      in
+      Mutex.unlock t.lock;
+      match job with
+      | Some j ->
+          j ();
+          drain ()
+      | None -> ()
+    in
+    drain ();
+    (* ... then blocks until in-flight tasks land *)
+    Mutex.lock done_lock;
+    while Atomic.get remaining > 0 do
+      Condition.wait done_cond done_lock
+    done;
+    Mutex.unlock done_lock;
+    (match Atomic.get first_error with
+    | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+    | None -> ());
+    Array.to_list
+      (Array.map
+         (function Some v -> v | None -> assert false)
+         results)
+  end
+
+let map t f items = run t (List.map (fun x () -> f x) items)
+
+let with_pool ~jobs f =
+  let t = create ~jobs () in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)

@@ -1,0 +1,38 @@
+(** Fixed-size domain pool with a shared work queue.
+
+    A pool of [jobs] runs work on [jobs] domains: [jobs - 1] spawned
+    workers plus the calling domain, which always participates in
+    {!run}/{!map} — so [jobs = 1] is plain serial execution with no
+    domain spawned and no synchronization beyond an uncontended mutex.
+
+    Tasks must confine shared mutation to thread-safe cells
+    ({!Stdlib.Atomic}, {!Shared_best}, the Atomic-backed
+    [Archex_obs.Metrics]); everything else they touch should be
+    task-local.  Pools are cheap enough to create per operation
+    (one [Domain.spawn] per extra worker). *)
+
+type t
+
+val create : jobs:int -> unit -> t
+(** @raise Invalid_argument when [jobs < 1]. *)
+
+val jobs : t -> int
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count ()] — the hardware parallelism. *)
+
+val run : t -> (unit -> 'a) list -> 'a list
+(** Execute every thunk (order-preserving results), distributing across
+    the pool's domains; the caller works too.  Exceptions are caught per
+    task; after all tasks finish, the first one raised (in completion
+    order) is re-raised with its backtrace. *)
+
+val map : t -> ('a -> 'b) -> 'a list -> 'b list
+(** [map t f items] = [run t (List.map (fun x () -> f x) items)]. *)
+
+val shutdown : t -> unit
+(** Stop the workers and join their domains.  Idempotent.  Submitted
+    work still queued is completed first. *)
+
+val with_pool : jobs:int -> (t -> 'a) -> 'a
+(** [create], run, and [shutdown] even on exception. *)

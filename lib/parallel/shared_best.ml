@@ -1,0 +1,30 @@
+(* The cell holds the best-so-far (cost, solution) under minimization.
+   Publication is a compare-and-set loop keeping the minimum, so any
+   number of domains can race improving incumbents without a lock; the
+   solution array must not be mutated after publication (both exact
+   backends allocate a fresh array per incumbent, so sharing is free). *)
+
+type t = (float * float array) option Atomic.t
+
+let create () = Atomic.make None
+
+let tol c = 1e-9 *. Float.max 1. (Float.abs c)
+
+let improves cell cost =
+  match Atomic.get cell with
+  | None -> true
+  | Some (best, _) -> cost < best -. tol best
+
+let rec publish cell cost solution =
+  let seen = Atomic.get cell in
+  let better =
+    match seen with
+    | None -> true
+    | Some (best, _) -> cost < best -. tol best
+  in
+  if not better then false
+  else if Atomic.compare_and_set cell seen (Some (cost, solution)) then true
+  else publish cell cost solution
+
+let get cell = Atomic.get cell
+let best_cost cell = Option.map fst (Atomic.get cell)

@@ -1,0 +1,25 @@
+(** Lock-free shared incumbent for portfolio minimization.
+
+    One cell is handed to every racer of a portfolio solve; each
+    publishes improving incumbents and periodically installs the cell's
+    best into its own search, so the backends prune with each other's
+    bounds.  The stored solution array is treated as immutable after
+    publication. *)
+
+type t
+
+val create : unit -> t
+(** An empty cell (no incumbent yet). *)
+
+val publish : t -> float -> float array -> bool
+(** [publish cell cost solution] installs [(cost, solution)] iff it
+    improves on the current content beyond a relative 1e-9 tolerance
+    (compare-and-set loop; linearizable).  Returns whether it won.  The
+    array is kept by reference — callers must not mutate it afterwards. *)
+
+val improves : t -> float -> bool
+(** Would [publish] with this cost currently succeed?  (Racy by nature —
+    use only to skip building a solution copy.) *)
+
+val get : t -> (float * float array) option
+val best_cost : t -> float option

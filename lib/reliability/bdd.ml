@@ -7,6 +7,7 @@ type man = {
   n : int;
   unique : (int * int * int, t) Hashtbl.t; (* (var, lo_id, hi_id) → node *)
   ite_cache : (int * int * int, t) Hashtbl.t;
+  mutable cache_entries : int; (* = Hashtbl.length ite_cache, O(1) *)
   mutable next_id : int;
   max_nodes : int;
   fresh_nodes : Archex_obs.Metrics.counter;
@@ -21,9 +22,20 @@ let manager ?(metrics = Archex_obs.Metrics.null) ?(max_nodes = max_int)
   { n = nvars;
     unique = Hashtbl.create 1024;
     ite_cache = Hashtbl.create 1024;
+    cache_entries = 0;
     next_id = 2;
     max_nodes;
     fresh_nodes = Archex_obs.Metrics.counter metrics "rel.bdd_nodes" }
+
+(* Memory accounted against [max_nodes]: unique-table nodes PLUS ite-cache
+   entries.  The cache used to be unaccounted and grows without bound on
+   pathological inputs — a blowup the ceiling exists to catch. *)
+let accounted m = m.next_id - 2 + m.cache_entries
+
+let check_capacity m =
+  let nodes = accounted m in
+  if nodes >= m.max_nodes then
+    raise (Node_limit { nodes; limit = m.max_nodes })
 
 let nvars m = m.n
 let bot = False
@@ -50,9 +62,7 @@ let mk m var lo hi =
     match Hashtbl.find_opt m.unique key with
     | Some node -> node
     | None ->
-        let nodes = m.next_id - 2 in
-        if nodes >= m.max_nodes then
-          raise (Node_limit { nodes; limit = m.max_nodes });
+        check_capacity m;
         let node = Node { id = m.next_id; var; lo; hi } in
         m.next_id <- m.next_id + 1;
         Archex_obs.Metrics.incr m.fresh_nodes;
@@ -83,7 +93,9 @@ let rec ite m f g h =
             let f0, f1 = cof f and g0, g1 = cof g and h0, h1 = cof h in
             let lo = ite m f0 g0 h0 and hi = ite m f1 g1 h1 in
             let r = mk m v lo hi in
+            check_capacity m;
             Hashtbl.add m.ite_cache key r;
+            m.cache_entries <- m.cache_entries + 1;
             r
       end
 
@@ -118,6 +130,12 @@ let size root =
   count root
 
 let node_count m = m.next_id - 2
+let cache_size m = m.cache_entries
+let accounted_size = accounted
+
+let clear_cache m =
+  Hashtbl.reset m.ite_cache;
+  m.cache_entries <- 0
 
 let probability _man p root =
   let memo = Hashtbl.create 64 in

@@ -13,9 +13,11 @@ type t
 
 exception Node_limit of { nodes : int; limit : int }
 (** Raised by any diagram operation when creating one more decision node
-    would exceed the manager's [max_nodes] ceiling — the hook the
-    degradation ladder uses to detect a BDD blowup before it eats the
-    heap.  The manager is left usable (no node was created). *)
+    {e or ite-cache entry} would exceed the manager's [max_nodes] ceiling
+    — the hook the degradation ladder uses to detect a BDD blowup before
+    it eats the heap.  [nodes] is the accounted total (unique-table nodes
+    plus cache entries; see {!accounted_size}).  The manager is left
+    usable (no node was created). *)
 
 val manager :
   ?metrics:Archex_obs.Metrics.t -> ?max_nodes:int -> nvars:int -> unit ->
@@ -23,8 +25,11 @@ val manager :
 (** Variables are [0 .. nvars-1]; smaller index = closer to the root.
     [metrics] (default disabled) counts every fresh decision node under
     [rel.bdd_nodes] — the cost driver of the exact engine.
-    [max_nodes] (default unlimited) caps the total decision nodes the
-    manager may ever create; see {!Node_limit}. *)
+    [max_nodes] (default unlimited) caps the manager's accounted memory —
+    decision nodes plus ite-cache entries; see {!Node_limit}.  The cache
+    is counted because it grows alongside the unique table and is just as
+    capable of eating the heap; {!clear_cache} reclaims its share of the
+    allowance between computations. *)
 
 val nvars : man -> int
 
@@ -65,6 +70,18 @@ val size : t -> int
 
 val node_count : man -> int
 (** Total decision nodes ever created in the manager. *)
+
+val cache_size : man -> int
+(** Current ite-cache entries (O(1)). *)
+
+val accounted_size : man -> int
+(** [node_count + cache_size] — what is compared against [max_nodes]. *)
+
+val clear_cache : man -> unit
+(** Drop every ite-cache entry (correctness-neutral: the cache only
+    memoizes).  Call between independent oracle computations on a reused
+    manager so the previous computation's cache does not consume the next
+    one's [max_nodes] allowance. *)
 
 val probability : man -> (int -> float) -> t -> float
 (** [probability m p f] is [P(f = 1)] when variable [i] is an independent

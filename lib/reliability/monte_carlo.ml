@@ -5,17 +5,50 @@ type estimate = {
   failures : int;
 }
 
-let estimate_sink_failure ?(seed = 0x5eed) ~trials net ~sink =
-  if trials <= 0 then invalid_arg "Monte_carlo: trials must be positive";
-  let rng = Random.State.make [| seed |] in
+(* Trials are split into fixed-size shards with per-shard PRNG streams
+   derived from (seed, shard index) — NOT into jobs-sized chunks — so the
+   draw sequence is a function of the seed and trial count alone.  Shard
+   failure counts are summed in shard-index order; integer addition is
+   associative, so the estimate is bit-identical at any [jobs]. *)
+let shard_size = 4096
+
+let shard_counts trials =
+  let n_shards = (trials + shard_size - 1) / shard_size in
+  Array.init n_shards (fun i ->
+      if i = n_shards - 1 then trials - (i * shard_size) else shard_size)
+
+let sample_shard ~seed ~index ~count net ~sink =
+  let rng = Random.State.make [| seed; index |] in
   let failures = ref 0 in
-  for _ = 1 to trials do
+  for _ = 1 to count do
     if not (Fail_model.sample_sink_works net rng ~sink) then incr failures
   done;
+  !failures
+
+let estimate_sink_failure ?(seed = 0x5eed) ?(jobs = 1) ?pool ~trials net
+    ~sink =
+  if trials <= 0 then invalid_arg "Monte_carlo: trials must be positive";
+  if jobs < 1 then invalid_arg "Monte_carlo: jobs must be positive";
+  let counts = shard_counts trials in
+  let n_shards = Array.length counts in
+  let indices = List.init n_shards Fun.id in
+  let run i = sample_shard ~seed ~index:i ~count:counts.(i) net ~sink in
+  let per_shard =
+    match pool with
+    | Some p when Archex_parallel.Pool.jobs p > 1 && n_shards > 1 ->
+        Archex_parallel.Pool.map p run indices
+    | Some _ -> List.map run indices
+    | None when jobs > 1 && n_shards > 1 ->
+        Archex_parallel.Pool.with_pool
+          ~jobs:(min jobs n_shards)
+          (fun p -> Archex_parallel.Pool.map p run indices)
+    | None -> List.map run indices
+  in
+  let failures = List.fold_left ( + ) 0 per_shard in
   let n = float_of_int trials in
-  let mean = float_of_int !failures /. n in
+  let mean = float_of_int failures /. n in
   let std_error = sqrt (Float.max 0. (mean *. (1. -. mean) /. n)) in
-  { mean; std_error; trials; failures = !failures }
+  { mean; std_error; trials; failures }
 
 let confidence_interval ?(z = 3.) e =
   let clamp x = Float.min 1. (Float.max 0. x) in

@@ -7,17 +7,22 @@
     of certified avionics requirements — which is the paper's very argument
     for analytic methods.
 
-    {2 PRNG}
+    {2 PRNG and sharding}
 
     Sampling uses the OCaml standard library's [Random.State] (the lagged
-    Fibonacci / L64X128 generator of the running stdlib version), with a
-    dedicated state per call — never the global generator, so concurrent
-    estimates and unrelated library code cannot perturb each other.  The
-    seed defaults to a fixed constant ([0x5eed]); two calls with the same
-    seed, trial count and network are bit-for-bit identical, which is what
-    makes the sampled rung of the degradation ladder reproducible and
-    checkpoint/resume deterministic.  Pass a different [?seed] explicitly
-    to draw an independent replicate. *)
+    Fibonacci / L64X128 generator of the running stdlib version), with
+    dedicated states per call — never the global generator, so concurrent
+    estimates and unrelated library code cannot perturb each other.
+
+    Trials are split into fixed-size shards (4096 trials each) whose PRNG
+    streams are derived deterministically from [(seed, shard index)], and
+    shard failure counts are summed in shard-index order.  The shard
+    layout depends only on [seed] and [trials] — never on [jobs] — so an
+    estimate is bit-for-bit identical whether it was computed serially or
+    on any number of domains.  That is what makes the sampled rung of the
+    degradation ladder reproducible and checkpoint/resume deterministic
+    under [-j].  The seed defaults to a fixed constant ([0x5eed]); pass a
+    different [?seed] explicitly to draw an independent replicate. *)
 
 type estimate = {
   mean : float;          (** estimated failure probability *)
@@ -27,9 +32,13 @@ type estimate = {
 }
 
 val estimate_sink_failure :
-  ?seed:int -> trials:int -> Fail_model.t -> sink:int -> estimate
+  ?seed:int -> ?jobs:int -> ?pool:Archex_parallel.Pool.t ->
+  trials:int -> Fail_model.t -> sink:int -> estimate
 (** [seed] defaults to [0x5eed] (fixed, see the PRNG note above).
-    @raise Invalid_argument if [trials ≤ 0]. *)
+    [jobs] (default 1) samples the shards on that many domains; [pool]
+    reuses an existing {!Archex_parallel.Pool} instead of spinning one
+    up.  The estimate is bit-identical for any [jobs]/[pool] choice.
+    @raise Invalid_argument if [trials ≤ 0] or [jobs < 1]. *)
 
 val confidence_interval : ?z:float -> estimate -> float * float
 (** Normal-approximation confidence interval [mean ± z·std_error], clamped

@@ -2,7 +2,7 @@ type t = {
   born : float;                    (* Clock.now at creation *)
   deadline : float option;         (* absolute Clock time *)
   max_nodes : int option;
-  mutable used_nodes : int;
+  used_nodes : int Atomic.t;       (* shared across solver domains *)
   max_bdd_nodes : int option;
   max_heap_words : int option;
 }
@@ -11,7 +11,7 @@ let unlimited =
   { born = 0.;
     deadline = None;
     max_nodes = None;
-    used_nodes = 0;
+    used_nodes = Atomic.make 0;
     max_bdd_nodes = None;
     max_heap_words = None }
 
@@ -32,7 +32,7 @@ let create ?deadline ?max_nodes ?max_bdd_nodes ?max_heap_words () =
   { born = now;
     deadline = Option.map (fun d -> now +. d) deadline;
     max_nodes;
-    used_nodes = 0;
+    used_nodes = Atomic.make 0;
     max_bdd_nodes;
     max_heap_words }
 
@@ -56,9 +56,10 @@ let slice ?(frac = 0.5) ?cap b =
   | Some s, Some c -> Some (Float.min s c)
 
 let remaining_nodes b =
-  Option.map (fun m -> max 0 (m - b.used_nodes)) b.max_nodes
+  Option.map (fun m -> max 0 (m - Atomic.get b.used_nodes)) b.max_nodes
 
-let charge_nodes b n = if n > 0 then b.used_nodes <- b.used_nodes + n
+let charge_nodes b n =
+  if n > 0 then ignore (Atomic.fetch_and_add b.used_nodes n)
 
 let bdd_node_limit b = b.max_bdd_nodes
 
@@ -82,9 +83,9 @@ let check ~stage b =
   if time_exceeded then Result.Error (deadline_error ~stage b)
   else
     match b.max_nodes with
-    | Some limit when b.used_nodes >= limit ->
+    | Some limit when Atomic.get b.used_nodes >= limit ->
         Result.Error
-          (Error.Node_budget { stage; used = b.used_nodes; limit })
+          (Error.Node_budget { stage; used = Atomic.get b.used_nodes; limit })
     | _ -> (
         match b.max_heap_words with
         | None -> Ok ()
@@ -114,7 +115,7 @@ let to_json b =
   J.Obj
     (opt "deadline_s" (fun d -> J.Num (d -. b.born)) b.deadline
     @ opt "max_nodes" (fun n -> J.Num (float_of_int n)) b.max_nodes
-    @ [ ("used_nodes", J.Num (float_of_int b.used_nodes)) ]
+    @ [ ("used_nodes", J.Num (float_of_int (Atomic.get b.used_nodes))) ]
     @ opt "max_bdd_nodes" (fun n -> J.Num (float_of_int n)) b.max_bdd_nodes
     @ opt "max_heap_words"
         (fun n -> J.Num (float_of_int n))
