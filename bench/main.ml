@@ -434,32 +434,58 @@ let bench_parallel () =
     [ ("mc_jobs1_s", t1); ("mc_jobs4_s", t4); ("mc_speedup_x", t1 /. t4);
       ("mc_failures", float_of_int est1.Reliability.Monte_carlo.failures) ]
   in
+  (* slot-attributed busy seconds accumulated in [metrics] by the pools
+     of an instrumented run — the scheduler-efficiency picture next to
+     the raw wall-clock speedup *)
+  let busy_series prefix metrics jobs =
+    List.init jobs (fun i ->
+        ( Printf.sprintf "%s_dom%d_busy_s" prefix i,
+          Option.value ~default:0.
+            (Metrics.value metrics
+               (Printf.sprintf "pool.worker_busy_seconds{domain=%S}"
+                  (string_of_int i))) ))
+  in
   (* 2. per-sink reliability analysis fan-out *)
   let analysis_series () =
     let rep1, t1 =
       time (fun () -> Archex.Rel_analysis.analyze ~jobs:1 template config)
     in
+    let metrics = Metrics.create () in
+    let obs = Ctx.make ~metrics () in
     let rep4, t4 =
-      time (fun () -> Archex.Rel_analysis.analyze ~jobs:4 template config)
+      time (fun () ->
+          Archex.Rel_analysis.analyze ~obs ~jobs:4 template config)
     in
     assert_eq "worst-sink failure" rep1.Archex.Rel_analysis.worst
       rep4.Archex.Rel_analysis.worst;
     [ ("analysis_jobs1_s", t1); ("analysis_jobs4_s", t4);
       ("analysis_speedup_x", t1 /. t4) ]
+    @ busy_series "analysis" metrics 4
   in
   (* 3. portfolio solver racing PB and LP-BB on the base EPS ILP *)
-  let solve backend =
+  let solve ?obs backend =
     let enc = Archex.Gen_ilp.encode template in
-    match Archex.Gen_ilp.solve ~backend ~time_limit:!per_solve_limit enc with
+    match
+      Archex.Gen_ilp.solve ?obs ~backend ~time_limit:!per_solve_limit enc
+    with
     | Some (_, cost, stats) -> (cost, stats.Milp.Solver.elapsed)
     | None -> failwith "base EPS ILP infeasible"
   in
   let portfolio_series () =
     let cost_pb, t_pb = solve Milp.Solver.Pseudo_boolean in
-    let cost_pf, t_pf = solve Milp.Solver.Portfolio in
+    let metrics = Metrics.create () in
+    let obs = Ctx.make ~metrics () in
+    let cost_pf, t_pf = solve ~obs Milp.Solver.Portfolio in
     assert_eq "ILP objective" cost_pb cost_pf;
+    let winner name =
+      Option.value ~default:0.
+        (Metrics.value metrics ("portfolio.winner." ^ name))
+    in
     [ ("solve_pb_s", t_pb); ("solve_portfolio_s", t_pf);
-      ("solve_cost", cost_pb) ]
+      ("solve_cost", cost_pb);
+      ("portfolio_winner_pb", winner "pb");
+      ("portfolio_winner_lp_bb", winner "lp_bb") ]
+    @ busy_series "portfolio" metrics 2
   in
   (* 4. end-to-end ILP-MR cost identity under -j *)
   let mr_parity_series () =

@@ -60,8 +60,21 @@ let diagram_arg =
   let doc = "Print the single-line diagram of the result." in
   Arg.(value & flag & info [ "diagram" ] ~doc)
 
-(* Observability: --trace/--metrics/--progress are shared by every
-   synthesis command and funnel into one Archex_obs.Ctx. *)
+(* Observability: --trace/--metrics/--metrics-out/--metrics-stream/
+   --progress are shared by every synthesis command and funnel into one
+   Archex_obs.Ctx (plus, for the two periodic outputs, a background
+   Archex_obs.Runtime sampler). *)
+
+type obs_opts = {
+  trace_file : string option;
+  metrics_file : string option;     (* JSON snapshot at exit *)
+  metrics_out : string option;      (* Prometheus exposition, live *)
+  metrics_stream : string option;   (* NDJSON sample time series *)
+  sample_period : float;
+  progress : bool;
+  search_log_file : string option;
+  no_record : bool;
+}
 
 let obs_args =
   let trace_arg =
@@ -79,6 +92,31 @@ let obs_args =
     Arg.(value & opt (some string) None
          & info [ "metrics" ] ~doc ~docv:"FILE")
   in
+  let metrics_out_arg =
+    let doc =
+      "Write the metrics registry to $(docv) in Prometheus text \
+       exposition format, atomically rewritten every sample period while \
+       the run is in flight — point any scraper at the file."
+    in
+    Arg.(value & opt (some string) None
+         & info [ "metrics-out" ] ~doc ~docv:"FILE")
+  in
+  let metrics_stream_arg =
+    let doc =
+      "Append one NDJSON metrics sample per period to $(docv) while the \
+       run is in flight ($(b,archex top) renders this stream)."
+    in
+    Arg.(value & opt (some string) None
+         & info [ "metrics-stream" ] ~doc ~docv:"FILE")
+  in
+  let period_arg =
+    let doc =
+      "Sampling period in seconds for $(b,--metrics-out) and \
+       $(b,--metrics-stream)."
+    in
+    Arg.(value & opt float 1.0
+         & info [ "sample-period" ] ~doc ~docv:"SECONDS")
+  in
   let progress_arg =
     let doc =
       "Print solver progress (heartbeats, incumbents, iterations) to \
@@ -95,10 +133,20 @@ let obs_args =
     Arg.(value & opt (some string) None
          & info [ "search-log" ] ~doc ~docv:"FILE")
   in
+  let no_record_arg =
+    let doc =
+      "Do not record this invocation in the run registry \
+       ($(b,_archex/runs), or $(b,ARCHEX_RUNS_DIR) when set)."
+    in
+    Arg.(value & flag & info [ "no-record" ] ~doc)
+  in
   Term.(
-    const (fun trace metrics progress search_log ->
-        (trace, metrics, progress, search_log))
-    $ trace_arg $ metrics_arg $ progress_arg $ search_log_arg)
+    const (fun trace_file metrics_file metrics_out metrics_stream
+               sample_period progress search_log_file no_record ->
+        { trace_file; metrics_file; metrics_out; metrics_stream;
+          sample_period; progress; search_log_file; no_record })
+    $ trace_arg $ metrics_arg $ metrics_out_arg $ metrics_stream_arg
+    $ period_arg $ progress_arg $ search_log_arg $ no_record_arg)
 
 let stats_arg =
   let doc = "Print per-iteration solver statistics." in
@@ -185,16 +233,70 @@ let with_faults (_, _, _, _, inject) f =
   | None -> f ()
   | Some plan -> Archex_resilience.Faults.with_plan plan f
 
+(* Surface the wall-clock budget as a gauge so a dashboard (archex top)
+   can render budget consumption next to elapsed time. *)
+let note_budget obs (deadline, _, _, _, _) =
+  match deadline with
+  | Some d ->
+      Archex_obs.Metrics.set
+        (Archex_obs.Metrics.gauge
+           (Archex_obs.Ctx.metrics obs)
+           "budget.deadline_seconds")
+        d
+  | None -> ()
+
 let report_unfeasible what n reason =
   Format.printf "%s after %d iteration(s): %a@." what n
     Archex.Synthesis.pp_failure_reason reason;
   if Archex.Synthesis.is_budget_failure reason then exit_exhausted
   else exit_unfeasible
 
+(* Exit-code → registry verdict (see the exit-code table above). *)
+let verdict_of_code = function
+  | 0 -> "ok"
+  | 1 -> "unfeasible"
+  | 3 -> "budget-exhausted"
+  | 4 -> "invalid-input"
+  | n -> Printf.sprintf "error-%d" n
+
+(* MD5 over the canonical JSON of the template's base ILP model: the run
+   registry's content identity for "same problem". *)
+let model_hash_of template =
+  Digest.to_hex
+    (Digest.string
+       (Archex_obs.Json.to_string
+          (Milp.Model.to_json
+             (Archex.Gen_ilp.model (Archex.Gen_ilp.encode template)))))
+
+(* Registry series: the diffable counters/gauges of a finished run.  GC
+   and scheduler-state gauges (heap words, queue depth at exit, …) are
+   noise between runs, so only solver-shaped families are kept. *)
+let series_prefixes =
+  [ "mr."; "ar."; "solve."; "pb."; "lp."; "bb."; "rel."; "presolve.";
+    "portfolio."; "progress."; "pool.jobs_" ]
+
+let series_of_metrics metrics =
+  match Archex_obs.Metrics.to_json metrics with
+  | Archex_obs.Json.Obj fields ->
+      List.filter_map
+        (fun (name, v) ->
+          match v with
+          | Archex_obs.Json.Num x
+            when List.exists
+                   (fun p -> String.starts_with ~prefix:p name)
+                   series_prefixes ->
+              Some (name, x)
+          | _ -> None)
+        fields
+  | _ -> []
+
 (* Run [f obs on_event] with sinks wired to the requested files; the trace
-   channel is closed and the metrics snapshot written even when [f]
-   raises or exits nonzero. *)
-let with_obs (trace_file, metrics_file, progress, search_log_file) f =
+   channel is closed, the background sampler stopped and the metrics
+   snapshot written even when [f] raises or exits nonzero.  With [record]
+   = [(command, model_hash)] the finished run is stored in the run
+   registry (unless --no-record), its artifacts being whatever
+   trace/metrics/log files the invocation asked for. *)
+let with_obs ?record opts f =
   let open_sink path =
     try open_out path
     with Sys_error msg ->
@@ -206,30 +308,37 @@ let with_obs (trace_file, metrics_file, progress, search_log_file) f =
     output_char oc '\n'
   in
   let trace_oc, tracer =
-    match trace_file with
+    match opts.trace_file with
     | None -> (None, Archex_obs.Trace.null)
     | Some path ->
         let oc = open_sink path in
         (Some oc, Archex_obs.Trace.make (ndjson_sink oc))
   in
   let search_oc, search_log =
-    match search_log_file with
+    match opts.search_log_file with
     | None -> (None, None)
     | Some path ->
         let oc = open_sink path in
         (Some oc, Some (ndjson_sink oc))
   in
+  let recording = record <> None && not opts.no_record in
   let metrics =
-    if metrics_file = None then Archex_obs.Metrics.null
+    if
+      opts.metrics_file = None && opts.metrics_out = None
+      && opts.metrics_stream = None && not recording
+    then Archex_obs.Metrics.null
     else Archex_obs.Metrics.create ()
   in
   let obs = Archex_obs.Ctx.make ~trace:tracer ~metrics ?search_log () in
   (* progress events go to stderr when asked for, and are always recorded
      into the trace (as "progress" instants) when one is being written —
      that is what lets trace-profile/report reconstruct the solver
-     convergence timeline afterwards *)
+     convergence timeline afterwards.  With a live metrics registry they
+     are additionally mirrored into progress.* gauges, which is what
+     gives [archex top] (and the registry series) the incumbent/bound
+     gap and iteration counter without a second event channel. *)
   let stderr_sink =
-    if progress then
+    if opts.progress then
       Some (fun ev -> Format.eprintf "%a@." Archex_obs.Event.pp ev)
     else None
   in
@@ -243,30 +352,85 @@ let with_obs (trace_file, metrics_file, progress, search_log_file) f =
           | _ -> ())
     else None
   in
-  let on_event =
-    match (stderr_sink, trace_sink) with
-    | None, None -> None
-    | Some f, None | None, Some f -> Some f
-    | Some f, Some g ->
-        Some
-          (fun ev ->
-            f ev;
-            g ev)
+  let gauge_sink =
+    if Archex_obs.Metrics.enabled metrics then
+      Some
+        (fun ev ->
+          List.iter
+            (fun (k, v) ->
+              match k with
+              | "incumbent" | "bound" | "iteration" | "cost" ->
+                  Archex_obs.Metrics.set
+                    (Archex_obs.Metrics.gauge metrics ("progress." ^ k))
+                    v
+              | _ -> ())
+            ev.Archex_obs.Event.data)
+    else None
   in
-  Fun.protect
-    ~finally:(fun () ->
-      Option.iter close_out trace_oc;
-      Option.iter close_out search_oc;
-      Option.iter
-        (fun path ->
-          (* final GC gauge sample so the snapshot reflects the whole run *)
-          Archex_obs.Gc_metrics.sample metrics;
-          try Archex_obs.Metrics.write_file metrics path
-          with Sys_error msg ->
-            Format.eprintf "archex: cannot write %s@." msg;
-            exit 1)
-        metrics_file)
-    (fun () -> f obs on_event)
+  let on_event =
+    match
+      List.filter_map Fun.id [ stderr_sink; trace_sink; gauge_sink ]
+    with
+    | [] -> None
+    | sinks -> Some (fun ev -> List.iter (fun f -> f ev) sinks)
+  in
+  let stream_oc = Option.map open_sink opts.metrics_stream in
+  let sampler =
+    if opts.metrics_out = None && stream_oc = None then None
+    else
+      Some
+        (Archex_obs.Runtime.start ~period:opts.sample_period
+           ?ndjson:(Option.map ndjson_sink stream_oc)
+           ?prom_path:opts.metrics_out metrics)
+  in
+  let started = Unix.gettimeofday () in
+  let t0 = Archex_obs.Clock.now () in
+  let code =
+    Fun.protect
+      ~finally:(fun () ->
+        (* stop the sampler first: its final sample flushes the last
+           Prometheus exposition and NDJSON record before the sinks
+           close *)
+        (try Option.iter Archex_obs.Runtime.stop sampler
+         with exn ->
+           Format.eprintf "archex: metrics sampler failed: %s@."
+             (Printexc.to_string exn));
+        Option.iter close_out stream_oc;
+        Option.iter close_out trace_oc;
+        Option.iter close_out search_oc;
+        Option.iter
+          (fun path ->
+            (* final GC gauge sample so the snapshot reflects the whole
+               run *)
+            Archex_obs.Gc_metrics.sample metrics;
+            try Archex_obs.Metrics.write_file metrics path
+            with Sys_error msg ->
+              Format.eprintf "archex: cannot write %s@." msg;
+              exit 1)
+          opts.metrics_file)
+      (fun () -> f obs on_event)
+  in
+  (match record with
+  | Some (command, model_hash) when not opts.no_record -> (
+      let wall_s = Archex_obs.Clock.now () -. t0 in
+      let artifacts =
+        List.filter_map Fun.id
+          [ opts.trace_file; opts.metrics_file; opts.metrics_out;
+            opts.metrics_stream; opts.search_log_file ]
+      in
+      match
+        Archex_obs.Run_registry.record ~command
+          ~argv:(Array.to_list Sys.argv) ?model_hash
+          ~verdict:(verdict_of_code code) ~exit_code:code ~started ~wall_s
+          ~series:(series_of_metrics metrics) ~artifacts ()
+      with
+      | Ok meta ->
+          Format.eprintf "archex: run %s recorded@."
+            meta.Archex_obs.Run_registry.id
+      | Error msg ->
+          Format.eprintf "archex: run not recorded: %s@." msg)
+  | _ -> ());
+  code
 
 let report inst arch diagram =
   let template = inst.Eps.Eps_template.template in
@@ -298,7 +462,11 @@ let mr_term =
       else Archex.Learn_cons.Estimated
     in
     let budget = budget_of res in
-    with_obs obs3 @@ fun obs on_event ->
+    with_obs
+      ~record:("mr", Some (model_hash_of inst.Eps.Eps_template.template))
+      obs3
+    @@ fun obs on_event ->
+    note_budget obs res;
     with_faults res @@ fun () ->
     let result =
       match resume with
@@ -355,7 +523,11 @@ let ar_cmd =
   let run generators r_star backend diagram obs3 res jobs =
     let inst = instance_of generators in
     let budget = budget_of res in
-    with_obs obs3 @@ fun obs on_event ->
+    with_obs
+      ~record:("ar", Some (model_hash_of inst.Eps.Eps_template.template))
+      obs3
+    @@ fun obs on_event ->
+    note_budget obs res;
     with_faults res @@ fun () ->
     match
       Archex.Ilp_ar.run ~obs ?on_event ~backend ~budget ~jobs
@@ -389,7 +561,8 @@ let analyze_cmd =
   let run generators obs3 jobs =
     let inst = instance_of generators in
     let template = inst.Eps.Eps_template.template in
-    with_obs obs3 @@ fun obs on_event ->
+    with_obs ~record:("analyze", Some (model_hash_of template)) obs3
+    @@ fun obs on_event ->
     let enc = Archex.Gen_ilp.encode ~obs template in
     match Archex.Gen_ilp.solve ~obs ?on_event enc with
     | None ->
@@ -561,7 +734,8 @@ let report_cmd =
     Term.(const run $ trace_arg_pos $ metrics_arg $ out_arg)
 
 let bench_diff_cmd =
-  let run baseline_path current_path time_tol count_tol update_baseline =
+  let run baseline_path current_path time_tol count_tol update_baseline
+      fail_on_new =
     let module B = Archex_obs.Bench_compare in
     let tol =
       { B.default_tolerances with
@@ -596,6 +770,13 @@ let bench_diff_cmd =
               baseline_path;
             1
           end
+          else if fail_on_new && B.has_new entries then begin
+            Format.eprintf
+              "bench-diff: series absent from the baseline (%s vs %s); \
+               refresh it or drop --fail-on-new@."
+              current_path baseline_path;
+            1
+          end
           else 0
   in
   let pos i docv doc =
@@ -623,6 +804,14 @@ let bench_diff_cmd =
     in
     Arg.(value & flag & info [ "update-baseline" ] ~doc)
   in
+  let fail_on_new_arg =
+    let doc =
+      "Strict mode: also exit 1 when the current artifact carries series \
+       absent from the baseline (by default new series are informational, \
+       so a freshly added metric can land against an older baseline)."
+    in
+    Arg.(value & flag & info [ "fail-on-new" ] ~doc)
+  in
   let doc =
     "Diff two benchmark artifacts (BENCH_*.json); exit 1 if any series \
      regressed beyond tolerance or vanished."
@@ -632,7 +821,7 @@ let bench_diff_cmd =
       const run
       $ pos 0 "BASELINE" "Baseline benchmark artifact."
       $ pos 1 "CURRENT" "Current benchmark artifact."
-      $ time_tol_arg $ count_tol_arg $ update_arg)
+      $ time_tol_arg $ count_tol_arg $ update_arg $ fail_on_new_arg)
 
 (* Explanation report shared by [explain] and [certify --explain]: the
    final model of an ILP-MR run against the last iteration's solution,
@@ -679,7 +868,8 @@ let certify_cmd =
       if lazy_ then Archex.Learn_cons.Lazy_one_path
       else Archex.Learn_cons.Estimated
     in
-    with_obs obs4 @@ fun obs on_event ->
+    with_obs ~record:("certify", Some (model_hash_of template)) obs4
+    @@ fun obs on_event ->
     let enc, result =
       Archex.Ilp_mr.run_with_encoding ~obs ?on_event ~strategy ~backend
         ~certify:true ?cert_node_budget:node_budget template ~r_star
@@ -802,7 +992,8 @@ let explain_cmd =
       if lazy_ then Archex.Learn_cons.Lazy_one_path
       else Archex.Learn_cons.Estimated
     in
-    with_obs obs4 @@ fun obs on_event ->
+    with_obs ~record:("explain", Some (model_hash_of template)) obs4
+    @@ fun obs on_event ->
     let enc, result =
       Archex.Ilp_mr.run_with_encoding ~obs ?on_event ~strategy ~backend
         template ~r_star
@@ -879,6 +1070,355 @@ let trace_export_cmd =
   Cmd.v (Cmd.info "trace-export" ~doc)
     Term.(const run $ trace_arg_pos $ chrome_arg $ out_arg)
 
+(* ------------------------------------------------------------------ *)
+(* Run registry commands                                               *)
+
+module Reg = Archex_obs.Run_registry
+
+let runs_root_arg =
+  let doc =
+    "Registry root (default $(b,_archex/runs), or $(b,ARCHEX_RUNS_DIR) \
+     when set)."
+  in
+  Arg.(value & opt (some string) None & info [ "root" ] ~doc ~docv:"DIR")
+
+let pp_epoch ppf t =
+  let tm = Unix.localtime t in
+  Format.fprintf ppf "%04d-%02d-%02d %02d:%02d:%02d" (tm.Unix.tm_year + 1900)
+    (tm.Unix.tm_mon + 1) tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min
+    tm.Unix.tm_sec
+
+let runs_list_cmd =
+  let run root =
+    match Reg.list_runs ?root () with
+    | Error msg ->
+        Format.eprintf "runs list: %s@." msg;
+        2
+    | Ok [] ->
+        Format.printf "no recorded runs@.";
+        0
+    | Ok metas ->
+        Format.printf "%-12s  %-19s  %-8s  %9s  %s@." "ID" "STARTED"
+          "COMMAND" "WALL" "VERDICT";
+        List.iter
+          (fun m ->
+            Format.printf "%-12s  %a  %-8s  %8.2fs  %s@." m.Reg.id pp_epoch
+              m.Reg.started m.Reg.command m.Reg.wall_s m.Reg.verdict)
+          metas;
+        0
+  in
+  let doc = "List recorded runs (oldest first)." in
+  Cmd.v (Cmd.info "list" ~doc) Term.(const run $ runs_root_arg)
+
+let run_id_pos i docv =
+  Arg.(required & pos i (some string) None
+       & info [] ~docv ~doc:"Run id (or unique prefix).")
+
+let runs_show_cmd =
+  let run root id =
+    match Reg.load ?root id with
+    | Error msg ->
+        Format.eprintf "runs show: %s@." msg;
+        2
+    | Ok m ->
+        Format.printf "run %s@." m.Reg.id;
+        Format.printf "  command   %s@." m.Reg.command;
+        Format.printf "  argv      %s@." (String.concat " " m.Reg.argv);
+        Format.printf "  started   %a@." pp_epoch m.Reg.started;
+        Format.printf "  wall      %.3fs@." m.Reg.wall_s;
+        Format.printf "  exit      %d (%s)@." m.Reg.exit_code m.Reg.verdict;
+        (match m.Reg.model_hash with
+        | Some h -> Format.printf "  model     %s@." h
+        | None -> ());
+        (match m.Reg.artifacts with
+        | [] -> ()
+        | files ->
+            Format.printf "  artifacts %s@." (String.concat ", " files));
+        Format.printf "  series@.";
+        List.iter
+          (fun (name, v) -> Format.printf "    %-32s %g@." name v)
+          m.Reg.series;
+        0
+  in
+  let doc = "Show one recorded run: identity, verdict, series, artifacts." in
+  Cmd.v (Cmd.info "show" ~doc)
+    Term.(const run $ runs_root_arg $ run_id_pos 0 "RUN")
+
+let runs_diff_cmd =
+  let run root base_id cur_id time_tol count_tol fail_on_new =
+    let module B = Archex_obs.Bench_compare in
+    let tol =
+      { B.default_tolerances with
+        time_tol =
+          Option.value time_tol ~default:B.default_tolerances.B.time_tol;
+        count_tol =
+          Option.value count_tol ~default:B.default_tolerances.B.count_tol }
+    in
+    match (Reg.load ?root base_id, Reg.load ?root cur_id) with
+    | Error msg, _ | _, Error msg ->
+        Format.eprintf "runs diff: %s@." msg;
+        2
+    | Ok base, Ok cur -> (
+        if base.Reg.command <> cur.Reg.command then
+          Format.eprintf
+            "runs diff: warning: comparing a %s run against a %s run@."
+            cur.Reg.command base.Reg.command;
+        (match (base.Reg.model_hash, cur.Reg.model_hash) with
+        | Some a, Some b when a <> b ->
+            Format.eprintf
+              "runs diff: warning: runs solved different models@."
+        | _ -> ());
+        match
+          B.diff ~tol
+            ~baseline:(Reg.bench_artifact base)
+            ~current:(Reg.bench_artifact cur)
+            ()
+        with
+        | Error msg ->
+            Format.eprintf "runs diff: %s@." msg;
+            2
+        | Ok entries ->
+            Format.printf "%a" B.pp_entries entries;
+            if B.regression entries then begin
+              Format.eprintf "runs diff: %s regressed against %s@."
+                cur.Reg.id base.Reg.id;
+              1
+            end
+            else if fail_on_new && B.has_new entries then begin
+              Format.eprintf
+                "runs diff: %s carries series %s never recorded@."
+                cur.Reg.id base.Reg.id;
+              1
+            end
+            else 0)
+  in
+  let time_tol_arg =
+    let doc =
+      "Relative tolerance for wall-clock series (default 0.5 = 50%)."
+    in
+    Arg.(value & opt (some float) None
+         & info [ "time-tol" ] ~doc ~docv:"REL")
+  in
+  let count_tol_arg =
+    let doc =
+      "Relative tolerance for counter series (default 0.25 = 25%)."
+    in
+    Arg.(value & opt (some float) None
+         & info [ "count-tol" ] ~doc ~docv:"REL")
+  in
+  let fail_on_new_arg =
+    let doc =
+      "Strict mode: also exit 1 when the current run carries series \
+       absent from the baseline run."
+    in
+    Arg.(value & flag & info [ "fail-on-new" ] ~doc)
+  in
+  let doc =
+    "Diff two recorded runs with the benchmark regression gate \
+     (tolerance-classified series comparison); exit 1 on regression."
+  in
+  Cmd.v (Cmd.info "diff" ~doc)
+    Term.(
+      const run $ runs_root_arg $ run_id_pos 0 "BASELINE"
+      $ run_id_pos 1 "CURRENT" $ time_tol_arg $ count_tol_arg
+      $ fail_on_new_arg)
+
+let runs_cmd =
+  let doc =
+    "Inspect the persistent run registry (see $(b,--no-record) and \
+     $(b,ARCHEX_RUNS_DIR))."
+  in
+  Cmd.group (Cmd.info "runs" ~doc)
+    [ runs_list_cmd; runs_show_cmd; runs_diff_cmd ]
+
+(* ------------------------------------------------------------------ *)
+(* archex top — terminal dashboard over a --metrics-stream file        *)
+
+module Top = struct
+  module J = Archex_obs.Json
+
+  type sample = {
+    elapsed : float;
+    metrics : (string * J.t) list;
+  }
+
+  let sample_of_json j =
+    match (J.mem "elapsed" j, J.mem "metrics" j) with
+    | Some (J.Num elapsed), Some (J.Obj metrics) -> Some { elapsed; metrics }
+    | _ -> None
+
+  (* last well-formed sample (and how many there were) in the stream *)
+  let load path =
+    if not (Sys.file_exists path) then (None, 0)
+    else
+      match
+        Archex_obs.Json.parse_lines_numbered (read_whole_file path)
+      with
+      | Error _ -> (None, 0)
+      | Ok lines ->
+          let samples = List.filter_map (fun (_, j) -> sample_of_json j) lines in
+          (match List.rev samples with
+          | last :: _ -> (Some last, List.length samples)
+          | [] -> (None, 0))
+
+  let num s name =
+    match List.assoc_opt name s.metrics with
+    | Some (J.Num x) -> Some x
+    | _ -> None
+
+  let hist_field s name field =
+    match List.assoc_opt name s.metrics with
+    | Some (J.Obj h) -> (
+        match List.assoc_opt field h with
+        | Some (J.Num x) -> Some x
+        | _ -> None)
+    | _ -> None
+
+  (* "pool.worker_busy_seconds{domain=\"0\"}" -> (0, seconds) *)
+  let worker_busy s =
+    let prefix = "pool.worker_busy_seconds{domain=\"" in
+    List.filter_map
+      (fun (name, v) ->
+        if String.starts_with ~prefix name then
+          match v with
+          | J.Num busy -> (
+              let rest =
+                String.sub name (String.length prefix)
+                  (String.length name - String.length prefix)
+              in
+              match String.index_opt rest '"' with
+              | Some q -> (
+                  match int_of_string_opt (String.sub rest 0 q) with
+                  | Some d -> Some (d, busy)
+                  | None -> None)
+              | None -> None)
+          | _ -> None
+        else None)
+      s.metrics
+    |> List.sort compare
+
+  let bar ?(width = 24) frac =
+    let frac = Float.min 1. (Float.max 0. frac) in
+    let full = int_of_float (Float.round (frac *. float_of_int width)) in
+    String.concat ""
+      [ "["; String.make full '#'; String.make (width - full) '-'; "]" ]
+
+  let render ppf path n s =
+    let line fmt = Format.fprintf ppf (fmt ^^ "@.") in
+    line "archex top — %s (sample %d, elapsed %.1fs)" path n s.elapsed;
+    line "";
+    (match num s "pool.size" with
+    | Some size ->
+        line "pool     %d domain(s)   queue %g   busy %g"
+          (int_of_float size)
+          (Option.value (num s "pool.queue_depth") ~default:0.)
+          (Option.value (num s "pool.workers_busy") ~default:0.)
+    | None -> line "pool     (no pool metrics yet)");
+    List.iter
+      (fun (d, busy) ->
+        let util = if s.elapsed > 0. then busy /. s.elapsed else 0. in
+        line "  dom %-3d %s %3.0f%%  %.2fs busy" d (bar util)
+          (100. *. util) busy)
+      (worker_busy s);
+    (match
+       ( num s "pool.jobs_enqueued",
+         num s "pool.jobs_started",
+         num s "pool.jobs_finished" )
+     with
+    | Some e, Some st, Some f ->
+        line "jobs     enqueued %g   started %g   finished %g" e st f
+    | _ -> ());
+    (match
+       ( hist_field s "pool.job_seconds" "p50",
+         hist_field s "pool.job_seconds" "p99" )
+     with
+    | Some p50, Some p99 ->
+        line "job time p50 %.1fms   p99 %.1fms" (1e3 *. p50) (1e3 *. p99)
+    | _ -> ());
+    line "";
+    (match (num s "progress.incumbent", num s "progress.bound") with
+    | Some inc, Some bound ->
+        let gap =
+          100. *. (inc -. bound) /. Float.max 1e-9 (Float.abs inc)
+        in
+        line "search   incumbent %g   bound %g   gap %.2f%%" inc bound gap
+    | Some inc, None -> line "search   incumbent %g" inc
+    | None, Some bound -> line "search   bound %g" bound
+    | None, None -> ());
+    (match num s "progress.iteration" with
+    | Some it ->
+        line "mr       iteration %g%s" it
+          (match num s "progress.cost" with
+          | Some c -> Printf.sprintf "   cost %g" c
+          | None -> "")
+    | None -> ());
+    (let winners =
+       List.filter_map
+         (fun b ->
+           Option.map
+             (fun v -> Printf.sprintf "%s %g" b v)
+             (num s ("portfolio.winner." ^ b)))
+         [ "pb"; "lp_bb" ]
+     in
+     if winners <> [] then
+       line "winners  %s" (String.concat "   " winners));
+    match num s "budget.deadline_seconds" with
+    | Some d when d > 0. ->
+        let used = s.elapsed /. d in
+        line "budget   %s %3.0f%%  %.1fs of %.0fs deadline" (bar used)
+          (100. *. used) s.elapsed d
+    | _ -> ()
+end
+
+let top_cmd =
+  let run path once interval =
+    if once then begin
+      match Top.load path with
+      | Some s, n ->
+          Top.render Format.std_formatter path n s;
+          0
+      | None, _ ->
+          Format.eprintf "top: %s has no samples yet@." path;
+          1
+    end
+    else begin
+      (* live mode: re-read the stream every tick until interrupted *)
+      let rec loop () =
+        print_string "\027[2J\027[H";
+        (match Top.load path with
+        | Some s, n -> Top.render Format.std_formatter path n s
+        | None, _ ->
+            Format.printf "archex top — %s: waiting for samples@." path);
+        Format.print_flush ();
+        Unix.sleepf interval;
+        loop ()
+      in
+      loop ()
+    end
+  in
+  let path_arg =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"STREAM"
+             ~doc:"NDJSON sample stream written by $(b,--metrics-stream).")
+  in
+  let once_arg =
+    let doc =
+      "Render the latest sample once and exit (snapshot mode for CI)."
+    in
+    Arg.(value & flag & info [ "once" ] ~doc)
+  in
+  let interval_arg =
+    let doc = "Refresh interval in seconds (live mode)." in
+    Arg.(value & opt float 2.0 & info [ "interval" ] ~doc ~docv:"SECONDS")
+  in
+  let doc =
+    "Live terminal dashboard over a $(b,--metrics-stream) file: \
+     per-domain utilization, queue depth, incumbent/bound gap, iteration \
+     progress and budget consumption."
+  in
+  Cmd.v (Cmd.info "top" ~doc)
+    Term.(const run $ path_arg $ once_arg $ interval_arg)
+
 let () =
   Logs.set_reporter (Logs.format_reporter ());
   Logs.set_level (Some Logs.Warning);
@@ -893,4 +1433,5 @@ let () =
        (Cmd.group ~default:mr_term info
           [ mr_cmd; ar_cmd; analyze_cmd; export_cmd; certify_cmd;
             check_cert_cmd; explain_cmd; trace_check_cmd; trace_profile_cmd;
-            trace_export_cmd; report_cmd; bench_diff_cmd ]))
+            trace_export_cmd; report_cmd; bench_diff_cmd; runs_cmd;
+            top_cmd ]))

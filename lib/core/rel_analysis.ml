@@ -69,10 +69,12 @@ let analyze ?(obs = Archex_obs.Ctx.null) ?on_event ?engine ?budget
           List.map (fun s -> (s, Faults.probe Faults.Oracle_failure)) sinks
         in
         (* In parallel mode the per-sink oracles get a metrics-only ctx:
-           metric handles are atomic, but the trace writer and search-log
-           sink are single-threaded, so those stay on this domain —
-           fallback instants/events are emitted after the join, in sink
-           order (which also keeps them deterministic). *)
+           metric handles are atomic and the tracer is domain-safe, but
+           the search-log sink is single-threaded and the analysis trace
+           is kept deterministic — fallback instants/events are emitted
+           after the join, in sink order.  The pool itself still gets the
+           full ctx: its pool.job spans carry the per-domain scheduling
+           picture without touching the oracle-level trace. *)
         let task_obs =
           if parallel then Archex_obs.Ctx.make ~metrics () else obs
         in
@@ -123,7 +125,7 @@ let analyze ?(obs = Archex_obs.Ctx.null) ?on_event ?engine ?budget
             match pool with
             | Some p -> Archex_parallel.Pool.map p sink_verdict probed
             | None ->
-                Archex_parallel.Pool.with_pool
+                Archex_parallel.Pool.with_pool ~obs
                   ~jobs:(min jobs (List.length sinks))
                   (fun p -> Archex_parallel.Pool.map p sink_verdict probed)
           else List.map sink_verdict probed

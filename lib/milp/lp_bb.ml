@@ -129,11 +129,17 @@ let solve ?(metrics = Archex_obs.Metrics.null) ?on_event ?log
     match shared with
     | None -> ()
     | Some cell -> (
-        match Archex_parallel.Shared_best.get cell with
-        | Some (c, sol)
+        match Archex_parallel.Shared_best.get_timed cell with
+        | Some (c, sol, published_at)
           when (match !best with
                | None -> true
                | Some (b, _) -> c < b -. obj_tol b) ->
+            (* install latency: how long the rival's incumbent sat in the
+               cell before this search started pruning with it *)
+            Archex_obs.Metrics.observe
+              (Archex_obs.Metrics.histogram metrics
+                 "portfolio.install_seconds")
+              (Archex_obs.Clock.now () -. published_at);
             best := Some (c, sol)
         | _ -> ())
   in

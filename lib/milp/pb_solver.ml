@@ -515,8 +515,8 @@ let rec luby i =
   if (1 lsl !k) - 1 = i then 1 lsl (!k - 1)
   else luby (i - (1 lsl (!k - 1)) + 1)
 
-let search st ~on_event ~log ~max_decisions ~time_limit ~lower_bound
-    ~should_stop ~shared =
+let search st ~metrics ~on_event ~log ~max_decisions ~time_limit
+    ~lower_bound ~should_stop ~shared =
   let t0 = Archex_obs.Clock.now () in
   (* progress events: build nothing unless a callback is installed *)
   let emit kind data =
@@ -663,11 +663,17 @@ let search st ~on_event ~log ~max_decisions ~time_limit ~lower_bound
     match shared with
     | None -> ()
     | Some cell -> (
-        match Archex_parallel.Shared_best.get cell with
-        | Some (c, sol)
+        match Archex_parallel.Shared_best.get_timed cell with
+        | Some (c, sol, published_at)
           when (match st.best with
                | None -> true
                | Some (b, _) -> c < b -. obj_tol st) ->
+            (* install latency: how long the rival's incumbent sat in the
+               cell before this search started pruning with it *)
+            Archex_obs.Metrics.observe
+              (Archex_obs.Metrics.histogram metrics
+                 "portfolio.install_seconds")
+              (Archex_obs.Clock.now () -. published_at);
             st.best <- Some (c, sol);
             add_bound_row_or_exhaust ()
         | _ -> ())
@@ -915,8 +921,8 @@ let solve ?(metrics = Archex_obs.Metrics.null) ?on_event ?log
           done
         with
         | () ->
-            search st ~on_event ~log ~max_decisions ~time_limit ~lower_bound
-              ~should_stop ~shared
+            search st ~metrics ~on_event ~log ~max_decisions ~time_limit
+              ~lower_bound ~should_stop ~shared
         | exception Conflict _ -> (false, None)
       in
       let stats =

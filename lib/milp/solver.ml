@@ -210,6 +210,19 @@ let solve_untraced ~obs ~on_event ~backend ~presolve ?max_nodes ?time_limit
               | Optimal _ | Infeasible | Unbounded -> true
               | Limit_reached _ -> false
             in
+            (* a racer that exits after the token fired was cancelled:
+               the gap between the first cancel and its wind-down is the
+               cancellation latency (how promptly workers notice) *)
+            let observe_cancel_latency o =
+              if not (definitive o) then
+                match P.Cancel.cancelled_at stop with
+                | Some at ->
+                    Archex_obs.Metrics.observe
+                      (Archex_obs.Metrics.histogram metrics
+                         "portfolio.cancel_latency_seconds")
+                      (now () -. at)
+                | None -> ()
+            in
             let run_pb () =
               let o, s =
                 Pb_solver.solve ~metrics ?on_event ?log
@@ -224,7 +237,8 @@ let solve_untraced ~obs ~on_event ~backend ~presolve ?max_nodes ?time_limit
                 | Pb_solver.Limit_reached { incumbent } ->
                     Limit_reached { incumbent }
               in
-              if definitive o then P.Cancel.cancel stop;
+              if definitive o then P.Cancel.cancel stop
+              else observe_cancel_latency o;
               (o, s)
             in
             let run_lp () =
@@ -241,12 +255,13 @@ let solve_untraced ~obs ~on_event ~backend ~presolve ?max_nodes ?time_limit
                 | Lp_bb.Limit_reached { incumbent } ->
                     Limit_reached { incumbent }
               in
-              if definitive o then P.Cancel.cancel stop;
+              if definitive o then P.Cancel.cancel stop
+              else observe_cancel_latency o;
               (o, s)
             in
             let pb, lp =
               match
-                P.Pool.with_pool ~jobs:2 (fun pool ->
+                P.Pool.with_pool ~obs ~jobs:2 (fun pool ->
                     P.Pool.run pool
                       [ (fun () -> `Pb (run_pb ()));
                         (fun () -> `Lp (run_lp ())) ])
@@ -255,6 +270,22 @@ let solve_untraced ~obs ~on_event ~backend ~presolve ?max_nodes ?time_limit
               | _ -> assert false
             in
             let pb_o, pb_s = pb and lp_o, lp_s = lp in
+            (* winner attribution: which racer produced the definitive
+               answer (PB beats LP-BB on ties — it cancelled first or at
+               the same poll, and its proof is checked below either way) *)
+            (match
+               if definitive pb_o then Some "pb"
+               else if definitive lp_o then Some "lp_bb"
+               else None
+             with
+            | Some winner ->
+                Archex_obs.Metrics.incr
+                  (Archex_obs.Metrics.counter metrics
+                     ("portfolio.winner." ^ winner));
+                Archex_obs.Trace.instant
+                  ~attrs:[ ("winner", J.Str winner) ]
+                  (Archex_obs.Ctx.trace obs) "portfolio.winner"
+            | None -> ());
             let outcome =
               if definitive pb_o then pb_o
               else if definitive lp_o then lp_o

@@ -81,7 +81,7 @@ let cases_of_artifact json =
 (* ------------------------------------------------------------------ *)
 (* Diff                                                                *)
 
-type verdict = Improved | Unchanged | Regressed | Missing | Added
+type verdict = Improved | Unchanged | Regressed | Missing | New
 
 type entry = {
   case : string;
@@ -123,7 +123,7 @@ let classify tol ~case ~series ~baseline ~current =
         verdict = Missing }
   | None, Some _ ->
       { case; series; baseline; current; delta = None; tolerance = 0.;
-        verdict = Added }
+        verdict = New }
   | Some b, Some c ->
       let rel_tol, floor =
         if is_time_series series then (tol.time_tol, tol.time_floor)
@@ -189,12 +189,17 @@ let diff ?(tol = default_tolerances) ~baseline ~current () =
 let regression entries =
   List.exists (fun e -> e.verdict = Regressed || e.verdict = Missing) entries
 
+(* Series present in the current artifact but absent from the baseline —
+   informational by default (a fresh metric must be able to land without
+   failing the gate), fatal only under --fail-on-new strict mode. *)
+let has_new entries = List.exists (fun e -> e.verdict = New) entries
+
 let verdict_name = function
   | Improved -> "improved"
   | Unchanged -> "unchanged"
   | Regressed -> "REGRESSED"
   | Missing -> "MISSING"
-  | Added -> "added"
+  | New -> "new"
 
 let pp_value ppf = function
   | Some v -> Format.fprintf ppf "%12.5g" v
@@ -220,6 +225,6 @@ let pp_entries ppf entries =
   let count v = List.length (List.filter (fun e -> e.verdict = v) entries) in
   Format.fprintf ppf
     "%d series: %d improved, %d unchanged, %d regressed, %d missing, \
-     %d added@."
+     %d new@."
     (List.length entries) (count Improved) (count Unchanged)
-    (count Regressed) (count Missing) (count Added)
+    (count Regressed) (count Missing) (count New)

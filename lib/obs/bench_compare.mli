@@ -36,7 +36,10 @@ type verdict =
   | Unchanged
   | Regressed  (** worse than baseline beyond the series' tolerance *)
   | Missing    (** present in baseline, absent from current *)
-  | Added      (** absent from baseline — informational *)
+  | New
+      (** absent from baseline — informational (a fresh metric lands
+          without failing the gate) unless strict mode opts in via
+          {!has_new} / the CLI's [--fail-on-new] *)
 
 type entry = {
   case : string;
@@ -76,7 +79,13 @@ val diff :
 
 val regression : entry list -> bool
 (** True iff some entry is {!Regressed} or {!Missing} — the CI failure
-    condition. *)
+    condition.  {!New} entries never regress: a metric added by a newer
+    build (e.g. the pool gauges) must be able to land against an older
+    baseline. *)
+
+val has_new : entry list -> bool
+(** True iff some entry is {!New} — the strict-mode ([--fail-on-new])
+    failure condition. *)
 
 val verdict_name : verdict -> string
 val pp_entries : Format.formatter -> entry list -> unit

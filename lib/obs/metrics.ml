@@ -229,3 +229,120 @@ let write_file t path =
     (fun () ->
       output_string oc (Json.to_string (to_json t));
       output_char oc '\n')
+
+(* ------------------------------------------------------------------ *)
+(* Prometheus text exposition (version 0.0.4)                          *)
+
+(* Metric names here are dotted ("pool.queue_depth") and may carry an
+   explicit label block in braces ("pool.worker_busy_seconds{domain=\"0\"}").
+   Exposition sanitizes the base name to [a-zA-Z0-9_:] and passes the
+   label block through, merging it with the "le" label on histogram
+   bucket lines. *)
+
+let prom_num x =
+  if Float.is_nan x then "NaN"
+  else if x = infinity then "+Inf"
+  else if x = neg_infinity then "-Inf"
+  else if Float.is_integer x && Float.abs x < 1e15 then
+    Printf.sprintf "%.0f" x
+  else begin
+    let s = Printf.sprintf "%.12g" x in
+    if float_of_string s = x then s else Printf.sprintf "%.17g" x
+  end
+
+let prom_sanitize s =
+  let ok i c =
+    match c with
+    | 'a' .. 'z' | 'A' .. 'Z' | '_' | ':' -> true
+    | '0' .. '9' -> i > 0
+    | _ -> false
+  in
+  String.mapi (fun i c -> if ok i c then c else '_') s
+
+(* Split "name{labels}" into the sanitized base and the raw label body
+   (without braces; "" when there is none or the block is malformed). *)
+let prom_split name =
+  match String.index_opt name '{' with
+  | None -> (prom_sanitize name, "")
+  | Some i ->
+      let base = String.sub name 0 i in
+      let rest = String.sub name i (String.length name - i) in
+      let n = String.length rest in
+      if n >= 2 && rest.[0] = '{' && rest.[n - 1] = '}' then
+        (prom_sanitize base, String.sub rest 1 (n - 2))
+      else (prom_sanitize name, "")
+
+let prom_series buf base labels value =
+  Buffer.add_string buf base;
+  if labels <> "" then begin
+    Buffer.add_char buf '{';
+    Buffer.add_string buf labels;
+    Buffer.add_char buf '}'
+  end;
+  Buffer.add_char buf ' ';
+  Buffer.add_string buf (prom_num value);
+  Buffer.add_char buf '\n'
+
+let prom_histogram buf base labels h =
+  locked h.lock (fun () ->
+      let with_le le =
+        let le = Printf.sprintf "le=\"%s\"" le in
+        if labels = "" then le else labels ^ "," ^ le
+      in
+      let cum = ref 0 in
+      List.iter
+        (fun (bound, count) ->
+          cum := !cum + count;
+          prom_series buf (base ^ "_bucket")
+            (with_le (prom_num bound))
+            (float_of_int !cum))
+        (bucket_counts_unlocked h);
+      prom_series buf (base ^ "_bucket") (with_le "+Inf") (float_of_int h.n);
+      prom_series buf (base ^ "_sum") labels h.sum;
+      prom_series buf (base ^ "_count") labels (float_of_int h.n))
+
+let to_prometheus t =
+  match t with
+  | None -> ""
+  | Some reg ->
+      let items =
+        locked reg.reg_lock (fun () ->
+            Hashtbl.fold (fun name item acc -> (name, item) :: acc) reg.tbl
+              [])
+      in
+      let items =
+        List.sort (fun (a, _) (b, _) -> String.compare a b) items
+      in
+      let buf = Buffer.create 1024 in
+      let last_base = ref "" in
+      List.iter
+        (fun (name, item) ->
+          let base, labels = prom_split name in
+          (* one TYPE line per metric family: labeled series of the same
+             base (sorted adjacent) share it *)
+          if base <> !last_base then begin
+            last_base := base;
+            Buffer.add_string buf
+              (Printf.sprintf "# TYPE %s %s\n" base (kind_name item))
+          end;
+          match item with
+          | Counter c -> prom_series buf base labels (Atomic.get c)
+          | Gauge g -> prom_series buf base labels (Atomic.get g)
+          | Histogram h -> prom_histogram buf base labels h)
+        items;
+      Buffer.contents buf
+
+(* Atomic exposition file: write a sibling temp file, then rename over
+   the target, so a concurrent scraper never reads a half-written
+   snapshot. *)
+let write_prometheus_file t path =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out tmp in
+  (try
+     Fun.protect
+       ~finally:(fun () -> close_out oc)
+       (fun () -> output_string oc (to_prometheus t))
+   with e ->
+     (try Sys.remove tmp with Sys_error _ -> ());
+     raise e);
+  Sys.rename tmp path

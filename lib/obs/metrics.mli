@@ -72,3 +72,20 @@ val to_json : t -> Json.t
 
 val write_file : t -> string -> unit
 (** Write {!to_json} (newline-terminated) to a file. *)
+
+val to_prometheus : t -> string
+(** Prometheus text exposition (format 0.0.4) of the whole registry:
+    one [# TYPE] line per metric family followed by its series.  Dotted
+    names are sanitized to [\[a-zA-Z0-9_:\]] ([pool.queue_depth] becomes
+    [pool_queue_depth]); a name may carry an explicit label block which
+    is passed through verbatim — registering
+    [pool.worker_busy_seconds{domain="0"}] exposes
+    [pool_worker_busy_seconds{domain="0"}], and labeled series of the
+    same base share one [# TYPE] line.  Histograms expose cumulative
+    [_bucket{le="..."}] series (ending at [le="+Inf"]) plus [_sum] and
+    [_count].  The {!null} registry exposes the empty string. *)
+
+val write_prometheus_file : t -> string -> unit
+(** Write {!to_prometheus} to [path] atomically: the text is written to a
+    sibling temp file first and renamed over the target, so a concurrent
+    scraper never observes a torn snapshot. *)

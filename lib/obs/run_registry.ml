@@ -1,0 +1,224 @@
+(* Persistent run registry: every recorded CLI invocation gets a
+   content-addressed directory under the registry root holding
+
+     meta.json   — id, command, argv, env stamp, model hash, timing,
+                   exit verdict and the flat numeric series of the run
+     bench.json  — the same series as a Bench_compare artifact (schema
+                   v1), so two runs diff with the exact machinery of the
+                   CI regression gate
+     <artifact>  — copies of the run's trace / metrics / exposition /
+                   certificate files, when the caller produced any
+
+   The id is the first 12 hex digits of an MD5 over the run's identity
+   (command, argv, model hash, environment stamp and start time — the
+   start time keeps two otherwise identical invocations distinct), so a
+   run directory's name is reproducibly derived from what ran. *)
+
+type meta = {
+  id : string;
+  command : string;
+  argv : string list;
+  started : float;  (* unix epoch seconds *)
+  wall_s : float;
+  exit_code : int;
+  verdict : string;
+  model_hash : string option;
+  env : (string * Json.t) list;
+  series : (string * float) list;
+  artifacts : string list;  (* file names inside the run directory *)
+}
+
+let default_root () =
+  match Sys.getenv_opt "ARCHEX_RUNS_DIR" with
+  | Some dir when dir <> "" -> dir
+  | _ -> Filename.concat "_archex" "runs"
+
+let dir ~root ~id = Filename.concat root id
+
+let run_id ~command ~argv ~model_hash ~env ~started =
+  let identity =
+    String.concat "\x00"
+      (command :: argv
+      @ [ Option.value model_hash ~default:"";
+          Json.to_string (Json.Obj env);
+          Printf.sprintf "%.6f" started ])
+  in
+  String.sub (Digest.to_hex (Digest.string identity)) 0 12
+
+(* ------------------------------------------------------------------ *)
+(* JSON (de)serialization                                              *)
+
+let meta_to_json m =
+  Json.Obj
+    [ ("format", Json.Str "archex-run");
+      ("id", Json.Str m.id);
+      ("command", Json.Str m.command);
+      ("argv", Json.Arr (List.map (fun a -> Json.Str a) m.argv));
+      ("started", Json.Num m.started);
+      ("wall_s", Json.Num m.wall_s);
+      ("exit_code", Json.Num (float_of_int m.exit_code));
+      ("verdict", Json.Str m.verdict);
+      ( "model_hash",
+        match m.model_hash with Some h -> Json.Str h | None -> Json.Null );
+      ("env", Json.Obj m.env);
+      ("series", Json.Obj (List.map (fun (k, v) -> (k, Json.Num v)) m.series));
+      ("artifacts", Json.Arr (List.map (fun a -> Json.Str a) m.artifacts)) ]
+
+let meta_of_json j =
+  let str name =
+    match Json.mem name j with Some (Json.Str s) -> Some s | _ -> None
+  in
+  let num name =
+    match Json.mem name j with Some (Json.Num x) -> Some x | _ -> None
+  in
+  let str_list name =
+    match Json.mem name j with
+    | Some (Json.Arr items) ->
+        List.filter_map (function Json.Str s -> Some s | _ -> None) items
+    | _ -> []
+  in
+  match (str "id", str "command", num "started") with
+  | Some id, Some command, Some started ->
+      Ok
+        { id;
+          command;
+          argv = str_list "argv";
+          started;
+          wall_s = Option.value (num "wall_s") ~default:0.;
+          exit_code =
+            int_of_float (Option.value (num "exit_code") ~default:0.);
+          verdict = Option.value (str "verdict") ~default:"?";
+          model_hash = str "model_hash";
+          env =
+            (match Json.mem "env" j with
+            | Some (Json.Obj fields) -> fields
+            | _ -> []);
+          series =
+            (match Json.mem "series" j with
+            | Some (Json.Obj fields) ->
+                List.filter_map
+                  (fun (k, v) ->
+                    match v with Json.Num x -> Some (k, x) | _ -> None)
+                  fields
+            | _ -> []);
+          artifacts = str_list "artifacts" }
+  | _ -> Error "not an archex-run meta (missing id/command/started)"
+
+(* The per-run Bench_compare artifact: one case named after the command,
+   so [runs diff] compares like-for-like series under the regression
+   gate's tolerances. *)
+let bench_artifact m =
+  Bench_compare.artifact
+    ~experiment:(Printf.sprintf "run-%s" m.command)
+    ~env:m.env
+    [ (m.command, m.series) ]
+
+(* ------------------------------------------------------------------ *)
+(* Filesystem plumbing                                                 *)
+
+let rec mkdir_p path =
+  if path <> "" && path <> "." && path <> "/" && not (Sys.file_exists path)
+  then begin
+    mkdir_p (Filename.dirname path);
+    try Unix.mkdir path 0o755
+    with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let read_whole_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_whole_file path content =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc content)
+
+let copy_file ~src ~dst = write_whole_file dst (read_whole_file src)
+
+(* ------------------------------------------------------------------ *)
+(* Record / load / list                                                *)
+
+let record ?root ~command ~argv ?model_hash ?(verdict = "ok") ~exit_code
+    ~started ~wall_s ?(series = []) ?(artifacts = []) () =
+  let root = match root with Some r -> r | None -> default_root () in
+  let env = Bench_compare.default_env () in
+  let id = run_id ~command ~argv ~model_hash ~env ~started in
+  let run_dir = dir ~root ~id in
+  try
+    mkdir_p run_dir;
+    (* pull the produced artifact files into the run directory (missing
+       sources are skipped, not fatal: the run itself already happened) *)
+    let copied =
+      List.filter_map
+        (fun src ->
+          if Sys.file_exists src then begin
+            let name = Filename.basename src in
+            copy_file ~src ~dst:(Filename.concat run_dir name);
+            Some name
+          end
+          else None)
+        artifacts
+    in
+    let series = ("wall_s", wall_s) :: series in
+    let meta =
+      { id; command; argv; started; wall_s; exit_code; verdict; model_hash;
+        env; series; artifacts = copied }
+    in
+    write_whole_file
+      (Filename.concat run_dir "meta.json")
+      (Json.to_string (meta_to_json meta) ^ "\n");
+    write_whole_file
+      (Filename.concat run_dir "bench.json")
+      (Json.to_string (bench_artifact meta) ^ "\n");
+    Ok meta
+  with Sys_error msg | Unix.Unix_error (_, msg, _) -> Error msg
+
+let load_dir run_dir =
+  let meta_path = Filename.concat run_dir "meta.json" in
+  if not (Sys.file_exists meta_path) then
+    Error (Printf.sprintf "%s: no meta.json" run_dir)
+  else
+    match Json.of_string (String.trim (read_whole_file meta_path)) with
+    | Error msg -> Error (Printf.sprintf "%s: %s" meta_path msg)
+    | Ok j -> meta_of_json j
+
+let list_runs ?root () =
+  let root = match root with Some r -> r | None -> default_root () in
+  if not (Sys.file_exists root) then Ok []
+  else
+    match Sys.readdir root with
+    | exception Sys_error msg -> Error msg
+    | entries ->
+        let metas =
+          Array.to_list entries
+          |> List.filter_map (fun entry ->
+                 let d = Filename.concat root entry in
+                 if Sys.is_directory d then
+                   match load_dir d with Ok m -> Some m | Error _ -> None
+                 else None)
+        in
+        Ok (List.sort (fun a b -> Float.compare a.started b.started) metas)
+
+(* Resolve an id or unique id prefix to a run. *)
+let load ?root id =
+  let root = match root with Some r -> r | None -> default_root () in
+  match load_dir (dir ~root ~id) with
+  | Ok m -> Ok m
+  | Error _ -> (
+      match list_runs ~root () with
+      | Error msg -> Error msg
+      | Ok metas -> (
+          let is_prefix m =
+            String.length m.id >= String.length id
+            && String.sub m.id 0 (String.length id) = id
+          in
+          match List.filter is_prefix metas with
+          | [ m ] -> Ok m
+          | [] -> Error (Printf.sprintf "no run matches %S" id)
+          | several ->
+              Error
+                (Printf.sprintf "run id %S is ambiguous (%s)" id
+                   (String.concat ", " (List.map (fun m -> m.id) several)))))

@@ -1,0 +1,64 @@
+(** Persistent run registry.
+
+    Every recorded invocation gets a content-addressed directory under
+    the registry root (default [_archex/runs], overridable with the
+    [ARCHEX_RUNS_DIR] environment variable) holding a [meta.json] (id,
+    command, argv, environment stamp, model hash, wall time, exit
+    verdict, flat numeric series), a [bench.json] in the
+    {!Bench_compare} artifact schema — so two runs diff with the exact
+    machinery of the CI regression gate — and copies of whatever
+    trace/metrics/certificate files the run produced. *)
+
+type meta = {
+  id : string;          (** 12 hex digits derived from the run identity *)
+  command : string;     (** CLI subcommand, e.g. ["mr"] *)
+  argv : string list;
+  started : float;      (** unix epoch seconds *)
+  wall_s : float;
+  exit_code : int;
+  verdict : string;     (** e.g. ["synthesized"], ["unfeasible"] *)
+  model_hash : string option;  (** MD5 of the canonical model JSON *)
+  env : (string * Json.t) list;
+  series : (string * float) list;
+      (** numeric series diffable by {!Bench_compare} ([wall_s] always
+          present) *)
+  artifacts : string list;  (** file names inside the run directory *)
+}
+
+val default_root : unit -> string
+(** [$ARCHEX_RUNS_DIR] when set and non-empty, else [_archex/runs]. *)
+
+val dir : root:string -> id:string -> string
+(** The run's directory path. *)
+
+val record :
+  ?root:string ->
+  command:string ->
+  argv:string list ->
+  ?model_hash:string ->
+  ?verdict:string ->
+  exit_code:int ->
+  started:float ->
+  wall_s:float ->
+  ?series:(string * float) list ->
+  ?artifacts:string list ->
+  unit ->
+  (meta, string) result
+(** Create the run directory and write [meta.json] / [bench.json].
+    [artifacts] are source paths copied into the directory by basename;
+    missing sources are skipped silently (the run itself already
+    happened).  [wall_s] is always prepended to [series]. *)
+
+val list_runs : ?root:string -> unit -> (meta list, string) result
+(** All well-formed runs under the root, sorted by start time (an absent
+    root is an empty registry, not an error). *)
+
+val load : ?root:string -> string -> (meta, string) result
+(** Resolve an id — or a unique id prefix — to its run. *)
+
+val bench_artifact : meta -> Json.t
+(** The run's series as a {!Bench_compare} artifact with one case named
+    after the command, ready for {!Bench_compare.diff}. *)
+
+val meta_to_json : meta -> Json.t
+val meta_of_json : Json.t -> (meta, string) result

@@ -1,0 +1,110 @@
+(* Background metrics sampler: a dedicated domain that periodically
+   snapshots the registry (GC gauges refreshed first) into an NDJSON
+   time series and/or an atomically rewritten Prometheus exposition
+   file.  Counters, gauges and histograms are all safe to read while
+   solver domains update them, so the sampler needs no cooperation from
+   the instrumented code — pool gauges, solver counters and GC state
+   simply appear in every sample.
+
+   The sampling loop sleeps in short slices so [stop] takes effect
+   within ~20 ms regardless of the period.  Exceptions raised inside the
+   sampler domain (an unwritable exposition path, a failing sink) are
+   captured and re-raised at [stop] so they are not silently lost. *)
+
+type t = {
+  metrics : Metrics.t;
+  period : float;
+  ndjson : (Json.t -> unit) option;
+  prom_path : string option;
+  started_at : float;
+  stop_flag : bool Atomic.t;
+  samples : int Atomic.t;
+  sample_lock : Mutex.t;
+  failure : (exn * Printexc.raw_backtrace) option Atomic.t;
+  mutable sampler : unit Domain.t option;
+  mutable stopped : bool;
+}
+
+let sample t =
+  Mutex.lock t.sample_lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.sample_lock)
+    (fun () ->
+      Gc_metrics.sample t.metrics;
+      let now = Clock.now () in
+      (match t.ndjson with
+      | None -> ()
+      | Some sink ->
+          sink
+            (Json.Obj
+               [ ("ts", Json.Num now);
+                 ("elapsed", Json.Num (now -. t.started_at));
+                 ("metrics", Metrics.to_json t.metrics) ]));
+      (match t.prom_path with
+      | None -> ()
+      | Some path -> Metrics.write_prometheus_file t.metrics path);
+      Atomic.incr t.samples)
+
+let slice = 0.02
+
+let rec sleep_until t deadline =
+  if not (Atomic.get t.stop_flag) then begin
+    let remaining = deadline -. Clock.now () in
+    if remaining > 0. then begin
+      Unix.sleepf (Float.min slice remaining);
+      sleep_until t deadline
+    end
+  end
+
+let loop t =
+  try
+    while not (Atomic.get t.stop_flag) do
+      sleep_until t (Clock.now () +. t.period);
+      if not (Atomic.get t.stop_flag) then sample t
+    done
+  with e ->
+    let bt = Printexc.get_raw_backtrace () in
+    ignore (Atomic.compare_and_set t.failure None (Some (e, bt)))
+
+let start ?(period = 1.0) ?ndjson ?prom_path metrics =
+  if period <= 0. then invalid_arg "Runtime.start: period must be positive";
+  let t =
+    { metrics;
+      period;
+      ndjson;
+      prom_path;
+      started_at = Clock.now ();
+      stop_flag = Atomic.make false;
+      samples = Atomic.make 0;
+      sample_lock = Mutex.create ();
+      failure = Atomic.make None;
+      sampler = None;
+      stopped = false }
+  in
+  (* one immediate sample so even runs shorter than a period leave a
+     time series behind *)
+  sample t;
+  t.sampler <- Some (Domain.spawn (fun () -> loop t));
+  t
+
+let samples t = Atomic.get t.samples
+
+let stop t =
+  if not t.stopped then begin
+    t.stopped <- true;
+    Atomic.set t.stop_flag true;
+    (match t.sampler with
+    | Some d ->
+        t.sampler <- None;
+        Domain.join d
+    | None -> ());
+    (* final sample: the series always ends with the run's last state *)
+    sample t;
+    match Atomic.get t.failure with
+    | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+    | None -> ()
+  end
+
+let with_sampler ?period ?ndjson ?prom_path metrics f =
+  let t = start ?period ?ndjson ?prom_path metrics in
+  Fun.protect ~finally:(fun () -> stop t) (fun () -> f t)

@@ -1,0 +1,49 @@
+(** Background metrics sampler: periodic snapshots of a {!Metrics}
+    registry into an NDJSON time series and/or an atomically rewritten
+    Prometheus exposition file.
+
+    The sampler runs on its own domain and only {e reads} the registry
+    (all handles are safe for concurrent read), so instrumented code
+    needs no cooperation: pool gauges, solver counters and freshly
+    sampled GC gauges appear in every snapshot.  This is the layer
+    behind the CLI's [--metrics-out] (Prometheus file any scraper can
+    poll) and [--metrics-stream] (NDJSON samples consumed by
+    [archex top]). *)
+
+type t
+
+val start :
+  ?period:float ->
+  ?ndjson:(Json.t -> unit) ->
+  ?prom_path:string ->
+  Metrics.t ->
+  t
+(** Start sampling every [period] seconds (default 1.0).  One sample is
+    taken synchronously before the background domain starts, so even
+    sub-period runs leave a series behind.  [ndjson] receives one
+    [{"ts", "elapsed", "metrics"}] object per sample; [prom_path] is
+    rewritten atomically (temp file + rename) with
+    {!Metrics.to_prometheus} on every sample.
+    @raise Invalid_argument when [period <= 0]. *)
+
+val sample : t -> unit
+(** Force one synchronous sample (samples are serialized by a mutex, so
+    this is safe concurrently with the background loop). *)
+
+val samples : t -> int
+(** Number of samples taken so far. *)
+
+val stop : t -> unit
+(** Stop the background domain, join it, and take one final sample so
+    the series ends with the run's last state.  Idempotent — a second
+    [stop] is a no-op.  Re-raises the first exception the sampler domain
+    hit (e.g. an unwritable exposition path), if any. *)
+
+val with_sampler :
+  ?period:float ->
+  ?ndjson:(Json.t -> unit) ->
+  ?prom_path:string ->
+  Metrics.t ->
+  (t -> 'a) ->
+  'a
+(** [start], run, and [stop] even on exception. *)

@@ -1,13 +1,27 @@
+(* Domain-safe tracer: span ids come from one atomic counter, nesting
+   depth lives in domain-local storage (each domain traces its own stack)
+   and emission — timestamp read included — happens under one mutex, so
+   sinks never see interleaved writes and the file's timestamp order is
+   the emission order.  Every record carries the emitting domain's id in
+   a "dom" field; validation and tree reconstruction key on it. *)
+
 type state = {
   emit : Json.t -> unit;
-  mutable depth : int;
-  mutable next_id : int;
+  lock : Mutex.t;
+  next_id : int Atomic.t;
+  depth : int ref Domain.DLS.key;
 }
 
 type t = state option
 
 let null : t = None
-let make emit = Some { emit; depth = 0; next_id = 0 }
+
+let make emit =
+  Some
+    { emit;
+      lock = Mutex.create ();
+      next_id = Atomic.make 0;
+      depth = Domain.DLS.new_key (fun () -> ref 0) }
 
 let memory () =
   let events = ref [] in
@@ -16,46 +30,64 @@ let memory () =
 
 let enabled = function Some _ -> true | None -> false
 
+let dom_id () = float_of_int (Domain.self () :> int)
+
+let emit_locked st fields =
+  Mutex.lock st.lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock st.lock)
+    (fun () ->
+      let ts = Clock.now () in
+      st.emit (Json.Obj (("ts", Json.Num ts) :: fields));
+      ts)
+
 let with_span ?(attrs = []) t name f =
   match t with
   | None -> f ()
   | Some st ->
-      let id = st.next_id in
-      st.next_id <- id + 1;
-      let t0 = Clock.now () in
-      st.emit
-        (Json.Obj
-           [ ("ts", Json.Num t0);
-             ("ev", Json.Str "begin");
-             ("name", Json.Str name);
-             ("id", Json.Num (float_of_int id));
-             ("depth", Json.Num (float_of_int st.depth));
-             ("attrs", Json.Obj attrs) ]);
-      st.depth <- st.depth + 1;
+      let id = Atomic.fetch_and_add st.next_id 1 in
+      let depth = Domain.DLS.get st.depth in
+      let dom = dom_id () in
+      let t0 =
+        emit_locked st
+          [ ("ev", Json.Str "begin");
+            ("name", Json.Str name);
+            ("id", Json.Num (float_of_int id));
+            ("dom", Json.Num dom);
+            ("depth", Json.Num (float_of_int !depth));
+            ("attrs", Json.Obj attrs) ]
+      in
+      incr depth;
       Fun.protect
         ~finally:(fun () ->
-          st.depth <- st.depth - 1;
-          let t1 = Clock.now () in
-          st.emit
-            (Json.Obj
-               [ ("ts", Json.Num t1);
-                 ("ev", Json.Str "end");
-                 ("name", Json.Str name);
-                 ("id", Json.Num (float_of_int id));
-                 ("depth", Json.Num (float_of_int st.depth));
-                 ("dur", Json.Num (t1 -. t0)) ]))
+          decr depth;
+          Mutex.lock st.lock;
+          Fun.protect
+            ~finally:(fun () -> Mutex.unlock st.lock)
+            (fun () ->
+              let t1 = Clock.now () in
+              st.emit
+                (Json.Obj
+                   [ ("ts", Json.Num t1);
+                     ("ev", Json.Str "end");
+                     ("name", Json.Str name);
+                     ("id", Json.Num (float_of_int id));
+                     ("dom", Json.Num dom);
+                     ("depth", Json.Num (float_of_int !depth));
+                     ("dur", Json.Num (t1 -. t0)) ])))
         f
 
 let instant ?(attrs = []) t name =
   match t with
   | None -> ()
   | Some st ->
-      st.emit
-        (Json.Obj
-           [ ("ts", Json.Num (Clock.now ()));
-             ("ev", Json.Str "event");
+      let depth = Domain.DLS.get st.depth in
+      ignore
+        (emit_locked st
+           [ ("ev", Json.Str "event");
              ("name", Json.Str name);
-             ("depth", Json.Num (float_of_int st.depth));
+             ("dom", Json.Num (dom_id ()));
+             ("depth", Json.Num (float_of_int !depth));
              ("attrs", Json.Obj attrs) ])
 
 (* ------------------------------------------------------------------ *)
@@ -68,13 +100,41 @@ type tree = {
   children : tree list;
 }
 
+(* Domain key of an event: the "dom" number rendered as a string, or ""
+   for pre-multi-domain traces that never carried one.  Everything in the
+   reconstruction and validation below is grouped by this key — spans
+   from different domains interleave freely in the file but each domain's
+   own begin/end stream is properly nested. *)
+let dom_key j =
+  match Json.mem "dom" j with
+  | Some (Json.Num d) -> Printf.sprintf "%g" d
+  | _ -> ""
+
+(* Partition a list by key, preserving order within each group and the
+   order of first appearance across groups. *)
+let partition_by_dom events =
+  let groups = Hashtbl.create 4 in
+  let order = ref [] in
+  List.iter
+    (fun ev ->
+      let key = dom_key ev in
+      match Hashtbl.find_opt groups key with
+      | Some acc -> acc := ev :: !acc
+      | None ->
+          Hashtbl.add groups key (ref [ ev ]);
+          order := key :: !order)
+    events;
+  List.rev_map
+    (fun key -> (key, List.rev !(Hashtbl.find groups key)))
+    !order
+
 (* Fold the flat event stream back into a forest with an explicit stack of
    open spans.  An "end" closes the frame it belongs to — matched by span
    id when both sides carry one, by name otherwise.  Open frames skipped
    over by a matching end (their own end line was lost — a truncated
    trace) close without a duration, like the trailing unpaired begins at
    end-of-stream; an end with no matching open frame is dropped. *)
-let tree_of_events events =
+let tree_of_dom_events events =
   let attrs_of j =
     match Json.mem "attrs" j with Some (Json.Obj a) -> a | _ -> []
   in
@@ -139,27 +199,51 @@ let tree_of_events events =
   in
   List.rev (drain (roots, stack))
 
+let tree_of_events events =
+  List.concat_map
+    (fun (_, evs) -> tree_of_dom_events evs)
+    (partition_by_dom events)
+
 (* ------------------------------------------------------------------ *)
 (* Validation                                                          *)
 
 (* Structural checks over a numbered event stream (the number is the
    source line, for error messages): every record is a well-formed
-   begin/end/event, timestamps never go backwards, the recorded [depth]
-   matches the begin/end nesting, and every end closes an open span. *)
+   begin/end/event, and — per emitting domain, keyed by the "dom" tag,
+   since spans from different domains interleave in the file — timestamps
+   never go backwards, the recorded [depth] matches the begin/end nesting,
+   and every end closes an open span. *)
+type dom_state = {
+  mutable last_ts : float;
+  mutable vdepth : int;
+  mutable last_line : int;
+}
+
 let validate events =
   let errors = ref [] in
   let error line fmt =
     Printf.ksprintf (fun msg -> errors := (line, msg) :: !errors) fmt
   in
-  let last_ts = ref neg_infinity in
-  let depth = ref 0 in
+  let doms : (string, dom_state) Hashtbl.t = Hashtbl.create 4 in
+  let dom_order = ref [] in
+  let dom_state key =
+    match Hashtbl.find_opt doms key with
+    | Some st -> st
+    | None ->
+        let st = { last_ts = neg_infinity; vdepth = 0; last_line = 0 } in
+        Hashtbl.add doms key st;
+        dom_order := key :: !dom_order;
+        st
+  in
   let check (line, j) =
+    let st = dom_state (dom_key j) in
+    st.last_line <- line;
     (match Json.mem "ts" j with
     | Some (Json.Num ts) ->
-        if ts < !last_ts then
+        if ts < st.last_ts then
           error line
-            "timestamp goes backwards (ts %g after %g)" ts !last_ts
-        else last_ts := ts
+            "timestamp goes backwards (ts %g after %g)" ts st.last_ts
+        else st.last_ts <- ts
     | Some _ -> error line "\"ts\" is not a number"
     | None -> error line "missing \"ts\" field");
     let check_depth expected =
@@ -174,25 +258,33 @@ let validate events =
     in
     match Json.mem "ev" j with
     | Some (Json.Str "begin") ->
-        check_depth !depth;
-        incr depth
+        check_depth st.vdepth;
+        st.vdepth <- st.vdepth + 1
     | Some (Json.Str "end") ->
-        if !depth = 0 then error line "end event without a matching begin"
+        if st.vdepth = 0 then
+          error line "end event without a matching begin"
         else begin
-          decr depth;
-          check_depth !depth
+          st.vdepth <- st.vdepth - 1;
+          check_depth st.vdepth
         end
-    | Some (Json.Str "event") -> check_depth !depth
+    | Some (Json.Str "event") -> check_depth st.vdepth
     | Some (Json.Str ev) -> error line "unknown event kind %S" ev
     | Some _ -> error line "\"ev\" is not a string"
     | None -> error line "missing \"ev\" field"
   in
   List.iter check events;
   let tail_errors =
-    if !depth > 0 then
-      [ ( (match List.rev events with (l, _) :: _ -> l | [] -> 0),
-          Printf.sprintf "%d span(s) still open at end of trace" !depth ) ]
-    else []
+    List.filter_map
+      (fun key ->
+        let st = Hashtbl.find doms key in
+        if st.vdepth > 0 then
+          Some
+            ( st.last_line,
+              Printf.sprintf "%d span(s) still open at end of trace%s"
+                st.vdepth
+                (if key = "" then "" else Printf.sprintf " (dom %s)" key) )
+        else None)
+      (List.rev !dom_order)
   in
   List.rev_append !errors tail_errors
 

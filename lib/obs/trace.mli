@@ -5,10 +5,19 @@
     boundary / instant event to a caller-supplied sink, which makes NDJSON
     export a one-liner.  Span timestamps come from {!Clock}.
 
+    Tracers are domain-safe: span ids come from one atomic counter,
+    nesting depth is domain-local, and emission is serialized through a
+    mutex, so any number of domains (e.g. the workers of an
+    [Archex_parallel.Pool]) can trace into one sink.  Every record
+    carries the emitting domain's id in a ["dom"] field; spans from
+    different domains interleave freely in the file, but each domain's
+    own begin/end stream is properly nested — {!validate} and
+    {!tree_of_events} group by it.
+
     Event schema (one object per line):
-    - [{"ts", "ev":"begin", "name", "id", "depth", "attrs"}]
-    - [{"ts", "ev":"end",   "name", "id", "depth", "dur"}]
-    - [{"ts", "ev":"event", "name", "depth", "attrs"}] *)
+    - [{"ts", "ev":"begin", "name", "id", "dom", "depth", "attrs"}]
+    - [{"ts", "ev":"end",   "name", "id", "dom", "depth", "dur"}]
+    - [{"ts", "ev":"event", "name", "dom", "depth", "attrs"}] *)
 
 type t
 
@@ -44,7 +53,10 @@ type tree = {
 }
 
 val tree_of_events : Json.t list -> tree list
-(** Rebuild the forest from begin/end/event records.  End events are
+(** Rebuild the forest from begin/end/event records.  Events are first
+    grouped by their ["dom"] tag (absent tags form one group, so
+    single-domain traces behave as before) and one forest is built per
+    domain, concatenated in order of first appearance.  End events are
     matched to their begin by span id (by name when either side has no
     id), so a truncated trace degrades gracefully: a span whose end line
     was lost — trailing or interior — becomes a node with [dur = None]
@@ -54,9 +66,13 @@ val tree_of_events : Json.t list -> tree list
 val validate : (int * Json.t) list -> (int * string) list
 (** Structural validation of a numbered event stream (the [int] is the
     source line number, echoed in the errors): well-formed
-    begin/end/event records, non-decreasing timestamps, [depth] fields
+    begin/end/event records, and — per emitting domain, keyed by the
+    ["dom"] tag, since spans from different domains interleave in a
+    multi-domain trace — non-decreasing timestamps, [depth] fields
     consistent with the begin/end nesting, no end without a begin, and no
-    span left open at end of stream.  Empty result = valid. *)
+    span left open at end of stream.  Events without a ["dom"] tag share
+    one implicit domain, so single-domain traces are validated exactly as
+    before.  Empty result = valid. *)
 
 val pp_tree : Format.formatter -> tree list -> unit
 (** Indented rendering, one node per line:

@@ -22,6 +22,14 @@ val cancel : t -> unit
 val is_cancelled : t -> bool
 (** Poll the flag (and the parent chain).  Lock-free. *)
 
+val cancelled_at : t -> float option
+(** Monotonic time ({!Archex_obs.Clock.now}) of the first {!cancel} on
+    this token — or, when the token itself was never cancelled, on the
+    nearest cancelled ancestor.  [None] while uncancelled.  The
+    difference between "now" at the point a worker actually wound down
+    and this stamp is the cancellation latency the scheduler telemetry
+    reports. *)
+
 val guard : t -> unit -> bool
 (** [guard t] is [fun () -> is_cancelled t] — the shape solver backends
     take as [?should_stop]. *)

@@ -1,17 +1,65 @@
+module Obs = Archex_obs
+
+(* A queued job remembers when it was enqueued so the scheduler can
+   report queue-wait latency; the job body receives the executing
+   worker's slot (0 = the calling domain, 1.. = spawned workers) so
+   per-domain series can be attributed. *)
+type job = { body : int -> unit; enqueued_at : float }
+
 type t = {
   jobs : int;
-  queue : (unit -> unit) Queue.t;
+  queue : job Queue.t;
   lock : Mutex.t;
   nonempty : Condition.t;
   mutable stopped : bool;
   mutable workers : unit Domain.t list;
+  (* telemetry — every handle comes from the pool's [?obs] registry, so
+     with the default null context all of this is shared write-only
+     dummies and the hot path stays allocation-free *)
+  timed : bool;  (* skip Clock reads entirely when nothing records them *)
+  busy : int Atomic.t;
+  queue_depth : Obs.Metrics.gauge;
+  workers_busy : Obs.Metrics.gauge;
+  enqueued_c : Obs.Metrics.counter;
+  started_c : Obs.Metrics.counter;
+  finished_c : Obs.Metrics.counter;
+  job_seconds : Obs.Metrics.histogram;
+  queue_wait : Obs.Metrics.histogram;
+  slot_busy : Obs.Metrics.counter array;  (* busy seconds per slot *)
+  trace : Obs.Trace.t;
 }
 
 let default_jobs () = Domain.recommended_domain_count ()
 
 let jobs t = t.jobs
 
-let rec worker_loop t =
+let now t = if t.timed then Obs.Clock.now () else 0.
+
+(* Execute one dequeued job on [slot], tracking the idle→busy→idle
+   transition, queue wait and run time. *)
+let exec t slot job =
+  let t0 = now t in
+  Obs.Metrics.incr t.started_c;
+  Obs.Metrics.set t.workers_busy
+    (float_of_int (1 + Atomic.fetch_and_add t.busy 1));
+  if t.timed then Obs.Metrics.observe t.queue_wait (t0 -. job.enqueued_at);
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.Metrics.set t.workers_busy
+        (float_of_int (Atomic.fetch_and_add t.busy (-1) - 1));
+      Obs.Metrics.incr t.finished_c;
+      if t.timed then begin
+        let dt = Obs.Clock.now () -. t0 in
+        Obs.Metrics.observe t.job_seconds dt;
+        Obs.Metrics.add t.slot_busy.(slot) dt
+      end)
+    (fun () ->
+      Obs.Trace.with_span
+        ~attrs:[ ("slot", Obs.Json.Num (float_of_int slot)) ]
+        t.trace "pool.job"
+        (fun () -> job.body slot))
+
+let rec worker_loop t slot =
   Mutex.lock t.lock;
   while Queue.is_empty t.queue && not t.stopped do
     Condition.wait t.nonempty t.lock
@@ -19,25 +67,45 @@ let rec worker_loop t =
   if Queue.is_empty t.queue then Mutex.unlock t.lock
   else begin
     let job = Queue.pop t.queue in
+    Obs.Metrics.set t.queue_depth (float_of_int (Queue.length t.queue));
     Mutex.unlock t.lock;
-    job ();
-    worker_loop t
+    exec t slot job;
+    worker_loop t slot
   end
 
-let create ~jobs () =
+let create ?(obs = Obs.Ctx.null) ~jobs () =
   if jobs < 1 then invalid_arg "Pool.create: jobs must be >= 1";
+  let metrics = Obs.Ctx.metrics obs in
+  let counter = Obs.Metrics.counter metrics in
   let t =
     { jobs;
       queue = Queue.create ();
       lock = Mutex.create ();
       nonempty = Condition.create ();
       stopped = false;
-      workers = [] }
+      workers = [];
+      timed = Obs.Metrics.enabled metrics;
+      busy = Atomic.make 0;
+      queue_depth = Obs.Metrics.gauge metrics "pool.queue_depth";
+      workers_busy = Obs.Metrics.gauge metrics "pool.workers_busy";
+      enqueued_c = counter "pool.jobs_enqueued";
+      started_c = counter "pool.jobs_started";
+      finished_c = counter "pool.jobs_finished";
+      job_seconds = Obs.Metrics.histogram metrics "pool.job_seconds";
+      queue_wait = Obs.Metrics.histogram metrics "pool.queue_wait_seconds";
+      slot_busy =
+        Array.init jobs (fun i ->
+            counter (Printf.sprintf "pool.worker_busy_seconds{domain=%S}"
+                       (string_of_int i)));
+      trace = Obs.Ctx.trace obs }
   in
+  Obs.Metrics.set (Obs.Metrics.gauge metrics "pool.size") (float_of_int jobs);
   (* the caller's domain participates in every [run], so a pool of [jobs]
      spawns jobs - 1 extra domains; jobs = 1 degrades to plain serial
      execution with no domain at all *)
-  t.workers <- List.init (jobs - 1) (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  t.workers <-
+    List.init (jobs - 1) (fun i ->
+        Domain.spawn (fun () -> worker_loop t (i + 1)));
   t
 
 let shutdown t =
@@ -61,7 +129,7 @@ let run t thunks =
     let remaining = Atomic.make n in
     let done_lock = Mutex.create () in
     let done_cond = Condition.create () in
-    let task i () =
+    let task i _slot =
       (try results.(i) <- Some (thunks.(i) ())
        with e ->
          let bt = Printexc.get_raw_backtrace () in
@@ -74,22 +142,33 @@ let run t thunks =
         Mutex.unlock done_lock
       end
     in
+    Obs.Trace.instant
+      ~attrs:[ ("jobs", Obs.Json.Num (float_of_int n)) ]
+      t.trace "pool.enqueue";
+    let enqueued_at = now t in
     Mutex.lock t.lock;
     for i = 0 to n - 1 do
-      Queue.add (task i) t.queue
+      Queue.add { body = task i; enqueued_at } t.queue
     done;
+    Obs.Metrics.add t.enqueued_c (float_of_int n);
+    Obs.Metrics.set t.queue_depth (float_of_int (Queue.length t.queue));
     Condition.broadcast t.nonempty;
     Mutex.unlock t.lock;
-    (* the caller drains the queue alongside the workers ... *)
+    (* the caller drains the queue alongside the workers (slot 0) ... *)
     let rec drain () =
       Mutex.lock t.lock;
       let job =
-        if Queue.is_empty t.queue then None else Some (Queue.pop t.queue)
+        if Queue.is_empty t.queue then None
+        else begin
+          let job = Queue.pop t.queue in
+          Obs.Metrics.set t.queue_depth (float_of_int (Queue.length t.queue));
+          Some job
+        end
       in
       Mutex.unlock t.lock;
       match job with
       | Some j ->
-          j ();
+          exec t 0 j;
           drain ()
       | None -> ()
     in
@@ -111,6 +190,6 @@ let run t thunks =
 
 let map t f items = run t (List.map (fun x () -> f x) items)
 
-let with_pool ~jobs f =
-  let t = create ~jobs () in
+let with_pool ?obs ~jobs f =
+  let t = create ?obs ~jobs () in
   Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)

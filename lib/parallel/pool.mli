@@ -9,11 +9,23 @@
     ({!Stdlib.Atomic}, {!Shared_best}, the Atomic-backed
     [Archex_obs.Metrics]); everything else they touch should be
     task-local.  Pools are cheap enough to create per operation
-    (one [Domain.spawn] per extra worker). *)
+    (one [Domain.spawn] per extra worker).
+
+    {b Telemetry.}  A pool created with [?obs] reports scheduler state
+    into the context's metrics registry: gauges [pool.size],
+    [pool.queue_depth] and [pool.workers_busy]; counters
+    [pool.jobs_enqueued] / [pool.jobs_started] / [pool.jobs_finished]
+    and per-slot [pool.worker_busy_seconds{domain="i"}] (slot 0 is the
+    calling domain); histograms [pool.job_seconds] and
+    [pool.queue_wait_seconds].  When the context carries a tracer, each
+    executed job is a [pool.job] span (tagged with its slot) on the
+    executing domain and each {!run} submission a [pool.enqueue]
+    instant.  With the default null context all handles are shared
+    dummies and nothing is timed. *)
 
 type t
 
-val create : jobs:int -> unit -> t
+val create : ?obs:Archex_obs.Ctx.t -> jobs:int -> unit -> t
 (** @raise Invalid_argument when [jobs < 1]. *)
 
 val jobs : t -> int
@@ -34,5 +46,5 @@ val shutdown : t -> unit
 (** Stop the workers and join their domains.  Idempotent.  Submitted
     work still queued is completed first. *)
 
-val with_pool : jobs:int -> (t -> 'a) -> 'a
+val with_pool : ?obs:Archex_obs.Ctx.t -> jobs:int -> (t -> 'a) -> 'a
 (** [create], run, and [shutdown] even on exception. *)

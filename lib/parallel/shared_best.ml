@@ -2,9 +2,14 @@
    Publication is a compare-and-set loop keeping the minimum, so any
    number of domains can race improving incumbents without a lock; the
    solution array must not be mutated after publication (both exact
-   backends allocate a fresh array per incumbent, so sharing is free). *)
+   backends allocate a fresh array per incumbent, so sharing is free).
+   Each entry carries its publication time so adopters can report the
+   install latency — how long an incumbent sat in the cell before a
+   sibling pruned with it. *)
 
-type t = (float * float array) option Atomic.t
+type entry = { cost : float; solution : float array; published_at : float }
+
+type t = entry option Atomic.t
 
 let create () = Atomic.make None
 
@@ -13,18 +18,29 @@ let tol c = 1e-9 *. Float.max 1. (Float.abs c)
 let improves cell cost =
   match Atomic.get cell with
   | None -> true
-  | Some (best, _) -> cost < best -. tol best
+  | Some e -> cost < e.cost -. tol e.cost
 
-let rec publish cell cost solution =
-  let seen = Atomic.get cell in
-  let better =
-    match seen with
-    | None -> true
-    | Some (best, _) -> cost < best -. tol best
+let publish cell cost solution =
+  let fresh = { cost; solution; published_at = Archex_obs.Clock.now () } in
+  let rec attempt () =
+    let seen = Atomic.get cell in
+    let better =
+      match seen with
+      | None -> true
+      | Some e -> cost < e.cost -. tol e.cost
+    in
+    if not better then false
+    else if Atomic.compare_and_set cell seen (Some fresh) then true
+    else attempt ()
   in
-  if not better then false
-  else if Atomic.compare_and_set cell seen (Some (cost, solution)) then true
-  else publish cell cost solution
+  attempt ()
 
-let get cell = Atomic.get cell
-let best_cost cell = Option.map fst (Atomic.get cell)
+let get cell =
+  Option.map (fun e -> (e.cost, e.solution)) (Atomic.get cell)
+
+let get_timed cell =
+  Option.map
+    (fun e -> (e.cost, e.solution, e.published_at))
+    (Atomic.get cell)
+
+let best_cost cell = Option.map (fun e -> e.cost) (Atomic.get cell)

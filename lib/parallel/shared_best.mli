@@ -22,4 +22,10 @@ val improves : t -> float -> bool
     use only to skip building a solution copy.) *)
 
 val get : t -> (float * float array) option
+
+val get_timed : t -> (float * float array * float) option
+(** Like {!get}, with the {!Archex_obs.Clock.now} stamp taken when the
+    entry was published — the adopter's [now - published_at] is the
+    incumbent install latency reported by the scheduler telemetry. *)
+
 val best_cost : t -> float option

@@ -25,8 +25,8 @@ let sample_shard ~seed ~index ~count net ~sink =
   done;
   !failures
 
-let estimate_sink_failure ?(seed = 0x5eed) ?(jobs = 1) ?pool ~trials net
-    ~sink =
+let estimate_sink_failure ?obs ?(seed = 0x5eed) ?(jobs = 1) ?pool ~trials
+    net ~sink =
   if trials <= 0 then invalid_arg "Monte_carlo: trials must be positive";
   if jobs < 1 then invalid_arg "Monte_carlo: jobs must be positive";
   let counts = shard_counts trials in
@@ -39,7 +39,7 @@ let estimate_sink_failure ?(seed = 0x5eed) ?(jobs = 1) ?pool ~trials net
         Archex_parallel.Pool.map p run indices
     | Some _ -> List.map run indices
     | None when jobs > 1 && n_shards > 1 ->
-        Archex_parallel.Pool.with_pool
+        Archex_parallel.Pool.with_pool ?obs
           ~jobs:(min jobs n_shards)
           (fun p -> Archex_parallel.Pool.map p run indices)
     | None -> List.map run indices

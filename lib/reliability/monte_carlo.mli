@@ -32,12 +32,16 @@ type estimate = {
 }
 
 val estimate_sink_failure :
-  ?seed:int -> ?jobs:int -> ?pool:Archex_parallel.Pool.t ->
+  ?obs:Archex_obs.Ctx.t -> ?seed:int -> ?jobs:int ->
+  ?pool:Archex_parallel.Pool.t ->
   trials:int -> Fail_model.t -> sink:int -> estimate
 (** [seed] defaults to [0x5eed] (fixed, see the PRNG note above).
     [jobs] (default 1) samples the shards on that many domains; [pool]
     reuses an existing {!Archex_parallel.Pool} instead of spinning one
-    up.  The estimate is bit-identical for any [jobs]/[pool] choice.
+    up.  [obs] instruments a pool created here with the scheduler
+    telemetry (ignored when [pool] is given — that pool already carries
+    its own).  The estimate is bit-identical for any [jobs]/[pool]
+    choice.
     @raise Invalid_argument if [trials ≤ 0] or [jobs < 1]. *)
 
 val confidence_interval : ?z:float -> estimate -> float * float

@@ -264,9 +264,9 @@ let test_diff_missing_and_added () =
   let entries = diff_exn baseline current in
   checkb "dropped series is missing" true
     ((entry_for entries ~case:"c" ~series:"b").Bench.verdict = Bench.Missing);
-  checkb "new series is added, not a failure" true
-    ((entry_for entries ~case:"c" ~series:"extra").Bench.verdict
-    = Bench.Added);
+  checkb "new series is new, not a failure" true
+    ((entry_for entries ~case:"c" ~series:"extra").Bench.verdict = Bench.New);
+  checkb "new series trips strict mode" true (Bench.has_new entries);
   checkb "missing counts as regression" true (Bench.regression entries);
   (* a whole vanished case regresses too *)
   let entries =

@@ -1,0 +1,424 @@
+(* Tests for the runtime telemetry layer: Prometheus exposition
+   round-trip (parsed with a test-local reader of the 0.0.4 text
+   format), the background metrics sampler (start/stop idempotence under
+   jobs=1 and jobs=4 pool load), the persistent run registry
+   (write/list/load/diff on seeded runs), and a multi-domain trace
+   regression test — a jobs=4 pool tracing into one sink must produce a
+   stream that [Trace.validate] accepts. *)
+
+module J = Archex_obs.Json
+module Metrics = Archex_obs.Metrics
+module Runtime = Archex_obs.Runtime
+module Reg = Archex_obs.Run_registry
+module Trace = Archex_obs.Trace
+module Ctx = Archex_obs.Ctx
+module Bench = Archex_obs.Bench_compare
+module Pool = Archex_parallel.Pool
+
+let checkb = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let checkf eps = Alcotest.(check (float eps))
+
+(* ------------------------------------------------------------------ *)
+(* A minimal parser for the Prometheus text exposition format — just
+   enough to read back what [Metrics.to_prometheus] writes: [# TYPE]
+   lines and [name{labels} value] samples. *)
+
+type prom = {
+  types : (string * string) list;       (* family name -> kind *)
+  samples : (string * float) list;      (* full series name -> value *)
+}
+
+let parse_prometheus text =
+  let lines =
+    String.split_on_char '\n' text
+    |> List.filter (fun l -> String.trim l <> "")
+  in
+  List.fold_left
+    (fun acc line ->
+      if String.length line > 0 && line.[0] = '#' then
+        match String.split_on_char ' ' line with
+        | [ "#"; "TYPE"; name; kind ] ->
+            { acc with types = (name, kind) :: acc.types }
+        | _ -> Alcotest.failf "unparseable comment line: %s" line
+      else
+        (* The series name may contain a label block with spaces inside
+           quoted values; the value is everything after the last space. *)
+        match String.rindex_opt line ' ' with
+        | None -> Alcotest.failf "unparseable sample line: %s" line
+        | Some i ->
+            let name = String.sub line 0 i in
+            let v = String.sub line (i + 1) (String.length line - i - 1) in
+            let value =
+              if v = "+Inf" then infinity
+              else
+                match float_of_string_opt v with
+                | Some f -> f
+                | None -> Alcotest.failf "unparseable value %S in: %s" v line
+            in
+            { acc with samples = (name, value) :: acc.samples })
+    { types = []; samples = [] }
+    lines
+  |> fun p -> { types = List.rev p.types; samples = List.rev p.samples }
+
+let sample_exn p name =
+  match List.assoc_opt name p.samples with
+  | Some v -> v
+  | None -> Alcotest.failf "series %s absent from exposition" name
+
+(* Cumulative histogram buckets for [family]: [(le, count)] in file
+   order. *)
+let buckets_of p family =
+  List.filter_map
+    (fun (name, v) ->
+      let prefix = family ^ "_bucket{le=\"" in
+      let plen = String.length prefix in
+      if String.length name > plen && String.sub name 0 plen = prefix then
+        let le = String.sub name plen (String.length name - plen - 2) in
+        let le = if le = "+Inf" then infinity else float_of_string le in
+        Some (le, v)
+      else None)
+    p.samples
+
+(* ------------------------------------------------------------------ *)
+(* Prometheus exposition round-trip                                    *)
+
+let test_prometheus_roundtrip () =
+  let m = Metrics.create () in
+  let c = Metrics.counter m "pool.jobs_finished" in
+  let g = Metrics.gauge m "pool.queue_depth" in
+  let h = Metrics.histogram m "pool.job_seconds" in
+  let d0 = Metrics.counter m "pool.worker_busy_seconds{domain=\"0\"}" in
+  let d1 = Metrics.counter m "pool.worker_busy_seconds{domain=\"1\"}" in
+  Metrics.add c 7.;
+  Metrics.set g 3.;
+  Metrics.add d0 0.25;
+  Metrics.add d1 0.5;
+  List.iter (Metrics.observe h) [ 0.001; 0.002; 0.004; 0.1; 2.0 ];
+  let p = parse_prometheus (Metrics.to_prometheus m) in
+  (* Families are typed once, dotted names sanitized to underscores. *)
+  checkb "counter family typed" true
+    (List.assoc_opt "pool_jobs_finished" p.types = Some "counter");
+  checkb "gauge family typed" true
+    (List.assoc_opt "pool_queue_depth" p.types = Some "gauge");
+  checkb "histogram family typed" true
+    (List.assoc_opt "pool_job_seconds" p.types = Some "histogram");
+  checkb "labeled family typed once" true
+    (List.length
+       (List.filter
+          (fun (n, _) -> n = "pool_worker_busy_seconds")
+          p.types)
+    = 1);
+  (* Scalar values survive the round trip. *)
+  checkf 1e-9 "counter value" 7. (sample_exn p "pool_jobs_finished");
+  checkf 1e-9 "gauge value" 3. (sample_exn p "pool_queue_depth");
+  (* The label block passes through sanitization verbatim. *)
+  checkf 1e-9 "domain 0 busy" 0.25
+    (sample_exn p "pool_worker_busy_seconds{domain=\"0\"}");
+  checkf 1e-9 "domain 1 busy" 0.5
+    (sample_exn p "pool_worker_busy_seconds{domain=\"1\"}");
+  (* Histogram: buckets are cumulative, non-decreasing, end at +Inf and
+     agree with _count; _sum matches the registry's own accounting. *)
+  let buckets = buckets_of p "pool_job_seconds" in
+  checkb "histogram has buckets" true (buckets <> []);
+  let les = List.map fst buckets in
+  let counts = List.map snd buckets in
+  checkb "le bounds ascend" true
+    (List.sort compare les = les);
+  checkb "bucket counts are cumulative" true
+    (List.sort compare counts = counts);
+  let last_le, last_count = List.nth buckets (List.length buckets - 1) in
+  checkb "last bucket is +Inf" true (last_le = infinity);
+  checkf 1e-9 "last bucket equals _count" last_count
+    (sample_exn p "pool_job_seconds_count");
+  checkf 1e-9 "_count matches registry" 5.
+    (sample_exn p "pool_job_seconds_count");
+  checkf 1e-9 "_sum matches registry" (Metrics.histogram_sum h)
+    (sample_exn p "pool_job_seconds_sum")
+
+let test_prometheus_counter_monotone () =
+  let m = Metrics.create () in
+  let c = Metrics.counter m "solve.calls" in
+  Metrics.incr c;
+  let v1 = sample_exn (parse_prometheus (Metrics.to_prometheus m)) "solve_calls" in
+  Metrics.incr c;
+  Metrics.incr c;
+  let v2 = sample_exn (parse_prometheus (Metrics.to_prometheus m)) "solve_calls" in
+  checkf 1e-9 "first snapshot" 1. v1;
+  checkf 1e-9 "second snapshot" 3. v2;
+  checkb "counter is monotone across snapshots" true (v2 > v1)
+
+let test_prometheus_file_atomic () =
+  let path = Filename.temp_file "archex_prom" ".prom" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      let m = Metrics.create () in
+      Metrics.set (Metrics.gauge m "pool.size") 4.;
+      Metrics.write_prometheus_file m path;
+      let ic = open_in path in
+      let n = in_channel_length ic in
+      let text = really_input_string ic n in
+      close_in ic;
+      checkb "file content is the exposition" true
+        (text = Metrics.to_prometheus m);
+      checkb "no temp file left behind" true
+        (Array.for_all
+           (fun f -> f = Filename.basename path)
+           (Array.of_list
+              (List.filter
+                 (fun f ->
+                   String.length f >= 11
+                   && String.sub f 0 11 = "archex_prom")
+                 (Array.to_list (Sys.readdir (Filename.dirname path)))))))
+
+(* ------------------------------------------------------------------ *)
+(* Background sampler                                                  *)
+
+let run_pool_load ~jobs =
+  let m = Metrics.create () in
+  let obs = Ctx.make ~metrics:m () in
+  Pool.with_pool ~obs ~jobs (fun p ->
+      let out = Pool.map p (fun x -> x * x) (List.init 64 Fun.id) in
+      check_int "pool load result" (63 * 63) (List.nth out 63));
+  m
+
+let test_sampler_idempotent_stop () =
+  List.iter
+    (fun jobs ->
+      let m = Metrics.create () in
+      let obs = Ctx.make ~metrics:m () in
+      let seen = ref [] in
+      let lock = Mutex.create () in
+      let sink j =
+        Mutex.lock lock;
+        seen := j :: !seen;
+        Mutex.unlock lock
+      in
+      let s = Runtime.start ~period:0.005 ~ndjson:sink m in
+      Pool.with_pool ~obs ~jobs (fun p ->
+          ignore (Pool.map p (fun x -> x + 1) (List.init 64 Fun.id)));
+      Runtime.stop s;
+      let n1 = Runtime.samples s in
+      Runtime.stop s;
+      (* idempotent: second stop is a no-op *)
+      let n2 = Runtime.samples s in
+      check_int
+        (Printf.sprintf "jobs=%d second stop takes no sample" jobs)
+        n1 n2;
+      checkb
+        (Printf.sprintf "jobs=%d at least initial+final samples" jobs)
+        true (n1 >= 2);
+      check_int
+        (Printf.sprintf "jobs=%d sink saw every sample" jobs)
+        n1
+        (List.length !seen);
+      (* Every sample is a {"ts"; "elapsed"; "metrics"} object and the
+         final one carries the pool counters. *)
+      List.iter
+        (fun j ->
+          checkb "sample has ts" true (J.mem "ts" j <> None);
+          checkb "sample has elapsed" true (J.mem "elapsed" j <> None);
+          checkb "sample has metrics" true (J.mem "metrics" j <> None))
+        !seen;
+      let last = List.hd !seen in
+      let finished =
+        Option.bind (J.mem "metrics" last) (J.mem "pool.jobs_finished")
+        |> Fun.flip Option.bind J.to_float
+      in
+      checkb
+        (Printf.sprintf "jobs=%d final sample has 64 finished jobs" jobs)
+        true
+        (finished = Some 64.))
+    [ 1; 4 ]
+
+let test_sampler_with_sampler () =
+  let m = run_pool_load ~jobs:1 in
+  let count =
+    Runtime.with_sampler ~period:0.005 m (fun s ->
+        Runtime.sample s;
+        Runtime.samples s)
+  in
+  checkb "forced sample counted" true (count >= 2)
+
+(* ------------------------------------------------------------------ *)
+(* Run registry                                                        *)
+
+let with_temp_root f =
+  let root =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "archex_runs_%d" (Unix.getpid ()))
+  in
+  let rec rm path =
+    if Sys.is_directory path then begin
+      Array.iter (fun e -> rm (Filename.concat path e)) (Sys.readdir path);
+      Unix.rmdir path
+    end
+    else Sys.remove path
+  in
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists root then rm root)
+    (fun () -> f root)
+
+let record_seeded ~root ~started ~wall_s ~iterations =
+  match
+    Reg.record ~root ~command:"mr"
+      ~argv:[ "archex"; "mr"; "--seeded" ]
+      ~model_hash:"cafebabecafebabecafebabecafebabe" ~verdict:"ok"
+      ~exit_code:0 ~started ~wall_s
+      ~series:[ ("mr.iterations", iterations) ]
+      ()
+  with
+  | Ok meta -> meta
+  | Error e -> Alcotest.failf "record failed: %s" e
+
+let test_registry_record_list_load () =
+  with_temp_root (fun root ->
+      let fast = record_seeded ~root ~started:1000. ~wall_s:0.05 ~iterations:3. in
+      let slow = record_seeded ~root ~started:2000. ~wall_s:5.0 ~iterations:3. in
+      checkb "ids differ" true (fast.Reg.id <> slow.Reg.id);
+      check_int "id is 12 hex chars" 12 (String.length fast.Reg.id);
+      (match Reg.list_runs ~root () with
+      | Error e -> Alcotest.failf "list failed: %s" e
+      | Ok runs ->
+          check_int "two runs listed" 2 (List.length runs);
+          (* sorted by start time *)
+          checkb "sorted by started" true
+            ((List.hd runs).Reg.started <= (List.nth runs 1).Reg.started));
+      (* load by full id and by unique prefix *)
+      (match Reg.load ~root fast.Reg.id with
+      | Ok m ->
+          checkb "full-id load" true (m.Reg.id = fast.Reg.id);
+          checkf 1e-9 "wall_s survives" 0.05 m.Reg.wall_s;
+          checkb "model hash survives" true
+            (m.Reg.model_hash = Some "cafebabecafebabecafebabecafebabe");
+          checkb "series survives" true
+            (List.assoc_opt "mr.iterations" m.Reg.series = Some 3.);
+          checkb "wall_s always in series" true
+            (List.mem_assoc "wall_s" m.Reg.series)
+      | Error e -> Alcotest.failf "load failed: %s" e);
+      (match Reg.load ~root (String.sub fast.Reg.id 0 6) with
+      | Ok m -> checkb "prefix load" true (m.Reg.id = fast.Reg.id)
+      | Error e -> Alcotest.failf "prefix load failed: %s" e);
+      (match Reg.load ~root "ffffffffffff" with
+      | Ok _ -> Alcotest.fail "bogus id resolved"
+      | Error _ -> ());
+      (* meta.json round-trips through the JSON codec *)
+      match Reg.meta_of_json (Reg.meta_to_json fast) with
+      | Ok m -> checkb "meta round-trip" true (m = fast)
+      | Error e -> Alcotest.failf "meta round-trip failed: %s" e)
+
+let test_registry_diff_detects_slowdown () =
+  with_temp_root (fun root ->
+      let fast = record_seeded ~root ~started:1000. ~wall_s:0.05 ~iterations:3. in
+      let slow = record_seeded ~root ~started:2000. ~wall_s:5.0 ~iterations:3. in
+      (match
+         Bench.diff
+           ~baseline:(Reg.bench_artifact fast)
+           ~current:(Reg.bench_artifact slow)
+           ()
+       with
+      | Error e -> Alcotest.failf "diff failed: %s" e
+      | Ok entries ->
+          checkb "100x slowdown regresses" true (Bench.regression entries);
+          let wall =
+            List.find (fun e -> e.Bench.series = "wall_s") entries
+          in
+          checkb "wall_s is the regressed series" true
+            (wall.Bench.verdict = Bench.Regressed));
+      (* a run diffed against itself is clean *)
+      match
+        Bench.diff
+          ~baseline:(Reg.bench_artifact fast)
+          ~current:(Reg.bench_artifact fast)
+          ()
+      with
+      | Error e -> Alcotest.failf "self diff failed: %s" e
+      | Ok entries ->
+          checkb "self-diff has no regression" false
+            (Bench.regression entries);
+          checkb "self-diff has no new series" false (Bench.has_new entries))
+
+(* ------------------------------------------------------------------ *)
+(* Multi-domain tracing                                                *)
+
+let test_trace_valid_under_jobs4 () =
+  let trace, events = Trace.memory () in
+  let m = Metrics.create () in
+  let obs = Ctx.make ~trace ~metrics:m () in
+  Pool.with_pool ~obs ~jobs:4 (fun p ->
+      ignore
+        (Pool.map p
+           (fun x ->
+             (* nested span inside the pool.job span, on whatever domain
+                picked the job up *)
+             Trace.with_span trace "work" (fun () -> x * 2))
+           (List.init 32 Fun.id)));
+  let numbered = List.mapi (fun i e -> (i + 1, e)) (events ()) in
+  let errors = Trace.validate numbered in
+  List.iter
+    (fun (line, msg) -> Printf.eprintf "trace error %d: %s\n" line msg)
+    errors;
+  check_int "jobs=4 trace validates cleanly" 0 (List.length errors);
+  (* The stream reconstructs into a forest containing the pool.job spans
+     with their nested work spans, grouped per domain. *)
+  let forest = Trace.tree_of_events (events ()) in
+  let rec count_spans name trees =
+    List.fold_left
+      (fun acc t ->
+        acc
+        + (if t.Trace.name = name then 1 else 0)
+        + count_spans name t.Trace.children)
+      0 trees
+  in
+  check_int "32 pool.job spans" 32 (count_spans "pool.job" forest);
+  check_int "32 nested work spans" 32 (count_spans "work" forest);
+  (* Every record carries a domain tag; with 4 workers + the caller the
+     tag set is small but at least one domain emitted. *)
+  let doms =
+    List.sort_uniq compare
+      (List.filter_map (fun e -> J.mem "dom" e) (events ()))
+  in
+  checkb "dom tags present" true (doms <> []);
+  (* Per-slot busy counters landed under the labeled naming scheme. *)
+  let busy_total =
+    List.init 4 (fun i ->
+        Option.value ~default:0.
+          (Metrics.value m
+             (Printf.sprintf "pool.worker_busy_seconds{domain=%S}"
+                (string_of_int i))))
+    |> List.fold_left ( +. ) 0.
+  in
+  checkb "some slot accumulated busy time" true (busy_total > 0.)
+
+let () =
+  Alcotest.run "runtime"
+    [
+      ( "prometheus",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_prometheus_roundtrip;
+          Alcotest.test_case "counter monotone" `Quick
+            test_prometheus_counter_monotone;
+          Alcotest.test_case "atomic file write" `Quick
+            test_prometheus_file_atomic;
+        ] );
+      ( "sampler",
+        [
+          Alcotest.test_case "stop idempotent (jobs=1,4)" `Quick
+            test_sampler_idempotent_stop;
+          Alcotest.test_case "with_sampler" `Quick test_sampler_with_sampler;
+        ] );
+      ( "registry",
+        [
+          Alcotest.test_case "record/list/load" `Quick
+            test_registry_record_list_load;
+          Alcotest.test_case "diff detects slowdown" `Quick
+            test_registry_diff_detects_slowdown;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "jobs=4 trace validates" `Quick
+            test_trace_valid_under_jobs4;
+        ] );
+    ]
