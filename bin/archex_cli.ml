@@ -74,7 +74,20 @@ type obs_opts = {
   progress : bool;
   search_log_file : string option;
   no_record : bool;
+  runtime_events : bool;
 }
+
+(* --sample-period must be strictly positive: zero or negative would
+   busy-loop the sampler domain.  Rejected at parse time so the error
+   names the flag instead of surfacing as Runtime.start's exception. *)
+let pos_float_conv =
+  let parse s =
+    match float_of_string_opt s with
+    | Some v when v > 0. -> Ok v
+    | Some _ -> Error (`Msg "must be strictly positive")
+    | None -> Error (`Msg (Printf.sprintf "invalid value %S" s))
+  in
+  Arg.conv (parse, fun ppf v -> Format.fprintf ppf "%g" v)
 
 let obs_args =
   let trace_arg =
@@ -114,7 +127,7 @@ let obs_args =
       "Sampling period in seconds for $(b,--metrics-out) and \
        $(b,--metrics-stream)."
     in
-    Arg.(value & opt float 1.0
+    Arg.(value & opt pos_float_conv 1.0
          & info [ "sample-period" ] ~doc ~docv:"SECONDS")
   in
   let progress_arg =
@@ -140,13 +153,27 @@ let obs_args =
     in
     Arg.(value & flag & info [ "no-record" ] ~doc)
   in
+  let runtime_events_arg =
+    let doc =
+      "Bridge the OCaml runtime's GC events into the observability \
+       outputs: per-domain $(b,gc.*) spans in the $(b,--trace) stream \
+       (rendered as GC tracks by $(b,trace-export --chrome), attributed \
+       to enclosing spans by $(b,trace-profile)) and a \
+       $(b,gc.pause_seconds) histogram plus per-domain pause counters \
+       in the metrics registry."
+    in
+    Arg.(value & flag & info [ "runtime-events" ] ~doc)
+  in
   Term.(
     const (fun trace_file metrics_file metrics_out metrics_stream
-               sample_period progress search_log_file no_record ->
+               sample_period progress search_log_file no_record
+               runtime_events ->
         { trace_file; metrics_file; metrics_out; metrics_stream;
-          sample_period; progress; search_log_file; no_record })
+          sample_period; progress; search_log_file; no_record;
+          runtime_events })
     $ trace_arg $ metrics_arg $ metrics_out_arg $ metrics_stream_arg
-    $ period_arg $ progress_arg $ search_log_arg $ no_record_arg)
+    $ period_arg $ progress_arg $ search_log_arg $ no_record_arg
+    $ runtime_events_arg)
 
 let stats_arg =
   let doc = "Print per-iteration solver statistics." in
@@ -273,20 +300,34 @@ let model_hash_of template =
    noise between runs, so only solver-shaped families are kept. *)
 let series_prefixes =
   [ "mr."; "ar."; "solve."; "pb."; "lp."; "bb."; "rel."; "presolve.";
-    "portfolio."; "progress."; "pool.jobs_" ]
+    "portfolio."; "progress."; "pool.jobs_"; "gc.pause" ]
 
 let series_of_metrics metrics =
   match Archex_obs.Metrics.to_json metrics with
   | Archex_obs.Json.Obj fields ->
-      List.filter_map
+      List.concat_map
         (fun (name, v) ->
-          match v with
-          | Archex_obs.Json.Num x
-            when List.exists
-                   (fun p -> String.starts_with ~prefix:p name)
-                   series_prefixes ->
-              Some (name, x)
-          | _ -> None)
+          if
+            not
+              (List.exists
+                 (fun p -> String.starts_with ~prefix:p name)
+                 series_prefixes)
+          then []
+          else
+            match v with
+            | Archex_obs.Json.Num x -> [ (name, x) ]
+            | Archex_obs.Json.Obj _ ->
+                (* histogram (gc.pause_seconds): record its scalar sum and
+                   count so [runs diff] / [archex trend] can gate on them *)
+                List.filter_map
+                  (fun field ->
+                    Option.map
+                      (fun x -> (name ^ "_" ^ field, x))
+                      (Option.bind
+                         (Archex_obs.Json.mem field v)
+                         Archex_obs.Json.to_float))
+                  [ "sum"; "count" ]
+            | _ -> [])
         fields
   | _ -> []
 
@@ -326,8 +367,17 @@ let with_obs ?record opts f =
     if
       opts.metrics_file = None && opts.metrics_out = None
       && opts.metrics_stream = None && not recording
+      && not opts.runtime_events
     then Archex_obs.Metrics.null
     else Archex_obs.Metrics.create ()
+  in
+  (* the GC bridge needs a live registry for its pause histogram, and a
+     sampler domain to poll its cursor (started below even when no
+     periodic output was asked for) *)
+  let bridge =
+    if opts.runtime_events then
+      Some (Archex_obs.Runtime_events_bridge.start ~trace:tracer metrics ())
+    else None
   in
   let obs = Archex_obs.Ctx.make ~trace:tracer ~metrics ?search_log () in
   (* progress events go to stderr when asked for, and are always recorded
@@ -376,12 +426,13 @@ let with_obs ?record opts f =
   in
   let stream_oc = Option.map open_sink opts.metrics_stream in
   let sampler =
-    if opts.metrics_out = None && stream_oc = None then None
+    if opts.metrics_out = None && stream_oc = None && bridge = None then
+      None
     else
       Some
         (Archex_obs.Runtime.start ~period:opts.sample_period
            ?ndjson:(Option.map ndjson_sink stream_oc)
-           ?prom_path:opts.metrics_out metrics)
+           ?prom_path:opts.metrics_out ?bridge metrics)
   in
   let started = Unix.gettimeofday () in
   let t0 = Archex_obs.Clock.now () in
@@ -395,6 +446,9 @@ let with_obs ?record opts f =
          with exn ->
            Format.eprintf "archex: metrics sampler failed: %s@."
              (Printexc.to_string exn));
+        (* after the sampler (its slices poll the bridge), before the
+           trace sink closes (stop's final poll still emits spans) *)
+        Option.iter Archex_obs.Runtime_events_bridge.stop bridge;
         Option.iter close_out stream_oc;
         Option.iter close_out trace_oc;
         Option.iter close_out search_oc;
@@ -678,25 +732,26 @@ let trace_check_cmd =
 let trace_profile_cmd =
   let run path folded =
     let events = List.map snd (load_trace path) in
-    let forest = Archex_obs.Trace.tree_of_events events in
     if folded then
-      Format.printf "%a" Archex_obs.Profile.pp_folded forest
+      Format.printf "%a" Archex_obs.Profile.pp_folded_events events
     else
       Format.printf "%a" Archex_obs.Profile.pp
-        (Archex_obs.Profile.of_tree forest);
+        (Archex_obs.Profile.of_events events);
     0
   in
   let folded_arg =
     let doc =
       "Print collapsed (folded) stacks — $(i,stack;path weight) lines \
        consumable by flamegraph tooling (inferno, flamegraph.pl, \
-       speedscope) — instead of the profile table."
+       speedscope) — instead of the profile table.  GC pause time \
+       attributed to a stack appears as a $(b,<gc>) leaf frame."
     in
     Arg.(value & flag & info [ "folded" ] ~doc)
   in
   let doc =
     "Aggregate a span trace into a per-span profile (count, total/self \
-     time, share of root) or folded flamegraph stacks."
+     time, share of root; GC pause attribution when the trace was \
+     recorded with $(b,--runtime-events)) or folded flamegraph stacks."
   in
   Cmd.v (Cmd.info "trace-profile" ~doc)
     Term.(const run $ trace_arg_pos $ folded_arg)
@@ -1089,8 +1144,8 @@ let pp_epoch ppf t =
     tm.Unix.tm_sec
 
 let runs_list_cmd =
-  let run root =
-    match Reg.list_runs ?root () with
+  let run root last =
+    match Reg.list_recent ?root ?last () with
     | Error msg ->
         Format.eprintf "runs list: %s@." msg;
         2
@@ -1107,8 +1162,12 @@ let runs_list_cmd =
           metas;
         0
   in
-  let doc = "List recorded runs (oldest first)." in
-  Cmd.v (Cmd.info "list" ~doc) Term.(const run $ runs_root_arg)
+  let last_arg =
+    let doc = "Show only the $(docv) most recent runs." in
+    Arg.(value & opt (some int) None & info [ "last" ] ~doc ~docv:"N")
+  in
+  let doc = "List recorded runs, newest first." in
+  Cmd.v (Cmd.info "list" ~doc) Term.(const run $ runs_root_arg $ last_arg)
 
 let run_id_pos i docv =
   Arg.(required & pos i (some string) None
@@ -1232,6 +1291,104 @@ let runs_cmd =
     [ runs_list_cmd; runs_show_cmd; runs_diff_cmd ]
 
 (* ------------------------------------------------------------------ *)
+(* archex trend — regression verdict over registry history             *)
+
+let trend_cmd =
+  let run root series last command model time_tol count_tol json out =
+    let module B = Archex_obs.Bench_compare in
+    let tol =
+      { B.default_tolerances with
+        time_tol =
+          Option.value time_tol ~default:B.default_tolerances.B.time_tol;
+        count_tol =
+          Option.value count_tol ~default:B.default_tolerances.B.count_tol }
+    in
+    match Reg.list_recent ?root ?command ?model_hash:model ~last () with
+    | Error msg ->
+        Format.eprintf "trend: %s@." msg;
+        2
+    | Ok [] ->
+        Format.eprintf "trend: no matching runs in the registry@.";
+        2
+    | Ok runs ->
+        let series = if series = [] then [ "wall_s" ] else series in
+        let t = Archex_obs.Trend.analyze ~tol ~series runs in
+        let rendered =
+          if json then
+            Archex_obs.Json.to_string (Archex_obs.Trend.to_json t) ^ "\n"
+          else Archex_obs.Trend.to_markdown t
+        in
+        (match out with
+        | None -> print_string rendered
+        | Some path ->
+            write_file path rendered;
+            Format.printf "wrote %s@." path);
+        if Archex_obs.Trend.regression t then begin
+          Format.eprintf "trend: regression detected over %d run(s)@."
+            t.Archex_obs.Trend.runs;
+          1
+        end
+        else 0
+  in
+  let series_arg =
+    let doc =
+      "Series to analyze (repeatable), e.g. $(b,wall_s), \
+       $(b,mr.total_seconds), $(b,gc.pause_seconds_sum).  Default: \
+       $(b,wall_s)."
+    in
+    Arg.(value & opt_all string [] & info [ "series" ] ~doc ~docv:"NAME")
+  in
+  let last_arg =
+    let doc = "Analysis window: the $(docv) most recent matching runs." in
+    Arg.(value & opt int 10 & info [ "last" ] ~doc ~docv:"N")
+  in
+  let command_arg =
+    let doc = "Only runs of this subcommand (e.g. $(b,mr))." in
+    Arg.(value & opt (some string) None
+         & info [ "command" ] ~doc ~docv:"CMD")
+  in
+  let model_arg =
+    let doc =
+      "Only runs whose model hash equals $(docv) — compare like against \
+       like (see $(b,runs show))."
+    in
+    Arg.(value & opt (some string) None & info [ "model" ] ~doc ~docv:"MD5")
+  in
+  let time_tol_arg =
+    let doc =
+      "Relative tolerance for wall-clock series (default 0.5 = 50%)."
+    in
+    Arg.(value & opt (some float) None
+         & info [ "time-tol" ] ~doc ~docv:"REL")
+  in
+  let count_tol_arg =
+    let doc =
+      "Relative tolerance for counter series (default 0.25 = 25%)."
+    in
+    Arg.(value & opt (some float) None
+         & info [ "count-tol" ] ~doc ~docv:"REL")
+  in
+  let json_arg =
+    let doc = "Emit the analysis as JSON instead of markdown." in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let out_arg =
+    let doc = "Write the analysis to $(docv) instead of standard output." in
+    Arg.(value & opt (some string) None
+         & info [ "o"; "output" ] ~doc ~docv:"FILE")
+  in
+  let doc =
+    "Trend analysis over registry history: each series' latest value is \
+     judged against the median of its prior runs (the regression gate's \
+     tolerances), plus a two-segment changepoint scan; exit 1 when any \
+     series regressed."
+  in
+  Cmd.v (Cmd.info "trend" ~doc)
+    Term.(
+      const run $ runs_root_arg $ series_arg $ last_arg $ command_arg
+      $ model_arg $ time_tol_arg $ count_tol_arg $ json_arg $ out_arg)
+
+(* ------------------------------------------------------------------ *)
 (* archex top — terminal dashboard over a --metrics-stream file        *)
 
 module Top = struct
@@ -1247,19 +1404,21 @@ module Top = struct
     | Some (J.Num elapsed), Some (J.Obj metrics) -> Some { elapsed; metrics }
     | _ -> None
 
-  (* last well-formed sample (and how many there were) in the stream *)
+  (* Last well-formed sample (and how many there were) in the stream.
+     The writer may be mid-line when we read — the relaxed parse skips
+     the partial tail (or any torn line) instead of rejecting the whole
+     stream, so live rendering never goes blank during a write. *)
   let load path =
     if not (Sys.file_exists path) then (None, 0)
-    else
-      match
-        Archex_obs.Json.parse_lines_numbered (read_whole_file path)
-      with
-      | Error _ -> (None, 0)
-      | Ok lines ->
-          let samples = List.filter_map (fun (_, j) -> sample_of_json j) lines in
-          (match List.rev samples with
-          | last :: _ -> (Some last, List.length samples)
-          | [] -> (None, 0))
+    else begin
+      let lines, _partial =
+        Archex_obs.Json.parse_lines_relaxed (read_whole_file path)
+      in
+      let samples = List.filter_map sample_of_json lines in
+      match List.rev samples with
+      | last :: _ -> (Some last, List.length samples)
+      | [] -> (None, 0)
+    end
 
   let num s name =
     match List.assoc_opt name s.metrics with
@@ -1434,4 +1593,4 @@ let () =
           [ mr_cmd; ar_cmd; analyze_cmd; export_cmd; certify_cmd;
             check_cert_cmd; explain_cmd; trace_check_cmd; trace_profile_cmd;
             trace_export_cmd; report_cmd; bench_diff_cmd; runs_cmd;
-            top_cmd ]))
+            trend_cmd; top_cmd ]))

@@ -66,6 +66,20 @@ val default_tolerances : tolerances
 
 val is_time_series : string -> bool
 
+val classify :
+  tolerances ->
+  case:string ->
+  series:string ->
+  baseline:float option ->
+  current:float option ->
+  entry
+(** Judge one (baseline, current) value pair exactly as {!diff} would —
+    time vs. count tolerance picked from the series name, denominator
+    floored, ["feasible"] direction-flipped.  This is the single
+    classification primitive behind both {!diff} and the registry trend
+    analysis, so "regressed" means the same thing everywhere.
+    At least one of [baseline]/[current] must be [Some]. *)
+
 val diff :
   ?tol:tolerances ->
   baseline:Json.t ->

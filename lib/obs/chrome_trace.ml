@@ -6,7 +6,14 @@
    complete ("ph":"X") event with microsecond [ts]/[dur] relative to the
    first record, and every instant record becomes an instant ("ph":"i")
    event.  Spans whose end line was lost (truncated trace) are emitted
-   with [dur] 0 and a ["truncated"] argument so they stay visible. *)
+   with [dur] 0 and a ["truncated"] argument so they stay visible.
+
+   Tracks: events are partitioned by their (domain, lane) key — the same
+   grouping {!Trace.validate} uses — and each group gets its own tid
+   plus a "thread_name" metadata event ("dom 4", "dom 4 gc", "main"), so
+   a multi-domain trace renders one swimlane per domain with its GC
+   lane right next to it, instead of all spans collapsing onto one
+   self-overlapping track. *)
 
 let us t = Float.round (t *. 1e6)
 
@@ -17,44 +24,52 @@ let num_field j key = Option.bind (field j key) Json.to_float
 let attrs_of j =
   match field j "attrs" with Some (Json.Obj a) -> a | _ -> []
 
-let complete ~name ~ts ~dur ~args =
+let complete ~tid ~name ~ts ~dur ~args =
   Json.Obj
     ([ ("name", Json.Str name);
        ("ph", Json.Str "X");
        ("ts", Json.Num (us ts));
        ("dur", Json.Num (us dur));
        ("pid", Json.Num 1.);
-       ("tid", Json.Num 1.) ]
+       ("tid", Json.Num tid) ]
     @ if args = [] then [] else [ ("args", Json.Obj args) ])
 
-let instant ~name ~ts ~args =
+let instant ~tid ~name ~ts ~args =
   Json.Obj
     ([ ("name", Json.Str name);
        ("ph", Json.Str "i");
        ("ts", Json.Num (us ts));
        ("s", Json.Str "t");
        ("pid", Json.Num 1.);
-       ("tid", Json.Num 1.) ]
+       ("tid", Json.Num tid) ]
     @ if args = [] then [] else [ ("args", Json.Obj args) ])
+
+let thread_name ~tid label =
+  Json.Obj
+    [ ("name", Json.Str "thread_name");
+      ("ph", Json.Str "M");
+      ("pid", Json.Num 1.);
+      ("tid", Json.Num tid);
+      ("args", Json.Obj [ ("name", Json.Str label) ]) ]
+
+(* "" -> "main", "4" -> "dom 4", "4/gc" -> "dom 4 gc", "/gc" -> "gc" *)
+let track_label key =
+  match String.index_opt key '/' with
+  | None -> if key = "" then "main" else "dom " ^ key
+  | Some i ->
+      let dom = String.sub key 0 i in
+      let lane = String.sub key (i + 1) (String.length key - i - 1) in
+      if dom = "" then lane else Printf.sprintf "dom %s %s" dom lane
 
 (* Stack walk mirroring {!Trace.tree_of_events}: ends are matched to their
    begin by span id when both carry one, by name otherwise; frames skipped
    over by a matching end, and frames still open at end-of-stream, close
    with zero duration and a "truncated" argument. *)
-let of_events events =
-  let t0 =
-    match
-      List.find_map (fun j -> num_field j "ts") events
-    with
-    | Some t -> t
-    | None -> 0.
-  in
-  let out = ref [] in
-  let emit e = out := e :: !out in
+let events_of_group ~tid ~t0 emit events =
   (* frames: (id option, name, attrs, begin ts) *)
   let close_truncated (_, name, attrs, ts) =
     emit
-      (complete ~name ~ts:(ts -. t0) ~dur:0.
+      (complete ~tid ~name ~ts:(ts -. t0) ~dur:0.
          ~args:(attrs @ [ ("truncated", Json.Bool true) ]))
   in
   let frame_matches j (fid, fname, _, _) =
@@ -75,7 +90,7 @@ let of_events events =
             | ((_, fname, attrs, fts) as frame) :: rest ->
                 if frame_matches j frame then begin
                   emit
-                    (complete ~name:fname ~ts:(fts -. t0)
+                    (complete ~tid ~name:fname ~ts:(fts -. t0)
                        ~dur:(Float.max 0. (ts -. fts))
                        ~args:attrs);
                   rest
@@ -88,12 +103,33 @@ let of_events events =
           unwind stack
         end
     | Some "event" ->
-        emit (instant ~name ~ts:(ts -. t0) ~args:(attrs_of j));
+        emit (instant ~tid ~name ~ts:(ts -. t0) ~args:(attrs_of j));
         stack
     | _ -> stack
   in
   let stack = List.fold_left step [] events in
-  List.iter close_truncated stack;
+  List.iter close_truncated stack
+
+let of_events events =
+  let t0 =
+    (* minimum, not first: lane records are injected out-of-band, so the
+       stream's first line is not necessarily its earliest timestamp *)
+    List.fold_left
+      (fun acc j ->
+        match num_field j "ts" with
+        | Some t -> Float.min acc t
+        | None -> acc)
+      infinity events
+  in
+  let t0 = if t0 = infinity then 0. else t0 in
+  let out = ref [] in
+  let emit e = out := e :: !out in
+  List.iteri
+    (fun i (key, evs) ->
+      let tid = float_of_int (i + 1) in
+      emit (thread_name ~tid (track_label key));
+      events_of_group ~tid ~t0 emit evs)
+    (Trace.group_by_dom events);
   Json.Obj
     [ ("traceEvents", Json.Arr (List.rev !out));
       ("displayTimeUnit", Json.Str "ms") ]

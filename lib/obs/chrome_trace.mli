@@ -4,9 +4,14 @@
     trace-event JSON format, loadable in Perfetto
     ({:https://ui.perfetto.dev}) and [chrome://tracing]: one complete
     ("ph":"X") event per span with microsecond timestamps relative to the
-    first record, and one instant ("ph":"i") event per instant record
-    (solver progress events included).  All events land on pid 1 / tid 1
-    — the synthesis stack is single-threaded. *)
+    earliest record, and one instant ("ph":"i") event per instant record
+    (solver progress events included).
+
+    Events are partitioned by their (domain, lane) key — the grouping of
+    {!Trace.group_by_dom} — onto one tid per group under pid 1, each
+    named by a "thread_name" metadata event: a jobs=4 run with the
+    runtime-events bridge renders as "main", "dom 1".."dom 4" tracks
+    with a "dom i gc" track beside each domain that paused. *)
 
 val of_events : Json.t list -> Json.t
 (** [of_events records] is the [{"traceEvents": [...]}] object.  Spans

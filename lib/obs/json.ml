@@ -250,6 +250,26 @@ let parse_lines_numbered s =
 let parse_lines s =
   Result.map (List.map snd) (parse_lines_numbered s)
 
+(* Lenient variant for streams still being written: a malformed line (a
+   writer mid-line at read time) is skipped, not fatal.  Returns how
+   many lines were dropped alongside the values that did parse. *)
+let parse_lines_relaxed s =
+  let lines = String.split_on_char '\n' s in
+  let skipped = ref 0 in
+  let values =
+    List.filter_map
+      (fun line ->
+        if String.trim line = "" then None
+        else
+          match of_string line with
+          | Ok v -> Some v
+          | Error _ ->
+              incr skipped;
+              None)
+      lines
+  in
+  (values, !skipped)
+
 let mem key = function
   | Obj fields -> List.assoc_opt key fields
   | _ -> None

@@ -30,6 +30,12 @@ val parse_lines_numbered : string -> ((int * t) list, string) result
     line number (blank lines are skipped but still counted) — for
     diagnostics that point back into the file. *)
 
+val parse_lines_relaxed : string -> t list * int
+(** Like {!parse_lines} but malformed lines are skipped instead of
+    fatal; returns the values that parsed and how many lines were
+    dropped.  For reading a stream a writer is still appending to, where
+    the final line may be partial. *)
+
 val mem : string -> t -> t option
 (** Object member lookup; [None] on non-objects / absent keys. *)
 

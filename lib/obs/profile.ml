@@ -6,7 +6,16 @@
    duration minus the durations of its direct children.  Nodes without a
    duration (instants, truncated spans) contribute a count but no time —
    their children still contribute normally, so a truncated root does not
-   erase the profile of the work it did complete. *)
+   erase the profile of the work it did complete.
+
+   When the event stream carries a GC lane (records tagged
+   ["lane":"gc"], written by the runtime-events bridge), [of_events]
+   additionally runs a causal-attribution pass: each pause is charged to
+   the innermost user span open on the same domain at the moment the
+   pause began, filling the [gc_time]/[gc_count] columns — so a span's
+   self time can be read as "compute" and its gc time as "runtime
+   overhead it suffered".  Lane records are excluded from the span tree
+   itself (they are out-of-band, not part of the call structure). *)
 
 type row = {
   name : string;
@@ -15,12 +24,17 @@ type row = {
   self_ : float;
   min_total : float;
   max_total : float;
+  gc_time : float;
+  gc_count : int;
 }
 
 type t = {
   rows : row list;
   root_total : float;
   span_count : int;
+  gc_total : float;
+  gc_count : int;
+  gc_unattributed : float;
 }
 
 let node_dur (n : Trace.tree) = Option.value n.Trace.dur ~default:0.
@@ -50,7 +64,9 @@ let of_tree forest =
             total = dur;
             self_;
             min_total = dur;
-            max_total = dur }
+            max_total = dur;
+            gc_time = 0.;
+            gc_count = 0 }
       | Some r ->
           { r with
             count = r.count + 1;
@@ -71,27 +87,161 @@ let of_tree forest =
            | 0 -> String.compare a.name b.name
            | c -> c)
   in
-  { rows; root_total; span_count = !span_count }
+  { rows;
+    root_total;
+    span_count = !span_count;
+    gc_total = 0.;
+    gc_count = 0;
+    gc_unattributed = 0. }
 
-let of_events events = of_tree (Trace.tree_of_events events)
+(* ------------------------------------------------------------------ *)
+(* GC pause attribution                                                *)
+
+let gc_frame = "<gc>"
+
+let is_lane j = Json.mem "lane" j <> None
+
+let split_lanes events = List.partition is_lane events
+
+let dom_base j =
+  match Json.mem "dom" j with
+  | Some (Json.Num d) -> Printf.sprintf "%g" d
+  | _ -> ""
+
+(* Pauses per domain from the gc lane: every depth-0 end record is one
+   completed pause; its start is [ts - dur].  Stream order is start
+   order (pauses on one domain cannot overlap), but sort defensively. *)
+let pauses_by_dom gc_events =
+  let tbl : (string, (float * float) list ref) Hashtbl.t =
+    Hashtbl.create 4
+  in
+  List.iter
+    (fun j ->
+      match
+        ( Json.mem "ev" j,
+          Json.mem "depth" j,
+          Json.mem "dur" j,
+          Json.mem "ts" j )
+      with
+      | ( Some (Json.Str "end"),
+          Some (Json.Num 0.),
+          Some (Json.Num dur),
+          Some (Json.Num ts) ) -> (
+          let key = dom_base j in
+          match Hashtbl.find_opt tbl key with
+          | Some l -> l := (ts -. dur, dur) :: !l
+          | None -> Hashtbl.add tbl key (ref [ (ts -. dur, dur) ]))
+      | _ -> ())
+    gc_events;
+  Hashtbl.fold
+    (fun key l acc -> (key, List.sort compare !l) :: acc)
+    tbl []
+
+(* Walk one domain's user events alongside its pause list (both in
+   timestamp order), maintaining the open-span stack; each pause is
+   charged to the stack as it stood when the pause began.  Returns
+   (stack innermost-first, pause duration) per pause — an empty stack
+   means no user span was open (unattributed). *)
+let attribute_domain user_events pauses =
+  let ts_of j =
+    match Json.mem "ts" j with Some (Json.Num t) -> t | _ -> neg_infinity
+  in
+  let apply stack j =
+    match (Json.mem "ev" j, Json.mem "name" j) with
+    | Some (Json.Str "begin"), Some (Json.Str n) -> n :: stack
+    | Some (Json.Str "end"), _ -> (
+        match stack with _ :: rest -> rest | [] -> [])
+    | _ -> stack
+  in
+  let out = ref [] in
+  let rec go stack evs ps =
+    match ps with
+    | [] -> ()
+    | (pstart, pdur) :: ps' -> (
+        match evs with
+        | j :: evs' when ts_of j <= pstart -> go (apply stack j) evs' ps
+        | _ ->
+            out := (stack, pdur) :: !out;
+            go stack evs ps')
+  in
+  go [] user_events pauses;
+  List.rev !out
+
+(* All (stack, pause) attributions of an event stream, across domains. *)
+let attributions events =
+  let gc_events, user_events = split_lanes events in
+  if gc_events = [] then []
+  else
+    let user_groups = Trace.group_by_dom user_events in
+    List.concat_map
+      (fun (dom, pauses) ->
+        let uevs =
+          Option.value (List.assoc_opt dom user_groups) ~default:[]
+        in
+        attribute_domain uevs pauses)
+      (pauses_by_dom gc_events)
+
+let of_events events =
+  let _, user_events = split_lanes events in
+  let prof = of_tree (Trace.tree_of_events user_events) in
+  match attributions events with
+  | [] -> prof
+  | attrs ->
+      let gc_tbl : (string, float * int) Hashtbl.t = Hashtbl.create 8 in
+      let unattributed = ref 0. in
+      let total = ref 0. in
+      let count = ref 0 in
+      List.iter
+        (fun (stack, dur) ->
+          total := !total +. dur;
+          incr count;
+          match stack with
+          | name :: _ ->
+              let t, c =
+                Option.value (Hashtbl.find_opt gc_tbl name) ~default:(0., 0)
+              in
+              Hashtbl.replace gc_tbl name (t +. dur, c + 1)
+          | [] -> unattributed := !unattributed +. dur)
+        attrs;
+      let rows =
+        List.map
+          (fun r ->
+            match Hashtbl.find_opt gc_tbl r.name with
+            | Some (t, c) -> { r with gc_time = t; gc_count = c }
+            | None -> r)
+          prof.rows
+      in
+      { prof with
+        rows;
+        gc_total = !total;
+        gc_count = !count;
+        gc_unattributed = !unattributed }
 
 let mean r = if r.count = 0 then 0. else r.total /. float_of_int r.count
 
 let share t r = if t.root_total <= 0. then 0. else r.self_ /. t.root_total
 
 let pp ppf t =
+  let gc = t.gc_count > 0 in
   Format.fprintf ppf
-    "%-24s %8s %10s %10s %10s %10s %10s %7s@." "span" "count" "total(s)"
+    "%-24s %8s %10s %10s %10s %10s %10s %7s" "span" "count" "total(s)"
     "self(s)" "min(s)" "max(s)" "mean(s)" "self%";
+  if gc then Format.fprintf ppf " %10s %6s" "gc(s)" "gc#";
+  Format.fprintf ppf "@.";
   List.iter
     (fun r ->
       Format.fprintf ppf
-        "%-24s %8d %10.4f %10.4f %10.4f %10.4f %10.4f %6.1f%%@." r.name
+        "%-24s %8d %10.4f %10.4f %10.4f %10.4f %10.4f %6.1f%%" r.name
         r.count r.total r.self_ r.min_total r.max_total (mean r)
-        (100. *. share t r))
+        (100. *. share t r);
+      if gc then Format.fprintf ppf " %10.4f %6d" r.gc_time r.gc_count;
+      Format.fprintf ppf "@.")
     t.rows;
-  Format.fprintf ppf "%d spans, root total %.4fs@." t.span_count
-    t.root_total
+  Format.fprintf ppf "%d spans, root total %.4fs" t.span_count t.root_total;
+  if gc then
+    Format.fprintf ppf "; %d GC pauses, %.4fs (%.4fs unattributed)"
+      t.gc_count t.gc_total t.gc_unattributed;
+  Format.fprintf ppf "@."
 
 (* ------------------------------------------------------------------ *)
 (* Folded stacks                                                       *)
@@ -121,9 +271,40 @@ let folded_stacks forest =
   List.rev_map (fun stack -> (stack, Hashtbl.find tbl stack)) !order
   |> List.filter (fun (_, v) -> v > 0.)
 
-let pp_folded ppf forest =
+(* Folded stacks with GC attribution: the user-span stacks as above plus
+   one ";<gc>" leaf line per attributed stack (a bare "<gc>" line for
+   pause time outside any span), so flamegraphs show GC as a distinct
+   frame inside the span that suffered it. *)
+let folded_stacks_of_events events =
+  let _, user_events = split_lanes events in
+  let base = folded_stacks (Trace.tree_of_events user_events) in
+  let tbl : (string, float) Hashtbl.t = Hashtbl.create 16 in
+  let order = ref [] in
+  List.iter
+    (fun (stack, dur) ->
+      let key =
+        match stack with
+        | [] -> gc_frame
+        | s -> String.concat ";" (List.rev s) ^ ";" ^ gc_frame
+      in
+      match Hashtbl.find_opt tbl key with
+      | None ->
+          Hashtbl.add tbl key dur;
+          order := key :: !order
+      | Some prev -> Hashtbl.replace tbl key (prev +. dur))
+    (attributions events);
+  base
+  @ (List.rev_map (fun key -> (key, Hashtbl.find tbl key)) !order
+    |> List.filter (fun (_, v) -> v > 0.))
+
+let pp_folded_lines ppf lines =
   List.iter
     (fun (stack, seconds) ->
       let us = int_of_float (Float.round (seconds *. 1e6)) in
       if us > 0 then Format.fprintf ppf "%s %d@." stack us)
-    (folded_stacks forest)
+    lines
+
+let pp_folded ppf forest = pp_folded_lines ppf (folded_stacks forest)
+
+let pp_folded_events ppf events =
+  pp_folded_lines ppf (folded_stacks_of_events events)

@@ -6,7 +6,15 @@
     much was spent in the span itself rather than in its children — and
     renders collapsed "folded stack" lines consumable by standard
     flamegraph tooling (inferno / flamegraph.pl; importable by
-    speedscope). *)
+    speedscope).
+
+    When the event stream carries GC-lane records (written by
+    {!Runtime_events_bridge}), {!of_events} also attributes each GC
+    pause to the innermost user span open on the same domain when the
+    pause began, filling the [gc_time]/[gc_count] columns — splitting a
+    span's time into compute vs. runtime overhead.  Attribution is exact
+    per domain as long as ring slots still equal [Domain.self] ids; see
+    DESIGN.md §10 for the cross-domain caveats. *)
 
 type row = {
   name : string;
@@ -15,6 +23,8 @@ type row = {
   self_ : float;     (** total minus direct children's durations *)
   min_total : float; (** fastest single occurrence *)
   max_total : float; (** slowest single occurrence *)
+  gc_time : float;   (** GC pause seconds attributed to this span *)
+  gc_count : int;    (** GC pauses attributed to this span *)
 }
 
 type t = {
@@ -22,27 +32,47 @@ type t = {
   root_total : float;
       (** summed duration of the root spans — the traced wall time *)
   span_count : int;
+  gc_total : float;
+      (** all pause seconds seen in the stream's GC lanes — attributed
+          or not; matches the [gc.pause_seconds] histogram sum *)
+  gc_count : int;    (** all pauses seen *)
+  gc_unattributed : float;
+      (** pause seconds that fell outside every user span *)
 }
 
 val of_tree : Trace.tree list -> t
 (** Nodes without a duration (instants, truncated spans) count as
     occurrences but contribute zero time; their children still
-    contribute. *)
+    contribute.  A bare tree carries no lane information, so the gc
+    fields are all zero — use {!of_events} for attribution. *)
 
 val of_events : Json.t list -> t
-(** [of_tree] composed with {!Trace.tree_of_events}. *)
+(** {!of_tree} over the stream's user records (lane-tagged records are
+    excluded from the span tree), plus the GC attribution pass when the
+    stream has a GC lane. *)
 
 val mean : row -> float
 val share : t -> row -> float
 (** Fraction of {!field-root_total} spent as this row's self time. *)
 
 val pp : Format.formatter -> t -> unit
-(** Fixed-width table, one row per span name, plus a summary line. *)
+(** Fixed-width table, one row per span name, plus a summary line.  The
+    [gc(s)]/[gc#] columns and the pause summary appear only when the
+    profile saw GC pauses. *)
 
 val folded_stacks : Trace.tree list -> (string * float) list
 (** Distinct call stacks as ["root;child;leaf"] with their summed self
     time in seconds, in first-seen order; zero-weight stacks dropped. *)
 
+val folded_stacks_of_events : Json.t list -> (string * float) list
+(** {!folded_stacks} over the stream's user spans, followed by one
+    ["stack;<gc>"] line per attributed stack (bare ["<gc>"] for pause
+    time outside any span) weighted by attributed pause seconds. *)
+
 val pp_folded : Format.formatter -> Trace.tree list -> unit
 (** Folded-stack lines ["stack;path 1234"] with integer microsecond
     weights (sub-microsecond stacks are dropped). *)
+
+val pp_folded_events : Format.formatter -> Json.t list -> unit
+(** {!pp_folded} over {!folded_stacks_of_events} — includes the
+    ["<gc>"] frames. *)

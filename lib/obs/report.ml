@@ -20,6 +20,10 @@ let summary buf (profile : Profile.t) forest =
   bpf buf "- spans: %d (%d distinct names)\n" profile.Profile.span_count
     (List.length profile.Profile.rows);
   bpf buf "- traced wall time: %.4f s\n" profile.Profile.root_total;
+  if profile.Profile.gc_count > 0 then
+    bpf buf "- GC pauses: %d, %.4f s total (%.4f s outside any span)\n"
+      profile.Profile.gc_count profile.Profile.gc_total
+      profile.Profile.gc_unattributed;
   List.iter
     (fun (root : Trace.tree) ->
       bpf buf "- root span `%s`: %s\n" root.Trace.name
@@ -32,16 +36,22 @@ let profile_section buf (profile : Profile.t) =
   section buf "Profile";
   if profile.Profile.rows = [] then bpf buf "no spans in trace.\n"
   else begin
+    let gc = profile.Profile.gc_count > 0 in
     bpf buf
       "| span | count | total (s) | self (s) | min (s) | max (s) | mean \
-       (s) | self %% |\n";
-    bpf buf "|---|---:|---:|---:|---:|---:|---:|---:|\n";
+       (s) | self %% |%s\n"
+      (if gc then " gc (s) | gc # |" else "");
+    bpf buf "|---|---:|---:|---:|---:|---:|---:|---:|%s\n"
+      (if gc then "---:|---:|" else "");
     List.iter
       (fun (r : Profile.row) ->
-        bpf buf "| `%s` | %d | %.4f | %.4f | %.4f | %.4f | %.4f | %.1f |\n"
+        bpf buf "| `%s` | %d | %.4f | %.4f | %.4f | %.4f | %.4f | %.1f |"
           r.Profile.name r.Profile.count r.Profile.total r.Profile.self_
           r.Profile.min_total r.Profile.max_total (Profile.mean r)
-          (100. *. Profile.share profile r))
+          (100. *. Profile.share profile r);
+        if gc then
+          bpf buf " %.4f | %d |" r.Profile.gc_time r.Profile.gc_count;
+        bpf buf "\n")
       profile.Profile.rows
   end
 
@@ -142,8 +152,13 @@ let metrics_section buf metrics =
 
 let markdown ?metrics events =
   let buf = Buffer.create 4096 in
-  let forest = Trace.tree_of_events events in
-  let profile = Profile.of_tree forest in
+  (* lane records (GC bridge) are out-of-band: they feed the profile's
+     gc columns but are not part of the user span hierarchy *)
+  let user_events =
+    List.filter (fun j -> Json.mem "lane" j = None) events
+  in
+  let forest = Trace.tree_of_events user_events in
+  let profile = Profile.of_events events in
   let conv = Convergence.of_events events in
   summary buf profile forest;
   profile_section buf profile;

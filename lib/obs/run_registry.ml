@@ -202,6 +202,25 @@ let list_runs ?root () =
         in
         Ok (List.sort (fun a b -> Float.compare a.started b.started) metas)
 
+(* Newest-first view with optional filters — what [runs list] and
+   [archex trend] consume. *)
+let list_recent ?root ?command ?model_hash ?last () =
+  match list_runs ?root () with
+  | Error _ as e -> e
+  | Ok metas ->
+      let keep m =
+        (match command with Some c -> m.command = c | None -> true)
+        &&
+        match model_hash with
+        | Some h -> m.model_hash = Some h
+        | None -> true
+      in
+      let newest_first = List.rev (List.filter keep metas) in
+      Ok
+        (match last with
+        | Some n -> List.filteri (fun i _ -> i < n) newest_first
+        | None -> newest_first)
+
 (* Resolve an id or unique id prefix to a run. *)
 let load ?root id =
   let root = match root with Some r -> r | None -> default_root () in

@@ -53,6 +53,16 @@ val list_runs : ?root:string -> unit -> (meta list, string) result
 (** All well-formed runs under the root, sorted by start time (an absent
     root is an empty registry, not an error). *)
 
+val list_recent :
+  ?root:string ->
+  ?command:string ->
+  ?model_hash:string ->
+  ?last:int ->
+  unit ->
+  (meta list, string) result
+(** {!list_runs} filtered to [command] / [model_hash] when given, sorted
+    newest first, truncated to the [last] most recent. *)
+
 val load : ?root:string -> string -> (meta, string) result
 (** Resolve an id — or a unique id prefix — to its run. *)
 

@@ -16,6 +16,7 @@ type t = {
   period : float;
   ndjson : (Json.t -> unit) option;
   prom_path : string option;
+  bridge : Runtime_events_bridge.t option;
   started_at : float;
   stop_flag : bool Atomic.t;
   samples : int Atomic.t;
@@ -30,6 +31,7 @@ let sample t =
   Fun.protect
     ~finally:(fun () -> Mutex.unlock t.sample_lock)
     (fun () ->
+      Option.iter (fun b -> ignore (Runtime_events_bridge.poll b)) t.bridge;
       Gc_metrics.sample t.metrics;
       let now = Clock.now () in
       (match t.ndjson with
@@ -52,6 +54,10 @@ let rec sleep_until t deadline =
     let remaining = deadline -. Clock.now () in
     if remaining > 0. then begin
       Unix.sleepf (Float.min slice remaining);
+      (* drain the runtime-events ring every slice, not just every
+         period: a long period must not let the ring overwrite events
+         under allocation-heavy load *)
+      Option.iter (fun b -> ignore (Runtime_events_bridge.poll b)) t.bridge;
       sleep_until t deadline
     end
   end
@@ -66,13 +72,16 @@ let loop t =
     let bt = Printexc.get_raw_backtrace () in
     ignore (Atomic.compare_and_set t.failure None (Some (e, bt)))
 
-let start ?(period = 1.0) ?ndjson ?prom_path metrics =
-  if period <= 0. then invalid_arg "Runtime.start: period must be positive";
+let start ?(period = 1.0) ?ndjson ?prom_path ?bridge metrics =
+  (* [not (period > 0.)] rather than [period <= 0.]: also rejects NaN *)
+  if not (period > 0.) then
+    invalid_arg "Runtime.start: period must be positive";
   let t =
     { metrics;
       period;
       ndjson;
       prom_path;
+      bridge;
       started_at = Clock.now ();
       stop_flag = Atomic.make false;
       samples = Atomic.make 0;
@@ -105,6 +114,6 @@ let stop t =
     | None -> ()
   end
 
-let with_sampler ?period ?ndjson ?prom_path metrics f =
-  let t = start ?period ?ndjson ?prom_path metrics in
+let with_sampler ?period ?ndjson ?prom_path ?bridge metrics f =
+  let t = start ?period ?ndjson ?prom_path ?bridge metrics in
   Fun.protect ~finally:(fun () -> stop t) (fun () -> f t)

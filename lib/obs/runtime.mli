@@ -16,6 +16,7 @@ val start :
   ?period:float ->
   ?ndjson:(Json.t -> unit) ->
   ?prom_path:string ->
+  ?bridge:Runtime_events_bridge.t ->
   Metrics.t ->
   t
 (** Start sampling every [period] seconds (default 1.0).  One sample is
@@ -23,8 +24,11 @@ val start :
     sub-period runs leave a series behind.  [ndjson] receives one
     [{"ts", "elapsed", "metrics"}] object per sample; [prom_path] is
     rewritten atomically (temp file + rename) with
-    {!Metrics.to_prometheus} on every sample.
-    @raise Invalid_argument when [period <= 0]. *)
+    {!Metrics.to_prometheus} on every sample.  A [bridge] is polled from
+    the sampler domain on every ~20 ms sleep slice (not just every
+    period), keeping the runtime-events ring drained regardless of the
+    sampling period.
+    @raise Invalid_argument unless [period > 0] (NaN rejected too). *)
 
 val sample : t -> unit
 (** Force one synchronous sample (samples are serialized by a mutex, so
@@ -43,6 +47,7 @@ val with_sampler :
   ?period:float ->
   ?ndjson:(Json.t -> unit) ->
   ?prom_path:string ->
+  ?bridge:Runtime_events_bridge.t ->
   Metrics.t ->
   (t -> 'a) ->
   'a

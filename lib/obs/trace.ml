@@ -10,6 +10,10 @@ type state = {
   lock : Mutex.t;
   next_id : int Atomic.t;
   depth : int ref Domain.DLS.key;
+  (* mirror of each domain's current nesting depth, readable from other
+     domains (the GC bridge asks "what depth is domain d at?"); updated
+     under [lock] together with the begin/end emission it reflects *)
+  open_depths : (int, int) Hashtbl.t;
 }
 
 type t = state option
@@ -21,7 +25,8 @@ let make emit =
     { emit;
       lock = Mutex.create ();
       next_id = Atomic.make 0;
-      depth = Domain.DLS.new_key (fun () -> ref 0) }
+      depth = Domain.DLS.new_key (fun () -> ref 0);
+      open_depths = Hashtbl.create 8 }
 
 let memory () =
   let events = ref [] in
@@ -32,14 +37,18 @@ let enabled = function Some _ -> true | None -> false
 
 let dom_id () = float_of_int (Domain.self () :> int)
 
-let emit_locked st fields =
+let emit_locked st inside fields =
   Mutex.lock st.lock;
   Fun.protect
     ~finally:(fun () -> Mutex.unlock st.lock)
     (fun () ->
       let ts = Clock.now () in
+      inside ();
       st.emit (Json.Obj (("ts", Json.Num ts) :: fields));
       ts)
+
+let set_open_depth st dom_int d =
+  Hashtbl.replace st.open_depths dom_int d
 
 let with_span ?(attrs = []) t name f =
   match t with
@@ -47,9 +56,11 @@ let with_span ?(attrs = []) t name f =
   | Some st ->
       let id = Atomic.fetch_and_add st.next_id 1 in
       let depth = Domain.DLS.get st.depth in
-      let dom = dom_id () in
+      let dom_int = (Domain.self () :> int) in
+      let dom = float_of_int dom_int in
       let t0 =
         emit_locked st
+          (fun () -> set_open_depth st dom_int (!depth + 1))
           [ ("ev", Json.Str "begin");
             ("name", Json.Str name);
             ("id", Json.Num (float_of_int id));
@@ -66,6 +77,7 @@ let with_span ?(attrs = []) t name f =
             ~finally:(fun () -> Mutex.unlock st.lock)
             (fun () ->
               let t1 = Clock.now () in
+              set_open_depth st dom_int !depth;
               st.emit
                 (Json.Obj
                    [ ("ts", Json.Num t1);
@@ -83,12 +95,39 @@ let instant ?(attrs = []) t name =
   | Some st ->
       let depth = Domain.DLS.get st.depth in
       ignore
-        (emit_locked st
+        (emit_locked st ignore
            [ ("ev", Json.Str "event");
              ("name", Json.Str name);
              ("dom", Json.Num (dom_id ()));
              ("depth", Json.Num (float_of_int !depth));
              ("attrs", Json.Obj attrs) ])
+
+(* Raw record injection: an out-of-band producer (the GC bridge) emits a
+   fully-formed record — its own "ts", "dom", "lane", "depth" — under the
+   tracer mutex, so raw records never tear the sink's line stream.  The
+   caller owns the record's internal consistency (per-lane ordering and
+   nesting); [validate] checks it like any other lane. *)
+let emit_raw t fields =
+  match t with
+  | None -> ()
+  | Some st ->
+      Mutex.lock st.lock;
+      Fun.protect
+        ~finally:(fun () -> Mutex.unlock st.lock)
+        (fun () -> st.emit (Json.Obj fields))
+
+(* Depth of [dom]'s open user-span stack, as of the last begin/end that
+   domain emitted — the cross-domain read the GC bridge uses to say how
+   deeply a pause was nested under user spans. *)
+let current_depth t ~dom =
+  match t with
+  | None -> 0
+  | Some st ->
+      Mutex.lock st.lock;
+      Fun.protect
+        ~finally:(fun () -> Mutex.unlock st.lock)
+        (fun () ->
+          Option.value (Hashtbl.find_opt st.open_depths dom) ~default:0)
 
 (* ------------------------------------------------------------------ *)
 (* Pretty tree                                                         *)
@@ -101,14 +140,23 @@ type tree = {
 }
 
 (* Domain key of an event: the "dom" number rendered as a string, or ""
-   for pre-multi-domain traces that never carried one.  Everything in the
-   reconstruction and validation below is grouped by this key — spans
-   from different domains interleave freely in the file but each domain's
-   own begin/end stream is properly nested. *)
+   for pre-multi-domain traces that never carried one, suffixed with
+   "/lane" when the record carries a "lane" tag (GC records emitted by
+   the runtime-events bridge form a "gc" lane per domain, properly
+   nested within themselves but interleaved with the user spans of the
+   same domain).  Everything in the reconstruction and validation below
+   is grouped by this key — spans from different (domain, lane) pairs
+   interleave freely in the file but each pair's own begin/end stream is
+   properly nested. *)
 let dom_key j =
-  match Json.mem "dom" j with
-  | Some (Json.Num d) -> Printf.sprintf "%g" d
-  | _ -> ""
+  let base =
+    match Json.mem "dom" j with
+    | Some (Json.Num d) -> Printf.sprintf "%g" d
+    | _ -> ""
+  in
+  match Json.mem "lane" j with
+  | Some (Json.Str lane) -> base ^ "/" ^ lane
+  | _ -> base
 
 (* Partition a list by key, preserving order within each group and the
    order of first appearance across groups. *)
@@ -203,6 +251,8 @@ let tree_of_events events =
   List.concat_map
     (fun (_, evs) -> tree_of_dom_events evs)
     (partition_by_dom events)
+
+let group_by_dom = partition_by_dom
 
 (* ------------------------------------------------------------------ *)
 (* Validation                                                          *)

@@ -17,7 +17,13 @@
     Event schema (one object per line):
     - [{"ts", "ev":"begin", "name", "id", "dom", "depth", "attrs"}]
     - [{"ts", "ev":"end",   "name", "id", "dom", "depth", "dur"}]
-    - [{"ts", "ev":"event", "name", "dom", "depth", "attrs"}] *)
+    - [{"ts", "ev":"event", "name", "dom", "depth", "attrs"}]
+
+    Records may additionally carry a ["lane"] tag: lanes are parallel
+    sub-streams of one domain (the runtime-events bridge emits GC pause
+    spans into a ["gc"] lane per domain).  Validation and tree
+    reconstruction group by the (domain, lane) pair, so each lane only
+    has to be internally ordered and nested. *)
 
 type t
 
@@ -41,6 +47,19 @@ val with_span : ?attrs:(string * Json.t) list -> t -> string ->
 val instant : ?attrs:(string * Json.t) list -> t -> string -> unit
 (** Zero-duration event at the current nesting depth. *)
 
+val emit_raw : t -> (string * Json.t) list -> unit
+(** Emit a fully-formed record — the caller supplies every field,
+    ["ts"] included — serialized under the tracer mutex so it never
+    tears the sink's line stream.  This is how out-of-band producers
+    (the {!Runtime_events_bridge}) merge their own lanes into the trace;
+    the caller owns the injected lane's ordering and nesting, which
+    {!validate} checks like any other lane.  No-op on {!null}. *)
+
+val current_depth : t -> dom:int -> int
+(** Number of spans domain [dom] currently has open (as of the last
+    begin/end it emitted) — readable from any domain.  [0] for a domain
+    that never traced or has closed everything. *)
+
 (** {1 Pretty tree}
 
     Reconstruction of the span hierarchy from an exported event stream. *)
@@ -62,6 +81,13 @@ val tree_of_events : Json.t list -> tree list
     was lost — trailing or interior — becomes a node with [dur = None]
     (instant-like) holding the children seen so far, and an end without a
     matching begin is dropped. *)
+
+val group_by_dom : Json.t list -> (string * Json.t list) list
+(** Partition an event stream by its (domain, lane) key — ["1"],
+    ["1/gc"], [""] for untagged records — preserving order within each
+    group and the order of first appearance across groups.  This is the
+    grouping {!tree_of_events} and {!validate} use; exposed so other
+    exporters (e.g. {!Chrome_trace}) can assign one track per group. *)
 
 val validate : (int * Json.t) list -> (int * string) list
 (** Structural validation of a numbered event stream (the [int] is the

@@ -1,0 +1,246 @@
+(* Cross-run trend analysis over the run registry.
+
+   One registry run is one sample; a trend lines the samples of a named
+   series up by start time and asks two questions the single-baseline
+   [runs diff] cannot:
+
+   - is the LATEST run a regression against history?  The baseline is
+     the median of all prior runs — robust to one noisy outlier in the
+     history, unlike "diff against the previous run" — and the verdict
+     reuses Bench_compare's classification (time vs. count tolerance by
+     series name, floored denominators), so "regressed" means exactly
+     what the CI gate means.
+
+   - did the series SHIFT somewhere in the window?  A two-segment
+     median split: for every cut point, compare the median before and
+     after; the cut with the largest relative shift is reported as a
+     changepoint when that shift exceeds the series' tolerance.  This
+     catches a regression that landed a few runs ago and has been
+     "normal" since (which the latest-vs-median test no longer flags).
+
+   Series with fewer than 2 samples are reported but unjudged
+   ([verdict = None]): no history, no trend. *)
+
+type point = {
+  run_id : string;
+  started : float;
+  value : float;
+}
+
+type series = {
+  name : string;
+  points : point list;  (* ascending by start time *)
+  baseline : float option;  (* median of all points but the latest *)
+  latest : float option;
+  entry : Bench_compare.entry option;  (* latest vs baseline; None if <2 pts *)
+  changepoint : int option;
+      (* index of the first point of the shifted segment *)
+  shift : float option;  (* signed relative shift at the changepoint *)
+}
+
+type t = {
+  series : series list;
+  runs : int;  (* distinct runs in the window *)
+}
+
+let median = function
+  | [] -> None
+  | values ->
+      let sorted = List.sort Float.compare values in
+      let n = List.length sorted in
+      let nth i = List.nth sorted i in
+      Some
+        (if n mod 2 = 1 then nth (n / 2)
+         else (nth ((n / 2) - 1) +. nth (n / 2)) /. 2.)
+
+(* Relative shift from [before] to [after], floored like the gate. *)
+let rel_shift tol name before after =
+  let floor =
+    if Bench_compare.is_time_series name then tol.Bench_compare.time_floor
+    else tol.Bench_compare.count_floor
+  in
+  (after -. before) /. Float.max floor (Float.abs before)
+
+let tolerance_of tol name =
+  if Bench_compare.is_time_series name then tol.Bench_compare.time_tol
+  else tol.Bench_compare.count_tol
+
+(* Largest two-segment median shift; a changepoint needs >= 2 points on
+   each side (a single-point segment is indistinguishable from noise —
+   the latest-vs-baseline entry already covers "the last run moved"). *)
+let changepoint_of tol name values =
+  let n = List.length values in
+  if n < 4 then (None, None)
+  else begin
+    let arr = Array.of_list values in
+    let best = ref None in
+    for cut = 2 to n - 2 do
+      let left = Array.to_list (Array.sub arr 0 cut) in
+      let right = Array.to_list (Array.sub arr cut (n - cut)) in
+      match (median left, median right) with
+      | Some l, Some r ->
+          let shift = rel_shift tol name l r in
+          (match !best with
+          | Some (_, s) when Float.abs s >= Float.abs shift -> ()
+          | _ -> best := Some (cut, shift))
+      | _ -> ()
+    done;
+    match !best with
+    | Some (cut, shift) when Float.abs shift > tolerance_of tol name ->
+        (Some cut, Some shift)
+    | _ -> (None, None)
+  end
+
+let series_of_runs tol name (runs : Run_registry.meta list) =
+  let points =
+    List.filter_map
+      (fun (m : Run_registry.meta) ->
+        Option.map
+          (fun value ->
+            { run_id = m.Run_registry.id;
+              started = m.Run_registry.started;
+              value })
+          (List.assoc_opt name m.Run_registry.series))
+      runs
+  in
+  let values = List.map (fun p -> p.value) points in
+  let baseline, latest, entry =
+    match List.rev values with
+    | latest :: (_ :: _ as prior_rev) ->
+        let baseline = median (List.rev prior_rev) in
+        ( baseline,
+          Some latest,
+          Some
+            (Bench_compare.classify tol ~case:"trend" ~series:name
+               ~baseline ~current:(Some latest)) )
+    | [ only ] -> (None, Some only, None)
+    | [] -> (None, None, None)
+  in
+  let changepoint, shift = changepoint_of tol name values in
+  { name; points; baseline; latest; entry; changepoint; shift }
+
+let analyze ?(tol = Bench_compare.default_tolerances) ~series runs =
+  let runs =
+    List.sort
+      (fun (a : Run_registry.meta) b ->
+        Float.compare a.Run_registry.started b.Run_registry.started)
+      runs
+  in
+  { series = List.map (fun name -> series_of_runs tol name runs) series;
+    runs = List.length runs }
+
+let series_regressed s =
+  (match s.entry with
+  | Some e -> e.Bench_compare.verdict = Bench_compare.Regressed
+  | None -> false)
+  ||
+  (* an upward shift (worse) flags even when the latest run alone is
+     back inside tolerance of the post-shift plateau *)
+  match s.shift with Some shift -> shift > 0. | None -> false
+
+let regression t = List.exists series_regressed t.series
+
+(* ------------------------------------------------------------------ *)
+(* Rendering                                                           *)
+
+let verdict_cell s =
+  match s.entry with
+  | None -> if s.points = [] then "no data" else "insufficient history"
+  | Some e -> (
+      match (Bench_compare.verdict_name e.Bench_compare.verdict, s.shift)
+      with
+      | v, None -> v
+      | v, Some shift ->
+          Printf.sprintf "%s, changepoint (%+.0f%%)" v (100. *. shift))
+
+let sparkline points =
+  (* a compact min-max-normalized value line for the markdown table *)
+  match points with
+  | [] | [ _ ] -> ""
+  | _ ->
+      let values = List.map (fun p -> p.value) points in
+      let lo = List.fold_left Float.min infinity values in
+      let hi = List.fold_left Float.max neg_infinity values in
+      let glyphs = [| "▁"; "▂"; "▃"; "▄"; "▅"; "▆"; "▇"; "█" |] in
+      String.concat ""
+        (List.map
+           (fun v ->
+             let t = if hi > lo then (v -. lo) /. (hi -. lo) else 0. in
+             glyphs.(int_of_float (t *. 7.)))
+           values)
+
+let to_markdown t =
+  let buf = Buffer.create 1024 in
+  let bpf fmt = Printf.bprintf buf fmt in
+  bpf "# ARCHEX trend (%d runs)\n\n" t.runs;
+  if t.series = [] then bpf "no series requested.\n"
+  else begin
+    bpf
+      "| series | samples | baseline (median) | latest | delta | trend | \
+       verdict |\n";
+    bpf "|---|---:|---:|---:|---:|---|---|\n";
+    List.iter
+      (fun s ->
+        let num = function
+          | Some v -> Printf.sprintf "%.5g" v
+          | None -> "-"
+        in
+        let delta =
+          match s.entry with
+          | Some { Bench_compare.delta = Some d; _ } ->
+              Printf.sprintf "%+.1f%%" (100. *. d)
+          | _ -> "-"
+        in
+        bpf "| `%s` | %d | %s | %s | %s | %s | %s |\n" s.name
+          (List.length s.points) (num s.baseline) (num s.latest) delta
+          (sparkline s.points) (verdict_cell s))
+      t.series;
+    List.iter
+      (fun s ->
+        match (s.changepoint, s.shift) with
+        | Some cut, Some shift ->
+            let p = List.nth s.points cut in
+            bpf
+              "\n`%s` shifted %+.0f%% at run `%s` (sample %d of %d)\n"
+              s.name (100. *. shift) p.run_id (cut + 1)
+              (List.length s.points)
+        | _ -> ())
+      t.series;
+    bpf "\nverdict: %s\n"
+      (if regression t then "REGRESSION" else "ok")
+  end;
+  Buffer.contents buf
+
+let to_json t =
+  let series_json s =
+    let opt = function Some v -> Json.Num v | None -> Json.Null in
+    Json.Obj
+      [ ("name", Json.Str s.name);
+        ( "points",
+          Json.Arr
+            (List.map
+               (fun p ->
+                 Json.Obj
+                   [ ("run", Json.Str p.run_id);
+                     ("started", Json.Num p.started);
+                     ("value", Json.Num p.value) ])
+               s.points) );
+        ("baseline", opt s.baseline);
+        ("latest", opt s.latest);
+        ( "delta",
+          opt (Option.bind s.entry (fun e -> e.Bench_compare.delta)) );
+        ( "verdict",
+          match s.entry with
+          | Some e ->
+              Json.Str (Bench_compare.verdict_name e.Bench_compare.verdict)
+          | None -> Json.Null );
+        ( "changepoint",
+          opt (Option.map float_of_int s.changepoint) );
+        ("shift", opt s.shift);
+        ("regressed", Json.Bool (series_regressed s)) ]
+  in
+  Json.Obj
+    [ ("format", Json.Str "archex-trend");
+      ("runs", Json.Num (float_of_int t.runs));
+      ("series", Json.Arr (List.map series_json t.series));
+      ("regression", Json.Bool (regression t)) ]

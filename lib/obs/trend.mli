@@ -1,0 +1,61 @@
+(** Cross-run trend analysis over the {!Run_registry}.
+
+    Lines up the samples of each requested series across a window of
+    registry runs (ascending by start time) and judges two things:
+
+    - {b latest vs. history}: the newest run against the {e median} of
+      all prior runs — robust to a single noisy outlier — classified
+      with {!Bench_compare.classify}, so the tolerances and the meaning
+      of "regressed" are exactly the CI gate's;
+    - {b changepoint}: the two-segment median split with the largest
+      relative shift (≥ 2 samples on each side); reported when the shift
+      exceeds the series' tolerance.  An upward (worsening) shift counts
+      as a regression even when the latest run is "normal" relative to
+      the post-shift plateau.
+
+    This is the layer behind [archex trend], which gates CI on registry
+    history instead of a single pinned baseline. *)
+
+type point = {
+  run_id : string;
+  started : float;  (** unix epoch seconds *)
+  value : float;
+}
+
+type series = {
+  name : string;
+  points : point list;      (** ascending by start time *)
+  baseline : float option;  (** median of all points but the latest *)
+  latest : float option;
+  entry : Bench_compare.entry option;
+      (** latest judged against [baseline]; [None] below 2 samples *)
+  changepoint : int option;
+      (** index (into [points]) of the first post-shift sample *)
+  shift : float option;  (** signed relative shift at the changepoint *)
+}
+
+type t = {
+  series : series list;
+  runs : int;  (** runs in the analysis window *)
+}
+
+val analyze :
+  ?tol:Bench_compare.tolerances ->
+  series:string list ->
+  Run_registry.meta list ->
+  t
+(** Analyze the given runs (sorted internally; pass any order).  Runs
+    missing a series simply contribute no sample to it. *)
+
+val series_regressed : series -> bool
+val regression : t -> bool
+(** True iff some series regressed — latest beyond tolerance of the
+    prior-runs median, or an upward changepoint shift.  The CLI maps
+    this to a nonzero exit. *)
+
+val to_markdown : t -> string
+(** Table (baseline / latest / delta / sparkline / verdict) plus one
+    line per detected changepoint and a final verdict line. *)
+
+val to_json : t -> Json.t
+(** [{"format": "archex-trend", "runs", "series": [...], "regression"}]. *)

@@ -266,8 +266,21 @@ let test_chrome_export () =
   match Archex_obs.Chrome_trace.of_events records with
   | Json.Obj fields -> (
       match List.assoc_opt "traceEvents" fields with
-      | Some (Json.Arr events) ->
+      | Some (Json.Arr all_events) ->
           let ph e = Option.bind (Json.mem "ph" e) Json.to_str in
+          (* one thread_name metadata record labels the single track *)
+          let meta, events =
+            List.partition (fun e -> ph e = Some "M") all_events
+          in
+          (match meta with
+          | [ m ] ->
+              checkb "track labeled main" true
+                (match Json.mem "args" m with
+                | Some args ->
+                    Json.mem "name" args = Some (Json.Str "main")
+                | None -> false)
+          | l -> Alcotest.failf "expected 1 metadata event, got %d"
+                   (List.length l));
           check_int "three converted events" 3 (List.length events);
           check_int "two complete spans" 2
             (List.length (List.filter (fun e -> ph e = Some "X") events));

@@ -1,0 +1,419 @@
+(* Tests for GC-aware causal profiling: the Runtime_events bridge
+   (pause capture into metrics + trace lanes), Profile's attribution
+   pass (pauses charged to the innermost enclosing span; totals matching
+   the histogram), the cross-run trend analysis (injected slowdown
+   flagged, flat history passing), and the satellite fixes (relaxed
+   NDJSON parse, newest-first registry listing, sampler period
+   validation). *)
+
+module J = Archex_obs.Json
+module Metrics = Archex_obs.Metrics
+module Trace = Archex_obs.Trace
+module Profile = Archex_obs.Profile
+module Bridge = Archex_obs.Runtime_events_bridge
+module Runtime = Archex_obs.Runtime
+module Reg = Archex_obs.Run_registry
+module Trend = Archex_obs.Trend
+module Pool = Archex_parallel.Pool
+
+let checkb = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let checkf eps = Alcotest.(check (float eps))
+
+(* ------------------------------------------------------------------ *)
+(* Synthetic attribution: a hand-built stream where every answer is
+   known exactly.                                                      *)
+
+let ev fields = J.Obj fields
+
+let user_begin ~ts ~name ~id ~dom ~depth =
+  ev
+    [ ("ts", J.Num ts); ("ev", J.Str "begin"); ("name", J.Str name);
+      ("id", J.Num id); ("dom", J.Num dom); ("depth", J.Num depth);
+      ("attrs", J.Obj []) ]
+
+let user_end ~ts ~name ~id ~dom ~depth ~dur =
+  ev
+    [ ("ts", J.Num ts); ("ev", J.Str "end"); ("name", J.Str name);
+      ("id", J.Num id); ("dom", J.Num dom); ("depth", J.Num depth);
+      ("dur", J.Num dur) ]
+
+let gc_begin ~ts ~dom =
+  ev
+    [ ("ts", J.Num ts); ("ev", J.Str "begin");
+      ("name", J.Str "gc.minor"); ("id", J.Num 0.); ("dom", J.Num dom);
+      ("lane", J.Str "gc"); ("depth", J.Num 0.); ("attrs", J.Obj []) ]
+
+let gc_end ~ts ~dom ~dur =
+  ev
+    [ ("ts", J.Num ts); ("ev", J.Str "end"); ("name", J.Str "gc.minor");
+      ("id", J.Num 0.); ("dom", J.Num dom); ("lane", J.Str "gc");
+      ("depth", J.Num 0.); ("dur", J.Num dur) ]
+
+(* dom 0: a(1..5) containing b(2..4); pauses at 2.3+0.2 (inside b),
+   4.4+0.1 (inside a only), 5.7+0.3 (outside everything).
+   dom 1: a gc lane with no user spans at all — 0.5 s unattributed. *)
+let synthetic_events =
+  [ user_begin ~ts:1.0 ~name:"a" ~id:0. ~dom:0. ~depth:0.;
+    user_begin ~ts:2.0 ~name:"b" ~id:1. ~dom:0. ~depth:1.;
+    gc_begin ~ts:2.3 ~dom:0.;
+    gc_end ~ts:2.5 ~dom:0. ~dur:0.2;
+    gc_begin ~ts:2.8 ~dom:1.;
+    gc_end ~ts:3.3 ~dom:1. ~dur:0.5;
+    user_end ~ts:4.0 ~name:"b" ~id:1. ~dom:0. ~depth:1. ~dur:2.0;
+    gc_begin ~ts:4.4 ~dom:0.;
+    gc_end ~ts:4.5 ~dom:0. ~dur:0.1;
+    user_end ~ts:5.0 ~name:"a" ~id:0. ~dom:0. ~depth:0. ~dur:4.0;
+    gc_begin ~ts:5.7 ~dom:0.;
+    gc_end ~ts:6.0 ~dom:0. ~dur:0.3 ]
+
+let row_exn (p : Profile.t) name =
+  match List.find_opt (fun r -> r.Profile.name = name) p.Profile.rows with
+  | Some r -> r
+  | None -> Alcotest.failf "no profile row named %s" name
+
+let test_synthetic_attribution () =
+  (* the merged stream (user spans + gc lanes) must validate as-is *)
+  let numbered = List.mapi (fun i e -> (i + 1, e)) synthetic_events in
+  check_int "merged stream validates" 0
+    (List.length (Trace.validate numbered));
+  let p = Profile.of_events synthetic_events in
+  (* gc lane records must not appear as profile rows *)
+  checkb "no gc.* rows" true
+    (List.for_all
+       (fun r ->
+         not (String.starts_with ~prefix:"gc." r.Profile.name))
+       p.Profile.rows);
+  check_int "two user rows" 2 (List.length p.Profile.rows);
+  let a = row_exn p "a" and b = row_exn p "b" in
+  checkf 1e-9 "pause inside b charged to b" 0.2 b.Profile.gc_time;
+  check_int "b pause count" 1 b.Profile.gc_count;
+  checkf 1e-9 "pause inside a-only charged to a" 0.1 a.Profile.gc_time;
+  check_int "a pause count" 1 a.Profile.gc_count;
+  checkf 1e-9 "all pauses counted" 1.1 p.Profile.gc_total;
+  check_int "four pauses" 4 p.Profile.gc_count;
+  (* 0.3 outside every span + 0.5 on the span-less domain *)
+  checkf 1e-9 "unattributed = outside + span-less dom" 0.8
+    p.Profile.gc_unattributed;
+  (* attributed + unattributed = total, exactly *)
+  checkf 1e-9 "columns sum to total" p.Profile.gc_total
+    (a.Profile.gc_time +. b.Profile.gc_time +. p.Profile.gc_unattributed)
+
+let test_synthetic_folded () =
+  let folded = Profile.folded_stacks_of_events synthetic_events in
+  let weight stack =
+    match List.assoc_opt stack folded with
+    | Some w -> w
+    | None ->
+        Alcotest.failf "folded stack %S absent (have: %s)" stack
+          (String.concat ", " (List.map fst folded))
+  in
+  checkf 1e-9 "a;b;<gc>" 0.2 (weight "a;b;<gc>");
+  checkf 1e-9 "a;<gc>" 0.1 (weight "a;<gc>");
+  checkf 1e-9 "bare <gc>" 0.8 (weight "<gc>");
+  (* user self-time stacks still present *)
+  checkf 1e-9 "a self" 2.0 (weight "a");
+  checkf 1e-9 "a;b self" 2.0 (weight "a;b")
+
+(* of_tree alone never fills gc columns *)
+let test_of_tree_gc_zero () =
+  let p = Profile.of_tree (Trace.tree_of_events synthetic_events) in
+  checkf 1e-9 "of_tree gc_total" 0. p.Profile.gc_total;
+  checkb "of_tree rows gc-free" true
+    (List.for_all (fun r -> r.Profile.gc_time = 0.) p.Profile.rows)
+
+(* ------------------------------------------------------------------ *)
+(* Live bridge                                                         *)
+
+(* Forced major collections inside a named span must surface as pauses
+   attributed to that span, and the profile's pause total must equal the
+   gc.pause_seconds histogram sum (same observations, same floats). *)
+let test_bridge_attributes_forced_gc () =
+  let trace, events = Trace.memory () in
+  let m = Metrics.create () in
+  let bridge = Bridge.start ~trace m () in
+  Trace.with_span trace "hot" (fun () ->
+      for _ = 1 to 3 do
+        ignore (Sys.opaque_identity (List.init 10_000 (fun i -> (i, i))));
+        Gc.full_major ()
+      done;
+      (* drain the ring while the span is still open so the trace ends
+         up with pause records regardless of later test activity *)
+      ignore (Bridge.poll bridge));
+  Bridge.stop bridge;
+  checkb "bridge saw pauses" true (Bridge.pause_count bridge >= 3);
+  let evs = events () in
+  let numbered = List.mapi (fun i e -> (i + 1, e)) evs in
+  check_int "trace with gc lane validates" 0
+    (List.length (Trace.validate numbered));
+  let p = Profile.of_events evs in
+  let hot = row_exn p "hot" in
+  checkb "pauses attributed to the open span" true
+    (hot.Profile.gc_count >= 3);
+  checkb "attributed pause time positive" true (hot.Profile.gc_time > 0.);
+  (* histogram parity: same pauses, same durations *)
+  let hist = Metrics.histogram m "gc.pause_seconds" in
+  check_int "profile pause count = histogram count"
+    (Metrics.histogram_count hist) p.Profile.gc_count;
+  checkf 1e-9 "profile pause seconds = histogram sum"
+    (Metrics.histogram_sum hist) p.Profile.gc_total
+
+(* Under a jobs=4 pool with the sampler polling the bridge: the merged
+   stream still validates, per-domain pause counters land in the
+   exposition naming scheme, and the attribution total still matches the
+   histogram — pauses on worker domains without open spans are allowed
+   to be unattributed, never lost. *)
+let test_bridge_under_jobs4 () =
+  let trace, events = Trace.memory () in
+  let m = Metrics.create () in
+  let obs = Archex_obs.Ctx.make ~trace ~metrics:m () in
+  let bridge = Bridge.start ~trace m () in
+  Runtime.with_sampler ~period:0.05 ~bridge m (fun _ ->
+      Pool.with_pool ~obs ~jobs:4 (fun p ->
+          ignore
+            (Pool.map p
+               (fun x ->
+                 Trace.with_span trace "churn" (fun () ->
+                     ignore
+                       (Sys.opaque_identity
+                          (List.init 50_000 (fun i -> (i, x))));
+                     Gc.minor ();
+                     x))
+               (List.init 16 Fun.id))));
+  Bridge.stop bridge;
+  let evs = events () in
+  let numbered = List.mapi (fun i e -> (i + 1, e)) evs in
+  let errors = Trace.validate numbered in
+  List.iter
+    (fun (line, msg) -> Printf.eprintf "trace error %d: %s\n" line msg)
+    errors;
+  check_int "jobs=4 stream with gc lanes validates" 0 (List.length errors);
+  checkb "pauses observed" true (Bridge.pause_count bridge > 0);
+  let p = Profile.of_events evs in
+  let hist = Metrics.histogram m "gc.pause_seconds" in
+  check_int "pause count parity under jobs=4"
+    (Metrics.histogram_count hist) p.Profile.gc_count;
+  checkf 1e-6 "pause seconds parity under jobs=4"
+    (Metrics.histogram_sum hist) p.Profile.gc_total;
+  (* the per-domain counter naming matches the exposition scheme *)
+  let dom0 =
+    Option.value ~default:0. (Metrics.value m "gc.pauses{domain=\"0\"}")
+  in
+  checkb "domain-0 pause counter present" true (dom0 > 0.)
+
+(* ------------------------------------------------------------------ *)
+(* Trend analysis                                                      *)
+
+let with_temp_root f =
+  let root =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "archex_trend_%d_%d" (Unix.getpid ()) (Random.bits ()))
+  in
+  let rec rm path =
+    if Sys.is_directory path then begin
+      Array.iter (fun e -> rm (Filename.concat path e)) (Sys.readdir path);
+      Unix.rmdir path
+    end
+    else Sys.remove path
+  in
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists root then rm root)
+    (fun () -> f root)
+
+let record_run ~root ~started ~wall_s =
+  match
+    Reg.record ~root ~command:"mr"
+      ~argv:[ "archex"; "mr"; "--seeded" ]
+      ~model_hash:"cafebabecafebabecafebabecafebabe" ~verdict:"ok"
+      ~exit_code:0 ~started ~wall_s
+      ~series:[ ("mr.total_seconds", wall_s) ]
+      ()
+  with
+  | Ok meta -> meta
+  | Error e -> Alcotest.failf "record failed: %s" e
+
+let analyze_walls walls =
+  List.mapi
+    (fun i w ->
+      { Reg.id = Printf.sprintf "run%02d" i;
+        command = "mr";
+        argv = [];
+        started = float_of_int (1000 * (i + 1));
+        wall_s = w;
+        exit_code = 0;
+        verdict = "ok";
+        model_hash = None;
+        env = [];
+        series = [ ("wall_s", w) ];
+        artifacts = [] })
+    walls
+  |> Trend.analyze ~series:[ "wall_s" ]
+
+let test_trend_flags_slowdown () =
+  let t = analyze_walls [ 1.0; 1.02; 2.5 ] in
+  checkb "2.5x slowdown regresses" true (Trend.regression t);
+  let s = List.hd t.Trend.series in
+  (match s.Trend.baseline with
+  | Some b -> checkf 1e-9 "baseline is median of priors" 1.01 b
+  | None -> Alcotest.fail "no baseline");
+  checkb "latest recorded" true (s.Trend.latest = Some 2.5)
+
+let test_trend_passes_flat () =
+  let t = analyze_walls [ 1.0; 1.02; 0.98; 1.01 ] in
+  checkb "flat history passes" false (Trend.regression t);
+  (* an improvement is not a regression either *)
+  let t = analyze_walls [ 1.0; 1.02; 0.4 ] in
+  checkb "speedup passes" false (Trend.regression t)
+
+let test_trend_insufficient_history () =
+  let t = analyze_walls [ 1.0 ] in
+  checkb "single run passes" false (Trend.regression t);
+  checkb "single run unjudged" true
+    ((List.hd t.Trend.series).Trend.entry = None)
+
+(* A step 4 runs ago: the latest value is "normal" relative to the
+   post-step plateau (median of priors includes the plateau), but the
+   changepoint scan must still flag the upward shift. *)
+let test_trend_changepoint () =
+  let t = analyze_walls [ 1.0; 1.1; 0.9; 3.0; 3.0; 3.1; 2.9 ] in
+  let s = List.hd t.Trend.series in
+  (match s.Trend.changepoint with
+  | Some cut -> check_int "shift located at the step" 3 cut
+  | None -> Alcotest.fail "changepoint not detected");
+  (match s.Trend.shift with
+  | Some shift -> checkb "upward shift" true (shift > 0.)
+  | None -> Alcotest.fail "no shift magnitude");
+  checkb "old regression still flagged" true (Trend.regression t);
+  (* the mirrored downward step is an improvement, not a regression *)
+  let t = analyze_walls [ 3.0; 3.1; 2.9; 1.0; 1.0; 1.1; 0.9 ] in
+  checkb "downward step passes" false (Trend.regression t)
+
+let test_trend_renders () =
+  let t = analyze_walls [ 1.0; 1.0; 2.5 ] in
+  let md = Trend.to_markdown t in
+  checkb "markdown names the series" true
+    (String.length md > 0
+    &&
+    let contains needle s =
+      let n = String.length needle and m = String.length s in
+      let rec at i =
+        i + n <= m && (String.sub s i n = needle || at (i + 1))
+      in
+      at 0
+    in
+    contains "wall_s" md && contains "REGRESSION" md);
+  match Trend.to_json t with
+  | J.Obj fields ->
+      checkb "json regression flag" true
+        (List.assoc_opt "regression" fields = Some (J.Bool true))
+  | _ -> Alcotest.fail "to_json is not an object"
+
+(* End-to-end through the registry: recorded runs, loaded newest-first,
+   analyzed oldest-first internally. *)
+let test_trend_over_registry () =
+  with_temp_root (fun root ->
+      ignore (record_run ~root ~started:1000. ~wall_s:1.0);
+      ignore (record_run ~root ~started:2000. ~wall_s:1.05);
+      ignore (record_run ~root ~started:3000. ~wall_s:2.6);
+      match Reg.list_recent ~root () with
+      | Error e -> Alcotest.failf "list_recent failed: %s" e
+      | Ok runs ->
+          let t =
+            Trend.analyze ~series:[ "wall_s"; "mr.total_seconds" ] runs
+          in
+          checkb "registry slowdown regresses" true (Trend.regression t);
+          check_int "both series analyzed" 2 (List.length t.Trend.series))
+
+(* ------------------------------------------------------------------ *)
+(* Satellites                                                          *)
+
+let test_list_recent () =
+  with_temp_root (fun root ->
+      let a = record_run ~root ~started:1000. ~wall_s:1.0 in
+      let b = record_run ~root ~started:3000. ~wall_s:1.0 in
+      let c = record_run ~root ~started:2000. ~wall_s:1.0 in
+      (match Reg.list_recent ~root () with
+      | Ok [ x; y; z ] ->
+          checkb "newest first" true
+            (x.Reg.id = b.Reg.id && y.Reg.id = c.Reg.id
+           && z.Reg.id = a.Reg.id)
+      | Ok l -> Alcotest.failf "expected 3 runs, got %d" (List.length l)
+      | Error e -> Alcotest.failf "list_recent failed: %s" e);
+      (match Reg.list_recent ~root ~last:2 () with
+      | Ok [ x; y ] ->
+          checkb "--last keeps the newest" true
+            (x.Reg.id = b.Reg.id && y.Reg.id = c.Reg.id)
+      | Ok l -> Alcotest.failf "expected 2 runs, got %d" (List.length l)
+      | Error e -> Alcotest.failf "list_recent failed: %s" e);
+      match Reg.list_recent ~root ~command:"nope" () with
+      | Ok [] -> ()
+      | Ok _ -> Alcotest.fail "command filter leaked"
+      | Error e -> Alcotest.failf "list_recent failed: %s" e)
+
+let test_parse_lines_relaxed () =
+  let vals, skipped =
+    J.parse_lines_relaxed "{\"a\":1}\n\n{\"b\":2}\n{\"c\":"
+  in
+  check_int "two values" 2 (List.length vals);
+  check_int "one partial line skipped" 1 skipped;
+  (* a fully well-formed stream drops nothing *)
+  let vals, skipped = J.parse_lines_relaxed "{\"a\":1}\n{\"b\":2}\n" in
+  check_int "all parsed" 2 (List.length vals);
+  check_int "nothing skipped" 0 skipped
+
+let test_sampler_rejects_bad_period () =
+  let reject period =
+    match Runtime.start ~period Metrics.null with
+    | (_ : Runtime.t) ->
+        Alcotest.failf "period %g accepted" period
+    | exception Invalid_argument _ -> ()
+  in
+  reject 0.;
+  reject (-1.);
+  reject Float.nan
+
+let () =
+  Alcotest.run "profiling"
+    [
+      ( "attribution",
+        [
+          Alcotest.test_case "synthetic stream" `Quick
+            test_synthetic_attribution;
+          Alcotest.test_case "folded <gc> frames" `Quick
+            test_synthetic_folded;
+          Alcotest.test_case "of_tree stays gc-free" `Quick
+            test_of_tree_gc_zero;
+        ] );
+      ( "bridge",
+        [
+          Alcotest.test_case "forced GC lands in span" `Quick
+            test_bridge_attributes_forced_gc;
+          Alcotest.test_case "histogram parity under jobs=4" `Quick
+            test_bridge_under_jobs4;
+        ] );
+      ( "trend",
+        [
+          Alcotest.test_case "flags 2.5x slowdown" `Quick
+            test_trend_flags_slowdown;
+          Alcotest.test_case "passes flat history" `Quick
+            test_trend_passes_flat;
+          Alcotest.test_case "single run unjudged" `Quick
+            test_trend_insufficient_history;
+          Alcotest.test_case "changepoint catches old step" `Quick
+            test_trend_changepoint;
+          Alcotest.test_case "markdown/json rendering" `Quick
+            test_trend_renders;
+          Alcotest.test_case "end-to-end over registry" `Quick
+            test_trend_over_registry;
+        ] );
+      ( "satellites",
+        [
+          Alcotest.test_case "list_recent newest-first" `Quick
+            test_list_recent;
+          Alcotest.test_case "relaxed NDJSON parse" `Quick
+            test_parse_lines_relaxed;
+          Alcotest.test_case "sampler rejects bad period" `Quick
+            test_sampler_rejects_bad_period;
+        ] );
+    ]
