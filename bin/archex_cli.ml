@@ -299,8 +299,8 @@ let model_hash_of template =
    and scheduler-state gauges (heap words, queue depth at exit, …) are
    noise between runs, so only solver-shaped families are kept. *)
 let series_prefixes =
-  [ "mr."; "ar."; "solve."; "pb."; "lp."; "bb."; "rel."; "presolve.";
-    "portfolio."; "progress."; "pool.jobs_"; "gc.pause" ]
+  [ "mr."; "ar."; "solve."; "solver."; "pb."; "lp."; "bb."; "rel.";
+    "presolve."; "portfolio."; "progress."; "pool.jobs_"; "gc.pause" ]
 
 let series_of_metrics metrics =
   match Archex_obs.Metrics.to_json metrics with
@@ -336,8 +336,9 @@ let series_of_metrics metrics =
    snapshot written even when [f] raises or exits nonzero.  With [record]
    = [(command, model_hash)] the finished run is stored in the run
    registry (unless --no-record), its artifacts being whatever
-   trace/metrics/log files the invocation asked for. *)
-let with_obs ?record opts f =
+   trace/metrics/log files the invocation asked for, plus any
+   command-specific [artifacts] (the inspect report). *)
+let with_obs ?record ?(artifacts = []) opts f =
   let open_sink path =
     try open_out path
     with Sys_error msg ->
@@ -468,9 +469,10 @@ let with_obs ?record opts f =
   | Some (command, model_hash) when not opts.no_record -> (
       let wall_s = Archex_obs.Clock.now () -. t0 in
       let artifacts =
-        List.filter_map Fun.id
-          [ opts.trace_file; opts.metrics_file; opts.metrics_out;
-            opts.metrics_stream; opts.search_log_file ]
+        artifacts
+        @ List.filter_map Fun.id
+            [ opts.trace_file; opts.metrics_file; opts.metrics_out;
+              opts.metrics_stream; opts.search_log_file ]
       in
       match
         Archex_obs.Run_registry.record ~command
@@ -572,6 +574,95 @@ let mr_term =
 let mr_cmd =
   let doc = "Synthesize with ILP Modulo Reliability (Algorithm 1)." in
   Cmd.v (Cmd.info "mr" ~doc) mr_term
+
+let inspect_cmd =
+  let run generators r_star backend lazy_ obs3 res jobs top_k json out =
+    let inst = instance_of generators in
+    let strategy =
+      if lazy_ then Archex.Learn_cons.Lazy_one_path
+      else Archex.Learn_cons.Estimated
+    in
+    let budget = budget_of res in
+    with_obs
+      ~record:
+        ("inspect", Some (model_hash_of inst.Eps.Eps_template.template))
+      ~artifacts:(Option.to_list out) obs3
+    @@ fun obs on_event ->
+    note_budget obs res;
+    with_faults res @@ fun () ->
+    let result =
+      Archex.Ilp_mr.run ~obs ?on_event ~strategy ~backend ~budget ~jobs
+        ~inspect:true inst.Eps.Eps_template.template ~r_star
+    in
+    (* the report is worth rendering for unfeasible runs too — the
+       iterations that did solve still carry their insight records *)
+    let trace, code =
+      match result with
+      | Archex.Synthesis.Synthesized (arch, trace, _) ->
+          Format.eprintf "%a@."
+            (Archex.Synthesis.pp_architecture inst.Eps.Eps_template.template)
+            arch;
+          (trace, 0)
+      | Archex.Synthesis.Unfeasible (reason, trace, _) ->
+          Format.eprintf "UNFEASIBLE after %d iteration(s): %a@."
+            (List.length trace) Archex.Synthesis.pp_failure_reason reason;
+          ( trace,
+            if Archex.Synthesis.is_budget_failure reason then exit_exhausted
+            else exit_unfeasible )
+    in
+    let insights =
+      List.filter_map (fun it -> it.Archex.Ilp_mr.insight) trace
+    in
+    let rep = Archex_inspect.build ~insights in
+    let text =
+      if json then
+        Archex_obs.Json.to_string (Archex_inspect.to_json rep) ^ "\n"
+      else Archex_inspect.to_markdown ~top_k rep
+    in
+    (match out with
+    | None -> print_string text
+    | Some path ->
+        let oc =
+          try open_out path
+          with Sys_error msg ->
+            Format.eprintf "archex: cannot open %s@." msg;
+            exit 1
+        in
+        output_string oc text;
+        close_out oc;
+        Format.eprintf "archex: inspect report written to %s@." path);
+    code
+  in
+  let top_k_arg =
+    let doc = "Number of rows in the top-pruning-rows table." in
+    Arg.(value & opt int 10 & info [ "top-k" ] ~doc ~docv:"K")
+  in
+  let json_arg =
+    let doc = "Emit the report as JSON instead of markdown." in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let out_arg =
+    let doc =
+      "Write the report to $(docv) (recorded as a registry artifact) \
+       instead of standard output."
+    in
+    Arg.(value & opt (some string) None
+         & info [ "o"; "output" ] ~doc ~docv:"FILE")
+  in
+  let doc =
+    "Run ILP-MR with search-effectiveness inspection and report which \
+     constraints actually prune (per-row activity with birth iterations), \
+     which learned rows are dead, per-iteration learned-cut effectiveness, \
+     and the cross-iteration redundancy / warm-start-potential profile.  \
+     The synthesis result goes to standard error; the redundancy and \
+     warm-start gauges are recorded in the run registry for \
+     $(b,archex trend)."
+  in
+  Cmd.v (Cmd.info "inspect" ~doc)
+    Term.(
+      const run $ generators_arg $ r_star_arg $ backend_arg $ lazy_arg
+      $ obs_args $ resilience_args $ jobs_arg $ top_k_arg $ json_arg
+      $ out_arg)
 
 let ar_cmd =
   let run generators r_star backend diagram obs3 res jobs =
@@ -1457,6 +1548,10 @@ module Top = struct
     |> List.sort compare
 
   let bar ?(width = 24) frac =
+    (* a first sample can carry elapsed = 0, making callers' ratios nan
+       or inf; render those as an empty bar instead of crashing
+       String.make with a negative or huge count *)
+    let frac = if Float.is_nan frac then 0. else frac in
     let frac = Float.min 1. (Float.max 0. frac) in
     let full = int_of_float (Float.round (frac *. float_of_int width)) in
     String.concat ""
@@ -1590,7 +1685,7 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group ~default:mr_term info
-          [ mr_cmd; ar_cmd; analyze_cmd; export_cmd; certify_cmd;
-            check_cert_cmd; explain_cmd; trace_check_cmd; trace_profile_cmd;
-            trace_export_cmd; report_cmd; bench_diff_cmd; runs_cmd;
-            trend_cmd; top_cmd ]))
+          [ mr_cmd; ar_cmd; analyze_cmd; inspect_cmd; export_cmd;
+            certify_cmd; check_cert_cmd; explain_cmd; trace_check_cmd;
+            trace_profile_cmd; trace_export_cmd; report_cmd; bench_diff_cmd;
+            runs_cmd; trend_cmd; top_cmd ]))

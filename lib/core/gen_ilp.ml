@@ -178,9 +178,10 @@ type checked =
       stats : Milp.Solver.run_stats;
     }
 
-let solve_checked ?obs ?on_event ?backend ?time_limit ?budget t =
+let solve_checked ?obs ?on_event ?backend ?rows ?time_limit ?budget t =
   match
-    Milp.Solver.solve ?obs ?on_event ?backend ?time_limit ?budget t.model
+    Milp.Solver.solve ?obs ?on_event ?backend ?rows ?time_limit ?budget
+      t.model
   with
   | Milp.Solver.Optimal { objective; solution }, stats ->
       Solved

@@ -58,6 +58,7 @@ val solve_checked :
   ?obs:Archex_obs.Ctx.t ->
   ?on_event:(Archex_obs.Event.t -> unit) ->
   ?backend:Milp.Solver.backend ->
+  ?rows:Milp.Row_stats.t ->
   ?time_limit:float ->
   ?budget:Archex_resilience.Budget.t ->
   t -> checked
@@ -65,7 +66,8 @@ val solve_checked :
     are distinct constructors, never conflated (the silent-truncation
     hazard of the raw interface).  [budget] is forwarded to
     {!Milp.Solver.solve}, which clamps the call under the global
-    allowance and charges the nodes it spends. *)
+    allowance and charges the nodes it spends.  [rows] forwards per-row
+    activity tracking (see {!Milp.Solver.solve}; it disables presolve). *)
 
 val solve :
   ?obs:Archex_obs.Ctx.t ->

@@ -15,6 +15,7 @@ type iteration = {
   solution : float array;
   cert : (Archex_obs.Json.t, string) result option;
   learned_rows : Archex_obs.Json.t list;
+  insight : Archex_obs.Json.t option;
 }
 
 type trace = iteration list
@@ -59,10 +60,60 @@ let checkpoint_iteration it =
     k_estimate = it.k_estimate;
     new_constraints = it.new_constraints }
 
+(* ------------------------------------------------------------------ *)
+(* Search-effectiveness inspection (the [?inspect] mode)
+
+   Every model row gets a stable id — its insertion index, which only ever
+   grows because Learn_cons appends — and a birth iteration (0 for the base
+   encoding, i for rows learned by iteration i's analysis).  Per iteration
+   the solver fills a {!Milp.Row_stats} activity table, the first decisions
+   of the search log are captured, and the result is distilled into one
+   JSON [insight] record per iteration: row activity with names and birth,
+   the cross-iteration redundancy ratio (rows carried over / rows total),
+   the decision-prefix overlap with the previous solve, and the running
+   warm-start-potential score (the mean of the two signals). *)
+
+module J = Archex_obs.Json
+
+(* Birth iteration of a row id from the learn breakpoints, a
+   (first_row, iteration) list newest-first: rows below every breakpoint
+   belong to the base encoding (iteration 0). *)
+let born_of breakpoints id =
+  let rec find = function
+    | (first, it) :: rest -> if id >= first then it else find rest
+    | [] -> 0
+  in
+  find breakpoints
+
+let row_kind ~born name =
+  if born > 0 then "learned"
+  else
+    match name with
+    | Some n when String.length n >= 3 && String.sub n 0 3 = "req" ->
+        "requirement"
+    | _ -> "template"
+
+(* Longest-common-prefix overlap of two captured decision sequences,
+   in [0,1].  Two decision-free solves are identical by definition. *)
+let prefix_overlap a b =
+  let la = Array.length a and lb = Array.length b in
+  if la = 0 && lb = 0 then 1.
+  else if la = 0 || lb = 0 then 0.
+  else begin
+    let n = min la lb in
+    let i = ref 0 in
+    while !i < n && a.(!i) = b.(!i) do incr i done;
+    float_of_int !i /. float_of_int n
+  end
+
+(* Decisions captured per solve: enough for prefix comparison, bounded so
+   inspection never retains a full search log. *)
+let decision_capture_limit = 512
+
 let run_with_encoding ?(obs = Archex_obs.Ctx.null) ?on_event ?strategy
     ?backend ?engine ?(max_iterations = 50) ?(solve_time_limit = 180.)
     ?(certify = false) ?cert_node_budget ?(budget = B.unlimited) ?checkpoint
-    ?resume_from ?(jobs = 1) template ~r_star =
+    ?resume_from ?(jobs = 1) ?(inspect = false) template ~r_star =
   let tracer = Archex_obs.Ctx.trace obs in
   let metrics = Archex_obs.Ctx.metrics obs in
   let root_attrs =
@@ -79,6 +130,19 @@ let run_with_encoding ?(obs = Archex_obs.Ctx.null) ?on_event ?strategy
     let learn_state = Learn_cons.init ~obs enc in
     let solver_total = ref 0. in
     let analysis_total = ref 0. in
+    (* inspection state: learn breakpoints (row births), the previous
+       iteration's row count and decision prefix, and the running
+       redundancy / overlap means behind the warm-start-potential score *)
+    let breakpoints = ref [] in
+    let prev_rows = ref None in
+    let prev_decisions = ref None in
+    let red_sum = ref 0. and red_n = ref 0 in
+    let ov_sum = ref 0. and ov_n = ref 0 in
+    let note_learned ~index ~rows_before_learn =
+      if
+        Milp.Model.constraint_count (Gen_ilp.model enc) > rows_before_learn
+      then breakpoints := (rows_before_learn, index) :: !breakpoints
+    in
     let trace = ref [] in
     let ckpt_rev = ref [] in
     (* cost of the last solved relaxation: each iteration's model is a
@@ -166,6 +230,9 @@ let run_with_encoding ?(obs = Archex_obs.Ctx.null) ?on_event ?strategy
                    ~incumbent:(Some (cit.cost, cit.solution)))
             else None
           in
+          let rows_before_learn =
+            Milp.Model.constraint_count (Gen_ilp.model enc)
+          in
           (match cit.k_estimate with
           | None -> ()
           | Some _ -> (
@@ -185,6 +252,7 @@ let run_with_encoding ?(obs = Archex_obs.Ctx.null) ?on_event ?strategy
                                  saturated where the original run learned \
                                  (checkpoint does not match this template)"
                                 cit.index }))));
+          note_learned ~index:cit.index ~rows_before_learn;
           push
             { index = cit.index;
               config;
@@ -198,7 +266,8 @@ let run_with_encoding ?(obs = Archex_obs.Ctx.null) ?on_event ?strategy
               stats = replay_stats backend;
               solution = cit.solution;
               cert;
-              learned_rows = Learn_cons.drain_learned learn_state })
+              learned_rows = Learn_cons.drain_learned learn_state;
+              insight = None })
         ck.Checkpoint.iterations;
       List.length ck.Checkpoint.iterations
     in
@@ -220,8 +289,46 @@ let run_with_encoding ?(obs = Archex_obs.Ctx.null) ?on_event ?strategy
       match B.check ~stage:"ilp-mr" budget with
       | Error e -> `Done (exhausted e)
       | Ok () -> (
+          (* inspection plumbing for this solve: a fresh per-row activity
+             table and a search-log shim capturing the first decisions of
+             the search (forwarding to the user's sink, if any) *)
+          let rows_total =
+            Milp.Model.constraint_count (Gen_ilp.model enc)
+          in
+          let row_stats =
+            if inspect then Some (Milp.Row_stats.create ()) else None
+          in
+          let captured = ref [] in
+          let ncaptured = ref 0 in
+          let solve_obs =
+            if not inspect then obs
+            else begin
+              let user_sink = Archex_obs.Ctx.search_log obs in
+              let sink j =
+                (match j with
+                | J.Obj fields
+                  when !ncaptured < decision_capture_limit
+                       && List.assoc_opt "ev" fields
+                          = Some (J.Str "decision") -> (
+                    match
+                      ( List.assoc_opt "var" fields,
+                        List.assoc_opt "value" fields )
+                    with
+                    | Some (J.Num v), Some (J.Num value) ->
+                        captured := (v, value) :: !captured;
+                        incr ncaptured
+                    | _ -> ())
+                | _ -> ());
+                match user_sink with Some f -> f j | None -> ()
+              in
+              Archex_obs.Ctx.make
+                ~trace:(Archex_obs.Ctx.trace obs)
+                ~metrics ~search_log:sink ()
+            end
+          in
           match
-            Gen_ilp.solve_checked ~obs ?on_event ?backend
+            Gen_ilp.solve_checked ~obs:solve_obs ?on_event ?backend
+              ?rows:row_stats
               ?time_limit:(B.slice ~cap:solve_time_limit budget) ~budget enc
           with
           | Gen_ilp.No_solution { stats } ->
@@ -263,7 +370,147 @@ let run_with_encoding ?(obs = Archex_obs.Ctx.null) ?on_event ?strategy
               analysis_total := !analysis_total +. report.Rel_analysis.elapsed;
               let reliability = report.Rel_analysis.worst in
               Archex_obs.Gc_metrics.sample metrics;
+              (* distill the iteration's search-effectiveness signals into
+                 one JSON record (see the inspection comment above); also
+                 updates the running redundancy/overlap means and the
+                 [mr.redundancy_ratio] / [mr.warm_start_potential] gauges *)
+              let build_insight () =
+                let rs =
+                  match row_stats with
+                  | Some rs -> rs
+                  | None -> Milp.Row_stats.create ()
+                in
+                let names =
+                  Array.of_list
+                    (List.map
+                       (fun r -> r.Milp.Model.cname)
+                       (Milp.Model.constraints (Gen_ilp.model enc)))
+                in
+                let cname id =
+                  if id < Array.length names then names.(id) else None
+                in
+                let bps = !breakpoints in
+                let activity = ref [] in
+                (* indices ≥ rows_total belong to solver-side extras (the
+                   PB probe's bound row): not rows of this model, skipped *)
+                for id = min rows_total (Milp.Row_stats.rows rs) - 1
+                    downto 0 do
+                  if Milp.Row_stats.activity rs id > 0 then begin
+                    let born = born_of bps id in
+                    let name =
+                      match cname id with
+                      | Some n -> n
+                      | None -> Printf.sprintf "row%d" id
+                    in
+                    activity :=
+                      J.Obj
+                        [ ("row", J.Num (float_of_int id));
+                          ("name", J.Str name);
+                          ("kind", J.Str (row_kind ~born (cname id)));
+                          ("born", J.Num (float_of_int born));
+                          ( "props",
+                            J.Num
+                              (float_of_int
+                                 (Milp.Row_stats.propagations rs id)) );
+                          ( "conflicts",
+                            J.Num
+                              (float_of_int (Milp.Row_stats.conflicts rs id))
+                          );
+                          ( "binding",
+                            J.Num
+                              (float_of_int (Milp.Row_stats.binding rs id))
+                          );
+                          ( "prunes",
+                            J.Num
+                              (float_of_int (Milp.Row_stats.prunes rs id)) )
+                        ]
+                      :: !activity
+                  end
+                done;
+                let decisions = Array.of_list (List.rev !captured) in
+                let carried = !prev_rows in
+                let redundancy =
+                  match carried with
+                  | Some p when rows_total > 0 ->
+                      Some (float_of_int p /. float_of_int rows_total)
+                  | _ -> None
+                in
+                let overlap =
+                  Option.map
+                    (fun p -> prefix_overlap p decisions)
+                    !prev_decisions
+                in
+                (match redundancy with
+                | Some r ->
+                    red_sum := !red_sum +. r;
+                    incr red_n
+                | None -> ());
+                (match overlap with
+                | Some o ->
+                    ov_sum := !ov_sum +. o;
+                    incr ov_n
+                | None -> ());
+                let mean s n = s /. float_of_int n in
+                let warm_start =
+                  match (!red_n, !ov_n) with
+                  | 0, 0 -> None
+                  | rn, 0 -> Some (mean !red_sum rn)
+                  | 0, on -> Some (mean !ov_sum on)
+                  | rn, on ->
+                      Some
+                        ((0.5 *. mean !red_sum rn)
+                        +. (0.5 *. mean !ov_sum on))
+                in
+                (match redundancy with
+                | Some r ->
+                    Archex_obs.Metrics.set
+                      (Archex_obs.Metrics.gauge metrics
+                         "mr.redundancy_ratio")
+                      r
+                | None -> ());
+                (match warm_start with
+                | Some w ->
+                    Archex_obs.Metrics.set
+                      (Archex_obs.Metrics.gauge metrics
+                         "mr.warm_start_potential")
+                      w
+                | None -> ());
+                prev_rows := Some rows_total;
+                prev_decisions := Some decisions;
+                let opt = function Some v -> J.Num v | None -> J.Null in
+                let rows_after =
+                  Milp.Model.constraint_count (Gen_ilp.model enc)
+                in
+                J.Obj
+                  [ ("iteration", J.Num (float_of_int index));
+                    ("rows_total", J.Num (float_of_int rows_total));
+                    ( "rows_carried",
+                      opt (Option.map float_of_int carried) );
+                    ( "rows_learned",
+                      J.Num (float_of_int (rows_after - rows_total)) );
+                    ("redundancy_ratio", opt redundancy);
+                    ( "decisions_captured",
+                      J.Num (float_of_int (Array.length decisions)) );
+                    ("prefix_overlap", opt overlap);
+                    ("warm_start_potential", opt warm_start);
+                    ("activity", J.Arr !activity);
+                    ( "learned_names",
+                      (* names of the rows this iteration's analysis
+                         appended, in id order from [rows_total]: lets a
+                         reader enumerate every learned row, active or
+                         dead *)
+                      J.Arr
+                        (List.init (rows_after - rows_total) (fun i ->
+                             let id = rows_total + i in
+                             match cname id with
+                             | Some n -> J.Str n
+                             | None -> J.Str (Printf.sprintf "row%d" id)))
+                    ) ]
+              in
               let record ~k_estimate ~new_constraints =
+                let insight =
+                  if inspect then Some (build_insight ()) else None
+                in
                 push
                   { index;
                     config;
@@ -277,7 +524,8 @@ let run_with_encoding ?(obs = Archex_obs.Ctx.null) ?on_event ?strategy
                     stats;
                     solution;
                     cert;
-                    learned_rows = Learn_cons.drain_learned learn_state }
+                    learned_rows = Learn_cons.drain_learned learn_state;
+                    insight }
               in
               if Rel_analysis.meets report ~r_star then begin
                 record ~k_estimate:None ~new_constraints:0;
@@ -298,6 +546,7 @@ let run_with_encoding ?(obs = Archex_obs.Ctx.null) ?on_event ?strategy
                       (Synthesis.Unfeasible
                          (Synthesis.Saturated, List.rev !trace, timing ()))
                 | Learn_cons.Learned { k; new_constraints } ->
+                    note_learned ~index ~rows_before_learn:rows_total;
                     record ~k_estimate:(Some k) ~new_constraints;
                     `Continue
               end)
@@ -318,15 +567,15 @@ let run_with_encoding ?(obs = Archex_obs.Ctx.null) ?on_event ?strategy
 
 let run ?obs ?on_event ?strategy ?backend ?engine ?max_iterations
     ?solve_time_limit ?certify ?cert_node_budget ?budget ?checkpoint
-    ?resume_from ?jobs template ~r_star =
+    ?resume_from ?jobs ?inspect template ~r_star =
   snd
     (run_with_encoding ?obs ?on_event ?strategy ?backend ?engine
        ?max_iterations ?solve_time_limit ?certify ?cert_node_budget ?budget
-       ?checkpoint ?resume_from ?jobs template ~r_star)
+       ?checkpoint ?resume_from ?jobs ?inspect template ~r_star)
 
 let resume ?obs ?on_event ?strategy ?backend ?engine ?max_iterations
     ?solve_time_limit ?certify ?cert_node_budget ?budget ?checkpoint ?jobs
-    template ~from =
+    ?inspect template ~from =
   let strategy =
     match strategy with
     | Some _ -> strategy
@@ -339,18 +588,18 @@ let resume ?obs ?on_event ?strategy ?backend ?engine ?max_iterations
   in
   run ?obs ?on_event ?strategy ?backend ?engine ?max_iterations
     ?solve_time_limit ?certify ?cert_node_budget ?budget ?checkpoint ?jobs
-    ~resume_from:from template ~r_star:from.Checkpoint.r_star
+    ?inspect ~resume_from:from template ~r_star:from.Checkpoint.r_star
 
 let run_checked ?obs ?on_event ?strategy ?backend ?engine ?max_iterations
     ?solve_time_limit ?certify ?cert_node_budget ?budget ?checkpoint
-    ?resume_from ?jobs template ~r_star =
+    ?resume_from ?jobs ?inspect template ~r_star =
   match Archlib.Template.validate_all template with
   | Error violations -> Error (Err.Invalid_input violations)
   | Ok () ->
       Err.guard ~stage:"ilp-mr" (fun () ->
           run ?obs ?on_event ?strategy ?backend ?engine ?max_iterations
             ?solve_time_limit ?certify ?cert_node_budget ?budget ?checkpoint
-            ?resume_from ?jobs template ~r_star)
+            ?resume_from ?jobs ?inspect template ~r_star)
 
 let certificate_of_trace ~r_star trace =
   let rec collect acc = function

@@ -35,6 +35,23 @@ type iteration = {
   learned_rows : Archex_obs.Json.t list;
       (** provenance of the constraints this iteration's analysis added
           ({!Learn_cons.drain_learned}); empty on convergence *)
+  insight : Archex_obs.Json.t option;
+      (** search-effectiveness record of this iteration's solve, present
+          only on inspected runs ([?inspect]) and [None] for replayed
+          iterations.  One object with: [rows_total] / [rows_carried] /
+          [rows_learned] (model rows at solve time, rows shared with the
+          previous iteration's model, rows the analysis appended),
+          [redundancy_ratio] (carried/total, [null] on the first
+          iteration), [decisions_captured] and [prefix_overlap] (longest
+          common decision-prefix with the previous solve, over the first
+          512 decisions), the running [warm_start_potential] score (mean
+          of redundancy and overlap means), and [activity] — one row per
+          model constraint with nonzero solver activity: its stable id
+          ([row], the insertion index), [name] (declared name or
+          ["row<i>"]), [kind] (["template"] / ["requirement"] /
+          ["learned"]), birth iteration [born], and the
+          [props]/[conflicts]/[binding]/[prunes] counters of
+          {!Milp.Row_stats}. *)
 }
 
 type trace = iteration list
@@ -54,6 +71,7 @@ val run :
   ?checkpoint:string ->
   ?resume_from:Checkpoint.t ->
   ?jobs:int ->
+  ?inspect:bool ->
   Archlib.Template.t -> r_star:float -> trace Synthesis.result
 (** Synthesize a minimum-cost architecture with worst-sink failure
     probability at most [r*].  [strategy] defaults to
@@ -103,7 +121,17 @@ val run :
     on that many domains ({!Rel_analysis.analyze}); combine with the
     [Portfolio] solver backend to also race the ILP solves.  The
     synthesized architecture, costs and reliability figures are identical
-    at any [jobs]. *)
+    at any [jobs].
+
+    [inspect] (default false; zero cost when off) turns on
+    search-effectiveness inspection: every [SOLVEILP] call runs with a
+    fresh {!Milp.Row_stats} activity table (which disables presolve, so
+    row ids stay stable) and a decision-capturing search-log shim, and
+    each recorded iteration carries an [insight] record (see
+    {!type:iteration}).  The per-iteration redundancy ratio and the
+    running warm-start-potential score are also published as
+    [mr.redundancy_ratio] / [mr.warm_start_potential] gauges, which the
+    CLI records into the run registry for [archex trend]. *)
 
 val run_with_encoding :
   ?obs:Archex_obs.Ctx.t ->
@@ -119,6 +147,7 @@ val run_with_encoding :
   ?checkpoint:string ->
   ?resume_from:Checkpoint.t ->
   ?jobs:int ->
+  ?inspect:bool ->
   Archlib.Template.t -> r_star:float -> Gen_ilp.t * trace Synthesis.result
 (** Like {!run} but also returns the encoding, whose model is the final
     (fully extended) ILP — what the explanation report
@@ -137,6 +166,7 @@ val resume :
   ?budget:Archex_resilience.Budget.t ->
   ?checkpoint:string ->
   ?jobs:int ->
+  ?inspect:bool ->
   Archlib.Template.t -> from:Checkpoint.t -> trace Synthesis.result
 (** {!run} continued from a checkpoint: [r*] comes from the checkpoint,
     and [strategy] / [backend] default to the checkpointed names (an
@@ -160,6 +190,7 @@ val run_checked :
   ?checkpoint:string ->
   ?resume_from:Checkpoint.t ->
   ?jobs:int ->
+  ?inspect:bool ->
   Archlib.Template.t -> r_star:float ->
   (trace Synthesis.result, Archex_resilience.Error.t) result
 (** The trust-boundary entry point: first {!Archlib.Template.validate_all}

@@ -42,7 +42,7 @@ type node = {
   lb : float;
 }
 
-let solve ?(metrics = Archex_obs.Metrics.null) ?on_event ?log
+let solve ?(metrics = Archex_obs.Metrics.null) ?on_event ?log ?rows
     ?(max_nodes = 1_000_000) ?time_limit ?should_stop ?shared m =
   let t0 = Archex_obs.Clock.now () in
   let module J = Archex_obs.Json in
@@ -154,6 +154,41 @@ let solve ?(metrics = Archex_obs.Metrics.null) ?on_event ?log
     List.iter (fun (x, lo, hi) -> Model.narrow_bounds sub x lo hi) node.bounds;
     sub
   in
+  (* Per-model-row attribution (only with a tracker): a row tight at the
+     point that cut a node off — the relaxation optimum of a pruned node,
+     or an improving integral incumbent — is credited for it.  Rows are
+     pre-flattened once so the per-node cost is one pass over the nonzeros. *)
+  let row_forms =
+    match rows with
+    | None -> [||]
+    | Some _ ->
+        Model.constraints m
+        |> List.map (fun r ->
+               let terms = Array.of_list (Lin_expr.terms r.Model.expr) in
+               let base = Lin_expr.constant r.Model.expr in
+               let scale =
+                 Array.fold_left
+                   (fun acc (_, a) -> Float.max acc (Float.abs a))
+                   (Float.max 1. (Float.abs r.Model.rhs))
+                   terms
+               in
+               (terms, base, r.Model.rhs, int_tol *. scale))
+        |> Array.of_list
+  in
+  let note_tight bump solution =
+    match rows with
+    | None -> ()
+    | Some rs ->
+        Array.iteri
+          (fun i (terms, base, rhs, tol) ->
+            let lhs =
+              Array.fold_left
+                (fun acc (x, a) -> acc +. (a *. solution.(x)))
+                base terms
+            in
+            if Float.abs (lhs -. rhs) <= tol then bump rs i)
+          row_forms
+  in
   let process node =
     incr nodes;
     let no_extra () = [] in
@@ -174,8 +209,10 @@ let solve ?(metrics = Archex_obs.Metrics.null) ?on_event ?log
         | Simplex.Optimal { objective; solution; pivots = p } ->
             pivots := !pivots + p;
             let relax () = [ ("relaxation", J.Num objective) ] in
-            if worse_than_best objective then
+            if worse_than_best objective then begin
+              note_tight Row_stats.bump_prune solution;
               node_record node "pruned" relax
+            end
             else begin
               match fractional_var m solution with
               | None ->
@@ -195,6 +232,7 @@ let solve ?(metrics = Archex_obs.Metrics.null) ?on_event ?log
                         solution
                     in
                     best := Some (objective, rounded);
+                    note_tight Row_stats.bump_binding rounded;
                     publish_incumbent ();
                     emit Archex_obs.Event.Incumbent (fun () ->
                         with_bound

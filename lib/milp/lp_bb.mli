@@ -29,6 +29,7 @@ val solve :
   ?metrics:Archex_obs.Metrics.t ->
   ?on_event:(Archex_obs.Event.t -> unit) ->
   ?log:(Archex_obs.Json.t -> unit) ->
+  ?rows:Row_stats.t ->
   ?max_nodes:int -> ?time_limit:float ->
   ?should_stop:(unit -> bool) ->
   ?shared:Archex_parallel.Shared_best.t ->
@@ -52,6 +53,13 @@ val solve :
     ["infeasible"]/["pruned"]/["integral"]/["branch"] with [branch_var]),
     ["incumbent"] and ["bound"]; every record carries ["t"], elapsed
     seconds since solve start.
+
+    [rows] (default none; no per-row work without it) accumulates
+    per-model-row activity ({!Row_stats}): a row tight (within the
+    integrality tolerance, scaled by its largest coefficient) at a pruned
+    node's relaxation optimum is credited with the prune; a row tight at
+    an improving integral incumbent is credited as binding.  Rows are
+    identified by their insertion index in the model.
 
     [should_stop] (polled once per node) requests a cooperative abort:
     the solve returns [Limit_reached] with the current incumbent.

@@ -74,7 +74,9 @@ type state = {
   mutable cons : con array;          (* grows with learned rows *)
   mutable ncons : int;
   mutable is_learned : bool array;   (* parallel to cons *)
+  mutable origin : int array;        (* parallel to cons: model row, or -1 *)
   mutable n_learned : int;
+  row_stats : Row_stats.t option;    (* per-model-row activity, opt-in *)
   occurs : (int * float * bool) list array;
   value : int array;                 (* -1 / 0 / 1 *)
   level : int array;
@@ -117,7 +119,7 @@ let bound_exceeded st =
   | None -> false
   | Some (best, _) -> cost_lb st >= best -. obj_tol st
 
-let add_con ?(learned = false) st con =
+let add_con ?(learned = false) ?(origin = -1) st con =
   if st.ncons = Array.length st.cons then begin
     let cap = max 16 (2 * st.ncons) in
     let cons = Array.make cap con in
@@ -125,11 +127,15 @@ let add_con ?(learned = false) st con =
     st.cons <- cons;
     let flags = Array.make cap false in
     Array.blit st.is_learned 0 flags 0 st.ncons;
-    st.is_learned <- flags
+    st.is_learned <- flags;
+    let origins = Array.make cap (-1) in
+    Array.blit st.origin 0 origins 0 st.ncons;
+    st.origin <- origins
   end;
   let ci = st.ncons in
   st.cons.(ci) <- con;
   st.is_learned.(ci) <- learned;
+  st.origin.(ci) <- origin;
   if learned then st.n_learned <- st.n_learned + 1;
   st.ncons <- st.ncons + 1;
   (* occurrence lists and current poss/sure must reflect the assignment *)
@@ -147,6 +153,14 @@ let add_con ?(learned = false) st con =
   con.poss <- !poss;
   con.sure <- !sure;
   ci
+
+(* Attribute solver activity to the model row a con originated from.
+   No-op without a tracker, for solver-internal cons (learned clauses,
+   bound rows: origin -1) and for reason codes (negative [ci]). *)
+let note_activity st bump ci =
+  match st.row_stats with
+  | None -> ()
+  | Some rs -> if ci >= 0 then bump rs st.origin.(ci)
 
 (* Queue the implications of a row whose slack shrank. *)
 let enqueue_implications st ci =
@@ -259,6 +273,7 @@ let propagate st =
     let x, v, reason = Queue.pop st.pending in
     if st.value.(x) < 0 then begin
       st.n_propagations <- st.n_propagations + 1;
+      note_activity st Row_stats.bump_propagation reason;
       let lb_before = st.lb_extra in
       assign st x v reason;
       if st.lb_extra <> lb_before then propagate_objective st
@@ -334,13 +349,16 @@ let reason_clause st x =
     (x, st.value.(x) = 1)
     :: expensive_subset st ~before_pos:my_pos
          ~extra:(Float.abs st.obj.(x)) ()
-  else
+  else begin
+    (* the reason row participates in the conflict being analyzed *)
+    note_activity st Row_stats.bump_conflict r;
     (x, st.value.(x) = 1)
     :: (Array.to_list st.cons.(r).lits
        |> List.filter_map (fun (y, _, pol) ->
               if y <> x && earlier y && (st.value.(y) = 1) <> pol then
                 Some (y, pol)
               else None))
+  end
 
 let bump st x =
   Var_heap.bump st.heap x st.var_inc;
@@ -443,6 +461,7 @@ let reduce_db st =
     if keep then begin
       st.cons.(!ncons') <- st.cons.(ci);
       st.is_learned.(!ncons') <- st.is_learned.(ci);
+      st.origin.(!ncons') <- st.origin.(ci);
       incr ncons'
     end
   done;
@@ -477,9 +496,22 @@ let record_incumbent st =
   let improves =
     match st.best with None -> true | Some (c, _) -> cost < c -. obj_tol st
   in
-  if improves then
+  if improves then begin
     st.best <-
       Some (cost, Array.map (fun v -> float_of_int (max 0 v)) st.value);
+    (* binding-at-incumbent: the assignment is complete here, so [sure] is
+       the achieved LHS of every row — tight rows shape the incumbent *)
+    match st.row_stats with
+    | None -> ()
+    | Some rs ->
+        for ci = 0 to st.ncons - 1 do
+          if st.origin.(ci) >= 0 then begin
+            let con = st.cons.(ci) in
+            if Float.abs (con.sure -. con.bound) <= con.tol then
+              Row_stats.bump_binding rs st.origin.(ci)
+          end
+        done
+  end;
   improves
 
 let improvement_gap st best =
@@ -605,6 +637,7 @@ let search st ~metrics ~on_event ~log ~max_decisions ~time_limit
   let by_cost_cursor = ref 0 in
   let handle_conflict reason =
     st.n_conflicts <- st.n_conflicts + 1;
+    note_activity st Row_stats.bump_conflict reason;
     check_limits ();
     decr conflicts_until_restart;
     let kind = if reason = reason_bound then "bound" else "row" in
@@ -808,13 +841,17 @@ let search st ~metrics ~on_event ~log ~max_decisions ~time_limit
 (* ------------------------------------------------------------------ *)
 (* Entry point                                                         *)
 
-let build_state m =
+let build_state ?row_stats m =
   if not (Model.is_pure_boolean m) then
     invalid_arg "Pb_solver: model has non-Boolean variables";
   let nvars = Model.var_count m in
+  (* each con remembers the model row (insertion index) it came from; an
+     Eq row normalizes into two cons sharing one origin *)
   let rows = ref [] in
+  let row_index = ref (-1) in
   Model.iter_constraints m (fun r ->
-      List.iter (fun c -> rows := c :: !rows)
+      incr row_index;
+      List.iter (fun c -> rows := (!row_index, c) :: !rows)
         (normalize_row r.expr r.cmp r.rhs));
   let rows = List.rev !rows in
   let obj = Array.make nvars 0. in
@@ -841,7 +878,9 @@ let build_state m =
     { cons = Array.make 16 dummy;
       ncons = 0;
       is_learned = Array.make 16 false;
+      origin = Array.make 16 (-1);
       n_learned = 0;
+      row_stats;
       occurs;
       value = Array.make nvars (-1);
       level = Array.make nvars 0;
@@ -870,7 +909,7 @@ let build_state m =
   in
   (* register the rows through add_con so occurrences and slack counters
      are consistent *)
-  List.iter (fun con -> ignore (add_con st con)) rows;
+  List.iter (fun (origin, con) -> ignore (add_con ~origin st con)) rows;
   (* seed decision activities: objective weight dominates, participation
      breaks ties *)
   let max_obj =
@@ -897,10 +936,10 @@ let record_metrics metrics (stats : stats) =
     M.add (M.counter metrics "pb.learned") (float_of_int stats.learned)
   end
 
-let solve ?(metrics = Archex_obs.Metrics.null) ?on_event ?log
+let solve ?(metrics = Archex_obs.Metrics.null) ?on_event ?log ?rows
     ?(max_decisions = max_int) ?time_limit ?(lower_bound = neg_infinity)
     ?should_stop ?shared m =
-  match build_state m with
+  match build_state ?row_stats:rows m with
   | exception Trivially_infeasible ->
       ( Infeasible,
         { decisions = 0;

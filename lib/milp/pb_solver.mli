@@ -34,6 +34,7 @@ val solve :
   ?metrics:Archex_obs.Metrics.t ->
   ?on_event:(Archex_obs.Event.t -> unit) ->
   ?log:(Archex_obs.Json.t -> unit) ->
+  ?rows:Row_stats.t ->
   ?max_decisions:int -> ?time_limit:float -> ?lower_bound:float ->
   ?should_stop:(unit -> bool) ->
   ?shared:Archex_parallel.Shared_best.t ->
@@ -63,6 +64,13 @@ val solve :
     level, backjump, learned_lits), ["incumbent"] (objective),
     ["bound"] (proven lower bound) and ["restart"]; every record carries
     ["t"], the elapsed seconds since search start.
+
+    [rows] (default none; no per-row work without it) accumulates per-model-row
+    activity counters ({!Row_stats}): propagations caused, conflicts
+    participated in (as the falsified row or as an expanded reason during
+    1-UIP analysis) and binding-at-incumbent.  Rows are identified by their
+    insertion index in [m]; solver-internal rows (learned clauses, objective
+    bound rows) are not attributed.
 
     [should_stop] (polled every few dozen search steps) requests a
     cooperative abort: the solve returns [Limit_reached] with the current

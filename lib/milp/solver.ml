@@ -33,8 +33,8 @@ let solution_value solution x = solution.(x) >= 0.5
 
 let now () = Archex_obs.Clock.now ()
 
-let solve_untraced ~obs ~on_event ~backend ~presolve ?max_nodes ?time_limit
-    m =
+let solve_untraced ~obs ~on_event ~backend ~presolve ?rows ?max_nodes
+    ?time_limit m =
   let t0 = now () in
   let metrics = Archex_obs.Ctx.metrics obs in
   let log = Archex_obs.Ctx.search_log obs in
@@ -101,7 +101,7 @@ let solve_untraced ~obs ~on_event ~backend ~presolve ?max_nodes ?time_limit
               probe_spent := now ();
               phase "probe";
               match
-                Pb_solver.solve ~metrics ?on_event ?log
+                Pb_solver.solve ~metrics ?on_event ?log ?rows
                   ?max_decisions:max_nodes ?time_limit:probe_limit
                   probe_model
               with
@@ -131,7 +131,7 @@ let solve_untraced ~obs ~on_event ~backend ~presolve ?max_nodes ?time_limit
                 in
                 phase "main";
                 let o, s =
-                  Pb_solver.solve ~metrics ?on_event ?log
+                  Pb_solver.solve ~metrics ?on_event ?log ?rows
                     ?max_decisions:max_nodes ?time_limit:remaining
                     ~lower_bound m'
                 in
@@ -154,7 +154,8 @@ let solve_untraced ~obs ~on_event ~backend ~presolve ?max_nodes ?time_limit
             false )
       | Lp_branch_bound ->
           let o, s =
-            Lp_bb.solve ~metrics ?on_event ?log ?max_nodes ?time_limit m'
+            Lp_bb.solve ~metrics ?on_event ?log ?rows ?max_nodes ?time_limit
+              m'
           in
           let outcome =
             match o with
@@ -206,6 +207,10 @@ let solve_untraced ~obs ~on_event ~backend ~presolve ?max_nodes ?time_limit
             let log = serialize log in
             phase "portfolio";
             let pb_model = Model.copy m' and lp_model = Model.copy m' in
+            (* Row_stats is single-domain mutable: each racer fills its own
+               instance, merged into the caller's after the join. *)
+            let pb_rows = Option.map (fun _ -> Row_stats.create ()) rows in
+            let lp_rows = Option.map (fun _ -> Row_stats.create ()) rows in
             let definitive = function
               | Optimal _ | Infeasible | Unbounded -> true
               | Limit_reached _ -> false
@@ -225,7 +230,7 @@ let solve_untraced ~obs ~on_event ~backend ~presolve ?max_nodes ?time_limit
             in
             let run_pb () =
               let o, s =
-                Pb_solver.solve ~metrics ?on_event ?log
+                Pb_solver.solve ~metrics ?on_event ?log ?rows:pb_rows
                   ?max_decisions:max_nodes ?time_limit ~lower_bound
                   ~should_stop ~shared pb_model
               in
@@ -243,8 +248,8 @@ let solve_untraced ~obs ~on_event ~backend ~presolve ?max_nodes ?time_limit
             in
             let run_lp () =
               let o, s =
-                Lp_bb.solve ~metrics ?on_event ?log ?max_nodes ?time_limit
-                  ~should_stop ~shared lp_model
+                Lp_bb.solve ~metrics ?on_event ?log ?rows:lp_rows ?max_nodes
+                  ?time_limit ~should_stop ~shared lp_model
               in
               let o =
                 match o with
@@ -270,6 +275,11 @@ let solve_untraced ~obs ~on_event ~backend ~presolve ?max_nodes ?time_limit
               | _ -> assert false
             in
             let pb_o, pb_s = pb and lp_o, lp_s = lp in
+            (match rows with
+            | Some into ->
+                Option.iter (fun r -> Row_stats.merge ~into r) pb_rows;
+                Option.iter (fun r -> Row_stats.merge ~into r) lp_rows
+            | None -> ());
             (* winner attribution: which racer produced the definitive
                answer (PB beats LP-BB on ties — it cancelled first or at
                the same poll, and its proof is checked below either way) *)
@@ -354,7 +364,10 @@ let min_opt a b =
   | None, None -> None
 
 let solve ?(obs = Archex_obs.Ctx.null) ?on_event ?backend ?(presolve = true)
-    ?max_nodes ?time_limit ?budget m =
+    ?rows ?max_nodes ?time_limit ?budget m =
+  (* per-row attribution keys on the caller's row insertion indices, which
+     presolve invalidates by dropping implied rows — force it off *)
+  let presolve = presolve && rows = None in
   let backend =
     match backend with
     | Some b -> b
@@ -404,7 +417,7 @@ let solve ?(obs = Archex_obs.Ctx.null) ?on_event ?backend ?(presolve = true)
               best_bound = None;
               retries = 0 } )
         else
-          solve_untraced ~obs ~on_event ~backend ~presolve ?max_nodes
+          solve_untraced ~obs ~on_event ~backend ~presolve ?rows ?max_nodes
             ?time_limit m)
   in
   (match budget with
@@ -417,6 +430,31 @@ let solve ?(obs = Archex_obs.Ctx.null) ?on_event ?backend ?(presolve = true)
       (Archex_obs.Metrics.histogram metrics "solve.seconds")
       stats.elapsed
   end;
+  (match rows with
+  | None -> ()
+  | Some rs ->
+      if Archex_obs.Metrics.enabled metrics then begin
+        let add name v =
+          Archex_obs.Metrics.add
+            (Archex_obs.Metrics.counter metrics name)
+            (float_of_int v)
+        in
+        add "solver.constraint.propagations" (Row_stats.total_propagations rs);
+        add "solver.constraint.conflicts" (Row_stats.total_conflicts rs);
+        add "solver.constraint.binding" (Row_stats.total_binding rs);
+        add "solver.constraint.prunes" (Row_stats.total_prunes rs)
+      end;
+      match Archex_obs.Ctx.search_log obs with
+      | None -> ()
+      | Some sink ->
+          let fields =
+            match Row_stats.to_json rs with
+            | Archex_obs.Json.Obj fields -> fields
+            | _ -> []
+          in
+          sink
+            (Archex_obs.Json.Obj
+               (("ev", Archex_obs.Json.Str "row_activity") :: fields)));
   Archex_obs.Gc_metrics.sample metrics;
   (outcome, stats)
 

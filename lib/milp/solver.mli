@@ -45,6 +45,7 @@ val solve :
   ?on_event:(Archex_obs.Event.t -> unit) ->
   ?backend:backend ->
   ?presolve:bool ->
+  ?rows:Row_stats.t ->
   ?max_nodes:int ->
   ?time_limit:float ->
   ?budget:Archex_resilience.Budget.t ->
@@ -68,6 +69,17 @@ val solve :
     [Fallback] progress event (source ["solver"]), a ["retry-pb"] phase in
     the search log, a [solve.retries] metric, and [retries = 1] in the
     returned statistics.
+
+    [rows] (default none; zero cost without it) accumulates per-model-row
+    activity ({!Row_stats}) keyed by row insertion index in [m]: PB
+    propagations/conflicts/binding, LP prune attribution.  Because
+    attribution keys on row indices, passing [rows] forces [presolve] off
+    (presolve drops implied rows and would shift the indices).  Under
+    [Portfolio] each racer fills a private instance, merged into [rows]
+    after the race.  Totals are also emitted as
+    [solver.constraint.propagations/conflicts/binding/prunes] counters and,
+    when a search log is installed, as one final
+    [{"ev":"row_activity", "rows":[...]}] record.
 
     [obs] (default disabled) wraps the run in a ["solve"] trace span
     (attributes: backend, vars, constraints) and accumulates backend

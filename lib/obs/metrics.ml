@@ -118,7 +118,11 @@ let bucket_index v =
   end
 
 let observe h v =
-  if Array.length h.buckets > 0 then
+  (* a non-finite observation would poison the aggregates for good (NaN
+     propagates through sum, +inf pins vmax so every later quantile
+     clamps to it) and render the snapshot's p50/p90/p99 meaningless;
+     drop it instead — the histogram stays well-defined at any n *)
+  if Array.length h.buckets > 0 && Float.is_finite v then
     locked h.lock (fun () ->
         h.buckets.(bucket_index v) <- h.buckets.(bucket_index v) + 1;
         h.n <- h.n + 1;

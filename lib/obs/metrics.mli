@@ -39,6 +39,11 @@ val add : counter -> float -> unit
 val incr : counter -> unit
 val set : gauge -> float -> unit
 val observe : histogram -> float -> unit
+(** Record one observation.  Non-finite values (NaN, ±∞) are dropped:
+    one of them would otherwise poison [sum]/[min]/[max] permanently and
+    drag every later {!quantile} to ±∞, so the histogram's snapshot
+    stays well-defined — finite, or [null] when empty — at any sample
+    count. *)
 
 val counter_value : counter -> float
 val gauge_value : gauge -> float

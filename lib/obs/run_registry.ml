@@ -174,7 +174,16 @@ let record ?root ~command ~argv ?model_hash ?(verdict = "ok") ~exit_code
       (Filename.concat run_dir "bench.json")
       (Json.to_string (bench_artifact meta) ^ "\n");
     Ok meta
-  with Sys_error msg | Unix.Unix_error (_, msg, _) -> Error msg
+  with
+  | Sys_error msg -> Error msg
+  | Unix.Unix_error (e, fn, arg) ->
+      (* the payload's second component is the syscall name, not a
+         message — render all three parts so a read-only root reports
+         "mkdir <path>: permission denied" instead of just "mkdir" *)
+      Error
+        (Printf.sprintf "%s%s: %s" fn
+           (if arg = "" then "" else " " ^ arg)
+           (Unix.error_message e))
 
 let load_dir run_dir =
   let meta_path = Filename.concat run_dir "meta.json" in

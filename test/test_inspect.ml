@@ -1,0 +1,295 @@
+(* Tests for the search-effectiveness layer: Archex_inspect report
+   building/rendering on hand-crafted insight records, and the ILP-MR
+   [?inspect] mode end to end on a small template (row activity with
+   stable ids and birth iterations, redundancy ratio, gauges). *)
+
+module J = Archex_obs.Json
+module Component = Archlib.Component
+module Library = Archlib.Library
+module Requirement = Archlib.Requirement
+module Template = Archlib.Template
+module Inspect = Archex_inspect
+
+let checkb = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let checkf eps = Alcotest.(check (float eps))
+
+(* Same 3-layer template as test_core: 2 sources, 3 middles, 1 sink. *)
+let small_lib =
+  Library.make ~switch_cost:2.
+    [ { Library.type_name = "SRC"; cost = 5.; fail_prob = 0.1 };
+      { type_name = "MID"; cost = 20.; fail_prob = 0.1 };
+      { type_name = "SNK"; cost = 0.; fail_prob = 0. } ]
+
+let small_template () =
+  let comp ty name = Library.instantiate small_lib ~type_id:ty ~name in
+  let t =
+    Template.create
+      [| comp 0 "S1"; comp 0 "S2"; comp 1 "M1"; comp 1 "M2"; comp 1 "M3";
+         comp 2 "T" |]
+  in
+  List.iter
+    (fun (u, v) -> Template.add_candidate_edge ~switch_cost:2. t u v)
+    [ (0, 2); (0, 3); (0, 4); (1, 2); (1, 3); (1, 4); (2, 5); (3, 5);
+      (4, 5) ];
+  Template.set_sources t [ 0; 1 ];
+  Template.set_sinks t [ 5 ];
+  Template.set_type_chain t [ 0; 1; 2 ];
+  Template.add_requirement t (Requirement.require_powered 5);
+  Template.add_requirement t
+    (Requirement.at_least_incoming ~to_:5 ~from_:[ 2; 3; 4 ] 1);
+  List.iter
+    (fun m ->
+      Template.add_requirement t
+        (Requirement.Conditional_connect ([ (m, 5) ], [ (0, m); (1, m) ])))
+    [ 2; 3; 4 ];
+  t
+
+(* ------------------------------------------------------------------ *)
+(* Report building from hand-crafted insight records                   *)
+
+let num v = J.Num v
+let int v = J.Num (float_of_int v)
+
+let act ~row ~name ~kind ~born ~props ~conflicts ~binding ~prunes =
+  J.Obj
+    [ ("row", int row); ("name", J.Str name); ("kind", J.Str kind);
+      ("born", int born); ("props", int props); ("conflicts", int conflicts);
+      ("binding", int binding); ("prunes", int prunes) ]
+
+let insight_1 =
+  J.Obj
+    [ ("iteration", int 1); ("rows_total", int 3); ("rows_carried", J.Null);
+      ("rows_learned", int 2); ("redundancy_ratio", J.Null);
+      ("decisions_captured", int 4); ("prefix_overlap", J.Null);
+      ("warm_start_potential", J.Null);
+      ( "activity",
+        J.Arr
+          [ act ~row:0 ~name:"req0" ~kind:"requirement" ~born:0 ~props:5
+              ~conflicts:1 ~binding:1 ~prunes:0;
+            act ~row:2 ~name:"row2" ~kind:"template" ~born:0 ~props:2
+              ~conflicts:0 ~binding:0 ~prunes:3 ] );
+      (* learned rows 3 and 4 appear after this solve *)
+      ("learned_names", J.Arr [ J.Str "cut_a"; J.Str "cut_b" ]) ]
+
+let insight_2 =
+  J.Obj
+    [ ("iteration", int 2); ("rows_total", int 5); ("rows_carried", int 3);
+      ("rows_learned", int 0); ("redundancy_ratio", num 0.6);
+      ("decisions_captured", int 4); ("prefix_overlap", num 0.5);
+      ("warm_start_potential", num 0.55);
+      ( "activity",
+        J.Arr
+          [ act ~row:0 ~name:"req0" ~kind:"requirement" ~born:0 ~props:1
+              ~conflicts:0 ~binding:1 ~prunes:0;
+            (* learned row 3 fires; learned row 4 stays dead *)
+            act ~row:3 ~name:"cut_a" ~kind:"learned" ~born:1 ~props:7
+              ~conflicts:2 ~binding:0 ~prunes:9 ] );
+      ("learned_names", J.Arr []) ]
+
+let test_build_aggregates () =
+  let rep = Inspect.build ~insights:[ insight_1; insight_2 ] in
+  check_int "two iterations" 2 (List.length rep.Inspect.iterations);
+  (* row 0 counters sum across both iterations *)
+  let r0 = List.find (fun r -> r.Inspect.id = 0) rep.Inspect.rows in
+  check_int "row0 props summed" 6 r0.Inspect.props;
+  check_int "row0 binding summed" 2 r0.Inspect.binding;
+  checkb "row0 kind" true (String.equal r0.Inspect.kind "requirement");
+  (* learned row 3 is active, learned row 4 (never in any activity
+     table) is reported dead under its registered name *)
+  (match rep.Inspect.dead_learned with
+  | [ d ] ->
+      check_int "dead learned id" 4 d.Inspect.id;
+      checkb "dead learned name" true (String.equal d.Inspect.name "cut_b");
+      check_int "dead learned born" 1 d.Inspect.born
+  | l -> Alcotest.failf "expected 1 dead learned row, got %d"
+           (List.length l));
+  (* summary scalars come from the last iteration that carries them *)
+  (match rep.Inspect.redundancy_ratio with
+  | Some v -> checkf 1e-9 "final redundancy" 0.6 v
+  | None -> Alcotest.fail "redundancy missing");
+  (match rep.Inspect.warm_start_potential with
+  | Some v -> checkf 1e-9 "warm-start potential" 0.55 v
+  | None -> Alcotest.fail "warm-start potential missing");
+  (* per-iteration learned-activity split *)
+  let it2 = List.nth rep.Inspect.iterations 1 in
+  check_int "it2 learned activity" 18 it2.Inspect.learned_activity;
+  check_int "it2 total activity" 20 it2.Inspect.total_activity
+
+let test_top_pruners_ranking () =
+  let rep = Inspect.build ~insights:[ insight_1; insight_2 ] in
+  (match Inspect.top_pruners ~k:2 rep with
+  | [ first; second ] ->
+      check_int "most pruning row first" 3 first.Inspect.id;
+      check_int "then row 2" 2 second.Inspect.id
+  | l -> Alcotest.failf "expected 2 rows, got %d" (List.length l));
+  check_int "k caps the list" 1
+    (List.length (Inspect.top_pruners ~k:1 rep))
+
+let test_report_rendering () =
+  let rep = Inspect.build ~insights:[ insight_1; insight_2 ] in
+  (* JSON round-trips through the parser *)
+  (match J.of_string (J.to_string (Inspect.to_json rep)) with
+  | Ok j ->
+      (match J.mem "redundancy_ratio" j with
+      | Some (J.Num v) -> checkf 1e-9 "ratio in JSON" 0.6 v
+      | _ -> Alcotest.fail "redundancy_ratio not a number in JSON");
+      (match J.mem "rows" j with
+      | Some (J.Arr rows) -> checkb "rows nonempty" true (rows <> [])
+      | _ -> Alcotest.fail "rows missing")
+  | Error e -> Alcotest.failf "report JSON does not parse: %s" e);
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i =
+      i + nn <= nh && (String.sub hay i nn = needle || go (i + 1))
+    in
+    go 0
+  in
+  let md = Inspect.to_markdown ~top_k:5 rep in
+  List.iter
+    (fun needle ->
+      checkb (Printf.sprintf "markdown mentions %S" needle) true
+        (contains md needle))
+    [ "Redundancy timeline"; "Top pruning rows"; "Dead learned rows";
+      "cut_b"; "cut_a" ]
+
+let test_empty_report () =
+  let rep = Inspect.build ~insights:[] in
+  check_int "no iterations" 0 (List.length rep.Inspect.iterations);
+  checkb "no summary ratio" true (rep.Inspect.redundancy_ratio = None);
+  (* both renderers stay total on the empty report *)
+  (match J.of_string (J.to_string (Inspect.to_json rep)) with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "empty report JSON invalid: %s" e);
+  checkb "empty markdown renders" true
+    (String.length (Inspect.to_markdown rep) > 0)
+
+(* ------------------------------------------------------------------ *)
+(* ILP-MR ?inspect end to end                                          *)
+
+let test_mr_inspect_end_to_end () =
+  let t = small_template () in
+  let metrics = Archex_obs.Metrics.create () in
+  let obs = Archex_obs.Ctx.make ~metrics () in
+  match Archex.Ilp_mr.run ~obs ~inspect:true t ~r_star:0.08 with
+  | Archex.Synthesis.Unfeasible _ -> Alcotest.fail "0.08 is reachable"
+  | Archex.Synthesis.Synthesized (_, trace, _) ->
+      checkb "needed learning" true (List.length trace >= 2);
+      List.iter
+        (fun it ->
+          match it.Archex.Ilp_mr.insight with
+          | None ->
+              Alcotest.failf "iteration %d has no insight"
+                it.Archex.Ilp_mr.index
+          | Some ins -> (
+              (match J.mem "redundancy_ratio" ins with
+              | Some J.Null -> check_int "only the first iteration lacks a \
+                                          ratio" 1 it.Archex.Ilp_mr.index
+              | Some (J.Num v) ->
+                  checkb "ratio in [0,1]" true (0. <= v && v <= 1.)
+              | _ -> Alcotest.fail "redundancy_ratio missing");
+              match J.mem "activity" ins with
+              | Some (J.Arr rows) ->
+                  checkb "some row was active" true (rows <> []);
+                  List.iter
+                    (fun r ->
+                      (match J.mem "row" r with
+                      | Some (J.Num id) ->
+                          checkb "stable id in range" true
+                            (0. <= id
+                            && (match J.mem "rows_total" ins with
+                               | Some (J.Num n) -> id < n
+                               | _ -> false))
+                      | _ -> Alcotest.fail "activity row without id");
+                      match J.mem "kind" r with
+                      | Some (J.Str k) ->
+                          checkb "known kind" true
+                            (List.mem k
+                               [ "template"; "requirement"; "learned" ])
+                      | _ -> Alcotest.fail "activity row without kind")
+                    rows
+              | _ -> Alcotest.fail "activity table missing"))
+        trace;
+      (* later iterations attribute activity to learned rows *)
+      let learned_active =
+        List.exists
+          (fun it ->
+            match it.Archex.Ilp_mr.insight with
+            | Some ins -> (
+                match J.mem "activity" ins with
+                | Some (J.Arr rows) ->
+                    List.exists
+                      (fun r ->
+                        J.mem "kind" r = Some (J.Str "learned"))
+                      rows
+                | _ -> false)
+            | None -> false)
+          trace
+      in
+      checkb "a learned row shows solver activity" true learned_active;
+      (* the trend-consumable gauges were published *)
+      (match Archex_obs.Metrics.value metrics "mr.redundancy_ratio" with
+      | Some v -> checkb "gauge in [0,1]" true (0. <= v && v <= 1.)
+      | None -> Alcotest.fail "mr.redundancy_ratio gauge missing");
+      (match
+         Archex_obs.Metrics.value metrics "mr.warm_start_potential"
+       with
+      | Some v -> checkb "warm-start gauge in [0,1]" true (0. <= v && v <= 1.)
+      | None -> Alcotest.fail "mr.warm_start_potential gauge missing");
+      (* the whole trace's insights feed the report builder *)
+      let insights =
+        List.filter_map (fun it -> it.Archex.Ilp_mr.insight) trace
+      in
+      let rep = Inspect.build ~insights in
+      check_int "report covers every iteration" (List.length trace)
+        (List.length rep.Inspect.iterations);
+      checkb "report has active rows" true (rep.Inspect.rows <> [])
+
+let test_mr_inspect_off_by_default () =
+  let t = small_template () in
+  match Archex.Ilp_mr.run t ~r_star:0.08 with
+  | Archex.Synthesis.Synthesized (_, trace, _) ->
+      checkb "no insight without ?inspect" true
+        (List.for_all (fun it -> it.Archex.Ilp_mr.insight = None) trace)
+  | Archex.Synthesis.Unfeasible _ -> Alcotest.fail "0.08 is reachable"
+
+(* Inspection must not change what is synthesized (it only disables
+   presolve and counts): same architecture, same cost. *)
+let test_mr_inspect_preserves_result () =
+  let run inspect =
+    match
+      Archex.Ilp_mr.run ~inspect (small_template ()) ~r_star:0.08
+    with
+    | Archex.Synthesis.Synthesized (arch, _, _) ->
+        (arch.Archex.Synthesis.cost, arch.Archex.Synthesis.reliability)
+    | Archex.Synthesis.Unfeasible _ -> Alcotest.fail "0.08 is reachable"
+  in
+  let cost_off, rel_off = run false in
+  let cost_on, rel_on = run true in
+  checkf 1e-9 "same cost" cost_off cost_on;
+  checkf 1e-12 "same reliability" rel_off rel_on
+
+let () =
+  Alcotest.run "inspect"
+    [
+      ( "report",
+        [
+          Alcotest.test_case "aggregates across iterations" `Quick
+            test_build_aggregates;
+          Alcotest.test_case "top pruners ranking" `Quick
+            test_top_pruners_ranking;
+          Alcotest.test_case "renders markdown and JSON" `Quick
+            test_report_rendering;
+          Alcotest.test_case "empty report is total" `Quick
+            test_empty_report;
+        ] );
+      ( "ilp-mr",
+        [
+          Alcotest.test_case "inspect end to end" `Quick
+            test_mr_inspect_end_to_end;
+          Alcotest.test_case "off by default" `Quick
+            test_mr_inspect_off_by_default;
+          Alcotest.test_case "does not change the result" `Quick
+            test_mr_inspect_preserves_result;
+        ] );
+    ]

@@ -336,6 +336,71 @@ let test_histogram_quantiles () =
         | _ -> false)
   | j -> Alcotest.failf "unexpected snapshot %s" (Json.to_string j)
 
+(* A histogram with one sample must report that sample as every
+   quantile, and non-finite observations must be dropped rather than
+   poisoning sum/min/max (one NaN would otherwise turn every later
+   snapshot field into NaN/±inf). *)
+let test_histogram_degenerate_samples () =
+  let m = Metrics.create () in
+  let h = Metrics.histogram m "one" in
+  Metrics.observe h 0.75;
+  List.iter
+    (fun q ->
+      match Metrics.quantile h q with
+      | Some v -> checkf (Printf.sprintf "p%g is the sample" q) 0.75 v
+      | None -> Alcotest.failf "quantile %g missing on 1 sample" q)
+    [ 0.5; 0.9; 0.99 ];
+  (* non-finite observations are dropped entirely *)
+  Metrics.observe h Float.nan;
+  Metrics.observe h Float.infinity;
+  Metrics.observe h Float.neg_infinity;
+  check_int "non-finite not counted" 1 (Metrics.histogram_count h);
+  checkf "sum stays finite" 0.75 (Metrics.histogram_sum h);
+  (match Metrics.quantile h 0.99 with
+  | Some v -> checkf "quantile unaffected" 0.75 v
+  | None -> Alcotest.fail "quantile lost after non-finite observe");
+  (* the snapshot serializes to valid JSON with finite numbers *)
+  match Json.of_string (Json.to_string (Metrics.to_json m)) with
+  | Error e -> Alcotest.failf "snapshot does not re-parse: %s" e
+  | Ok j -> (
+      match Json.mem "one" j with
+      | Some hist ->
+          List.iter
+            (fun field ->
+              match Json.mem field hist with
+              | Some (Json.Num v) ->
+                  checkb
+                    (Printf.sprintf "%s is finite" field)
+                    true (Float.is_finite v)
+              | other ->
+                  Alcotest.failf "%s missing or non-numeric (%s)" field
+                    (match other with
+                    | Some o -> Json.to_string o
+                    | None -> "absent"))
+            [ "count"; "sum"; "min"; "max"; "p50"; "p90"; "p99" ]
+      | None -> Alcotest.fail "histogram missing from snapshot")
+
+(* An empty histogram's snapshot is well-defined too: count 0, null
+   min/max/quantiles — never an exception or NaN. *)
+let test_histogram_empty_snapshot () =
+  let m = Metrics.create () in
+  let h = Metrics.histogram m "empty" in
+  ignore h;
+  match Json.of_string (Json.to_string (Metrics.to_json m)) with
+  | Error e -> Alcotest.failf "empty snapshot does not re-parse: %s" e
+  | Ok j -> (
+      match Json.mem "empty" j with
+      | Some hist ->
+          checkb "count 0" true (Json.mem "count" hist = Some (Json.Num 0.));
+          List.iter
+            (fun field ->
+              checkb
+                (Printf.sprintf "%s is null" field)
+                true
+                (Json.mem field hist = Some Json.Null))
+            [ "min"; "max"; "p50"; "p90"; "p99" ]
+      | None -> Alcotest.fail "histogram missing from snapshot")
+
 let test_null_metrics () =
   let m = Metrics.null in
   checkb "disabled" false (Metrics.enabled m);
@@ -451,6 +516,10 @@ let () =
             test_histogram_bucketing;
           Alcotest.test_case "histogram quantiles" `Quick
             test_histogram_quantiles;
+          Alcotest.test_case "degenerate samples" `Quick
+            test_histogram_degenerate_samples;
+          Alcotest.test_case "empty snapshot" `Quick
+            test_histogram_empty_snapshot;
           Alcotest.test_case "null registry" `Quick test_null_metrics;
           Alcotest.test_case "json snapshot" `Quick test_metrics_json ] );
       ( "solver",

@@ -309,6 +309,70 @@ let test_registry_record_list_load () =
       | Ok m -> checkb "meta round-trip" true (m = fast)
       | Error e -> Alcotest.failf "meta round-trip failed: %s" e)
 
+(* An unusable registry root must degrade into an [Error] the caller can
+   turn into a warning — never an exception that kills the solve.  A
+   root whose path runs through a regular file fails at mkdir with
+   ENOTDIR whatever the uid, so the test also holds when run as root
+   (where a read-only directory would not refuse writes). *)
+let test_registry_degrades_on_unusable_root () =
+  let file =
+    Filename.temp_file "archex_registry_blocker" ""
+  in
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists file then Sys.remove file)
+    (fun () ->
+      let root = Filename.concat file "runs" in
+      match
+        Reg.record ~root ~command:"mr" ~argv:[ "archex"; "mr" ]
+          ~verdict:"ok" ~exit_code:0 ~started:1000. ~wall_s:0.1 ()
+      with
+      | Ok _ -> Alcotest.fail "record through a file must fail"
+      | Error msg ->
+          checkb "error message is not empty" true (String.length msg > 0);
+          (* the old code bound Unix_error's function name as the whole
+             message; a real message carries more than the syscall *)
+          checkb "message is more than a syscall name" true
+            (msg <> "mkdir" && msg <> "open");
+          (* listing an absent root is fine: no runs, not an error *)
+          match Reg.list_runs ~root:(Filename.concat file "absent") () with
+          | Ok [] -> ()
+          | Ok _ -> Alcotest.fail "absent root listed runs"
+          | Error e -> Alcotest.failf "absent root errored: %s" e)
+
+(* [load] on a prefix matching several runs must name the candidates
+   instead of picking one — what [runs show] surfaces to the user.  The
+   ids are content-addressed, so seed runs until two share a first hex
+   digit (pigeonhole: at most 17 attempts). *)
+let test_registry_ambiguous_prefix () =
+  with_temp_root (fun root ->
+      let rec seed i seen =
+        let m =
+          record_seeded ~root
+            ~started:(1000. +. float_of_int i)
+            ~wall_s:0.05 ~iterations:3.
+        in
+        let first = String.sub m.Reg.id 0 1 in
+        match List.assoc_opt first seen with
+        | Some other -> (first, other, m.Reg.id)
+        | None ->
+            if i > 20 then Alcotest.fail "pigeonhole failed?!"
+            else seed (i + 1) ((first, m.Reg.id) :: seen)
+      in
+      let prefix, id_a, id_b = seed 0 [] in
+      match Reg.load ~root prefix with
+      | Ok _ -> Alcotest.failf "ambiguous prefix %S resolved" prefix
+      | Error msg ->
+          let contains needle =
+            let nh = String.length msg and nn = String.length needle in
+            let rec go i =
+              i + nn <= nh && (String.sub msg i nn = needle || go (i + 1))
+            in
+            go 0
+          in
+          checkb "error says ambiguous" true (contains "ambiguous");
+          checkb "error lists first candidate" true (contains id_a);
+          checkb "error lists second candidate" true (contains id_b))
+
 let test_registry_diff_detects_slowdown () =
   with_temp_root (fun root ->
       let fast = record_seeded ~root ~started:1000. ~wall_s:0.05 ~iterations:3. in
@@ -413,6 +477,10 @@ let () =
         [
           Alcotest.test_case "record/list/load" `Quick
             test_registry_record_list_load;
+          Alcotest.test_case "unusable root degrades" `Quick
+            test_registry_degrades_on_unusable_root;
+          Alcotest.test_case "ambiguous id prefix" `Quick
+            test_registry_ambiguous_prefix;
           Alcotest.test_case "diff detects slowdown" `Quick
             test_registry_diff_detects_slowdown;
         ] );
