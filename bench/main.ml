@@ -507,6 +507,107 @@ let bench_parallel () =
     [ ("monte_carlo", mc_series); ("rel_analysis", analysis_series);
       ("portfolio", portfolio_series); ("ilp_mr_jobs", mr_parity_series) ]
 
+(* Serve-daemon throughput sweep: a burst of fast synthesis jobs pushed
+   straight into the job engine (no transport), sized past the admission
+   watermark so the shed/degrade path runs too.  Latency series come
+   from each done event's [elapsed_s] (accepted -> terminal, queue wait
+   included); the shed rate is rejected / submitted. *)
+let bench_serve () =
+  hr "Serve daemon sweep (writes BENCH_serve.json)";
+  let open Archex_obs in
+  let module Engine = Archex_serve.Engine in
+  let module Admission = Archex_serve.Admission in
+  let module Protocol = Archex_serve.Protocol in
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "archex-bench-serve-%d" (Unix.getpid ()))
+  in
+  let n_jobs = 24 in
+  let config =
+    { Engine.default_config with
+      pool_jobs = 2;
+      admission =
+        { Admission.default with capacity = 8; shed_watermark = 0.5 } }
+  in
+  let lock = Mutex.create () in
+  let events = ref [] in
+  let emit ev =
+    Mutex.lock lock;
+    events := ev :: !events;
+    Mutex.unlock lock
+  in
+  let serve_series () =
+    match Engine.create ~config ~dir ~emit () with
+    | Error msg -> failwith ("bench-serve: " ^ msg)
+    | Ok engine ->
+        let t0 = Clock.now () in
+        for i = 1 to n_jobs do
+          Engine.submit engine
+            { Protocol.id = Printf.sprintf "b%d" i;
+              op = Protocol.Mr;
+              r_star = 2e-3;
+              generators = None;
+              backend = Milp.Solver.Pseudo_boolean;
+              deadline_s = None;
+              max_nodes = None;
+              bdd_limit = None;
+              jobs = 1 }
+        done;
+        while Engine.pending engine > 0 do
+          ignore (Engine.tick engine);
+          Unix.sleepf 0.005
+        done;
+        let wall = Clock.now () -. t0 in
+        Engine.drain engine;
+        Engine.shutdown engine;
+        let tagged tag =
+          List.filter
+            (fun ev ->
+              match Json.mem "ev" ev with
+              | Some (Json.Str t) -> t = tag
+              | _ -> false)
+            !events
+        in
+        let dones = tagged "done" and rejected = tagged "rejected" in
+        let degraded =
+          List.length
+            (List.filter
+               (fun ev -> Json.mem "degraded" ev = Some (Json.Bool true))
+               (tagged "accepted"))
+        in
+        let latencies =
+          List.filter_map
+            (fun ev ->
+              match Json.mem "elapsed_s" ev with
+              | Some (Json.Num s) -> Some s
+              | _ -> None)
+            dones
+          |> List.sort Float.compare
+          |> Array.of_list
+        in
+        let percentile p =
+          if Array.length latencies = 0 then 0.
+          else
+            latencies.(min
+                         (Array.length latencies - 1)
+                         (int_of_float
+                            (p *. float_of_int (Array.length latencies))))
+        in
+        [ ("jobs", float_of_int n_jobs);
+          ("completed", float_of_int (List.length dones));
+          ("rejected", float_of_int (List.length rejected));
+          ("degraded", float_of_int degraded);
+          ("wall_s", wall);
+          ("jobs_per_s", float_of_int (List.length dones) /. wall);
+          ("latency_p50_s", percentile 0.50);
+          ("latency_p99_s", percentile 0.99);
+          ( "shed_rate",
+            float_of_int (List.length rejected) /. float_of_int n_jobs ) ]
+  in
+  run_cases ~experiment:"serve" ~output:"BENCH_serve.json"
+    [ ("mr_burst", serve_series) ]
+
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test.make per table/figure kernel.   *)
 
@@ -611,7 +712,8 @@ let artifacts =
     ("fig3", fig3); ("table2", table2); ("table3", table3);
     ("ablation-backend", ablation_backend); ("ablation-exact", ablation_exact);
     ("synthesis", synthesis); ("bench-smoke", bench_smoke);
-    ("bench-parallel", bench_parallel); ("bechamel", bechamel) ]
+    ("bench-parallel", bench_parallel); ("bench-serve", bench_serve);
+    ("bechamel", bechamel) ]
 
 let default_artifacts =
   [ "table1"; "example1"; "fig2"; "fig3"; "table2"; "table3";

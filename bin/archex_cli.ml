@@ -189,6 +189,32 @@ let stats_arg =
 let exit_unfeasible = 1
 let exit_exhausted = 3
 let exit_invalid = 4
+let exit_interrupted = 130
+
+(* Cooperative interruption: the first SIGINT/SIGTERM sets a flag that
+   every budget polls (Budget's cancel hook), so the run winds down
+   through its normal limit-exit path — the last checkpoint is already
+   flushed (checkpoints are written after every iteration) and the run
+   registry records an "interrupted" verdict with exit code 130.  A
+   second signal exits immediately. *)
+let interrupted = Atomic.make false
+
+(* What else the first signal should do (archex serve: start draining). *)
+let interrupt_hook : (unit -> unit) ref = ref (fun () -> ())
+
+let install_interrupt_handlers () =
+  let handler _ =
+    if Atomic.get interrupted then exit exit_interrupted
+    else begin
+      Atomic.set interrupted true;
+      !interrupt_hook ()
+    end
+  in
+  List.iter
+    (fun s ->
+      try Sys.set_signal s (Sys.Signal_handle handler)
+      with Invalid_argument _ | Sys_error _ -> ())
+    [ Sys.sigint; Sys.sigterm ]
 
 let fault_plan_conv =
   let parse s =
@@ -232,10 +258,11 @@ let resilience_args =
     let doc =
       "Deterministic fault injection, e.g. $(b,oracle-failure@2) or \
        $(b,clock-jump/3,solver-limit~0.1).  Kinds: clock-jump, \
-       oracle-failure, solver-limit, alloc-pressure; triggers: @N = the \
-       N-th probe, /N = every N-th, ~P = seeded Bernoulli.  clock-jump \
-       probes only fire under a --deadline, alloc-pressure only under a \
-       --heap-limit."
+       oracle-failure, solver-limit, alloc-pressure, and (for \
+       $(b,archex serve)) queue-overload, job-crash, slow-client; \
+       triggers: @N = the N-th probe, /N = every N-th, ~P = seeded \
+       Bernoulli.  clock-jump probes only fire under a --deadline, \
+       alloc-pressure only under a --heap-limit."
     in
     Arg.(value & opt (some fault_plan_conv) None
          & info [ "inject" ] ~doc ~docv:"SPEC")
@@ -246,14 +273,13 @@ let resilience_args =
     $ deadline_arg $ max_nodes_arg $ bdd_limit_arg $ heap_limit_arg
     $ inject_arg)
 
+(* Budgets always carry the interrupt flag as their cancel hook — even a
+   limit-less run stops cooperatively on the first signal. *)
 let budget_of (deadline, max_nodes, bdd_limit, heap_limit, _) =
-  if
-    deadline = None && max_nodes = None && bdd_limit = None
-    && heap_limit = None
-  then Archex_resilience.Budget.unlimited
-  else
-    Archex_resilience.Budget.create ?deadline ?max_nodes
-      ?max_bdd_nodes:bdd_limit ?max_heap_words:heap_limit ()
+  Archex_resilience.Budget.create
+    ~cancelled:(fun () -> Atomic.get interrupted)
+    ?deadline ?max_nodes ?max_bdd_nodes:bdd_limit
+    ?max_heap_words:heap_limit ()
 
 let with_faults (_, _, _, _, inject) f =
   match inject with
@@ -284,6 +310,7 @@ let verdict_of_code = function
   | 1 -> "unfeasible"
   | 3 -> "budget-exhausted"
   | 4 -> "invalid-input"
+  | 130 -> "interrupted"
   | n -> Printf.sprintf "error-%d" n
 
 (* MD5 over the canonical JSON of the template's base ILP model: the run
@@ -300,7 +327,8 @@ let model_hash_of template =
    noise between runs, so only solver-shaped families are kept. *)
 let series_prefixes =
   [ "mr."; "ar."; "solve."; "solver."; "pb."; "lp."; "bb."; "rel.";
-    "presolve."; "portfolio."; "progress."; "pool.jobs_"; "gc.pause" ]
+    "presolve."; "portfolio."; "progress."; "pool.jobs_"; "gc.pause";
+    "serve." ]
 
 let series_of_metrics metrics =
   match Archex_obs.Metrics.to_json metrics with
@@ -465,6 +493,12 @@ let with_obs ?record ?(artifacts = []) opts f =
           opts.metrics_file)
       (fun () -> f obs on_event)
   in
+  (* a budget-exhausted exit that was actually the user's signal is
+     reported as interrupted (exit 130, registry verdict "interrupted");
+     a run that completed before noticing the signal keeps its result *)
+  let code =
+    if code <> 0 && Atomic.get interrupted then exit_interrupted else code
+  in
   (match record with
   | Some (command, model_hash) when not opts.no_record -> (
       let wall_s = Archex_obs.Clock.now () -. t0 in
@@ -512,6 +546,7 @@ let resume_arg =
 let mr_term =
   let run generators r_star backend lazy_ diagram obs3 stats res checkpoint
       resume jobs =
+    install_interrupt_handlers ();
     let inst = instance_of generators in
     let strategy =
       if lazy_ then Archex.Learn_cons.Lazy_one_path
@@ -666,6 +701,7 @@ let inspect_cmd =
 
 let ar_cmd =
   let run generators r_star backend diagram obs3 res jobs =
+    install_interrupt_handlers ();
     let inst = instance_of generators in
     let budget = budget_of res in
     with_obs
@@ -1221,6 +1257,10 @@ let trace_export_cmd =
 
 module Reg = Archex_obs.Run_registry
 
+(* Surface — rather than silently drop — run directories that don't
+   load, e.g. a run killed before its meta.json commit point. *)
+let reg_warn msg = Format.eprintf "archex runs: skipping %s@." msg
+
 let runs_root_arg =
   let doc =
     "Registry root (default $(b,_archex/runs), or $(b,ARCHEX_RUNS_DIR) \
@@ -1236,7 +1276,7 @@ let pp_epoch ppf t =
 
 let runs_list_cmd =
   let run root last =
-    match Reg.list_recent ?root ?last () with
+    match Reg.list_recent ?root ~warn:reg_warn ?last () with
     | Error msg ->
         Format.eprintf "runs list: %s@." msg;
         2
@@ -1266,7 +1306,7 @@ let run_id_pos i docv =
 
 let runs_show_cmd =
   let run root id =
-    match Reg.load ?root id with
+    match Reg.load ?root ~warn:reg_warn id with
     | Error msg ->
         Format.eprintf "runs show: %s@." msg;
         2
@@ -1304,7 +1344,10 @@ let runs_diff_cmd =
         count_tol =
           Option.value count_tol ~default:B.default_tolerances.B.count_tol }
     in
-    match (Reg.load ?root base_id, Reg.load ?root cur_id) with
+    match
+      (Reg.load ?root ~warn:reg_warn base_id,
+       Reg.load ?root ~warn:reg_warn cur_id)
+    with
     | Error msg, _ | _, Error msg ->
         Format.eprintf "runs diff: %s@." msg;
         2
@@ -1394,7 +1437,9 @@ let trend_cmd =
         count_tol =
           Option.value count_tol ~default:B.default_tolerances.B.count_tol }
     in
-    match Reg.list_recent ?root ?command ?model_hash:model ~last () with
+    match
+      Reg.list_recent ?root ~warn:reg_warn ?command ?model_hash:model ~last ()
+    with
     | Error msg ->
         Format.eprintf "trend: %s@." msg;
         2
@@ -1616,6 +1661,26 @@ module Top = struct
      in
      if winners <> [] then
        line "winners  %s" (String.concat "   " winners));
+    (* daemon state, present when the stream comes from archex serve *)
+    (match num s "serve.queue_depth" with
+    | Some q ->
+        let c name = Option.value (num s ("serve." ^ name)) ~default:0. in
+        line
+          "serve    queue %g   accepted %g   rejected %g   degraded %g"
+          q (c "accepted") (c "rejected") (c "degraded");
+        line
+          "         retries %g   dead-letter %g   interrupted %g   done %g"
+          (c "retries") (c "dead_letter") (c "interrupted")
+          (c "completed");
+        (match
+           ( hist_field s "serve.run_seconds" "p50",
+             hist_field s "serve.run_seconds" "p99" )
+         with
+        | Some p50, Some p99 ->
+            line "         run p50 %.1fms   p99 %.1fms" (1e3 *. p50)
+              (1e3 *. p99)
+        | _ -> ())
+    | None -> ());
     match num s "budget.deadline_seconds" with
     | Some d when d > 0. ->
         let used = s.elapsed /. d in
@@ -1636,16 +1701,22 @@ let top_cmd =
           1
     end
     else begin
-      (* live mode: re-read the stream every tick until interrupted *)
+      (* live mode: re-read the stream every tick until interrupted —
+         the first SIGINT/SIGTERM ends the loop cleanly (exit 0: being
+         told to stop watching is not a failure) *)
+      install_interrupt_handlers ();
       let rec loop () =
-        print_string "\027[2J\027[H";
-        (match Top.load path with
-        | Some s, n -> Top.render Format.std_formatter path n s
-        | None, _ ->
-            Format.printf "archex top — %s: waiting for samples@." path);
-        Format.print_flush ();
-        Unix.sleepf interval;
-        loop ()
+        if Atomic.get interrupted then 0
+        else begin
+          print_string "\027[2J\027[H";
+          (match Top.load path with
+          | Some s, n -> Top.render Format.std_formatter path n s
+          | None, _ ->
+              Format.printf "archex top — %s: waiting for samples@." path);
+          Format.print_flush ();
+          Unix.sleepf interval;
+          loop ()
+        end
       in
       loop ()
     end
@@ -1673,6 +1744,146 @@ let top_cmd =
   Cmd.v (Cmd.info "top" ~doc)
     Term.(const run $ path_arg $ once_arg $ interval_arg)
 
+(* ------------------------------------------------------------------ *)
+(* archex serve — crash-safe synthesis job daemon                      *)
+
+let serve_cmd =
+  let run obs3 res dir socket capacity watermark max_gen tight pool_jobs
+      max_attempts backoff_base backoff_cap default_deadline degraded_bdd =
+    install_interrupt_handlers ();
+    (* first signal: stop admitting, cancel in-flight via tokens, flush
+       the journal; second signal: hard exit *)
+    interrupt_hook := Archex_serve.Server.request_drain;
+    let config =
+      { Archex_serve.Engine.default_config with
+        admission =
+          { Archex_serve.Admission.capacity;
+            shed_watermark = watermark;
+            max_generators = max_gen;
+            tight_deadline_s = tight };
+        pool_jobs;
+        max_attempts;
+        backoff_base_s = backoff_base;
+        backoff_cap_s = backoff_cap;
+        default_deadline_s =
+          (if default_deadline <= 0. then None else Some default_deadline);
+        degraded_bdd_limit = degraded_bdd }
+    in
+    (match Archex_serve.Engine.validate_config config with
+    | Ok () -> ()
+    | Error msg ->
+        Format.eprintf "archex serve: %s@." msg;
+        exit exit_invalid);
+    with_obs ~record:("serve", None) obs3 @@ fun obs _on_event ->
+    with_faults res @@ fun () ->
+    match socket with
+    | Some path ->
+        Archex_serve.Server.serve_socket ~obs ~config ~dir path
+    | None -> Archex_serve.Server.serve_pipe ~obs ~config ~dir stdin stdout
+  in
+  let dir_arg =
+    let doc =
+      "Daemon state directory: the crash-safe job journal lives at \
+       $(docv)/journal.ndjson.  Restarting with the same directory \
+       requeues accepted jobs and retries interrupted ones."
+    in
+    Arg.(value & opt string "_archex/serve"
+         & info [ "dir" ] ~doc ~docv:"DIR")
+  in
+  let socket_arg =
+    let doc =
+      "Listen on a Unix domain socket at $(docv) instead of serving \
+       stdin/stdout (pipe mode)."
+    in
+    Arg.(value & opt (some string) None
+         & info [ "socket" ] ~doc ~docv:"PATH")
+  in
+  let capacity_arg =
+    let doc = "Admission queue capacity; at capacity, jobs are rejected \
+               with the typed reason $(b,queue-full)." in
+    Arg.(value & opt int Archex_serve.Admission.default.capacity
+         & info [ "capacity" ] ~doc ~docv:"N")
+  in
+  let watermark_arg =
+    let doc =
+      "Fraction of capacity above which new jobs are admitted \
+       $(i,degraded): they run with a tiny BDD ceiling, so reliability \
+       degrades to cut-set bounds / Monte-Carlo instead of queueing \
+       unboundedly."
+    in
+    Arg.(value & opt float Archex_serve.Admission.default.shed_watermark
+         & info [ "shed-watermark" ] ~doc ~docv:"F")
+  in
+  let max_gen_arg =
+    let doc = "Largest scaling-family instance served; bigger jobs are \
+               rejected with $(b,too-large)." in
+    Arg.(value & opt int Archex_serve.Admission.default.max_generators
+         & info [ "max-generators" ] ~doc ~docv:"G")
+  in
+  let tight_arg =
+    let doc = "Requested deadlines below $(docv) seconds admit the job \
+               degraded (it cannot finish exactly)." in
+    Arg.(value
+         & opt float Archex_serve.Admission.default.tight_deadline_s
+         & info [ "tight-deadline" ] ~doc ~docv:"S")
+  in
+  let pool_jobs_arg =
+    let doc = "Worker domains executing jobs (a dedicated pool; the \
+               main domain only schedules)." in
+    Arg.(value & opt int Archex_serve.Engine.default_config.pool_jobs
+         & info [ "pool-jobs" ] ~doc ~docv:"N")
+  in
+  let max_attempts_arg =
+    let doc =
+      "Attempts per job: retryable failures (injected crashes, budget \
+       exhaustion with deadline left) are re-admitted under \
+       decorrelated-jitter backoff until this cap, then dead-lettered."
+    in
+    Arg.(value & opt int Archex_serve.Engine.default_config.max_attempts
+         & info [ "max-attempts" ] ~doc ~docv:"N")
+  in
+  let backoff_base_arg =
+    let doc = "Smallest retry backoff delay, seconds." in
+    Arg.(value
+         & opt float Archex_serve.Engine.default_config.backoff_base_s
+         & info [ "backoff-base" ] ~doc ~docv:"S")
+  in
+  let backoff_cap_arg =
+    let doc = "Largest retry backoff delay, seconds." in
+    Arg.(value
+         & opt float Archex_serve.Engine.default_config.backoff_cap_s
+         & info [ "backoff-cap" ] ~doc ~docv:"S")
+  in
+  let default_deadline_arg =
+    let doc =
+      "Deadline given to jobs that request none, seconds (0 = \
+       unlimited).  Retries of a job slice from its original deadline."
+    in
+    Arg.(value & opt float 300.
+         & info [ "default-deadline" ] ~doc ~docv:"S")
+  in
+  let degraded_bdd_arg =
+    let doc =
+      "BDD node ceiling imposed on degraded admissions — small enough \
+       to force the reliability ladder down to bounds / sampling."
+    in
+    Arg.(value
+         & opt int Archex_serve.Engine.default_config.degraded_bdd_limit
+         & info [ "degraded-bdd-limit" ] ~doc ~docv:"N")
+  in
+  let doc =
+    "Run the synthesis job daemon: line-JSON jobs in, NDJSON events \
+     out, with admission control, load-shedding degradation, seeded \
+     retry/backoff, a crash-safe journal and graceful drain on \
+     SIGTERM/SIGINT."
+  in
+  Cmd.v (Cmd.info "serve" ~doc)
+    Term.(
+      const run $ obs_args $ resilience_args $ dir_arg $ socket_arg
+      $ capacity_arg $ watermark_arg $ max_gen_arg $ tight_arg
+      $ pool_jobs_arg $ max_attempts_arg $ backoff_base_arg
+      $ backoff_cap_arg $ default_deadline_arg $ degraded_bdd_arg)
+
 let () =
   Logs.set_reporter (Logs.format_reporter ());
   Logs.set_level (Some Logs.Warning);
@@ -1688,4 +1899,4 @@ let () =
           [ mr_cmd; ar_cmd; analyze_cmd; inspect_cmd; export_cmd;
             certify_cmd; check_cert_cmd; explain_cmd; trace_check_cmd;
             trace_profile_cmd; trace_export_cmd; report_cmd; bench_diff_cmd;
-            runs_cmd; trend_cmd; top_cmd ]))
+            runs_cmd; trend_cmd; top_cmd; serve_cmd ]))

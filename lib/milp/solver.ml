@@ -34,7 +34,7 @@ let solution_value solution x = solution.(x) >= 0.5
 let now () = Archex_obs.Clock.now ()
 
 let solve_untraced ~obs ~on_event ~backend ~presolve ?rows ?max_nodes
-    ?time_limit m =
+    ?time_limit ?should_stop m =
   let t0 = now () in
   let metrics = Archex_obs.Ctx.metrics obs in
   let log = Archex_obs.Ctx.search_log obs in
@@ -103,7 +103,7 @@ let solve_untraced ~obs ~on_event ~backend ~presolve ?rows ?max_nodes
               match
                 Pb_solver.solve ~metrics ?on_event ?log ?rows
                   ?max_decisions:max_nodes ?time_limit:probe_limit
-                  probe_model
+                  ?should_stop probe_model
               with
               | Pb_solver.Optimal { solution; _ }, s ->
                   let objective =
@@ -133,7 +133,7 @@ let solve_untraced ~obs ~on_event ~backend ~presolve ?rows ?max_nodes
                 let o, s =
                   Pb_solver.solve ~metrics ?on_event ?log ?rows
                     ?max_decisions:max_nodes ?time_limit:remaining
-                    ~lower_bound m'
+                    ~lower_bound ?should_stop m'
                 in
                 let outcome =
                   match o with
@@ -155,7 +155,7 @@ let solve_untraced ~obs ~on_event ~backend ~presolve ?rows ?max_nodes
       | Lp_branch_bound ->
           let o, s =
             Lp_bb.solve ~metrics ?on_event ?log ?rows ?max_nodes ?time_limit
-              m'
+              ?should_stop m'
           in
           let outcome =
             match o with
@@ -190,7 +190,13 @@ let solve_untraced ~obs ~on_event ~backend ~presolve ?rows ?max_nodes
             let module P = Archex_parallel in
             let shared = P.Shared_best.create () in
             let stop = P.Cancel.create () in
-            let should_stop () = P.Cancel.is_cancelled stop in
+            (* the racers stop on the first definitive proof (token) OR on
+               the caller's cooperative cancellation (budget hook) *)
+            let caller_stop = should_stop in
+            let should_stop () =
+              P.Cancel.is_cancelled stop
+              || (match caller_stop with Some f -> f () | None -> false)
+            in
             (* observability sinks are not required to be thread-safe:
                serialize every racer's emissions through one lock *)
             let sink_lock = Mutex.create () in
@@ -386,9 +392,19 @@ let solve ?(obs = Archex_obs.Ctx.null) ?on_event ?backend ?(presolve = true)
     | None -> max_nodes
     | Some b -> min_opt max_nodes (B.remaining_nodes b)
   in
+  (* cooperative cancellation: the budget's cancel hook becomes the
+     backends' [should_stop], polled inside their search loops — a
+     cancelled daemon job or a SIGINT winds the solve down mid-search
+     instead of at the next iteration boundary *)
+  let should_stop =
+    match budget with
+    | Some b -> Some (fun () -> B.is_cancelled b)
+    | None -> None
+  in
   let spent =
     (match time_limit with Some t -> t <= 0. | None -> false)
     || (match max_nodes with Some n -> n <= 0 | None -> false)
+    || (match budget with Some b -> B.is_cancelled b | None -> false)
   in
   let forced_limit =
     spent || Archex_resilience.Faults.probe Archex_resilience.Faults.Solver_limit
@@ -418,7 +434,7 @@ let solve ?(obs = Archex_obs.Ctx.null) ?on_event ?backend ?(presolve = true)
               retries = 0 } )
         else
           solve_untraced ~obs ~on_event ~backend ~presolve ?rows ?max_nodes
-            ?time_limit m)
+            ?time_limit ?should_stop m)
   in
   (match budget with
   | Some b -> B.charge_nodes b stats.nodes

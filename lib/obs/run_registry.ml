@@ -136,6 +136,23 @@ let write_whole_file path content =
     ~finally:(fun () -> close_out oc)
     (fun () -> output_string oc content)
 
+(* Crash-safe write: a reader either sees the old file or the complete
+   new one, never a torn prefix.  The tmp file lands in the same
+   directory so the rename cannot cross filesystems. *)
+let write_file_atomic path content =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  (try
+     output_string oc content;
+     flush oc;
+     Unix.fsync (Unix.descr_of_out_channel oc);
+     close_out oc
+   with e ->
+     close_out_noerr oc;
+     (try Sys.remove tmp with Sys_error _ -> ());
+     raise e);
+  Sys.rename tmp path
+
 let copy_file ~src ~dst = write_whole_file dst (read_whole_file src)
 
 (* ------------------------------------------------------------------ *)
@@ -167,12 +184,15 @@ let record ?root ~command ~argv ?model_hash ?(verdict = "ok") ~exit_code
       { id; command; argv; started; wall_s; exit_code; verdict; model_hash;
         env; series; artifacts = copied }
     in
-    write_whole_file
-      (Filename.concat run_dir "meta.json")
-      (Json.to_string (meta_to_json meta) ^ "\n");
-    write_whole_file
+    (* bench first, meta last: meta.json is the commit point (loaders
+       require it), so a crash mid-record leaves a directory that scans
+       as incomplete rather than one that half-parses *)
+    write_file_atomic
       (Filename.concat run_dir "bench.json")
       (Json.to_string (bench_artifact meta) ^ "\n");
+    write_file_atomic
+      (Filename.concat run_dir "meta.json")
+      (Json.to_string (meta_to_json meta) ^ "\n");
     Ok meta
   with
   | Sys_error msg -> Error msg
@@ -194,7 +214,7 @@ let load_dir run_dir =
     | Error msg -> Error (Printf.sprintf "%s: %s" meta_path msg)
     | Ok j -> meta_of_json j
 
-let list_runs ?root () =
+let list_runs ?root ?warn () =
   let root = match root with Some r -> r | None -> default_root () in
   if not (Sys.file_exists root) then Ok []
   else
@@ -206,15 +226,21 @@ let list_runs ?root () =
           |> List.filter_map (fun entry ->
                  let d = Filename.concat root entry in
                  if Sys.is_directory d then
-                   match load_dir d with Ok m -> Some m | Error _ -> None
+                   match load_dir d with
+                   | Ok m -> Some m
+                   | Error msg ->
+                       (* incomplete directory — typically a run killed
+                          mid-record before the meta.json commit point *)
+                       (match warn with Some w -> w msg | None -> ());
+                       None
                  else None)
         in
         Ok (List.sort (fun a b -> Float.compare a.started b.started) metas)
 
 (* Newest-first view with optional filters — what [runs list] and
    [archex trend] consume. *)
-let list_recent ?root ?command ?model_hash ?last () =
-  match list_runs ?root () with
+let list_recent ?root ?warn ?command ?model_hash ?last () =
+  match list_runs ?root ?warn () with
   | Error _ as e -> e
   | Ok metas ->
       let keep m =
@@ -231,12 +257,12 @@ let list_recent ?root ?command ?model_hash ?last () =
         | None -> newest_first)
 
 (* Resolve an id or unique id prefix to a run. *)
-let load ?root id =
+let load ?root ?warn id =
   let root = match root with Some r -> r | None -> default_root () in
   match load_dir (dir ~root ~id) with
   | Ok m -> Ok m
   | Error _ -> (
-      match list_runs ~root () with
+      match list_runs ~root ?warn () with
       | Error msg -> Error msg
       | Ok metas -> (
           let is_prefix m =

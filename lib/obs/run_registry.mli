@@ -45,16 +45,24 @@ val record :
   unit ->
   (meta, string) result
 (** Create the run directory and write [meta.json] / [bench.json].
-    [artifacts] are source paths copied into the directory by basename;
-    missing sources are skipped silently (the run itself already
-    happened).  [wall_s] is always prepended to [series]. *)
+    Both files are written crash-safely (tmp + fsync + rename, meta last
+    as the commit point): a process killed mid-record leaves a directory
+    that scans as incomplete, never one that half-parses.  [artifacts]
+    are source paths copied into the directory by basename; missing
+    sources are skipped silently (the run itself already happened).
+    [wall_s] is always prepended to [series]. *)
 
-val list_runs : ?root:string -> unit -> (meta list, string) result
+val list_runs :
+  ?root:string -> ?warn:(string -> unit) -> unit ->
+  (meta list, string) result
 (** All well-formed runs under the root, sorted by start time (an absent
-    root is an empty registry, not an error). *)
+    root is an empty registry, not an error).  Directories that don't
+    load — e.g. a run killed before its [meta.json] commit point — are
+    skipped; [warn] receives one message per skipped directory. *)
 
 val list_recent :
   ?root:string ->
+  ?warn:(string -> unit) ->
   ?command:string ->
   ?model_hash:string ->
   ?last:int ->
@@ -63,8 +71,11 @@ val list_recent :
 (** {!list_runs} filtered to [command] / [model_hash] when given, sorted
     newest first, truncated to the [last] most recent. *)
 
-val load : ?root:string -> string -> (meta, string) result
-(** Resolve an id — or a unique id prefix — to its run. *)
+val load :
+  ?root:string -> ?warn:(string -> unit) -> string ->
+  (meta, string) result
+(** Resolve an id — or a unique id prefix — to its run.  [warn] is
+    forwarded to the registry scan a prefix search performs. *)
 
 val bench_artifact : meta -> Json.t
 (** The run's series as a {!Bench_compare} artifact with one case named

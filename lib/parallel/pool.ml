@@ -73,7 +73,7 @@ let rec worker_loop t slot =
     worker_loop t slot
   end
 
-let create ?(obs = Obs.Ctx.null) ~jobs () =
+let create ?(obs = Obs.Ctx.null) ?(dedicated = false) ~jobs () =
   if jobs < 1 then invalid_arg "Pool.create: jobs must be >= 1";
   let metrics = Obs.Ctx.metrics obs in
   let counter = Obs.Metrics.counter metrics in
@@ -102,10 +102,16 @@ let create ?(obs = Obs.Ctx.null) ~jobs () =
   Obs.Metrics.set (Obs.Metrics.gauge metrics "pool.size") (float_of_int jobs);
   (* the caller's domain participates in every [run], so a pool of [jobs]
      spawns jobs - 1 extra domains; jobs = 1 degrades to plain serial
-     execution with no domain at all *)
+     execution with no domain at all.  A [dedicated] pool instead spawns
+     all [jobs] workers: the caller is a scheduler (the serve daemon's
+     accept loop) that never drains, so [submit]ted work always has a
+     domain to land on. *)
   t.workers <-
-    List.init (jobs - 1) (fun i ->
-        Domain.spawn (fun () -> worker_loop t (i + 1)));
+    (if dedicated then
+       List.init jobs (fun i -> Domain.spawn (fun () -> worker_loop t i))
+     else
+       List.init (jobs - 1) (fun i ->
+           Domain.spawn (fun () -> worker_loop t (i + 1))));
   t
 
 let shutdown t =
@@ -187,6 +193,24 @@ let run t thunks =
          (function Some v -> v | None -> assert false)
          results)
   end
+
+let submit t f =
+  let enqueued_at = now t in
+  Mutex.lock t.lock;
+  if t.stopped then begin
+    Mutex.unlock t.lock;
+    invalid_arg "Pool.submit: pool is shut down"
+  end;
+  (* an escaping exception would kill the worker's loop and silently
+     shrink the pool — swallow it here; callers that care (the serve
+     engine) wrap the task in [Error.guard] and park the result *)
+  Queue.add
+    { body = (fun _slot -> try f () with _ -> ()); enqueued_at }
+    t.queue;
+  Obs.Metrics.incr t.enqueued_c;
+  Obs.Metrics.set t.queue_depth (float_of_int (Queue.length t.queue));
+  Condition.signal t.nonempty;
+  Mutex.unlock t.lock
 
 let map t f items = run t (List.map (fun x () -> f x) items)
 

@@ -25,8 +25,13 @@
 
 type t
 
-val create : ?obs:Archex_obs.Ctx.t -> jobs:int -> unit -> t
-(** @raise Invalid_argument when [jobs < 1]. *)
+val create :
+  ?obs:Archex_obs.Ctx.t -> ?dedicated:bool -> jobs:int -> unit -> t
+(** [dedicated] (default [false]) spawns all [jobs] workers instead of
+    [jobs - 1]: the caller is then a scheduler that never drains the
+    queue itself (the serve daemon's accept loop), and {!submit}ted work
+    always has a domain to land on.
+    @raise Invalid_argument when [jobs < 1]. *)
 
 val jobs : t -> int
 
@@ -41,6 +46,16 @@ val run : t -> (unit -> 'a) list -> 'a list
 
 val map : t -> ('a -> 'b) -> 'a list -> 'b list
 (** [map t f items] = [run t (List.map (fun x () -> f x) items)]. *)
+
+val submit : t -> (unit -> unit) -> unit
+(** Fire-and-forget: enqueue one task and return immediately.  The task
+    runs on a spawned worker, so the pool must have at least one
+    ([jobs >= 2], or any [dedicated] pool).  The caller is responsible
+    for its own completion signalling (the serve engine parks a result
+    cell per job).  Exceptions escaping the task are swallowed (a dead
+    worker would silently shrink the pool) — catch and record them
+    inside the task.
+    @raise Invalid_argument after {!shutdown}. *)
 
 val shutdown : t -> unit
 (** Stop the workers and join their domains.  Idempotent.  Submitted

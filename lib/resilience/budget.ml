@@ -5,6 +5,9 @@ type t = {
   used_nodes : int Atomic.t;       (* shared across solver domains *)
   max_bdd_nodes : int option;
   max_heap_words : int option;
+  cancelled : (unit -> bool) option;
+      (* cooperative stop hook (signal flag, Cancel token); polled at
+         every check and inside the solver search loops *)
 }
 
 let unlimited =
@@ -13,9 +16,11 @@ let unlimited =
     max_nodes = None;
     used_nodes = Atomic.make 0;
     max_bdd_nodes = None;
-    max_heap_words = None }
+    max_heap_words = None;
+    cancelled = None }
 
-let create ?deadline ?max_nodes ?max_bdd_nodes ?max_heap_words () =
+let create ?cancelled ?deadline ?max_nodes ?max_bdd_nodes ?max_heap_words ()
+    =
   let positive name = function
     | Some v when v <= 0 ->
         invalid_arg (Printf.sprintf "Budget.create: %s must be positive" name)
@@ -34,11 +39,31 @@ let create ?deadline ?max_nodes ?max_bdd_nodes ?max_heap_words () =
     max_nodes;
     used_nodes = Atomic.make 0;
     max_bdd_nodes;
-    max_heap_words }
+    max_heap_words;
+    cancelled }
+
+(* A retry attempt's budget: the prototype's limits with a zeroed node
+   allowance, but the given *absolute* deadline — so N attempts of one
+   job keep slicing from the job's single original deadline instead of
+   each getting a fresh one. *)
+let reseat ?cancelled ~deadline b =
+  { born = Archex_obs.Clock.now ();
+    deadline = Some deadline;
+    max_nodes = b.max_nodes;
+    used_nodes = Atomic.make 0;
+    max_bdd_nodes = b.max_bdd_nodes;
+    max_heap_words = b.max_heap_words;
+    cancelled = (match cancelled with Some _ -> cancelled
+                 | None -> b.cancelled) }
 
 let is_unlimited b =
   b.deadline = None && b.max_nodes = None && b.max_bdd_nodes = None
   && b.max_heap_words = None
+
+let deadline_at b = b.deadline
+
+let is_cancelled b =
+  match b.cancelled with Some f -> f () | None -> false
 
 let remaining_time b =
   Option.map
@@ -74,6 +99,8 @@ let deadline_error ~stage b =
   | None -> Error.Timeout { stage; elapsed = elapsed b; limit = 0. }
 
 let check ~stage b =
+  if is_cancelled b then Result.Error (Error.Cancelled { stage })
+  else
   let time_exceeded =
     (match b.deadline with
     | Some d -> Archex_obs.Clock.now () > d

@@ -22,6 +22,7 @@ type t
 val unlimited : t
 
 val create :
+  ?cancelled:(unit -> bool) ->
   ?deadline:float ->
   ?max_nodes:int ->
   ?max_bdd_nodes:int ->
@@ -32,9 +33,30 @@ val create :
     [max_bdd_nodes] is the per-oracle-call BDD ceiling reported by
     {!bdd_node_limit}.  [max_heap_words] is compared against
     [Gc.quick_stat().heap_words] at every {!check}.
+    [cancelled] (default absent) is a cooperative stop hook — a signal
+    flag or an {!Archex_parallel.Cancel} token guard — polled at every
+    {!check} (reported as [Error.Cancelled]) and inside the solver
+    backends' search loops; it must be cheap and safe to call from any
+    domain.
     @raise Invalid_argument on a non-positive limit. *)
 
+val reseat : ?cancelled:(unit -> bool) -> deadline:float -> t -> t
+(** [reseat ~deadline b] is a fresh budget carrying [b]'s node / BDD /
+    heap limits (with a zeroed node allowance) and cancel hook (unless
+    [cancelled] overrides it), whose deadline is the given {e absolute}
+    {!Archex_obs.Clock} time — typically [b]'s own {!deadline_at}.  This
+    is what a retried job must run under: every attempt keeps slicing
+    from the job's one original deadline, so total wall time across N
+    retries still respects it. *)
+
 val is_unlimited : t -> bool
+
+val deadline_at : t -> float option
+(** The absolute {!Archex_obs.Clock} time of the deadline, [None] without
+    one — what {!reseat} takes. *)
+
+val is_cancelled : t -> bool
+(** Poll the cancel hook; [false] without one. *)
 
 val remaining_time : t -> float option
 (** Seconds until the deadline, [None] without one; never negative. *)
@@ -53,8 +75,9 @@ val bdd_node_limit : t -> int option
 
 val check : stage:string -> t -> (unit, Error.t) result
 (** The enforcement point: returns the binding exhaustion, checking (in
-    order) the deadline (or an injected [Clock_jump]), the node budget,
-    and the heap watermark (or an injected [Alloc_pressure]). *)
+    order) the cancel hook, the deadline (or an injected [Clock_jump]),
+    the node budget, and the heap watermark (or an injected
+    [Alloc_pressure]). *)
 
 val exhaustion : stage:string -> t -> Error.t
 (** The error {!check} would report if any limit were hit — used to

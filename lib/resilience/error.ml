@@ -5,6 +5,7 @@ type t =
                          limit_words : int }
   | Numeric_instability of { stage : string; detail : string }
   | Bdd_blowup of { stage : string; nodes : int; limit : int }
+  | Cancelled of { stage : string }
   | Invalid_input of string list
   | Internal of { stage : string; detail : string }
 
@@ -16,6 +17,7 @@ let code = function
   | Memory_pressure _ -> "memory-pressure"
   | Numeric_instability _ -> "numeric-instability"
   | Bdd_blowup _ -> "bdd-blowup"
+  | Cancelled _ -> "cancelled"
   | Invalid_input _ -> "invalid-input"
   | Internal _ -> "internal"
 
@@ -35,6 +37,8 @@ let to_string = function
   | Bdd_blowup { stage; nodes; limit } ->
       Printf.sprintf "%s: BDD blowup (%d nodes, ceiling %d)" stage nodes
         limit
+  | Cancelled { stage } ->
+      Printf.sprintf "%s: cancelled (cooperative stop requested)" stage
   | Invalid_input violations ->
       Printf.sprintf "invalid input (%d violation(s)):\n  - %s"
         (List.length violations)
@@ -65,6 +69,7 @@ let to_json e =
         [ ("stage", J.Str stage);
           ("nodes", J.Num (float_of_int nodes));
           ("limit", J.Num (float_of_int limit)) ]
+    | Cancelled { stage } -> [ ("stage", J.Str stage) ]
     | Invalid_input violations ->
         [ ("violations", J.Arr (List.map (fun v -> J.Str v) violations)) ]
     | Internal { stage; detail } ->
@@ -73,7 +78,9 @@ let to_json e =
   J.Obj (("error", J.Str (code e)) :: fields)
 
 let is_budget = function
-  | Timeout _ | Node_budget _ | Memory_pressure _ | Bdd_blowup _ -> true
+  | Timeout _ | Node_budget _ | Memory_pressure _ | Bdd_blowup _
+  | Cancelled _ ->
+      true
   | Numeric_instability _ | Invalid_input _ | Internal _ -> false
 
 let guard ~stage f =

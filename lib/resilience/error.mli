@@ -22,6 +22,9 @@ type t =
       (** LP stall, NaN objective, cycling pivot, … *)
   | Bdd_blowup of { stage : string; nodes : int; limit : int }
       (** the exact reliability oracle outgrew its node ceiling *)
+  | Cancelled of { stage : string }
+      (** a cooperative cancellation (signal, drained daemon, client
+          disconnect) was observed at a budget check inside [stage] *)
   | Invalid_input of string list
       (** every violation found in the input, not just the first *)
   | Internal of { stage : string; detail : string }
@@ -34,7 +37,7 @@ exception E of t
 val code : t -> string
 (** Stable machine-readable tag: ["timeout"], ["node-budget"],
     ["memory-pressure"], ["numeric-instability"], ["bdd-blowup"],
-    ["invalid-input"], ["internal"]. *)
+    ["cancelled"], ["invalid-input"], ["internal"]. *)
 
 val to_string : t -> string
 val pp : Format.formatter -> t -> unit
@@ -45,8 +48,9 @@ val to_json : t -> Archex_obs.Json.t
 
 val is_budget : t -> bool
 (** True for the resource-exhaustion family ({!Timeout}, {!Node_budget},
-    {!Memory_pressure}, {!Bdd_blowup}) — the failures an anytime result
-    may legitimately accompany. *)
+    {!Memory_pressure}, {!Bdd_blowup}) and for {!Cancelled} — the
+    failures an anytime result may legitimately accompany, and after
+    which a rerun (or a resumed / retried job) may still succeed. *)
 
 val guard : stage:string -> (unit -> 'a) -> ('a, t) result
 (** Run a thunk, converting {!E} to its payload, [Invalid_argument] /

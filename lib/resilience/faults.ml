@@ -1,25 +1,45 @@
-type kind = Clock_jump | Oracle_failure | Solver_limit | Alloc_pressure
+type kind =
+  | Clock_jump
+  | Oracle_failure
+  | Solver_limit
+  | Alloc_pressure
+  | Queue_overload
+  | Job_crash
+  | Slow_client
 
 let kind_name = function
   | Clock_jump -> "clock-jump"
   | Oracle_failure -> "oracle-failure"
   | Solver_limit -> "solver-limit"
   | Alloc_pressure -> "alloc-pressure"
+  | Queue_overload -> "queue-overload"
+  | Job_crash -> "job-crash"
+  | Slow_client -> "slow-client"
 
 let kind_of_name = function
   | "clock-jump" -> Some Clock_jump
   | "oracle-failure" -> Some Oracle_failure
   | "solver-limit" -> Some Solver_limit
   | "alloc-pressure" -> Some Alloc_pressure
+  | "queue-overload" -> Some Queue_overload
+  | "job-crash" -> Some Job_crash
+  | "slow-client" -> Some Slow_client
   | _ -> None
 
-let all_kinds = [ Clock_jump; Oracle_failure; Solver_limit; Alloc_pressure ]
+let all_kinds =
+  [ Clock_jump; Oracle_failure; Solver_limit; Alloc_pressure;
+    Queue_overload; Job_crash; Slow_client ]
+
+let n_kinds = List.length all_kinds
 
 let kind_index = function
   | Clock_jump -> 0
   | Oracle_failure -> 1
   | Solver_limit -> 2
   | Alloc_pressure -> 3
+  | Queue_overload -> 4
+  | Job_crash -> 5
+  | Slow_client -> 6
 
 type trigger = At of int | Every of int | Random_p of float
 
@@ -32,7 +52,7 @@ type plan = {
 }
 
 let plan ?(seed = 0x5eed) entries =
-  let triggers = Array.make 4 None in
+  let triggers = Array.make n_kinds None in
   List.iter
     (fun (k, t) ->
       let i = kind_index k in
@@ -40,8 +60,8 @@ let plan ?(seed = 0x5eed) entries =
     entries;
   let seed = (seed land 0x3FFFFFFF) lor 1 in
   { triggers;
-    probes = Array.make 4 0;
-    fired = Array.make 4 0;
+    probes = Array.make n_kinds 0;
+    fired = Array.make n_kinds 0;
     seed;
     rng = seed }
 
@@ -102,8 +122,8 @@ let parse_spec spec =
 let current : plan option ref = ref None
 
 let with_plan p f =
-  Array.fill p.probes 0 4 0;
-  Array.fill p.fired 0 4 0;
+  Array.fill p.probes 0 n_kinds 0;
+  Array.fill p.fired 0 n_kinds 0;
   p.rng <- p.seed;
   let saved = !current in
   current := Some p;

@@ -18,10 +18,14 @@ type kind =
   | Oracle_failure   (** exact reliability analysis blows up *)
   | Solver_limit     (** SOLVEILP exhausts its node/time budget *)
   | Alloc_pressure   (** the GC heap watermark is exceeded *)
+  | Queue_overload   (** the serve admission queue reports pressure *)
+  | Job_crash        (** a daemon job crashes mid-run *)
+  | Slow_client      (** a serve client stops draining its events *)
 
 val kind_name : kind -> string
 (** ["clock-jump"], ["oracle-failure"], ["solver-limit"],
-    ["alloc-pressure"]. *)
+    ["alloc-pressure"], ["queue-overload"], ["job-crash"],
+    ["slow-client"]. *)
 
 val kind_of_name : string -> kind option
 

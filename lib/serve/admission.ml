@@ -1,0 +1,55 @@
+type config = {
+  capacity : int;
+  shed_watermark : float;
+  max_generators : int;
+  tight_deadline_s : float;
+}
+
+let default =
+  { capacity = 16;
+    shed_watermark = 0.75;
+    max_generators = 12;
+    tight_deadline_s = 0.5 }
+
+let validate c =
+  if c.capacity < 1 then Error "capacity must be >= 1"
+  else if not (c.shed_watermark > 0. && c.shed_watermark <= 1.) then
+    Error "shed_watermark must be in (0, 1]"
+  else if c.max_generators < 1 then Error "max_generators must be >= 1"
+  else if c.tight_deadline_s < 0. then
+    Error "tight_deadline_s must be >= 0"
+  else Ok ()
+
+type decision =
+  | Accept
+  | Accept_degraded of string
+  | Reject of { reason : string; detail : string }
+
+let decide c ~queue_depth (job : Protocol.job) =
+  let size = Option.value job.Protocol.generators ~default:0 in
+  if size > c.max_generators then
+    Reject
+      { reason = "too-large";
+        detail =
+          Printf.sprintf "%d generators exceeds the served maximum %d"
+            size c.max_generators }
+  else if queue_depth >= c.capacity then
+    Reject
+      { reason = "queue-full";
+        detail =
+          Printf.sprintf "%d jobs pending at capacity %d" queue_depth
+            c.capacity }
+  else
+    (* injected Queue_overload pressure surfaces exactly like a real
+       backlog: the job is admitted, but degraded *)
+    let pressured =
+      float_of_int queue_depth
+      >= c.shed_watermark *. float_of_int c.capacity
+      || Archex_resilience.Faults.probe Archex_resilience.Faults.Queue_overload
+    in
+    if pressured then Accept_degraded "queue-pressure"
+    else
+      match job.Protocol.deadline_s with
+      | Some d when d < c.tight_deadline_s ->
+          Accept_degraded "tight-deadline"
+      | _ -> Accept

@@ -1,0 +1,46 @@
+(** Admission control and load shedding for the serve queue.
+
+    Pure policy: given the queue state and a job spec, decide to accept,
+    accept {e degraded} (shed down the anytime ladder: the job runs with
+    a tiny BDD ceiling, so the reliability oracle falls back to cut-set
+    bounds or Monte-Carlo instead of exact analysis), or reject with a
+    typed reason.  The daemon stays responsive under overload by
+    degrading answers instead of queueing unboundedly — the same
+    anytime principle the synthesis stack applies to budgets.
+
+    The [Queue_overload] fault kind makes the pressure path testable
+    without a real backlog: an injected probe fires the shed decision
+    exactly where genuine queue pressure would. *)
+
+type config = {
+  capacity : int;
+      (** hard queue bound: at [capacity] pending jobs, reject
+          ["queue-full"] *)
+  shed_watermark : float;
+      (** fraction of [capacity] (0–1] above which new jobs are admitted
+          degraded *)
+  max_generators : int;
+      (** largest scaling-family instance served; bigger is
+          ["too-large"] *)
+  tight_deadline_s : float;
+      (** a requested deadline below this cannot finish exactly —
+          admit degraded *)
+}
+
+val default : config
+(** capacity 16, watermark 0.75, max 12 generators, 0.5 s tight
+    deadline. *)
+
+val validate : config -> (unit, string) result
+
+type decision =
+  | Accept
+  | Accept_degraded of string    (** why: ["queue-pressure"] /
+                                     ["tight-deadline"] *)
+  | Reject of { reason : string; detail : string }
+      (** reason: ["queue-full"] / ["too-large"] *)
+
+val decide : config -> queue_depth:int -> Protocol.job -> decision
+(** [queue_depth] is the number of admitted-but-unfinished jobs
+    {e before} this one.  Probes the [Queue_overload] fault once per
+    call. *)

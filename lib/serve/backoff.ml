@@ -1,0 +1,28 @@
+type t = {
+  base : float;
+  cap : float;
+  seed : int;
+  mutable rng : int;
+  mutable prev : float;
+}
+
+let create ?(seed = 0xb0ff) ?(base = 0.05) ?(cap = 5.0) () =
+  if not (base > 0. && base <= cap) then
+    invalid_arg "Backoff.create: need 0 < base <= cap";
+  let seed = (seed land 0x3FFFFFFF) lor 1 in
+  { base; cap; seed; rng = seed; prev = base }
+
+(* Lehmer-style LCG over 30 bits — matches Faults' generator family *)
+let uniform t =
+  t.rng <- t.rng * 48271 land 0x3FFFFFFF;
+  float_of_int t.rng /. float_of_int 0x40000000
+
+let next t =
+  let hi = Float.max t.base (3. *. t.prev) in
+  let d = Float.min t.cap (t.base +. ((hi -. t.base) *. uniform t)) in
+  t.prev <- d;
+  d
+
+let reset t =
+  t.rng <- t.seed;
+  t.prev <- t.base

@@ -1,0 +1,29 @@
+(** Decorrelated-jitter exponential backoff.
+
+    The retry scheduler needs delays that grow roughly exponentially but
+    do not synchronize: if every retried job waited exactly
+    [base · 2^attempt], a burst of correlated failures (a restarted
+    daemon requeueing its interrupted jobs) would thunder back in lock
+    step.  The decorrelated-jitter scheme draws each delay uniformly
+    from [[base, 3 · previous]] and caps it, so consecutive delays
+    spread apart while staying bounded.
+
+    The generator is a seeded LCG (the same family the fault injector
+    and the PB solver's phase jitter use), so a fixed seed replays a
+    fixed delay sequence — which is what makes the retry tests
+    deterministic. *)
+
+type t
+
+val create : ?seed:int -> ?base:float -> ?cap:float -> unit -> t
+(** [base] (default 0.05 s) is the smallest delay and the first draw's
+    lower bound; [cap] (default 5 s) bounds every delay.
+    @raise Invalid_argument unless [0 < base <= cap]. *)
+
+val next : t -> float
+(** Draw the next delay: uniform in [[base, 3 · previous]] clamped to
+    [cap] ([previous] starts at [base]).  Mutates the generator. *)
+
+val reset : t -> unit
+(** Rewind to the initial state: the next {!next} replays the first
+    draw. *)

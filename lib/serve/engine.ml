@@ -1,0 +1,454 @@
+module J = Archex_obs.Json
+module Obs = Archex_obs
+module B = Archex_resilience.Budget
+module Error = Archex_resilience.Error
+module P = Archex_parallel
+
+type config = {
+  admission : Admission.config;
+  pool_jobs : int;
+  max_attempts : int;
+  retry_floor_s : float;
+  backoff_base_s : float;
+  backoff_cap_s : float;
+  backoff_seed : int;
+  default_deadline_s : float option;
+  degraded_bdd_limit : int;
+}
+
+let default_config =
+  { admission = Admission.default;
+    pool_jobs = 2;
+    max_attempts = 3;
+    retry_floor_s = 0.05;
+    backoff_base_s = 0.05;
+    backoff_cap_s = 2.0;
+    backoff_seed = 0xb0ff;
+    default_deadline_s = Some 300.;
+    degraded_bdd_limit = 256 }
+
+let validate_config c =
+  let ( let* ) = Result.bind in
+  let* () = Admission.validate c.admission in
+  if c.pool_jobs < 1 then Error "pool_jobs must be >= 1"
+  else if c.max_attempts < 1 then Error "max_attempts must be >= 1"
+  else if c.retry_floor_s < 0. then Error "retry_floor_s must be >= 0"
+  else if not (c.backoff_base_s > 0. && c.backoff_base_s <= c.backoff_cap_s)
+  then Error "need 0 < backoff_base_s <= backoff_cap_s"
+  else if c.degraded_bdd_limit < 1 then
+    Error "degraded_bdd_limit must be >= 1"
+  else Ok ()
+
+(* One admitted job's in-memory record.  Mutations are guarded by the
+   engine lock; the cancel token and the budgets it hooks into are the
+   only cross-domain state. *)
+type jrec = {
+  job : Protocol.job;
+  degraded : string option;
+  cancel : P.Cancel.t;
+  backoff : Backoff.t;
+  accepted_at : float;
+  mutable attempts : int;
+  mutable first_budget : B.t option;   (* reseat prototype *)
+  mutable closed : bool;               (* done/failed/shed/dead-letter *)
+}
+
+type t = {
+  config : config;
+  obs : Obs.Ctx.t;
+  journal : Journal.t;
+  pool : P.Pool.t;
+  emit : J.t -> unit;
+  lock : Mutex.t;
+  table : (string, jrec) Hashtbl.t;
+  mutable retries : (float * string) list;   (* sorted by due time *)
+  mutable drain_flag : bool;
+  mutable live : int;          (* admitted, not yet terminal here *)
+  (* counters live in plain atomics (stats must work without a metrics
+     registry) and are mirrored into serve.* metrics when one is wired *)
+  c_accepted : int Atomic.t;
+  c_rejected : int Atomic.t;
+  c_degraded : int Atomic.t;
+  c_retries : int Atomic.t;
+  c_dead_letter : int Atomic.t;
+  c_completed : int Atomic.t;
+  c_interrupted : int Atomic.t;
+  queue_depth : Obs.Metrics.gauge;
+  wait_seconds : Obs.Metrics.histogram;
+  run_seconds : Obs.Metrics.histogram;
+  job_seconds : Obs.Metrics.histogram;
+}
+
+let with_lock t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let metrics t = Obs.Ctx.metrics t.obs
+
+let bump t atomic name =
+  Atomic.incr atomic;
+  Obs.Metrics.incr (Obs.Metrics.counter (metrics t) ("serve." ^ name))
+
+let set_depth t =
+  (* called under the lock *)
+  Obs.Metrics.set t.queue_depth (float_of_int t.live)
+
+let create ?(obs = Obs.Ctx.null) ~config ~dir ~emit () =
+  match validate_config config with
+  | Error _ as e -> e
+  | Ok () -> (
+      match Journal.open_journal ~dir with
+      | Error _ as e -> e
+      | Ok journal ->
+          let m = Obs.Ctx.metrics obs in
+          Ok
+            { config;
+              obs;
+              journal;
+              pool =
+                P.Pool.create ~obs ~dedicated:true ~jobs:config.pool_jobs
+                  ();
+              emit;
+              lock = Mutex.create ();
+              table = Hashtbl.create 64;
+              retries = [];
+              drain_flag = false;
+              live = 0;
+              c_accepted = Atomic.make 0;
+              c_rejected = Atomic.make 0;
+              c_degraded = Atomic.make 0;
+              c_retries = Atomic.make 0;
+              c_dead_letter = Atomic.make 0;
+              c_completed = Atomic.make 0;
+              c_interrupted = Atomic.make 0;
+              queue_depth = Obs.Metrics.gauge m "serve.queue_depth";
+              wait_seconds =
+                Obs.Metrics.histogram m "serve.wait_seconds";
+              run_seconds = Obs.Metrics.histogram m "serve.run_seconds";
+              job_seconds = Obs.Metrics.histogram m "serve.job_seconds" })
+
+let now () = Obs.Clock.now ()
+
+(* The attempt's budget.  First attempt: the job's own limits (degraded
+   admissions get the tiny BDD ceiling that forces the ladder down) with
+   the cancel token as the budget's stop hook.  Retries: Budget.reseat —
+   same limits, the job's *original* absolute deadline, so N attempts
+   share one wall-clock window. *)
+let budget_for t r =
+  let job = r.job in
+  let bdd =
+    match r.degraded with
+    | Some _ ->
+        Some
+          (match job.Protocol.bdd_limit with
+          | Some b -> min b t.config.degraded_bdd_limit
+          | None -> t.config.degraded_bdd_limit)
+    | None -> job.Protocol.bdd_limit
+  in
+  let cancelled = P.Cancel.guard r.cancel in
+  match r.first_budget with
+  | Some proto -> (
+      match B.deadline_at proto with
+      | Some d -> B.reseat ~deadline:d proto
+      | None ->
+          B.create ~cancelled ?max_nodes:job.Protocol.max_nodes
+            ?max_bdd_nodes:bdd ())
+  | None ->
+      let deadline =
+        match job.Protocol.deadline_s with
+        | Some _ as d -> d
+        | None -> t.config.default_deadline_s
+      in
+      let b =
+        B.create ~cancelled ?deadline ?max_nodes:job.Protocol.max_nodes
+          ?max_bdd_nodes:bdd ()
+      in
+      r.first_budget <- Some b;
+      b
+
+let push_retry t due id =
+  t.retries <-
+    List.sort (fun (a, _) (b, _) -> Float.compare a b)
+      ((due, id) :: t.retries)
+
+let err_field e = [ ("error", Error.to_json e) ]
+
+(* One attempt, executed on a pool worker. *)
+let rec run_attempt t id =
+  match with_lock t (fun () -> Hashtbl.find_opt t.table id) with
+  | None -> ()
+  | Some r when r.closed -> ()
+  | Some r ->
+      let attempt, budget =
+        with_lock t (fun () ->
+            r.attempts <- r.attempts + 1;
+            (r.attempts, budget_for t r))
+      in
+      Journal.append t.journal ~id ~state:"running"
+        ~fields:[ ("attempt", J.Num (float_of_int attempt)) ]
+        ();
+      t.emit (Protocol.started ~id ~attempt);
+      if attempt = 1 then
+        Obs.Metrics.observe t.wait_seconds (now () -. r.accepted_at);
+      let on_event ev = t.emit (Protocol.progress ~id ev) in
+      let t0 = now () in
+      let outcome = Runner.run ~obs:t.obs ~on_event ~budget r.job in
+      Obs.Metrics.observe t.run_seconds (now () -. t0);
+      finish t r ~attempt outcome
+
+and finish t r ~attempt outcome =
+  let id = r.job.Protocol.id in
+  let elapsed_s = now () -. r.accepted_at in
+  let degraded = r.degraded <> None in
+  let terminal state ~status ~verdict ?error fields =
+    Journal.append t.journal ~id ~state ~fields ();
+    with_lock t (fun () ->
+        r.closed <- state <> "interrupted";
+        t.live <- t.live - 1;
+        set_depth t);
+    Obs.Metrics.observe t.job_seconds elapsed_s;
+    t.emit
+      (Protocol.done_ ~id ~status ~verdict ~attempts:attempt ~degraded
+         ~elapsed_s ?cost:outcome.Runner.cost
+         ?reliability:outcome.Runner.reliability
+         ?iterations:outcome.Runner.iterations ?error ())
+  in
+  let cancelled =
+    P.Cancel.is_cancelled r.cancel
+    || (match outcome.Runner.error with
+       | Some (Error.Cancelled _) -> true
+       | _ -> false)
+  in
+  if cancelled then begin
+    (* drain (or client abort): not a failure of the job — journal it
+       interrupted so the next start retries it *)
+    bump t t.c_interrupted "interrupted";
+    terminal "interrupted" ~status:"interrupted" ~verdict:"none" []
+  end
+  else
+    match outcome.Runner.error with
+    | None ->
+        bump t t.c_completed "completed";
+        if outcome.Runner.status = "ok" then
+          terminal "done" ~status:"ok" ~verdict:outcome.Runner.verdict
+            ([ ("verdict", J.Str outcome.Runner.verdict) ]
+            @ (match outcome.Runner.cost with
+              | Some c -> [ ("cost", J.Num c) ]
+              | None -> []))
+        else
+          terminal "done" ~status:outcome.Runner.status ~verdict:"none"
+            [ ("verdict", J.Str "none");
+              ("status", J.Str outcome.Runner.status) ]
+    | Some e ->
+        let remaining_s =
+          match Option.bind r.first_budget B.deadline_at with
+          | Some d -> d -. now ()
+          | None -> Float.infinity
+        in
+        let can_retry =
+          Runner.retryable outcome ~remaining_s
+            ~floor_s:t.config.retry_floor_s
+          && attempt < t.config.max_attempts
+          && not (with_lock t (fun () -> t.drain_flag))
+        in
+        if can_retry then begin
+          let delay = Backoff.next r.backoff in
+          let due = now () +. delay in
+          bump t t.c_retries "retries";
+          Journal.append t.journal ~id ~state:"backoff"
+            ~fields:
+              (("attempt", J.Num (float_of_int attempt))
+              :: ("backoff_s", J.Num delay)
+              :: err_field e)
+            ();
+          t.emit (Protocol.retry ~id ~attempt ~backoff_s:delay ~error:e);
+          with_lock t (fun () -> push_retry t due id)
+        end
+        else if
+          Runner.retryable outcome ~remaining_s:Float.infinity
+            ~floor_s:t.config.retry_floor_s
+          && attempt >= t.config.max_attempts
+        then begin
+          (* retryable in principle, out of attempts: dead-letter *)
+          bump t t.c_dead_letter "dead_letter";
+          terminal "dead-letter" ~status:"failed" ~verdict:"dead-letter"
+            ~error:e (err_field e)
+        end
+        else
+          terminal "failed" ~status:outcome.Runner.status ~verdict:"none"
+            ~error:e (err_field e)
+
+let submit t (job : Protocol.job) =
+  let id = job.Protocol.id in
+  let decision =
+    with_lock t (fun () ->
+        if t.drain_flag then
+          `Reject ("draining", "server is draining, not accepting jobs")
+        else
+          match
+            Admission.decide t.config.admission ~queue_depth:t.live job
+          with
+          | Admission.Reject { reason; detail } -> `Reject (reason, detail)
+          | Admission.Accept -> `Admit None
+          | Admission.Accept_degraded why -> `Admit (Some why))
+  in
+  match decision with
+  | `Reject (reason, detail) ->
+      bump t t.c_rejected "rejected";
+      (* a rejected job is journaled as shed: the ledger records every
+         admission decision, and "shed" is terminal on recovery *)
+      Journal.append t.journal ~id ~state:"shed"
+        ~fields:
+          [ ("reason", J.Str reason);
+            ("spec", Protocol.job_to_json job) ]
+        ();
+      t.emit (Protocol.rejected ~id ~reason ~detail)
+  | `Admit degraded ->
+      let r =
+        { job;
+          degraded;
+          cancel = P.Cancel.create ();
+          backoff =
+            Backoff.create
+              ~seed:(t.config.backoff_seed + Hashtbl.hash id)
+              ~base:t.config.backoff_base_s ~cap:t.config.backoff_cap_s
+              ();
+          accepted_at = now ();
+          attempts = 0;
+          first_budget = None;
+          closed = false }
+      in
+      let depth =
+        with_lock t (fun () ->
+            Hashtbl.replace t.table id r;
+            t.live <- t.live + 1;
+            set_depth t;
+            t.live)
+      in
+      bump t t.c_accepted "accepted";
+      if degraded <> None then bump t t.c_degraded "degraded";
+      Journal.append t.journal ~id ~state:"accepted"
+        ~fields:
+          (("spec", Protocol.job_to_json job)
+          ::
+          (match degraded with
+          | Some why -> [ ("degraded", J.Str why) ]
+          | None -> []))
+        ();
+      t.emit (Protocol.accepted ~id ~degraded ~queue_depth:depth);
+      P.Pool.submit t.pool (fun () -> run_attempt t id)
+
+let recover_into t recs =
+  List.iter
+    (fun { Journal.job; last_state; attempts } ->
+      let id = job.Protocol.id in
+      let r =
+        { job;
+          degraded = None;
+          cancel = P.Cancel.create ();
+          backoff =
+            Backoff.create
+              ~seed:(t.config.backoff_seed + Hashtbl.hash id)
+              ~base:t.config.backoff_base_s ~cap:t.config.backoff_cap_s
+              ();
+          accepted_at = now ();
+          attempts;
+          first_budget = None;
+          closed = false }
+      in
+      with_lock t (fun () ->
+          Hashtbl.replace t.table id r;
+          t.live <- t.live + 1;
+          set_depth t);
+      if last_state = "accepted" then
+        P.Pool.submit t.pool (fun () -> run_attempt t id)
+      else begin
+        (* caught mid-run by the crash: mark the transition in the new
+           ledger and retry under backoff *)
+        bump t t.c_interrupted "interrupted";
+        Journal.append t.journal ~id ~state:"interrupted"
+          ~fields:[ ("recovered", J.Bool true) ]
+          ();
+        let due = now () +. Backoff.next r.backoff in
+        with_lock t (fun () -> push_retry t due id)
+      end)
+    recs;
+  List.length recs
+
+let pending t = with_lock t (fun () -> t.live)
+
+let drain t =
+  let to_interrupt =
+    with_lock t (fun () ->
+        if t.drain_flag then []
+        else begin
+          t.drain_flag <- true;
+          Hashtbl.iter
+            (fun _ r -> if not r.closed then P.Cancel.cancel r.cancel)
+            t.table;
+          (* queued retries will never fire: journal them interrupted so
+             the next start requeues them *)
+          let waiting = List.map snd t.retries in
+          t.retries <- [];
+          t.live <- t.live - List.length waiting;
+          set_depth t;
+          waiting
+        end)
+  in
+  List.iter
+    (fun id ->
+      bump t t.c_interrupted "interrupted";
+      Journal.append t.journal ~id ~state:"interrupted"
+        ~fields:[ ("drained", J.Bool true) ]
+        ())
+    to_interrupt
+
+let draining t = with_lock t (fun () -> t.drain_flag)
+
+let tick t =
+  let due, next =
+    with_lock t (fun () ->
+        let now_ = now () in
+        let due, rest =
+          List.partition (fun (at, _) -> at <= now_) t.retries
+        in
+        t.retries <- rest;
+        (List.map snd due, match rest with (at, _) :: _ -> Some at
+                                         | [] -> None))
+  in
+  List.iter
+    (fun id -> P.Pool.submit t.pool (fun () -> run_attempt t id))
+    due;
+  next
+
+let stats_json t =
+  let pending_, drain_flag, waiting =
+    with_lock t (fun () -> (t.live, t.drain_flag, List.length t.retries))
+  in
+  let n name a = (name, J.Num (float_of_int (Atomic.get a))) in
+  J.Obj
+    [ ("ev", J.Str "stats");
+      ("pending", J.Num (float_of_int pending_));
+      ("waiting_retry", J.Num (float_of_int waiting));
+      ("draining", J.Bool drain_flag);
+      n "accepted" t.c_accepted;
+      n "rejected" t.c_rejected;
+      n "degraded" t.c_degraded;
+      n "retries" t.c_retries;
+      n "dead_letter" t.c_dead_letter;
+      n "completed" t.c_completed;
+      n "interrupted" t.c_interrupted ]
+
+let shutdown t =
+  P.Pool.shutdown t.pool;
+  (* the ledger keeps only jobs a future start must care about *)
+  (match
+     Journal.compact t.journal ~keep:(fun id ->
+         match Hashtbl.find_opt t.table id with
+         | Some r -> not r.closed
+         | None -> false)
+   with
+  | Ok () -> ()
+  | Error msg ->
+      Format.eprintf "archex serve: journal compaction failed: %s@." msg);
+  Journal.close t.journal

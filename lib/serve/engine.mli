@@ -1,0 +1,90 @@
+(** The job engine: admission, execution, retry, journal — everything
+    between a parsed request and its event stream.
+
+    Jobs run on a {e dedicated} {!Archex_parallel.Pool} ({!submit}
+    returns immediately; workers journal and emit their own
+    transitions).  Each job holds a private
+    {!Archex_parallel.Cancel} token wired into its attempt's budget as
+    the cancel hook, so {!drain} winds every in-flight solve down
+    cooperatively — the job surfaces as ["interrupted"] in the journal
+    and is retried on the next start.
+
+    {b Retry.}  A retryable failure ({!Runner.retryable}) is re-admitted
+    after a decorrelated-jitter backoff delay ({!Backoff}, seeded per
+    job from the engine seed — deterministic in tests).  Every attempt
+    after the first runs under {!Archex_resilience.Budget.reseat} of the
+    first attempt's budget, so all attempts share the job's one original
+    deadline.  Attempts are capped; the last failure is journaled as a
+    ["dead-letter"] record carrying the typed error.
+
+    The engine never sleeps: due retries fire when the server loop calls
+    {!tick}, which returns the next due instant so the loop can size its
+    select timeout. *)
+
+type config = {
+  admission : Admission.config;
+  pool_jobs : int;              (** worker domains (dedicated) *)
+  max_attempts : int;           (** attempts per job, >= 1 *)
+  retry_floor_s : float;
+      (** don't retry a budget failure with less than this left of the
+          job's original deadline *)
+  backoff_base_s : float;
+  backoff_cap_s : float;
+  backoff_seed : int;
+  default_deadline_s : float option;
+      (** deadline for jobs that request none; [None] = unlimited *)
+  degraded_bdd_limit : int;
+      (** BDD ceiling imposed on degraded admissions — small enough to
+          force the bounds/sampling rungs *)
+}
+
+val default_config : config
+
+val validate_config : config -> (unit, string) result
+
+type t
+
+val create :
+  ?obs:Archex_obs.Ctx.t ->
+  config:config -> dir:string -> emit:(Archex_obs.Json.t -> unit) ->
+  unit -> (t, string) result
+(** [dir] hosts the journal ([dir/journal.ndjson]).  [emit] receives
+    every protocol event; it is called from worker domains and must be
+    thread-safe (the server serializes it). *)
+
+val submit : t -> Protocol.job -> unit
+(** Admission-check, journal and enqueue one job; emits ["accepted"] or
+    ["rejected"].  After {!drain}, every job is rejected
+    (["draining"]). *)
+
+val recover_into : t -> Journal.recovered list -> int
+(** Re-admit jobs recovered from a previous process's journal (admission
+    is bypassed — they were already accepted): still-["accepted"] jobs
+    are enqueued immediately, ["interrupted"] ones after a backoff
+    delay with their consumed attempts restored.  Deadlines restart:
+    the original absolute deadline died with the process, so each
+    recovered job gets a fresh window of its requested [deadline_s].
+    Returns the number requeued. *)
+
+val pending : t -> int
+(** Admitted jobs not yet in a terminal state. *)
+
+val drain : t -> unit
+(** Stop admissions and cancel every in-flight job's token.  Idempotent.
+    Queued retries are dropped to ["interrupted"] journal records (the
+    next start will pick them up). *)
+
+val draining : t -> bool
+
+val tick : t -> float option
+(** Enqueue every retry whose backoff has elapsed; returns the absolute
+    {!Archex_obs.Clock} time of the next pending retry, if any. *)
+
+val stats_json : t -> Archex_obs.Json.t
+(** Live counters: pending, accepted, rejected, degraded, retries,
+    dead-letters, completed, interrupted, draining flag. *)
+
+val shutdown : t -> unit
+(** Wait for in-flight work to land (the pool drains its queue), compact
+    the journal down to incomplete jobs, and close it.  Call after
+    {!drain} (or after {!pending} reaches 0 on a clean shutdown). *)

@@ -1,0 +1,173 @@
+module J = Archex_obs.Json
+
+type t = {
+  dir : string;
+  mutable oc : out_channel;
+  lock : Mutex.t;
+}
+
+let path ~dir = Filename.concat dir "journal.ndjson"
+
+let rec mkdir_p dir =
+  if dir <> "" && dir <> "/" && dir <> "." && not (Sys.file_exists dir)
+  then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755
+    with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let open_journal ~dir =
+  try
+    mkdir_p dir;
+    let oc =
+      open_out_gen [ Open_append; Open_creat ] 0o644 (path ~dir)
+    in
+    Ok { dir; oc; lock = Mutex.create () }
+  with
+  | Sys_error msg -> Error msg
+  | Unix.Unix_error (e, fn, arg) ->
+      Error (Printf.sprintf "%s %s: %s" fn arg (Unix.error_message e))
+
+let append t ~id ~state ?(fields = []) () =
+  Mutex.lock t.lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.lock)
+    (fun () ->
+      let record =
+        J.Obj
+          (("at", J.Num (Unix.gettimeofday ()))
+          :: ("id", J.Str id)
+          :: ("state", J.Str state)
+          :: fields)
+      in
+      output_string t.oc (J.to_string record);
+      output_char t.oc '\n';
+      (* durability before acknowledgement: the transition must survive
+         a crash the instant after this returns *)
+      flush t.oc;
+      Unix.fsync (Unix.descr_of_out_channel t.oc))
+
+let close t =
+  Mutex.lock t.lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.lock)
+    (fun () -> close_out_noerr t.oc)
+
+type recovered = {
+  job : Protocol.job;
+  last_state : string;
+  attempts : int;
+}
+
+let read_whole_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* Fold the ledger to per-job final state.  Records are chronological
+   (single appender), so a plain left fold suffices; a torn final line
+   is dropped by the relaxed parser. *)
+let scan_records contents =
+  let records, _dropped = J.parse_lines_relaxed contents in
+  let order = ref [] in
+  let tbl : (string, string * Protocol.job option * int) Hashtbl.t =
+    Hashtbl.create 64
+  in
+  List.iter
+    (fun r ->
+      match (Option.bind (J.mem "id" r) J.to_str,
+             Option.bind (J.mem "state" r) J.to_str)
+      with
+      | Some id, Some state ->
+          let prev = Hashtbl.find_opt tbl id in
+          if prev = None then order := id :: !order;
+          let _, spec, attempts =
+            Option.value prev ~default:("", None, 0)
+          in
+          let spec =
+            match (spec, J.mem "spec" r) with
+            | None, Some s -> (
+                match Protocol.job_of_json s with
+                | Ok job -> Some job
+                | Error _ -> None)
+            | s, _ -> s
+          in
+          let attempts =
+            if state = "running" then attempts + 1 else attempts
+          in
+          Hashtbl.replace tbl id (state, spec, attempts)
+      | _ -> ())
+    records;
+  (List.rev !order, tbl)
+
+let terminal = function
+  | "done" | "failed" | "shed" | "dead-letter" -> true
+  | _ -> false
+
+let recover ~dir =
+  let file = path ~dir in
+  if not (Sys.file_exists file) then Ok []
+  else
+    match read_whole_file file with
+    | exception Sys_error msg -> Error msg
+    | contents ->
+        let order, tbl = scan_records contents in
+        Ok
+          (List.filter_map
+             (fun id ->
+               match Hashtbl.find_opt tbl id with
+               | Some (state, Some job, attempts) when not (terminal state)
+                 ->
+                   let last_state =
+                     if state = "accepted" then "accepted"
+                     else "interrupted"
+                   in
+                   Some { job; last_state; attempts }
+               | _ -> None)
+             order)
+
+let compact t ~keep =
+  Mutex.lock t.lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.lock)
+    (fun () ->
+      let file = path ~dir:t.dir in
+      try
+        flush t.oc;
+        let contents = read_whole_file file in
+        let records, _ = J.parse_lines_relaxed contents in
+        let kept =
+          List.filter
+            (fun r ->
+              match Option.bind (J.mem "id" r) J.to_str with
+              | Some id -> keep id
+              | None -> false)
+            records
+        in
+        (* checkpoint discipline: the new ledger is complete and synced
+           before it replaces the old one *)
+        let tmp = file ^ ".tmp" in
+        let oc = open_out tmp in
+        (try
+           List.iter
+             (fun r ->
+               output_string oc (J.to_string r);
+               output_char oc '\n')
+             kept;
+           flush oc;
+           Unix.fsync (Unix.descr_of_out_channel oc);
+           close_out oc
+         with e ->
+           close_out_noerr oc;
+           (try Sys.remove tmp with Sys_error _ -> ());
+           raise e);
+        close_out_noerr t.oc;
+        Sys.rename tmp file;
+        t.oc <- open_out_gen [ Open_append; Open_creat ] 0o644 file;
+        Ok ()
+      with
+      | Sys_error msg -> Error msg
+      | Unix.Unix_error (e, fn, arg) ->
+          Error
+            (Printf.sprintf "%s %s: %s" fn arg (Unix.error_message e)))

@@ -1,0 +1,61 @@
+(** Crash-safe job journal: an append-only NDJSON ledger of every
+    accepted job's state transitions.
+
+    One record per transition:
+    [{"at": <unix time>, "id": ..., "state": ..., ...}] with states
+    ["accepted"] (carries the full job spec), ["running"] (attempt
+    number), ["done"] (verdict), ["failed"] (typed error),
+    ["shed"], ["interrupted"], ["dead-letter"].
+
+    {b Durability.}  Appends are flushed {e and fsynced} before the
+    state change is acted on — an accepted job is on disk before its
+    ["accepted"] event reaches the client, so a crash after the ack can
+    never lose it.  A torn final line (the crash happened mid-append) is
+    tolerated on recovery via relaxed NDJSON parsing, the same
+    discipline [archex top] applies to live metric streams.
+
+    {b Recovery.}  {!recover} folds the ledger to each job's last state:
+    jobs still ["accepted"] are requeued as-is; jobs caught ["running"]
+    are marked ["interrupted"] (a new appended record, not a rewrite)
+    and requeued to retry under backoff.  Completed jobs are never
+    re-run — the kill-and-restart property is: no accepted job lost,
+    no job double-completed.
+
+    {b Compaction.}  The ledger grows forever; {!compact} rewrites it
+    keeping only incomplete jobs' records, using the checkpoint
+    discipline (tmp + fsync + rename) so a crash mid-compaction leaves
+    either the old or the new ledger, never a truncated one.  Appends
+    within one process are serialized by an internal mutex (pool
+    workers journal their own transitions). *)
+
+type t
+
+val path : dir:string -> string
+(** [dir ^ "/journal.ndjson"] — where {!open_journal} appends. *)
+
+val open_journal : dir:string -> (t, string) result
+(** Create [dir] (and parents) if needed and open the ledger for
+    appending. *)
+
+val append : t -> id:string -> state:string ->
+  ?fields:(string * Archex_obs.Json.t) list -> unit -> unit
+(** Append one transition record (timestamped now), flush, fsync. *)
+
+val close : t -> unit
+
+type recovered = {
+  job : Protocol.job;
+  last_state : string;    (** ["accepted"] or ["interrupted"] *)
+  attempts : int;         (** ["running"] records seen — attempts
+                              already consumed before the crash *)
+}
+
+val recover : dir:string -> (recovered list, string) result
+(** Scan the ledger (absent file = no jobs) and return the incomplete
+    jobs in acceptance order.  Pure read: the caller appends the
+    ["interrupted"] records (via {!append}) once the journal is
+    reopened, so a recovery scan is harmless on a live ledger. *)
+
+val compact : t -> keep:(string -> bool) -> (unit, string) result
+(** Rewrite the ledger atomically, keeping only records whose job id
+    satisfies [keep]. *)

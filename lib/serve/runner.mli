@@ -1,0 +1,48 @@
+(** Execute one admitted job under its budget.
+
+    A job runs an EPS synthesis ([mr] / [ar]) or a reliability analysis
+    of the template's full candidate configuration ([analyze]), entirely
+    through the trust-boundary entry points — every failure is a typed
+    {!Archex_resilience.Error.t} in the outcome, never an exception.
+
+    {b Verdict.}  The outcome's [verdict] names the worst reliability
+    ladder rung that contributed to the reported figure — ["exact"],
+    ["bounded"] or ["sampled"] — obtained by re-analyzing the final
+    configuration under the job's BDD ceiling.  A degraded admission
+    (tiny ceiling) therefore shows up as a non-exact verdict in the
+    response, which is the contract the shed policy promises: answers
+    degrade, visibly, instead of queueing unboundedly.
+
+    The [Job_crash] fault kind is probed once per attempt: an injected
+    crash surfaces as an [Internal] error tagged ["injected: job-crash"]
+    — the retryable failure the backoff tests and the CI smoke job
+    exercise. *)
+
+type outcome = {
+  status : string;
+      (** ["ok"], ["unfeasible"], ["exhausted"], ["failed"] *)
+  verdict : string;
+      (** ["exact"] / ["bounded"] / ["sampled"]; ["none"] without a
+          configuration to analyze *)
+  cost : float option;
+  reliability : float option;
+  iterations : int option;
+  error : Archex_resilience.Error.t option;
+      (** present for ["exhausted"] and ["failed"] *)
+}
+
+val run :
+  ?obs:Archex_obs.Ctx.t ->
+  ?on_event:(Archex_obs.Event.t -> unit) ->
+  budget:Archex_resilience.Budget.t ->
+  Protocol.job -> outcome
+(** Run one attempt.  [budget] carries the job's deadline, node and BDD
+    limits and (for a daemon job) its cancel hook; its BDD ceiling also
+    drives the verdict re-analysis. *)
+
+val retryable : outcome -> remaining_s:float -> floor_s:float -> bool
+(** Should the engine re-admit this attempt?  True for an injected
+    crash, and for a budget-family failure while the job's original
+    deadline still has more than [floor_s] seconds left ([remaining_s]
+    is infinite for deadline-less jobs).  Terminal successes,
+    infeasibility proofs and invalid inputs never retry. *)

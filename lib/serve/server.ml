@@ -1,0 +1,302 @@
+module J = Archex_obs.Json
+module Obs = Archex_obs
+module Faults = Archex_resilience.Faults
+
+let proto_version = 1
+
+(* The drain flag a signal handler flips: one atomic, polled by the
+   serve loop (and by nothing else) — async-signal-safe by construction. *)
+let drain_flag = Atomic.make false
+let request_drain () = Atomic.set drain_flag true
+let drain_requested () = Atomic.get drain_flag
+let reset_drain () = Atomic.set drain_flag false
+
+let exit_ok = 0
+let exit_signal = 130
+
+let is_progress = function
+  | J.Obj (("ev", J.Str "progress") :: _) -> true
+  | _ -> false
+
+(* Wrap a raw sink with the slow-client fault: an injected probe drops
+   progress events (never terminal ones) — the observable symptom of a
+   client that stopped draining its stream. *)
+let with_slow_client metrics sink ev =
+  if is_progress ev && Faults.probe Faults.Slow_client then
+    Obs.Metrics.incr (Obs.Metrics.counter metrics "serve.slow_client_drops")
+  else sink ev
+
+let fresh_id =
+  let counter = Atomic.make 0 in
+  fun () -> Printf.sprintf "j%d-%d" (Unix.getpid ()) (Atomic.fetch_and_add counter 1 + 1)
+
+(* Requeue whatever the previous process's journal left unfinished. *)
+let recover_previous engine ~dir =
+  match Journal.recover ~dir with
+  | Error msg ->
+      Format.eprintf "archex serve: journal unreadable, starting empty: %s@."
+        msg
+  | Ok [] -> ()
+  | Ok recs ->
+      let n = Engine.recover_into engine recs in
+      Format.eprintf "archex serve: recovered %d unfinished job(s)@." n
+
+type control = [ `None | `Shutdown ]
+
+let handle_line engine ~emit ~(control : control ref) line =
+  let line = String.trim line in
+  if line <> "" then
+    match Protocol.parse_request ~assign_id:fresh_id line with
+    | Error msg ->
+        emit (Protocol.rejected ~id:"" ~reason:"bad-request" ~detail:msg)
+    | Ok Protocol.Ping -> emit (Protocol.pong ())
+    | Ok Protocol.Stats -> emit (Engine.stats_json engine)
+    | Ok Protocol.Shutdown -> control := `Shutdown
+    | Ok (Protocol.Job job) -> Engine.submit engine job
+
+(* The shared wind-down: [cancel_inflight] is the signal path (drain
+   cancels running jobs so they journal as interrupted); the clean path
+   lets them finish first. *)
+let quiesce engine ~emit ~cancel_inflight ~poll =
+  if cancel_inflight then Engine.drain engine;
+  emit (Protocol.draining ~pending:(Engine.pending engine));
+  let rec wait () =
+    ignore (Engine.tick engine);
+    if Engine.pending engine > 0 then begin
+      poll ();
+      (* a signal arriving during a clean drain escalates to cancel *)
+      if drain_requested () && not (Engine.draining engine) then
+        Engine.drain engine;
+      wait ()
+    end
+  in
+  wait ();
+  Engine.drain engine;
+  Engine.shutdown engine
+
+let serve_pipe ?(obs = Obs.Ctx.null) ~config ~dir ic oc =
+  let metrics = Obs.Ctx.metrics obs in
+  let emit_lock = Mutex.create () in
+  let raw ev =
+    Mutex.lock emit_lock;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock emit_lock)
+      (fun () ->
+        output_string oc (J.to_string ev);
+        output_char oc '\n';
+        flush oc)
+  in
+  let emit = with_slow_client metrics raw in
+  match Engine.create ~obs ~config ~dir ~emit () with
+  | Error msg ->
+      Format.eprintf "archex serve: %s@." msg;
+      1
+  | Ok engine ->
+      raw (Protocol.hello ~proto:proto_version ~pid:(Unix.getpid ()));
+      recover_previous engine ~dir;
+      (* a reader domain blocks on input_line; the main loop stays free
+         to fire retries and poll the drain flag *)
+      let inbox = Queue.create () in
+      let inbox_lock = Mutex.create () in
+      let eof = Atomic.make false in
+      let reader =
+        Domain.spawn (fun () ->
+            (try
+               while true do
+                 let line = input_line ic in
+                 Mutex.lock inbox_lock;
+                 Queue.add line inbox;
+                 Mutex.unlock inbox_lock
+               done
+             with End_of_file | Sys_error _ -> ());
+            Atomic.set eof true)
+      in
+      let control = ref `None in
+      let signalled = ref false in
+      let finished () =
+        !signalled
+        || (Atomic.get eof || !control = `Shutdown)
+           &&
+           (Mutex.lock inbox_lock;
+            let empty = Queue.is_empty inbox in
+            Mutex.unlock inbox_lock;
+            empty)
+      in
+      while not (finished ()) do
+        if drain_requested () && not !signalled then signalled := true;
+        if !signalled then ()
+        else begin
+          let lines =
+            Mutex.lock inbox_lock;
+            let ls = List.of_seq (Queue.to_seq inbox) in
+            Queue.clear inbox;
+            Mutex.unlock inbox_lock;
+            ls
+          in
+          List.iter (handle_line engine ~emit ~control) lines
+        end;
+        ignore (Engine.tick engine);
+        if not (finished ()) then Unix.sleepf 0.02
+      done;
+      let code = if !signalled then exit_signal else exit_ok in
+      quiesce engine ~emit ~cancel_inflight:!signalled
+        ~poll:(fun () -> Unix.sleepf 0.02);
+      raw (Protocol.bye ~exit_code:code);
+      if Atomic.get eof then Domain.join reader;
+      code
+
+(* --- Unix-domain-socket transport --- *)
+
+type client = {
+  fd : Unix.file_descr;
+  buf : Buffer.t;
+  mutable alive : bool;
+}
+
+let client_send lock c ev =
+  Mutex.lock lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock lock)
+    (fun () ->
+      if c.alive then
+        let line = J.to_string ev ^ "\n" in
+        try
+          let len = String.length line in
+          let rec go off =
+            if off < len then
+              let n =
+                Unix.write_substring c.fd line off (len - off)
+              in
+              go (off + n)
+          in
+          go 0
+        with Unix.Unix_error _ -> c.alive <- false)
+
+let serve_socket ?(obs = Obs.Ctx.null) ~config ~dir path =
+  let metrics = Obs.Ctx.metrics obs in
+  let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try Unix.unlink path with Unix.Unix_error _ -> ());
+  Unix.bind listen_fd (Unix.ADDR_UNIX path);
+  Unix.listen listen_fd 16;
+  let io_lock = Mutex.create () in
+  let clients : client list ref = ref [] in
+  (* job id → the client that submitted it: engine events route back to
+     their requester, and a dead client's events are simply dropped *)
+  let routes : (string, client) Hashtbl.t = Hashtbl.create 64 in
+  let routes_lock = Mutex.create () in
+  let route_of ev =
+    match Option.bind (J.mem "id" ev) J.to_str with
+    | None -> None
+    | Some id ->
+        Mutex.lock routes_lock;
+        let c = Hashtbl.find_opt routes id in
+        Mutex.unlock routes_lock;
+        c
+  in
+  let raw ev =
+    match route_of ev with
+    | Some c -> client_send io_lock c ev
+    | None -> ()
+  in
+  let emit = with_slow_client metrics raw in
+  match Engine.create ~obs ~config ~dir ~emit () with
+  | Error msg ->
+      Unix.close listen_fd;
+      Format.eprintf "archex serve: %s@." msg;
+      1
+  | Ok engine ->
+      recover_previous engine ~dir;
+      let control = ref `None in
+      let signalled = ref false in
+      let handle_client_line c line =
+        let line = String.trim line in
+        if line <> "" then
+          match Protocol.parse_request ~assign_id:fresh_id line with
+          | Error msg ->
+              client_send io_lock c
+                (Protocol.rejected ~id:"" ~reason:"bad-request"
+                   ~detail:msg)
+          | Ok Protocol.Ping -> client_send io_lock c (Protocol.pong ())
+          | Ok Protocol.Stats ->
+              client_send io_lock c (Engine.stats_json engine)
+          | Ok Protocol.Shutdown -> control := `Shutdown
+          | Ok (Protocol.Job job) ->
+              Mutex.lock routes_lock;
+              Hashtbl.replace routes job.Protocol.id c;
+              Mutex.unlock routes_lock;
+              Engine.submit engine job
+      in
+      let drain_buffer c =
+        let data = Buffer.contents c.buf in
+        let rec go start =
+          match String.index_from_opt data start '\n' with
+          | None ->
+              Buffer.clear c.buf;
+              Buffer.add_string c.buf
+                (String.sub data start (String.length data - start))
+          | Some nl ->
+              handle_client_line c (String.sub data start (nl - start));
+              go (nl + 1)
+        in
+        go 0
+      in
+      let read_client c =
+        let bytes = Bytes.create 4096 in
+        match Unix.read c.fd bytes 0 4096 with
+        | 0 -> c.alive <- false
+        | n ->
+            Buffer.add_subbytes c.buf bytes 0 n;
+            drain_buffer c
+        | exception Unix.Unix_error _ -> c.alive <- false
+      in
+      while
+        (not !signalled) && !control <> `Shutdown
+      do
+        if drain_requested () then signalled := true
+        else begin
+          let fds = listen_fd :: List.map (fun c -> c.fd) !clients in
+          let readable, _, _ =
+            try Unix.select fds [] [] 0.05
+            with Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])
+          in
+          List.iter
+            (fun fd ->
+              if fd = listen_fd then begin
+                let cfd, _ = Unix.accept listen_fd in
+                let c = { fd = cfd; buf = Buffer.create 256; alive = true }
+                in
+                clients := c :: !clients;
+                client_send io_lock c
+                  (Protocol.hello ~proto:proto_version
+                     ~pid:(Unix.getpid ()))
+              end
+              else
+                match List.find_opt (fun c -> c.fd = fd) !clients with
+                | Some c -> read_client c
+                | None -> ())
+            readable;
+          (* reap dead clients (and their routes) *)
+          let dead, live = List.partition (fun c -> not c.alive) !clients in
+          if dead <> [] then begin
+            List.iter (fun c -> try Unix.close c.fd with _ -> ()) dead;
+            Mutex.lock routes_lock;
+            Hashtbl.iter
+              (fun id c -> if not c.alive then Hashtbl.remove routes id)
+              (Hashtbl.copy routes);
+            Mutex.unlock routes_lock;
+            clients := live
+          end;
+          ignore (Engine.tick engine)
+        end
+      done;
+      let code = if !signalled then exit_signal else exit_ok in
+      quiesce engine ~emit ~cancel_inflight:!signalled
+        ~poll:(fun () -> Unix.sleepf 0.02);
+      List.iter
+        (fun c ->
+          client_send io_lock c (Protocol.bye ~exit_code:code);
+          try Unix.close c.fd with _ -> ())
+        !clients;
+      Unix.close listen_fd;
+      (try Unix.unlink path with Unix.Unix_error _ -> ());
+      code

@@ -1,0 +1,52 @@
+(** The daemon front-end: request transport, event fan-out, signal-driven
+    drain.
+
+    Two transports share one engine and one select loop:
+
+    - {b pipe} — NDJSON requests on an input channel, events on an
+      output channel (stdin/stdout in the CLI).  The mode CI and the
+      tests use: a client is a heredoc.
+    - {b socket} — a Unix domain socket; every connected client speaks
+      the same line protocol, and job events are delivered to the client
+      that submitted the job (control responses to the requester).
+
+    {b Shutdown.}  Three triggers, one path: end-of-input (pipe),
+    a [{"op":"shutdown"}] request, or {!request_drain} (the CLI's
+    SIGTERM/SIGINT handler).  The server stops admitting, cancels
+    in-flight jobs via their tokens (they journal as ["interrupted"]),
+    waits for the pool to quiesce, compacts and closes the journal, and
+    emits a final ["bye"] with the exit code: [0] for a requested
+    shutdown, [130] for a signal-initiated one.
+
+    {b Recovery.}  On start the journal of a previous process (same
+    [--dir]) is scanned: still-accepted jobs are requeued, interrupted
+    ones retried under backoff — the kill-and-restart property the
+    serve tests pin down.
+
+    An injected [Slow_client] fault drops ["progress"] events (never
+    terminal ones), simulating a client that stopped draining its
+    stream; the drop count surfaces in [serve.slow_client_drops]. *)
+
+val proto_version : int
+
+val request_drain : unit -> unit
+(** Flip the drain flag from a signal handler (async-signal-safe: sets
+    an atomic).  The select loop notices within its timeout. *)
+
+val drain_requested : unit -> bool
+
+val reset_drain : unit -> unit
+(** Clear the flag (tests run several servers in one process). *)
+
+val serve_pipe :
+  ?obs:Archex_obs.Ctx.t ->
+  config:Engine.config -> dir:string ->
+  in_channel -> out_channel -> int
+(** Run until end-of-input / shutdown / drain; returns the exit code. *)
+
+val serve_socket :
+  ?obs:Archex_obs.Ctx.t ->
+  config:Engine.config -> dir:string -> string -> int
+(** [serve_socket ~config ~dir path] listens on a Unix domain socket at
+    [path] (unlinked and rebound on start, removed on exit).  Runs until
+    shutdown / drain. *)
