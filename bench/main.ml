@@ -390,6 +390,75 @@ let bench_smoke () =
       ("ar_base_r2e-6", fun () -> ar_series ~r_star:2e-6 ());
       ("mr_g4_r2e-6", fun () -> mr_series ~generators:4 ~r_star:2e-6 ()) ]
 
+(* Incremental-vs-scratch ILP-MR sweep on the r* = 2e-6 family: each case
+   runs the same synthesis twice — solving every iteration from scratch,
+   then over one persistent solver session ([~incremental]) — asserts the
+   determinism contract (identical costs and iteration counts) and records
+   the wall/solver-time speedups and conflict counts as series.  Diffed
+   against bench/baseline/BENCH_mr_incremental.json in CI. *)
+let bench_mr_incremental () =
+  hr "Incremental ILP-MR sweep (writes BENCH_mr_incremental.json)";
+  let open Archex_obs in
+  let case ?generators ~r_star () =
+    let inst = instance_of generators in
+    let template = inst.Eps.Eps_template.template in
+    let time incremental =
+      let metrics = Metrics.create () in
+      let obs = Ctx.make ~metrics () in
+      let t0 = Clock.now () in
+      let result =
+        Archex.Ilp_mr.run ~obs ~solve_time_limit:!per_solve_limit
+          ~incremental template ~r_star
+      in
+      let wall = Clock.now () -. t0 in
+      let metric name =
+        Option.value (Metrics.value metrics name) ~default:0.
+      in
+      match result with
+      | Archex.Synthesis.Synthesized (arch, trace, timing) ->
+          ( arch.Archex.Synthesis.cost,
+            List.length trace,
+            wall,
+            timing.Archex.Synthesis.solver_time,
+            metric "pb.conflicts" )
+      | Archex.Synthesis.Unfeasible _ ->
+          failwith "bench-mr-incremental: instance unexpectedly unfeasible"
+    in
+    let cost_s, iters_s, wall_s, solver_s, confl_s = time false in
+    let cost_i, iters_i, wall_i, solver_i, confl_i = time true in
+    if cost_s <> cost_i then
+      failwith
+        (Printf.sprintf
+           "bench-mr-incremental: cost diverges (scratch %g <> incremental \
+            %g)"
+           cost_s cost_i);
+    if iters_s <> iters_i then
+      failwith
+        (Printf.sprintf
+           "bench-mr-incremental: iteration count diverges (scratch %d <> \
+            incremental %d)"
+           iters_s iters_i);
+    [ ("cost", cost_s);
+      ("iterations", float_of_int iters_s);
+      ("scratch_wall_s", wall_s);
+      ("incremental_wall_s", wall_i);
+      ("wall_speedup_x", wall_s /. Float.max 1e-9 wall_i);
+      ("scratch_solver_s", solver_s);
+      ("incremental_solver_s", solver_i);
+      ("solver_speedup_x", solver_s /. Float.max 1e-9 solver_i);
+      ("scratch_conflicts", confl_s);
+      ("incremental_conflicts", confl_i) ]
+  in
+  run_cases ~experiment:"mr_incremental"
+    ~output:"BENCH_mr_incremental.json"
+    [ ("mr_base_r2e-6", fun () -> case ~r_star:2e-6 ());
+      ("mr_g4_r2e-6", fun () -> case ~generators:4 ~r_star:2e-6 ());
+      ("mr_g5_r2e-6", fun () -> case ~generators:5 ~r_star:2e-6 ());
+      (* the tight target: per-iteration optimality proofs dominate the
+         run, so avoiding the scratch solver's repeated bound probes
+         pays off most here *)
+      ("mr_base_r2e-10", fun () -> case ~r_star:2e-10 ()) ]
+
 (* Serial vs parallel sweep: times the three parallel surfaces (sharded
    Monte-Carlo, per-sink analysis fan-out, portfolio solver) at jobs 1
    and jobs 4, asserting along the way that every figure is identical —
@@ -712,6 +781,7 @@ let artifacts =
     ("fig3", fig3); ("table2", table2); ("table3", table3);
     ("ablation-backend", ablation_backend); ("ablation-exact", ablation_exact);
     ("synthesis", synthesis); ("bench-smoke", bench_smoke);
+    ("bench-mr-incremental", bench_mr_incremental);
     ("bench-parallel", bench_parallel); ("bench-serve", bench_serve);
     ("bechamel", bechamel) ]
 

@@ -13,6 +13,7 @@ let backend_conv =
     | "pb" -> Ok Milp.Solver.Pseudo_boolean
     | "lp-bb" -> Ok Milp.Solver.Lp_branch_bound
     | "brute" -> Ok Milp.Solver.Brute_force
+    | "core-guided" -> Ok Milp.Solver.Core_guided
     | "portfolio" -> Ok Milp.Solver.Portfolio
     | s -> Error (`Msg (Printf.sprintf "unknown backend %S" s))
   in
@@ -34,9 +35,11 @@ let r_star_arg =
 
 let backend_arg =
   let doc =
-    "ILP backend: $(b,pb), $(b,lp-bb), $(b,brute) or $(b,portfolio) \
-     (races $(b,pb) and $(b,lp-bb) on two domains over a shared \
-     incumbent; same optimum, first proof wins)."
+    "ILP backend: $(b,pb), $(b,lp-bb), $(b,brute), $(b,core-guided) \
+     (BCD2-style bound convergence by capped feasibility probes) or \
+     $(b,portfolio) (races $(b,pb), $(b,lp-bb) and $(b,core-guided) on \
+     separate domains over a shared incumbent; same optimum, first proof \
+     wins)."
   in
   Arg.(value & opt backend_conv Milp.Solver.Pseudo_boolean
        & info [ "backend" ] ~doc ~docv:"B")
@@ -49,6 +52,16 @@ let jobs_arg =
      time.  Use $(b,--backend portfolio) to also race the ILP solves."
   in
   Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~doc ~docv:"JOBS")
+
+let incremental_arg =
+  let doc =
+    "Keep one persistent solver session across the MR iterations: each \
+     solve resumes the previous one's learned clauses, activities and \
+     saved phases, seeded with the strongest bound proved so far.  Same \
+     architectures and costs as scratch solving, usually much faster on \
+     later iterations."
+  in
+  Arg.(value & flag & info [ "incremental" ] ~doc)
 
 let lazy_arg =
   let doc = "Use the lazy one-path-per-iteration learning strategy \
@@ -545,7 +558,7 @@ let resume_arg =
 
 let mr_term =
   let run generators r_star backend lazy_ diagram obs3 stats res checkpoint
-      resume jobs =
+      resume jobs incremental =
     install_interrupt_handlers ();
     let inst = instance_of generators in
     let strategy =
@@ -573,11 +586,12 @@ let mr_term =
                 from.Archex.Checkpoint.r_star;
               Archex.Ilp_mr.resume ~obs ?on_event
                 ?strategy:(if lazy_ then Some strategy else None)
-                ~backend ~budget ?checkpoint ~jobs
+                ~backend ~budget ?checkpoint ~jobs ~incremental
                 inst.Eps.Eps_template.template ~from)
       | None ->
           Archex.Ilp_mr.run ~obs ?on_event ~strategy ~backend ~budget
-            ?checkpoint ~jobs inst.Eps.Eps_template.template ~r_star
+            ?checkpoint ~jobs ~incremental inst.Eps.Eps_template.template
+            ~r_star
     in
     match result with
     | Archex.Synthesis.Synthesized (arch, trace, timing) ->
@@ -604,7 +618,7 @@ let mr_term =
   Term.(
     const run $ generators_arg $ r_star_arg $ backend_arg $ lazy_arg
     $ diagram_arg $ obs_args $ stats_arg $ resilience_args $ checkpoint_arg
-    $ resume_arg $ jobs_arg)
+    $ resume_arg $ jobs_arg $ incremental_arg)
 
 let mr_cmd =
   let doc = "Synthesize with ILP Modulo Reliability (Algorithm 1)." in
@@ -1043,7 +1057,8 @@ let cert_out_arg =
            ~doc:"Write the certificate to $(docv).")
 
 let certify_cmd =
-  let run generators r_star backend lazy_ obs4 out explain_out node_budget =
+  let run generators r_star backend lazy_ obs4 out explain_out node_budget
+      incremental =
     let inst = instance_of generators in
     let template = inst.Eps.Eps_template.template in
     let strategy =
@@ -1054,7 +1069,8 @@ let certify_cmd =
     @@ fun obs on_event ->
     let enc, result =
       Archex.Ilp_mr.run_with_encoding ~obs ?on_event ~strategy ~backend
-        ~certify:true ?cert_node_budget:node_budget template ~r_star
+        ~certify:true ?cert_node_budget:node_budget ~incremental template
+        ~r_star
     in
     match result with
     | Archex.Synthesis.Unfeasible (_, trace, _) ->
@@ -1114,7 +1130,8 @@ let certify_cmd =
   Cmd.v (Cmd.info "certify" ~doc)
     Term.(
       const run $ generators_arg $ r_star_arg $ backend_arg $ lazy_arg
-      $ obs_args $ cert_out_arg $ explain_arg $ budget_arg)
+      $ obs_args $ cert_out_arg $ explain_arg $ budget_arg
+      $ incremental_arg)
 
 let check_cert_cmd =
   let run path =

@@ -178,10 +178,11 @@ type checked =
       stats : Milp.Solver.run_stats;
     }
 
-let solve_checked ?obs ?on_event ?backend ?rows ?time_limit ?budget t =
+let solve_checked ?obs ?on_event ?backend ?rows ?time_limit ?budget ?session
+    ?lower_bound t =
   match
     Milp.Solver.solve ?obs ?on_event ?backend ?rows ?time_limit ?budget
-      t.model
+      ?session ?lower_bound t.model
   with
   | Milp.Solver.Optimal { objective; solution }, stats ->
       Solved

@@ -61,13 +61,18 @@ val solve_checked :
   ?rows:Milp.Row_stats.t ->
   ?time_limit:float ->
   ?budget:Archex_resilience.Budget.t ->
+  ?session:Milp.Solver.session ->
+  ?lower_bound:float ->
   t -> checked
 (** [SOLVEILP] with typed outcomes: infeasibility and budget exhaustion
     are distinct constructors, never conflated (the silent-truncation
     hazard of the raw interface).  [budget] is forwarded to
     {!Milp.Solver.solve}, which clamps the call under the global
     allowance and charges the nodes it spends.  [rows] forwards per-row
-    activity tracking (see {!Milp.Solver.solve}; it disables presolve). *)
+    activity tracking (see {!Milp.Solver.solve}; it disables presolve).
+    [session] / [lower_bound] forward incremental solving — a session made
+    over this encoding's {!model} resumes search across MR iterations, and
+    the previous iteration's proven bound seeds the next solve. *)
 
 val solve :
   ?obs:Archex_obs.Ctx.t ->

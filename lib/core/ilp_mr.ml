@@ -33,6 +33,7 @@ let backend_of_name = function
   | "pb" -> Some Milp.Solver.Pseudo_boolean
   | "lp-bb" -> Some Milp.Solver.Lp_branch_bound
   | "brute" -> Some Milp.Solver.Brute_force
+  | "core-guided" -> Some Milp.Solver.Core_guided
   | "portfolio" -> Some Milp.Solver.Portfolio
   | _ -> None
 
@@ -113,7 +114,8 @@ let decision_capture_limit = 512
 let run_with_encoding ?(obs = Archex_obs.Ctx.null) ?on_event ?strategy
     ?backend ?engine ?(max_iterations = 50) ?(solve_time_limit = 180.)
     ?(certify = false) ?cert_node_budget ?(budget = B.unlimited) ?checkpoint
-    ?resume_from ?(jobs = 1) ?(inspect = false) template ~r_star =
+    ?resume_from ?(jobs = 1) ?(inspect = false) ?(incremental = false)
+    template ~r_star =
   let tracer = Archex_obs.Ctx.trace obs in
   let metrics = Archex_obs.Ctx.metrics obs in
   let root_attrs =
@@ -128,6 +130,16 @@ let run_with_encoding ?(obs = Archex_obs.Ctx.null) ?on_event ?strategy
     Archex_obs.Trace.with_span ~attrs:root_attrs tracer "ilp_mr" @@ fun () ->
     let setup_time = Archex_obs.Clock.now () -. t0 in
     let learn_state = Learn_cons.init ~obs enc in
+    (* incremental mode: one persistent solver session over the growing
+       model — Learn_cons appends rows to [Gen_ilp.model enc] and the next
+       solve ingests them, resuming from the carried clause database.
+       [prev_bound] carries each iteration's proven objective lower bound
+       forward: the model only gains rows, so the optimum is monotone. *)
+    let session =
+      if incremental then Some (Milp.Solver.make_session (Gen_ilp.model enc))
+      else None
+    in
+    let prev_bound = ref None in
     let solver_total = ref 0. in
     let analysis_total = ref 0. in
     (* inspection state: learn breakpoints (row births), the previous
@@ -329,7 +341,8 @@ let run_with_encoding ?(obs = Archex_obs.Ctx.null) ?on_event ?strategy
           match
             Gen_ilp.solve_checked ~obs:solve_obs ?on_event ?backend
               ?rows:row_stats
-              ?time_limit:(B.slice ~cap:solve_time_limit budget) ~budget enc
+              ?time_limit:(B.slice ~cap:solve_time_limit budget) ~budget
+              ?session ?lower_bound:!prev_bound enc
           with
           | Gen_ilp.No_solution { stats } ->
               solver_total := !solver_total +. stats.Milp.Solver.elapsed;
@@ -352,6 +365,20 @@ let run_with_encoding ?(obs = Archex_obs.Ctx.null) ?on_event ?strategy
                      timing () ))
           | Gen_ilp.Solved { solution; config; objective = cost; stats } ->
               solver_total := !solver_total +. stats.Milp.Solver.elapsed;
+              (* the bound proved for this (weaker) model stays valid for
+                 every later one — seed the next solve with it.  Session
+                 mode only: the session installs it as a permanent
+                 objective floor, whereas a scratch solve would spend its
+                 probe refuting a bound the learned rows just outgrew. *)
+              (if session <> None then
+                 match stats.Milp.Solver.best_bound with
+                 | Some b ->
+                     prev_bound :=
+                       Some
+                         (match !prev_bound with
+                         | Some p -> Float.max p b
+                         | None -> b)
+                 | None -> ());
               (* certification must look at the model as solved, i.e. before
                  Learn_cons extends it below *)
               let cert =
@@ -362,6 +389,32 @@ let run_with_encoding ?(obs = Archex_obs.Ctx.null) ?on_event ?strategy
                        (Gen_ilp.model enc)
                        ~incumbent:(Some (cost, solution)))
                 else None
+              in
+              (* stamp incremental provenance into the iteration certificate:
+                 how many learned rows the session carried into this solve
+                 and which solve of the session produced the incumbent.
+                 [Archex_cert.check]/[check_chain] look fields up by key and
+                 ignore extras, so stamped certificates stay verifiable. *)
+              let cert =
+                match (cert, session) with
+                | Some (Ok (J.Obj fields)), Some s ->
+                    Some
+                      (Ok
+                         (J.Obj
+                            (fields
+                            @ [ ( "session",
+                                  J.Obj
+                                    [ ( "carried_learned",
+                                        J.Num
+                                          (float_of_int
+                                             (Milp.Solver
+                                              .session_carried_learned s)) );
+                                      ( "solve_index",
+                                        J.Num
+                                          (float_of_int
+                                             (Milp.Solver.session_solves s))
+                                      ) ] ) ])))
+                | _ -> cert
               in
               let report =
                 Rel_analysis.analyze ~obs ?on_event ?engine ~budget ~jobs
@@ -567,15 +620,15 @@ let run_with_encoding ?(obs = Archex_obs.Ctx.null) ?on_event ?strategy
 
 let run ?obs ?on_event ?strategy ?backend ?engine ?max_iterations
     ?solve_time_limit ?certify ?cert_node_budget ?budget ?checkpoint
-    ?resume_from ?jobs ?inspect template ~r_star =
+    ?resume_from ?jobs ?inspect ?incremental template ~r_star =
   snd
     (run_with_encoding ?obs ?on_event ?strategy ?backend ?engine
        ?max_iterations ?solve_time_limit ?certify ?cert_node_budget ?budget
-       ?checkpoint ?resume_from ?jobs ?inspect template ~r_star)
+       ?checkpoint ?resume_from ?jobs ?inspect ?incremental template ~r_star)
 
 let resume ?obs ?on_event ?strategy ?backend ?engine ?max_iterations
     ?solve_time_limit ?certify ?cert_node_budget ?budget ?checkpoint ?jobs
-    ?inspect template ~from =
+    ?inspect ?incremental template ~from =
   let strategy =
     match strategy with
     | Some _ -> strategy
@@ -588,18 +641,19 @@ let resume ?obs ?on_event ?strategy ?backend ?engine ?max_iterations
   in
   run ?obs ?on_event ?strategy ?backend ?engine ?max_iterations
     ?solve_time_limit ?certify ?cert_node_budget ?budget ?checkpoint ?jobs
-    ?inspect ~resume_from:from template ~r_star:from.Checkpoint.r_star
+    ?inspect ?incremental ~resume_from:from template
+    ~r_star:from.Checkpoint.r_star
 
 let run_checked ?obs ?on_event ?strategy ?backend ?engine ?max_iterations
     ?solve_time_limit ?certify ?cert_node_budget ?budget ?checkpoint
-    ?resume_from ?jobs ?inspect template ~r_star =
+    ?resume_from ?jobs ?inspect ?incremental template ~r_star =
   match Archlib.Template.validate_all template with
   | Error violations -> Error (Err.Invalid_input violations)
   | Ok () ->
       Err.guard ~stage:"ilp-mr" (fun () ->
           run ?obs ?on_event ?strategy ?backend ?engine ?max_iterations
             ?solve_time_limit ?certify ?cert_node_budget ?budget ?checkpoint
-            ?resume_from ?jobs ?inspect template ~r_star)
+            ?resume_from ?jobs ?inspect ?incremental template ~r_star)
 
 let certificate_of_trace ~r_star trace =
   let rec collect acc = function

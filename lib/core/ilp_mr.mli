@@ -72,6 +72,7 @@ val run :
   ?resume_from:Checkpoint.t ->
   ?jobs:int ->
   ?inspect:bool ->
+  ?incremental:bool ->
   Archlib.Template.t -> r_star:float -> trace Synthesis.result
 (** Synthesize a minimum-cost architecture with worst-sink failure
     probability at most [r*].  [strategy] defaults to
@@ -123,6 +124,24 @@ val run :
     synthesized architecture, costs and reliability figures are identical
     at any [jobs].
 
+    [incremental] (default false) runs the whole loop over one persistent
+    solver session ({!Milp.Solver.make_session}): iteration [i+1] resumes
+    iteration [i]'s clause database, variable activities and saved phases
+    instead of solving from scratch, and each solve is seeded with the
+    strongest objective lower bound proved so far (sound because the model
+    only gains rows, so the optimum is monotone non-decreasing).  Every
+    iteration's optimal cost, the iteration count and the final cost are
+    identical to a scratch run; the concrete architecture can differ only
+    between {e equal-cost} optima (degenerate ties, e.g. symmetric
+    generators), where both runs carry an optimality proof.
+    Per-iteration [stats] become deltas whose sum matches the session
+    totals.  With [certify], every iteration
+    certificate additionally carries a ["session"] stamp recording the
+    carried learned-row count and the solve index (ignored — and still
+    accepted — by {!Archex_cert.check_chain}).  Composes with [inspect]:
+    row ids are insertion indices, which survive the solver's clause-
+    database compaction.
+
     [inspect] (default false; zero cost when off) turns on
     search-effectiveness inspection: every [SOLVEILP] call runs with a
     fresh {!Milp.Row_stats} activity table (which disables presolve, so
@@ -148,6 +167,7 @@ val run_with_encoding :
   ?resume_from:Checkpoint.t ->
   ?jobs:int ->
   ?inspect:bool ->
+  ?incremental:bool ->
   Archlib.Template.t -> r_star:float -> Gen_ilp.t * trace Synthesis.result
 (** Like {!run} but also returns the encoding, whose model is the final
     (fully extended) ILP — what the explanation report
@@ -167,6 +187,7 @@ val resume :
   ?checkpoint:string ->
   ?jobs:int ->
   ?inspect:bool ->
+  ?incremental:bool ->
   Archlib.Template.t -> from:Checkpoint.t -> trace Synthesis.result
 (** {!run} continued from a checkpoint: [r*] comes from the checkpoint,
     and [strategy] / [backend] default to the checkpointed names (an
@@ -191,6 +212,7 @@ val run_checked :
   ?resume_from:Checkpoint.t ->
   ?jobs:int ->
   ?inspect:bool ->
+  ?incremental:bool ->
   Archlib.Template.t -> r_star:float ->
   (trace Synthesis.result, Archex_resilience.Error.t) result
 (** The trust-boundary entry point: first {!Archlib.Template.validate_all}

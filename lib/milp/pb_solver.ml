@@ -10,7 +10,21 @@
    row (the row implies "the forced literal, or one of the literals it had
    already falsified"), learned as a coefficient-1 row, and used to
    backjump.  Branch-and-bound comes from objective-bound rows added at
-   each incumbent; the optimum is proved when a conflict reaches level 0. *)
+   each incumbent; the optimum is proved when a conflict reaches level 0.
+
+   Persistent sessions ({!Session}) keep the solver state alive across
+   successive solves of a monotonically growing model (ILP-MR appends rows
+   every iteration).  Everything derived from the model alone is reusable;
+   everything derived from an objective bound is not — bound rows encode
+   "better than the incumbent of THAT solve", which later solves must not
+   inherit.  Each constraint therefore carries a kind (model / learned /
+   bound) and a taint bit: a learned clause is tainted when its derivation
+   touched a bound row (directly, through a tainted learned clause, or
+   through a level-0 fact that itself depends on a bound).  At the start of
+   every re-solve, [purge_volatile] drops bound rows, tainted learned
+   clauses and tainted level-0 trail entries; untainted learned clauses,
+   variable activities, saved phases, the restart schedule and the clean
+   level-0 trail carry over. *)
 
 type stats = {
   decisions : int;
@@ -20,6 +34,14 @@ type stats = {
   learned : int;
   bound : float option;
 }
+
+let zero_stats =
+  { decisions = 0;
+    propagations = 0;
+    conflicts = 0;
+    restarts = 0;
+    learned = 0;
+    bound = None }
 
 type outcome =
   | Optimal of { objective : float; solution : float array }
@@ -33,6 +55,12 @@ type con = {
   mutable poss : float;
   mutable sure : float;
 }
+
+(* Where a constraint came from — governs what survives a session re-solve. *)
+type ckind =
+  | Kmodel (* normalized model row: permanent *)
+  | Klearned (* CDCL-learned clause: permanent unless tainted *)
+  | Kbound (* objective bound / cap row: valid for one solve only *)
 
 exception Trivially_infeasible
 
@@ -73,34 +101,40 @@ let reason_bound = -2 (* propagated/conflicted by the objective bound *)
 type state = {
   mutable cons : con array;          (* grows with learned rows *)
   mutable ncons : int;
-  mutable is_learned : bool array;   (* parallel to cons *)
+  mutable ckind : ckind array;       (* parallel to cons *)
+  mutable ctainted : bool array;     (* parallel to cons: bound-derived *)
   mutable origin : int array;        (* parallel to cons: model row, or -1 *)
-  mutable n_learned : int;
-  row_stats : Row_stats.t option;    (* per-model-row activity, opt-in *)
-  occurs : (int * float * bool) list array;
-  value : int array;                 (* -1 / 0 / 1 *)
-  level : int array;
-  reason : int array;                (* con index, or a reason code *)
-  trail_pos : int array;
-  trail : int array;
+  mutable n_learned : int;           (* learned rows currently in the DB *)
+  mutable n_learned_total : int;     (* learned rows ever (monotone) *)
+  mutable row_stats : Row_stats.t option; (* per-model-row activity, opt-in *)
+  mutable occurs : (int * float * bool) list array;
+  mutable value : int array;         (* -1 / 0 / 1 *)
+  mutable level : int array;
+  mutable reason : int array;        (* con index, or a reason code *)
+  mutable var_tainted : bool array;  (* level-0 fact depends on a bound row *)
+  mutable trail_pos : int array;
+  mutable trail : int array;
   mutable trail_size : int;
   mutable trail_lim : int list;      (* marks per decision level, newest first *)
-  obj : float array;
-  obj_const : float;
-  base_lb : float;
+  mutable obj : float array;
+  mutable obj_const : float;
+  mutable base_lb : float;
   mutable lb_extra : float;
-  by_cost : int array;               (* vars with obj ≠ 0, |obj| desc *)
-  obj_integral : bool;               (* all objective coefficients integral *)
+  mutable by_cost : int array;       (* vars with obj ≠ 0, |obj| desc *)
+  mutable obj_integral : bool;       (* all objective coefficients integral *)
   pending : (int * int * int) Queue.t; (* (var, value, reason) *)
-  heap : Var_heap.t;
+  mutable heap : Var_heap.t;
   mutable var_inc : float;
-  phase : int array;                 (* saved phase per var *)
+  mutable phase : int array;         (* saved phase per var *)
   mutable best : (float * float array) option;
   mutable n_decisions : int;
   mutable n_propagations : int;
   mutable n_conflicts : int;
   mutable n_restarts : int;
-  seen : bool array;                 (* scratch for conflict analysis *)
+  mutable restart_sched : int;       (* Luby index, survives re-solves *)
+  mutable conflicts_until_restart : int;
+  mutable synced_rows : int;         (* model rows already registered *)
+  mutable seen : bool array;         (* scratch for conflict analysis *)
   mutable rng : int;                 (* deterministic LCG for phase jitter *)
 }
 
@@ -119,24 +153,38 @@ let bound_exceeded st =
   | None -> false
   | Some (best, _) -> cost_lb st >= best -. obj_tol st
 
-let add_con ?(learned = false) ?(origin = -1) st con =
+(* Does deriving from this reason make the derivation bound-dependent? *)
+let reason_taints st r =
+  if r = reason_bound then true
+  else if r >= 0 then
+    match st.ckind.(r) with
+    | Kbound -> true
+    | Klearned -> st.ctainted.(r)
+    | Kmodel -> false
+  else false
+
+let add_con ?(kind = Kmodel) ?(tainted = false) ?(origin = -1) st con =
   if st.ncons = Array.length st.cons then begin
     let cap = max 16 (2 * st.ncons) in
     let cons = Array.make cap con in
     Array.blit st.cons 0 cons 0 st.ncons;
     st.cons <- cons;
-    let flags = Array.make cap false in
-    Array.blit st.is_learned 0 flags 0 st.ncons;
-    st.is_learned <- flags;
+    let kinds = Array.make cap Kmodel in
+    Array.blit st.ckind 0 kinds 0 st.ncons;
+    st.ckind <- kinds;
+    let taints = Array.make cap false in
+    Array.blit st.ctainted 0 taints 0 st.ncons;
+    st.ctainted <- taints;
     let origins = Array.make cap (-1) in
     Array.blit st.origin 0 origins 0 st.ncons;
     st.origin <- origins
   end;
   let ci = st.ncons in
   st.cons.(ci) <- con;
-  st.is_learned.(ci) <- learned;
+  st.ckind.(ci) <- kind;
+  st.ctainted.(ci) <- tainted;
   st.origin.(ci) <- origin;
-  if learned then st.n_learned <- st.n_learned + 1;
+  if kind = Klearned then st.n_learned <- st.n_learned + 1;
   st.ncons <- st.ncons + 1;
   (* occurrence lists and current poss/sure must reflect the assignment *)
   let poss = ref 0. and sure = ref 0. in
@@ -196,6 +244,18 @@ let assign st x v reason =
     st.value.(x) <- v;
     st.level.(x) <- decision_level st;
     st.reason.(x) <- reason;
+    (* A level-0 fact is a permanent consequence of the model only when its
+       whole derivation is: the reason must be bound-free and every assigned
+       co-literal of the reason row must itself be clean.  Conservative
+       (over-taints some clean facts) and therefore sound to persist. *)
+    if st.trail_lim = [] then
+      st.var_tainted.(x) <-
+        reason_taints st reason
+        || (reason >= 0
+           && Array.exists
+                (fun (y, _, _) ->
+                  y <> x && st.value.(y) >= 0 && st.var_tainted.(y))
+                st.cons.(reason).lits);
     st.trail_pos.(x) <- st.trail_size;
     st.phase.(x) <- v;
     st.trail.(st.trail_size) <- x;
@@ -367,9 +427,12 @@ let bump st x =
     st.var_inc <- st.var_inc *. 1e-100
   end
 
-(* 1-UIP analysis.  Returns (learned clause literals, backjump level);
-   the first literal is the asserting one.  Returns None when the conflict
-   is independent of any decision (level 0): the model is exhausted. *)
+(* 1-UIP analysis.  Returns (learned clause literals, backjump level,
+   taint); the first literal is the asserting one, and the clause is
+   tainted when any reason expanded into it was bound-derived (such a
+   clause is valid for this solve but not for a later session solve).
+   Returns None when the conflict is independent of any decision
+   (level 0): the model is exhausted. *)
 let analyze st conflict_reason =
   let current = decision_level st in
   if current = 0 then None
@@ -377,15 +440,22 @@ let analyze st conflict_reason =
     let learnt = ref [] in
     let counter = ref 0 in
     let btlevel = ref 0 in
+    let tainted = ref (reason_taints st conflict_reason) in
     let absorb (x, pol) =
-      if (not st.seen.(x)) && st.level.(x) > 0 then begin
-        st.seen.(x) <- true;
-        bump st x;
-        if st.level.(x) >= current then incr counter
-        else begin
-          learnt := (x, pol) :: !learnt;
-          if st.level.(x) > !btlevel then btlevel := st.level.(x)
+      if not st.seen.(x) then begin
+        if st.level.(x) > 0 then begin
+          st.seen.(x) <- true;
+          bump st x;
+          if st.level.(x) >= current then incr counter
+          else begin
+            learnt := (x, pol) :: !learnt;
+            if st.level.(x) > !btlevel then btlevel := st.level.(x)
+          end
         end
+        else if st.var_tainted.(x) then
+          (* dropped level-0 literal whose truth rests on a bound row:
+             the clause inherits the dependency *)
+          tainted := true
       end
     in
     List.iter absorb (conflict_clause st conflict_reason);
@@ -407,6 +477,7 @@ let analyze st conflict_reason =
            asserting := Some (x, st.value.(x) = 0);
            raise Exit
          end;
+         if reason_taints st st.reason.(x) then tainted := true;
          List.iter absorb
            (List.filter (fun (y, _) -> y <> x) (reason_clause st x));
          decr idx
@@ -418,11 +489,11 @@ let analyze st conflict_reason =
     | Some lit ->
         st.var_inc <- st.var_inc *. 1.05;
         (* a conflict clause with no lower-level literals asserts at 0 *)
-        Some (lit :: !learnt, !btlevel)
+        Some (lit :: !learnt, !btlevel, !tainted)
     end
   end
 
-let learn_clause st lits =
+let learn_clause st ~tainted lits =
   let con =
     { lits = Array.of_list (List.map (fun (x, pol) -> (x, 1., pol)) lits);
       bound = 1.;
@@ -430,43 +501,12 @@ let learn_clause st lits =
       poss = 0.;
       sure = 0. }
   in
-  add_con ~learned:true st con
+  st.n_learned_total <- st.n_learned_total + 1;
+  add_con ~kind:Klearned ~tainted st con
 
-(* Learned-clause database reduction (call at decision level 0 only):
-   drop the older half of the learned clauses, keeping short ones, and
-   rebuild occurrence lists and slack counters.  Level-0 reasons are reset
-   to decisions — sound, since analysis never expands level-0 literals. *)
-let reduce_db st =
-  for i = 0 to st.trail_size - 1 do
-    st.reason.(st.trail.(i)) <- reason_decision
-  done;
-  let total_learned = st.n_learned in
-  let learned_seen = ref 0 in
-  let ncons' = ref 0 in
-  let kept_learned = ref 0 in
-  for ci = 0 to st.ncons - 1 do
-    let keep =
-      if not st.is_learned.(ci) then true
-      else begin
-        incr learned_seen;
-        let recent = !learned_seen > total_learned / 2 in
-        let short = Array.length st.cons.(ci).lits <= 2 in
-        if recent || short then begin
-          incr kept_learned;
-          true
-        end
-        else false
-      end
-    in
-    if keep then begin
-      st.cons.(!ncons') <- st.cons.(ci);
-      st.is_learned.(!ncons') <- st.is_learned.(ci);
-      st.origin.(!ncons') <- st.origin.(ci);
-      incr ncons'
-    end
-  done;
-  st.ncons <- !ncons';
-  st.n_learned <- !kept_learned;
+(* Rebuild occurrence lists and slack counters from scratch under the
+   current assignment (after any constraint-database compaction). *)
+let rebuild_occurs st =
   Array.fill st.occurs 0 (Array.length st.occurs) [];
   for ci = 0 to st.ncons - 1 do
     let con = st.cons.(ci) in
@@ -484,6 +524,56 @@ let reduce_db st =
     con.poss <- !poss;
     con.sure <- !sure
   done
+
+(* Learned-clause database reduction (call at decision level 0 only):
+   drop the older half of the learned clauses, keeping short ones and
+   every clause that is the recorded reason of a trail literal (pinned —
+   resetting those reasons to decisions would blind 1-UIP analysis to
+   their derivations and, across session solves, orphan taint tracking).
+   Surviving rows keep their identity through an index remap. *)
+let reduce_db st =
+  let locked = Array.make (max st.ncons 1) false in
+  for i = 0 to st.trail_size - 1 do
+    let r = st.reason.(st.trail.(i)) in
+    if r >= 0 then locked.(r) <- true
+  done;
+  let total_learned = st.n_learned in
+  let learned_seen = ref 0 in
+  let remap = Array.make (max st.ncons 1) (-1) in
+  let ncons' = ref 0 in
+  let kept_learned = ref 0 in
+  for ci = 0 to st.ncons - 1 do
+    let keep =
+      if st.ckind.(ci) <> Klearned then true
+      else begin
+        incr learned_seen;
+        let recent = !learned_seen > total_learned / 2 in
+        let short = Array.length st.cons.(ci).lits <= 2 in
+        if recent || short || locked.(ci) then begin
+          incr kept_learned;
+          true
+        end
+        else false
+      end
+    in
+    if keep then begin
+      st.cons.(!ncons') <- st.cons.(ci);
+      st.ckind.(!ncons') <- st.ckind.(ci);
+      st.ctainted.(!ncons') <- st.ctainted.(ci);
+      st.origin.(!ncons') <- st.origin.(ci);
+      remap.(ci) <- !ncons';
+      incr ncons'
+    end
+  done;
+  st.ncons <- !ncons';
+  st.n_learned <- !kept_learned;
+  (* remap trail reasons through the compaction (locked rows survived) *)
+  for i = 0 to st.trail_size - 1 do
+    let x = st.trail.(i) in
+    let r = st.reason.(x) in
+    if r >= 0 then st.reason.(x) <- remap.(r)
+  done;
+  rebuild_occurs st
 
 (* ------------------------------------------------------------------ *)
 (* Search                                                              *)
@@ -548,8 +638,10 @@ let rec luby i =
   else luby (i - (1 lsl (!k - 1)) + 1)
 
 let search st ~metrics ~on_event ~log ~max_decisions ~time_limit
-    ~lower_bound ~should_stop ~shared =
+    ~lower_bound ~should_stop ~shared ~first_solution =
   let t0 = Archex_obs.Clock.now () in
+  (* limits are per invocation: counters are session-cumulative *)
+  let dec0 = st.n_decisions and conf0 = st.n_conflicts in
   (* progress events: build nothing unless a callback is installed *)
   let emit kind data =
     match on_event with
@@ -620,7 +712,9 @@ let search st ~metrics ~on_event ~log ~max_decisions ~time_limit
   in
   let ticks = ref 0 in
   let check_limits () =
-    if st.n_decisions > max_decisions || st.n_conflicts > max_decisions
+    if
+      st.n_decisions - dec0 > max_decisions
+      || st.n_conflicts - conf0 > max_decisions
     then raise Limits;
     incr ticks;
     if on_event <> None && !ticks land 8191 = 0 then heartbeat ();
@@ -632,14 +726,12 @@ let search st ~metrics ~on_event ~log ~max_decisions ~time_limit
       | Some tl when Archex_obs.Clock.now () -. t0 > tl -> raise Limits
       | _ -> ()
   in
-  let restart_count = ref 0 in
-  let conflicts_until_restart = ref (100 * luby 1) in
   let by_cost_cursor = ref 0 in
   let handle_conflict reason =
     st.n_conflicts <- st.n_conflicts + 1;
     note_activity st Row_stats.bump_conflict reason;
     check_limits ();
-    decr conflicts_until_restart;
+    st.conflicts_until_restart <- st.conflicts_until_restart - 1;
     let kind = if reason = reason_bound then "bound" else "row" in
     let level = decision_level st in
     match analyze st reason with
@@ -650,7 +742,7 @@ let search st ~metrics ~on_event ~log ~max_decisions ~time_limit
               ("level", J.Num (float_of_int level));
               ("exhausted", J.Bool true) ]);
         raise Exhausted
-    | Some (lits, btlevel) ->
+    | Some (lits, btlevel, tainted) ->
         slog (fun () ->
             [ ("ev", J.Str "conflict");
               ("kind", J.Str kind);
@@ -659,7 +751,7 @@ let search st ~metrics ~on_event ~log ~max_decisions ~time_limit
               ("learned_lits", J.Num (float_of_int (List.length lits))) ]);
         backtrack_to_level st btlevel;
         by_cost_cursor := 0;
-        let ci = learn_clause st lits in
+        let ci = learn_clause st ~tainted lits in
         (* assert the UIP literal *)
         let x, pol = List.hd lits in
         Queue.add (x, (if pol then 1 else 0), ci) st.pending
@@ -678,7 +770,7 @@ let search st ~metrics ~on_event ~log ~max_decisions ~time_limit
     | Some con ->
         backtrack_to_level st 0;
         by_cost_cursor := 0;
-        let _ = add_con st con in
+        let _ = add_con ~kind:Kbound st con in
         (* the new bound may already be conflicting at level 0 *)
         if con.poss < con.bound -. con.tol then raise Exhausted;
         Queue.clear st.pending;
@@ -725,13 +817,13 @@ let search st ~metrics ~on_event ~log ~max_decisions ~time_limit
   let restart () =
     backtrack_to_level st 0;
     by_cost_cursor := 0;
-    incr restart_count;
+    st.restart_sched <- st.restart_sched + 1;
     st.n_restarts <- st.n_restarts + 1;
     slog (fun () ->
         [ ("ev", J.Str "restart");
           ("restarts", J.Num (float_of_int st.n_restarts));
           ("conflicts", J.Num (float_of_int st.n_conflicts)) ]);
-    conflicts_until_restart := 100 * luby (!restart_count + 1);
+    st.conflicts_until_restart <- 100 * luby (st.restart_sched + 1);
     (* diversification: jitter a few saved phases so successive descents do
        not replay the same trapped trajectory *)
     let nvars = Array.length st.phase in
@@ -785,7 +877,7 @@ let search st ~metrics ~on_event ~log ~max_decisions ~time_limit
     while true do
       check_limits ();
       poll_shared ();
-      if !conflicts_until_restart <= 0 && decision_level st > 0 then
+      if st.conflicts_until_restart <= 0 && decision_level st > 0 then
         restart ();
       match pick_decision () with
       | None ->
@@ -803,6 +895,8 @@ let search st ~metrics ~on_event ~log ~max_decisions ~time_limit
                   J.Num (match st.best with Some (c, _) -> c | None -> nan) );
                 ("decisions", J.Num (float_of_int st.n_decisions));
                 ("conflicts", J.Num (float_of_int st.n_conflicts)) ]);
+          (* feasibility probes stop at the first solution *)
+          if first_solution then raise Limits;
           (* a known objective lower bound proves optimality as soon as the
              incumbent cannot be beaten by the improvement gap *)
           (match st.best with
@@ -839,7 +933,7 @@ let search st ~metrics ~on_event ~log ~max_decisions ~time_limit
   | Limits -> finish true
 
 (* ------------------------------------------------------------------ *)
-(* Entry point                                                         *)
+(* State construction and model synchronisation                         *)
 
 let build_state ?row_stats m =
   if not (Model.is_pure_boolean m) then
@@ -877,14 +971,17 @@ let build_state ?row_stats m =
   let st =
     { cons = Array.make 16 dummy;
       ncons = 0;
-      is_learned = Array.make 16 false;
+      ckind = Array.make 16 Kmodel;
+      ctainted = Array.make 16 false;
       origin = Array.make 16 (-1);
       n_learned = 0;
+      n_learned_total = 0;
       row_stats;
       occurs;
       value = Array.make nvars (-1);
       level = Array.make nvars 0;
       reason = Array.make nvars reason_decision;
+      var_tainted = Array.make nvars false;
       trail_pos = Array.make nvars 0;
       trail = Array.make (max nvars 1) 0;
       trail_size = 0;
@@ -904,6 +1001,9 @@ let build_state ?row_stats m =
       n_propagations = 0;
       n_conflicts = 0;
       n_restarts = 0;
+      restart_sched = 0;
+      conflicts_until_restart = 100 * luby 1;
+      synced_rows = !row_index + 1;
       seen = Array.make nvars false;
       rng = 0x2545F49 }
   in
@@ -924,6 +1024,240 @@ let build_state ?row_stats m =
   done;
   st
 
+(* Drop everything whose validity was relative to one solve's incumbent:
+   bound rows, tainted learned clauses and tainted level-0 facts.  What
+   survives — model rows, clean learned clauses, clean level-0 trail,
+   activities, phases — is implied by the model alone and sound to reuse
+   under any future objective bound. *)
+let purge_volatile st =
+  backtrack_to_level st 0;
+  Queue.clear st.pending;
+  st.best <- None;
+  let remap = Array.make (max st.ncons 1) (-1) in
+  let ncons' = ref 0 in
+  let kept_learned = ref 0 in
+  for ci = 0 to st.ncons - 1 do
+    let keep =
+      match st.ckind.(ci) with
+      | Kmodel -> true
+      | Kbound -> false
+      | Klearned -> not st.ctainted.(ci)
+    in
+    if keep then begin
+      if st.ckind.(ci) = Klearned then incr kept_learned;
+      st.cons.(!ncons') <- st.cons.(ci);
+      st.ckind.(!ncons') <- st.ckind.(ci);
+      st.ctainted.(!ncons') <- st.ctainted.(ci);
+      st.origin.(!ncons') <- st.origin.(ci);
+      remap.(ci) <- !ncons';
+      incr ncons'
+    end
+  done;
+  st.ncons <- !ncons';
+  st.n_learned <- !kept_learned;
+  (* filter the level-0 trail: volatile facts become unassigned again *)
+  let old_size = st.trail_size in
+  st.trail_size <- 0;
+  for i = 0 to old_size - 1 do
+    let x = st.trail.(i) in
+    if st.var_tainted.(x) then begin
+      st.value.(x) <- -1;
+      st.var_tainted.(x) <- false;
+      st.reason.(x) <- reason_decision;
+      Var_heap.push st.heap x
+    end
+    else begin
+      let r = st.reason.(x) in
+      st.reason.(x) <-
+        (if r >= 0 && remap.(r) >= 0 then remap.(r) else reason_decision);
+      st.trail_pos.(x) <- st.trail_size;
+      st.trail.(st.trail_size) <- x;
+      st.trail_size <- st.trail_size + 1
+    end
+  done;
+  (* the cost floor of the surviving assignment *)
+  let lb = ref 0. in
+  for x = 0 to Array.length st.value - 1 do
+    if st.value.(x) >= 0 && expensivep st x then
+      lb := !lb +. Float.abs st.obj.(x)
+  done;
+  st.lb_extra <- !lb;
+  rebuild_occurs st
+
+let grow_vars st n =
+  let old = Array.length st.value in
+  if n > old then begin
+    let grow a fill =
+      let b = Array.make n fill in
+      Array.blit a 0 b 0 old;
+      b
+    in
+    st.value <- grow st.value (-1);
+    st.level <- grow st.level 0;
+    st.reason <- grow st.reason reason_decision;
+    st.var_tainted <- grow st.var_tainted false;
+    st.trail_pos <- grow st.trail_pos 0;
+    st.seen <- grow st.seen false;
+    st.phase <- grow st.phase 0;
+    st.obj <- grow st.obj 0.;
+    st.occurs <- grow st.occurs [];
+    let trail = Array.make (max n 1) 0 in
+    Array.blit st.trail 0 trail 0 st.trail_size;
+    st.trail <- trail
+  end
+
+let refresh_objective st m =
+  let n = Array.length st.value in
+  let obj = Array.make n 0. in
+  List.iter (fun (x, a) -> obj.(x) <- a)
+    (Lin_expr.terms (Model.objective m));
+  st.obj <- obj;
+  st.obj_const <- Lin_expr.constant (Model.objective m);
+  st.base_lb <-
+    Array.fold_left (fun acc c -> acc +. Float.min 0. c) 0. obj;
+  st.by_cost <-
+    List.init n Fun.id
+    |> List.filter (fun x -> obj.(x) <> 0.)
+    |> List.sort (fun a b ->
+           Float.compare (Float.abs obj.(b)) (Float.abs obj.(a)))
+    |> Array.of_list;
+  st.obj_integral <-
+    Array.for_all (fun c -> Float.abs (c -. Float.round c) < 1e-9) obj
+    && Float.abs (Lin_expr.constant (Model.objective m)) < 1e18
+
+(* Pull model growth (new vars, appended rows) into the live state.  A
+   no-op when nothing changed, so the scratch path is untouched.  New rows
+   are checked against the persistent level-0 assignment; a row already
+   violated by those clean facts proves the model infeasible. *)
+let sync st m =
+  backtrack_to_level st 0;
+  let old_n = Array.length st.value in
+  let n = Model.var_count m in
+  let old_rows = st.synced_rows in
+  let total_rows = Model.constraint_count m in
+  if n <> old_n || total_rows <> old_rows then begin
+    grow_vars st n;
+    refresh_objective st m;
+    (* phases for new vars: cheap value first, like build_state *)
+    for x = old_n to n - 1 do
+      st.phase.(x) <- (if st.obj.(x) >= 0. then 0 else 1)
+    done;
+    (* register the appended rows *)
+    let idx = ref (-1) in
+    Model.iter_constraints m (fun r ->
+        incr idx;
+        if !idx >= old_rows then
+          List.iter
+            (fun con ->
+              let ci = add_con ~origin:!idx st con in
+              if con.poss < con.bound -. con.tol then
+                raise Trivially_infeasible;
+              enqueue_implications st ci)
+            (normalize_row r.expr r.cmp r.rhs));
+    st.synced_rows <- total_rows;
+    (* warm heap restore: carried activities for old vars, build_state's
+       seeding formula (scaled by the current var_inc) for new ones *)
+    if n > old_n then begin
+      let max_obj =
+        Array.fold_left (fun acc c -> Float.max acc (Float.abs c)) 1. st.obj
+      in
+      let acts =
+        Array.init n (fun x ->
+            if x < old_n then Var_heap.activity st.heap x
+            else
+              let occ =
+                List.fold_left (fun acc _ -> acc +. 1.) 0. st.occurs.(x)
+              in
+              st.var_inc
+              *. ((4. *. Float.abs st.obj.(x) /. max_obj) +. (0.001 *. occ)))
+      in
+      st.heap <-
+        Var_heap.of_activities ~mem:(fun v -> st.value.(v) < 0) acts
+    end;
+    (* objective data may have moved: recompute the assigned cost floor *)
+    let lb = ref 0. in
+    for x = 0 to n - 1 do
+      if st.value.(x) >= 0 && expensivep st x then
+        lb := !lb +. Float.abs st.obj.(x)
+    done;
+    st.lb_extra <- !lb
+  end
+
+exception Cap_unreachable
+
+(* Feasibility-probe cap for the core-guided driver: Σ obj·x ≤ cap − const
+   as a bound-kind row (volatile by construction).  Raises when no
+   assignment can reach the cap. *)
+let install_cap st cap =
+  let terms =
+    Array.to_list st.by_cost |> List.map (fun x -> (x, st.obj.(x)))
+  in
+  let rhs = cap -. st.obj_const in
+  match normalize_row (Lin_expr.of_terms terms) Model.Le rhs with
+  | [] -> () (* every assignment satisfies the cap *)
+  | [ con ] ->
+      let ci = add_con ~kind:Kbound st con in
+      if con.poss < con.bound -. con.tol then raise Cap_unreachable;
+      enqueue_implications st ci
+  | _ :: _ :: _ -> assert false
+  | exception Trivially_infeasible -> raise Cap_unreachable
+
+(* Permanent objective floor Σ obj·x ≥ lb − const: the dual of the
+   volatile incumbent bound rows.  A proven lower bound on the optimum
+   only rises over a session's lifetime (the model only gains rows), so
+   the floor is installed as a [Kmodel] row — it survives [purge_volatile],
+   it propagates against descents into the already-refuted cheap region,
+   and clauses learned from it are untainted and carry across solves.
+   Raises [Trivially_infeasible] when no assignment reaches [lb] (a valid
+   bound then proves the model has no feasible solutions at all). *)
+let install_floor st lb =
+  let terms =
+    Array.to_list st.by_cost |> List.map (fun x -> (x, st.obj.(x)))
+  in
+  let rhs = lb -. st.obj_const in
+  match normalize_row (Lin_expr.of_terms terms) Model.Ge rhs with
+  | [] -> () (* every assignment clears the floor *)
+  | [ con ] ->
+      let ci = add_con ~kind:Kmodel st con in
+      if con.poss < con.bound -. con.tol then raise Trivially_infeasible;
+      enqueue_implications st ci
+  | _ :: _ :: _ -> assert false
+
+(* ------------------------------------------------------------------ *)
+(* Sessions and entry points                                           *)
+
+type session = {
+  smodel : Model.t;
+  mutable sstate : state option; (* None: infeasible at construction *)
+  mutable fresh : bool;          (* no solve has run yet *)
+  mutable dead : bool;           (* proven infeasible, permanently *)
+  mutable carried : int;         (* learned rows carried into the last solve *)
+  mutable last_bound : float option;
+  mutable installed_lb : float;  (* strongest objective floor installed *)
+  mutable n_solves : int;
+}
+
+let create_session ?rows m =
+  match build_state ?row_stats:rows m with
+  | st ->
+      { smodel = m;
+        sstate = Some st;
+        fresh = true;
+        dead = false;
+        carried = 0;
+        last_bound = None;
+        installed_lb = neg_infinity;
+        n_solves = 0 }
+  | exception Trivially_infeasible ->
+      { smodel = m;
+        sstate = None;
+        fresh = true;
+        dead = true;
+        carried = 0;
+        last_bound = None;
+        installed_lb = neg_infinity;
+        n_solves = 0 }
+
 let record_metrics metrics (stats : stats) =
   let module M = Archex_obs.Metrics in
   if M.enabled metrics then begin
@@ -936,48 +1270,338 @@ let record_metrics metrics (stats : stats) =
     M.add (M.counter metrics "pb.learned") (float_of_int stats.learned)
   end
 
-let solve ?(metrics = Archex_obs.Metrics.null) ?on_event ?log ?rows
+let session_solve ?(metrics = Archex_obs.Metrics.null) ?on_event ?log ?rows
     ?(max_decisions = max_int) ?time_limit ?(lower_bound = neg_infinity)
-    ?should_stop ?shared m =
-  match build_state ?row_stats:rows m with
-  | exception Trivially_infeasible ->
-      ( Infeasible,
-        { decisions = 0;
-          propagations = 0;
-          conflicts = 0;
-          restarts = 0;
-          learned = 0;
-          bound = None } )
-  | st ->
-      let nvars = Array.length st.value in
-      let hit_limit, bound =
-        match
-          (* root-level fixings from the model bounds *)
-          for x = 0 to nvars - 1 do
-            let lb = Model.lower_bound m x and ub = Model.upper_bound m x in
-            if lb > 0.5 then assign st x 1 reason_decision
-            else if ub < 0.5 then assign st x 0 reason_decision
-          done
-        with
-        | () ->
-            search st ~metrics ~on_event ~log ~max_decisions ~time_limit
-              ~lower_bound ~should_stop ~shared
-        | exception Conflict _ -> (false, None)
+    ?should_stop ?shared ?(first_solution = false) ?objective_cap sess =
+  sess.n_solves <- sess.n_solves + 1;
+  match sess.sstate with
+  | _ when sess.dead -> (Infeasible, zero_stats)
+  | None -> (Infeasible, zero_stats)
+  | Some st ->
+      (match rows with Some rs -> st.row_stats <- Some rs | None -> ());
+      (* fresh Luby schedule per invocation: a session deep in the carried
+         sequence would wait hundreds of conflicts before its first
+         restart, unable to exploit the rows this solve just gained
+         (no-op on the fresh path, where both fields still hold their
+         build_state values — scratch parity) *)
+      st.restart_sched <- 0;
+      st.conflicts_until_restart <- 100 * luby 1;
+      (* per-invocation stats are deltas against session totals *)
+      let d0 = st.n_decisions
+      and p0 = st.n_propagations
+      and c0 = st.n_conflicts
+      and r0 = st.n_restarts
+      and l0 = st.n_learned_total in
+      let finish hit_limit bound =
+        let stats =
+          { decisions = st.n_decisions - d0;
+            propagations = st.n_propagations - p0;
+            conflicts = st.n_conflicts - c0;
+            restarts = st.n_restarts - r0;
+            learned = st.n_learned_total - l0;
+            bound }
+        in
+        record_metrics metrics stats;
+        sess.last_bound <- bound;
+        let outcome =
+          if hit_limit then Limit_reached { incumbent = st.best }
+          else
+            match st.best with
+            | Some (objective, solution) -> Optimal { objective; solution }
+            | None ->
+                (* exhausted with no incumbent: under a cap this only rules
+                   out the capped region; without one the model is dead *)
+                if objective_cap = None then sess.dead <- true;
+                Infeasible
+        in
+        (outcome, stats)
       in
-      let stats =
-        { decisions = st.n_decisions;
-          propagations = st.n_propagations;
-          conflicts = st.n_conflicts;
-          restarts = st.n_restarts;
-          learned = st.n_learned;
-          bound }
+      (match
+         if sess.fresh then sync st sess.smodel
+         else begin
+           (* warm-start phases from the previous optimum, not from the
+              end-of-proof trail the last exhaustion left behind: with
+              cost-first decisions the first descent then reconstructs the
+              cheapest known shape (minus whatever the new rows cut), so
+              the first incumbent — and its bound row — lands near the old
+              cost instead of an arbitrary expensive assignment *)
+           (match st.best with
+           | Some (_, sol) ->
+               let n = min (Array.length st.phase) (Array.length sol) in
+               for x = 0 to n - 1 do
+                 st.phase.(x) <- (if sol.(x) >= 0.5 then 1 else 0)
+               done
+           | None -> ());
+           purge_volatile st;
+           sync st sess.smodel;
+           (* carried rows were rebuilt under the surviving level-0 trail;
+              replay their pending implications *)
+           for ci = 0 to st.ncons - 1 do
+             enqueue_implications st ci
+           done
+         end
+       with
+      | () -> (
+          sess.carried <- st.n_learned;
+          let was_fresh = sess.fresh in
+          sess.fresh <- false;
+          match
+            (* root-level fixings from the model bounds *)
+            let nvars = Array.length st.value in
+            for x = 0 to nvars - 1 do
+              let lb = Model.lower_bound sess.smodel x
+              and ub = Model.upper_bound sess.smodel x in
+              if lb > 0.5 then assign st x 1 reason_decision
+              else if ub < 0.5 then assign st x 0 reason_decision
+            done;
+            (* a strictly stronger proven bound becomes a permanent floor
+               row; fresh solves skip it (scratch parity: a single-shot
+               solve sees exactly the model it was given) *)
+            (if
+               (not was_fresh)
+               && Float.is_finite lower_bound
+               && lower_bound
+                  > sess.installed_lb
+                    +. (1e-9 *. Float.max 1. (Float.abs lower_bound))
+             then begin
+               install_floor st lower_bound;
+               sess.installed_lb <- lower_bound
+             end);
+            (* the cap goes in after the fixings so that a conflict during
+               fixing is attributable to the model, not the cap *)
+            match objective_cap with
+            | None -> ()
+            | Some cap -> install_cap st cap
+          with
+          | () ->
+              let hit_limit, bound =
+                search st ~metrics ~on_event ~log ~max_decisions ~time_limit
+                  ~lower_bound ~should_stop ~shared ~first_solution
+              in
+              finish hit_limit bound
+          | exception Conflict _ ->
+              (* fixings contradict the clean level-0 facts *)
+              sess.dead <- true;
+              finish false None
+          | exception Trivially_infeasible ->
+              (* no assignment reaches the proven floor: no feasible
+                 solutions remain *)
+              sess.dead <- true;
+              finish false None
+          | exception Cap_unreachable ->
+              (* no assignment reaches the cap: infeasible UNDER THE CAP
+                 only, so the session stays alive *)
+              let _, stats = finish false None in
+              (Infeasible, stats))
+      | exception Trivially_infeasible ->
+          sess.dead <- true;
+          finish false None)
+
+let session_sync sess =
+  if not sess.dead then
+    match sess.sstate with
+    | None -> ()
+    | Some st -> (
+        try sync st sess.smodel
+        with Trivially_infeasible -> sess.dead <- true)
+
+let session_totals sess =
+  match sess.sstate with
+  | None -> zero_stats
+  | Some st ->
+      { decisions = st.n_decisions;
+        propagations = st.n_propagations;
+        conflicts = st.n_conflicts;
+        restarts = st.n_restarts;
+        learned = st.n_learned_total;
+        bound = sess.last_bound }
+
+module Session = struct
+  type t = session
+
+  let create = create_session
+  let model s = s.smodel
+  let add_rows = session_sync
+  let solve = session_solve
+  let totals = session_totals
+  let solves s = s.n_solves
+  let carried_learned s = s.carried
+end
+
+let solve ?metrics ?on_event ?log ?rows ?max_decisions ?time_limit
+    ?lower_bound ?should_stop ?shared m =
+  let sess = create_session ?rows m in
+  session_solve ?metrics ?on_event ?log ?max_decisions ?time_limit
+    ?lower_bound ?should_stop ?shared sess
+
+(* ------------------------------------------------------------------ *)
+(* Core-guided optimization (BCD2-style bound convergence)             *)
+
+(* Instead of branch-and-bound's descend-and-tighten, converge lower and
+   upper bounds by bisection: each probe asks "is there ANY solution of
+   cost ≤ cap?" with a first-solution session solve under a cap row.  An
+   UNSAT probe lifts the lower bound past the cap; a solution lowers the
+   upper bound to its cost.  Untainted clauses learned during one probe
+   carry into the next through the session, which is what makes the
+   strategy competitive: the probes share a growing clause database. *)
+let solve_core_guided ?(metrics = Archex_obs.Metrics.null) ?on_event ?log
+    ?rows ?(max_decisions = max_int) ?time_limit
+    ?(lower_bound = neg_infinity) ?should_stop ?shared m =
+  let sess = create_session ?rows m in
+  match sess.sstate with
+  | None -> (Infeasible, zero_stats)
+  | Some st ->
+      let t0 = Archex_obs.Clock.now () in
+      let deadline = Option.map (fun tl -> t0 +. tl) time_limit in
+      let remaining () =
+        Option.map
+          (fun d -> Float.max 0.01 (d -. Archex_obs.Clock.now ()))
+          deadline
       in
-      record_metrics metrics stats;
-      let outcome =
-        if hit_limit then Limit_reached { incumbent = st.best }
-        else
-          match st.best with
-          | Some (objective, solution) -> Optimal { objective; solution }
-          | None -> Infeasible
+      let out_of_time () =
+        match deadline with
+        | None -> false
+        | Some d -> Archex_obs.Clock.now () >= d
       in
-      (outcome, stats)
+      let stopped () =
+        match should_stop with Some f -> f () | None -> false
+      in
+      let integral = st.obj_integral in
+      let obj_const0 = st.obj_const in
+      (* min conceivable cost: every coefficient at its cheap value *)
+      let lb = ref (Float.max lower_bound (st.base_lb +. obj_const0)) in
+      let ub = ref infinity in
+      let best = ref None in
+      let gap_at c =
+        if integral then 1. -. 1e-6
+        else 1e-7 *. Float.max 1. (Float.abs c)
+      in
+      let tot = ref zero_stats in
+      let used_decisions = ref 0 in
+      let add_stats (s : stats) =
+        used_decisions := !used_decisions + max s.decisions s.conflicts;
+        tot :=
+          { decisions = !tot.decisions + s.decisions;
+            propagations = !tot.propagations + s.propagations;
+            conflicts = !tot.conflicts + s.conflicts;
+            restarts = !tot.restarts + s.restarts;
+            learned = !tot.learned + s.learned;
+            bound = (if Float.is_finite !lb then Some !lb else None) }
+      in
+      let publish () =
+        match (shared, !best) with
+        | Some cell, Some (c, sol) ->
+            ignore (Archex_parallel.Shared_best.publish cell c sol)
+        | _ -> ()
+      in
+      (* Rival incumbents only move the upper bound between probes; probes
+         themselves run unshared so that first-solution exhaustion keeps
+         its cap-relative meaning. *)
+      let poll () =
+        match shared with
+        | None -> ()
+        | Some cell -> (
+            match Archex_parallel.Shared_best.get_timed cell with
+            | Some (c, sol, _)
+              when (match !best with
+                   | None -> true
+                   | Some (b, _) ->
+                       c < b -. (1e-9 *. Float.max 1. (Float.abs b))) ->
+                best := Some (c, sol);
+                if c < !ub then ub := c
+            | _ -> ())
+      in
+      let probe_budget () =
+        if max_decisions = max_int then max_int
+        else max 1 (max_decisions - !used_decisions)
+      in
+      (* one feasibility probe; [`Found]/[`Empty]/[`Limit] *)
+      let step ?objective_cap () =
+        let outcome, stats =
+          session_solve ~metrics ?on_event ?log
+            ~max_decisions:(probe_budget ()) ?time_limit:(remaining ())
+            ?should_stop ~first_solution:true ?objective_cap sess
+        in
+        add_stats stats;
+        match outcome with
+        | Optimal { objective; solution } | Limit_reached
+            { incumbent = Some (objective, solution) } ->
+            `Found (objective, solution)
+        | Infeasible -> `Empty
+        | Limit_reached { incumbent = None } -> `Limit
+      in
+      let final limit =
+        let stats =
+          { !tot with bound = (if Float.is_finite !lb then Some !lb else None) }
+        in
+        let outcome =
+          if limit then Limit_reached { incumbent = !best }
+          else
+            match !best with
+            | Some (objective, solution) ->
+                if Float.is_finite !lb && objective > !lb then lb := objective;
+                Optimal
+                  { objective;
+                    solution }
+            | None -> Infeasible
+        in
+        ( outcome,
+          { stats with
+            bound = (if Float.is_finite !lb then Some !lb else None) } )
+      in
+      (* initial upper bound: any feasible solution *)
+      (match step () with
+      | `Empty -> final false (* model infeasible *)
+      | `Limit -> final true
+      | `Found (c, sol) ->
+          best := Some (c, sol);
+          ub := c;
+          publish ();
+          let limit = ref false in
+          while
+            (not !limit)
+            && !ub -. !lb > gap_at !ub
+            && (not (out_of_time ()))
+            && (not (stopped ()))
+            && !used_decisions < max_decisions
+          do
+            poll ();
+            if !ub -. !lb <= gap_at !ub then ()
+            else begin
+              let mid = (!lb +. !ub) /. 2. in
+              let cap =
+                if integral then
+                  obj_const0 +. Float.of_int
+                    (int_of_float (Float.floor (mid -. obj_const0 +. 1e-9)))
+                else mid
+              in
+              (* progress needs lb ≤ cap ≤ ub − gap *)
+              let cap = Float.min cap (!ub -. gap_at !ub) in
+              let cap = Float.max cap !lb in
+              match step ~objective_cap:cap () with
+              | `Found (c, sol) ->
+                  if c < !ub then begin
+                    ub := c;
+                    best := Some (c, sol);
+                    publish ()
+                  end
+                  else
+                    (* cap ≤ ub − gap makes this unreachable; bail rather
+                       than loop if numerics disagree *)
+                    limit := true
+              | `Empty ->
+                  (* no solution of cost ≤ cap: lift the floor past it *)
+                  lb :=
+                    (if integral then cap +. 1.
+                     else cap +. (1e-9 *. Float.max 1. (Float.abs cap)))
+              | `Limit -> limit := true
+            end
+          done;
+          if !limit || out_of_time () || stopped () then final true
+          else begin
+            (* bounds met: the incumbent is optimal *)
+            (match !best with
+            | Some (c, _) when !lb < c -. gap_at c -> lb := c -. gap_at c
+            | _ -> ());
+            final false
+          end)

@@ -9,19 +9,27 @@
     Coefficients are floats; every row carries a relative tolerance so that
     the tiny failure-probability coefficients of the ILP-AR encoding
     (Eq. 9, down to [p^k ≈ 1e-37]) propagate exactly like the unit-scale
-    interconnection rows. *)
+    interconnection rows.
+
+    Besides one-shot {!solve}, the solver exposes persistent {!Session}s
+    for the ILP-MR loop (re-solving a monotonically growing model) and a
+    core-guided bound-convergence mode ({!solve_core_guided}). *)
 
 type stats = {
   decisions : int;
   propagations : int;
   conflicts : int;
   restarts : int;
-  learned : int;    (** learned rows retained at exit *)
+  learned : int;
+      (** rows learned during this invocation (for a session solve: the
+          per-invocation delta, not the database size) *)
   bound : float option;
       (** best proven objective lower bound at exit — survives a
           [Limit_reached] abort, where it sandwiches the true optimum
           between itself and the incumbent *)
 }
+
+val zero_stats : stats
 
 type outcome =
   | Optimal of { objective : float; solution : float array }
@@ -70,7 +78,8 @@ val solve :
     participated in (as the falsified row or as an expanded reason during
     1-UIP analysis) and binding-at-incumbent.  Rows are identified by their
     insertion index in [m]; solver-internal rows (learned clauses, objective
-    bound rows) are not attributed.
+    bound rows) are not attributed, and the ids are stable across learned-
+    clause database compaction.
 
     [should_stop] (polled every few dozen search steps) requests a
     cooperative abort: the solve returns [Limit_reached] with the current
@@ -80,3 +89,93 @@ val solve :
     through the same objective-bound path as local ones, so optimality
     conclusions stay sound and each racer prunes with the other's bounds.
     @raise Invalid_argument if the model has non-Boolean variables. *)
+
+(** Persistent solver sessions: solve a model, append rows to it, solve
+    again — without rebuilding search state from scratch.
+
+    A session keeps, across solves: learned clauses whose derivations are
+    independent of any objective bound (bound-derived clauses are tracked
+    by a taint bit and dropped — they encode "better than THAT solve's
+    incumbent", which a later solve must not inherit), variable activities
+    and saved phases, the restart schedule, and the level-0 trail of
+    bound-independent facts.  Objective bound rows and tainted facts are
+    purged at the start of every re-solve, so each solve's optimality
+    claim is with respect to the model alone.
+
+    Intended use (ILP-MR): build the model, [create], [solve]; then after
+    every batch of learned reliability rows is appended to the model,
+    [add_rows] (or just [solve], which syncs implicitly) and [solve]
+    again.  The model may gain variables and constraints between solves
+    but must never lose or weaken any — monotone growth is what makes
+    carrying learned clauses sound. *)
+module Session : sig
+  type t
+
+  val create : ?rows:Row_stats.t -> Model.t -> t
+  (** Capture [m] (kept by reference, not copied) and build initial solver
+      state.  A model that is trivially infeasible yields a session whose
+      every [solve] returns [Infeasible] immediately.
+      @raise Invalid_argument if the model has non-Boolean variables. *)
+
+  val model : t -> Model.t
+  (** The captured model — append rows/variables to this exact value. *)
+
+  val add_rows : t -> unit
+  (** Ingest rows (and variables) appended to {!model} since the last
+      sync.  Optional: [solve] syncs implicitly; call this to surface a
+      trivially-infeasible new row early. *)
+
+  val solve :
+    ?metrics:Archex_obs.Metrics.t ->
+    ?on_event:(Archex_obs.Event.t -> unit) ->
+    ?log:(Archex_obs.Json.t -> unit) ->
+    ?rows:Row_stats.t ->
+    ?max_decisions:int -> ?time_limit:float -> ?lower_bound:float ->
+    ?should_stop:(unit -> bool) ->
+    ?shared:Archex_parallel.Shared_best.t ->
+    ?first_solution:bool ->
+    ?objective_cap:float ->
+    t -> outcome * stats
+  (** Like {!val:solve}, resuming from the session's carried state.  The
+      returned [stats] are per-invocation deltas (snapshot-and-subtract
+      against the session totals), so summing them over successive solves
+      equals {!totals} — no double-counting in [Ilp_mr.iteration.stats]
+      or the [solver.constraint.*] metrics.  [rows] overrides the
+      activity tracker for this invocation (the [Ilp_mr] inspect path
+      passes a fresh tracker per iteration).
+
+      [first_solution] stops at the first feasible solution and returns it
+      as [Limit_reached { incumbent = Some _ }] — a feasibility probe.
+      [objective_cap c] constrains the probe to solutions of cost ≤ [c]
+      via a volatile bound row; [Infeasible] then means "no solution under
+      the cap" and does not kill the session.  Both are the building
+      blocks of {!solve_core_guided}. *)
+
+  val totals : t -> stats
+  (** Session-cumulative counters; [bound] is the last solve's bound. *)
+
+  val solves : t -> int
+  (** Number of [solve] invocations so far. *)
+
+  val carried_learned : t -> int
+  (** Learned rows carried into the most recent solve (after purging
+      bound-tainted ones) — the certificate provenance stamp. *)
+end
+
+val solve_core_guided :
+  ?metrics:Archex_obs.Metrics.t ->
+  ?on_event:(Archex_obs.Event.t -> unit) ->
+  ?log:(Archex_obs.Json.t -> unit) ->
+  ?rows:Row_stats.t ->
+  ?max_decisions:int -> ?time_limit:float -> ?lower_bound:float ->
+  ?should_stop:(unit -> bool) ->
+  ?shared:Archex_parallel.Shared_best.t ->
+  Model.t -> outcome * stats
+(** BCD2-style core-guided optimization: converge lower and upper bounds
+    by bisection, each step a first-solution feasibility probe under an
+    objective cap (UNSAT lifts the floor past the cap, a solution lowers
+    the ceiling to its cost), with clauses learned by one probe carried
+    into the next through a persistent session.  Same contract as
+    {!val:solve}; raced against branch-and-bound by {!Solver}'s portfolio
+    backend.  [shared] incumbents are adopted between probes (never inside
+    one, keeping each probe's cap-relative UNSAT answer sound). *)

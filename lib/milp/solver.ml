@@ -2,7 +2,30 @@ type backend =
   | Pseudo_boolean
   | Lp_branch_bound
   | Brute_force
+  | Core_guided
   | Portfolio
+
+(* Persistent solver state carried across calls on a monotonically growing
+   model — PB-only today (the MR hot path is pure 0-1); a mixed model gets
+   a session that every backend simply ignores. *)
+type session = {
+  sbase : Model.t;
+  spb : Pb_solver.Session.t option;
+}
+
+let make_session ?rows m =
+  { sbase = m;
+    spb =
+      (if Model.is_pure_boolean m then Some (Pb_solver.Session.create ?rows m)
+       else None) }
+
+let session_model s = s.sbase
+
+let session_carried_learned s =
+  match s.spb with Some ps -> Pb_solver.Session.carried_learned ps | None -> 0
+
+let session_solves s =
+  match s.spb with Some ps -> Pb_solver.Session.solves ps | None -> 0
 
 type outcome =
   | Optimal of { objective : float; solution : float array }
@@ -27,6 +50,7 @@ let backend_name = function
   | Pseudo_boolean -> "pb"
   | Lp_branch_bound -> "lp-bb"
   | Brute_force -> "brute"
+  | Core_guided -> "core-guided"
   | Portfolio -> "portfolio"
 
 let solution_value solution x = solution.(x) >= 0.5
@@ -34,7 +58,7 @@ let solution_value solution x = solution.(x) >= 0.5
 let now () = Archex_obs.Clock.now ()
 
 let solve_untraced ~obs ~on_event ~backend ~presolve ?rows ?max_nodes
-    ?time_limit ?should_stop m =
+    ?time_limit ?should_stop ?session ?(lower_bound = neg_infinity) m =
   let t0 = now () in
   let metrics = Archex_obs.Ctx.metrics obs in
   let log = Archex_obs.Ctx.search_log obs in
@@ -76,14 +100,55 @@ let solve_untraced ~obs ~on_event ~backend ~presolve ?rows ?max_nodes
         if presolve then pre.Presolve.model else Model.copy m
       in
       (* implied objective lower bound: lets branch-and-bound close
-         optimality proofs that propagation alone cannot (see Obj_bound) *)
+         optimality proofs that propagation alone cannot (see Obj_bound).
+         The caller's bound (e.g. the previous MR iteration's proven bound
+         in incremental mode — rows only ever tighten the model, so it
+         stays valid) is maxed in. *)
       let lower_bound =
         match Obj_bound.strengthen m' with
-        | Some b -> b
-        | None -> neg_infinity
+        | Some b -> Float.max b lower_bound
+        | None -> lower_bound
+      in
+      let pb_session =
+        match session with
+        | Some { spb = Some ps; _ } -> Some ps
+        | Some { spb = None; _ } | None -> None
+      in
+      let map_pb o =
+        match o with
+        | Pb_solver.Optimal { objective; solution } ->
+            Optimal { objective; solution }
+        | Pb_solver.Infeasible -> Infeasible
+        | Pb_solver.Limit_reached { incumbent } -> Limit_reached { incumbent }
       in
       let rec run_backend backend =
       match backend with
+      | Pseudo_boolean when pb_session <> None ->
+          (* Incremental path: solve through the persistent session (which
+             captured [m] itself; [m'] above only contributed the
+             strengthened bound).  No optimistic probe here — the session's
+             warm-started phases make the main search's first descent
+             reconstruct the bound witness when one still exists, and the
+             lower-bound optimality shortcut then closes the solve just as
+             fast; a probe could only duplicate that or burn half the
+             budget refuting a stale cap. *)
+          let ps = Option.get pb_session in
+          let o, s =
+            phase "main";
+            let o, s =
+              Pb_solver.Session.solve ~metrics ?on_event ?log ?rows
+                ?max_decisions:max_nodes ?time_limit ~lower_bound
+                ?should_stop ps
+            in
+            (map_pb o, s)
+          in
+          ( o,
+            { empty_stats with
+              nodes = s.Pb_solver.decisions;
+              propagations = s.Pb_solver.propagations;
+              conflicts = s.Pb_solver.conflicts;
+              best_bound = s.Pb_solver.bound },
+            false )
       | Pseudo_boolean ->
           (* Optimistic probe: when the combinatorial bound exists, first try
              pure feasibility at cost ≤ bound — success is a proven optimum
@@ -179,12 +244,34 @@ let solve_untraced ~obs ~on_event ~backend ~presolve ?rows ?max_nodes
             | Brute.Infeasible -> Infeasible
           in
           (outcome, empty_stats, false)
+      | Core_guided ->
+          (* BCD2-style bound convergence: feasibility probes under an
+             objective cap through a private solver session.  Pure 0-1
+             only, like PB — mixed models fall through to LP. *)
+          if not (Model.is_pure_boolean m') then run_backend Lp_branch_bound
+          else begin
+            phase "core-guided";
+            let o, s =
+              Pb_solver.solve_core_guided ~metrics ?on_event ?log ?rows
+                ?max_decisions:max_nodes ?time_limit ~lower_bound
+                ?should_stop m'
+            in
+            ( map_pb o,
+              { empty_stats with
+                nodes = s.Pb_solver.decisions;
+                propagations = s.Pb_solver.propagations;
+                conflicts = s.Pb_solver.conflicts;
+                best_bound = s.Pb_solver.bound },
+              false )
+          end
       | Portfolio ->
-          (* Race the two exact backends on separate domains over a shared
-             incumbent cell: each prunes with the other's incumbents, the
-             first optimality (or infeasibility) proof cancels the rest.
-             PB requires a pure 0-1 model, so mixed models fall through to
-             plain LP branch-and-bound. *)
+          (* Race the three exact backends on separate domains over a
+             shared incumbent cell: each prunes with the others'
+             incumbents, the first optimality (or infeasibility) proof
+             cancels the rest.  PB and core-guided require a pure 0-1
+             model, so mixed models fall through to plain LP
+             branch-and-bound.  An incremental session rides the PB racer
+             (the other two stay scratch on private model copies). *)
           if not (Model.is_pure_boolean m') then run_backend Lp_branch_bound
           else begin
             let module P = Archex_parallel in
@@ -212,11 +299,14 @@ let solve_untraced ~obs ~on_event ~backend ~presolve ?rows ?max_nodes
             let on_event = serialize on_event in
             let log = serialize log in
             phase "portfolio";
-            let pb_model = Model.copy m' and lp_model = Model.copy m' in
+            let pb_model = Model.copy m'
+            and lp_model = Model.copy m'
+            and cg_model = Model.copy m' in
             (* Row_stats is single-domain mutable: each racer fills its own
                instance, merged into the caller's after the join. *)
             let pb_rows = Option.map (fun _ -> Row_stats.create ()) rows in
             let lp_rows = Option.map (fun _ -> Row_stats.create ()) rows in
+            let cg_rows = Option.map (fun _ -> Row_stats.create ()) rows in
             let definitive = function
               | Optimal _ | Infeasible | Unbounded -> true
               | Limit_reached _ -> false
@@ -236,18 +326,28 @@ let solve_untraced ~obs ~on_event ~backend ~presolve ?rows ?max_nodes
             in
             let run_pb () =
               let o, s =
-                Pb_solver.solve ~metrics ?on_event ?log ?rows:pb_rows
-                  ?max_decisions:max_nodes ?time_limit ~lower_bound
-                  ~should_stop ~shared pb_model
+                match pb_session with
+                | Some ps ->
+                    Pb_solver.Session.solve ~metrics ?on_event ?log
+                      ?rows:pb_rows ?max_decisions:max_nodes ?time_limit
+                      ~lower_bound ~should_stop ~shared ps
+                | None ->
+                    Pb_solver.solve ~metrics ?on_event ?log ?rows:pb_rows
+                      ?max_decisions:max_nodes ?time_limit ~lower_bound
+                      ~should_stop ~shared pb_model
               in
-              let o =
-                match o with
-                | Pb_solver.Optimal { objective; solution } ->
-                    Optimal { objective; solution }
-                | Pb_solver.Infeasible -> Infeasible
-                | Pb_solver.Limit_reached { incumbent } ->
-                    Limit_reached { incumbent }
+              let o = map_pb o in
+              if definitive o then P.Cancel.cancel stop
+              else observe_cancel_latency o;
+              (o, s)
+            in
+            let run_cg () =
+              let o, s =
+                Pb_solver.solve_core_guided ~metrics ?on_event ?log
+                  ?rows:cg_rows ?max_decisions:max_nodes ?time_limit
+                  ~lower_bound ~should_stop ~shared cg_model
               in
+              let o = map_pb o in
               if definitive o then P.Cancel.cancel stop
               else observe_cancel_latency o;
               (o, s)
@@ -270,21 +370,23 @@ let solve_untraced ~obs ~on_event ~backend ~presolve ?rows ?max_nodes
               else observe_cancel_latency o;
               (o, s)
             in
-            let pb, lp =
+            let pb, lp, cg =
               match
-                P.Pool.with_pool ~obs ~jobs:2 (fun pool ->
+                P.Pool.with_pool ~obs ~jobs:3 (fun pool ->
                     P.Pool.run pool
                       [ (fun () -> `Pb (run_pb ()));
-                        (fun () -> `Lp (run_lp ())) ])
+                        (fun () -> `Lp (run_lp ()));
+                        (fun () -> `Cg (run_cg ())) ])
               with
-              | [ `Pb pb; `Lp lp ] -> (pb, lp)
+              | [ `Pb pb; `Lp lp; `Cg cg ] -> (pb, lp, cg)
               | _ -> assert false
             in
-            let pb_o, pb_s = pb and lp_o, lp_s = lp in
+            let pb_o, pb_s = pb and lp_o, lp_s = lp and cg_o, cg_s = cg in
             (match rows with
             | Some into ->
                 Option.iter (fun r -> Row_stats.merge ~into r) pb_rows;
-                Option.iter (fun r -> Row_stats.merge ~into r) lp_rows
+                Option.iter (fun r -> Row_stats.merge ~into r) lp_rows;
+                Option.iter (fun r -> Row_stats.merge ~into r) cg_rows
             | None -> ());
             (* winner attribution: which racer produced the definitive
                answer (PB beats LP-BB on ties — it cancelled first or at
@@ -292,6 +394,7 @@ let solve_untraced ~obs ~on_event ~backend ~presolve ?rows ?max_nodes
             (match
                if definitive pb_o then Some "pb"
                else if definitive lp_o then Some "lp_bb"
+               else if definitive cg_o then Some "core_guided"
                else None
              with
             | Some winner ->
@@ -305,23 +408,33 @@ let solve_untraced ~obs ~on_event ~backend ~presolve ?rows ?max_nodes
             let outcome =
               if definitive pb_o then pb_o
               else if definitive lp_o then lp_o
+              else if definitive cg_o then cg_o
               else
-                (* both racers hit limits: the shared cell saw every
+                (* every racer hit limits: the shared cell saw every
                    published incumbent, local or adopted *)
                 Limit_reached { incumbent = P.Shared_best.get shared }
             in
-            (* both racers' proven lower bounds are valid: keep the max *)
-            let best_bound =
-              match (pb_s.Pb_solver.bound, lp_s.Lp_bb.bound) with
+            (* each racer's proven lower bound is valid: keep the max *)
+            let max_opt a b =
+              match (a, b) with
               | Some a, Some b -> Some (Float.max a b)
               | (Some _ as s), None | None, (Some _ as s) -> s
               | None, None -> None
             in
+            let best_bound =
+              max_opt
+                (max_opt pb_s.Pb_solver.bound cg_s.Pb_solver.bound)
+                lp_s.Lp_bb.bound
+            in
             ( outcome,
               { empty_stats with
-                nodes = pb_s.Pb_solver.decisions + lp_s.Lp_bb.nodes;
-                propagations = pb_s.Pb_solver.propagations;
-                conflicts = pb_s.Pb_solver.conflicts;
+                nodes =
+                  pb_s.Pb_solver.decisions + lp_s.Lp_bb.nodes
+                  + cg_s.Pb_solver.decisions;
+                propagations =
+                  pb_s.Pb_solver.propagations + cg_s.Pb_solver.propagations;
+                conflicts =
+                  pb_s.Pb_solver.conflicts + cg_s.Pb_solver.conflicts;
                 pivots = lp_s.Lp_bb.pivots;
                 best_bound },
               false )
@@ -369,11 +482,28 @@ let min_opt a b =
   | (Some _ as s), None | None, (Some _ as s) -> s
   | None, None -> None
 
-let solve ?(obs = Archex_obs.Ctx.null) ?on_event ?backend ?(presolve = true)
-    ?rows ?max_nodes ?time_limit ?budget m =
-  (* per-row attribution keys on the caller's row insertion indices, which
-     presolve invalidates by dropping implied rows — force it off *)
-  let presolve = presolve && rows = None in
+let solve ?(obs = Archex_obs.Ctx.null) ?on_event ?backend ?presolve ?rows
+    ?max_nodes ?time_limit ?budget ?session ?lower_bound m =
+  (* Presolve renumbers rows (it drops implied ones), which invalidates
+     both per-row attribution indices and every row id persisted inside an
+     incremental session.  Defaulted presolve is silently turned off in
+     those modes; EXPLICITLY requesting both is a contract violation and
+     gets the typed error rather than silently corrupted state. *)
+  (match (presolve, session) with
+  | Some true, Some _ ->
+      raise
+        (Archex_resilience.Error.E
+           (Archex_resilience.Error.Invalid_input
+              [ "presolve cannot be combined with an incremental solver \
+                 session: presolve renumbers model rows, invalidating the \
+                 learned rows and row ids persisted across session solves";
+                "pass ~presolve:false (or omit it) when supplying ~session"
+              ]))
+  | _ -> ());
+  let presolve =
+    (match presolve with Some p -> p | None -> true)
+    && rows = None && session = None
+  in
   let backend =
     match backend with
     | Some b -> b
@@ -434,7 +564,7 @@ let solve ?(obs = Archex_obs.Ctx.null) ?on_event ?backend ?(presolve = true)
               retries = 0 } )
         else
           solve_untraced ~obs ~on_event ~backend ~presolve ?rows ?max_nodes
-            ?time_limit ?should_stop m)
+            ?time_limit ?should_stop ?session ?lower_bound m)
   in
   (match budget with
   | Some b -> B.charge_nodes b stats.nodes

@@ -7,14 +7,40 @@ type backend =
   | Pseudo_boolean   (** {!Pb_solver} — default for pure 0-1 models *)
   | Lp_branch_bound  (** {!Lp_bb} over {!Simplex} *)
   | Brute_force      (** {!Brute} — tiny models / testing *)
+  | Core_guided
+      (** {!Pb_solver.solve_core_guided} — BCD2-style bound convergence by
+          capped feasibility probes over a persistent clause database.
+          Pure 0-1 only; mixed models fall through to [Lp_branch_bound]. *)
   | Portfolio
-      (** Race [Pseudo_boolean] and [Lp_branch_bound] on separate domains
-          ({!Archex_parallel.Pool}) over a shared incumbent cell
-          ({!Archex_parallel.Shared_best}): each backend prunes with the
-          other's incumbents, the first optimality or infeasibility proof
-          cancels the rest, and the optimal objective is identical
-          regardless of which racer wins.  Mixed (non-0-1) models fall
-          through to plain [Lp_branch_bound]. *)
+      (** Race [Pseudo_boolean], [Lp_branch_bound] and [Core_guided] on
+          separate domains ({!Archex_parallel.Pool}) over a shared
+          incumbent cell ({!Archex_parallel.Shared_best}): each backend
+          prunes with the others' incumbents, the first optimality or
+          infeasibility proof cancels the rest, and the optimal objective
+          is identical regardless of which racer wins.  Mixed (non-0-1)
+          models fall through to plain [Lp_branch_bound]. *)
+
+type session
+(** Persistent solver state for re-solving a monotonically growing model
+    (the ILP-MR loop): learned clauses, variable activities, saved phases
+    and the clean level-0 trail survive across {!solve} calls that pass
+    the same session.  Backed by {!Pb_solver.Session} on pure 0-1 models;
+    on mixed models the session is inert and every backend solves from
+    scratch. *)
+
+val make_session : ?rows:Row_stats.t -> Model.t -> session
+(** Capture [m] by reference.  Rows/variables appended to [m] between
+    solves are ingested automatically at the next {!solve}.  The model
+    must only ever grow (never weaken) for carried state to stay sound. *)
+
+val session_model : session -> Model.t
+
+val session_carried_learned : session -> int
+(** Learned rows carried into the session's most recent solve — stamped
+    into per-iteration certificates as provenance by [Ilp_mr]. *)
+
+val session_solves : session -> int
+(** Number of solves the session has run. *)
 
 type outcome =
   | Optimal of { objective : float; solution : float array }
@@ -49,11 +75,30 @@ val solve :
   ?max_nodes:int ->
   ?time_limit:float ->
   ?budget:Archex_resilience.Budget.t ->
+  ?session:session ->
+  ?lower_bound:float ->
   Model.t -> outcome * run_stats
 (** Minimize the model.  [backend] defaults to [Pseudo_boolean] when the
     model is pure Boolean, [Lp_branch_bound] otherwise.  [presolve]
     (default true) runs {!Presolve} first.  [time_limit] is wall-clock
     seconds ({!Archex_obs.Clock}; the caller's model is never mutated).
+
+    [session] switches the PB backend (standalone or as the portfolio's PB
+    racer) to incremental mode: the solve resumes from the session's
+    carried state and its per-call statistics are deltas, so summing them
+    over successive calls matches the session totals.  Because presolve
+    renumbers rows, it is incompatible with a session: explicitly passing
+    [~presolve:true] together with [~session] raises
+    {!Archex_resilience.Error.E} with [Invalid_input] (a defaulted or
+    [false] presolve is simply treated as off, as it already is under
+    [rows]).  [lower_bound], when given, must be a valid lower bound on
+    every feasible objective value of [m] — e.g. the [best_bound] proved
+    for a previous, weaker model in the MR loop (appending rows can only
+    raise the optimum).  It is maxed with the {!Obj_bound} bound and lets
+    the backends close optimality proofs much earlier — a scratch PB
+    solve additionally probes at the bound before searching, while a
+    session solve instead installs the bound as a permanent objective
+    floor and lets its warm-started descent reach it directly.
 
     [budget] (default none) clamps [time_limit] and [max_nodes] under the
     global allowance: the call never runs past

@@ -11,8 +11,10 @@
    Series values are plain numbers.  The diff walks the union of
    (case, series) pairs and classifies each against a relative tolerance:
    wall-clock series (name ends in "_s" or mentions time/seconds) get
-   their own, looser tolerance than deterministic counters.  Lower is
-   better everywhere except series named "feasible". *)
+   their own, looser tolerance than deterministic counters; speedup
+   ratios (name ends in "_speedup_x"), being quotients of wall-clock
+   series, share the loose time tolerance.  Lower is better everywhere
+   except series named "feasible" and speedup ratios. *)
 
 let schema_version = 1
 
@@ -112,8 +114,16 @@ let is_time_series name =
   (String.length name > 2 && String.sub name (String.length name - 2) 2 = "_s")
   || contains "time" || contains "seconds"
 
-(* "feasible" flips direction: losing feasibility is the regression. *)
-let higher_is_better name = name = "feasible"
+(* speedup ratios are quotients of two wall-clock measurements: as noisy
+   as their inputs (so they share the loose time tolerance), and a DROP
+   is the regression *)
+let is_speedup_series name =
+  let suffix = "_speedup_x" in
+  let n = String.length suffix and m = String.length name in
+  m > n && String.sub name (m - n) n = suffix
+
+(* "feasible" and speedups flip direction: losing them is the regression. *)
+let higher_is_better name = name = "feasible" || is_speedup_series name
 
 let classify tol ~case ~series ~baseline ~current =
   match (baseline, current) with
@@ -126,12 +136,13 @@ let classify tol ~case ~series ~baseline ~current =
         verdict = New }
   | Some b, Some c ->
       let rel_tol, floor =
-        if is_time_series series then (tol.time_tol, tol.time_floor)
+        if is_speedup_series series then (tol.time_tol, 1.)
+        else if is_time_series series then (tol.time_tol, tol.time_floor)
         else (tol.count_tol, tol.count_floor)
       in
       (* 0/1 indicators like "feasible" must not be damped by the count
          floor: a lost feasibility is always a regression *)
-      let floor = if higher_is_better series then 1. else floor in
+      let floor = if series = "feasible" then 1. else floor in
       let raw = (c -. b) /. Float.max floor (Float.abs b) in
       let delta = if higher_is_better series then -.raw else raw in
       let verdict =

@@ -75,7 +75,8 @@ val classify :
   entry
 (** Judge one (baseline, current) value pair exactly as {!diff} would —
     time vs. count tolerance picked from the series name, denominator
-    floored, ["feasible"] direction-flipped.  This is the single
+    floored, ["feasible"] and ["*_speedup_x"] direction-flipped.  This
+    is the single
     classification primitive behind both {!diff} and the registry trend
     analysis, so "regressed" means the same thing everywhere.
     At least one of [baseline]/[current] must be [Some]. *)
@@ -88,8 +89,9 @@ val diff :
   (entry list, string) result
 (** Union of (case, series) pairs, baseline order first.  Strictly
     beyond tolerance regresses; exactly at tolerance does not.  Series
-    named ["feasible"] are higher-is-better; everything else is
-    lower-is-better. *)
+    named ["feasible"] and speedup ratios (ending in ["_speedup_x"],
+    judged under the wall-clock tolerance they inherit their noise
+    from) are higher-is-better; everything else is lower-is-better. *)
 
 val regression : entry list -> bool
 (** True iff some entry is {!Regressed} or {!Missing} — the CI failure

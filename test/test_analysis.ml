@@ -320,6 +320,22 @@ let test_diff_feasible_direction () =
   checkb "gaining feasibility improves" true (run 0. 1. = Bench.Improved);
   checkb "stable feasibility unchanged" true (run 1. 1. = Bench.Unchanged)
 
+let test_diff_speedup_direction () =
+  (* a speedup ratio is a quotient of wall-clock series: judged under the
+     loose time tolerance (default 50%), and a DROP is the regression *)
+  let run base cur =
+    (entry_for
+       (diff_exn
+          (artifact [ ("c", [ ("wall_speedup_x", base) ]) ])
+          (artifact [ ("c", [ ("wall_speedup_x", cur) ]) ]))
+       ~case:"c" ~series:"wall_speedup_x")
+      .Bench.verdict
+  in
+  checkb "speedup collapse regresses" true (run 3.6 1.0 = Bench.Regressed);
+  checkb "speedup gain improves" true (run 2.0 3.5 = Bench.Improved);
+  checkb "wall-clock jitter tolerated" true (run 3.6 3.0 = Bench.Unchanged);
+  checkb "gain within tolerance unchanged" true (run 3.6 4.2 = Bench.Unchanged)
+
 let test_time_series_detection () =
   checkb "_s suffix" true (Bench.is_time_series "wall_s");
   checkb "time infix" true (Bench.is_time_series "solver_time_total");
@@ -358,5 +374,7 @@ let () =
             test_diff_tolerance_boundary;
           Alcotest.test_case "feasible direction" `Quick
             test_diff_feasible_direction;
+          Alcotest.test_case "speedup direction" `Quick
+            test_diff_speedup_direction;
           Alcotest.test_case "time-series detection" `Quick
             test_time_series_detection ] ) ]
